@@ -1,0 +1,111 @@
+// Applicability probe (§4.2): "the workload has few distributed
+// transactions". This bench quantifies what happens as that assumption
+// erodes: a fixed offered rate near the cluster knee with a growing
+// share of two-key transfers. Each distributed transaction occupies two
+// partitions with 2PC overhead, so effective capacity shrinks and the
+// tail collapses well before the nominal Q-hat.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "engine/event_loop.h"
+#include "engine/metrics.h"
+#include "engine/workload_driver.h"
+#include "ycsb/ycsb_workload.h"
+
+namespace {
+
+using namespace pstore;
+
+struct Result {
+  double median_p99_ms = 0.0;
+  double worst_p99_ms = 0.0;
+  int64_t distributed = 0;
+  int64_t committed = 0;
+};
+
+Result RunShare(double multi_fraction, double rate) {
+  ClusterOptions cluster_options;
+  cluster_options.partitions_per_node = 6;
+  cluster_options.max_nodes = 2;
+  cluster_options.initial_nodes = 2;
+  cluster_options.num_buckets = 1200;
+  Cluster cluster(cluster_options);
+  MetricsCollector metrics(1.0);
+  TxnExecutor executor(&cluster, &metrics, ExecutorOptions{});
+  PSTORE_CHECK_OK(ycsb::Workload::RegisterProcedures(&executor));
+  ycsb::WorkloadOptions options;
+  options.record_count = 200000;
+  options.multi_key_fraction = multi_fraction;
+  ycsb::Workload workload(options);
+  PSTORE_CHECK_OK(workload.LoadInitialData(&cluster));
+
+  EventLoop loop;
+  TimeSeries flat(1.0, std::vector<double>(300, rate));
+  DriverOptions driver_options;
+  driver_options.slot_sim_seconds = 1.0;
+  driver_options.rate_factor = 1.0;
+  driver_options.seed = 8;
+  WorkloadDriver driver(
+      &loop, &executor, flat,
+      [&workload](Rng& rng) { return workload.NextTransaction(rng); },
+      driver_options);
+  driver.Start(300 * kSecond);
+  loop.RunUntil(300 * kSecond);
+
+  Result result;
+  result.distributed = executor.distributed_count();
+  result.committed = executor.committed_count();
+  const auto windows = metrics.Finalize(300 * kSecond);
+  std::vector<double> p99s;
+  for (size_t w = 60; w < windows.size(); ++w) {
+    if (windows[w].completed == 0) continue;
+    p99s.push_back(windows[w].p99_ms);
+    result.worst_p99_ms = std::max(result.worst_p99_ms, windows[w].p99_ms);
+  }
+  std::sort(p99s.begin(), p99s.end());
+  if (!p99s.empty()) result.median_p99_ms = p99s[p99s.size() / 2];
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Applicability probe (§4.2): share of distributed transactions",
+      "H-Store-style engines need few distributed txns for (almost) "
+      "linear scalability; the tail collapses as the share grows");
+
+  auto csv = bench::OpenCsv("ablation_distributed_txns.csv");
+  if (csv) {
+    csv->WriteRow({"multi_key_percent", "distributed_txns", "median_p99_ms",
+                   "worst_p99_ms"});
+  }
+  // 2 nodes x 6 partitions saturate at ~876 single-key txn/s; drive at
+  // ~75% of that.
+  const double rate = 660.0;
+  std::printf("%16s %16s %14s %14s\n", "multi-key share", "distributed",
+              "median p99", "worst p99");
+  for (const double fraction : {0.0, 0.01, 0.05, 0.10, 0.20, 0.40}) {
+    const Result result = RunShare(fraction, rate);
+    std::printf("%15.0f%% %16lld %14.1f %14.1f\n", 100.0 * fraction,
+                static_cast<long long>(result.distributed),
+                result.median_p99_ms, result.worst_p99_ms);
+    if (csv) {
+      csv->WriteRow({std::to_string(100.0 * fraction),
+                     std::to_string(result.distributed),
+                     std::to_string(result.median_p99_ms),
+                     std::to_string(result.worst_p99_ms)});
+    }
+  }
+  std::printf(
+      "\nReading: a few percent of distributed transactions is "
+      "absorbable; tens of percent saturate the cluster at the same "
+      "offered rate — why the paper validates this assumption for B2W "
+      "(every B2W transaction touches one key) before applying "
+      "P-Store's uniform capacity model.\n");
+  return 0;
+}

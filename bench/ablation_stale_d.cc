@@ -1,0 +1,94 @@
+// Applicability probe (§4.2): "the database size is not quickly
+// changing ... any significant size increase or decrease requires
+// re-discovering D". As the database grows, every migration moves more
+// bytes than D was calibrated for, so a planner with a stale D starts
+// its moves too late and they finish mid-ramp. This bench simulates a
+// growing database with the planner either re-discovering D
+// continuously or keeping the original value.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "prediction/spar_model.h"
+#include "sim/capacity_simulator.h"
+#include "trace/b2w_trace_generator.h"
+
+int main() {
+  using namespace pstore;
+  bench::PrintHeader(
+      "Ablation: stale D under database growth (§4.2 assumption)",
+      "the paper prescribes re-discovering D on significant size change; "
+      "a stale D makes every move run long and finish mid-ramp");
+
+  B2wTraceOptions trace_options;
+  trace_options.days = 49;
+  trace_options.seed = 42;
+  trace_options.peak_requests_per_min = 10500.0;
+  const TimeSeries trace =
+      GenerateB2wTrace(trace_options).Scaled(10.0 / 60.0);
+  const TimeSeries coarse = trace.DownsampleMean(5);
+
+  SparOptions spar_options;
+  spar_options.period = 288;
+  spar_options.num_periods = 7;
+  spar_options.num_recent = 6;
+  spar_options.max_tau = 36;
+  SparPredictor spar(spar_options);
+  PSTORE_CHECK_OK(spar.Fit(coarse.Slice(0, 28 * 288)));
+
+  auto csv = bench::OpenCsv("ablation_stale_d.csv");
+  if (csv) {
+    csv->WriteRow({"growth_per_day_percent", "planner_d", "cost",
+                   "insufficient_percent", "during_moves_percent"});
+  }
+  std::printf("%14s %-12s %14s %16s %16s\n", "growth/day", "planner D",
+              "cost", "insufficient %%", "during moves %%");
+  for (const double growth : {0.0, 0.03, 0.06}) {
+    for (const bool refresh : {true, false}) {
+      if (growth == 0.0 && !refresh) continue;  // identical to refreshed
+      SimOptions options;
+      // Modest slack (Q = 320 vs Q-hat = 350) so background prediction
+      // noise causes ~no violations and the staleness effect stands out;
+      // one partition per machine so moves span multiple slots.
+      options.q = 320.0;
+      options.q_hat = 350.0;
+      options.inflation = 1.0;
+      options.d_fine_slots = 77.0;
+      options.partitions_per_node = 1;
+      options.initial_nodes = 4;
+      options.max_nodes = 60;
+      options.eval_begin = 28 * 1440;
+      options.d_growth_per_day = growth;
+      options.refresh_d = refresh;
+      const CapacitySimulator sim(options);
+      StatusOr<SimResult> result = sim.RunPredictive(trace, spar);
+      PSTORE_CHECK_OK(result.status());
+      const double during_moves =
+          result->move_slots == 0
+              ? 0.0
+              : 100.0 *
+                    static_cast<double>(
+                        result->insufficient_during_move_slots) /
+                    static_cast<double>(result->move_slots);
+      const char* mode = refresh ? "refreshed" : "stale";
+      std::printf("%13.0f%% %-12s %14.0f %16.4f %16.3f\n", 100.0 * growth,
+                  mode, result->machine_slots,
+                  100.0 * result->insufficient_fraction, during_moves);
+      if (csv) {
+        csv->WriteRow({std::to_string(100.0 * growth), mode,
+                       std::to_string(result->machine_slots),
+                       std::to_string(100.0 *
+                                      result->insufficient_fraction),
+                       std::to_string(during_moves)});
+      }
+    }
+  }
+  std::printf(
+      "\nReading: with D re-discovered as the database grows, violations "
+      "stay near the no-growth baseline; with a stale D the "
+      "under-capacity time during moves climbs, because every migration "
+      "takes longer than the plan budgeted — the §4.2 prescription in "
+      "numbers.\n");
+  return 0;
+}

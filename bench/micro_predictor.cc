@@ -1,0 +1,84 @@
+// Microbenchmarks for the predictors: SPAR/AR/ARMA fitting cost on a
+// 4-week minute-granularity history, and per-forecast cost.
+
+#include <benchmark/benchmark.h>
+
+#include "prediction/ar_model.h"
+#include "prediction/arma_model.h"
+#include "prediction/spar_model.h"
+#include "trace/b2w_trace_generator.h"
+
+namespace pstore {
+namespace {
+
+TimeSeries TrainingTrace() {
+  B2wTraceOptions options;
+  options.days = 29;
+  options.seed = 42;
+  return GenerateB2wTrace(options);
+}
+
+void BM_SparFit(benchmark::State& state) {
+  const TimeSeries trace = TrainingTrace();
+  const TimeSeries training = trace.Slice(0, 28 * 1440);
+  SparOptions options;
+  options.period = 1440;
+  options.num_periods = 7;
+  options.num_recent = 30;
+  options.max_tau = static_cast<size_t>(state.range(0));
+  options.tau_stride = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    SparPredictor spar(options);
+    benchmark::DoNotOptimize(spar.Fit(training));
+  }
+}
+BENCHMARK(BM_SparFit)
+    ->Args({1, 1})
+    ->Args({60, 1})
+    ->Args({240, 5})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SparPredictHorizon(benchmark::State& state) {
+  const TimeSeries trace = TrainingTrace();
+  SparOptions options;
+  options.period = 1440;
+  options.num_periods = 7;
+  options.num_recent = 30;
+  options.max_tau = 240;
+  options.tau_stride = 5;
+  SparPredictor spar(options);
+  if (!spar.Fit(trace.Slice(0, 28 * 1440)).ok()) {
+    state.SkipWithError("fit failed");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spar.PredictHorizon(trace, 240));
+  }
+}
+BENCHMARK(BM_SparPredictHorizon)->Unit(benchmark::kMicrosecond);
+
+void BM_ArFit(benchmark::State& state) {
+  const TimeSeries training = TrainingTrace().Slice(0, 28 * 1440);
+  ArOptions options;
+  options.order = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    ArPredictor ar(options);
+    benchmark::DoNotOptimize(ar.Fit(training));
+  }
+}
+BENCHMARK(BM_ArFit)->Arg(10)->Arg(30)->Unit(benchmark::kMillisecond);
+
+void BM_ArmaFit(benchmark::State& state) {
+  const TimeSeries training = TrainingTrace().Slice(0, 28 * 1440);
+  ArmaOptions options;
+  for (auto _ : state) {
+    ArmaPredictor arma(options);
+    benchmark::DoNotOptimize(arma.Fit(training));
+  }
+}
+BENCHMARK(BM_ArmaFit)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pstore
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// §5 in-text comparison: at tau = 60 minutes on the B2W load, the MRE is
+// 10.4% for SPAR, 12.2% for ARMA, and 12.5% for AR — AR-based models all
+// work, but SPAR is the most accurate.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "prediction/ar_model.h"
+#include "prediction/arma_model.h"
+#include "prediction/holt_winters.h"
+#include "prediction/naive_models.h"
+#include "prediction/spar_model.h"
+#include "trace/b2w_trace_generator.h"
+
+int main() {
+  using namespace pstore;
+  bench::PrintHeader(
+      "In-text (§5): SPAR vs ARMA vs AR at tau = 60 min on B2W",
+      "MRE 10.4% (SPAR) < 12.2% (ARMA) < 12.5% (AR)");
+
+  B2wTraceOptions trace_options;
+  trace_options.days = 30;
+  trace_options.seed = 42;
+  const TimeSeries trace = GenerateB2wTrace(trace_options);
+  const size_t train_end = 28 * 1440;
+  const TimeSeries training = trace.Slice(0, train_end);
+
+  SparOptions spar_options;
+  spar_options.period = 1440;
+  spar_options.num_periods = 7;
+  spar_options.num_recent = 30;
+  spar_options.max_tau = 60;
+  SparPredictor spar(spar_options);
+
+  ArmaOptions arma_options;
+  arma_options.ar_order = 30;
+  arma_options.ma_order = 10;
+  arma_options.long_ar_order = 60;
+  ArmaPredictor arma(arma_options);
+
+  ArOptions ar_options;
+  ar_options.order = 30;
+  ArPredictor ar(ar_options);
+
+  HoltWintersOptions hw_options;
+  hw_options.period = 1440;
+  HoltWintersPredictor holt_winters(hw_options);
+
+  SeasonalNaivePredictor naive(1440);
+
+  auto csv = bench::OpenCsv("text_model_comparison.csv");
+  if (csv) csv->WriteRow({"model", "mre_percent", "mae", "rmse"});
+
+  std::printf("%-16s %10s %12s %12s\n", "model", "MRE %%", "MAE", "RMSE");
+  LoadPredictor* models[] = {&spar, &arma, &ar, &holt_winters, &naive};
+  for (LoadPredictor* model : models) {
+    const Status fit = model->Fit(training);
+    if (!fit.ok()) {
+      std::printf("%-16s fit failed: %s\n", model->name().c_str(),
+                  fit.ToString().c_str());
+      continue;
+    }
+    const StatusOr<EvaluationResult> eval =
+        EvaluatePredictor(*model, trace, train_end, 60);
+    if (!eval.ok()) {
+      std::printf("%-16s eval failed: %s\n", model->name().c_str(),
+                  eval.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-16s %10.2f %12.0f %12.0f\n", model->name().c_str(),
+                100.0 * eval->mre, eval->mae, eval->rmse);
+    if (csv) {
+      csv->WriteRow({model->name(), std::to_string(100.0 * eval->mre),
+                     std::to_string(eval->mae), std::to_string(eval->rmse)});
+    }
+  }
+  std::printf(
+      "\nShape check: SPAR < ARMA/AR in MRE, with all AR-family models "
+      "workable — the paper's ordering.\n");
+  return 0;
+}

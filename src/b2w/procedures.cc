@@ -1,0 +1,271 @@
+#include "b2w/procedures.h"
+
+#include "b2w/schema.h"
+
+namespace pstore {
+namespace b2w {
+namespace {
+
+TxnResult Commit(int64_t value = 0) {
+  return TxnResult{TxnStatus::kCommitted, value};
+}
+TxnResult Abort() { return TxnResult{TxnStatus::kAborted, 0}; }
+
+// ---- Cart procedures ----------------------------------------------------
+
+// Add a new item to the shopping cart; create the cart if it doesn't
+// exist yet (or if the caller asked for a fresh cart).
+TxnResult AddLineToCart(const TxnContext& ctx) {
+  Row* row = ctx.partition->GetMutable(ctx.bucket, kCartTable, ctx.key);
+  const bool fresh = row == nullptr || (ctx.arg & kNewCartFlag) != 0;
+  const int64_t price_cents = ctx.arg & 0xffff;
+  if (fresh) {
+    Row cart;
+    cart.payload_bytes = kCartBaseBytes + kCartLineBytes;
+    cart.f0 = 1;  // one line
+    cart.f1 = static_cast<int64_t>(CartStatus::kActive);
+    cart.f2 = price_cents;
+    ctx.partition->Put(ctx.bucket, kCartTable, ctx.key, cart);
+    return Commit(1);
+  }
+  Row cart = *row;
+  cart.f0 += 1;
+  cart.f2 += price_cents;
+  cart.payload_bytes += kCartLineBytes;
+  ctx.partition->Put(ctx.bucket, kCartTable, ctx.key, cart);
+  return Commit(cart.f0);
+}
+
+// Remove an item from the cart.
+TxnResult DeleteLineFromCart(const TxnContext& ctx) {
+  Row* row = ctx.partition->GetMutable(ctx.bucket, kCartTable, ctx.key);
+  if (row == nullptr || row->f0 <= 0) return Abort();
+  Row cart = *row;
+  cart.f0 -= 1;
+  cart.payload_bytes -= kCartLineBytes;
+  ctx.partition->Put(ctx.bucket, kCartTable, ctx.key, cart);
+  return Commit(cart.f0);
+}
+
+// Retrieve the items currently in the cart.
+TxnResult GetCart(const TxnContext& ctx) {
+  const Row* row = ctx.partition->Get(ctx.bucket, kCartTable, ctx.key);
+  if (row == nullptr) return Abort();
+  return Commit(row->f0);
+}
+
+// Delete the shopping cart.
+TxnResult DeleteCart(const TxnContext& ctx) {
+  return ctx.partition->Erase(ctx.bucket, kCartTable, ctx.key) ? Commit()
+                                                               : Abort();
+}
+
+// Mark the items in the shopping cart as reserved.
+TxnResult ReserveCart(const TxnContext& ctx) {
+  Row* row = ctx.partition->GetMutable(ctx.bucket, kCartTable, ctx.key);
+  if (row == nullptr) return Abort();
+  row->f1 = static_cast<int64_t>(CartStatus::kReserved);
+  return Commit(row->f0);
+}
+
+// ---- Stock procedures -----------------------------------------------------
+
+// Retrieve the stock inventory information.
+TxnResult GetStock(const TxnContext& ctx) {
+  const Row* row = ctx.partition->Get(ctx.bucket, kStockTable, ctx.key);
+  if (row == nullptr) return Abort();
+  return Commit(row->f0 + row->f1);
+}
+
+// Determine availability of an item.
+TxnResult GetStockQuantity(const TxnContext& ctx) {
+  const Row* row = ctx.partition->Get(ctx.bucket, kStockTable, ctx.key);
+  if (row == nullptr) return Abort();
+  return Commit(row->f0);
+}
+
+// Update the stock inventory to mark an item as reserved.
+TxnResult ReserveStock(const TxnContext& ctx) {
+  Row* row = ctx.partition->GetMutable(ctx.bucket, kStockTable, ctx.key);
+  const int64_t qty = ctx.arg == 0 ? 1 : ctx.arg;
+  if (row == nullptr || row->f0 < qty) return Abort();
+  row->f0 -= qty;
+  row->f1 += qty;
+  return Commit(row->f0);
+}
+
+// Update the stock inventory to mark an item as purchased.
+TxnResult PurchaseStock(const TxnContext& ctx) {
+  Row* row = ctx.partition->GetMutable(ctx.bucket, kStockTable, ctx.key);
+  const int64_t qty = ctx.arg == 0 ? 1 : ctx.arg;
+  if (row == nullptr || row->f1 < qty) return Abort();
+  row->f1 -= qty;
+  row->f2 += qty;
+  return Commit(row->f2);
+}
+
+// Cancel the stock reservation to make an item available again.
+TxnResult CancelStockReservation(const TxnContext& ctx) {
+  Row* row = ctx.partition->GetMutable(ctx.bucket, kStockTable, ctx.key);
+  const int64_t qty = ctx.arg == 0 ? 1 : ctx.arg;
+  if (row == nullptr || row->f1 < qty) return Abort();
+  row->f1 -= qty;
+  row->f0 += qty;
+  return Commit(row->f0);
+}
+
+// ---- Stock-transaction procedures ---------------------------------------
+
+// Create a stock transaction indicating that an item has been reserved.
+TxnResult CreateStockTransaction(const TxnContext& ctx) {
+  Row txn;
+  txn.payload_bytes = kStockTxnRowBytes;
+  txn.f0 = static_cast<int64_t>(StockTxnStatus::kReserved);
+  ctx.partition->Put(ctx.bucket, kStockTxnTable, ctx.key, txn);
+  return Commit();
+}
+
+// Retrieve the stock transaction.
+TxnResult GetStockTransaction(const TxnContext& ctx) {
+  const Row* row = ctx.partition->Get(ctx.bucket, kStockTxnTable, ctx.key);
+  if (row == nullptr) return Abort();
+  return Commit(row->f0);
+}
+
+// Change the status of a stock transaction to purchased or cancelled.
+TxnResult UpdateStockTransaction(const TxnContext& ctx) {
+  Row* row = ctx.partition->GetMutable(ctx.bucket, kStockTxnTable, ctx.key);
+  if (row == nullptr) return Abort();
+  if (ctx.arg == kMarkPurchased) {
+    row->f0 = static_cast<int64_t>(StockTxnStatus::kPurchased);
+  } else if (ctx.arg == kMarkCancelled) {
+    row->f0 = static_cast<int64_t>(StockTxnStatus::kCancelled);
+  } else {
+    return Abort();
+  }
+  return Commit(row->f0);
+}
+
+// ---- Checkout procedures ---------------------------------------------------
+
+// Start the checkout process.
+TxnResult CreateCheckout(const TxnContext& ctx) {
+  Row checkout;
+  checkout.payload_bytes = kCheckoutBaseBytes;
+  checkout.f0 = 0;
+  checkout.f1 = 0;
+  checkout.f3 = static_cast<int64_t>(CheckoutStatus::kOpen);
+  ctx.partition->Put(ctx.bucket, kCheckoutTable, ctx.key, checkout);
+  return Commit();
+}
+
+// Add payment information to the checkout.
+TxnResult CreateCheckoutPayment(const TxnContext& ctx) {
+  Row* row = ctx.partition->GetMutable(ctx.bucket, kCheckoutTable, ctx.key);
+  if (row == nullptr) return Abort();
+  row->f1 = 1;
+  row->f3 = static_cast<int64_t>(CheckoutStatus::kPaid);
+  return Commit();
+}
+
+// Add a new item to the checkout object.
+TxnResult AddLineToCheckout(const TxnContext& ctx) {
+  Row* row = ctx.partition->GetMutable(ctx.bucket, kCheckoutTable, ctx.key);
+  if (row == nullptr) return Abort();
+  Row checkout = *row;
+  checkout.f0 += 1;
+  checkout.f2 += ctx.arg & 0xffff;
+  checkout.payload_bytes += kCheckoutLineBytes;
+  ctx.partition->Put(ctx.bucket, kCheckoutTable, ctx.key, checkout);
+  return Commit(checkout.f0);
+}
+
+// Remove an item from the checkout object.
+TxnResult DeleteLineFromCheckout(const TxnContext& ctx) {
+  Row* row = ctx.partition->GetMutable(ctx.bucket, kCheckoutTable, ctx.key);
+  if (row == nullptr || row->f0 <= 0) return Abort();
+  Row checkout = *row;
+  checkout.f0 -= 1;
+  checkout.payload_bytes -= kCheckoutLineBytes;
+  ctx.partition->Put(ctx.bucket, kCheckoutTable, ctx.key, checkout);
+  return Commit(checkout.f0);
+}
+
+// Retrieve the checkout object.
+TxnResult GetCheckout(const TxnContext& ctx) {
+  const Row* row = ctx.partition->Get(ctx.bucket, kCheckoutTable, ctx.key);
+  if (row == nullptr) return Abort();
+  return Commit(row->f0);
+}
+
+// Delete the checkout object.
+TxnResult DeleteCheckout(const TxnContext& ctx) {
+  return ctx.partition->Erase(ctx.bucket, kCheckoutTable, ctx.key) ? Commit()
+                                                                   : Abort();
+}
+
+}  // namespace
+
+const char* ProcedureName(ProcedureId id) {
+  switch (id) {
+    case kAddLineToCart: return "AddLineToCart";
+    case kDeleteLineFromCart: return "DeleteLineFromCart";
+    case kGetCart: return "GetCart";
+    case kDeleteCart: return "DeleteCart";
+    case kGetStock: return "GetStock";
+    case kGetStockQuantity: return "GetStockQuantity";
+    case kReserveStock: return "ReserveStock";
+    case kPurchaseStock: return "PurchaseStock";
+    case kCancelStockReservation: return "CancelStockReservation";
+    case kCreateStockTransaction: return "CreateStockTransaction";
+    case kReserveCart: return "ReserveCart";
+    case kGetStockTransaction: return "GetStockTransaction";
+    case kUpdateStockTransaction: return "UpdateStockTransaction";
+    case kCreateCheckout: return "CreateCheckout";
+    case kCreateCheckoutPayment: return "CreateCheckoutPayment";
+    case kAddLineToCheckout: return "AddLineToCheckout";
+    case kDeleteLineFromCheckout: return "DeleteLineFromCheckout";
+    case kGetCheckout: return "GetCheckout";
+    case kDeleteCheckout: return "DeleteCheckout";
+    default: return "Unknown";
+  }
+}
+
+Status RegisterProcedures(TxnExecutor* executor) {
+  struct Entry {
+    ProcedureId id;
+    ProcedureHandler handler;
+    double scale;
+  };
+  // Reads are lighter than writes; creation of large objects is heavier.
+  const Entry entries[] = {
+      {kAddLineToCart, AddLineToCart, 1.1},
+      {kDeleteLineFromCart, DeleteLineFromCart, 1.0},
+      {kGetCart, GetCart, 0.8},
+      {kDeleteCart, DeleteCart, 0.9},
+      {kGetStock, GetStock, 0.8},
+      {kGetStockQuantity, GetStockQuantity, 0.7},
+      {kReserveStock, ReserveStock, 1.0},
+      {kPurchaseStock, PurchaseStock, 1.0},
+      {kCancelStockReservation, CancelStockReservation, 1.0},
+      {kCreateStockTransaction, CreateStockTransaction, 1.1},
+      {kReserveCart, ReserveCart, 1.0},
+      {kGetStockTransaction, GetStockTransaction, 0.8},
+      {kUpdateStockTransaction, UpdateStockTransaction, 1.0},
+      {kCreateCheckout, CreateCheckout, 1.2},
+      {kCreateCheckoutPayment, CreateCheckoutPayment, 1.0},
+      {kAddLineToCheckout, AddLineToCheckout, 1.0},
+      {kDeleteLineFromCheckout, DeleteLineFromCheckout, 1.0},
+      {kGetCheckout, GetCheckout, 0.8},
+      {kDeleteCheckout, DeleteCheckout, 0.9},
+  };
+  for (const Entry& entry : entries) {
+    const Status status =
+        executor->RegisterProcedure(entry.id, entry.handler, entry.scale);
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+}  // namespace b2w
+}  // namespace pstore

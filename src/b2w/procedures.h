@@ -1,0 +1,55 @@
+#ifndef PSTORE_B2W_PROCEDURES_H_
+#define PSTORE_B2W_PROCEDURES_H_
+
+#include "common/status.h"
+#include "engine/transaction.h"
+#include "engine/txn_executor.h"
+
+namespace pstore {
+namespace b2w {
+
+// The 19 stored procedures of the B2W benchmark (paper Table 4). All are
+// single-partition transactions keyed on a cart id, checkout id, stock
+// sku, or stock-transaction id.
+enum Procedure : ProcedureId {
+  kAddLineToCart = 0,
+  kDeleteLineFromCart,
+  kGetCart,
+  kDeleteCart,
+  kGetStock,
+  kGetStockQuantity,
+  kReserveStock,
+  kPurchaseStock,
+  kCancelStockReservation,
+  kCreateStockTransaction,
+  kReserveCart,
+  kGetStockTransaction,
+  kUpdateStockTransaction,
+  kCreateCheckout,
+  kCreateCheckoutPayment,
+  kAddLineToCheckout,
+  kDeleteLineFromCheckout,
+  kGetCheckout,
+  kDeleteCheckout,
+  kNumProcedures,
+};
+
+// Human-readable procedure name for reports.
+const char* ProcedureName(ProcedureId id);
+
+// Argument flag for AddLineToCart: start a fresh cart rather than append
+// to an existing one (the driver uses this to recycle the cart pool).
+inline constexpr uint32_t kNewCartFlag = 0x80000000u;
+
+// Argument values for UpdateStockTransaction.
+inline constexpr uint32_t kMarkPurchased = 1;
+inline constexpr uint32_t kMarkCancelled = 2;
+
+// Registers all 19 procedures with the executor, with per-procedure
+// service-time scales (reads are cheaper than writes).
+Status RegisterProcedures(TxnExecutor* executor);
+
+}  // namespace b2w
+}  // namespace pstore
+
+#endif  // PSTORE_B2W_PROCEDURES_H_

@@ -1,0 +1,65 @@
+#ifndef PSTORE_B2W_SCHEMA_H_
+#define PSTORE_B2W_SCHEMA_H_
+
+#include <cstdint>
+
+#include "engine/table.h"
+
+namespace pstore {
+namespace b2w {
+
+// Tables of the B2W benchmark (paper Fig. 14: a simplified database of
+// shopping carts, checkouts, stock items and stock transactions). Each
+// table is partitioned on its single key column.
+inline constexpr TableId kCartTable = 0;
+inline constexpr TableId kCheckoutTable = 1;
+inline constexpr TableId kStockTable = 2;
+inline constexpr TableId kStockTxnTable = 3;
+
+// Key-space tags: the high nibble of a key identifies its entity type so
+// the four id spaces never collide while sharing the 64-bit key space.
+inline constexpr uint64_t kCartKeyBase = 0x1ULL << 60;
+inline constexpr uint64_t kCheckoutKeyBase = 0x2ULL << 60;
+inline constexpr uint64_t kStockKeyBase = 0x3ULL << 60;
+inline constexpr uint64_t kStockTxnKeyBase = 0x4ULL << 60;
+
+inline uint64_t CartKey(uint64_t index) { return kCartKeyBase | index; }
+inline uint64_t CheckoutKey(uint64_t index) {
+  return kCheckoutKeyBase | index;
+}
+inline uint64_t StockKey(uint64_t index) { return kStockKeyBase | index; }
+inline uint64_t StockTxnKey(uint64_t index) {
+  return kStockTxnKeyBase | index;
+}
+
+// Row field meanings.
+//
+// CART rows:      f0 = line count, f1 = status, f2 = total cents.
+// CHECKOUT rows:  f0 = line count, f1 = payment attached (0/1),
+//                 f2 = total cents, f3 = status.
+// STOCK rows:     f0 = available qty, f1 = reserved qty,
+//                 f2 = purchased qty.
+// STOCK_TXN rows: f0 = status.
+
+enum class CartStatus : int64_t { kActive = 0, kReserved = 1 };
+enum class CheckoutStatus : int64_t { kOpen = 0, kPaid = 1 };
+enum class StockTxnStatus : int64_t {
+  kReserved = 0,
+  kPurchased = 1,
+  kCancelled = 2,
+};
+
+// Nominal row sizes used for migration accounting. B2W's cart and
+// checkout objects are sizeable JSON documents; each added line grows
+// them.
+inline constexpr uint32_t kCartBaseBytes = 2048;
+inline constexpr uint32_t kCartLineBytes = 512;
+inline constexpr uint32_t kCheckoutBaseBytes = 1536;
+inline constexpr uint32_t kCheckoutLineBytes = 256;
+inline constexpr uint32_t kStockRowBytes = 256;
+inline constexpr uint32_t kStockTxnRowBytes = 512;
+
+}  // namespace b2w
+}  // namespace pstore
+
+#endif  // PSTORE_B2W_SCHEMA_H_

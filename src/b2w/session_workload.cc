@@ -1,0 +1,155 @@
+#include "b2w/session_workload.h"
+
+#include "b2w/procedures.h"
+#include "b2w/schema.h"
+#include "common/logging.h"
+
+namespace pstore {
+namespace b2w {
+
+SessionWorkload::SessionWorkload(const SessionWorkloadOptions& options)
+    : options_(options) {
+  PSTORE_CHECK(options_.cart_pool >= 1);
+  PSTORE_CHECK(options_.checkout_pool >= 1);
+  PSTORE_CHECK(options_.max_sessions >= 1);
+  sessions_.reserve(options_.max_sessions);
+}
+
+Status SessionWorkload::LoadInitialData(Cluster* cluster) const {
+  if (cluster == nullptr) return Status::InvalidArgument("null cluster");
+  auto put = [cluster](TableId table, uint64_t key, const Row& row) {
+    const BucketId bucket = cluster->BucketForKey(key);
+    cluster->partition(cluster->PartitionOfBucket(bucket))
+        .Put(bucket, table, key, row);
+  };
+  for (uint64_t i = 0; i < options_.cart_pool; ++i) {
+    Row cart;
+    cart.f0 = options_.initial_cart_lines;
+    cart.f1 = static_cast<int64_t>(CartStatus::kActive);
+    cart.f2 = 1999 * options_.initial_cart_lines;
+    cart.payload_bytes =
+        kCartBaseBytes + kCartLineBytes * options_.initial_cart_lines;
+    put(kCartTable, CartKey(i), cart);
+  }
+  for (uint64_t i = 0; i < options_.checkout_pool; ++i) {
+    Row checkout;
+    checkout.f0 = options_.initial_checkout_lines;
+    checkout.f2 = 1999 * options_.initial_checkout_lines;
+    checkout.f3 = static_cast<int64_t>(CheckoutStatus::kOpen);
+    checkout.payload_bytes =
+        kCheckoutBaseBytes +
+        kCheckoutLineBytes * options_.initial_checkout_lines;
+    put(kCheckoutTable, CheckoutKey(i), checkout);
+  }
+  return Status::OK();
+}
+
+TxnRequest SessionWorkload::StartSession(Rng& rng) {
+  Session session;
+  session.cart_index = next_cart_slot_;
+  next_cart_slot_ = (next_cart_slot_ + 1) % options_.cart_pool;
+  session.cart_lines = 1;
+  sessions_.push_back(session);
+  ++sessions_started_;
+
+  TxnRequest request;
+  request.procedure = kAddLineToCart;
+  request.key = CartKey(session.cart_index);
+  request.arg = kNewCartFlag |
+                (500 + static_cast<uint32_t>(rng.NextUint64(9500)));
+  return request;
+}
+
+void SessionWorkload::EndSession(size_t index) {
+  sessions_[index] = sessions_.back();
+  sessions_.pop_back();
+}
+
+TxnRequest SessionWorkload::AdvanceSession(size_t index, Rng& rng) {
+  Session& session = sessions_[index];
+  TxnRequest request;
+  const uint32_t price = 500 + static_cast<uint32_t>(rng.NextUint64(9500));
+
+  switch (session.phase) {
+    case Phase::kShopping: {
+      if (rng.NextBool(options_.abandon_probability)) {
+        request.procedure = kDeleteCart;
+        request.key = CartKey(session.cart_index);
+        ++sessions_abandoned_;
+        EndSession(index);
+        return request;
+      }
+      if (rng.NextBool(options_.checkout_probability)) {
+        session.phase = Phase::kReserve;
+        return AdvanceSession(index, rng);
+      }
+      const double roll = rng.NextDouble();
+      if (roll < 0.60) {
+        request.procedure = kAddLineToCart;
+        request.key = CartKey(session.cart_index);
+        request.arg = price;
+        ++session.cart_lines;
+      } else if (roll < 0.88 || session.cart_lines <= 1) {
+        request.procedure = kGetCart;
+        request.key = CartKey(session.cart_index);
+      } else {
+        request.procedure = kDeleteLineFromCart;
+        request.key = CartKey(session.cart_index);
+        --session.cart_lines;
+      }
+      return request;
+    }
+    case Phase::kReserve:
+      request.procedure = kReserveCart;
+      request.key = CartKey(session.cart_index);
+      session.checkout_index = next_checkout_slot_;
+      next_checkout_slot_ =
+          (next_checkout_slot_ + 1) % options_.checkout_pool;
+      session.phase = Phase::kCreateCheckout;
+      return request;
+    case Phase::kCreateCheckout:
+      request.procedure = kCreateCheckout;
+      request.key = CheckoutKey(session.checkout_index);
+      session.checkout_lines_added = 0;
+      session.phase = Phase::kCheckoutLines;
+      return request;
+    case Phase::kCheckoutLines:
+      request.procedure = kAddLineToCheckout;
+      request.key = CheckoutKey(session.checkout_index);
+      request.arg = price;
+      ++session.checkout_lines_added;
+      if (session.checkout_lines_added >= session.cart_lines) {
+        session.phase = Phase::kPayment;
+      }
+      return request;
+    case Phase::kPayment:
+      request.procedure = kCreateCheckoutPayment;
+      request.key = CheckoutKey(session.checkout_index);
+      session.phase = Phase::kReview;
+      return request;
+    case Phase::kReview:
+      request.procedure = kGetCheckout;
+      request.key = CheckoutKey(session.checkout_index);
+      session.phase = Phase::kCleanup;
+      return request;
+    case Phase::kCleanup:
+      request.procedure = kDeleteCart;
+      request.key = CartKey(session.cart_index);
+      ++sessions_checked_out_;
+      EndSession(index);
+      return request;
+  }
+  PSTORE_CHECK(false);
+}
+
+TxnRequest SessionWorkload::NextTransaction(Rng& rng) {
+  const bool start_new =
+      sessions_.empty() || (sessions_.size() < options_.max_sessions &&
+                            rng.NextBool(options_.new_session_probability));
+  if (start_new) return StartSession(rng);
+  const size_t index = rng.NextUint64(sessions_.size());
+  return AdvanceSession(index, rng);
+}
+
+}  // namespace b2w
+}  // namespace pstore

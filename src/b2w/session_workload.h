@@ -1,0 +1,96 @@
+#ifndef PSTORE_B2W_SESSION_WORKLOAD_H_
+#define PSTORE_B2W_SESSION_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "engine/cluster.h"
+#include "engine/transaction.h"
+
+namespace pstore {
+namespace b2w {
+
+// Options of the session-driven B2W workload.
+struct SessionWorkloadOptions {
+  // Entity pools (ids are recycled, keeping the database size steady).
+  uint64_t cart_pool = 300000;
+  uint64_t checkout_pool = 120000;
+  // Upper bound on concurrently active shopping sessions.
+  size_t max_sessions = 50000;
+  // Probability that the next transaction starts a new session rather
+  // than advancing an existing one.
+  double new_session_probability = 0.10;
+  // Per-step probability that a shopping session is abandoned (cart
+  // deleted, session ends) — the e-commerce reality the paper's intro
+  // cites.
+  double abandon_probability = 0.03;
+  // Probability that a shopping step decides to head to checkout.
+  double checkout_probability = 0.12;
+  // Pre-load shape.
+  int initial_cart_lines = 2;
+  int initial_checkout_lines = 2;
+};
+
+// A customer-session state machine over the B2W procedures: sessions
+// browse (add/remove/read cart lines), then either abandon or run the
+// checkout funnel in order (ReserveCart -> CreateCheckout -> add lines ->
+// CreateCheckoutPayment -> GetCheckout -> DeleteCart). Compared to the
+// i.i.d. mix in Workload, operations on one entity are properly
+// sequenced, so aborts only come from genuine races (e.g., operating on
+// a cart slot recycled by another session) — matching how the original
+// benchmark replays real session logs (paper Appendix C).
+class SessionWorkload {
+ public:
+  explicit SessionWorkload(const SessionWorkloadOptions& options);
+  SessionWorkload(const SessionWorkload&) = delete;
+  SessionWorkload& operator=(const SessionWorkload&) = delete;
+
+  // Pre-populates the cart/checkout pools (same layout as Workload).
+  Status LoadInitialData(Cluster* cluster) const;
+
+  // Produces the next transaction: starts, advances, or completes a
+  // session.
+  TxnRequest NextTransaction(Rng& rng);
+
+  size_t active_sessions() const { return sessions_.size(); }
+  int64_t sessions_started() const { return sessions_started_; }
+  int64_t sessions_checked_out() const { return sessions_checked_out_; }
+  int64_t sessions_abandoned() const { return sessions_abandoned_; }
+
+ private:
+  enum class Phase : uint8_t {
+    kShopping,
+    kReserve,          // emit ReserveCart
+    kCreateCheckout,   // emit CreateCheckout
+    kCheckoutLines,    // emit AddLineToCheckout x cart lines
+    kPayment,          // emit CreateCheckoutPayment
+    kReview,           // emit GetCheckout
+    kCleanup,          // emit DeleteCart, then the session ends
+  };
+  struct Session {
+    uint64_t cart_index = 0;
+    uint64_t checkout_index = 0;
+    int cart_lines = 0;
+    int checkout_lines_added = 0;
+    Phase phase = Phase::kShopping;
+  };
+
+  TxnRequest StartSession(Rng& rng);
+  TxnRequest AdvanceSession(size_t index, Rng& rng);
+  void EndSession(size_t index);
+
+  SessionWorkloadOptions options_;
+  std::vector<Session> sessions_;
+  uint64_t next_cart_slot_ = 0;
+  uint64_t next_checkout_slot_ = 0;
+  int64_t sessions_started_ = 0;
+  int64_t sessions_checked_out_ = 0;
+  int64_t sessions_abandoned_ = 0;
+};
+
+}  // namespace b2w
+}  // namespace pstore
+
+#endif  // PSTORE_B2W_SESSION_WORKLOAD_H_

@@ -1,0 +1,162 @@
+#include "b2w/workload.h"
+
+#include "b2w/procedures.h"
+#include "b2w/schema.h"
+#include "common/logging.h"
+
+namespace pstore {
+namespace b2w {
+namespace {
+
+double TotalWeight(const MixWeights& mix) {
+  return mix.add_line_to_cart + mix.get_cart + mix.delete_line_from_cart +
+         mix.delete_cart + mix.reserve_cart + mix.create_checkout +
+         mix.add_line_to_checkout + mix.create_checkout_payment +
+         mix.get_checkout + mix.delete_line_from_checkout +
+         mix.delete_checkout;
+}
+
+}  // namespace
+
+Workload::Workload(const WorkloadOptions& options) : options_(options) {
+  PSTORE_CHECK(options_.cart_pool >= 1);
+  PSTORE_CHECK(options_.checkout_pool >= 1);
+  total_weight_ = TotalWeight(mix_);
+}
+
+void Workload::set_mix(const MixWeights& mix) {
+  mix_ = mix;
+  total_weight_ = TotalWeight(mix_);
+  PSTORE_CHECK(total_weight_ > 0.0);
+}
+
+Status Workload::LoadInitialData(Cluster* cluster) {
+  if (cluster == nullptr) {
+    return Status::InvalidArgument("null cluster");
+  }
+  auto put = [cluster](TableId table, uint64_t key, const Row& row) {
+    const BucketId bucket = cluster->BucketForKey(key);
+    cluster->partition(cluster->PartitionOfBucket(bucket))
+        .Put(bucket, table, key, row);
+  };
+
+  for (uint64_t i = 0; i < options_.cart_pool; ++i) {
+    Row cart;
+    cart.f0 = options_.initial_cart_lines;
+    cart.f1 = static_cast<int64_t>(CartStatus::kActive);
+    cart.f2 = 1999 * static_cast<int64_t>(options_.initial_cart_lines);
+    cart.payload_bytes =
+        kCartBaseBytes + kCartLineBytes * options_.initial_cart_lines;
+    put(kCartTable, CartKey(i), cart);
+  }
+  for (uint64_t i = 0; i < options_.checkout_pool; ++i) {
+    Row checkout;
+    checkout.f0 = options_.initial_checkout_lines;
+    checkout.f1 = 0;
+    checkout.f2 = 1999 * static_cast<int64_t>(options_.initial_checkout_lines);
+    checkout.f3 = static_cast<int64_t>(CheckoutStatus::kOpen);
+    checkout.payload_bytes =
+        kCheckoutBaseBytes +
+        kCheckoutLineBytes * options_.initial_checkout_lines;
+    put(kCheckoutTable, CheckoutKey(i), checkout);
+  }
+  if (options_.load_stock) {
+    for (uint64_t i = 0; i < options_.stock_pool; ++i) {
+      Row stock;
+      stock.f0 = 100;  // available
+      stock.f1 = 0;    // reserved
+      stock.f2 = 0;    // purchased
+      stock.payload_bytes = kStockRowBytes;
+      put(kStockTable, StockKey(i), stock);
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t Workload::RandomCartIndex(Rng& rng) const {
+  return rng.NextUint64(options_.cart_pool);
+}
+
+uint64_t Workload::RandomCheckoutIndex(Rng& rng) const {
+  return rng.NextUint64(options_.checkout_pool);
+}
+
+TxnRequest Workload::NextTransaction(Rng& rng) {
+  const double roll = rng.NextDouble() * total_weight_;
+  const uint32_t price = 500 + static_cast<uint32_t>(rng.NextUint64(9500));
+  double acc = 0.0;
+
+  TxnRequest request;
+  auto hit = [&](double weight) {
+    acc += weight;
+    return roll < acc;
+  };
+
+  if (hit(mix_.add_line_to_cart)) {
+    request.procedure = kAddLineToCart;
+    // ~25% of AddLineToCart calls start a fresh cart, recycling the
+    // oldest pool slot so the database size stays steady.
+    if (rng.NextBool(0.25)) {
+      request.key = CartKey(next_cart_slot_);
+      next_cart_slot_ = (next_cart_slot_ + 1) % options_.cart_pool;
+      request.arg = kNewCartFlag | price;
+    } else {
+      request.key = CartKey(RandomCartIndex(rng));
+      request.arg = price;
+    }
+    return request;
+  }
+  if (hit(mix_.get_cart)) {
+    request.procedure = kGetCart;
+    request.key = CartKey(RandomCartIndex(rng));
+    return request;
+  }
+  if (hit(mix_.delete_line_from_cart)) {
+    request.procedure = kDeleteLineFromCart;
+    request.key = CartKey(RandomCartIndex(rng));
+    return request;
+  }
+  if (hit(mix_.delete_cart)) {
+    request.procedure = kDeleteCart;
+    request.key = CartKey(RandomCartIndex(rng));
+    return request;
+  }
+  if (hit(mix_.reserve_cart)) {
+    request.procedure = kReserveCart;
+    request.key = CartKey(RandomCartIndex(rng));
+    return request;
+  }
+  if (hit(mix_.create_checkout)) {
+    request.procedure = kCreateCheckout;
+    request.key = CheckoutKey(next_checkout_slot_);
+    next_checkout_slot_ = (next_checkout_slot_ + 1) % options_.checkout_pool;
+    return request;
+  }
+  if (hit(mix_.add_line_to_checkout)) {
+    request.procedure = kAddLineToCheckout;
+    request.key = CheckoutKey(RandomCheckoutIndex(rng));
+    request.arg = price;
+    return request;
+  }
+  if (hit(mix_.create_checkout_payment)) {
+    request.procedure = kCreateCheckoutPayment;
+    request.key = CheckoutKey(RandomCheckoutIndex(rng));
+    return request;
+  }
+  if (hit(mix_.get_checkout)) {
+    request.procedure = kGetCheckout;
+    request.key = CheckoutKey(RandomCheckoutIndex(rng));
+    return request;
+  }
+  if (hit(mix_.delete_line_from_checkout)) {
+    request.procedure = kDeleteLineFromCheckout;
+    request.key = CheckoutKey(RandomCheckoutIndex(rng));
+    return request;
+  }
+  request.procedure = kDeleteCheckout;
+  request.key = CheckoutKey(RandomCheckoutIndex(rng));
+  return request;
+}
+
+}  // namespace b2w
+}  // namespace pstore

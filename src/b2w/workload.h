@@ -1,0 +1,89 @@
+#ifndef PSTORE_B2W_WORKLOAD_H_
+#define PSTORE_B2W_WORKLOAD_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "engine/cluster.h"
+#include "engine/transaction.h"
+
+namespace pstore {
+namespace b2w {
+
+// Configuration of the trace-driven B2W workload.
+struct WorkloadOptions {
+  // Live entity pools. Ids are recycled (a "new" cart overwrites the
+  // oldest slot), so the database size stays steady — matching the
+  // paper's assumption that only active data is kept (§4.2) and its
+  // 1106 MB cart+checkout database (§8.1). The defaults give ~1.1 GB of
+  // nominal data.
+  uint64_t cart_pool = 300000;
+  uint64_t checkout_pool = 120000;
+  // Stock items; loaded only when load_stock is true (the elasticity
+  // experiments replay cart+checkout traffic only, §7).
+  uint64_t stock_pool = 50000;
+  bool load_stock = false;
+  // Initial lines per cart/checkout when pre-loading.
+  int initial_cart_lines = 2;
+  int initial_checkout_lines = 2;
+  uint64_t seed = 17;
+};
+
+// Per-procedure weights of the transaction mix (cart and checkout
+// operations only — the stock database lives on a separate cluster in
+// production, §7). Values are relative weights.
+struct MixWeights {
+  double add_line_to_cart = 30;
+  double get_cart = 24;
+  double delete_line_from_cart = 5;
+  double delete_cart = 3;
+  double reserve_cart = 5;
+  double create_checkout = 6;
+  double add_line_to_checkout = 9;
+  double create_checkout_payment = 6;
+  double get_checkout = 8;
+  double delete_line_from_checkout = 2;
+  double delete_checkout = 2;
+};
+
+// Generates the B2W transaction stream and pre-loads the database. One
+// instance is shared by the workload driver (as its transaction factory)
+// across an experiment.
+class Workload {
+ public:
+  explicit Workload(const WorkloadOptions& options);
+  Workload(const Workload& other) = delete;
+  Workload& operator=(const Workload&) = delete;
+
+  // Pre-populates the cluster with the cart/checkout (and optionally
+  // stock) pools, bypassing the execution queues. Call once, before the
+  // driver starts.
+  Status LoadInitialData(Cluster* cluster);
+
+  // Produces the next transaction according to the mix. `rng` is the
+  // driver's generator, so replays are deterministic.
+  TxnRequest NextTransaction(Rng& rng);
+
+  const WorkloadOptions& options() const { return options_; }
+  const MixWeights& mix() const { return mix_; }
+  void set_mix(const MixWeights& mix);
+
+ private:
+  // Picks a live id (uniform over the pool — B2W cart keys are randomly
+  // generated, giving the near-uniform partition load measured in §8.1).
+  uint64_t RandomCartIndex(Rng& rng) const;
+  uint64_t RandomCheckoutIndex(Rng& rng) const;
+
+  WorkloadOptions options_;
+  MixWeights mix_;
+  double total_weight_ = 0.0;
+  // Rolling slot for cart recycling: "new" carts overwrite this index.
+  uint64_t next_cart_slot_ = 0;
+  uint64_t next_checkout_slot_ = 0;
+};
+
+}  // namespace b2w
+}  // namespace pstore
+
+#endif  // PSTORE_B2W_WORKLOAD_H_

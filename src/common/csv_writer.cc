@@ -1,0 +1,46 @@
+#include "common/csv_writer.h"
+
+#include <cstdio>
+
+namespace pstore {
+namespace {
+
+bool NeedsQuoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string Quote(const std::string& cell) {
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  if (!out_.good()) return;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << (NeedsQuoting(cells[i]) ? Quote(cells[i]) : cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::WriteNumericRow(const std::vector<double>& cells) {
+  if (!out_.good()) return;
+  char buf[64];
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    std::snprintf(buf, sizeof(buf), "%.6g", cells[i]);
+    out_ << buf;
+  }
+  out_ << '\n';
+}
+
+}  // namespace pstore

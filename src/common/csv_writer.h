@@ -1,0 +1,37 @@
+#ifndef PSTORE_COMMON_CSV_WRITER_H_
+#define PSTORE_COMMON_CSV_WRITER_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pstore {
+
+// Small CSV emitter used by the benchmark harnesses to persist the series
+// behind each figure. Writing is best-effort: benches print their tables
+// to stdout regardless, and CSV output is an optional extra for plotting.
+class CsvWriter {
+ public:
+  // Opens `path` for writing, creating parent directories is NOT attempted;
+  // callers pass paths inside an existing directory. Check ok() after
+  // construction.
+  explicit CsvWriter(const std::string& path);
+
+  bool ok() const { return out_.good(); }
+
+  // Writes a header or data row; values are joined with commas. Strings
+  // containing commas/quotes are quoted per RFC 4180.
+  void WriteRow(const std::vector<std::string>& cells);
+
+  // Convenience: formats doubles with %.6g.
+  void WriteNumericRow(const std::vector<double>& cells);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace pstore
+
+#endif  // PSTORE_COMMON_CSV_WRITER_H_

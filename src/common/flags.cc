@@ -1,0 +1,77 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+namespace pstore {
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    if (body.empty()) {
+      return Status::InvalidArgument("bare '--' is not a flag");
+    }
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--name value" when the next token is not itself a flag;
+    // otherwise boolean true.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[body] = argv[i + 1];
+      ++i;
+    } else {
+      flags_[body] = "true";
+    }
+  }
+  return Status::OK();
+}
+
+bool FlagParser::Has(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& default_value) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? default_value : it->second;
+}
+
+StatusOr<int64_t> FlagParser::GetInt(const std::string& name,
+                                     int64_t default_value) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  char* end = nullptr;
+  const long long value = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("flag --" + name + " is not an integer: " +
+                                   it->second);
+  }
+  return static_cast<int64_t>(value);
+}
+
+StatusOr<double> FlagParser::GetDouble(const std::string& name,
+                                       double default_value) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("flag --" + name + " is not a number: " +
+                                   it->second);
+  }
+  return value;
+}
+
+bool FlagParser::GetBool(const std::string& name, bool default_value) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+}  // namespace pstore

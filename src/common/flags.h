@@ -1,0 +1,46 @@
+#ifndef PSTORE_COMMON_FLAGS_H_
+#define PSTORE_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pstore {
+
+// Minimal command-line flag parser for the repo's CLI tools. Accepts
+// "--name=value", "--name value", and bare "--name" (boolean true);
+// everything else is a positional argument. No registration needed:
+// tools query parsed flags with typed getters and defaults.
+class FlagParser {
+ public:
+  // Parses argv (excluding argv[0]). Returns an error on malformed
+  // input such as a value-expecting flag at the end ("--x" followed by
+  // nothing is fine: it becomes boolean true).
+  Status Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  // Return kInvalidArgument if the flag is present but not parseable.
+  StatusOr<int64_t> GetInt(const std::string& name,
+                           int64_t default_value) const;
+  StatusOr<double> GetDouble(const std::string& name,
+                             double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // All parsed flags, for validation ("unknown flag" messages).
+  const std::map<std::string, std::string>& flags() const { return flags_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace pstore
+
+#endif  // PSTORE_COMMON_FLAGS_H_

@@ -1,0 +1,114 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.h"
+
+namespace pstore {
+namespace {
+
+// Values below 2^kLinearBits get exact (width-1) buckets; above that, each
+// power-of-two octave is split into 2^kLinearBits sub-buckets, bounding the
+// relative quantile error at ~1/64.
+constexpr int kLinearBits = 6;
+constexpr int64_t kLinearMax = int64_t{1} << kLinearBits;  // 64
+
+}  // namespace
+
+Histogram::Histogram() = default;
+
+int Histogram::BucketFor(int64_t value) {
+  if (value < 0) value = 0;
+  if (value < kLinearMax) return static_cast<int>(value);
+  const int msb = 63 - std::countl_zero(static_cast<uint64_t>(value));
+  const int shift = msb - kLinearBits;
+  const int sub =
+      static_cast<int>((value - (int64_t{1} << msb)) >> shift);
+  return static_cast<int>(kLinearMax) + (msb - kLinearBits) * 64 + sub;
+}
+
+int64_t Histogram::BucketUpperEdge(int bucket) {
+  if (bucket < kLinearMax) return bucket;
+  const int rel = bucket - static_cast<int>(kLinearMax);
+  const int oct = rel / 64 + kLinearBits;
+  const int sub = rel % 64;
+  const int shift = oct - kLinearBits;
+  const int64_t lower =
+      (int64_t{1} << oct) + (static_cast<int64_t>(sub) << shift);
+  return lower + (int64_t{1} << shift) - 1;
+}
+
+void Histogram::Record(int64_t value) { RecordMultiple(value, 1); }
+
+void Histogram::RecordMultiple(int64_t value, int64_t count) {
+  PSTORE_CHECK(count >= 0);
+  if (count == 0) return;
+  if (value < 0) value = 0;
+  const int bucket = BucketFor(value);
+  if (static_cast<size_t>(bucket) >= buckets_.size()) {
+    buckets_.resize(bucket + 1, 0);
+  }
+  buckets_[bucket] += count;
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += count;
+  sum_ += value * count;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+int64_t Histogram::min() const { return count_ == 0 ? 0 : min_; }
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+int64_t Histogram::ValueAtQuantile(double quantile) const {
+  if (count_ == 0) return 0;
+  quantile = std::clamp(quantile, 0.0, 1.0);
+  // Number of values that must be <= the answer.
+  const int64_t target = std::max<int64_t>(
+      1, static_cast<int64_t>(quantile * static_cast<double>(count_) + 0.5));
+  int64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      return std::min(BucketUpperEdge(static_cast<int>(i)), max_);
+    }
+  }
+  return max_;
+}
+
+}  // namespace pstore

@@ -1,0 +1,61 @@
+#ifndef PSTORE_COMMON_HISTOGRAM_H_
+#define PSTORE_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace pstore {
+
+// Log-bucketed histogram of non-negative values (typically latencies in
+// microseconds). Buckets grow geometrically so that percentile estimates
+// keep a bounded relative error (~2%) over many orders of magnitude,
+// similar in spirit to HdrHistogram. Recording is O(1); percentile
+// queries are O(#buckets).
+class Histogram {
+ public:
+  Histogram();
+
+  // Records a single value. Negative values are clamped to zero.
+  void Record(int64_t value);
+
+  // Records `count` occurrences of `value`.
+  void RecordMultiple(int64_t value, int64_t count);
+
+  // Merges another histogram into this one.
+  void Merge(const Histogram& other);
+
+  // Removes all recorded values.
+  void Reset();
+
+  int64_t count() const { return count_; }
+  int64_t min() const;
+  int64_t max() const { return max_; }
+  double mean() const;
+
+  // Returns the smallest recorded value v such that at least
+  // `quantile` (in [0,1]) of recorded values are <= v. Returns 0 for an
+  // empty histogram. The result is the upper edge of the containing
+  // bucket, so it over-estimates by at most one bucket width.
+  int64_t ValueAtQuantile(double quantile) const;
+
+  // Convenience percentile accessors used throughout the benchmarks.
+  int64_t P50() const { return ValueAtQuantile(0.50); }
+  int64_t P95() const { return ValueAtQuantile(0.95); }
+  int64_t P99() const { return ValueAtQuantile(0.99); }
+
+ private:
+  // Maps a value to its bucket index.
+  static int BucketFor(int64_t value);
+  // Upper edge (inclusive representative value) for a bucket.
+  static int64_t BucketUpperEdge(int bucket);
+
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+}  // namespace pstore
+
+#endif  // PSTORE_COMMON_HISTOGRAM_H_

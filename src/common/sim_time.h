@@ -1,0 +1,32 @@
+#ifndef PSTORE_COMMON_SIM_TIME_H_
+#define PSTORE_COMMON_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace pstore {
+
+// Simulated time, in microseconds since the start of the experiment.
+// All engine and controller code runs on simulated time so experiments
+// covering days of workload execute in seconds and are fully deterministic.
+using SimTime = int64_t;
+
+inline constexpr SimTime kMicrosecond = 1;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+inline constexpr SimTime kMinute = 60 * kSecond;
+inline constexpr SimTime kHour = 60 * kMinute;
+inline constexpr SimTime kDay = 24 * kHour;
+
+// Converts simulated time to floating-point seconds (for reporting).
+inline double ToSeconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+// Converts floating-point seconds to simulated time (rounds toward zero).
+inline SimTime FromSeconds(double seconds) {
+  return static_cast<SimTime>(seconds * static_cast<double>(kSecond));
+}
+
+}  // namespace pstore
+
+#endif  // PSTORE_COMMON_SIM_TIME_H_

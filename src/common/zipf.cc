@@ -1,0 +1,37 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pstore {
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  PSTORE_CHECK(n_ >= 1);
+  PSTORE_CHECK(theta_ >= 0.0);
+  cdf_.resize(n_);
+  double sum = 0.0;
+  for (uint64_t r = 0; r < n_; ++r) {
+    sum += 1.0 / std::pow(static_cast<double>(r + 1), theta_);
+    cdf_[r] = sum;
+  }
+  for (double& v : cdf_) v /= sum;
+}
+
+uint64_t ZipfGenerator::NextRank(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+uint64_t ZipfGenerator::NextKey(Rng& rng) const {
+  // Fibonacci-hash scatter: bijective over 2^64, then reduced mod n.
+  // Collisions from the mod reduction only merge popularity mass, never
+  // lose keys.
+  const uint64_t rank = NextRank(rng);
+  return (rank * 0x9e3779b97f4a7c15ULL) % n_;
+}
+
+}  // namespace pstore

@@ -1,0 +1,41 @@
+#ifndef PSTORE_COMMON_ZIPF_H_
+#define PSTORE_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pstore {
+
+// Zipf-distributed sampler over [0, n): rank r is drawn with probability
+// proportional to 1 / (r+1)^theta. theta = 0 is uniform; theta ~ 0.99 is
+// the classic YCSB default; larger is more skewed. Uses the
+// precomputed-CDF + binary-search method (O(log n) per sample, O(n)
+// setup), which is exact and fast enough for n up to a few million.
+//
+// Hot ranks are scattered over the key space by a multiplicative hash so
+// that "popular" keys do not cluster in contiguous buckets.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta);
+
+  // Draws a rank in [0, n): rank 0 is the most popular.
+  uint64_t NextRank(Rng& rng) const;
+
+  // Draws a key in [0, n): the rank scattered over the key space, so
+  // popularity is spread across buckets/partitions.
+  uint64_t NextKey(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace pstore
+
+#endif  // PSTORE_COMMON_ZIPF_H_

@@ -1,0 +1,50 @@
+#ifndef PSTORE_CONTROLLER_CONTROLLER_H_
+#define PSTORE_CONTROLLER_CONTROLLER_H_
+
+#include <string>
+
+#include "engine/cluster.h"
+#include "engine/event_loop.h"
+#include "engine/txn_executor.h"
+
+namespace pstore {
+
+// Base class for elasticity controllers driving a simulated cluster.
+// Controllers tick on trace-slot boundaries, observe the measured load,
+// and decide when to start reconfigurations.
+class ElasticityController {
+ public:
+  virtual ~ElasticityController() = default;
+
+  // Begins ticking on the event loop. Call once, before the driver
+  // starts producing load.
+  virtual void Start() = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// Samples the executor's submission counter once per slot and converts
+// it to an offered rate in transactions per simulated second.
+class LoadMonitor {
+ public:
+  LoadMonitor(TxnExecutor* executor, double slot_sim_seconds)
+      : executor_(executor), slot_sim_seconds_(slot_sim_seconds) {}
+
+  // Returns the average rate since the previous call (txn/s).
+  double SampleSlotRate() {
+    const int64_t now_count = executor_->submitted_count();
+    const double rate = static_cast<double>(now_count - last_count_) /
+                        slot_sim_seconds_;
+    last_count_ = now_count;
+    return rate;
+  }
+
+ private:
+  TxnExecutor* executor_;
+  double slot_sim_seconds_;
+  int64_t last_count_ = 0;
+};
+
+}  // namespace pstore
+
+#endif  // PSTORE_CONTROLLER_CONTROLLER_H_

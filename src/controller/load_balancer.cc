@@ -1,0 +1,99 @@
+#include "controller/load_balancer.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace pstore {
+
+HotSpotBalancer::HotSpotBalancer(EventLoop* loop, Cluster* cluster,
+                                 MigrationManager* migration,
+                                 const LoadBalancerOptions& options)
+    : loop_(loop), cluster_(cluster), migration_(migration),
+      options_(options) {
+  PSTORE_CHECK(loop_ != nullptr && cluster_ != nullptr);
+  PSTORE_CHECK(options_.sample_slots >= 1);
+  PSTORE_CHECK(options_.imbalance_threshold > 1.0);
+}
+
+void HotSpotBalancer::Start() {
+  loop_->ScheduleAfter(FromSeconds(options_.slot_sim_seconds),
+                       [this] { Tick(); });
+}
+
+void HotSpotBalancer::Tick() {
+  if (++slots_since_sample_ >= options_.sample_slots) {
+    slots_since_sample_ = 0;
+    const bool migrating =
+        migration_ != nullptr && migration_->InProgress();
+    if (!migrating) {
+      Rebalance();
+    }
+    // Start a fresh monitoring window either way.
+    const int partitions = cluster_->total_active_partitions();
+    for (int p = 0; p < partitions; ++p) {
+      cluster_->partition(p).ResetAccessCounts();
+    }
+  }
+  loop_->ScheduleAfter(FromSeconds(options_.slot_sim_seconds),
+                       [this] { Tick(); });
+}
+
+void HotSpotBalancer::Rebalance() {
+  const int partitions = cluster_->total_active_partitions();
+  if (partitions < 2) return;
+  std::vector<int64_t> accesses(partitions);
+  int64_t total = 0;
+  for (int p = 0; p < partitions; ++p) {
+    accesses[p] = cluster_->partition(p).TotalAccesses();
+    total += accesses[p];
+  }
+  if (total == 0) return;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(partitions);
+  const auto hottest_it = std::max_element(accesses.begin(), accesses.end());
+  last_imbalance_ = static_cast<double>(*hottest_it) / mean;
+  if (last_imbalance_ < options_.imbalance_threshold) return;
+
+  ++rebalance_rounds_;
+  for (int move = 0; move < options_.max_moves_per_round; ++move) {
+    // Re-evaluate after each relocation (counts move with the bucket).
+    int hot = 0;
+    int cold = 0;
+    for (int p = 1; p < partitions; ++p) {
+      if (accesses[p] > accesses[hot]) hot = p;
+      if (accesses[p] < accesses[cold]) cold = p;
+    }
+    if (static_cast<double>(accesses[hot]) <
+        options_.imbalance_threshold * mean) {
+      break;
+    }
+    // Pick the largest bucket that still guarantees strict improvement:
+    // moving b <= (hot - cold)/2 makes max(hot - b, cold + b) < hot, so
+    // the rebalance monotonically shrinks the spread and cannot
+    // ping-pong a single mega-hot bucket between partitions.
+    const int64_t cap = (accesses[hot] - accesses[cold]) / 2;
+    if (cap <= 0) break;
+    int64_t bucket_accesses = 0;
+    const BucketId bucket =
+        cluster_->partition(hot).HottestBucketBelow(cap, &bucket_accesses);
+    if (bucket < 0 || bucket_accesses <= 0) break;
+
+    const int64_t bucket_bytes =
+        cluster_->partition(hot).BucketBytes(bucket);
+    cluster_->MoveBucket(bucket, cold);
+    // The relocation's extraction/loading work competes with
+    // transactions on both partitions, like a migration chunk.
+    const SimTime block =
+        FromSeconds(static_cast<double>(bucket_bytes) /
+                    options_.extract_rate_bytes_per_sec);
+    cluster_->partition(hot).Submit(loop_->now(), block);
+    cluster_->partition(cold).Submit(loop_->now(), block);
+    accesses[hot] -= bucket_accesses;
+    accesses[cold] += bucket_accesses;
+    ++buckets_moved_;
+  }
+}
+
+}  // namespace pstore

@@ -1,0 +1,121 @@
+#include "controller/predictive_controller.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pstore {
+
+PredictiveController::PredictiveController(
+    EventLoop* loop, Cluster* cluster, TxnExecutor* executor,
+    MigrationManager* migration, OnlinePredictor* predictor,
+    const PredictiveControllerOptions& options)
+    : loop_(loop),
+      cluster_(cluster),
+      migration_(migration),
+      predictor_(predictor),
+      options_(options),
+      monitor_(executor, options.slot_sim_seconds),
+      planner_(options.planner_params) {
+  PSTORE_CHECK(loop_ != nullptr && cluster_ != nullptr);
+  PSTORE_CHECK(migration_ != nullptr && predictor_ != nullptr);
+  PSTORE_CHECK(options_.plan_slot_factor >= 1);
+  PSTORE_CHECK(options_.horizon_plan_slots >= 2);
+}
+
+void PredictiveController::Start() {
+  loop_->ScheduleAfter(FromSeconds(options_.slot_sim_seconds),
+                       [this] { Tick(); });
+}
+
+void PredictiveController::Tick() {
+  ++ticks_;
+  last_rate_ = monitor_.SampleSlotRate();
+  predictor_->Observe(last_rate_);
+  if (!migration_->InProgress() &&
+      ticks_ % std::max(1, options_.plan_interval_slots) == 0) {
+    Plan();
+  }
+  loop_->ScheduleAfter(FromSeconds(options_.slot_sim_seconds),
+                       [this] { Tick(); });
+}
+
+std::vector<double> PredictiveController::BuildPlanningLoad(
+    double current_rate, const std::vector<double>& forecast) const {
+  std::vector<double> load;
+  load.reserve(options_.horizon_plan_slots + 1);
+  load.push_back(current_rate);
+  for (int slot = 0; slot < options_.horizon_plan_slots; ++slot) {
+    double peak = 0.0;
+    for (int j = 0; j < options_.plan_slot_factor; ++j) {
+      const size_t idx =
+          static_cast<size_t>(slot) * options_.plan_slot_factor + j;
+      if (idx < forecast.size()) peak = std::max(peak, forecast[idx]);
+    }
+    load.push_back(peak);
+  }
+  return load;
+}
+
+void PredictiveController::Plan() {
+  const size_t fine_horizon = static_cast<size_t>(
+      options_.horizon_plan_slots * options_.plan_slot_factor);
+  StatusOr<std::vector<double>> forecast =
+      predictor_->PredictHorizon(fine_horizon);
+  if (!forecast.ok()) return;  // not enough history yet
+
+  const std::vector<double> load = BuildPlanningLoad(last_rate_, *forecast);
+  ++plans_computed_;
+  StatusOr<PlanResult> plan =
+      planner_.BestMoves(load, cluster_->active_nodes());
+
+  if (!plan.ok()) {
+    // No feasible plan: the predictions (or current load) exceed what we
+    // can scale to in time. React immediately: scale out to whatever the
+    // peak needs, at the regular or boosted migration rate (§4.3.1).
+    ++infeasible_plans_;
+    const double peak = *std::max_element(load.begin(), load.end());
+    const int target =
+        std::min(planner_.NodesFor(peak), cluster_->options().max_nodes);
+    if (target == cluster_->active_nodes()) return;
+    const double multiplier = options_.fast_reactive_fallback
+                                  ? options_.reactive_rate_multiplier
+                                  : 1.0;
+    scale_in_votes_ = 0;
+    if (migration_->StartReconfiguration(target, multiplier, nullptr).ok()) {
+      ++reconfigurations_started_;
+    }
+    return;
+  }
+
+  const Move* first = plan->FirstReconfiguration();
+  if (first == nullptr) {
+    scale_in_votes_ = 0;
+    return;
+  }
+  // Receding horizon: only the first move matters, and only once its
+  // start time arrives. We re-plan every slot, so "starts within the
+  // current planning slot" means "start now".
+  if (first->start_slot > 0) {
+    if (first->nodes_after >= first->nodes_before) scale_in_votes_ = 0;
+    return;
+  }
+  if (first->nodes_after < first->nodes_before) {
+    // Scale-in: require N consecutive cycles to agree (§6) to avoid
+    // flapping on transient dips.
+    ++scale_in_votes_;
+    if (scale_in_votes_ < options_.scale_in_confirm_cycles) return;
+  }
+  scale_in_votes_ = 0;
+  // The plan may want more machines than physically exist; peg at the
+  // cluster ceiling rather than stalling (the capacity shortfall then
+  // shows up as violations, which is the honest outcome).
+  const int target =
+      std::min(first->nodes_after, cluster_->options().max_nodes);
+  if (target == cluster_->active_nodes()) return;
+  if (migration_->StartReconfiguration(target, 1.0, nullptr).ok()) {
+    ++reconfigurations_started_;
+  }
+}
+
+}  // namespace pstore

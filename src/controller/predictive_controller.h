@@ -1,0 +1,90 @@
+#ifndef PSTORE_CONTROLLER_PREDICTIVE_CONTROLLER_H_
+#define PSTORE_CONTROLLER_PREDICTIVE_CONTROLLER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "controller/controller.h"
+#include "migration/squall_migrator.h"
+#include "planner/dp_planner.h"
+#include "prediction/online_predictor.h"
+
+namespace pstore {
+
+// Options of the P-Store Predictive Controller (paper §6).
+struct PredictiveControllerOptions {
+  // Duration of one trace slot in simulated seconds (the monitoring and
+  // prediction granularity).
+  double slot_sim_seconds = 6.0;
+  // The dynamic program plans on coarser slots: one planning slot =
+  // `plan_slot_factor` trace slots (the paper plans at 5-minute
+  // granularity on a 1-minute trace).
+  int plan_slot_factor = 5;
+  // Prediction horizon, in planning slots. Must be long enough for two
+  // reconfigurations with parallel migration (>= 2D/P, §5 discussion).
+  int horizon_plan_slots = 48;
+  // Run the planner every this many monitoring ticks (default: once per
+  // planning slot). Monitoring still happens every tick.
+  int plan_interval_slots = 5;
+  // Consecutive planning cycles that must agree before a scale-in is
+  // executed (§6: "waits for three cycles of predictions").
+  int scale_in_confirm_cycles = 3;
+  // When predictions miss a spike and no feasible plan exists, either
+  // migrate at the regular rate (false, the paper's default) or boost
+  // the migration rate (true), §4.3.1 options (1)/(2).
+  bool fast_reactive_fallback = false;
+  double reactive_rate_multiplier = 8.0;
+  // Model parameters (Q, Q-hat, D in *planning slots*, P).
+  PlannerParams planner_params;
+};
+
+// The P-Store Predictive Controller: monitors aggregate load, feeds the
+// online predictor, runs the DP planner over the predicted horizon, and
+// executes only the first move of each plan (receding-horizon control),
+// falling back to reactive scale-out when no feasible plan exists.
+class PredictiveController : public ElasticityController {
+ public:
+  PredictiveController(EventLoop* loop, Cluster* cluster,
+                       TxnExecutor* executor, MigrationManager* migration,
+                       OnlinePredictor* predictor,
+                       const PredictiveControllerOptions& options);
+
+  void Start() override;
+  std::string name() const override { return "P-Store"; }
+
+  // Counters for reports and tests.
+  int64_t plans_computed() const { return plans_computed_; }
+  int64_t infeasible_plans() const { return infeasible_plans_; }
+  int64_t reconfigurations_started() const {
+    return reconfigurations_started_;
+  }
+
+ private:
+  void Tick();
+  void Plan();
+  // Converts the trace-slot-granularity forecast into planning-slot
+  // loads: L[0] is the current measured rate; L[i] is the max predicted
+  // rate within planning slot i (conservative within the slot).
+  std::vector<double> BuildPlanningLoad(double current_rate,
+                                        const std::vector<double>& forecast)
+      const;
+
+  EventLoop* loop_;
+  Cluster* cluster_;
+  MigrationManager* migration_;
+  OnlinePredictor* predictor_;
+  PredictiveControllerOptions options_;
+  LoadMonitor monitor_;
+  DpPlanner planner_;
+  double last_rate_ = 0.0;
+  int64_t ticks_ = 0;
+  int scale_in_votes_ = 0;
+  int64_t plans_computed_ = 0;
+  int64_t infeasible_plans_ = 0;
+  int64_t reconfigurations_started_ = 0;
+};
+
+}  // namespace pstore
+
+#endif  // PSTORE_CONTROLLER_PREDICTIVE_CONTROLLER_H_

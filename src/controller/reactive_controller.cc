@@ -1,0 +1,76 @@
+#include "controller/reactive_controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pstore {
+
+ReactiveController::ReactiveController(
+    EventLoop* loop, Cluster* cluster, TxnExecutor* executor,
+    MigrationManager* migration, const ReactiveControllerOptions& options)
+    : loop_(loop),
+      cluster_(cluster),
+      migration_(migration),
+      options_(options),
+      monitor_(executor, options.slot_sim_seconds) {
+  PSTORE_CHECK(loop_ != nullptr && cluster_ != nullptr &&
+               migration_ != nullptr);
+  PSTORE_CHECK(options_.planner_params.target_rate_per_node > 0.0);
+  PSTORE_CHECK(options_.planner_params.max_rate_per_node > 0.0);
+}
+
+void ReactiveController::Start() {
+  loop_->ScheduleAfter(FromSeconds(options_.slot_sim_seconds),
+                       [this] { Tick(); });
+}
+
+void ReactiveController::Tick() {
+  const double rate = monitor_.SampleSlotRate();
+  const int nodes = cluster_->active_nodes();
+  const double q = options_.planner_params.target_rate_per_node;
+  const double q_hat = options_.planner_params.max_rate_per_node;
+
+  if (!migration_->InProgress()) {
+    const double max_capacity = q_hat * nodes;
+    if (rate > options_.high_watermark * max_capacity) {
+      // Overload detected. E-Store first spends a detailed-monitoring
+      // phase confirming it and choosing what to move; the system keeps
+      // suffering meanwhile.
+      consecutive_low_slots_ = 0;
+      ++consecutive_overload_slots_;
+      if (consecutive_overload_slots_ >= options_.detection_slots) {
+        consecutive_overload_slots_ = 0;
+        // Size the new cluster for the *current* load plus headroom (a
+        // reactive system has no forecast), and migrate while
+        // saturated — the reactive cost.
+        const double sized_load = rate * (1.0 + options_.headroom);
+        const int target =
+            std::min(cluster_->options().max_nodes,
+                     std::max(nodes + 1,
+                              static_cast<int>(std::ceil(sized_load / q))));
+        if (migration_->StartReconfiguration(target, 1.0, nullptr).ok()) {
+          ++scale_outs_;
+        }
+      }
+    } else if (nodes > 1 &&
+               rate < options_.low_watermark * q * (nodes - 1)) {
+      consecutive_overload_slots_ = 0;
+      ++consecutive_low_slots_;
+      if (consecutive_low_slots_ >= options_.low_slots_required) {
+        consecutive_low_slots_ = 0;
+        if (migration_->StartReconfiguration(nodes - 1, 1.0, nullptr).ok()) {
+          ++scale_ins_;
+        }
+      }
+    } else {
+      consecutive_low_slots_ = 0;
+      consecutive_overload_slots_ = 0;
+    }
+  }
+  loop_->ScheduleAfter(FromSeconds(options_.slot_sim_seconds),
+                       [this] { Tick(); });
+}
+
+}  // namespace pstore

@@ -1,0 +1,71 @@
+#ifndef PSTORE_CONTROLLER_REACTIVE_CONTROLLER_H_
+#define PSTORE_CONTROLLER_REACTIVE_CONTROLLER_H_
+
+#include <string>
+
+#include "controller/controller.h"
+#include "migration/squall_migrator.h"
+#include "planner/move_model.h"
+
+namespace pstore {
+
+// Options of the E-Store-style reactive baseline (paper §2, §8.2): the
+// system monitors load and reconfigures only after demand already
+// exceeds (or falls well below) the current capacity.
+struct ReactiveControllerOptions {
+  double slot_sim_seconds = 6.0;
+  // Scale out when measured load exceeds this fraction of the current
+  // nodes' Q-hat capacity. A reactive system has not done P-Store's
+  // offline calibration of Q-hat; it reacts to observed stress, which on
+  // our engine (saturation at ~Q-hat/0.8) means load well above Q-hat.
+  // The default of 1.1 models that (paper §1: reconfiguration is only
+  // triggered when the system is already under heavy load); lowering it
+  // adds a proactive buffer at higher cost (the Fig. 12 tradeoff).
+  double high_watermark = 1.1;
+  // E-Store first runs a detailed-monitoring phase after detecting an
+  // imbalance (§2); reconfiguration starts only after the overload has
+  // persisted this many slots.
+  int detection_slots = 5;
+  // Scale in (by one node) when load stays below this fraction of the
+  // *shrunk* cluster's target capacity...
+  double low_watermark = 0.7;
+  // ...for this many consecutive slots.
+  int low_slots_required = 10;
+  // Extra headroom applied when sizing the scale-out target, as a
+  // fraction of measured load (the "buffer" swept in Fig. 12).
+  double headroom = 0.10;
+  PlannerParams planner_params;
+};
+
+// Reactive provisioning: detect overload, then reconfigure while the
+// system is already at peak capacity — the behaviour whose latency cost
+// P-Store is designed to avoid.
+class ReactiveController : public ElasticityController {
+ public:
+  ReactiveController(EventLoop* loop, Cluster* cluster, TxnExecutor* executor,
+                     MigrationManager* migration,
+                     const ReactiveControllerOptions& options);
+
+  void Start() override;
+  std::string name() const override { return "Reactive"; }
+
+  int64_t scale_outs() const { return scale_outs_; }
+  int64_t scale_ins() const { return scale_ins_; }
+
+ private:
+  void Tick();
+
+  EventLoop* loop_;
+  Cluster* cluster_;
+  MigrationManager* migration_;
+  ReactiveControllerOptions options_;
+  LoadMonitor monitor_;
+  int consecutive_low_slots_ = 0;
+  int consecutive_overload_slots_ = 0;
+  int64_t scale_outs_ = 0;
+  int64_t scale_ins_ = 0;
+};
+
+}  // namespace pstore
+
+#endif  // PSTORE_CONTROLLER_REACTIVE_CONTROLLER_H_

@@ -1,0 +1,42 @@
+#include "controller/simple_controller.h"
+
+#include "common/logging.h"
+
+namespace pstore {
+
+SimpleController::SimpleController(EventLoop* loop, Cluster* cluster,
+                                   MigrationManager* migration,
+                                   const SimpleControllerOptions& options)
+    : loop_(loop), cluster_(cluster), migration_(migration),
+      options_(options) {
+  PSTORE_CHECK(loop_ != nullptr && cluster_ != nullptr &&
+               migration_ != nullptr);
+  PSTORE_CHECK(options_.slots_per_day >= 1);
+  PSTORE_CHECK(options_.day_nodes >= 1 && options_.night_nodes >= 1);
+}
+
+int SimpleController::DesiredNodes(int slot_of_day) const {
+  const bool daytime =
+      slot_of_day >= options_.up_slot && slot_of_day < options_.down_slot;
+  return daytime ? options_.day_nodes : options_.night_nodes;
+}
+
+void SimpleController::Start() {
+  loop_->ScheduleAfter(FromSeconds(options_.slot_sim_seconds),
+                       [this] { Tick(); });
+}
+
+void SimpleController::Tick() {
+  ++slots_elapsed_;
+  const int slot_of_day =
+      static_cast<int>(slots_elapsed_ % options_.slots_per_day);
+  const int desired = DesiredNodes(slot_of_day);
+  if (!migration_->InProgress() && desired != cluster_->active_nodes()) {
+    // Best-effort: ignore failures (e.g., target out of range).
+    (void)migration_->StartReconfiguration(desired, 1.0, nullptr);
+  }
+  loop_->ScheduleAfter(FromSeconds(options_.slot_sim_seconds),
+                       [this] { Tick(); });
+}
+
+}  // namespace pstore

@@ -1,0 +1,51 @@
+#ifndef PSTORE_CONTROLLER_SIMPLE_CONTROLLER_H_
+#define PSTORE_CONTROLLER_SIMPLE_CONTROLLER_H_
+
+#include <string>
+
+#include "controller/controller.h"
+#include "migration/squall_migrator.h"
+
+namespace pstore {
+
+// Options of the "Simple" time-of-day baseline (Fig. 12/13): scale up in
+// the morning and back down at night, regardless of the actual load.
+struct SimpleControllerOptions {
+  double slot_sim_seconds = 6.0;
+  // Trace slots per day (1440 for a per-minute trace).
+  int slots_per_day = 1440;
+  // Slot-of-day at which to start scaling up / down.
+  int up_slot = 8 * 60;     // 08:00
+  int down_slot = 23 * 60;  // 23:00
+  int day_nodes = 10;
+  int night_nodes = 3;
+};
+
+// Fixed schedule: day_nodes between up_slot and down_slot, night_nodes
+// otherwise. Works while the load follows the usual pattern; breaks as
+// soon as it deviates (the paper's Fig. 13).
+class SimpleController : public ElasticityController {
+ public:
+  SimpleController(EventLoop* loop, Cluster* cluster,
+                   MigrationManager* migration,
+                   const SimpleControllerOptions& options);
+
+  void Start() override;
+  std::string name() const override { return "Simple"; }
+
+  // Desired machine count at the given slot-of-day.
+  int DesiredNodes(int slot_of_day) const;
+
+ private:
+  void Tick();
+
+  EventLoop* loop_;
+  Cluster* cluster_;
+  MigrationManager* migration_;
+  SimpleControllerOptions options_;
+  int64_t slots_elapsed_ = 0;
+};
+
+}  // namespace pstore
+
+#endif  // PSTORE_CONTROLLER_SIMPLE_CONTROLLER_H_

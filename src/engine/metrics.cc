@@ -1,0 +1,160 @@
+#include "engine/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pstore {
+namespace {
+
+// Windows histogram layout: sub-buckets per octave and the smallest
+// latency with full resolution.
+constexpr int kSubBucketsPerOctave = 8;
+constexpr SimTime kBaseLatency = 100;  // 100 us
+
+}  // namespace
+
+int WindowHistogram::BucketFor(SimTime latency) {
+  if (latency < kBaseLatency) return 0;
+  const double octaves =
+      std::log2(static_cast<double>(latency) /
+                static_cast<double>(kBaseLatency));
+  const int bucket = static_cast<int>(octaves * kSubBucketsPerOctave) + 1;
+  return std::min(bucket, kNumBuckets - 1);
+}
+
+SimTime WindowHistogram::UpperEdge(int bucket) {
+  if (bucket <= 0) return kBaseLatency - 1;
+  const double octaves =
+      static_cast<double>(bucket) / kSubBucketsPerOctave;
+  return static_cast<SimTime>(static_cast<double>(kBaseLatency) *
+                              std::pow(2.0, octaves));
+}
+
+void WindowHistogram::Record(SimTime latency) {
+  if (latency < 0) latency = 0;
+  ++buckets_[BucketFor(latency)];
+  ++count_;
+  max_ = std::max(max_, latency);
+}
+
+SimTime WindowHistogram::ValueAtQuantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const int64_t target = std::max<int64_t>(
+      1, static_cast<int64_t>(q * static_cast<double>(count_) + 0.5));
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return std::min(UpperEdge(i), max_);
+  }
+  return max_;
+}
+
+MetricsCollector::MetricsCollector(double window_seconds)
+    : window_seconds_(window_seconds),
+      window_duration_(FromSeconds(window_seconds)) {
+  PSTORE_CHECK(window_duration_ > 0);
+}
+
+size_t MetricsCollector::WindowIndex(SimTime t) const {
+  if (t < 0) t = 0;
+  return static_cast<size_t>(t / window_duration_);
+}
+
+void MetricsCollector::EnsureWindow(size_t index) {
+  if (index >= latency_.size()) {
+    latency_.resize(index + 1);
+    submitted_.resize(index + 1, 0);
+    completed_.resize(index + 1, 0);
+  }
+}
+
+void MetricsCollector::RecordTxn(SimTime submit, SimTime completion) {
+  PSTORE_CHECK(completion >= submit);
+  const size_t submit_window = WindowIndex(submit);
+  const size_t complete_window = WindowIndex(completion);
+  EnsureWindow(std::max(submit_window, complete_window));
+  ++submitted_[submit_window];
+  ++completed_[complete_window];
+  latency_[complete_window].Record(completion - submit);
+}
+
+void MetricsCollector::RecordMachines(SimTime now, int machines) {
+  machine_steps_.emplace_back(now, machines);
+}
+
+void MetricsCollector::RecordMigrationActive(SimTime now, bool active) {
+  migration_steps_.emplace_back(now, active);
+}
+
+std::vector<WindowStats> MetricsCollector::Finalize(SimTime end) const {
+  const size_t num_windows = WindowIndex(end > 0 ? end - 1 : 0) + 1;
+  std::vector<WindowStats> out(num_windows);
+
+  size_t machine_idx = 0;
+  int machines = machine_steps_.empty() ? 0 : machine_steps_.front().second;
+  size_t migration_idx = 0;
+  bool migrating = false;
+
+  for (size_t w = 0; w < num_windows; ++w) {
+    WindowStats& stats = out[w];
+    const SimTime window_start = static_cast<SimTime>(w) * window_duration_;
+    const SimTime window_end = window_start + window_duration_;
+    stats.start_seconds = ToSeconds(window_start);
+    if (w < latency_.size()) {
+      stats.submitted = submitted_[w];
+      stats.completed = completed_[w];
+      stats.p50_ms = ToSeconds(latency_[w].ValueAtQuantile(0.50)) * 1e3;
+      stats.p95_ms = ToSeconds(latency_[w].ValueAtQuantile(0.95)) * 1e3;
+      stats.p99_ms = ToSeconds(latency_[w].ValueAtQuantile(0.99)) * 1e3;
+    }
+    // Step series: value in effect at the end of the window.
+    while (machine_idx < machine_steps_.size() &&
+           machine_steps_[machine_idx].first < window_end) {
+      machines = machine_steps_[machine_idx].second;
+      ++machine_idx;
+    }
+    stats.machines = machines;
+    while (migration_idx < migration_steps_.size() &&
+           migration_steps_[migration_idx].first < window_end) {
+      migrating = migration_steps_[migration_idx].second;
+      ++migration_idx;
+    }
+    // A window counts as migrating if migration was active at any point
+    // inside it (approximated by: active at window end or a toggle
+    // occurred within the window).
+    stats.migrating = migrating;
+  }
+  return out;
+}
+
+SlaViolations MetricsCollector::CountViolations(
+    const std::vector<WindowStats>& windows, double threshold_ms) {
+  SlaViolations v;
+  for (const WindowStats& w : windows) {
+    if (w.completed == 0) continue;
+    if (w.p50_ms > threshold_ms) ++v.p50;
+    if (w.p95_ms > threshold_ms) ++v.p95;
+    if (w.p99_ms > threshold_ms) ++v.p99;
+  }
+  return v;
+}
+
+double MetricsCollector::AverageMachines(SimTime end) const {
+  if (machine_steps_.empty() || end <= 0) return 0.0;
+  double weighted = 0.0;
+  SimTime prev_time = 0;
+  int prev_value = machine_steps_.front().second;
+  for (const auto& [time, value] : machine_steps_) {
+    if (time >= end) break;
+    weighted += ToSeconds(time - prev_time) * prev_value;
+    prev_time = time;
+    prev_value = value;
+  }
+  weighted += ToSeconds(end - prev_time) * prev_value;
+  return weighted / ToSeconds(end);
+}
+
+}  // namespace pstore

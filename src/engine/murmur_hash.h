@@ -1,0 +1,22 @@
+#ifndef PSTORE_ENGINE_MURMUR_HASH_H_
+#define PSTORE_ENGINE_MURMUR_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pstore {
+
+// MurmurHash2, 64-bit version (MurmurHash64A by Austin Appleby, public
+// domain). The paper hashes partitioning keys to partitions with
+// MurmurHash 2.0 (§8.1); we use the same function so the uniformity
+// properties measured there carry over.
+uint64_t MurmurHash64A(const void* key, size_t len, uint64_t seed);
+
+// Convenience overload for integer partitioning keys.
+inline uint64_t MurmurHash64(uint64_t key, uint64_t seed = 0x9747b28c) {
+  return MurmurHash64A(&key, sizeof(key), seed);
+}
+
+}  // namespace pstore
+
+#endif  // PSTORE_ENGINE_MURMUR_HASH_H_

@@ -1,0 +1,140 @@
+#include "engine/partition.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace pstore {
+
+SimTime Partition::Submit(SimTime now, SimTime service_time) {
+  PSTORE_CHECK(service_time >= 0);
+  const SimTime start = std::max(now, busy_until_);
+  busy_until_ = start + service_time;
+  total_busy_time_ += service_time;
+  ++jobs_executed_;
+  return busy_until_;
+}
+
+BucketData* Partition::FindBucket(BucketId bucket) {
+  auto it = buckets_.find(bucket);
+  return it == buckets_.end() ? nullptr : &it->second;
+}
+
+const BucketData* Partition::FindBucket(BucketId bucket) const {
+  auto it = buckets_.find(bucket);
+  return it == buckets_.end() ? nullptr : &it->second;
+}
+
+void Partition::Put(BucketId bucket, TableId table, uint64_t key,
+                    const Row& row) {
+  PSTORE_CHECK(table < kMaxTables);
+  BucketData& data = buckets_[bucket];
+  auto [it, inserted] = data.tables[table].try_emplace(key, row);
+  if (inserted) {
+    ++data.rows;
+    ++row_count_;
+    data.bytes += row.payload_bytes;
+    data_bytes_ += row.payload_bytes;
+  } else {
+    const int64_t delta = static_cast<int64_t>(row.payload_bytes) -
+                          static_cast<int64_t>(it->second.payload_bytes);
+    data.bytes += delta;
+    data_bytes_ += delta;
+    it->second = row;
+  }
+}
+
+const Row* Partition::Get(BucketId bucket, TableId table,
+                          uint64_t key) const {
+  PSTORE_CHECK(table < kMaxTables);
+  const BucketData* data = FindBucket(bucket);
+  if (data == nullptr) return nullptr;
+  const auto it = data->tables[table].find(key);
+  return it == data->tables[table].end() ? nullptr : &it->second;
+}
+
+Row* Partition::GetMutable(BucketId bucket, TableId table, uint64_t key) {
+  PSTORE_CHECK(table < kMaxTables);
+  BucketData* data = FindBucket(bucket);
+  if (data == nullptr) return nullptr;
+  auto it = data->tables[table].find(key);
+  return it == data->tables[table].end() ? nullptr : &it->second;
+}
+
+bool Partition::Erase(BucketId bucket, TableId table, uint64_t key) {
+  PSTORE_CHECK(table < kMaxTables);
+  BucketData* data = FindBucket(bucket);
+  if (data == nullptr) return false;
+  auto it = data->tables[table].find(key);
+  if (it == data->tables[table].end()) return false;
+  --data->rows;
+  --row_count_;
+  data->bytes -= it->second.payload_bytes;
+  data_bytes_ -= it->second.payload_bytes;
+  data->tables[table].erase(it);
+  return true;
+}
+
+BucketData Partition::ExtractBucket(BucketId bucket) {
+  auto it = buckets_.find(bucket);
+  PSTORE_CHECK_MSG(it != buckets_.end(), "bucket " << bucket << " not here");
+  BucketData data = std::move(it->second);
+  buckets_.erase(it);
+  row_count_ -= data.rows;
+  data_bytes_ -= data.bytes;
+  PSTORE_CHECK(row_count_ >= 0 && data_bytes_ >= 0);
+  return data;
+}
+
+void Partition::InsertBucket(BucketId bucket, BucketData data) {
+  row_count_ += data.rows;
+  data_bytes_ += data.bytes;
+  const bool inserted =
+      buckets_.emplace(bucket, std::move(data)).second;
+  PSTORE_CHECK_MSG(inserted, "bucket " << bucket << " already present");
+}
+
+int64_t Partition::BucketBytes(BucketId bucket) const {
+  const BucketData* data = FindBucket(bucket);
+  return data == nullptr ? 0 : data->bytes;
+}
+
+BucketId Partition::HottestBucket(int64_t* accesses) const {
+  BucketId hottest = -1;
+  int64_t best = 0;
+  for (const auto& [bucket, data] : buckets_) {
+    if (data.accesses > best) {
+      best = data.accesses;
+      hottest = bucket;
+    }
+  }
+  if (accesses != nullptr) *accesses = best;
+  return hottest;
+}
+
+BucketId Partition::HottestBucketBelow(int64_t cap,
+                                       int64_t* accesses) const {
+  BucketId best_bucket = -1;
+  int64_t best = 0;
+  for (const auto& [bucket, data] : buckets_) {
+    if (data.accesses > best && data.accesses <= cap) {
+      best = data.accesses;
+      best_bucket = bucket;
+    }
+  }
+  if (accesses != nullptr) *accesses = best;
+  return best_bucket;
+}
+
+int64_t Partition::TotalAccesses() const {
+  int64_t total = 0;
+  for (const auto& [bucket, data] : buckets_) total += data.accesses;
+  return total;
+}
+
+void Partition::ResetAccessCounts() {
+  for (auto& [bucket, data] : buckets_) data.accesses = 0;
+}
+
+}  // namespace pstore

@@ -1,0 +1,32 @@
+#ifndef PSTORE_ENGINE_TABLE_H_
+#define PSTORE_ENGINE_TABLE_H_
+
+#include <cstdint>
+
+namespace pstore {
+
+// Identifier of a horizontally-partitioned table. The engine is
+// schema-lite: tables are declared by id and rows are fixed-shape
+// records, which keeps the per-transaction hot path to a couple of hash
+// probes while still letting stored procedures implement real
+// read-modify-write logic.
+using TableId = uint8_t;
+
+// Maximum number of distinct tables a cluster can host.
+inline constexpr int kMaxTables = 8;
+
+// A stored row. `payload_bytes` is the nominal on-wire size of the row,
+// used for migration accounting (how many bytes a bucket holds). The
+// four integer fields carry procedure-specific state (quantities,
+// statuses, totals).
+struct Row {
+  uint32_t payload_bytes = 0;
+  int64_t f0 = 0;
+  int64_t f1 = 0;
+  int64_t f2 = 0;
+  int64_t f3 = 0;
+};
+
+}  // namespace pstore
+
+#endif  // PSTORE_ENGINE_TABLE_H_

@@ -1,0 +1,59 @@
+#include "engine/workload_driver.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace pstore {
+
+WorkloadDriver::WorkloadDriver(EventLoop* loop, TxnExecutor* executor,
+                               TimeSeries trace, TxnFactory factory,
+                               const DriverOptions& options)
+    : loop_(loop),
+      executor_(executor),
+      trace_(std::move(trace)),
+      factory_(std::move(factory)),
+      options_(options),
+      rng_(options.seed) {
+  PSTORE_CHECK(loop_ != nullptr && executor_ != nullptr);
+  PSTORE_CHECK(factory_ != nullptr);
+  PSTORE_CHECK(options_.slot_sim_seconds > 0.0);
+  PSTORE_CHECK(options_.rate_factor > 0.0);
+}
+
+double WorkloadDriver::OfferedRate(SimTime t) const {
+  const double seconds = ToSeconds(t);
+  const size_t slot =
+      options_.start_slot +
+      static_cast<size_t>(seconds / options_.slot_sim_seconds);
+  if (slot >= trace_.size()) return 0.0;
+  return trace_[slot] * options_.rate_factor;
+}
+
+void WorkloadDriver::Start(SimTime end_time) {
+  end_time_ = end_time;
+  loop_->ScheduleAt(loop_->now(), [this] { Tick(); });
+}
+
+void WorkloadDriver::Tick() {
+  const SimTime tick_start = loop_->now();
+  if (tick_start >= end_time_) return;
+  const SimTime tick_end = tick_start + kSecond;
+
+  const double rate = OfferedRate(tick_start);
+  if (rate > 0.0) {
+    // Exact Poisson process within the tick: exponential gaps, arrivals
+    // generated in time order.
+    const double mean_gap_seconds = 1.0 / rate;
+    SimTime t = tick_start + FromSeconds(rng_.NextExponential(mean_gap_seconds));
+    while (t < tick_end && t < end_time_) {
+      const TxnRequest request = factory_(rng_);
+      executor_->Submit(request, t);
+      ++arrivals_generated_;
+      t += FromSeconds(rng_.NextExponential(mean_gap_seconds));
+    }
+  }
+  loop_->ScheduleAt(tick_end, [this] { Tick(); });
+}
+
+}  // namespace pstore

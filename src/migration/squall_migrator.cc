@@ -1,0 +1,342 @@
+#include "migration/squall_migrator.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/sim_time.h"
+
+namespace pstore {
+
+double SustainedPairRate(const MigrationOptions& options,
+                         double rate_multiplier) {
+  const double chunk = static_cast<double>(options.chunk_bytes);
+  const double cycle_seconds =
+      chunk / options.net_rate_bytes_per_sec + options.chunk_spacing_seconds;
+  return chunk / cycle_seconds * rate_multiplier;
+}
+
+double SingleThreadFullMigrationSeconds(int64_t db_bytes,
+                                        const MigrationOptions& options) {
+  return static_cast<double>(db_bytes) / SustainedPairRate(options, 1.0);
+}
+
+MigrationManager::MigrationManager(EventLoop* loop, Cluster* cluster,
+                                   MetricsCollector* metrics,
+                                   const MigrationOptions& options)
+    : loop_(loop), cluster_(cluster), metrics_(metrics), options_(options) {
+  PSTORE_CHECK(loop_ != nullptr && cluster_ != nullptr);
+  PSTORE_CHECK(options_.net_rate_bytes_per_sec > 0.0);
+  PSTORE_CHECK(options_.extract_rate_bytes_per_sec > 0.0);
+  PSTORE_CHECK(options_.chunk_bytes > 0);
+  PSTORE_CHECK(options_.chunk_spacing_seconds >= 0.0);
+}
+
+double MigrationManager::FractionMoved() const {
+  if (!in_progress_ || planned_bytes_ == 0) return 1.0;
+  return std::min(1.0, static_cast<double>(moved_bytes_) /
+                           static_cast<double>(planned_bytes_));
+}
+
+void MigrationManager::SetMachines(int count) {
+  if (count > cluster_->active_nodes()) {
+    PSTORE_CHECK_OK(cluster_->ActivateNodes(count));
+  } else if (count < cluster_->active_nodes()) {
+    PSTORE_CHECK_OK(cluster_->DeactivateNodes(count));
+  } else {
+    return;
+  }
+  if (metrics_ != nullptr) metrics_->RecordMachines(loop_->now(), count);
+}
+
+Status MigrationManager::StartReconfiguration(int target_nodes,
+                                              double rate_multiplier,
+                                              DoneCallback done) {
+  if (in_progress_) {
+    return Status::FailedPrecondition("reconfiguration already in progress");
+  }
+  const int before = cluster_->active_nodes();
+  if (target_nodes == before) {
+    return Status::InvalidArgument("target equals current machine count");
+  }
+  if (target_nodes < 1 || target_nodes > cluster_->options().max_nodes) {
+    return Status::OutOfRange("target node count " +
+                              std::to_string(target_nodes) +
+                              " outside [1, max_nodes]");
+  }
+  if (rate_multiplier <= 0.0) {
+    return Status::InvalidArgument("rate multiplier must be positive");
+  }
+  StatusOr<MigrationSchedule> schedule =
+      BuildMigrationSchedule(before, target_nodes);
+  if (!schedule.ok()) return schedule.status();
+
+  in_progress_ = true;
+  target_nodes_ = target_nodes;
+  rate_multiplier_ = rate_multiplier;
+  done_ = std::move(done);
+  schedule_ = std::move(*schedule);
+  current_round_ = 0;
+  moved_bytes_ = 0;
+
+  // Total bytes this reconfiguration will move: the fraction of the
+  // database in flight (1 - B/A or 1 - A/B) times its size.
+  const int64_t db_bytes = cluster_->TotalDataBytes();
+  planned_bytes_ = static_cast<int64_t>(
+      schedule_.TotalFractionMoved() * static_cast<double>(db_bytes) + 0.5);
+
+  // Count how many transfers each machine performs as sender, and the
+  // bytes each source partition should hold when the move completes
+  // (1/A of the database spread over its partitions for survivors, zero
+  // for machines being drained).
+  const int p = cluster_->partitions_per_node();
+  const int total_partitions =
+      cluster_->options().max_nodes * p;
+  remaining_sends_.assign(total_partitions, 0);
+  final_target_bytes_.assign(total_partitions, 0);
+  remaining_weight_.assign(total_partitions, 1.0);
+  for (const ScheduleRound& round : schedule_.rounds) {
+    for (const TransferPair& pair : round.transfers) {
+      for (int i = 0; i < p; ++i) {
+        ++remaining_sends_[pair.sender * p + i];
+      }
+    }
+  }
+  const bool scale_out = target_nodes > before;
+  const int64_t survivor_partition_bytes =
+      db_bytes / (static_cast<int64_t>(target_nodes) * p);
+  for (int node = 0; node < cluster_->options().max_nodes; ++node) {
+    const bool survives = scale_out || node < target_nodes;
+    for (int i = 0; i < p; ++i) {
+      final_target_bytes_[node * p + i] =
+          survives ? survivor_partition_bytes : 0;
+    }
+  }
+
+  // Deficit weights: how much of the in-flight data each receiver
+  // partition should absorb, normalized per partition index (every
+  // sender's partition i talks to every receiver's partition i exactly
+  // once). Weighting by deficit corrects pre-existing imbalance among
+  // scale-in survivors; for empty scale-out receivers it degenerates to
+  // the uniform 1/delta split.
+  deficit_weight_.assign(total_partitions, 0.0);
+  const int first_receiver = scale_out ? before : 0;
+  const int last_receiver = scale_out ? target_nodes : target_nodes;
+  for (int i = 0; i < p; ++i) {
+    double total_deficit = 0.0;
+    for (int node = first_receiver; node < last_receiver; ++node) {
+      const int partition = node * p + i;
+      const double deficit = std::max<double>(
+          0.0, static_cast<double>(final_target_bytes_[partition]) -
+                   static_cast<double>(
+                       cluster_->partition(partition).data_bytes()));
+      deficit_weight_[partition] = deficit;
+      total_deficit += deficit;
+    }
+    const int receivers = last_receiver - first_receiver;
+    for (int node = first_receiver; node < last_receiver; ++node) {
+      const int partition = node * p + i;
+      deficit_weight_[partition] =
+          total_deficit > 0.0
+              ? deficit_weight_[partition] / total_deficit
+              : 1.0 / std::max(1, receivers);
+    }
+  }
+
+  if (metrics_ != nullptr) metrics_->RecordMigrationActive(loop_->now(), true);
+  StartRound(0);
+  return Status::OK();
+}
+
+void MigrationManager::StartRound(size_t round_index) {
+  PSTORE_CHECK(round_index < schedule_.rounds.size());
+  current_round_ = round_index;
+  const ScheduleRound& round = schedule_.rounds[round_index];
+  const bool scale_out = schedule_.IsScaleOut();
+  const int p = cluster_->partitions_per_node();
+
+  // Just-in-time allocation: on scale-out new machines come up at the
+  // start of the round that first fills them.
+  if (scale_out && round.machines_allocated > cluster_->active_nodes()) {
+    SetMachines(round.machines_allocated);
+  }
+
+  // Build one stream per (pair, partition index): partition i of the
+  // sender feeds partition i of the receiver.
+  streams_.clear();
+  for (const TransferPair& pair : round.transfers) {
+    for (int i = 0; i < p; ++i) {
+      Stream stream;
+      stream.from_partition = pair.sender * p + i;
+      stream.to_partition = pair.receiver * p + i;
+      streams_.push_back(stream);
+    }
+  }
+
+  // Assign buckets to streams. Each stream moves an equal share of what
+  // its source partition still has to give: (current - final target) /
+  // remaining sends. Dividing by the *remaining* send count makes the
+  // allocation self-correcting under bucket-granularity rounding — in
+  // particular a draining partition's last stream always takes
+  // everything left, so released machines end up truly empty.
+  for (Stream& stream : streams_) {
+    Partition& source = cluster_->partition(stream.from_partition);
+    const int sends_left = remaining_sends_[stream.from_partition];
+    PSTORE_CHECK(sends_left >= 1);
+    const int64_t surplus = std::max<int64_t>(
+        0, source.data_bytes() - final_target_bytes_[stream.from_partition]);
+    // Deficit-weighted share of the remaining surplus: this receiver's
+    // weight over the total weight of receivers this sender has not
+    // served yet. Both the surplus and the weight pool shrink as rounds
+    // complete, so bucket-granularity rounding self-corrects.
+    const double weight = deficit_weight_[stream.to_partition];
+    const double pool =
+        std::max(remaining_weight_[stream.from_partition], 1e-12);
+    const int64_t target_bytes = static_cast<int64_t>(
+        static_cast<double>(surplus) * std::min(1.0, weight / pool) + 0.5);
+    remaining_weight_[stream.from_partition] =
+        std::max(0.0, pool - weight);
+    --remaining_sends_[stream.from_partition];
+    const bool take_all = sends_left == 1 && !scale_out &&
+                          final_target_bytes_[stream.from_partition] == 0;
+
+    const std::vector<BucketId> available =
+        cluster_->BucketsOnPartition(stream.from_partition);
+    int64_t taken = 0;
+    for (BucketId bucket : available) {
+      const int64_t bytes = std::max<int64_t>(1, source.BucketBytes(bucket));
+      if (!take_all) {
+        if (taken >= target_bytes) break;
+        // Round to nearest: skip the final bucket when overshooting by
+        // more than stopping short would undershoot. Systematic
+        // overshoot would otherwise starve the last receivers.
+        if (taken + bytes - target_bytes > target_bytes - taken) break;
+      }
+      stream.buckets.push_back(bucket);
+      taken += bytes;
+    }
+    if (!stream.buckets.empty()) {
+      stream.bytes_left_in_bucket =
+          std::max<int64_t>(1, source.BucketBytes(stream.buckets[0]));
+    }
+  }
+
+  // Kick off every stream.
+  streams_active_ = 0;
+  const uint64_t epoch = epoch_;
+  for (size_t i = 0; i < streams_.size(); ++i) {
+    if (streams_[i].buckets.empty()) continue;
+    ++streams_active_;
+    loop_->ScheduleAt(loop_->now(), [this, i, epoch] {
+      if (epoch != epoch_) return;
+      TransferChunk(i);
+    });
+  }
+  if (streams_active_ == 0) FinishRound();
+}
+
+void MigrationManager::ScheduleNextChunk(size_t stream_index, SimTime at) {
+  const uint64_t epoch = epoch_;
+  loop_->ScheduleAt(at, [this, stream_index, epoch] {
+    if (epoch != epoch_) return;
+    TransferChunk(stream_index);
+  });
+}
+
+void MigrationManager::TransferChunk(size_t stream_index) {
+  Stream& stream = streams_[stream_index];
+  PSTORE_CHECK(stream.next_bucket < stream.buckets.size());
+
+  // Select the buckets this chunk covers. The actual handoff happens in
+  // the completion event below, so mid-transfer transactions keep
+  // executing at the source.
+  int64_t chunk = 0;
+  std::vector<BucketId> handoff;
+  while (chunk < options_.chunk_bytes &&
+         stream.next_bucket < stream.buckets.size()) {
+    const int64_t take = std::min(options_.chunk_bytes - chunk,
+                                  stream.bytes_left_in_bucket);
+    chunk += take;
+    stream.bytes_left_in_bucket -= take;
+    if (stream.bytes_left_in_bucket == 0) {
+      handoff.push_back(stream.buckets[stream.next_bucket]);
+      ++stream.next_bucket;
+      if (stream.next_bucket < stream.buckets.size()) {
+        stream.bytes_left_in_bucket = std::max<int64_t>(
+            1, cluster_->partition(stream.from_partition)
+                   .BucketBytes(stream.buckets[stream.next_bucket]));
+      }
+    }
+  }
+  const bool stream_done = stream.next_bucket >= stream.buckets.size();
+  const int from_partition = stream.from_partition;
+  const int to_partition = stream.to_partition;
+
+  // The transfer occupies the wire for chunk/net_rate. When it lands,
+  // the extraction/loading work blocks each endpoint partition for
+  // chunk/extract_rate of service time, competing with transactions —
+  // the per-chunk latency bump of Fig. 8. The block is charged at
+  // completion time (not reserved in advance), so transactions arriving
+  // during the wire transfer are not queued behind it.
+  const double transfer_seconds =
+      static_cast<double>(chunk) /
+      (options_.net_rate_bytes_per_sec * rate_multiplier_);
+  const SimTime completion = loop_->now() + FromSeconds(transfer_seconds);
+  const SimTime block = FromSeconds(static_cast<double>(chunk) /
+                                    options_.extract_rate_bytes_per_sec);
+  const uint64_t epoch = epoch_;
+  loop_->ScheduleAt(
+      completion, [this, epoch, stream_index, chunk, block, from_partition,
+                   to_partition, stream_done,
+                   handoff = std::move(handoff)] {
+        if (epoch != epoch_) return;
+        for (const BucketId bucket : handoff) {
+          cluster_->MoveBucket(bucket, to_partition);
+        }
+        cluster_->partition(from_partition).Submit(loop_->now(), block);
+        cluster_->partition(to_partition).Submit(loop_->now(), block);
+        moved_bytes_ += chunk;
+        total_bytes_moved_ += chunk;
+        if (stream_done) {
+          if (--streams_active_ == 0) FinishRound();
+          return;
+        }
+        const double spacing =
+            options_.chunk_spacing_seconds / rate_multiplier_;
+        ScheduleNextChunk(stream_index, loop_->now() + FromSeconds(spacing));
+      });
+}
+
+void MigrationManager::FinishRound() {
+  const bool scale_out = schedule_.IsScaleOut();
+  const size_t next = current_round_ + 1;
+  if (next < schedule_.rounds.size()) {
+    // On scale-in, drained machines are released as soon as the next
+    // round needs fewer of them.
+    if (!scale_out) {
+      SetMachines(schedule_.rounds[next].machines_allocated);
+    }
+    StartRound(next);
+    return;
+  }
+  FinishReconfiguration();
+}
+
+void MigrationManager::FinishReconfiguration() {
+  SetMachines(target_nodes_);
+  in_progress_ = false;
+  ++reconfigurations_completed_;
+  ++epoch_;
+  streams_.clear();
+  if (metrics_ != nullptr) {
+    metrics_->RecordMigrationActive(loop_->now(), false);
+  }
+  if (done_) {
+    DoneCallback done = std::move(done_);
+    done_ = nullptr;
+    done();
+  }
+}
+
+}  // namespace pstore

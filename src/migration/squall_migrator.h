@@ -1,0 +1,139 @@
+#ifndef PSTORE_MIGRATION_SQUALL_MIGRATOR_H_
+#define PSTORE_MIGRATION_SQUALL_MIGRATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/cluster.h"
+#include "engine/event_loop.h"
+#include "engine/metrics.h"
+#include "planner/migration_schedule.h"
+
+namespace pstore {
+
+// Cost model of chunked live migration, mirroring Squall's behaviour
+// (paper §8.1, Fig. 8): data moves between one sender and one receiver
+// partition in chunks; each chunk briefly blocks both partitions (the
+// extraction/loading work competes with transaction execution), and
+// chunks are spaced apart so the sustained rate stays gentle.
+struct MigrationOptions {
+  // Bytes per second while a chunk is actively being transferred.
+  double net_rate_bytes_per_sec = 500e3;
+  // Idle gap between consecutive chunks of one stream, in seconds.
+  double chunk_spacing_seconds = 2.0;
+  // Rate at which extraction/loading work blocks each endpoint
+  // partition: each chunk blocks sender and receiver for
+  // chunk_bytes / extract_rate seconds of service time.
+  double extract_rate_bytes_per_sec = 20e6;
+  // Maximum chunk size in bytes. Larger chunks migrate faster (the
+  // fixed spacing amortizes) but block partitions longer per chunk,
+  // spiking tail latency — the Fig. 8 tradeoff.
+  int64_t chunk_bytes = 1000 * 1000;
+};
+
+// Sustained per-pair migration rate in bytes/s implied by the options:
+// chunk / (chunk/net_rate + spacing), times `rate_multiplier`.
+double SustainedPairRate(const MigrationOptions& options,
+                         double rate_multiplier = 1.0);
+
+// Time to migrate the entire database once with a single sender-receiver
+// pair — the paper's parameter D (§4.1) — for the given database size.
+double SingleThreadFullMigrationSeconds(int64_t db_bytes,
+                                        const MigrationOptions& options);
+
+// Executes reconfigurations against a simulated cluster following the
+// round-based parallel schedule of §4.4.1: rounds run sequentially, the
+// sender->receiver pairs within a round run concurrently (one stream per
+// partition index per pair), machines are allocated/deallocated just in
+// time, and every bucket is handed off (rerouted) the moment its last
+// byte arrives, so transactions always find their data.
+class MigrationManager {
+ public:
+  using DoneCallback = std::function<void()>;
+
+  MigrationManager(EventLoop* loop, Cluster* cluster,
+                   MetricsCollector* metrics,
+                   const MigrationOptions& options);
+  MigrationManager(const MigrationManager&) = delete;
+  MigrationManager& operator=(const MigrationManager&) = delete;
+
+  // Begins reconfiguring the cluster to `target_nodes` machines.
+  // `rate_multiplier` scales the migration rate (1.0 normally; the
+  // reactive fallback uses 8.0, Fig. 11). `done` runs when the last
+  // bucket lands. Fails if a reconfiguration is already in progress or
+  // target_nodes equals the current size or is out of range.
+  Status StartReconfiguration(int target_nodes, double rate_multiplier,
+                              DoneCallback done);
+
+  bool InProgress() const { return in_progress_; }
+  int target_nodes() const { return target_nodes_; }
+
+  // Fraction (0..1) of the planned bytes already moved in the current
+  // reconfiguration; 1.0 when idle.
+  double FractionMoved() const;
+
+  // Total bytes moved across all reconfigurations.
+  int64_t total_bytes_moved() const { return total_bytes_moved_; }
+  int64_t reconfigurations_completed() const {
+    return reconfigurations_completed_;
+  }
+
+  const MigrationOptions& options() const { return options_; }
+
+ private:
+  // One pair's per-partition-index chunk stream within a round.
+  struct Stream {
+    int from_partition = 0;
+    int to_partition = 0;
+    std::vector<BucketId> buckets;  // buckets to move, in order
+    size_t next_bucket = 0;
+    int64_t bytes_left_in_bucket = 0;  // of buckets[next_bucket]
+  };
+
+  void StartRound(size_t round_index);
+  void ScheduleNextChunk(size_t stream_index, SimTime at);
+  void TransferChunk(size_t stream_index);
+  void FinishRound();
+  void FinishReconfiguration();
+  void SetMachines(int count);
+
+  EventLoop* loop_;
+  Cluster* cluster_;
+  MetricsCollector* metrics_;
+  MigrationOptions options_;
+
+  bool in_progress_ = false;
+  int target_nodes_ = 0;
+  double rate_multiplier_ = 1.0;
+  DoneCallback done_;
+  MigrationSchedule schedule_;
+  size_t current_round_ = 0;
+  std::vector<Stream> streams_;
+  // Per source partition: transfers it still participates in as sender,
+  // and the bytes it should end the reconfiguration with. Each stream
+  // moves a deficit-weighted share of its sender's remaining surplus
+  // (every sender serves every receiver exactly once, so weighting by
+  // the receiver's byte deficit lands each receiver on its target even
+  // when the cluster starts unbalanced), and a draining sender's last
+  // stream takes everything left.
+  std::vector<int> remaining_sends_;
+  std::vector<int64_t> final_target_bytes_;
+  // Receiver-partition deficit weights, normalized per partition index.
+  std::vector<double> deficit_weight_;
+  // Per sender partition: total weight of the receivers not yet served
+  // (starts at 1.0; stream quotas divide by this so rounding drift
+  // self-corrects round over round).
+  std::vector<double> remaining_weight_;
+  int streams_active_ = 0;
+  int64_t planned_bytes_ = 0;
+  int64_t moved_bytes_ = 0;
+  int64_t total_bytes_moved_ = 0;
+  int64_t reconfigurations_completed_ = 0;
+  uint64_t epoch_ = 0;  // guards stale chunk events after completion
+};
+
+}  // namespace pstore
+
+#endif  // PSTORE_MIGRATION_SQUALL_MIGRATOR_H_

@@ -1,0 +1,111 @@
+#include "planner/brute_force_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "planner/dp_planner.h"
+
+namespace pstore {
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+struct SearchState {
+  const std::vector<double>* load;
+  int horizon;
+  int z;
+  const DpPlanner* rules;  // reuse the DP's duration/cost/capacity rules
+  std::vector<Move> current;
+  std::vector<Move> best_moves;
+  double best_cost = kInfinity;
+  int best_final = std::numeric_limits<int>::max();
+};
+
+// Returns true if the move from `before` to `after` ending at slot `end`
+// keeps load under the effective capacity throughout.
+bool MoveFeasible(const SearchState& state, int start, int end, int before,
+                  int after) {
+  const int duration = end - start;
+  for (int i = 1; i <= duration; ++i) {
+    const double fraction =
+        static_cast<double>(i) / static_cast<double>(duration);
+    if ((*state.load)[start + i] >
+        EffectiveCapacity(before, after, fraction, state.rules->params())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Search(SearchState* state, int t, int nodes, double cost_so_far) {
+  if (t == state->horizon) {
+    const bool better =
+        nodes < state->best_final ||
+        (nodes == state->best_final && cost_so_far < state->best_cost);
+    if (better) {
+      state->best_final = nodes;
+      state->best_cost = cost_so_far;
+      state->best_moves = state->current;
+    }
+    return;
+  }
+  for (int next = 1; next <= state->z; ++next) {
+    const int duration = state->rules->MoveSlots(nodes, next);
+    const int end = t + duration;
+    if (end > state->horizon) continue;
+    if (!MoveFeasible(*state, t, end, nodes, next)) continue;
+    const double move_cost = state->rules->MoveCostCharged(nodes, next);
+    Move move;
+    move.start_slot = t;
+    move.end_slot = end;
+    move.nodes_before = nodes;
+    move.nodes_after = next;
+    state->current.push_back(move);
+    Search(state, end, next, cost_so_far + move_cost);
+    state->current.pop_back();
+  }
+}
+
+}  // namespace
+
+BruteForcePlanner::BruteForcePlanner(const PlannerParams& params)
+    : params_(params) {}
+
+StatusOr<PlanResult> BruteForcePlanner::BestMoves(
+    const std::vector<double>& predicted_load, int initial_nodes) const {
+  if (predicted_load.size() < 2) {
+    return Status::InvalidArgument("prediction horizon must cover >= 2 slots");
+  }
+  if (initial_nodes < 1) {
+    return Status::InvalidArgument("initial_nodes must be >= 1");
+  }
+  const DpPlanner rules(params_);
+  const int horizon = static_cast<int>(predicted_load.size()) - 1;
+  const double max_load =
+      *std::max_element(predicted_load.begin(), predicted_load.end());
+  const int z = std::max(rules.NodesFor(max_load), initial_nodes);
+
+  if (predicted_load[0] > Capacity(initial_nodes, params_)) {
+    return Status::Infeasible("initial capacity below current load");
+  }
+
+  SearchState state;
+  state.load = &predicted_load;
+  state.horizon = horizon;
+  state.z = z;
+  state.rules = &rules;
+  Search(&state, 0, initial_nodes, initial_nodes);
+
+  if (state.best_cost == kInfinity) {
+    return Status::Infeasible("no feasible sequence of moves");
+  }
+  PlanResult result;
+  result.moves = state.best_moves;
+  result.total_cost = state.best_cost;
+  result.final_nodes = state.best_final;
+  return result;
+}
+
+}  // namespace pstore

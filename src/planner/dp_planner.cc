@@ -1,0 +1,181 @@
+#include "planner/dp_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace pstore {
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+// Memoization entry: the minimum cost of a feasible sequence of moves
+// ending with `nodes` machines at slot `t`, plus the last move that
+// achieves it (Algorithm 2's matrix m).
+struct MemoEntry {
+  bool computed = false;
+  double cost = kInfinity;
+  int prev_time = -1;
+  int prev_nodes = -1;
+};
+
+// Shared state of one BestMoves invocation.
+struct DpState {
+  const std::vector<double>* load;  // length T+1, indices 0..T
+  int n0;
+  int z;
+  const DpPlanner* planner;
+  const PlannerParams* params;
+  // memo[t * (z + 1) + nodes]
+  std::vector<MemoEntry> memo;
+
+  MemoEntry& At(int t, int nodes) { return memo[t * (z + 1) + nodes]; }
+};
+
+double Cost(DpState* state, int t, int nodes);
+
+// Algorithm 3 (sub-cost): minimum cost ending at slot t when the last
+// move is from `before` to `after` machines. Returns infinity if the move
+// would start in the past or the predicted load exceeds the effective
+// capacity at any point during the move.
+double SubCost(DpState* state, int t, int before, int after) {
+  const int duration = state->planner->MoveSlots(before, after);
+  const int start_move = t - duration;
+  if (start_move < 0) return kInfinity;
+  for (int i = 1; i <= duration; ++i) {
+    const double load = (*state->load)[start_move + i];
+    const double fraction =
+        static_cast<double>(i) / static_cast<double>(duration);
+    const double capacity =
+        state->params->assume_instant_capacity
+            ? Capacity(after, *state->params)
+            : EffectiveCapacity(before, after, fraction, *state->params);
+    if (load > capacity) {
+      return kInfinity;
+    }
+  }
+  const double prior = Cost(state, start_move, before);
+  if (prior == kInfinity) return kInfinity;
+  return prior + state->planner->MoveCostCharged(before, after);
+}
+
+// Algorithm 2 (cost): minimum cost of a feasible sequence of moves ending
+// with `nodes` machines at slot t.
+double Cost(DpState* state, int t, int nodes) {
+  if (t < 0) return kInfinity;
+  if (t == 0 && nodes != state->n0) return kInfinity;
+  if ((*state->load)[t] > Capacity(nodes, *state->params)) return kInfinity;
+  MemoEntry& entry = state->At(t, nodes);
+  if (entry.computed) return entry.cost;
+  entry.computed = true;  // set before recursing; t strictly decreases
+  if (t == 0) {
+    entry.cost = nodes;  // base case: N0 machines billed for slot 0
+    return entry.cost;
+  }
+  double best = kInfinity;
+  int best_before = -1;
+  for (int before = 1; before <= state->z; ++before) {
+    const double candidate = SubCost(state, t, before, nodes);
+    if (candidate < best) {
+      best = candidate;
+      best_before = before;
+    }
+  }
+  entry.cost = best;
+  if (best_before >= 0 && best < kInfinity) {
+    entry.prev_time = t - state->planner->MoveSlots(best_before, nodes);
+    entry.prev_nodes = best_before;
+  }
+  return entry.cost;
+}
+
+}  // namespace
+
+DpPlanner::DpPlanner(const PlannerParams& params) : params_(params) {
+  PSTORE_CHECK(params_.target_rate_per_node > 0.0);
+  PSTORE_CHECK(params_.d_slots > 0.0);
+  PSTORE_CHECK(params_.partitions_per_node >= 1);
+}
+
+int DpPlanner::NodesFor(double load) const {
+  if (load <= 0.0) return 1;
+  return std::max(
+      1, static_cast<int>(std::ceil(load / params_.target_rate_per_node)));
+}
+
+int DpPlanner::MoveSlots(int before, int after) const {
+  if (before == after) return 1;  // "do nothing" occupies one slot
+  const double t = MoveTime(before, after, params_);
+  return std::max(1, static_cast<int>(std::ceil(t)));
+}
+
+double DpPlanner::MoveCostCharged(int before, int after) const {
+  if (before == after) return before;
+  const double real_time = MoveTime(before, after, params_);
+  const int slots = MoveSlots(before, after);
+  const double padding = static_cast<double>(slots) - real_time;
+  return MoveCost(before, after, params_) +
+         padding * static_cast<double>(after);
+}
+
+StatusOr<PlanResult> DpPlanner::BestMoves(
+    const std::vector<double>& predicted_load, int initial_nodes) const {
+  if (predicted_load.size() < 2) {
+    return Status::InvalidArgument("prediction horizon must cover >= 2 slots");
+  }
+  if (initial_nodes < 1) {
+    return Status::InvalidArgument("initial_nodes must be >= 1");
+  }
+  const int horizon = static_cast<int>(predicted_load.size()) - 1;
+  const double max_load =
+      *std::max_element(predicted_load.begin(), predicted_load.end());
+  // Z: the maximum number of machines ever needed (Algorithm 1 line 2).
+  const int z = std::max(NodesFor(max_load), initial_nodes);
+
+  // The memo is keyed only by (slot, machines), independent of the
+  // final-machine target, so unlike the paper's pseudocode we build it
+  // once and reuse it across candidate targets.
+  DpState state;
+  state.load = &predicted_load;
+  state.n0 = initial_nodes;
+  state.z = z;
+  state.planner = this;
+  state.params = &params_;
+  state.memo.assign(static_cast<size_t>(horizon + 1) * (z + 1), {});
+
+  // Try to end the horizon with as few machines as possible (Algorithm 1
+  // lines 3-12); the first feasible target is the answer.
+  for (int final_nodes = 1; final_nodes <= z; ++final_nodes) {
+    const double total = Cost(&state, horizon, final_nodes);
+    if (total == kInfinity) continue;
+
+    // Walk the memoized best moves backwards (Algorithm 1 lines 6-11).
+    PlanResult result;
+    result.total_cost = total;
+    result.final_nodes = final_nodes;
+    int t = horizon;
+    int nodes = final_nodes;
+    while (t > 0) {
+      const MemoEntry& entry = state.At(t, nodes);
+      PSTORE_CHECK(entry.computed && entry.cost < kInfinity);
+      PSTORE_CHECK_MSG(entry.prev_time >= 0 && entry.prev_time < t,
+                       "memoized move does not advance time");
+      Move move;
+      move.start_slot = entry.prev_time;
+      move.end_slot = t;
+      move.nodes_before = entry.prev_nodes;
+      move.nodes_after = nodes;
+      result.moves.push_back(move);
+      t = entry.prev_time;
+      nodes = entry.prev_nodes;
+    }
+    std::reverse(result.moves.begin(), result.moves.end());
+    return result;
+  }
+  return Status::Infeasible(
+      "no feasible sequence of moves from the initial machine count");
+}
+
+}  // namespace pstore

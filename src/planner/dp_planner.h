@@ -1,0 +1,58 @@
+#ifndef PSTORE_PLANNER_DP_PLANNER_H_
+#define PSTORE_PLANNER_DP_PLANNER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "planner/move.h"
+#include "planner/move_model.h"
+
+namespace pstore {
+
+// The predictive elasticity algorithm (paper §4.3, Algorithms 1-3): a
+// dynamic program over (time slot, machine count) states that finds the
+// cheapest feasible sequence of moves covering the prediction horizon.
+//
+// A sequence is feasible if the predicted load never exceeds the
+// *effective* capacity of the system, including while reconfigurations
+// are in flight (Eq. 7). Among feasible sequences the algorithm first
+// minimizes the number of machines at the end of the horizon, then the
+// total cost in machine-slots.
+class DpPlanner {
+ public:
+  explicit DpPlanner(const PlannerParams& params);
+
+  // Algorithm 1 (best-moves). `predicted_load` is indexed by slot, with
+  // slot 0 being "now": predicted_load[t] is the load during slot t, for
+  // t in [0, T] where T = predicted_load.size() - 1. `initial_nodes` is
+  // N0. Returns kInfeasible if no sequence of moves can keep up with the
+  // predicted load from N0 machines, and kInvalidArgument if the horizon
+  // has fewer than 2 slots or initial_nodes < 1.
+  StatusOr<PlanResult> BestMoves(const std::vector<double>& predicted_load,
+                                 int initial_nodes) const;
+
+  // The smallest number of machines whose full capacity covers `load`
+  // (ceil(load / Q)), never less than 1.
+  int NodesFor(double load) const;
+
+  const PlannerParams& params() const { return params_; }
+
+  // The integral duration of a move in slots as used by the dynamic
+  // program: ceil of Eq. 3, and at least 1 so every move occupies a slot
+  // (Algorithm 2 line 9).
+  int MoveSlots(int before, int after) const;
+
+  // The cost charged for a move lasting MoveSlots(before, after) slots:
+  // the Eq. 4 cost for the real-valued migration time plus `after`
+  // machines for the remainder of the final slot (the migration finishes
+  // partway through it). For before == after this is `before` (one slot
+  // at B machines, Algorithm 2 line 9).
+  double MoveCostCharged(int before, int after) const;
+
+ private:
+  PlannerParams params_;
+};
+
+}  // namespace pstore
+
+#endif  // PSTORE_PLANNER_DP_PLANNER_H_

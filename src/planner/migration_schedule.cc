@@ -1,0 +1,350 @@
+#include "planner/migration_schedule.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace pstore {
+namespace {
+
+// Bipartite edge colorer: assigns each (sender, receiver) demand edge a
+// round in [0, num_colors) such that no two edges of the same round
+// share an endpoint. By Koenig's theorem a bipartite multigraph with
+// maximum degree d is d-edge-colorable; the constructive proof below
+// recolors along alternating paths when the greedy choice is blocked.
+class EdgeColorer {
+ public:
+  EdgeColorer(int num_senders, int num_receivers, int num_colors)
+      : num_colors_(num_colors),
+        sender_color_(num_senders,
+                      std::vector<int>(num_colors, -1)),  // -> receiver
+        receiver_color_(num_receivers,
+                        std::vector<int>(num_colors, -1)) {}  // -> sender
+
+  // Colors the edge (sender, receiver). The caller guarantees endpoint
+  // degrees stay within num_colors, which by Koenig's theorem makes the
+  // coloring always possible.
+  void ColorEdge(int sender, int receiver) {
+    const int alpha = FreeColorAtSender(sender);
+    const int beta = FreeColorAtReceiver(receiver);
+    PSTORE_CHECK(alpha >= 0 && beta >= 0);
+    int color = alpha;
+    if (alpha != beta) {
+      // alpha is busy at the receiver. Swap colors alpha<->beta along
+      // the alternating path starting at the receiver with an alpha
+      // edge; the path cannot reach `sender` (it would have to arrive
+      // on an alpha edge, but alpha is free at `sender`), so afterwards
+      // alpha is free at both endpoints.
+      SwapAlternatingPathFromReceiver(receiver, alpha, beta);
+    }
+    PSTORE_CHECK(sender_color_[sender][color] == -1);
+    PSTORE_CHECK(receiver_color_[receiver][color] == -1);
+    sender_color_[sender][color] = receiver;
+    receiver_color_[receiver][color] = sender;
+  }
+
+  // Edges of one color as (sender, receiver) pairs.
+  std::vector<TransferPair> RoundPairs(int color) const {
+    std::vector<TransferPair> out;
+    for (int sender = 0; sender < static_cast<int>(sender_color_.size());
+         ++sender) {
+      const int receiver = sender_color_[sender][color];
+      if (receiver >= 0) out.push_back({sender, receiver});
+    }
+    return out;
+  }
+
+ private:
+  int FreeColorAtSender(int sender) const {
+    for (int c = 0; c < num_colors_; ++c) {
+      if (sender_color_[sender][c] == -1) return c;
+    }
+    return -1;
+  }
+  int FreeColorAtReceiver(int receiver) const {
+    for (int c = 0; c < num_colors_; ++c) {
+      if (receiver_color_[receiver][c] == -1) return c;
+    }
+    return -1;
+  }
+
+  // Swaps colors alpha <-> beta along the alternating path that starts
+  // at `receiver` with its alpha edge. The walk is simple (each node has
+  // at most one edge of each color) and finite; it is collected first
+  // and repainted afterwards so intermediate states never alias.
+  void SwapAlternatingPathFromReceiver(int receiver, int alpha, int beta) {
+    struct PathEdge {
+      int sender;
+      int receiver;
+      int color;
+    };
+    std::vector<PathEdge> path;
+    bool at_receiver = true;
+    int node = receiver;
+    int color = alpha;
+    for (;;) {
+      const int partner = at_receiver ? receiver_color_[node][color]
+                                      : sender_color_[node][color];
+      if (partner == -1) break;
+      const int s = at_receiver ? partner : node;
+      const int r = at_receiver ? node : partner;
+      path.push_back({s, r, color});
+      node = partner;
+      at_receiver = !at_receiver;
+      color = color == alpha ? beta : alpha;
+    }
+    for (const PathEdge& edge : path) {
+      sender_color_[edge.sender][edge.color] = -1;
+      receiver_color_[edge.receiver][edge.color] = -1;
+    }
+    for (const PathEdge& edge : path) {
+      const int swapped = edge.color == alpha ? beta : alpha;
+      PSTORE_CHECK(sender_color_[edge.sender][swapped] == -1);
+      PSTORE_CHECK(receiver_color_[edge.receiver][swapped] == -1);
+      sender_color_[edge.sender][swapped] = edge.receiver;
+      receiver_color_[edge.receiver][swapped] = edge.sender;
+    }
+  }
+
+  int num_colors_;
+  std::vector<std::vector<int>> sender_color_;
+  std::vector<std::vector<int>> receiver_color_;
+};
+
+// Builds the scale-out schedule from `s` to `l` machines (s < l).
+// Senders are machines [0, s); receivers [s, l), allocated just in time.
+std::vector<ScheduleRound> BuildScaleOutRounds(int s, int l) {
+  const int delta = l - s;
+  const int r = delta % s;
+  std::vector<ScheduleRound> rounds;
+
+  // Case 1: all new machines allocated at once; senders rotate.
+  if (delta <= s) {
+    for (int k = 0; k < s; ++k) {
+      ScheduleRound round;
+      round.machines_allocated = l;
+      round.phase = 1;
+      for (int j = 0; j < delta; ++j) {
+        round.transfers.push_back({(j + k) % s, s + j});
+      }
+      rounds.push_back(std::move(round));
+    }
+    return rounds;
+  }
+
+  // Helper: s rounds that completely fill one block of s receivers
+  // starting at machine id `block_start`, with `allocated` machines up.
+  auto fill_block = [&](int block_start, int allocated, int phase,
+                        int num_rounds) {
+    for (int k = 0; k < num_rounds; ++k) {
+      ScheduleRound round;
+      round.machines_allocated = allocated;
+      round.phase = phase;
+      for (int i = 0; i < s; ++i) {
+        round.transfers.push_back({i, block_start + (i + k) % s});
+      }
+      rounds.push_back(std::move(round));
+    }
+  };
+
+  // Case 2: delta is a perfect multiple of s; fill block after block.
+  if (r == 0) {
+    const int blocks = delta / s;
+    for (int b = 0; b < blocks; ++b) {
+      fill_block(s + b * s, s + (b + 1) * s, 1, s);
+    }
+    return rounds;
+  }
+
+  // Case 3: three phases (paper §4.4.1, Table 1).
+  const int n1 = delta / s - 1;  // completely-filled blocks in phase 1
+  for (int b = 0; b < n1; ++b) {
+    fill_block(s + b * s, s + (b + 1) * s, 1, s);
+  }
+
+  // Phase 2: one more block of s receivers, each receiving only r of its
+  // s transfers, so that the senders can stay fully busy in phase 3.
+  const int partial_start = s + n1 * s;
+  fill_block(partial_start, l - r, 2, r);
+
+  // Phase 3: the final r receivers arrive; all s senders stay busy for s
+  // rounds, finishing both the new receivers (s transfers each) and the
+  // partially-filled block (s - r transfers each). The remaining demand
+  // graph has every sender at degree exactly s and every receiver at
+  // degree <= s, so by Koenig's theorem it decomposes into s rounds of
+  // conflict-free parallel transfers; EdgeColorer computes that
+  // decomposition.
+  const int final_start = l - r;
+  std::vector<std::vector<bool>> served(
+      s, std::vector<bool>(l, false));  // served[sender][receiver]
+  for (const ScheduleRound& round : rounds) {
+    for (const TransferPair& pair : round.transfers) {
+      served[pair.sender][pair.receiver] = true;
+    }
+  }
+  EdgeColorer colorer(s, l, s);
+  for (int i = 0; i < s; ++i) {
+    for (int v = partial_start; v < l; ++v) {
+      const bool is_new = v >= final_start;
+      if (is_new || !served[i][v]) colorer.ColorEdge(i, v);
+    }
+  }
+  for (int k = 0; k < s; ++k) {
+    ScheduleRound round;
+    round.machines_allocated = l;
+    round.phase = 3;
+    round.transfers = colorer.RoundPairs(k);
+    PSTORE_CHECK_MSG(round.transfers.size() == static_cast<size_t>(s),
+                     "phase-3 round " << k << " incomplete for " << s
+                                      << "->" << l);
+    rounds.push_back(std::move(round));
+  }
+  return rounds;
+}
+
+}  // namespace
+
+double MigrationSchedule::TotalFractionMoved() const {
+  const double b = static_cast<double>(nodes_before);
+  const double a = static_cast<double>(nodes_after);
+  return IsScaleOut() ? 1.0 - b / a : 1.0 - a / b;
+}
+
+std::string MigrationSchedule::ToString() const {
+  std::string out = "Reconfiguration " + std::to_string(nodes_before) +
+                    " -> " + std::to_string(nodes_after) + " (" +
+                    std::to_string(rounds.size()) + " rounds)\n";
+  int last_phase = 0;
+  for (size_t i = 0; i < rounds.size(); ++i) {
+    const ScheduleRound& round = rounds[i];
+    if (round.phase != last_phase) {
+      out += "Phase " + std::to_string(round.phase) + "\n";
+      last_phase = round.phase;
+    }
+    out += "  round " + std::to_string(i + 1) + " (machines " +
+           std::to_string(round.machines_allocated) + "): ";
+    for (size_t j = 0; j < round.transfers.size(); ++j) {
+      if (j > 0) out += ", ";
+      // 1-based machine ids, matching the paper's Table 1.
+      out += std::to_string(round.transfers[j].sender + 1) + " -> " +
+             std::to_string(round.transfers[j].receiver + 1);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+StatusOr<MigrationSchedule> BuildMigrationSchedule(int before, int after) {
+  if (before < 1 || after < 1) {
+    return Status::InvalidArgument("machine counts must be >= 1");
+  }
+  if (before == after) {
+    return Status::InvalidArgument("no data moves when before == after");
+  }
+  MigrationSchedule schedule;
+  schedule.nodes_before = before;
+  schedule.nodes_after = after;
+  schedule.per_pair_fraction =
+      1.0 / (static_cast<double>(before) * static_cast<double>(after));
+
+  if (before < after) {
+    schedule.rounds = BuildScaleOutRounds(before, after);
+  } else {
+    // Scale-in is the time-reverse of the scale-out from `after` to
+    // `before` machines with sender/receiver roles swapped: machines
+    // [0, after) survive and receive; [after, before) drain and are
+    // deallocated as soon as they finish sending.
+    std::vector<ScheduleRound> out_rounds =
+        BuildScaleOutRounds(after, before);
+    int max_phase = 1;
+    for (const ScheduleRound& round : out_rounds) {
+      max_phase = std::max(max_phase, round.phase);
+    }
+    std::reverse(out_rounds.begin(), out_rounds.end());
+    for (ScheduleRound& round : out_rounds) {
+      for (TransferPair& pair : round.transfers) {
+        std::swap(pair.sender, pair.receiver);
+      }
+      round.phase = max_phase - round.phase + 1;
+    }
+    schedule.rounds = std::move(out_rounds);
+  }
+  PSTORE_CHECK_OK(ValidateSchedule(schedule));
+  return schedule;
+}
+
+Status ValidateSchedule(const MigrationSchedule& schedule) {
+  const int before = schedule.nodes_before;
+  const int after = schedule.nodes_after;
+  const int larger = std::max(before, after);
+  const int smaller = std::min(before, after);
+  const int delta = larger - smaller;
+
+  const size_t expected_rounds =
+      static_cast<size_t>(delta <= smaller ? smaller : delta);
+  if (schedule.rounds.size() != expected_rounds) {
+    return Status::Internal(
+        "round count " + std::to_string(schedule.rounds.size()) +
+        " != expected " + std::to_string(expected_rounds));
+  }
+
+  // The stable machines are [0, smaller); the transient ones
+  // [smaller, larger). On scale-out stable machines send; on scale-in
+  // they receive.
+  std::set<std::pair<int, int>> seen_pairs;
+  for (size_t i = 0; i < schedule.rounds.size(); ++i) {
+    const ScheduleRound& round = schedule.rounds[i];
+    std::set<int> machines_this_round;
+    for (const TransferPair& pair : round.transfers) {
+      if (pair.sender < 0 || pair.sender >= larger || pair.receiver < 0 ||
+          pair.receiver >= larger) {
+        return Status::Internal("machine id out of range");
+      }
+      if (pair.sender >= round.machines_allocated ||
+          pair.receiver >= round.machines_allocated) {
+        return Status::Internal("transfer uses an unallocated machine");
+      }
+      if (!machines_this_round.insert(pair.sender).second ||
+          !machines_this_round.insert(pair.receiver).second) {
+        return Status::Internal("machine used twice in round " +
+                                std::to_string(i + 1));
+      }
+      if (!seen_pairs.insert({pair.sender, pair.receiver}).second) {
+        return Status::Internal("duplicate sender-receiver pair");
+      }
+      const bool sender_stable = pair.sender < smaller;
+      const bool receiver_stable = pair.receiver < smaller;
+      const bool scale_out = after > before;
+      if (scale_out && (!sender_stable || receiver_stable)) {
+        return Status::Internal("scale-out transfer direction wrong");
+      }
+      if (!scale_out && (sender_stable || !receiver_stable)) {
+        return Status::Internal("scale-in transfer direction wrong");
+      }
+    }
+  }
+
+  // Pair completeness: every (stable, transient) combination exactly
+  // once. Combined with equal per-pair amounts this guarantees equal
+  // shares on every machine after the move.
+  if (seen_pairs.size() != static_cast<size_t>(smaller) * delta) {
+    return Status::Internal("schedule does not cover all machine pairs");
+  }
+
+  // Just-in-time allocation must be monotone: non-decreasing on
+  // scale-out, non-increasing on scale-in.
+  for (size_t i = 1; i < schedule.rounds.size(); ++i) {
+    const int prev = schedule.rounds[i - 1].machines_allocated;
+    const int curr = schedule.rounds[i].machines_allocated;
+    if (after > before ? curr < prev : curr > prev) {
+      return Status::Internal("machine allocation not monotone");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace pstore

@@ -1,0 +1,75 @@
+#ifndef PSTORE_PLANNER_MIGRATION_SCHEDULE_H_
+#define PSTORE_PLANNER_MIGRATION_SCHEDULE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pstore {
+
+// One sender -> receiver data transfer between machines. Machine ids are
+// cluster-global node indices: for a scale-out from B to A, machines
+// [0, B) are the original nodes and [B, A) the new ones; for a scale-in
+// from B to A, machines [0, A) survive and [A, B) are drained and
+// removed.
+struct TransferPair {
+  int sender = 0;
+  int receiver = 0;
+
+  friend bool operator==(const TransferPair&, const TransferPair&) = default;
+};
+
+// One round of parallel transfers. Every machine appears in at most one
+// transfer per round (the Squall constraint, paper §4.4.1), so all
+// transfers in a round proceed concurrently and take equal time.
+struct ScheduleRound {
+  std::vector<TransferPair> transfers;
+  // Machines allocated while this round runs (just-in-time allocation).
+  int machines_allocated = 0;
+  // Phase of the three-phase schedule this round belongs to (1-3);
+  // single-phase moves use phase 1 throughout.
+  int phase = 1;
+};
+
+// The complete round-by-round schedule for one reconfiguration
+// (paper §4.4.1 and Table 1). Every (sender, receiver) pair transfers
+// exactly once, moving fraction 1/(A*B) of the database, so all machines
+// hold equal shares before and after the move.
+struct MigrationSchedule {
+  int nodes_before = 0;
+  int nodes_after = 0;
+  // Fraction of the whole database moved by each individual transfer.
+  double per_pair_fraction = 0.0;
+  std::vector<ScheduleRound> rounds;
+
+  bool IsScaleOut() const { return nodes_after > nodes_before; }
+  // Total fraction of the database in flight over the whole move:
+  // 1 - B/A on scale-out, 1 - A/B on scale-in.
+  double TotalFractionMoved() const;
+
+  // Pretty-prints the schedule in the style of the paper's Table 1.
+  std::string ToString() const;
+};
+
+// Builds the parallel migration schedule for a move between `before` and
+// `after` machines (either direction). Requires before, after >= 1 and
+// before != after. The schedule maximizes parallelism (Eq. 2) each round
+// and allocates/deallocates machines just in time, using the three-phase
+// structure when the cluster delta is a non-multiple of the smaller
+// cluster size.
+StatusOr<MigrationSchedule> BuildMigrationSchedule(int before, int after);
+
+// Validates the structural invariants of a schedule:
+//  - every machine appears at most once per round,
+//  - every (sender, receiver) pair appears at most once overall,
+//  - senders (receivers) hold equal shares after the move,
+//  - the round count equals the theoretical minimum
+//    (smaller cluster size if delta <= smaller, else delta).
+// Returns OK or a description of the first violated invariant. Exposed
+// so tests and the migration executor can double-check schedules.
+Status ValidateSchedule(const MigrationSchedule& schedule);
+
+}  // namespace pstore
+
+#endif  // PSTORE_PLANNER_MIGRATION_SCHEDULE_H_

@@ -1,0 +1,40 @@
+#include "planner/move.h"
+
+#include <cstdio>
+
+namespace pstore {
+
+std::string Move::ToString() const {
+  char buf[96];
+  if (IsReconfiguration()) {
+    std::snprintf(buf, sizeof(buf), "[%d,%d] %d->%d", start_slot, end_slot,
+                  nodes_before, nodes_after);
+  } else {
+    std::snprintf(buf, sizeof(buf), "[%d,%d] stay %d", start_slot, end_slot,
+                  nodes_before);
+  }
+  return buf;
+}
+
+std::vector<Move> PlanResult::Condensed() const {
+  std::vector<Move> out;
+  for (const Move& move : moves) {
+    if (!out.empty() && !out.back().IsReconfiguration() &&
+        !move.IsReconfiguration() &&
+        out.back().nodes_after == move.nodes_before) {
+      out.back().end_slot = move.end_slot;
+      continue;
+    }
+    out.push_back(move);
+  }
+  return out;
+}
+
+const Move* PlanResult::FirstReconfiguration() const {
+  for (const Move& move : moves) {
+    if (move.IsReconfiguration()) return &move;
+  }
+  return nullptr;
+}
+
+}  // namespace pstore

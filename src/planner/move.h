@@ -1,0 +1,48 @@
+#ifndef PSTORE_PLANNER_MOVE_H_
+#define PSTORE_PLANNER_MOVE_H_
+
+#include <string>
+#include <vector>
+
+namespace pstore {
+
+// One move of the predictive elasticity algorithm (paper §4.3): a
+// reconfiguration from nodes_before to nodes_after machines occupying the
+// half-open slot interval (start_slot, end_slot]. A move with
+// nodes_before == nodes_after is the "do nothing" move, which by
+// definition lasts exactly one slot.
+struct Move {
+  int start_slot = 0;
+  int end_slot = 0;
+  int nodes_before = 0;
+  int nodes_after = 0;
+
+  bool IsReconfiguration() const { return nodes_before != nodes_after; }
+  int DurationSlots() const { return end_slot - start_slot; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Move&, const Move&) = default;
+};
+
+// A full plan: contiguous moves covering slots (0, T], plus the total
+// cost in machine-slots (including the N0 machines billed for slot 0,
+// matching Algorithm 2's base case).
+struct PlanResult {
+  std::vector<Move> moves;
+  double total_cost = 0.0;
+  int final_nodes = 0;
+
+  // The plan with consecutive "do nothing" moves merged, so the caller
+  // sees actual reconfigurations separated by idle stretches.
+  std::vector<Move> Condensed() const;
+
+  // The first actual reconfiguration, or nullptr if the plan never
+  // changes the machine count (the controller executes only this move,
+  // in receding-horizon fashion, paper §6).
+  const Move* FirstReconfiguration() const;
+};
+
+}  // namespace pstore
+
+#endif  // PSTORE_PLANNER_MOVE_H_

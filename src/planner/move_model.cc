@@ -1,0 +1,157 @@
+#include "planner/move_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pstore {
+namespace {
+
+// Shared derived quantities of Algorithm 4: the larger and smaller
+// cluster sizes, their difference, and the remainder of delta / smaller.
+struct MoveShape {
+  int larger;
+  int smaller;
+  int delta;
+  int remainder;
+};
+
+MoveShape ShapeOf(int before, int after) {
+  MoveShape shape;
+  shape.larger = std::max(before, after);
+  shape.smaller = std::min(before, after);
+  shape.delta = shape.larger - shape.smaller;
+  shape.remainder = shape.smaller == 0 ? 0 : shape.delta % shape.smaller;
+  return shape;
+}
+
+}  // namespace
+
+int MaxParallelTransfers(int before, int after, int partitions_per_node) {
+  PSTORE_CHECK(before >= 1 && after >= 1 && partitions_per_node >= 1);
+  if (before == after) return 0;
+  const MoveShape shape = ShapeOf(before, after);
+  return partitions_per_node * std::min(shape.smaller, shape.delta);
+}
+
+double MoveTime(int before, int after, const PlannerParams& params) {
+  PSTORE_CHECK(before >= 1 && after >= 1);
+  if (before == after) return 0.0;
+  const int parallel =
+      MaxParallelTransfers(before, after, params.partitions_per_node);
+  const double fraction_moved =
+      before < after
+          ? 1.0 - static_cast<double>(before) / static_cast<double>(after)
+          : 1.0 - static_cast<double>(after) / static_cast<double>(before);
+  return params.d_slots / static_cast<double>(parallel) * fraction_moved;
+}
+
+double Capacity(int nodes, const PlannerParams& params) {
+  PSTORE_CHECK(nodes >= 0);
+  return params.target_rate_per_node * static_cast<double>(nodes);
+}
+
+double EffectiveCapacity(int before, int after, double fraction_moved,
+                         const PlannerParams& params) {
+  PSTORE_CHECK(before >= 1 && after >= 1);
+  const double f = std::clamp(fraction_moved, 0.0, 1.0);
+  const double b = static_cast<double>(before);
+  const double a = static_cast<double>(after);
+  if (before == after) return Capacity(before, params);
+  // Share of the database held by each of the busiest machines: the
+  // original B machines when scaling out, the surviving A machines when
+  // scaling in.
+  double largest_share;
+  if (before < after) {
+    largest_share = 1.0 / b - f * (1.0 / b - 1.0 / a);
+  } else {
+    largest_share = 1.0 / b + f * (1.0 / a - 1.0 / b);
+  }
+  // 1/largest_share is the size of an evenly-loaded cluster with the same
+  // capacity as the current, unevenly-loaded one.
+  return params.target_rate_per_node / largest_share;
+}
+
+int MachinesAllocatedAt(int before, int after, double f) {
+  PSTORE_CHECK(before >= 1 && after >= 1);
+  f = std::clamp(f, 0.0, 1.0);
+  if (before == after) return before;
+  const MoveShape shape = ShapeOf(before, after);
+  const int s = shape.smaller;
+  const int l = shape.larger;
+  const int delta = shape.delta;
+  const int r = shape.remainder;
+
+  // Machine allocation is symmetric: a scale-in profile is the
+  // time-reverse of the corresponding scale-out profile.
+  const double g = before < after ? f : 1.0 - f;
+
+  // Case 1: all machines added at once.
+  if (s >= delta) return l;
+
+  // Case 2: delta is a multiple of s; blocks of s machines are allocated
+  // and filled one after another, each taking s/delta of the move.
+  if (r == 0) {
+    const int blocks = delta / s;
+    int active_block =
+        static_cast<int>(std::floor(g * static_cast<double>(blocks)));
+    active_block = std::min(active_block, blocks - 1);
+    return s + (active_block + 1) * s;
+  }
+
+  // Case 3: three phases (paper §4.4.1, Fig. 4c).
+  //   Phase 1: n1 = floor(delta/s) - 1 blocks of s, filled completely,
+  //            each taking s/delta of the move.
+  //   Phase 2: one more block of s, filled r/s of the way (r/delta of
+  //            the move), bringing allocation to l - r.
+  //   Phase 3: the final r machines (s/delta of the move), allocation l.
+  const int n1 = delta / s - 1;
+  const double step = static_cast<double>(s) / static_cast<double>(delta);
+  const double phase1_end = static_cast<double>(n1) * step;
+  const double phase2_end =
+      phase1_end + static_cast<double>(r) / static_cast<double>(delta);
+  if (g < phase1_end) {
+    int active_step = static_cast<int>(std::floor(g / step));
+    active_step = std::min(active_step, n1 - 1);
+    return s + (active_step + 1) * s;
+  }
+  if (g < phase2_end) return l - r;
+  return l;
+}
+
+double AvgMachinesAllocated(int before, int after) {
+  PSTORE_CHECK(before >= 1 && after >= 1);
+  if (before == after) return before;
+  const MoveShape shape = ShapeOf(before, after);
+  const double s = shape.smaller;
+  const double l = shape.larger;
+  const double delta = shape.delta;
+  const double r = shape.remainder;
+
+  // Case 1: all machines added or removed at once.
+  if (s >= delta) return l;
+
+  // Case 2: delta is a multiple of the smaller cluster.
+  if (shape.remainder == 0) return (2.0 * s + l) / 2.0;
+
+  // Case 3: three phases (Algorithm 4, lines 8-18).
+  const double n1 = std::floor(delta / s) - 1.0;  // steps in phase 1
+  const double t1 = s / delta;                    // time per phase-1 step
+  const double m1 = (s + l - r) / 2.0;            // avg machines, phase 1
+  const double phase1 = n1 * t1 * m1;
+  const double t2 = r / delta;  // time for phase 2
+  const double m2 = l - r;      // machines during phase 2
+  const double phase2 = t2 * m2;
+  const double t3 = s / delta;  // time for phase 3
+  const double m3 = l;          // machines during phase 3
+  const double phase3 = t3 * m3;
+  return phase1 + phase2 + phase3;
+}
+
+double MoveCost(int before, int after, const PlannerParams& params) {
+  if (before == after) return 0.0;
+  return MoveTime(before, after, params) * AvgMachinesAllocated(before, after);
+}
+
+}  // namespace pstore

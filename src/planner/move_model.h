@@ -1,0 +1,66 @@
+#ifndef PSTORE_PLANNER_MOVE_MODEL_H_
+#define PSTORE_PLANNER_MOVE_MODEL_H_
+
+namespace pstore {
+
+// Model parameters extracted by offline evaluation (paper §4.1).
+struct PlannerParams {
+  // Q: target throughput of each server, in load units per slot-rate
+  // (whatever unit the predicted-load series uses, e.g. txn/s).
+  double target_rate_per_node = 285.0;
+  // Q-hat: maximum throughput of each server before the latency
+  // constraint is violated. Only used by monitoring/reporting; the
+  // planner plans against Q.
+  double max_rate_per_node = 350.0;
+  // D: time to migrate the entire database exactly once with a single
+  // sender-receiver thread pair, expressed in planning slots.
+  double d_slots = 15.4;  // 77 min at 5-minute slots
+  // P: number of data partitions per machine.
+  int partitions_per_node = 1;
+  // Ablation knob: when true, the planner pretends newly allocated
+  // machines serve at full capacity immediately (the stateless-service
+  // assumption of data-center provisioning work, §9) instead of using
+  // Eq. 7's effective capacity. Underestimates migration lag; kept only
+  // to quantify how much the effective-capacity model matters.
+  bool assume_instant_capacity = false;
+};
+
+// Eq. 2: the maximum number of parallel data transfers when moving from
+// `before` to `after` machines with `partitions_per_node` partitions per
+// machine. Zero when before == after.
+int MaxParallelTransfers(int before, int after, int partitions_per_node);
+
+// Eq. 3: time for the move from `before` to `after` machines, in the same
+// (fractional) slot units as params.d_slots. Zero when before == after.
+double MoveTime(int before, int after, const PlannerParams& params);
+
+// Eq. 5: total capacity of n evenly-loaded machines, Q * n.
+double Capacity(int nodes, const PlannerParams& params);
+
+// Eq. 7: effective capacity of the system after a fraction
+// `fraction_moved` (in [0,1]) of the migrating data has been moved during
+// a reconfiguration from `before` to `after` machines. While data is in
+// flight the most-loaded machine bounds system throughput, so effective
+// capacity lags the machine count.
+double EffectiveCapacity(int before, int after, double fraction_moved,
+                         const PlannerParams& params);
+
+// Algorithm 4: average number of machines allocated over the course of a
+// move, taking just-in-time allocation of the three-phase schedule into
+// account. Symmetric in (before, after).
+double AvgMachinesAllocated(int before, int after);
+
+// The number of machines allocated at move-progress fraction `f` in
+// [0, 1) — the step profile whose time-average Algorithm 4 computes
+// (plotted in Fig. 4; also used by the coarse simulator for cost
+// accounting). At f == 0 the first phase's machines are already
+// allocated.
+int MachinesAllocatedAt(int before, int after, double f);
+
+// Eq. 4: cost of a move, T(B,A) * avg-mach-alloc(B,A), in machine-slots.
+// Zero when before == after.
+double MoveCost(int before, int after, const PlannerParams& params);
+
+}  // namespace pstore
+
+#endif  // PSTORE_PLANNER_MOVE_MODEL_H_

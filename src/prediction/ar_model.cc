@@ -1,0 +1,72 @@
+#include "prediction/ar_model.h"
+
+#include <string>
+
+#include "common/linalg.h"
+#include "common/logging.h"
+
+namespace pstore {
+
+ArPredictor::ArPredictor(const ArOptions& options) : options_(options) {
+  PSTORE_CHECK(options_.order >= 1);
+}
+
+Status ArPredictor::Fit(const TimeSeries& training) {
+  const size_t p = options_.order;
+  if (training.size() < p + 2) {
+    return Status::InvalidArgument("AR: training series too short");
+  }
+  const size_t rows = training.size() - p;
+  Matrix a(rows, p + 1);
+  std::vector<double> b(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    const size_t target = p + r;
+    a.At(r, 0) = 1.0;  // intercept
+    for (size_t i = 1; i <= p; ++i) {
+      a.At(r, i) = training[target - i];
+    }
+    b[r] = training[target];
+  }
+  StatusOr<std::vector<double>> solved =
+      SolveLeastSquares(a, b, options_.ridge);
+  if (!solved.ok()) return solved.status();
+  coefficients_ = std::move(*solved);
+  fitted_ = true;
+  return Status::OK();
+}
+
+StatusOr<double> ArPredictor::PredictAhead(const TimeSeries& history,
+                                           size_t tau) const {
+  StatusOr<std::vector<double>> horizon = PredictHorizon(history, tau);
+  if (!horizon.ok()) return horizon.status();
+  return horizon->back();
+}
+
+StatusOr<std::vector<double>> ArPredictor::PredictHorizon(
+    const TimeSeries& history, size_t horizon) const {
+  if (!fitted_) return Status::FailedPrecondition("AR: not fitted");
+  if (horizon == 0) return Status::InvalidArgument("AR: horizon must be >=1");
+  const size_t p = options_.order;
+  if (history.size() < p) {
+    return Status::InvalidArgument("AR: history too short");
+  }
+  // Rolling window of the most recent p values, newest last.
+  std::vector<double> window(p);
+  for (size_t i = 0; i < p; ++i) {
+    window[i] = history[history.size() - p + i];
+  }
+  std::vector<double> out;
+  out.reserve(horizon);
+  for (size_t step = 0; step < horizon; ++step) {
+    double next = coefficients_[0];
+    for (size_t i = 1; i <= p; ++i) {
+      next += coefficients_[i] * window[p - i];
+    }
+    out.push_back(next);
+    window.erase(window.begin());
+    window.push_back(next);
+  }
+  return out;
+}
+
+}  // namespace pstore

@@ -1,0 +1,44 @@
+#ifndef PSTORE_PREDICTION_AR_MODEL_H_
+#define PSTORE_PREDICTION_AR_MODEL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "prediction/predictor.h"
+
+namespace pstore {
+
+// Options for the plain auto-regressive baseline (paper §5 compares SPAR
+// against AR and ARMA).
+struct ArOptions {
+  // Number of lags p in y(t+1) = c + sum_{i=1..p} phi_i y(t+1-i).
+  size_t order = 30;
+  double ridge = 1e-8;
+};
+
+// AR(p) model fitted one-step-ahead by least squares; multi-step
+// forecasts iterate the one-step model, feeding predictions back in.
+class ArPredictor : public LoadPredictor {
+ public:
+  explicit ArPredictor(const ArOptions& options);
+
+  Status Fit(const TimeSeries& training) override;
+  StatusOr<double> PredictAhead(const TimeSeries& history,
+                                size_t tau) const override;
+  // Overridden so a horizon forecast iterates once instead of per-tau.
+  StatusOr<std::vector<double>> PredictHorizon(
+      const TimeSeries& history, size_t horizon) const override;
+  std::string name() const override { return "AR"; }
+
+  // Fitted [c, phi_1..phi_p]. Requires Fit() to have succeeded.
+  const std::vector<double>& coefficients() const { return coefficients_; }
+
+ private:
+  ArOptions options_;
+  bool fitted_ = false;
+  std::vector<double> coefficients_;
+};
+
+}  // namespace pstore
+
+#endif  // PSTORE_PREDICTION_AR_MODEL_H_

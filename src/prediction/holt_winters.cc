@@ -1,0 +1,132 @@
+#include "prediction/holt_winters.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace pstore {
+
+HoltWintersPredictor::HoltWintersPredictor(const HoltWintersOptions& options)
+    : options_(options) {
+  PSTORE_CHECK(options_.period >= 2);
+}
+
+StatusOr<HoltWintersPredictor::State> HoltWintersPredictor::RunRecursion(
+    const TimeSeries& series, double alpha, double beta, double gamma,
+    double* sse) const {
+  const size_t m = options_.period;
+  if (series.size() < 2 * m) {
+    return Status::InvalidArgument(
+        "HoltWinters: need at least two seasonal periods of data");
+  }
+  State state;
+  // Initialization: level = mean of the first period; trend = average
+  // per-slot change between the first two periods; seasonal indices =
+  // first-period deviations from its mean.
+  double first_mean = 0.0;
+  double second_mean = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    first_mean += series[i];
+    second_mean += series[m + i];
+  }
+  first_mean /= static_cast<double>(m);
+  second_mean /= static_cast<double>(m);
+  state.level = first_mean;
+  state.trend = (second_mean - first_mean) / static_cast<double>(m);
+  state.season.resize(m);
+  for (size_t i = 0; i < m; ++i) {
+    state.season[i] = series[i] - first_mean;
+  }
+
+  if (sse != nullptr) *sse = 0.0;
+  for (size_t t = m; t < series.size(); ++t) {
+    const size_t s_idx = t % m;
+    const double forecast = state.level + state.trend + state.season[s_idx];
+    if (sse != nullptr) {
+      const double err = series[t] - forecast;
+      *sse += err * err;
+    }
+    const double prev_level = state.level;
+    state.level = alpha * (series[t] - state.season[s_idx]) +
+                  (1.0 - alpha) * (state.level + state.trend);
+    state.trend =
+        beta * (state.level - prev_level) + (1.0 - beta) * state.trend;
+    state.season[s_idx] = gamma * (series[t] - state.level) +
+                          (1.0 - gamma) * state.season[s_idx];
+  }
+  return state;
+}
+
+Status HoltWintersPredictor::Fit(const TimeSeries& training) {
+  const bool search = options_.alpha < 0.0 || options_.beta < 0.0 ||
+                      options_.gamma < 0.0;
+  if (!search) {
+    alpha_ = options_.alpha;
+    beta_ = options_.beta;
+    gamma_ = options_.gamma;
+    StatusOr<State> state =
+        RunRecursion(training, alpha_, beta_, gamma_, nullptr);
+    if (!state.ok()) return state.status();
+    fitted_ = true;
+    return Status::OK();
+  }
+  // Coarse grid search minimizing one-step-ahead SSE on the training
+  // window. The grid is small because each evaluation is a full pass.
+  const double alphas[] = {0.1, 0.3, 0.5, 0.8};
+  const double betas[] = {0.0, 0.01, 0.05};
+  const double gammas[] = {0.05, 0.2, 0.5};
+  double best = std::numeric_limits<double>::infinity();
+  Status last_error = Status::OK();
+  for (const double a : alphas) {
+    for (const double b : betas) {
+      for (const double g : gammas) {
+        double sse = 0.0;
+        StatusOr<State> state = RunRecursion(training, a, b, g, &sse);
+        if (!state.ok()) {
+          last_error = state.status();
+          continue;
+        }
+        if (sse < best) {
+          best = sse;
+          alpha_ = a;
+          beta_ = b;
+          gamma_ = g;
+        }
+      }
+    }
+  }
+  if (!std::isfinite(best)) return last_error;
+  fitted_ = true;
+  return Status::OK();
+}
+
+StatusOr<double> HoltWintersPredictor::PredictAhead(const TimeSeries& history,
+                                                    size_t tau) const {
+  StatusOr<std::vector<double>> horizon = PredictHorizon(history, tau);
+  if (!horizon.ok()) return horizon.status();
+  return horizon->back();
+}
+
+StatusOr<std::vector<double>> HoltWintersPredictor::PredictHorizon(
+    const TimeSeries& history, size_t horizon) const {
+  if (!fitted_) return Status::FailedPrecondition("HoltWinters: not fitted");
+  if (horizon == 0) {
+    return Status::InvalidArgument("HoltWinters: horizon must be >= 1");
+  }
+  StatusOr<State> state =
+      RunRecursion(history, alpha_, beta_, gamma_, nullptr);
+  if (!state.ok()) return state.status();
+  const size_t m = options_.period;
+  const size_t t = history.size();  // next index to be observed is t
+  std::vector<double> out;
+  out.reserve(horizon);
+  for (size_t h = 1; h <= horizon; ++h) {
+    const size_t s_idx = (t + h - 1) % m;
+    out.push_back(state->level + static_cast<double>(h) * state->trend +
+                  state->season[s_idx]);
+  }
+  return out;
+}
+
+}  // namespace pstore

@@ -1,0 +1,68 @@
+#ifndef PSTORE_PREDICTION_HOLT_WINTERS_H_
+#define PSTORE_PREDICTION_HOLT_WINTERS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "prediction/predictor.h"
+
+namespace pstore {
+
+// Options for additive Holt-Winters (triple exponential smoothing), a
+// classic seasonal forecaster included as an additional baseline next to
+// the paper's SPAR/ARMA/AR comparison.
+struct HoltWintersOptions {
+  // Seasonal period in slots (1440 for per-minute data, daily cycle).
+  size_t period = 1440;
+  // Smoothing factors; negative values mean "grid-search on the
+  // training data" (coarse grid, minimizing one-step-ahead SSE).
+  double alpha = -1.0;  // level
+  double beta = -1.0;   // trend
+  double gamma = -1.0;  // seasonal
+};
+
+// Additive Holt-Winters:
+//   level_t  = alpha (y_t - season_{t-m}) + (1-alpha)(level + trend)
+//   trend_t  = beta (level_t - level_{t-1}) + (1-beta) trend_{t-1}
+//   season_t = gamma (y_t - level_t) + (1-gamma) season_{t-m}
+//   y-hat_{t+h} = level_t + h trend_t + season_{t-m+1+((h-1) mod m)}
+class HoltWintersPredictor : public LoadPredictor {
+ public:
+  explicit HoltWintersPredictor(const HoltWintersOptions& options);
+
+  Status Fit(const TimeSeries& training) override;
+  StatusOr<double> PredictAhead(const TimeSeries& history,
+                                size_t tau) const override;
+  // Runs the state recursion over the history once, then forecasts the
+  // whole horizon — much cheaper than per-tau calls.
+  StatusOr<std::vector<double>> PredictHorizon(
+      const TimeSeries& history, size_t horizon) const override;
+  std::string name() const override { return "HoltWinters"; }
+
+  double alpha() const { return alpha_; }
+  double beta() const { return beta_; }
+  double gamma() const { return gamma_; }
+
+ private:
+  struct State {
+    double level = 0.0;
+    double trend = 0.0;
+    std::vector<double> season;  // circular, length = period
+  };
+
+  // Runs the smoothing recursion over `series`; returns the final state,
+  // and (optionally) accumulates the one-step-ahead squared error.
+  StatusOr<State> RunRecursion(const TimeSeries& series, double alpha,
+                               double beta, double gamma,
+                               double* sse) const;
+
+  HoltWintersOptions options_;
+  bool fitted_ = false;
+  double alpha_ = 0.3;
+  double beta_ = 0.05;
+  double gamma_ = 0.3;
+};
+
+}  // namespace pstore
+
+#endif  // PSTORE_PREDICTION_HOLT_WINTERS_H_

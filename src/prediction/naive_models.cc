@@ -1,0 +1,65 @@
+#include "prediction/naive_models.h"
+
+#include "common/logging.h"
+
+namespace pstore {
+
+SeasonalNaivePredictor::SeasonalNaivePredictor(size_t period)
+    : period_(period) {
+  PSTORE_CHECK(period_ >= 1);
+}
+
+Status SeasonalNaivePredictor::Fit(const TimeSeries& training) {
+  if (training.size() < period_) {
+    return Status::InvalidArgument("SeasonalNaive: series shorter than period");
+  }
+  return Status::OK();
+}
+
+StatusOr<double> SeasonalNaivePredictor::PredictAhead(
+    const TimeSeries& history, size_t tau) const {
+  if (tau == 0) return Status::InvalidArgument("tau must be >= 1");
+  if (tau > period_) {
+    return Status::OutOfRange("SeasonalNaive: tau exceeds the period");
+  }
+  const size_t t = history.size() - 1;
+  const size_t target = t + tau;
+  if (target < period_ || history.size() < period_ - tau + 1) {
+    return Status::InvalidArgument("SeasonalNaive: history too short");
+  }
+  return history[target - period_];
+}
+
+Status LastValuePredictor::Fit(const TimeSeries& training) {
+  (void)training;
+  return Status::OK();
+}
+
+StatusOr<double> LastValuePredictor::PredictAhead(const TimeSeries& history,
+                                                  size_t tau) const {
+  if (tau == 0) return Status::InvalidArgument("tau must be >= 1");
+  if (history.empty()) {
+    return Status::InvalidArgument("LastValue: empty history");
+  }
+  return history[history.size() - 1];
+}
+
+OraclePredictor::OraclePredictor(TimeSeries truth)
+    : truth_(std::move(truth)) {}
+
+Status OraclePredictor::Fit(const TimeSeries& training) {
+  (void)training;
+  return Status::OK();
+}
+
+StatusOr<double> OraclePredictor::PredictAhead(const TimeSeries& history,
+                                               size_t tau) const {
+  if (tau == 0) return Status::InvalidArgument("tau must be >= 1");
+  const size_t target = history.size() - 1 + tau;
+  if (history.empty() || target >= truth_.size()) {
+    return Status::OutOfRange("Oracle: target beyond reference series");
+  }
+  return truth_[target];
+}
+
+}  // namespace pstore

@@ -1,0 +1,54 @@
+#ifndef PSTORE_PREDICTION_NAIVE_MODELS_H_
+#define PSTORE_PREDICTION_NAIVE_MODELS_H_
+
+#include <cstddef>
+
+#include "prediction/predictor.h"
+
+namespace pstore {
+
+// Predicts y(t+tau) = y(t+tau-T): the value one period ago at the same
+// time of day. The simplest periodic baseline; SPAR must beat it to be
+// worth its extra machinery.
+class SeasonalNaivePredictor : public LoadPredictor {
+ public:
+  explicit SeasonalNaivePredictor(size_t period);
+
+  Status Fit(const TimeSeries& training) override;
+  StatusOr<double> PredictAhead(const TimeSeries& history,
+                                size_t tau) const override;
+  std::string name() const override { return "SeasonalNaive"; }
+
+ private:
+  size_t period_;
+};
+
+// Predicts y(t+tau) = y(t): flat continuation of the last observation.
+class LastValuePredictor : public LoadPredictor {
+ public:
+  Status Fit(const TimeSeries& training) override;
+  StatusOr<double> PredictAhead(const TimeSeries& history,
+                                size_t tau) const override;
+  std::string name() const override { return "LastValue"; }
+};
+
+// Returns the true future values from a reference series. The history
+// passed to PredictAhead must be a prefix of the reference series; the
+// prediction for slot history.size()-1+tau is the reference value there.
+// Used for the "P-Store Oracle" upper bound (Fig. 12).
+class OraclePredictor : public LoadPredictor {
+ public:
+  explicit OraclePredictor(TimeSeries truth);
+
+  Status Fit(const TimeSeries& training) override;
+  StatusOr<double> PredictAhead(const TimeSeries& history,
+                                size_t tau) const override;
+  std::string name() const override { return "Oracle"; }
+
+ private:
+  TimeSeries truth_;
+};
+
+}  // namespace pstore
+
+#endif  // PSTORE_PREDICTION_NAIVE_MODELS_H_

@@ -1,0 +1,45 @@
+#include "prediction/predictor.h"
+
+namespace pstore {
+
+StatusOr<std::vector<double>> LoadPredictor::PredictHorizon(
+    const TimeSeries& history, size_t horizon) const {
+  std::vector<double> out;
+  out.reserve(horizon);
+  for (size_t tau = 1; tau <= horizon; ++tau) {
+    StatusOr<double> value = PredictAhead(history, tau);
+    if (!value.ok()) return value.status();
+    out.push_back(*value);
+  }
+  return out;
+}
+
+StatusOr<EvaluationResult> EvaluatePredictor(const LoadPredictor& model,
+                                             const TimeSeries& series,
+                                             size_t eval_begin, size_t tau) {
+  if (tau == 0) return Status::InvalidArgument("tau must be >= 1");
+  if (eval_begin + tau >= series.size()) {
+    return Status::InvalidArgument("evaluation window is empty");
+  }
+  EvaluationResult result;
+  for (size_t t = eval_begin; t + tau < series.size(); ++t) {
+    const TimeSeries history = series.Slice(0, t + 1);
+    StatusOr<double> prediction = model.PredictAhead(history, tau);
+    if (!prediction.ok()) return prediction.status();
+    result.predicted.push_back(*prediction);
+    result.actual.push_back(series[t + tau]);
+  }
+  StatusOr<double> mre = MeanRelativeError(result.actual, result.predicted);
+  if (!mre.ok()) return mre.status();
+  StatusOr<double> mae = MeanAbsoluteError(result.actual, result.predicted);
+  if (!mae.ok()) return mae.status();
+  StatusOr<double> rmse =
+      RootMeanSquaredError(result.actual, result.predicted);
+  if (!rmse.ok()) return rmse.status();
+  result.mre = *mre;
+  result.mae = *mae;
+  result.rmse = *rmse;
+  return result;
+}
+
+}  // namespace pstore

@@ -1,0 +1,57 @@
+#ifndef PSTORE_PREDICTION_PREDICTOR_H_
+#define PSTORE_PREDICTION_PREDICTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time_series.h"
+
+namespace pstore {
+
+// Interface for aggregate-load time-series predictors (paper §5).
+//
+// Usage: Fit() once on a training window (e.g., 4 weeks of history), then
+// call PredictAhead()/PredictHorizon() with the history available at
+// decision time. The history passed at prediction time may extend past the
+// training window; models only read the lags they need from its tail.
+class LoadPredictor {
+ public:
+  virtual ~LoadPredictor() = default;
+
+  // Learns model parameters from the training series. Returns an error if
+  // the series is too short for the model's lag structure.
+  virtual Status Fit(const TimeSeries& training) = 0;
+
+  // Predicts the load `tau` slots past the end of `history` (tau >= 1).
+  virtual StatusOr<double> PredictAhead(const TimeSeries& history,
+                                        size_t tau) const = 0;
+
+  // Predicts slots 1..horizon past the end of `history`. The default
+  // implementation loops over PredictAhead.
+  virtual StatusOr<std::vector<double>> PredictHorizon(
+      const TimeSeries& history, size_t horizon) const;
+
+  // Short human-readable model name ("SPAR", "AR", ...).
+  virtual std::string name() const = 0;
+};
+
+// Walk-forward evaluation: for every slot t in [eval_begin, series.size()
+// - tau), predicts series[t + tau] from series[0..t] and collects
+// (actual, predicted) pairs. `eval_begin` must leave enough history for
+// the model's lags.
+struct EvaluationResult {
+  std::vector<double> actual;
+  std::vector<double> predicted;
+  double mre = 0.0;   // mean relative error
+  double mae = 0.0;   // mean absolute error
+  double rmse = 0.0;  // root mean squared error
+};
+
+StatusOr<EvaluationResult> EvaluatePredictor(const LoadPredictor& model,
+                                             const TimeSeries& series,
+                                             size_t eval_begin, size_t tau);
+
+}  // namespace pstore
+
+#endif  // PSTORE_PREDICTION_PREDICTOR_H_

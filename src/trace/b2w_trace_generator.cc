@@ -1,0 +1,99 @@
+#include "trace/b2w_trace_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace pstore {
+namespace {
+
+constexpr int kMinutesPerDay = 1440;
+
+// Smooth diurnal shape in [0, 1]: raised cosine centred on the peak
+// minute, sharpened slightly so the peak is broad and the trough long,
+// matching the published B2W curve.
+double DiurnalShape(int minute_of_day, int peak_minute) {
+  const double phase =
+      2.0 * M_PI * static_cast<double>(minute_of_day - peak_minute) /
+      static_cast<double>(kMinutesPerDay);
+  const double raised = 0.5 * (1.0 + std::cos(phase));
+  return std::pow(raised, 1.3);
+}
+
+}  // namespace
+
+TimeSeries GenerateB2wTrace(const B2wTraceOptions& options) {
+  PSTORE_CHECK(options.days > 0);
+  PSTORE_CHECK(options.peak_requests_per_min > 0.0);
+  PSTORE_CHECK(options.trough_fraction > 0.0 &&
+               options.trough_fraction < 1.0);
+  Rng rng(options.seed);
+
+  const double trough = options.peak_requests_per_min * options.trough_fraction;
+  const double swing = options.peak_requests_per_min - trough;
+
+  // Ornstein-Uhlenbeck drift of the amplitude around 1.0: theta sets the
+  // relaxation rate; the step noise is chosen so the stationary standard
+  // deviation equals drift_sigma.
+  const double theta =
+      options.drift_relaxation_minutes > 0.0
+          ? 1.0 / options.drift_relaxation_minutes
+          : 1.0;
+  const double step_sigma = options.drift_sigma * std::sqrt(2.0 * theta);
+  double drift = 1.0;
+
+  TimeSeries out(60.0);
+  for (int day = 0; day < options.days; ++day) {
+    // Per-day amplitude multiplier (log-normal around 1).
+    const double day_amp =
+        std::exp(options.daily_amplitude_sigma * rng.NextGaussian());
+    // Saturday = day 5, Sunday = day 6 in our synthetic calendar.
+    const int day_of_week = day % 7;
+    const bool weekend = day_of_week == 5 || day_of_week == 6;
+    const double week_factor = weekend ? options.weekend_factor : 1.0;
+
+    // Optional promotion window for this day.
+    bool has_promo = rng.NextBool(options.promo_probability);
+    int promo_start = 0;
+    int promo_len = 0;
+    if (has_promo) {
+      promo_start = static_cast<int>(rng.NextUint64(kMinutesPerDay - 300));
+      promo_len = 120 + static_cast<int>(rng.NextUint64(121));  // 2-4 h
+    }
+
+    const bool black_friday = day == options.black_friday_day;
+
+    for (int minute = 0; minute < kMinutesPerDay; ++minute) {
+      drift += theta * (1.0 - drift) + step_sigma * rng.NextGaussian();
+      drift = std::max(0.2, drift);
+      double level =
+          trough +
+          swing * DiurnalShape(minute, options.peak_minute_of_day) * day_amp *
+              week_factor * drift;
+      if (has_promo && minute >= promo_start &&
+          minute < promo_start + promo_len) {
+        level *= 1.0 + options.promo_boost;
+      }
+      if (black_friday) {
+        // The sale opens at midnight: a sharp rush ramps up in ~20 minutes
+        // and decays over a few hours, on top of an all-day elevation of
+        // the regular diurnal curve.
+        const double ramp = std::min(1.0, static_cast<double>(minute) / 20.0);
+        const double rush = ramp * std::exp(-static_cast<double>(minute) /
+                                            240.0);
+        level *= 1.0 + options.black_friday_boost * ramp;
+        level += options.peak_requests_per_min *
+                 options.black_friday_boost * 0.8 * rush;
+      }
+      const double noise =
+          1.0 + options.slot_noise_sigma * rng.NextGaussian();
+      out.Append(std::max(0.0, level * noise));
+    }
+  }
+  return out;
+}
+
+}  // namespace pstore

@@ -1,0 +1,61 @@
+#ifndef PSTORE_TRACE_B2W_TRACE_GENERATOR_H_
+#define PSTORE_TRACE_B2W_TRACE_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/time_series.h"
+
+namespace pstore {
+
+// Options for the synthetic B2W-like aggregate load generator.
+//
+// The real B2W traces are proprietary; this generator reproduces the
+// published structure of the workload (paper §1, §5, §7): a strong diurnal
+// cycle whose peak is ~10x the trough (Fig. 1), day-to-day amplitude
+// variability, weekly seasonality, occasional promotion windows, and an
+// optional Black-Friday-style surge (Fig. 13). SPAR and the planner only
+// consume this aggregate signal, so matching its generative structure
+// preserves the behaviour the paper evaluates.
+struct B2wTraceOptions {
+  // Number of days to generate (1440 one-minute slots per day).
+  int days = 3;
+  // Mean daily peak, in requests per minute (Fig. 1 peaks near 2.2e4).
+  double peak_requests_per_min = 22000.0;
+  // Trough as a fraction of the peak; the paper reports peak ~= 10x trough.
+  double trough_fraction = 0.1;
+  // Minute of day at which load peaks (15:00; the raised-cosine shape
+  // then puts the trough at 03:00, matching Fig. 1's overnight dip).
+  int peak_minute_of_day = 900;
+  // Log-normal sigma of the per-day amplitude multiplier (day-to-day
+  // variability "from seasonality of demand to advertising campaigns").
+  double daily_amplitude_sigma = 0.06;
+  // The amplitude also drifts slowly *within* the day (mean-reverting
+  // random walk): demand runs hot or cold for a few hours at a time.
+  // This is the transient structure SPAR's recent-offset term exploits.
+  // Stationary standard deviation of the drift multiplier:
+  double drift_sigma = 0.07;
+  // Mean-reversion time of the drift, in minutes.
+  double drift_relaxation_minutes = 240.0;
+  // Multiplicative Gaussian noise per slot.
+  double slot_noise_sigma = 0.05;
+  // Weekend load multiplier (mild weekly seasonality).
+  double weekend_factor = 0.85;
+  // Probability that a given day contains a promotion window; promotions
+  // multiply load by (1 + promo_boost) for 2-4 hours.
+  double promo_probability = 0.04;
+  double promo_boost = 0.6;
+  // If >= 0, day index that receives a Black-Friday surge: load jumps
+  // sharply shortly after midnight and stays elevated all day.
+  int black_friday_day = -1;
+  double black_friday_boost = 1.6;
+  // Seed for all randomness; equal seeds give bit-identical traces.
+  uint64_t seed = 42;
+};
+
+// Generates a per-minute aggregate load trace (requests per minute).
+// The returned series has slot_seconds() == 60 and days*1440 samples.
+TimeSeries GenerateB2wTrace(const B2wTraceOptions& options);
+
+}  // namespace pstore
+
+#endif  // PSTORE_TRACE_B2W_TRACE_GENERATOR_H_

@@ -1,0 +1,37 @@
+#include "trace/spike_injector.h"
+
+#include <algorithm>
+
+namespace pstore {
+
+TimeSeries InjectSpike(const TimeSeries& base, const SpikeOptions& options) {
+  TimeSeries out = base;
+  const double extra = options.magnitude - 1.0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (i < options.start_slot) continue;
+    const size_t offset = i - options.start_slot;
+    double factor = 0.0;
+    if (offset < options.ramp_slots) {
+      factor = options.ramp_slots == 0
+                   ? 1.0
+                   : static_cast<double>(offset + 1) /
+                         static_cast<double>(options.ramp_slots);
+    } else if (offset < options.ramp_slots + options.sustain_slots) {
+      factor = 1.0;
+    } else if (offset < options.ramp_slots + options.sustain_slots +
+                            options.decay_slots) {
+      const size_t into_decay =
+          offset - options.ramp_slots - options.sustain_slots;
+      factor = options.decay_slots == 0
+                   ? 0.0
+                   : 1.0 - static_cast<double>(into_decay + 1) /
+                               static_cast<double>(options.decay_slots);
+    } else {
+      break;
+    }
+    out[i] *= 1.0 + extra * std::max(0.0, factor);
+  }
+  return out;
+}
+
+}  // namespace pstore

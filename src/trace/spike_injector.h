@@ -1,0 +1,31 @@
+#ifndef PSTORE_TRACE_SPIKE_INJECTOR_H_
+#define PSTORE_TRACE_SPIKE_INJECTOR_H_
+
+#include <cstddef>
+
+#include "common/time_series.h"
+
+namespace pstore {
+
+// Parameters for an unexpected flash-crowd spike (paper §4.3.1: "a news
+// event causing a flash crowd of customers on the site", evaluated in
+// Fig. 11). The spike ramps up quickly, sustains, then decays.
+struct SpikeOptions {
+  size_t start_slot = 0;
+  // Slots over which load ramps from baseline to the full spike level.
+  size_t ramp_slots = 10;
+  // Slots at the full spike level.
+  size_t sustain_slots = 60;
+  // Slots over which load decays back to baseline.
+  size_t decay_slots = 60;
+  // Peak multiplier applied to the underlying load (2.0 doubles it).
+  double magnitude = 2.0;
+};
+
+// Returns a copy of `base` with the spike multiplied in. Slots beyond the
+// end of the series are ignored.
+TimeSeries InjectSpike(const TimeSeries& base, const SpikeOptions& options);
+
+}  // namespace pstore
+
+#endif  // PSTORE_TRACE_SPIKE_INJECTOR_H_

@@ -1,0 +1,23 @@
+#ifndef PSTORE_TRACE_TRACE_IO_H_
+#define PSTORE_TRACE_TRACE_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "common/time_series.h"
+
+namespace pstore {
+
+// Saves a load trace as a two-column CSV: header "slot,value", then one
+// row per slot. The slot duration is recorded in a leading comment line
+// ("# slot_seconds=60") so that LoadTraceCsv can round-trip it.
+Status SaveTraceCsv(const TimeSeries& trace, const std::string& path);
+
+// Loads a trace written by SaveTraceCsv. Also accepts plain two-column
+// CSVs without the comment line, in which case the slot duration defaults
+// to 60 seconds.
+StatusOr<TimeSeries> LoadTraceCsv(const std::string& path);
+
+}  // namespace pstore
+
+#endif  // PSTORE_TRACE_TRACE_IO_H_

@@ -1,0 +1,71 @@
+#include "trace/wikipedia_trace_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace pstore {
+namespace {
+
+struct EditionProfile {
+  double base;            // mean requests per hour
+  double diurnal_amp;     // diurnal swing as fraction of base
+  double weekly_amp;      // weekend dip as fraction of base
+  double noise_sigma;     // per-hour multiplicative noise
+  double event_rate;      // expected transient "news events" per day
+  double event_boost;     // event magnitude as fraction of base
+  int peak_hour;          // local hour of peak traffic
+};
+
+EditionProfile ProfileFor(WikipediaEdition edition) {
+  switch (edition) {
+    case WikipediaEdition::kEnglish:
+      // Strongly periodic, large, smooth: MRE stays in single digits.
+      return {7.0e6, 0.35, 0.05, 0.02, 0.05, 0.25, 16};
+    case WikipediaEdition::kGerman:
+      // Smaller, noisier, less periodic: visibly harder to predict.
+      return {1.6e6, 0.45, 0.12, 0.06, 0.25, 0.5, 19};
+  }
+  PSTORE_CHECK(false);
+}
+
+}  // namespace
+
+TimeSeries GenerateWikipediaTrace(const WikipediaTraceOptions& options) {
+  PSTORE_CHECK(options.days > 0);
+  const EditionProfile profile = ProfileFor(options.edition);
+  Rng rng(options.seed);
+
+  TimeSeries out(3600.0);
+  // Pending transient event: hours remaining and current magnitude.
+  double event_level = 0.0;
+  for (int day = 0; day < options.days; ++day) {
+    const int day_of_week = day % 7;
+    const bool weekend = day_of_week == 5 || day_of_week == 6;
+    const double week_factor = weekend ? 1.0 - profile.weekly_amp : 1.0;
+    const double day_amp = std::exp(0.03 * rng.NextGaussian());
+
+    for (int hour = 0; hour < 24; ++hour) {
+      // New transient event (news spike) begins with small probability.
+      if (rng.NextBool(profile.event_rate / 24.0)) {
+        event_level =
+            profile.base * profile.event_boost * rng.NextDouble(0.5, 1.5);
+      }
+      const double phase = 2.0 * M_PI *
+                           static_cast<double>(hour - profile.peak_hour) /
+                           24.0;
+      const double diurnal = 1.0 + profile.diurnal_amp * std::cos(phase);
+      double level = profile.base * diurnal * week_factor * day_amp;
+      level += event_level;
+      // Events decay with a half-life of ~4 hours.
+      event_level *= std::exp(-std::log(2.0) / 4.0);
+      const double noise = 1.0 + profile.noise_sigma * rng.NextGaussian();
+      out.Append(std::max(0.0, level * noise));
+    }
+  }
+  return out;
+}
+
+}  // namespace pstore

@@ -1,0 +1,34 @@
+#ifndef PSTORE_TRACE_WIKIPEDIA_TRACE_GENERATOR_H_
+#define PSTORE_TRACE_WIKIPEDIA_TRACE_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/time_series.h"
+
+namespace pstore {
+
+// Which published Wikipedia page-view trace to imitate (paper §5):
+// the English-language edition is strongly periodic and highly
+// predictable; the German-language edition has weaker periodicity and
+// more transient variation, so prediction error is visibly higher.
+enum class WikipediaEdition {
+  kEnglish,
+  kGerman,
+};
+
+// Options for the synthetic Wikipedia-like hourly page-view generator.
+struct WikipediaTraceOptions {
+  WikipediaEdition edition = WikipediaEdition::kEnglish;
+  // Number of days to generate (24 one-hour slots per day).
+  int days = 56;
+  uint64_t seed = 7;
+};
+
+// Generates a per-hour page-request trace (requests per hour). English
+// peaks near 1e7 req/h (Fig. 6a left); German near 2.5e6 (Fig. 6a right).
+// The returned series has slot_seconds() == 3600 and days*24 samples.
+TimeSeries GenerateWikipediaTrace(const WikipediaTraceOptions& options);
+
+}  // namespace pstore
+
+#endif  // PSTORE_TRACE_WIKIPEDIA_TRACE_GENERATOR_H_

@@ -1,0 +1,156 @@
+#include "ycsb/ycsb_workload.h"
+
+#include "common/logging.h"
+
+namespace pstore {
+namespace ycsb {
+namespace {
+
+TxnResult Commit(int64_t value = 0) {
+  return TxnResult{TxnStatus::kCommitted, value};
+}
+TxnResult Abort() { return TxnResult{TxnStatus::kAborted, 0}; }
+
+TxnResult Read(const TxnContext& ctx) {
+  const Row* row = ctx.partition->Get(ctx.bucket, kUserTable, ctx.key);
+  if (row == nullptr) return Abort();
+  return Commit(row->f0);
+}
+
+TxnResult Update(const TxnContext& ctx) {
+  Row* row = ctx.partition->GetMutable(ctx.bucket, kUserTable, ctx.key);
+  if (row == nullptr) return Abort();
+  row->f0 += 1;  // version counter
+  row->f1 = ctx.arg;
+  return Commit(row->f0);
+}
+
+TxnResult Insert(const TxnContext& ctx) {
+  Row row;
+  row.payload_bytes = ctx.arg == 0 ? 1024 : ctx.arg;
+  row.f0 = 1;
+  ctx.partition->Put(ctx.bucket, kUserTable, ctx.key, row);
+  return Commit();
+}
+
+TxnResult ReadModifyWrite(const TxnContext& ctx) {
+  Row* row = ctx.partition->GetMutable(ctx.bucket, kUserTable, ctx.key);
+  if (row == nullptr) return Abort();
+  const int64_t read_value = row->f1;
+  row->f0 += 1;
+  row->f1 = read_value ^ static_cast<int64_t>(ctx.arg);
+  return Commit(read_value);
+}
+
+// Atomic two-key transfer: moves `arg` units of f2 from the first key to
+// the second. Aborts (changing nothing) if either row is missing or the
+// source has insufficient balance.
+TxnResult MultiTransfer(const TxnContext* contexts, int num_keys) {
+  if (num_keys < 2) return Abort();
+  Row* from = contexts[0].partition->GetMutable(contexts[0].bucket,
+                                                kUserTable, contexts[0].key);
+  Row* to = contexts[1].partition->GetMutable(contexts[1].bucket, kUserTable,
+                                              contexts[1].key);
+  if (from == nullptr || to == nullptr) return Abort();
+  const int64_t amount = contexts[0].arg % 100;
+  if (from->f2 < amount) return Abort();
+  from->f2 -= amount;
+  to->f2 += amount;
+  return Commit(amount);
+}
+
+}  // namespace
+
+Workload::Workload(const WorkloadOptions& options) : options_(options) {
+  PSTORE_CHECK(options_.record_count >= 1);
+  if (options_.zipf_theta > 0.0) {
+    zipf_ = std::make_unique<ZipfGenerator>(options_.record_count,
+                                            options_.zipf_theta);
+  }
+}
+
+Status Workload::RegisterProcedures(TxnExecutor* executor) {
+  if (executor == nullptr) return Status::InvalidArgument("null executor");
+  struct Entry {
+    ProcedureId id;
+    ProcedureHandler handler;
+    double scale;
+  };
+  const Entry entries[] = {
+      {kRead, Read, 0.7},
+      {kUpdate, Update, 1.0},
+      {kInsert, Insert, 1.1},
+      {kReadModifyWrite, ReadModifyWrite, 1.2},
+  };
+  for (const Entry& entry : entries) {
+    const Status status =
+        executor->RegisterProcedure(entry.id, entry.handler, entry.scale);
+    if (!status.ok()) return status;
+  }
+  return executor->RegisterMultiProcedure(kMultiTransfer, MultiTransfer, 1.0);
+}
+
+Status Workload::LoadInitialData(Cluster* cluster) const {
+  if (cluster == nullptr) return Status::InvalidArgument("null cluster");
+  Row row;
+  row.payload_bytes = options_.record_bytes;
+  row.f0 = 1;
+  row.f2 = 1000;  // balance for two-key transfers
+  for (uint64_t i = 0; i < options_.record_count; ++i) {
+    const uint64_t key = UserKey(i);
+    const BucketId bucket = cluster->BucketForKey(key);
+    cluster->partition(cluster->PartitionOfBucket(bucket))
+        .Put(bucket, kUserTable, key, row);
+  }
+  return Status::OK();
+}
+
+uint64_t Workload::NextKeyIndex(Rng& rng) {
+  if (zipf_ != nullptr) return zipf_->NextKey(rng);
+  return rng.NextUint64(options_.record_count);
+}
+
+TxnRequest Workload::NextTransaction(Rng& rng) {
+  TxnRequest request;
+  request.arg = static_cast<uint32_t>(rng.NextUint64(1 << 16));
+  if (options_.multi_key_fraction > 0.0 &&
+      rng.NextBool(options_.multi_key_fraction)) {
+    request.procedure = kMultiTransfer;
+    request.key = UserKey(NextKeyIndex(rng));
+    request.num_extra_keys = 1;
+    uint64_t other = NextKeyIndex(rng);
+    if (UserKey(other) == request.key) {
+      other = (other + 1) % options_.record_count;
+    }
+    request.extra_keys[0] = UserKey(other);
+    return request;
+  }
+  const double roll = rng.NextDouble();
+  switch (options_.mix) {
+    case Mix::kA:
+      request.procedure = roll < 0.5 ? kRead : kUpdate;
+      break;
+    case Mix::kB:
+      request.procedure = roll < 0.95 ? kRead : kUpdate;
+      break;
+    case Mix::kC:
+      request.procedure = kRead;
+      break;
+    case Mix::kF:
+      request.procedure = roll < 0.5 ? kRead : kReadModifyWrite;
+      break;
+  }
+  // A small insert share keeps the table churning (keys recycle).
+  if (roll > 0.98 && options_.mix != Mix::kC) {
+    request.procedure = kInsert;
+    request.key = UserKey(insert_cursor_);
+    insert_cursor_ = (insert_cursor_ + 1) % options_.record_count;
+    request.arg = options_.record_bytes;
+    return request;
+  }
+  request.key = UserKey(NextKeyIndex(rng));
+  return request;
+}
+
+}  // namespace ycsb
+}  // namespace pstore

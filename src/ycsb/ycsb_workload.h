@@ -1,0 +1,85 @@
+#ifndef PSTORE_YCSB_YCSB_WORKLOAD_H_
+#define PSTORE_YCSB_YCSB_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/zipf.h"
+#include "engine/cluster.h"
+#include "engine/transaction.h"
+#include "engine/txn_executor.h"
+
+namespace pstore {
+namespace ycsb {
+
+// A YCSB-style key/value workload on the engine: single-row reads,
+// updates, inserts and read-modify-writes over a keyspace with
+// configurable Zipfian popularity skew. E-Store and Clay evaluate on
+// exactly this kind of workload; here it drives the skew/load-balancing
+// extension (the paper's future-work direction of combining predictive
+// provisioning with skew management).
+enum Procedure : ProcedureId {
+  kRead = 32,  // offset so they can coexist with the B2W procedures
+  kUpdate,
+  kInsert,
+  kReadModifyWrite,
+  // Two-key transfer (subtract at key 0, add at key 1): becomes a
+  // distributed transaction when the keys land on different partitions.
+  kMultiTransfer,
+  kEnd,
+};
+
+inline constexpr TableId kUserTable = 7;
+inline constexpr uint64_t kYcsbKeyBase = 0x7ULL << 60;
+
+inline uint64_t UserKey(uint64_t index) { return kYcsbKeyBase | index; }
+
+// Standard mixes: A = 50/50 read/update, B = 95/5 read/update,
+// C = read-only, F = read-modify-write.
+enum class Mix { kA, kB, kC, kF };
+
+struct WorkloadOptions {
+  uint64_t record_count = 100000;
+  uint32_t record_bytes = 1024;
+  Mix mix = Mix::kB;
+  // Zipfian skew of key popularity; 0 = uniform, 0.99 = YCSB default.
+  double zipf_theta = 0.0;
+  // Fraction of transactions that are two-key transfers (potentially
+  // distributed). The paper assumes this is near zero (§4.2); raising
+  // it probes how that assumption degrades scalability.
+  double multi_key_fraction = 0.0;
+  uint64_t seed = 31;
+};
+
+// Generates YCSB transactions and pre-loads the user table.
+class Workload {
+ public:
+  explicit Workload(const WorkloadOptions& options);
+  Workload(const Workload&) = delete;
+  Workload& operator=(const Workload&) = delete;
+
+  // Registers the four procedures with the executor.
+  static Status RegisterProcedures(TxnExecutor* executor);
+
+  // Pre-populates the user table, bypassing the execution queues.
+  Status LoadInitialData(Cluster* cluster) const;
+
+  // Produces the next transaction according to the mix and skew.
+  TxnRequest NextTransaction(Rng& rng);
+
+  const WorkloadOptions& options() const { return options_; }
+
+ private:
+  uint64_t NextKeyIndex(Rng& rng);
+
+  WorkloadOptions options_;
+  std::unique_ptr<ZipfGenerator> zipf_;  // null when theta == 0
+  uint64_t insert_cursor_ = 0;
+};
+
+}  // namespace ycsb
+}  // namespace pstore
+
+#endif  // PSTORE_YCSB_YCSB_WORKLOAD_H_

@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "b2w/procedures.h"
+#include "b2w/schema.h"
+#include "b2w/workload.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "engine/cluster.h"
+#include "engine/metrics.h"
+#include "engine/txn_executor.h"
+
+namespace pstore {
+namespace b2w {
+namespace {
+
+class B2wProcedureTest : public ::testing::Test {
+ protected:
+  B2wProcedureTest()
+      : cluster_(MakeOptions()), executor_(&cluster_, nullptr, ExecOptions()) {
+    PSTORE_CHECK_OK(RegisterProcedures(&executor_));
+  }
+
+  static ClusterOptions MakeOptions() {
+    ClusterOptions options;
+    options.partitions_per_node = 2;
+    options.max_nodes = 2;
+    options.initial_nodes = 1;
+    options.num_buckets = 32;
+    return options;
+  }
+  static ExecutorOptions ExecOptions() {
+    ExecutorOptions options;
+    options.mean_service_seconds = 0.001;
+    return options;
+  }
+
+  TxnResult Run(ProcedureId procedure, uint64_t key, uint32_t arg = 0) {
+    TxnRequest request;
+    request.procedure = procedure;
+    request.key = key;
+    request.arg = arg;
+    now_ += 1000;
+    return executor_.Submit(request, now_);
+  }
+
+  const Row* Lookup(TableId table, uint64_t key) {
+    const BucketId bucket = cluster_.BucketForKey(key);
+    return cluster_.partition(cluster_.PartitionOfBucket(bucket))
+        .Get(bucket, table, key);
+  }
+
+  void SeedStock(uint64_t key, int64_t available) {
+    const BucketId bucket = cluster_.BucketForKey(key);
+    Row stock;
+    stock.payload_bytes = kStockRowBytes;
+    stock.f0 = available;
+    cluster_.partition(cluster_.PartitionOfBucket(bucket))
+        .Put(bucket, kStockTable, key, stock);
+  }
+
+  Cluster cluster_;
+  TxnExecutor executor_;
+  SimTime now_ = 0;
+};
+
+// ---- Cart lifecycle -----------------------------------------------------
+
+TEST_F(B2wProcedureTest, AddLineCreatesCart) {
+  const uint64_t cart = CartKey(1);
+  const TxnResult result = Run(kAddLineToCart, cart, 500);
+  EXPECT_EQ(result.status, TxnStatus::kCommitted);
+  EXPECT_EQ(result.value, 1);  // one line
+  const Row* row = Lookup(kCartTable, cart);
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->f0, 1);
+  EXPECT_EQ(row->f2, 500);
+  EXPECT_EQ(row->payload_bytes, kCartBaseBytes + kCartLineBytes);
+}
+
+TEST_F(B2wProcedureTest, AddLineAppendsAndGrowsPayload) {
+  const uint64_t cart = CartKey(2);
+  Run(kAddLineToCart, cart, 100);
+  const TxnResult result = Run(kAddLineToCart, cart, 250);
+  EXPECT_EQ(result.value, 2);
+  const Row* row = Lookup(kCartTable, cart);
+  EXPECT_EQ(row->f0, 2);
+  EXPECT_EQ(row->f2, 350);
+  EXPECT_EQ(row->payload_bytes, kCartBaseBytes + 2 * kCartLineBytes);
+}
+
+TEST_F(B2wProcedureTest, NewCartFlagResetsExistingCart) {
+  const uint64_t cart = CartKey(3);
+  Run(kAddLineToCart, cart, 100);
+  Run(kAddLineToCart, cart, 100);
+  Run(kAddLineToCart, cart, kNewCartFlag | 900);
+  const Row* row = Lookup(kCartTable, cart);
+  EXPECT_EQ(row->f0, 1);
+  EXPECT_EQ(row->f2, 900);
+}
+
+TEST_F(B2wProcedureTest, DeleteLineFromCart) {
+  const uint64_t cart = CartKey(4);
+  Run(kAddLineToCart, cart, 100);
+  Run(kAddLineToCart, cart, 100);
+  EXPECT_EQ(Run(kDeleteLineFromCart, cart).status, TxnStatus::kCommitted);
+  EXPECT_EQ(Lookup(kCartTable, cart)->f0, 1);
+  EXPECT_EQ(Run(kDeleteLineFromCart, cart).status, TxnStatus::kCommitted);
+  // Empty cart: further deletes abort.
+  EXPECT_EQ(Run(kDeleteLineFromCart, cart).status, TxnStatus::kAborted);
+}
+
+TEST_F(B2wProcedureTest, GetCartMissingAborts) {
+  EXPECT_EQ(Run(kGetCart, CartKey(999)).status, TxnStatus::kAborted);
+}
+
+TEST_F(B2wProcedureTest, DeleteCartRemovesRow) {
+  const uint64_t cart = CartKey(5);
+  Run(kAddLineToCart, cart, 100);
+  EXPECT_EQ(Run(kDeleteCart, cart).status, TxnStatus::kCommitted);
+  EXPECT_EQ(Lookup(kCartTable, cart), nullptr);
+  EXPECT_EQ(Run(kDeleteCart, cart).status, TxnStatus::kAborted);
+}
+
+TEST_F(B2wProcedureTest, ReserveCartSetsStatus) {
+  const uint64_t cart = CartKey(6);
+  Run(kAddLineToCart, cart, 100);
+  EXPECT_EQ(Run(kReserveCart, cart).status, TxnStatus::kCommitted);
+  EXPECT_EQ(Lookup(kCartTable, cart)->f1,
+            static_cast<int64_t>(CartStatus::kReserved));
+}
+
+// ---- Stock lifecycle --------------------------------------------------------
+
+TEST_F(B2wProcedureTest, StockReserveThenPurchase) {
+  const uint64_t sku = StockKey(1);
+  SeedStock(sku, 10);
+  EXPECT_EQ(Run(kGetStockQuantity, sku).value, 10);
+  EXPECT_EQ(Run(kReserveStock, sku, 3).status, TxnStatus::kCommitted);
+  const Row* row = Lookup(kStockTable, sku);
+  EXPECT_EQ(row->f0, 7);
+  EXPECT_EQ(row->f1, 3);
+  EXPECT_EQ(Run(kPurchaseStock, sku, 2).status, TxnStatus::kCommitted);
+  row = Lookup(kStockTable, sku);
+  EXPECT_EQ(row->f1, 1);
+  EXPECT_EQ(row->f2, 2);
+}
+
+TEST_F(B2wProcedureTest, ReserveMoreThanAvailableAborts) {
+  const uint64_t sku = StockKey(2);
+  SeedStock(sku, 2);
+  EXPECT_EQ(Run(kReserveStock, sku, 5).status, TxnStatus::kAborted);
+  // State unchanged on abort.
+  EXPECT_EQ(Lookup(kStockTable, sku)->f0, 2);
+  EXPECT_EQ(Lookup(kStockTable, sku)->f1, 0);
+}
+
+TEST_F(B2wProcedureTest, CancelReservationRestoresAvailability) {
+  const uint64_t sku = StockKey(3);
+  SeedStock(sku, 5);
+  Run(kReserveStock, sku, 4);
+  EXPECT_EQ(Run(kCancelStockReservation, sku, 4).status,
+            TxnStatus::kCommitted);
+  EXPECT_EQ(Lookup(kStockTable, sku)->f0, 5);
+  EXPECT_EQ(Lookup(kStockTable, sku)->f1, 0);
+}
+
+TEST_F(B2wProcedureTest, PurchaseWithoutReservationAborts) {
+  const uint64_t sku = StockKey(4);
+  SeedStock(sku, 5);
+  EXPECT_EQ(Run(kPurchaseStock, sku, 1).status, TxnStatus::kAborted);
+}
+
+TEST_F(B2wProcedureTest, StockTransactionLifecycle) {
+  const uint64_t txn = StockTxnKey(1);
+  EXPECT_EQ(Run(kCreateStockTransaction, txn).status, TxnStatus::kCommitted);
+  EXPECT_EQ(Run(kGetStockTransaction, txn).value,
+            static_cast<int64_t>(StockTxnStatus::kReserved));
+  EXPECT_EQ(Run(kUpdateStockTransaction, txn, kMarkPurchased).status,
+            TxnStatus::kCommitted);
+  EXPECT_EQ(Run(kGetStockTransaction, txn).value,
+            static_cast<int64_t>(StockTxnStatus::kPurchased));
+  EXPECT_EQ(Run(kUpdateStockTransaction, txn, kMarkCancelled).status,
+            TxnStatus::kCommitted);
+  // Invalid status argument aborts.
+  EXPECT_EQ(Run(kUpdateStockTransaction, txn, 0).status,
+            TxnStatus::kAborted);
+}
+
+// ---- Checkout lifecycle -----------------------------------------------------
+
+TEST_F(B2wProcedureTest, CheckoutFullFlow) {
+  const uint64_t checkout = CheckoutKey(1);
+  EXPECT_EQ(Run(kCreateCheckout, checkout).status, TxnStatus::kCommitted);
+  EXPECT_EQ(Run(kAddLineToCheckout, checkout, 300).status,
+            TxnStatus::kCommitted);
+  EXPECT_EQ(Run(kAddLineToCheckout, checkout, 200).status,
+            TxnStatus::kCommitted);
+  EXPECT_EQ(Run(kGetCheckout, checkout).value, 2);
+  EXPECT_EQ(Run(kCreateCheckoutPayment, checkout).status,
+            TxnStatus::kCommitted);
+  const Row* row = Lookup(kCheckoutTable, checkout);
+  EXPECT_EQ(row->f1, 1);
+  EXPECT_EQ(row->f2, 500);
+  EXPECT_EQ(row->f3, static_cast<int64_t>(CheckoutStatus::kPaid));
+  EXPECT_EQ(Run(kDeleteLineFromCheckout, checkout).status,
+            TxnStatus::kCommitted);
+  EXPECT_EQ(Run(kDeleteCheckout, checkout).status, TxnStatus::kCommitted);
+  EXPECT_EQ(Lookup(kCheckoutTable, checkout), nullptr);
+}
+
+TEST_F(B2wProcedureTest, CheckoutOpsOnMissingObjectAbort) {
+  const uint64_t checkout = CheckoutKey(404);
+  EXPECT_EQ(Run(kAddLineToCheckout, checkout, 1).status,
+            TxnStatus::kAborted);
+  EXPECT_EQ(Run(kCreateCheckoutPayment, checkout).status,
+            TxnStatus::kAborted);
+  EXPECT_EQ(Run(kGetCheckout, checkout).status, TxnStatus::kAborted);
+  EXPECT_EQ(Run(kDeleteCheckout, checkout).status, TxnStatus::kAborted);
+}
+
+TEST(B2wProcedureNamesTest, AllNamed) {
+  for (ProcedureId id = 0; id < kNumProcedures; ++id) {
+    EXPECT_STRNE(ProcedureName(id), "Unknown") << id;
+  }
+  EXPECT_STREQ(ProcedureName(kNumProcedures), "Unknown");
+}
+
+// ---- Workload driver ---------------------------------------------------------
+
+TEST(B2wWorkloadTest, LoadInitialDataSizes) {
+  ClusterOptions cluster_options;
+  cluster_options.partitions_per_node = 2;
+  cluster_options.initial_nodes = 2;
+  cluster_options.max_nodes = 2;
+  cluster_options.num_buckets = 128;
+  Cluster cluster(cluster_options);
+  WorkloadOptions options;
+  options.cart_pool = 5000;
+  options.checkout_pool = 2000;
+  Workload workload(options);
+  ASSERT_TRUE(workload.LoadInitialData(&cluster).ok());
+  EXPECT_EQ(cluster.TotalRowCount(), 7000);
+  const int64_t expected_bytes =
+      5000 * (kCartBaseBytes + 2 * kCartLineBytes) +
+      2000 * (kCheckoutBaseBytes + 2 * kCheckoutLineBytes);
+  EXPECT_EQ(cluster.TotalDataBytes(), expected_bytes);
+}
+
+TEST(B2wWorkloadTest, DataSpreadsEvenlyAcrossPartitions) {
+  // §8.1: hashed keys spread data nearly uniformly. With 5000 carts over
+  // 4 partitions the imbalance must be small.
+  ClusterOptions cluster_options;
+  cluster_options.partitions_per_node = 2;
+  cluster_options.initial_nodes = 2;
+  cluster_options.max_nodes = 2;
+  cluster_options.num_buckets = 128;
+  Cluster cluster(cluster_options);
+  WorkloadOptions options;
+  options.cart_pool = 20000;
+  options.checkout_pool = 1;
+  Workload workload(options);
+  ASSERT_TRUE(workload.LoadInitialData(&cluster).ok());
+  const double mean_bytes =
+      static_cast<double>(cluster.TotalDataBytes()) / 4.0;
+  for (int p = 0; p < 4; ++p) {
+    const double bytes =
+        static_cast<double>(cluster.partition(p).data_bytes());
+    EXPECT_NEAR(bytes / mean_bytes, 1.0, 0.12) << "partition " << p;
+  }
+}
+
+TEST(B2wWorkloadTest, MixFrequenciesRoughlyMatchWeights) {
+  WorkloadOptions options;
+  options.cart_pool = 1000;
+  options.checkout_pool = 500;
+  Workload workload(options);
+  Rng rng(3);
+  std::map<ProcedureId, int> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[workload.NextTransaction(rng).procedure];
+  }
+  const MixWeights mix;
+  const double total = 30 + 24 + 5 + 3 + 5 + 6 + 9 + 6 + 8 + 2 + 2;
+  EXPECT_NEAR(counts[kAddLineToCart] / static_cast<double>(n),
+              mix.add_line_to_cart / total, 0.01);
+  EXPECT_NEAR(counts[kGetCart] / static_cast<double>(n),
+              mix.get_cart / total, 0.01);
+  EXPECT_NEAR(counts[kDeleteCheckout] / static_cast<double>(n),
+              mix.delete_checkout / total, 0.005);
+  // Only cart/checkout procedures are generated (§7: stock lives on a
+  // separate cluster).
+  EXPECT_EQ(counts.count(kReserveStock), 0u);
+  EXPECT_EQ(counts.count(kGetStock), 0u);
+}
+
+TEST(B2wWorkloadTest, DatabaseSizeStaysSteadyUnderChurn) {
+  // The id-recycling scheme must keep the database from growing without
+  // bound (paper §4.2: "the database size is not quickly changing").
+  ClusterOptions cluster_options;
+  cluster_options.num_buckets = 128;
+  Cluster cluster(cluster_options);
+  WorkloadOptions options;
+  options.cart_pool = 2000;
+  options.checkout_pool = 800;
+  Workload workload(options);
+  ASSERT_TRUE(workload.LoadInitialData(&cluster).ok());
+  const int64_t initial_bytes = cluster.TotalDataBytes();
+
+  MetricsCollector metrics;
+  ExecutorOptions exec_options;
+  exec_options.mean_service_seconds = 1e-6;
+  TxnExecutor executor(&cluster, &metrics, exec_options);
+  ASSERT_TRUE(RegisterProcedures(&executor).ok());
+  Rng rng(9);
+  for (int i = 0; i < 200000; ++i) {
+    executor.Submit(workload.NextTransaction(rng), i);
+  }
+  const double growth =
+      static_cast<double>(cluster.TotalDataBytes()) /
+      static_cast<double>(initial_bytes);
+  EXPECT_LT(growth, 1.6);
+  EXPECT_GT(growth, 0.5);
+}
+
+}  // namespace
+}  // namespace b2w
+}  // namespace pstore

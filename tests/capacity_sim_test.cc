@@ -1,0 +1,186 @@
+#include "sim/capacity_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "prediction/naive_models.h"
+#include "prediction/spar_model.h"
+#include "trace/b2w_trace_generator.h"
+
+namespace pstore {
+namespace {
+
+// A 10-day trace in txn/s units (scaled from the req/min generator so
+// q = 285 / q_hat = 350 match a handful of nodes).
+TimeSeries TestTrace(int days, uint64_t seed = 11, int black_friday = -1) {
+  B2wTraceOptions options;
+  options.days = days;
+  options.seed = seed;
+  options.peak_requests_per_min = 10500.0;  // ~1750 txn/s at 10x replay
+  options.black_friday_day = black_friday;
+  // req/min -> txn/s at the paper's 10x acceleration.
+  return GenerateB2wTrace(options).Scaled(10.0 / 60.0);
+}
+
+SimOptions TestOptions(size_t eval_begin_days) {
+  SimOptions options;
+  options.plan_slot_factor = 5;
+  options.horizon_plan_slots = 36;
+  options.q = 285.0;
+  options.q_hat = 350.0;
+  options.d_fine_slots = 77.0;
+  options.partitions_per_node = 6;
+  options.initial_nodes = 4;
+  options.max_nodes = 40;
+  options.eval_begin = eval_begin_days * 1440;
+  return options;
+}
+
+TEST(CapacitySimTest, StaticPeakProvisioningHasFewViolationsHighCost) {
+  const TimeSeries trace = TestTrace(9);
+  const SimOptions options = TestOptions(7);
+  const CapacitySimulator sim(options);
+  StatusOr<SimResult> result = sim.RunStatic(trace, 10);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->reconfigurations, 0);
+  EXPECT_LT(result->insufficient_fraction, 0.001);
+  // Cost = 10 machines every slot.
+  const double slots = static_cast<double>(trace.size() - options.eval_begin);
+  EXPECT_NEAR(result->machine_slots, 10.0 * slots, 1e-6);
+}
+
+TEST(CapacitySimTest, StaticUnderProvisioningViolatesDaily) {
+  const TimeSeries trace = TestTrace(9);
+  const CapacitySimulator sim(TestOptions(7));
+  StatusOr<SimResult> result = sim.RunStatic(trace, 4);
+  ASSERT_TRUE(result.ok());
+  // 4 * 350 = 1400 txn/s of capacity against ~1750 peaks: insufficient
+  // around the top of every daily cycle.
+  EXPECT_GT(result->insufficient_fraction, 0.02);
+}
+
+TEST(CapacitySimTest, OraclePredictiveNearZeroViolationsAtHalfCost) {
+  const TimeSeries trace = TestTrace(9);
+  SimOptions options = TestOptions(7);
+  options.inflation = 1.0;
+  const CapacitySimulator sim(options);
+  const TimeSeries coarse = trace.DownsampleMean(5);
+  OraclePredictor oracle(coarse);
+  StatusOr<SimResult> result = sim.RunPredictive(trace, oracle);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->reconfigurations, 2);
+  // Violations come only from sub-planning-slot variance (paper §8.3:
+  // "the percentage of time with insufficient capacity is not zero
+  // because the predictions are at the granularity of five minutes").
+  EXPECT_LT(result->insufficient_fraction, 0.02);
+
+  StatusOr<SimResult> static10 = sim.RunStatic(trace, 10);
+  ASSERT_TRUE(static10.ok());
+  EXPECT_LT(result->machine_slots, 0.75 * static10->machine_slots);
+}
+
+TEST(CapacitySimTest, ReactiveCheaperButMoreViolationsThanStaticPeak) {
+  const TimeSeries trace = TestTrace(9);
+  const CapacitySimulator sim(TestOptions(7));
+  StatusOr<SimResult> reactive = sim.RunReactive(trace, ReactiveSimParams{});
+  StatusOr<SimResult> static10 = sim.RunStatic(trace, 10);
+  ASSERT_TRUE(reactive.ok());
+  ASSERT_TRUE(static10.ok());
+  EXPECT_LT(reactive->machine_slots, static10->machine_slots);
+  EXPECT_GT(reactive->insufficient_fraction,
+            static10->insufficient_fraction);
+  EXPECT_GT(reactive->reconfigurations, 2);
+}
+
+TEST(CapacitySimTest, PredictiveBeatsReactiveOnViolationsAtSimilarCost) {
+  // The headline comparison of Fig. 12, on the simulator.
+  const TimeSeries trace = TestTrace(16);
+  SimOptions options = TestOptions(14);
+  const CapacitySimulator sim(options);
+
+  const TimeSeries coarse = trace.DownsampleMean(5);
+  SparOptions spar_options;
+  spar_options.period = 1440 / 5;
+  spar_options.num_periods = 7;
+  spar_options.num_recent = 6;
+  spar_options.max_tau = options.horizon_plan_slots;
+  SparPredictor spar(spar_options);
+  ASSERT_TRUE(spar.Fit(coarse.Slice(0, 14 * 288)).ok());
+
+  StatusOr<SimResult> predictive = sim.RunPredictive(trace, spar);
+  StatusOr<SimResult> reactive = sim.RunReactive(trace, ReactiveSimParams{});
+  ASSERT_TRUE(predictive.ok());
+  ASSERT_TRUE(reactive.ok());
+  EXPECT_LT(predictive->insufficient_fraction,
+            reactive->insufficient_fraction);
+  // And the cost advantage over peak provisioning holds.
+  StatusOr<SimResult> static10 = sim.RunStatic(trace, 10);
+  ASSERT_TRUE(static10.ok());
+  EXPECT_LT(predictive->machine_slots, 0.8 * static10->machine_slots);
+}
+
+TEST(CapacitySimTest, SimpleStrategyBreaksOnDeviation) {
+  // On a Black-Friday day the fixed schedule under-provisions badly.
+  const TimeSeries normal = TestTrace(9, 11);
+  const TimeSeries bf = TestTrace(9, 11, /*black_friday=*/8);
+  const CapacitySimulator sim(TestOptions(7));
+  SimpleSimParams params;
+  params.day_nodes = 10;
+  params.night_nodes = 3;
+  StatusOr<SimResult> on_normal = sim.RunSimple(normal, params);
+  StatusOr<SimResult> on_bf = sim.RunSimple(bf, params);
+  ASSERT_TRUE(on_normal.ok());
+  ASSERT_TRUE(on_bf.ok());
+  EXPECT_GT(on_bf->insufficient_fraction,
+            on_normal->insufficient_fraction * 2 + 0.001);
+}
+
+TEST(CapacitySimTest, SweepingQTradesCostForCapacity) {
+  // The Fig. 12 x/y tradeoff: larger Q = fewer machines = cheaper but
+  // more violations; smaller Q the reverse.
+  const TimeSeries trace = TestTrace(9);
+  const TimeSeries coarse = trace.DownsampleMean(5);
+  OraclePredictor oracle(coarse);
+
+  double prev_cost = 1e18;
+  double prev_viol = -1.0;
+  for (const double q : {200.0, 285.0, 340.0}) {
+    SimOptions options = TestOptions(7);
+    options.q = q;
+    options.inflation = 1.0;
+    const CapacitySimulator sim(options);
+    StatusOr<SimResult> result = sim.RunPredictive(trace, oracle);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LT(result->machine_slots, prev_cost) << "q=" << q;
+    EXPECT_GE(result->insufficient_fraction, prev_viol - 1e-9) << "q=" << q;
+    prev_cost = result->machine_slots;
+    prev_viol = result->insufficient_fraction;
+  }
+}
+
+TEST(CapacitySimTest, EffectiveCapacitySeriesCoversEvalWindow) {
+  const TimeSeries trace = TestTrace(9);
+  const SimOptions options = TestOptions(7);
+  const CapacitySimulator sim(options);
+  StatusOr<SimResult> result = sim.RunStatic(trace, 6);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->effective_capacity.size(),
+            trace.size() - options.eval_begin);
+  EXPECT_EQ(result->machines.size(), trace.size() - options.eval_begin);
+  for (double cap : result->effective_capacity) {
+    EXPECT_NEAR(cap, 6 * 350.0, 1e-9);
+  }
+}
+
+TEST(CapacitySimTest, RejectsTraceShorterThanEvalBegin) {
+  const CapacitySimulator sim(TestOptions(7));
+  TimeSeries tiny(60.0, std::vector<double>(100, 1.0));
+  EXPECT_FALSE(sim.RunStatic(tiny, 4).ok());
+  EXPECT_FALSE(sim.RunReactive(tiny, ReactiveSimParams{}).ok());
+}
+
+}  // namespace
+}  // namespace pstore

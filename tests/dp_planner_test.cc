@@ -1,0 +1,282 @@
+#include "planner/dp_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "planner/brute_force_planner.h"
+#include "planner/move_model.h"
+
+namespace pstore {
+namespace {
+
+PlannerParams FastParams() {
+  PlannerParams params;
+  params.target_rate_per_node = 100.0;
+  params.max_rate_per_node = 123.0;
+  params.d_slots = 4.0;
+  params.partitions_per_node = 1;
+  return params;
+}
+
+// Verifies the feasibility invariant the DP promises: walking the plan,
+// predicted load never exceeds the effective capacity implied by each
+// move's progress.
+void CheckPlanFeasible(const PlanResult& plan,
+                       const std::vector<double>& load,
+                       const PlannerParams& params, int initial_nodes) {
+  ASSERT_FALSE(plan.moves.empty());
+  EXPECT_EQ(plan.moves.front().start_slot, 0);
+  EXPECT_EQ(plan.moves.front().nodes_before, initial_nodes);
+  EXPECT_EQ(plan.moves.back().end_slot,
+            static_cast<int>(load.size()) - 1);
+  EXPECT_LE(load[0], Capacity(initial_nodes, params));
+  int prev_end = 0;
+  int prev_nodes = initial_nodes;
+  for (const Move& move : plan.moves) {
+    EXPECT_EQ(move.start_slot, prev_end);
+    EXPECT_EQ(move.nodes_before, prev_nodes);
+    const int duration = move.DurationSlots();
+    EXPECT_GE(duration, 1);
+    for (int i = 1; i <= duration; ++i) {
+      const double fraction =
+          static_cast<double>(i) / static_cast<double>(duration);
+      const double cap = EffectiveCapacity(move.nodes_before,
+                                           move.nodes_after, fraction,
+                                           params);
+      EXPECT_LE(load[move.start_slot + i], cap + 1e-9)
+          << "slot " << move.start_slot + i << " during move "
+          << move.ToString();
+    }
+    prev_end = move.end_slot;
+    prev_nodes = move.nodes_after;
+  }
+  EXPECT_EQ(prev_nodes, plan.final_nodes);
+}
+
+TEST(DpPlannerTest, RejectsDegenerateInputs) {
+  const DpPlanner planner(FastParams());
+  EXPECT_FALSE(planner.BestMoves({100.0}, 2).ok());
+  EXPECT_FALSE(planner.BestMoves({100.0, 100.0}, 0).ok());
+}
+
+TEST(DpPlannerTest, FlatLoadDoesNothing) {
+  const DpPlanner planner(FastParams());
+  const std::vector<double> load(10, 150.0);  // needs 2 nodes
+  StatusOr<PlanResult> plan = planner.BestMoves(load, 2);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->final_nodes, 2);
+  EXPECT_EQ(plan->FirstReconfiguration(), nullptr);
+  // Cost: 2 machines for 10 slots (slot 0 through 9).
+  EXPECT_NEAR(plan->total_cost, 20.0, 1e-9);
+}
+
+TEST(DpPlannerTest, ScalesOutAheadOfRamp) {
+  const DpPlanner planner(FastParams());
+  // Load jumps from 150 to 350 at slot 8: needs 2 -> 4 nodes; the move
+  // takes ceil((4/2)*(1 - 2/4)) = 4 slots, so it must start by slot 4.
+  std::vector<double> load(12, 150.0);
+  for (size_t t = 8; t < load.size(); ++t) load[t] = 350.0;
+  StatusOr<PlanResult> plan = planner.BestMoves(load, 2);
+  ASSERT_TRUE(plan.ok());
+  CheckPlanFeasible(*plan, load, FastParams(), 2);
+  EXPECT_EQ(plan->final_nodes, 4);
+  const Move* first = plan->FirstReconfiguration();
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->nodes_after, 4);
+  // Effective capacity during 2->4 reaches 350 only near the end of the
+  // move, so the move must complete just as (or before) the ramp hits.
+  EXPECT_LE(first->end_slot, 8);
+  // Cost minimization: the move should start as late as possible.
+  EXPECT_GE(first->start_slot, 3);
+}
+
+TEST(DpPlannerTest, ScaleInDelayedUntilLoadDrops) {
+  const DpPlanner planner(FastParams());
+  std::vector<double> load(12, 380.0);  // needs 4 nodes
+  for (size_t t = 4; t < load.size(); ++t) load[t] = 90.0;  // needs 1
+  StatusOr<PlanResult> plan = planner.BestMoves(load, 4);
+  ASSERT_TRUE(plan.ok());
+  CheckPlanFeasible(*plan, load, FastParams(), 4);
+  EXPECT_EQ(plan->final_nodes, 1);
+  const Move* first = plan->FirstReconfiguration();
+  ASSERT_NE(first, nullptr);
+  EXPECT_LT(first->nodes_after, 4);
+  // Cannot start shedding capacity while load is still high.
+  EXPECT_GE(first->start_slot, 3);
+}
+
+TEST(DpPlannerTest, InfeasibleWhenRampTooFast) {
+  const DpPlanner planner(FastParams());
+  // Load explodes next slot; migration cannot complete in time.
+  std::vector<double> load = {150.0, 800.0, 800.0, 800.0};
+  StatusOr<PlanResult> plan = planner.BestMoves(load, 2);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(DpPlannerTest, InfeasibleWhenCurrentLoadExceedsCapacity) {
+  const DpPlanner planner(FastParams());
+  const std::vector<double> load(6, 500.0);
+  EXPECT_FALSE(planner.BestMoves(load, 2).ok());
+}
+
+TEST(DpPlannerTest, EndsWithMinimalMachines) {
+  const DpPlanner planner(FastParams());
+  // A hump in the middle: scale out then back in; final count minimal.
+  std::vector<double> load(24, 120.0);
+  for (int t = 8; t < 12; ++t) load[t] = 290.0;
+  StatusOr<PlanResult> plan = planner.BestMoves(load, 2);
+  ASSERT_TRUE(plan.ok());
+  CheckPlanFeasible(*plan, load, FastParams(), 2);
+  EXPECT_EQ(plan->final_nodes, 2);
+  // Somewhere mid-plan we must have had >= 3 nodes.
+  int peak_nodes = 0;
+  for (const Move& move : plan->moves) {
+    peak_nodes = std::max(peak_nodes, move.nodes_after);
+  }
+  EXPECT_GE(peak_nodes, 3);
+}
+
+TEST(DpPlannerTest, NodesForRounding) {
+  const DpPlanner planner(FastParams());
+  EXPECT_EQ(planner.NodesFor(0.0), 1);
+  EXPECT_EQ(planner.NodesFor(99.9), 1);
+  EXPECT_EQ(planner.NodesFor(100.0), 1);
+  EXPECT_EQ(planner.NodesFor(100.1), 2);
+  EXPECT_EQ(planner.NodesFor(1000.0), 10);
+}
+
+TEST(DpPlannerTest, MoveSlotsAtLeastOne) {
+  const DpPlanner planner(FastParams());
+  EXPECT_EQ(planner.MoveSlots(3, 3), 1);
+  EXPECT_GE(planner.MoveSlots(3, 4), 1);
+  // 3 -> 4 with D = 4: (4/1)*(1/4) = 1.0 slots -> 1.
+  EXPECT_EQ(planner.MoveSlots(3, 4), 1);
+  // 2 -> 4 with D = 4: (4/2)*(1/2) = 1.0 -> 1.
+  EXPECT_EQ(planner.MoveSlots(2, 4), 1);
+  // 1 -> 2 with D = 4: (4/1)*(1/2) = 2.
+  EXPECT_EQ(planner.MoveSlots(1, 2), 2);
+}
+
+TEST(DpPlannerTest, ChargedCostCoversWholeSlots) {
+  const DpPlanner planner(FastParams());
+  // The charged cost must be at least Eq. 4's cost and at most the full
+  // integral duration at the larger machine count.
+  for (int b = 1; b <= 8; ++b) {
+    for (int a = 1; a <= 8; ++a) {
+      if (a == b) continue;
+      const double charged = planner.MoveCostCharged(b, a);
+      EXPECT_GE(charged, MoveCost(b, a, FastParams()) - 1e-9);
+      EXPECT_LE(charged,
+                planner.MoveSlots(b, a) *
+                        static_cast<double>(std::max(a, b)) +
+                    1e-9);
+    }
+  }
+}
+
+// ---- Equivalence with exhaustive search -------------------------------------
+
+struct BruteForceCase {
+  uint64_t seed;
+  int horizon;
+  double base_load;
+  double swing;
+  int initial_nodes;
+};
+
+class DpVersusBruteForce : public ::testing::TestWithParam<BruteForceCase> {};
+
+TEST_P(DpVersusBruteForce, SameFinalNodesAndCost) {
+  const BruteForceCase& test_case = GetParam();
+  PlannerParams params = FastParams();
+  params.d_slots = 3.0;
+  Rng rng(test_case.seed);
+  std::vector<double> load;
+  for (int t = 0; t <= test_case.horizon; ++t) {
+    load.push_back(test_case.base_load +
+                   test_case.swing * rng.NextDouble());
+  }
+  const DpPlanner dp(params);
+  const BruteForcePlanner brute(params);
+  StatusOr<PlanResult> dp_plan = dp.BestMoves(load, test_case.initial_nodes);
+  StatusOr<PlanResult> bf_plan =
+      brute.BestMoves(load, test_case.initial_nodes);
+  ASSERT_EQ(dp_plan.ok(), bf_plan.ok());
+  if (!dp_plan.ok()) return;
+  EXPECT_EQ(dp_plan->final_nodes, bf_plan->final_nodes);
+  EXPECT_NEAR(dp_plan->total_cost, bf_plan->total_cost, 1e-6);
+  CheckPlanFeasible(*dp_plan, load, params, test_case.initial_nodes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInstances, DpVersusBruteForce,
+    ::testing::Values(BruteForceCase{1, 6, 80, 200, 1},
+                      BruteForceCase{2, 6, 80, 200, 2},
+                      BruteForceCase{3, 7, 150, 150, 3},
+                      BruteForceCase{4, 7, 50, 300, 1},
+                      BruteForceCase{5, 8, 120, 120, 2},
+                      BruteForceCase{6, 8, 200, 100, 4},
+                      BruteForceCase{7, 5, 90, 250, 2},
+                      BruteForceCase{8, 6, 60, 60, 1},
+                      BruteForceCase{9, 7, 300, 80, 4},
+                      BruteForceCase{10, 8, 100, 180, 3},
+                      BruteForceCase{11, 6, 250, 140, 3},
+                      BruteForceCase{12, 7, 70, 220, 1}));
+
+// The planner must also agree with brute force on ramps that force
+// multi-step scale-outs.
+TEST(DpVersusBruteForceRamp, StepRamp) {
+  PlannerParams params = FastParams();
+  params.d_slots = 2.0;
+  std::vector<double> load;
+  for (int t = 0; t <= 8; ++t) {
+    load.push_back(90.0 + 40.0 * t);  // 90 .. 410
+  }
+  const DpPlanner dp(params);
+  const BruteForcePlanner brute(params);
+  StatusOr<PlanResult> dp_plan = dp.BestMoves(load, 1);
+  StatusOr<PlanResult> bf_plan = brute.BestMoves(load, 1);
+  ASSERT_EQ(dp_plan.ok(), bf_plan.ok());
+  if (dp_plan.ok()) {
+    EXPECT_EQ(dp_plan->final_nodes, bf_plan->final_nodes);
+    EXPECT_NEAR(dp_plan->total_cost, bf_plan->total_cost, 1e-6);
+  }
+}
+
+TEST(DpPlannerTest, CondensedMergesIdleStretches) {
+  const DpPlanner planner(FastParams());
+  std::vector<double> load(10, 150.0);
+  StatusOr<PlanResult> plan = planner.BestMoves(load, 2);
+  ASSERT_TRUE(plan.ok());
+  const std::vector<Move> condensed = plan->Condensed();
+  ASSERT_EQ(condensed.size(), 1u);
+  EXPECT_EQ(condensed[0].start_slot, 0);
+  EXPECT_EQ(condensed[0].end_slot, 9);
+  EXPECT_FALSE(condensed[0].IsReconfiguration());
+}
+
+TEST(DpPlannerTest, LargeHorizonRunsQuickly) {
+  // Smoke test for the memoized DP at realistic scale: a 48-slot horizon
+  // with a diurnal-like double ramp.
+  PlannerParams params = FastParams();
+  params.d_slots = 15.4;
+  params.partitions_per_node = 6;
+  const DpPlanner planner(params);
+  std::vector<double> load;
+  for (int t = 0; t <= 48; ++t) {
+    load.push_back(150.0 + 800.0 * 0.5 *
+                               (1.0 - std::cos(2.0 * M_PI * t / 48.0)));
+  }
+  StatusOr<PlanResult> plan = planner.BestMoves(load, 2);
+  ASSERT_TRUE(plan.ok());
+  CheckPlanFeasible(*plan, load, params, 2);
+  EXPECT_GE(plan->final_nodes, 1);
+}
+
+}  // namespace
+}  // namespace pstore

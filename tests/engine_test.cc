@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "b2w/procedures.h"
+#include "b2w/schema.h"
+#include "b2w/workload.h"
+#include "common/rng.h"
+#include "engine/cluster.h"
+#include "engine/event_loop.h"
+#include "engine/metrics.h"
+#include "engine/txn_executor.h"
+#include "engine/workload_driver.h"
+
+namespace pstore {
+namespace {
+
+ClusterOptions OneNodeCluster() {
+  ClusterOptions options;
+  options.partitions_per_node = 6;
+  options.max_nodes = 4;
+  options.initial_nodes = 1;
+  options.num_buckets = 600;
+  return options;
+}
+
+// ---- Executor ---------------------------------------------------------------
+
+TEST(TxnExecutorTest, UnknownProcedureAborts) {
+  Cluster cluster(OneNodeCluster());
+  MetricsCollector metrics;
+  TxnExecutor executor(&cluster, &metrics, ExecutorOptions{});
+  TxnRequest request;
+  request.procedure = 63;
+  const TxnResult result = executor.Submit(request, 0);
+  EXPECT_EQ(result.status, TxnStatus::kUnknownProcedure);
+  EXPECT_EQ(executor.aborted_count(), 1);
+}
+
+TEST(TxnExecutorTest, RegistrationGuards) {
+  Cluster cluster(OneNodeCluster());
+  TxnExecutor executor(&cluster, nullptr, ExecutorOptions{});
+  ASSERT_TRUE(b2w::RegisterProcedures(&executor).ok());
+  // Double registration rejected.
+  EXPECT_FALSE(b2w::RegisterProcedures(&executor).ok());
+}
+
+TEST(TxnExecutorTest, ExecutesProcedureLogicAndChargesService) {
+  Cluster cluster(OneNodeCluster());
+  MetricsCollector metrics;
+  ExecutorOptions options;
+  options.mean_service_seconds = 0.010;
+  TxnExecutor executor(&cluster, &metrics, options);
+  ASSERT_TRUE(b2w::RegisterProcedures(&executor).ok());
+
+  TxnRequest request;
+  request.procedure = b2w::kAddLineToCart;
+  request.key = b2w::CartKey(1);
+  request.arg = b2w::kNewCartFlag | 100;
+  const TxnResult result = executor.Submit(request, 0);
+  EXPECT_EQ(result.status, TxnStatus::kCommitted);
+  EXPECT_EQ(executor.committed_count(), 1);
+
+  // The row landed on the partition owning the key's bucket.
+  const BucketId bucket = cluster.BucketForKey(request.key);
+  const Partition& partition =
+      cluster.partition(cluster.PartitionOfBucket(bucket));
+  EXPECT_EQ(partition.jobs_executed(), 1);
+  EXPECT_GT(partition.total_busy_time(), 0);
+  ASSERT_NE(partition.Get(bucket, b2w::kCartTable, request.key), nullptr);
+}
+
+TEST(TxnExecutorTest, PerProcedureStatsTracked) {
+  Cluster cluster(OneNodeCluster());
+  TxnExecutor executor(&cluster, nullptr, ExecutorOptions{});
+  ASSERT_TRUE(b2w::RegisterProcedures(&executor).ok());
+  // Two commits of AddLineToCart and one abort of GetCart (missing key).
+  TxnRequest add;
+  add.procedure = b2w::kAddLineToCart;
+  add.key = b2w::CartKey(1);
+  add.arg = b2w::kNewCartFlag | 100;
+  executor.Submit(add, 0);
+  add.arg = 100;
+  executor.Submit(add, 1);
+  TxnRequest get;
+  get.procedure = b2w::kGetCart;
+  get.key = b2w::CartKey(999);
+  executor.Submit(get, 2);
+
+  EXPECT_EQ(executor.procedure_stats(b2w::kAddLineToCart).committed, 2);
+  EXPECT_EQ(executor.procedure_stats(b2w::kAddLineToCart).aborted, 0);
+  EXPECT_EQ(executor.procedure_stats(b2w::kGetCart).committed, 0);
+  EXPECT_EQ(executor.procedure_stats(b2w::kGetCart).aborted, 1);
+  EXPECT_EQ(executor.procedure_stats(b2w::kDeleteCart).committed, 0);
+}
+
+TEST(TxnExecutorTest, SingleNodeSaturatesNearCalibratedRate) {
+  // The calibration behind Fig. 7: with the default service model, a
+  // 6-partition node keeps tail latency bounded at 285 txn/s (Q) and
+  // melts down at ~550 txn/s (beyond the ~438 saturation point).
+  for (const auto& [rate, should_saturate] :
+       {std::pair<double, bool>{285.0, false},
+        std::pair<double, bool>{550.0, true}}) {
+    Cluster cluster(OneNodeCluster());
+    MetricsCollector metrics;
+    TxnExecutor executor(&cluster, &metrics, ExecutorOptions{});
+    ASSERT_TRUE(b2w::RegisterProcedures(&executor).ok());
+    b2w::WorkloadOptions wl_options;
+    wl_options.cart_pool = 20000;
+    wl_options.checkout_pool = 8000;
+    b2w::Workload workload(wl_options);
+    ASSERT_TRUE(workload.LoadInitialData(&cluster).ok());
+
+    EventLoop loop;
+    TimeSeries trace(60.0, std::vector<double>(10, rate));
+    DriverOptions driver_options;
+    driver_options.slot_sim_seconds = 6.0;
+    driver_options.rate_factor = 1.0;  // trace already in txn/s
+    WorkloadDriver driver(
+        &loop, &executor, trace,
+        [&workload](Rng& rng) { return workload.NextTransaction(rng); },
+        driver_options);
+    driver.Start(60 * kSecond);
+    loop.RunUntil(60 * kSecond);
+
+    const auto windows = metrics.Finalize(60 * kSecond);
+    // Inspect the last 10 seconds.
+    double p99_ms = 0.0;
+    for (size_t w = windows.size() - 10; w < windows.size(); ++w) {
+      p99_ms = std::max(p99_ms, windows[w].p99_ms);
+    }
+    if (should_saturate) {
+      EXPECT_GT(p99_ms, 500.0) << "rate " << rate;
+    } else {
+      // M/M/1 at utilization 0.65 per partition: p99 sojourn ~180 ms.
+      EXPECT_LT(p99_ms, 450.0) << "rate " << rate;
+    }
+  }
+}
+
+// ---- Driver ------------------------------------------------------------------
+
+TEST(WorkloadDriverTest, ArrivalCountTracksTrace) {
+  Cluster cluster(OneNodeCluster());
+  TxnExecutor executor(&cluster, nullptr, ExecutorOptions{});
+  ASSERT_TRUE(b2w::RegisterProcedures(&executor).ok());
+  EventLoop loop;
+  // 100 txn/s for 30 slots of 1 s each.
+  TimeSeries trace(1.0, std::vector<double>(30, 100.0));
+  DriverOptions options;
+  options.slot_sim_seconds = 1.0;
+  options.rate_factor = 1.0;
+  options.seed = 12;
+  b2w::Workload workload(b2w::WorkloadOptions{});
+  WorkloadDriver driver(
+      &loop, &executor, trace,
+      [&workload](Rng& rng) { return workload.NextTransaction(rng); },
+      options);
+  driver.Start(30 * kSecond);
+  loop.RunUntil(30 * kSecond);
+  // Poisson(3000) total: within 5 sigma.
+  EXPECT_NEAR(static_cast<double>(driver.arrivals_generated()), 3000.0,
+              5.0 * std::sqrt(3000.0));
+  EXPECT_EQ(executor.submitted_count(), driver.arrivals_generated());
+}
+
+TEST(WorkloadDriverTest, OfferedRateFollowsSlots) {
+  Cluster cluster(OneNodeCluster());
+  TxnExecutor executor(&cluster, nullptr, ExecutorOptions{});
+  EventLoop loop;
+  TimeSeries trace(60.0, {60.0, 120.0});  // req/min
+  DriverOptions options;
+  options.slot_sim_seconds = 6.0;
+  options.rate_factor = 10.0 / 60.0;  // 10x accelerated replay
+  b2w::Workload workload(b2w::WorkloadOptions{});
+  WorkloadDriver driver(
+      &loop, &executor, trace,
+      [&workload](Rng& rng) { return workload.NextTransaction(rng); },
+      options);
+  EXPECT_NEAR(driver.OfferedRate(0), 10.0, 1e-9);
+  EXPECT_NEAR(driver.OfferedRate(7 * kSecond), 20.0, 1e-9);
+  EXPECT_EQ(driver.OfferedRate(13 * kSecond), 0.0);  // past the trace
+}
+
+TEST(WorkloadDriverTest, StartSlotOffset) {
+  Cluster cluster(OneNodeCluster());
+  TxnExecutor executor(&cluster, nullptr, ExecutorOptions{});
+  EventLoop loop;
+  TimeSeries trace(60.0, {60.0, 120.0, 180.0});
+  DriverOptions options;
+  options.slot_sim_seconds = 6.0;
+  options.rate_factor = 1.0;
+  options.start_slot = 2;
+  b2w::Workload workload(b2w::WorkloadOptions{});
+  WorkloadDriver driver(
+      &loop, &executor, trace,
+      [&workload](Rng& rng) { return workload.NextTransaction(rng); },
+      options);
+  EXPECT_NEAR(driver.OfferedRate(0), 180.0, 1e-9);
+}
+
+TEST(WorkloadDriverTest, DeterministicReplay) {
+  auto run = [] {
+    Cluster cluster(OneNodeCluster());
+    TxnExecutor executor(&cluster, nullptr, ExecutorOptions{});
+    (void)b2w::RegisterProcedures(&executor);
+    EventLoop loop;
+    TimeSeries trace(1.0, std::vector<double>(10, 200.0));
+    DriverOptions options;
+    options.slot_sim_seconds = 1.0;
+    options.rate_factor = 1.0;
+    options.seed = 77;
+    b2w::WorkloadOptions wl;
+    wl.cart_pool = 1000;
+    wl.checkout_pool = 500;
+    b2w::Workload workload(wl);
+    (void)workload.LoadInitialData(&cluster);
+    WorkloadDriver driver(
+        &loop, &executor, trace,
+        [&workload](Rng& rng) { return workload.NextTransaction(rng); },
+        options);
+    driver.Start(10 * kSecond);
+    loop.RunUntil(10 * kSecond);
+    return std::make_pair(driver.arrivals_generated(),
+                          cluster.TotalDataBytes());
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+}  // namespace
+}  // namespace pstore

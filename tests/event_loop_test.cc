@@ -1,0 +1,92 @@
+#include "engine/event_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pstore {
+namespace {
+
+TEST(EventLoopTest, StartsAtZero) {
+  EventLoop loop;
+  EXPECT_EQ(loop.now(), 0);
+  EXPECT_EQ(loop.pending_events(), 0u);
+}
+
+TEST(EventLoopTest, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.ScheduleAt(30, [&] { order.push_back(3); });
+  loop.ScheduleAt(10, [&] { order.push_back(1); });
+  loop.ScheduleAt(20, [&] { order.push_back(2); });
+  loop.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 30);
+}
+
+TEST(EventLoopTest, TiesBreakInSchedulingOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.ScheduleAt(10, [&] { order.push_back(1); });
+  loop.ScheduleAt(10, [&] { order.push_back(2); });
+  loop.ScheduleAt(10, [&] { order.push_back(3); });
+  loop.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoopTest, RunUntilStopsAtBoundary) {
+  EventLoop loop;
+  std::vector<int> fired;
+  loop.ScheduleAt(10, [&] { fired.push_back(10); });
+  loop.ScheduleAt(20, [&] { fired.push_back(20); });
+  loop.ScheduleAt(30, [&] { fired.push_back(30); });
+  loop.RunUntil(20);
+  EXPECT_EQ(fired, (std::vector<int>{10, 20}));
+  EXPECT_EQ(loop.now(), 20);
+  EXPECT_EQ(loop.pending_events(), 1u);
+  loop.RunUntil(100);
+  EXPECT_EQ(fired.size(), 3u);
+  EXPECT_EQ(loop.now(), 100);
+}
+
+TEST(EventLoopTest, EventsScheduleMoreEvents) {
+  EventLoop loop;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 5) loop.ScheduleAfter(10, chain);
+  };
+  loop.ScheduleAt(0, chain);
+  loop.RunToCompletion();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(loop.now(), 40);
+}
+
+TEST(EventLoopTest, SchedulingInThePastClampsToNow) {
+  EventLoop loop;
+  SimTime fired_at = -1;
+  loop.ScheduleAt(50, [&] {
+    loop.ScheduleAt(10, [&] { fired_at = loop.now(); });
+  });
+  loop.RunToCompletion();
+  EXPECT_EQ(fired_at, 50);
+}
+
+TEST(EventLoopTest, ScheduleAfterUsesCurrentTime) {
+  EventLoop loop;
+  SimTime fired_at = -1;
+  loop.ScheduleAt(100, [&] {
+    loop.ScheduleAfter(25, [&] { fired_at = loop.now(); });
+  });
+  loop.RunToCompletion();
+  EXPECT_EQ(fired_at, 125);
+}
+
+TEST(EventLoopTest, RunUntilWithEmptyQueueAdvancesTime) {
+  EventLoop loop;
+  loop.RunUntil(1000);
+  EXPECT_EQ(loop.now(), 1000);
+}
+
+}  // namespace
+}  // namespace pstore

@@ -1,0 +1,83 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pstore {
+namespace {
+
+FlagParser ParseOk(std::vector<const char*> args) {
+  FlagParser parser;
+  EXPECT_TRUE(
+      parser.Parse(static_cast<int>(args.size()), args.data()).ok());
+  return parser;
+}
+
+TEST(FlagParserTest, EqualsSyntax) {
+  FlagParser flags = ParseOk({"--days=30", "--out=trace.csv"});
+  EXPECT_EQ(flags.GetString("out", ""), "trace.csv");
+  ASSERT_TRUE(flags.GetInt("days", 0).ok());
+  EXPECT_EQ(*flags.GetInt("days", 0), 30);
+}
+
+TEST(FlagParserTest, SpaceSyntax) {
+  FlagParser flags = ParseOk({"--days", "30", "--out", "x.csv"});
+  EXPECT_EQ(*flags.GetInt("days", 0), 30);
+  EXPECT_EQ(flags.GetString("out", ""), "x.csv");
+}
+
+TEST(FlagParserTest, BareFlagIsTrue) {
+  FlagParser flags = ParseOk({"--verbose", "--dry-run"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_TRUE(flags.GetBool("dry-run", false));
+  EXPECT_FALSE(flags.GetBool("absent", false));
+}
+
+TEST(FlagParserTest, BoolFalseSpellings) {
+  FlagParser flags = ParseOk({"--a=false", "--b=0", "--c=no", "--d=yes"});
+  EXPECT_FALSE(flags.GetBool("a", true));
+  EXPECT_FALSE(flags.GetBool("b", true));
+  EXPECT_FALSE(flags.GetBool("c", true));
+  EXPECT_TRUE(flags.GetBool("d", false));
+}
+
+TEST(FlagParserTest, Positional) {
+  FlagParser flags = ParseOk({"input.csv", "--days=3", "output.csv"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.csv");
+  EXPECT_EQ(flags.positional()[1], "output.csv");
+}
+
+TEST(FlagParserTest, DefaultsWhenAbsent) {
+  FlagParser flags = ParseOk({});
+  EXPECT_EQ(flags.GetString("x", "def"), "def");
+  EXPECT_EQ(*flags.GetInt("x", 7), 7);
+  EXPECT_EQ(*flags.GetDouble("x", 2.5), 2.5);
+}
+
+TEST(FlagParserTest, MalformedNumbersAreErrors) {
+  FlagParser flags = ParseOk({"--n=abc", "--d=1.2.3"});
+  EXPECT_FALSE(flags.GetInt("n", 0).ok());
+  EXPECT_FALSE(flags.GetDouble("d", 0.0).ok());
+}
+
+TEST(FlagParserTest, DoubleParsing) {
+  FlagParser flags = ParseOk({"--rate=1.5e3"});
+  ASSERT_TRUE(flags.GetDouble("rate", 0.0).ok());
+  EXPECT_EQ(*flags.GetDouble("rate", 0.0), 1500.0);
+}
+
+TEST(FlagParserTest, BareDashDashRejected) {
+  FlagParser parser;
+  const char* args[] = {"--"};
+  EXPECT_FALSE(parser.Parse(1, args).ok());
+}
+
+TEST(FlagParserTest, LastValueWins) {
+  FlagParser flags = ParseOk({"--n=1", "--n=2"});
+  EXPECT_EQ(*flags.GetInt("n", 0), 2);
+}
+
+}  // namespace
+}  // namespace pstore

@@ -1,0 +1,232 @@
+// Randomized property tests: long chains of random reconfigurations,
+// random planner instances vs. the exhaustive reference, and concurrent
+// balancer + migration churn. Seeds are fixed, so failures reproduce.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "controller/load_balancer.h"
+#include "engine/cluster.h"
+#include "engine/event_loop.h"
+#include "engine/workload_driver.h"
+#include "migration/squall_migrator.h"
+#include "planner/brute_force_planner.h"
+#include "planner/dp_planner.h"
+#include "planner/migration_schedule.h"
+#include "ycsb/ycsb_workload.h"
+
+namespace pstore {
+namespace {
+
+// ---- Random reconfiguration chains -----------------------------------------
+
+class MigrationChainFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MigrationChainFuzz, DataSurvivesRandomReconfigurationChains) {
+  Rng rng(GetParam());
+  ClusterOptions cluster_options;
+  cluster_options.partitions_per_node = 1 + static_cast<int>(rng.NextUint64(4));
+  cluster_options.max_nodes = 12;
+  cluster_options.initial_nodes = 1 + static_cast<int>(rng.NextUint64(6));
+  cluster_options.num_buckets = 512 + static_cast<int>(rng.NextUint64(512));
+  Cluster cluster(cluster_options);
+
+  // Load rows with a checksum of their keys.
+  const uint64_t kRows = 6000;
+  int64_t checksum = 0;
+  for (uint64_t key = 0; key < kRows; ++key) {
+    Row row;
+    row.payload_bytes = 256 + static_cast<uint32_t>(rng.NextUint64(4096));
+    row.f0 = static_cast<int64_t>(key * 2654435761ULL);
+    checksum += row.f0;
+    const BucketId bucket = cluster.BucketForKey(key);
+    cluster.partition(cluster.PartitionOfBucket(bucket))
+        .Put(bucket, 0, key, row);
+  }
+  const int64_t total_bytes = cluster.TotalDataBytes();
+
+  EventLoop loop;
+  MigrationOptions migration_options;
+  migration_options.net_rate_bytes_per_sec = 50e6;
+  migration_options.chunk_spacing_seconds = 0.001;
+  migration_options.chunk_bytes = 64 * 1024;
+  MigrationManager manager(&loop, &cluster, nullptr, migration_options);
+
+  for (int step = 0; step < 8; ++step) {
+    int target;
+    do {
+      target = 1 + static_cast<int>(rng.NextUint64(12));
+    } while (target == cluster.active_nodes());
+    const double multiplier = rng.NextBool(0.3) ? 8.0 : 1.0;
+    ASSERT_TRUE(manager.StartReconfiguration(target, multiplier, nullptr).ok())
+        << "step " << step << " to " << target;
+    loop.RunToCompletion();
+    ASSERT_EQ(cluster.active_nodes(), target);
+
+    // Integrity: nothing lost, nothing duplicated, everything reachable.
+    ASSERT_EQ(cluster.TotalRowCount(), static_cast<int64_t>(kRows));
+    ASSERT_EQ(cluster.TotalDataBytes(), total_bytes);
+    int64_t seen = 0;
+    for (uint64_t key = 0; key < kRows; ++key) {
+      const BucketId bucket = cluster.BucketForKey(key);
+      const Row* row = cluster.partition(cluster.PartitionOfBucket(bucket))
+                           .Get(bucket, 0, key);
+      ASSERT_NE(row, nullptr) << "key " << key << " step " << step;
+      seen += row->f0;
+    }
+    ASSERT_EQ(seen, checksum);
+
+    // Balance: every active node within bucket granularity of the mean.
+    const double mean = static_cast<double>(total_bytes) / target;
+    for (int node = 0; node < target; ++node) {
+      EXPECT_NEAR(static_cast<double>(cluster.NodeDataBytes(node)) / mean,
+                  1.0, 0.35)
+          << "node " << node << " step " << step;
+    }
+    // Released machines empty.
+    for (int node = target; node < cluster_options.max_nodes; ++node) {
+      ASSERT_EQ(cluster.NodeDataBytes(node), 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MigrationChainFuzz,
+                         ::testing::Range<uint64_t>(1, 13));
+
+// ---- Random DP instances vs exhaustive search ------------------------------
+
+class PlannerFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PlannerFuzz, DpMatchesBruteForceOnRandomInstances) {
+  Rng rng(GetParam() * 7919 + 3);
+  PlannerParams params;
+  params.target_rate_per_node = 100.0;
+  params.max_rate_per_node = 125.0;
+  params.d_slots = 1.0 + rng.NextDouble() * 5.0;
+  params.partitions_per_node = 1 + static_cast<int>(rng.NextUint64(3));
+
+  const int horizon = 5 + static_cast<int>(rng.NextUint64(4));
+  std::vector<double> load;
+  double level = 80.0 + rng.NextDouble() * 200.0;
+  for (int t = 0; t <= horizon; ++t) {
+    // Random walk with occasional jumps.
+    level = std::max(20.0, level + rng.NextDouble(-80.0, 80.0));
+    if (rng.NextBool(0.2)) level += rng.NextDouble(0.0, 150.0);
+    load.push_back(level);
+  }
+  const int initial = 1 + static_cast<int>(rng.NextUint64(4));
+
+  const DpPlanner dp(params);
+  const BruteForcePlanner brute(params);
+  StatusOr<PlanResult> dp_plan = dp.BestMoves(load, initial);
+  StatusOr<PlanResult> bf_plan = brute.BestMoves(load, initial);
+  ASSERT_EQ(dp_plan.ok(), bf_plan.ok());
+  if (!dp_plan.ok()) return;
+  EXPECT_EQ(dp_plan->final_nodes, bf_plan->final_nodes);
+  EXPECT_NEAR(dp_plan->total_cost, bf_plan->total_cost, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlannerFuzz,
+                         ::testing::Range<uint64_t>(1, 41));
+
+// ---- Random schedules at larger scale ---------------------------------------
+
+class ScheduleFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ScheduleFuzz, RandomPairsUpTo40Validate) {
+  Rng rng(GetParam() * 104729 + 17);
+  for (int i = 0; i < 20; ++i) {
+    const int before = 1 + static_cast<int>(rng.NextUint64(40));
+    int after;
+    do {
+      after = 1 + static_cast<int>(rng.NextUint64(40));
+    } while (after == before);
+    StatusOr<MigrationSchedule> schedule =
+        BuildMigrationSchedule(before, after);
+    ASSERT_TRUE(schedule.ok()) << before << "->" << after;
+    ASSERT_TRUE(ValidateSchedule(*schedule).ok()) << before << "->" << after;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleFuzz,
+                         ::testing::Range<uint64_t>(1, 7));
+
+// ---- Balancer + migration churn ----------------------------------------------
+
+TEST(BalancerMigrationInterplayTest, ConcurrentChurnPreservesData) {
+  // A skewed YCSB workload with the balancer active while reconfigs
+  // fire every ~20 s: the balancer must stay out of migration's way and
+  // all rows must survive.
+  ClusterOptions cluster_options;
+  cluster_options.partitions_per_node = 3;
+  cluster_options.max_nodes = 6;
+  cluster_options.initial_nodes = 2;
+  cluster_options.num_buckets = 300;
+  Cluster cluster(cluster_options);
+  MetricsCollector metrics(1.0);
+  TxnExecutor executor(&cluster, &metrics, ExecutorOptions{});
+  PSTORE_CHECK_OK(ycsb::Workload::RegisterProcedures(&executor));
+  ycsb::WorkloadOptions workload_options;
+  workload_options.record_count = 20000;
+  workload_options.zipf_theta = 1.0;
+  workload_options.mix = ycsb::Mix::kC;  // read-only: row count stable
+  ycsb::Workload workload(workload_options);
+  PSTORE_CHECK_OK(workload.LoadInitialData(&cluster));
+  const int64_t rows = cluster.TotalRowCount();
+  const int64_t bytes = cluster.TotalDataBytes();
+
+  EventLoop loop;
+  MigrationOptions migration_options;
+  migration_options.net_rate_bytes_per_sec = 2e6;
+  migration_options.chunk_spacing_seconds = 0.05;
+  migration_options.chunk_bytes = 128 * 1024;
+  MigrationManager migration(&loop, &cluster, &metrics, migration_options);
+  LoadBalancerOptions balancer_options;
+  balancer_options.slot_sim_seconds = 1.0;
+  balancer_options.sample_slots = 5;
+  HotSpotBalancer balancer(&loop, &cluster, &migration, balancer_options);
+  balancer.Start();
+
+  TimeSeries flat(1.0, std::vector<double>(200, 200.0));
+  DriverOptions driver_options;
+  driver_options.slot_sim_seconds = 1.0;
+  driver_options.rate_factor = 1.0;
+  WorkloadDriver driver(
+      &loop, &executor, flat,
+      [&workload](Rng& rng) { return workload.NextTransaction(rng); },
+      driver_options);
+  driver.Start(200 * kSecond);
+
+  const int targets[] = {4, 3, 5, 2, 6, 2, 4, 3};
+  for (int i = 0; i < 8; ++i) {
+    loop.RunUntil((25 * (i + 1)) * kSecond);
+    if (!migration.InProgress() &&
+        targets[i] != cluster.active_nodes()) {
+      ASSERT_TRUE(
+          migration.StartReconfiguration(targets[i], 1.0, nullptr).ok());
+    }
+  }
+  // The balancer re-arms its tick forever, so run to a bound (generous
+  // enough for the last migration to finish) instead of to completion.
+  loop.RunUntil(600 * kSecond);
+  ASSERT_FALSE(migration.InProgress());
+
+  EXPECT_EQ(cluster.TotalRowCount(), rows);
+  EXPECT_EQ(cluster.TotalDataBytes(), bytes);
+  // Spot-check routing integrity.
+  for (uint64_t i = 0; i < 20000; i += 371) {
+    const uint64_t key = ycsb::UserKey(i);
+    const BucketId bucket = cluster.BucketForKey(key);
+    ASSERT_NE(cluster.partition(cluster.PartitionOfBucket(bucket))
+                  .Get(bucket, ycsb::kUserTable, key),
+              nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace pstore

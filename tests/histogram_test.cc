@@ -1,0 +1,136 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pstore {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(42);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), 42);
+  EXPECT_EQ(h.max(), 42);
+  EXPECT_EQ(h.mean(), 42.0);
+  EXPECT_EQ(h.ValueAtQuantile(0.0), 42);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 42);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 42);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  // Values below 64 get their own buckets, so quantiles are exact.
+  Histogram h;
+  for (int64_t v = 0; v < 64; ++v) h.Record(v);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 31);
+  EXPECT_EQ(h.ValueAtQuantile(0.25), 15);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 63);
+}
+
+TEST(HistogramTest, NegativeClampsToZero) {
+  Histogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 0);
+}
+
+TEST(HistogramTest, RecordMultiple) {
+  Histogram h;
+  h.RecordMultiple(10, 5);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_EQ(h.mean(), 10.0);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a;
+  Histogram b;
+  a.Record(5);
+  a.Record(1000);
+  b.Record(7);
+  b.Record(1u << 20);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4);
+  EXPECT_EQ(a.min(), 5);
+  EXPECT_EQ(a.max(), 1 << 20);
+}
+
+TEST(HistogramTest, MergeIntoEmpty) {
+  Histogram a;
+  Histogram b;
+  b.Record(123);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_EQ(a.min(), 123);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(77);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0);
+}
+
+TEST(HistogramTest, QuantileNeverBelowTrueQuantileBucketBound) {
+  // The returned value is the upper edge of the containing bucket, so it
+  // must be >= the exact quantile and within ~2x relative error.
+  Rng rng(3);
+  Histogram h;
+  std::vector<int64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    const int64_t v = static_cast<int64_t>(rng.NextExponential(50000.0));
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.5, 0.9, 0.95, 0.99}) {
+    const int64_t exact = values[static_cast<size_t>(q * values.size())];
+    const int64_t approx = h.ValueAtQuantile(q);
+    EXPECT_GE(approx, static_cast<int64_t>(exact * 0.95));
+    EXPECT_LE(approx, static_cast<int64_t>(exact * 1.06) + 1);
+  }
+}
+
+class HistogramRelativeErrorTest
+    : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(HistogramRelativeErrorTest, SingleValueRoundTripsWithinBucketError) {
+  const int64_t value = GetParam();
+  Histogram h;
+  h.Record(value);
+  const int64_t got = h.ValueAtQuantile(1.0);
+  // Upper edge is capped at max() == value, so exact here.
+  EXPECT_EQ(got, value);
+  // And the mean is tracked exactly regardless of bucketing.
+  EXPECT_EQ(h.mean(), static_cast<double>(value));
+}
+
+INSTANTIATE_TEST_SUITE_P(AcrossMagnitudes, HistogramRelativeErrorTest,
+                         ::testing::Values(0, 1, 63, 64, 65, 127, 128, 1000,
+                                           4095, 65536, 1000000,
+                                           int64_t{1} << 40));
+
+TEST(HistogramTest, MixedMagnitudesKeepOrdering) {
+  Histogram h;
+  for (int i = 0; i < 900; ++i) h.Record(100);
+  for (int i = 0; i < 100; ++i) h.Record(1000000);
+  EXPECT_LE(h.ValueAtQuantile(0.5), 105);
+  EXPECT_GE(h.ValueAtQuantile(0.95), 1000000 * 0.9);
+}
+
+}  // namespace
+}  // namespace pstore

@@ -1,0 +1,128 @@
+#include "prediction/holt_winters.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "prediction/naive_models.h"
+#include "trace/b2w_trace_generator.h"
+
+namespace pstore {
+namespace {
+
+TimeSeries SeasonalSeries(int periods, double noise_sigma, uint64_t seed,
+                          size_t period = 48, double trend_per_slot = 0.0) {
+  Rng rng(seed);
+  TimeSeries out(60.0);
+  for (int p = 0; p < periods; ++p) {
+    for (size_t s = 0; s < period; ++s) {
+      const double t =
+          static_cast<double>(p) * period + static_cast<double>(s);
+      const double phase = 2.0 * M_PI * static_cast<double>(s) / period;
+      double value =
+          100.0 + trend_per_slot * t + 40.0 * std::sin(phase);
+      value += noise_sigma * rng.NextGaussian();
+      out.Append(value);
+    }
+  }
+  return out;
+}
+
+HoltWintersOptions SmallOptions() {
+  HoltWintersOptions options;
+  options.period = 48;
+  return options;
+}
+
+TEST(HoltWintersTest, RejectsShortSeries) {
+  HoltWintersPredictor hw(SmallOptions());
+  EXPECT_FALSE(hw.Fit(SeasonalSeries(1, 0.0, 1)).ok());
+  EXPECT_TRUE(hw.Fit(SeasonalSeries(4, 0.0, 1)).ok());
+}
+
+TEST(HoltWintersTest, PredictBeforeFitFails) {
+  HoltWintersPredictor hw(SmallOptions());
+  EXPECT_FALSE(hw.PredictAhead(SeasonalSeries(4, 0.0, 1), 1).ok());
+}
+
+TEST(HoltWintersTest, NoiselessSeasonalPredictedAccurately) {
+  HoltWintersPredictor hw(SmallOptions());
+  const TimeSeries series = SeasonalSeries(12, 0.0, 1);
+  ASSERT_TRUE(hw.Fit(series.Slice(0, 10 * 48)).ok());
+  StatusOr<EvaluationResult> eval =
+      EvaluatePredictor(hw, series, 10 * 48, 4);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_LT(eval->mre, 0.02);
+}
+
+TEST(HoltWintersTest, TracksLinearTrend) {
+  HoltWintersPredictor hw(SmallOptions());
+  const TimeSeries series = SeasonalSeries(12, 0.0, 2, 48, 0.5);
+  ASSERT_TRUE(hw.Fit(series.Slice(0, 10 * 48)).ok());
+  // 8 slots ahead from the end of slice: trend contributes 4.0.
+  const TimeSeries history = series.Slice(0, 11 * 48);
+  StatusOr<double> prediction = hw.PredictAhead(history, 8);
+  ASSERT_TRUE(prediction.ok());
+  EXPECT_NEAR(*prediction, series[11 * 48 + 7], 20.0);  // ~5%
+}
+
+TEST(HoltWintersTest, FixedParametersRespected) {
+  HoltWintersOptions options = SmallOptions();
+  options.alpha = 0.42;
+  options.beta = 0.07;
+  options.gamma = 0.11;
+  HoltWintersPredictor hw(options);
+  ASSERT_TRUE(hw.Fit(SeasonalSeries(6, 0.01, 3)).ok());
+  EXPECT_EQ(hw.alpha(), 0.42);
+  EXPECT_EQ(hw.beta(), 0.07);
+  EXPECT_EQ(hw.gamma(), 0.11);
+}
+
+TEST(HoltWintersTest, GridSearchPicksFiniteParameters) {
+  HoltWintersPredictor hw(SmallOptions());
+  ASSERT_TRUE(hw.Fit(SeasonalSeries(8, 2.0, 4)).ok());
+  EXPECT_GT(hw.alpha(), 0.0);
+  EXPECT_GE(hw.beta(), 0.0);
+  EXPECT_GT(hw.gamma(), 0.0);
+}
+
+TEST(HoltWintersTest, HorizonMatchesPerTauCalls) {
+  HoltWintersPredictor hw(SmallOptions());
+  const TimeSeries series = SeasonalSeries(8, 0.5, 5);
+  ASSERT_TRUE(hw.Fit(series.Slice(0, 6 * 48)).ok());
+  const TimeSeries history = series.Slice(0, 7 * 48);
+  StatusOr<std::vector<double>> horizon = hw.PredictHorizon(history, 6);
+  ASSERT_TRUE(horizon.ok());
+  for (size_t tau = 1; tau <= 6; ++tau) {
+    StatusOr<double> single = hw.PredictAhead(history, tau);
+    ASSERT_TRUE(single.ok());
+    EXPECT_NEAR(*single, (*horizon)[tau - 1], 1e-9);
+  }
+}
+
+TEST(HoltWintersTest, CompetitiveWithSeasonalNaiveOnB2wLoad) {
+  B2wTraceOptions trace_options;
+  trace_options.days = 30;
+  trace_options.seed = 5;
+  const TimeSeries trace = GenerateB2wTrace(trace_options);
+  HoltWintersOptions options;
+  options.period = 1440;
+  HoltWintersPredictor hw(options);
+  ASSERT_TRUE(hw.Fit(trace.Slice(0, 28 * 1440)).ok());
+  SeasonalNaivePredictor naive(1440);
+  ASSERT_TRUE(naive.Fit(trace.Slice(0, 28 * 1440)).ok());
+
+  StatusOr<EvaluationResult> hw_eval =
+      EvaluatePredictor(hw, trace.Slice(0, 29 * 1440), 28 * 1440, 60);
+  StatusOr<EvaluationResult> naive_eval =
+      EvaluatePredictor(naive, trace.Slice(0, 29 * 1440), 28 * 1440, 60);
+  ASSERT_TRUE(hw_eval.ok());
+  ASSERT_TRUE(naive_eval.ok());
+  // Holt-Winters adapts to the current level, so it should at least
+  // approach (and usually beat) the naive periodic baseline.
+  EXPECT_LT(hw_eval->mre, naive_eval->mre * 1.2);
+}
+
+}  // namespace
+}  // namespace pstore

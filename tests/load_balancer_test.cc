@@ -1,0 +1,137 @@
+#include "controller/load_balancer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+#include "engine/event_loop.h"
+#include "engine/workload_driver.h"
+#include "ycsb/ycsb_workload.h"
+
+namespace pstore {
+namespace {
+
+ClusterOptions BalancerCluster() {
+  ClusterOptions options;
+  options.partitions_per_node = 3;
+  options.max_nodes = 2;
+  options.initial_nodes = 2;
+  options.num_buckets = 300;
+  return options;
+}
+
+struct SkewRun {
+  double imbalance = 0.0;   // hottest/mean access ratio at the end
+  int64_t buckets_moved = 0;
+  double worst_p99_ms = 0.0;
+};
+
+SkewRun RunSkewedWorkload(bool with_balancer, double theta,
+                          double offered_rate) {
+  Cluster cluster(BalancerCluster());
+  MetricsCollector metrics(1.0);
+  TxnExecutor executor(&cluster, &metrics, ExecutorOptions{});
+  PSTORE_CHECK_OK(ycsb::Workload::RegisterProcedures(&executor));
+  ycsb::WorkloadOptions workload_options;
+  workload_options.record_count = 60000;
+  workload_options.zipf_theta = theta;
+  workload_options.mix = ycsb::Mix::kB;
+  ycsb::Workload workload(workload_options);
+  PSTORE_CHECK_OK(workload.LoadInitialData(&cluster));
+
+  EventLoop loop;
+  MigrationOptions migration_options;
+  MigrationManager migration(&loop, &cluster, &metrics, migration_options);
+
+  std::unique_ptr<HotSpotBalancer> balancer;
+  if (with_balancer) {
+    LoadBalancerOptions options;
+    options.slot_sim_seconds = 1.0;
+    options.sample_slots = 10;
+    balancer = std::make_unique<HotSpotBalancer>(&loop, &cluster, &migration,
+                                                 options);
+    balancer->Start();
+  }
+
+  TimeSeries flat(1.0, std::vector<double>(300, offered_rate));
+  DriverOptions driver_options;
+  driver_options.slot_sim_seconds = 1.0;
+  driver_options.rate_factor = 1.0;
+  driver_options.seed = 77;
+  WorkloadDriver driver(
+      &loop, &executor, flat,
+      [&workload](Rng& rng) { return workload.NextTransaction(rng); },
+      driver_options);
+  const SimTime end = FromSeconds(300.0);
+  driver.Start(end);
+  loop.RunUntil(end);
+
+  SkewRun result;
+  int64_t max_accesses = 0;
+  int64_t total = 0;
+  for (int p = 0; p < cluster.total_active_partitions(); ++p) {
+    const int64_t a = cluster.partition(p).TotalAccesses();
+    max_accesses = std::max(max_accesses, a);
+    total += a;
+  }
+  // Note: access counters were reset at each balancer sample, so for the
+  // balancer run this reflects the final window only — which is what we
+  // want (post-balancing skew).
+  result.imbalance = total == 0
+                         ? 1.0
+                         : static_cast<double>(max_accesses) /
+                               (static_cast<double>(total) /
+                                cluster.total_active_partitions());
+  result.buckets_moved =
+      balancer == nullptr ? 0 : balancer->buckets_moved();
+  const auto windows = metrics.Finalize(end);
+  for (size_t w = 30; w < windows.size(); ++w) {
+    result.worst_p99_ms = std::max(result.worst_p99_ms, windows[w].p99_ms);
+  }
+  return result;
+}
+
+TEST(HotSpotBalancerTest, IdleOnUniformLoad) {
+  const SkewRun run = RunSkewedWorkload(true, 0.0, 300.0);
+  EXPECT_EQ(run.buckets_moved, 0);
+}
+
+TEST(HotSpotBalancerTest, MovesBucketsUnderSkew) {
+  const SkewRun run = RunSkewedWorkload(true, 1.3, 300.0);
+  EXPECT_GT(run.buckets_moved, 0);
+}
+
+TEST(HotSpotBalancerTest, ReducesTailLatencyUnderSkew) {
+  // Offered rate near the 2-node knee: the hot partition saturates
+  // without balancing; with balancing the load spreads and the tail
+  // recovers. (2 nodes x 3 partitions at ~73 txn/s per partition.)
+  const double rate = 270.0;
+  const SkewRun without = RunSkewedWorkload(false, 1.2, rate);
+  const SkewRun with = RunSkewedWorkload(true, 1.2, rate);
+  EXPECT_GT(with.buckets_moved, 0);
+  EXPECT_LT(with.worst_p99_ms, without.worst_p99_ms);
+}
+
+TEST(HotSpotBalancerTest, ImbalanceMetricTracked) {
+  Cluster cluster(BalancerCluster());
+  EventLoop loop;
+  LoadBalancerOptions options;
+  options.slot_sim_seconds = 1.0;
+  options.sample_slots = 1;
+  HotSpotBalancer balancer(&loop, &cluster, nullptr, options);
+  // Partition 0 is 3x hotter than the mean.
+  cluster.partition(0).RecordAccess(cluster.BucketsOnPartition(0)[0]);
+  cluster.partition(0).RecordAccess(cluster.BucketsOnPartition(0)[0]);
+  cluster.partition(0).RecordAccess(cluster.BucketsOnPartition(0)[1]);
+  for (int p = 1; p < 6; ++p) {
+    cluster.partition(p).RecordAccess(cluster.BucketsOnPartition(p)[0]);
+  }
+  balancer.Start();
+  loop.RunUntil(FromSeconds(1.5));
+  EXPECT_GT(balancer.last_imbalance(), 1.5);
+}
+
+}  // namespace
+}  // namespace pstore

@@ -1,0 +1,126 @@
+#include "engine/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/sim_time.h"
+
+namespace pstore {
+namespace {
+
+TEST(WindowHistogramTest, EmptyQuantileIsZero) {
+  WindowHistogram h;
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0);
+  EXPECT_EQ(h.count(), 0);
+}
+
+TEST(WindowHistogramTest, SingleValue) {
+  WindowHistogram h;
+  h.Record(123 * kMillisecond);
+  EXPECT_EQ(h.count(), 1);
+  const SimTime p50 = h.ValueAtQuantile(0.5);
+  EXPECT_LE(p50, 123 * kMillisecond);
+  EXPECT_GE(p50, 100 * kMillisecond);
+}
+
+TEST(WindowHistogramTest, QuantileAccuracyWithinBucketResolution) {
+  WindowHistogram h;
+  for (int i = 0; i < 900; ++i) h.Record(10 * kMillisecond);
+  for (int i = 0; i < 100; ++i) h.Record(800 * kMillisecond);
+  const double p50_ms = ToSeconds(h.ValueAtQuantile(0.5)) * 1e3;
+  const double p95_ms = ToSeconds(h.ValueAtQuantile(0.95)) * 1e3;
+  EXPECT_NEAR(p50_ms, 10.0, 1.5);
+  EXPECT_NEAR(p95_ms, 800.0, 100.0);
+}
+
+TEST(WindowHistogramTest, SubMillisecondLatenciesLandInFirstBucket) {
+  WindowHistogram h;
+  h.Record(50);  // 50 us
+  EXPECT_LE(h.ValueAtQuantile(1.0), 100);
+}
+
+TEST(MetricsCollectorTest, ThroughputPerWindow) {
+  MetricsCollector metrics(1.0);
+  // Three txns complete in window 0, one in window 2.
+  metrics.RecordTxn(0, 100 * kMillisecond);
+  metrics.RecordTxn(0, 200 * kMillisecond);
+  metrics.RecordTxn(kSecond - 1, kSecond - 1);
+  metrics.RecordTxn(kSecond / 2, 2 * kSecond + 1);
+  const auto windows = metrics.Finalize(3 * kSecond);
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0].completed, 3);
+  EXPECT_EQ(windows[0].submitted, 4);
+  EXPECT_EQ(windows[1].completed, 0);
+  EXPECT_EQ(windows[2].completed, 1);
+}
+
+TEST(MetricsCollectorTest, LatencyLandsInCompletionWindow) {
+  MetricsCollector metrics(1.0);
+  // Submitted in window 0, completes in window 4 with 4.2 s latency.
+  metrics.RecordTxn(800 * kMillisecond, 5 * kSecond);
+  const auto windows = metrics.Finalize(6 * kSecond);
+  ASSERT_EQ(windows.size(), 6u);
+  EXPECT_EQ(windows[5].completed, 1);
+  EXPECT_NEAR(windows[5].p99_ms, 4200.0, 400.0);
+}
+
+TEST(MetricsCollectorTest, MachineStepSeries) {
+  MetricsCollector metrics(1.0);
+  metrics.RecordMachines(0, 2);
+  metrics.RecordMachines(2 * kSecond + kSecond / 2, 5);
+  const auto windows = metrics.Finalize(5 * kSecond);
+  ASSERT_EQ(windows.size(), 5u);
+  EXPECT_EQ(windows[0].machines, 2);
+  EXPECT_EQ(windows[1].machines, 2);
+  EXPECT_EQ(windows[2].machines, 5);  // step within the window
+  EXPECT_EQ(windows[4].machines, 5);
+}
+
+TEST(MetricsCollectorTest, AverageMachinesTimeWeighted) {
+  MetricsCollector metrics(1.0);
+  metrics.RecordMachines(0, 2);
+  metrics.RecordMachines(6 * kSecond, 4);
+  // 6 s at 2 machines + 4 s at 4 machines over 10 s = 2.8.
+  EXPECT_NEAR(metrics.AverageMachines(10 * kSecond), 2.8, 1e-9);
+}
+
+TEST(MetricsCollectorTest, MigrationFlagPerWindow) {
+  MetricsCollector metrics(1.0);
+  metrics.RecordMigrationActive(kSecond, true);
+  metrics.RecordMigrationActive(3 * kSecond, false);
+  const auto windows = metrics.Finalize(5 * kSecond);
+  EXPECT_FALSE(windows[0].migrating);
+  EXPECT_TRUE(windows[1].migrating);
+  EXPECT_TRUE(windows[2].migrating);
+  EXPECT_FALSE(windows[4].migrating);
+}
+
+TEST(MetricsCollectorTest, SlaViolationCounting) {
+  MetricsCollector metrics(1.0);
+  // Window 0: fast txns. Window 1: p99 over 500 ms but p50 fine.
+  for (int i = 0; i < 100; ++i) {
+    metrics.RecordTxn(0, 10 * kMillisecond);
+  }
+  for (int i = 0; i < 98; ++i) {
+    metrics.RecordTxn(kSecond, kSecond + 20 * kMillisecond);
+  }
+  for (int i = 0; i < 2; ++i) {
+    metrics.RecordTxn(kSecond, kSecond + 900 * kMillisecond);
+  }
+  const auto windows = metrics.Finalize(2 * kSecond);
+  const SlaViolations violations =
+      MetricsCollector::CountViolations(windows, 500.0);
+  EXPECT_EQ(violations.p50, 0);
+  EXPECT_EQ(violations.p95, 0);
+  EXPECT_EQ(violations.p99, 1);
+}
+
+TEST(MetricsCollectorTest, EmptyWindowsDoNotViolate) {
+  MetricsCollector metrics(1.0);
+  const auto windows = metrics.Finalize(10 * kSecond);
+  const SlaViolations violations =
+      MetricsCollector::CountViolations(windows);
+  EXPECT_EQ(violations.p50 + violations.p95 + violations.p99, 0);
+}
+
+}  // namespace
+}  // namespace pstore

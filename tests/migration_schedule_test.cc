@@ -1,0 +1,218 @@
+#include "planner/migration_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "planner/move_model.h"
+
+namespace pstore {
+namespace {
+
+TEST(MigrationScheduleTest, RejectsDegenerateInputs) {
+  EXPECT_FALSE(BuildMigrationSchedule(0, 3).ok());
+  EXPECT_FALSE(BuildMigrationSchedule(3, 0).ok());
+  EXPECT_FALSE(BuildMigrationSchedule(3, 3).ok());
+}
+
+TEST(MigrationScheduleTest, OneToTwo) {
+  StatusOr<MigrationSchedule> schedule = BuildMigrationSchedule(1, 2);
+  ASSERT_TRUE(schedule.ok());
+  ASSERT_EQ(schedule->rounds.size(), 1u);
+  ASSERT_EQ(schedule->rounds[0].transfers.size(), 1u);
+  EXPECT_EQ(schedule->rounds[0].transfers[0], (TransferPair{0, 1}));
+  EXPECT_NEAR(schedule->per_pair_fraction, 0.5, 1e-12);
+  EXPECT_NEAR(schedule->TotalFractionMoved(), 0.5, 1e-12);
+}
+
+TEST(MigrationScheduleTest, CaseOneThreeToFive) {
+  // Delta (2) <= s (3): all machines at once, s rounds.
+  StatusOr<MigrationSchedule> schedule = BuildMigrationSchedule(3, 5);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_EQ(schedule->rounds.size(), 3u);
+  for (const ScheduleRound& round : schedule->rounds) {
+    EXPECT_EQ(round.machines_allocated, 5);
+    EXPECT_EQ(round.transfers.size(), 2u);  // max parallel = 2
+  }
+}
+
+TEST(MigrationScheduleTest, CaseTwoThreeToNine) {
+  // Delta (6) a perfect multiple of s (3): blocks of 3, 6 rounds.
+  StatusOr<MigrationSchedule> schedule = BuildMigrationSchedule(3, 9);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_EQ(schedule->rounds.size(), 6u);
+  // First block fills machines 3-5 with only 6 allocated...
+  EXPECT_EQ(schedule->rounds[0].machines_allocated, 6);
+  // ...second block brings up 9.
+  EXPECT_EQ(schedule->rounds[5].machines_allocated, 9);
+}
+
+TEST(MigrationScheduleTest, CaseThreeThreeToFourteenMatchesTable1) {
+  // The paper's Table 1: 11 rounds in three phases (6 + 2 + 3), with
+  // machine allocation stepping 6 -> 9 -> 12 -> 14.
+  StatusOr<MigrationSchedule> schedule = BuildMigrationSchedule(3, 14);
+  ASSERT_TRUE(schedule.ok());
+  ASSERT_EQ(schedule->rounds.size(), 11u);
+  std::vector<int> allocations;
+  std::vector<int> phases;
+  for (const ScheduleRound& round : schedule->rounds) {
+    allocations.push_back(round.machines_allocated);
+    phases.push_back(round.phase);
+    // Every round keeps all three senders busy.
+    EXPECT_EQ(round.transfers.size(), 3u);
+  }
+  EXPECT_EQ(allocations, (std::vector<int>{6, 6, 6, 9, 9, 9, 12, 12, 14,
+                                           14, 14}));
+  EXPECT_EQ(phases,
+            (std::vector<int>{1, 1, 1, 1, 1, 1, 2, 2, 3, 3, 3}));
+}
+
+TEST(MigrationScheduleTest, ScaleInFourteenToThreeIsReversed) {
+  StatusOr<MigrationSchedule> schedule = BuildMigrationSchedule(14, 3);
+  ASSERT_TRUE(schedule.ok());
+  ASSERT_EQ(schedule->rounds.size(), 11u);
+  std::vector<int> allocations;
+  for (const ScheduleRound& round : schedule->rounds) {
+    allocations.push_back(round.machines_allocated);
+    // Transfers flow from the drained machines into the survivors.
+    for (const TransferPair& pair : round.transfers) {
+      EXPECT_GE(pair.sender, 3);
+      EXPECT_LT(pair.receiver, 3);
+    }
+  }
+  EXPECT_EQ(allocations, (std::vector<int>{14, 14, 14, 12, 12, 9, 9, 9, 6,
+                                           6, 6}));
+}
+
+TEST(MigrationScheduleTest, PerPairFraction) {
+  StatusOr<MigrationSchedule> schedule = BuildMigrationSchedule(3, 14);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_NEAR(schedule->per_pair_fraction, 1.0 / 42.0, 1e-12);
+  // Total data moved = pairs * per-pair = 33/42 = 1 - 3/14.
+  size_t total_transfers = 0;
+  for (const ScheduleRound& round : schedule->rounds) {
+    total_transfers += round.transfers.size();
+  }
+  EXPECT_NEAR(total_transfers * schedule->per_pair_fraction,
+              schedule->TotalFractionMoved(), 1e-12);
+}
+
+TEST(MigrationScheduleTest, ToStringMentionsPhases) {
+  StatusOr<MigrationSchedule> schedule = BuildMigrationSchedule(3, 14);
+  ASSERT_TRUE(schedule.ok());
+  const std::string text = schedule->ToString();
+  EXPECT_NE(text.find("Phase 1"), std::string::npos);
+  EXPECT_NE(text.find("Phase 2"), std::string::npos);
+  EXPECT_NE(text.find("Phase 3"), std::string::npos);
+  EXPECT_NE(text.find("11 rounds"), std::string::npos);
+}
+
+// Full invariant sweep across cluster-size combinations. This is the
+// load-bearing property test: schedules must exist and validate for
+// every (before, after) pair the planner can produce.
+class SchedulePairSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SchedulePairSweep, InvariantsHold) {
+  const auto [before, after] = GetParam();
+  if (before == after) {
+    EXPECT_FALSE(BuildMigrationSchedule(before, after).ok());
+    return;
+  }
+  StatusOr<MigrationSchedule> schedule =
+      BuildMigrationSchedule(before, after);
+  ASSERT_TRUE(schedule.ok()) << before << "->" << after;
+  EXPECT_TRUE(ValidateSchedule(*schedule).ok()) << before << "->" << after;
+
+  // Round count equals the theoretical minimum that keeps the smaller
+  // side fully parallel: s rounds if delta <= s, else delta rounds.
+  const int smaller = std::min(before, after);
+  const int delta = std::abs(after - before);
+  const size_t expected =
+      static_cast<size_t>(delta <= smaller ? smaller : delta);
+  EXPECT_EQ(schedule->rounds.size(), expected);
+
+  // Every stable-side machine is busy in every round when delta >= s
+  // (senders never idle, the point of the three-phase schedule).
+  if (delta >= smaller) {
+    for (const ScheduleRound& round : schedule->rounds) {
+      EXPECT_EQ(round.transfers.size(), static_cast<size_t>(smaller));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairsUpTo12, SchedulePairSweep,
+                         ::testing::Combine(::testing::Range(1, 13),
+                                            ::testing::Range(1, 13)));
+
+// The schedule's machine-allocation steps must agree with the planner's
+// analytic allocation profile (MachinesAllocatedAt), since the DP costs
+// moves with the latter.
+class ScheduleAllocationConsistency
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ScheduleAllocationConsistency, MatchesAnalyticProfile) {
+  const auto [before, after] = GetParam();
+  StatusOr<MigrationSchedule> schedule =
+      BuildMigrationSchedule(before, after);
+  ASSERT_TRUE(schedule.ok());
+  const size_t rounds = schedule->rounds.size();
+  for (size_t r = 0; r < rounds; ++r) {
+    // Evaluate the profile at the midpoint of round r.
+    const double f = (static_cast<double>(r) + 0.5) / rounds;
+    EXPECT_EQ(schedule->rounds[r].machines_allocated,
+              MachinesAllocatedAt(before, after, f))
+        << before << "->" << after << " round " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RepresentativeMoves, ScheduleAllocationConsistency,
+    ::testing::Values(std::make_tuple(3, 5), std::make_tuple(3, 9),
+                      std::make_tuple(3, 14), std::make_tuple(14, 3),
+                      std::make_tuple(2, 3), std::make_tuple(4, 6),
+                      std::make_tuple(9, 3), std::make_tuple(5, 12),
+                      std::make_tuple(12, 5), std::make_tuple(1, 7),
+                      std::make_tuple(7, 1)));
+
+TEST(ValidateScheduleTest, DetectsDuplicatePair) {
+  StatusOr<MigrationSchedule> schedule = BuildMigrationSchedule(2, 4);
+  ASSERT_TRUE(schedule.ok());
+  // Corrupt: repeat the first transfer in the last round.
+  MigrationSchedule bad = *schedule;
+  bad.rounds.back().transfers[0] = bad.rounds.front().transfers[0];
+  EXPECT_FALSE(ValidateSchedule(bad).ok());
+}
+
+TEST(ValidateScheduleTest, DetectsMachineReuseWithinRound) {
+  StatusOr<MigrationSchedule> schedule = BuildMigrationSchedule(3, 5);
+  ASSERT_TRUE(schedule.ok());
+  MigrationSchedule bad = *schedule;
+  ASSERT_GE(bad.rounds[0].transfers.size(), 2u);
+  bad.rounds[0].transfers[1].sender = bad.rounds[0].transfers[0].sender;
+  EXPECT_FALSE(ValidateSchedule(bad).ok());
+}
+
+TEST(ValidateScheduleTest, DetectsWrongDirection) {
+  StatusOr<MigrationSchedule> schedule = BuildMigrationSchedule(2, 4);
+  ASSERT_TRUE(schedule.ok());
+  MigrationSchedule bad = *schedule;
+  std::swap(bad.rounds[0].transfers[0].sender,
+            bad.rounds[0].transfers[0].receiver);
+  EXPECT_FALSE(ValidateSchedule(bad).ok());
+}
+
+TEST(ValidateScheduleTest, DetectsMissingRound) {
+  StatusOr<MigrationSchedule> schedule = BuildMigrationSchedule(3, 9);
+  ASSERT_TRUE(schedule.ok());
+  MigrationSchedule bad = *schedule;
+  bad.rounds.pop_back();
+  EXPECT_FALSE(ValidateSchedule(bad).ok());
+}
+
+}  // namespace
+}  // namespace pstore

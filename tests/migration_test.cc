@@ -1,0 +1,262 @@
+#include "migration/squall_migrator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "b2w/procedures.h"
+#include "b2w/schema.h"
+#include "b2w/workload.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "engine/cluster.h"
+#include "engine/event_loop.h"
+#include "engine/metrics.h"
+#include "engine/txn_executor.h"
+#include "engine/workload_driver.h"
+#include "planner/move_model.h"
+
+namespace pstore {
+namespace {
+
+ClusterOptions TestCluster(int initial_nodes, int max_nodes = 16) {
+  ClusterOptions options;
+  options.partitions_per_node = 2;
+  options.max_nodes = max_nodes;
+  options.initial_nodes = initial_nodes;
+  options.num_buckets = 512;
+  return options;
+}
+
+MigrationOptions FastMigration() {
+  MigrationOptions options;
+  options.net_rate_bytes_per_sec = 10e6;
+  options.chunk_spacing_seconds = 0.01;
+  options.extract_rate_bytes_per_sec = 200e6;
+  options.chunk_bytes = 256 * 1024;
+  return options;
+}
+
+void LoadData(Cluster* cluster, uint64_t rows, uint32_t row_bytes) {
+  Row row;
+  row.payload_bytes = row_bytes;
+  for (uint64_t key = 0; key < rows; ++key) {
+    const BucketId bucket = cluster->BucketForKey(key);
+    row.f0 = static_cast<int64_t>(key);
+    cluster->partition(cluster->PartitionOfBucket(bucket))
+        .Put(bucket, 0, key, row);
+  }
+}
+
+TEST(SustainedRateTest, MatchesClosedForm) {
+  MigrationOptions options;
+  options.net_rate_bytes_per_sec = 500e3;
+  options.chunk_spacing_seconds = 2.0;
+  options.chunk_bytes = 1000 * 1000;
+  // 1 MB per (2 s transfer + 2 s spacing) = 250 kB/s.
+  EXPECT_NEAR(SustainedPairRate(options), 250e3, 1e-6);
+  EXPECT_NEAR(SustainedPairRate(options, 8.0), 2e6, 1e-3);
+  // D for a 1106 MB database: ~4424 s (the paper measured 4646 s
+  // including its 10% buffer).
+  EXPECT_NEAR(SingleThreadFullMigrationSeconds(1106 * 1000 * 1000, options),
+              4424.0, 1.0);
+}
+
+TEST(MigrationManagerTest, RejectsBadTargets) {
+  Cluster cluster(TestCluster(2));
+  EventLoop loop;
+  MigrationManager manager(&loop, &cluster, nullptr, FastMigration());
+  EXPECT_FALSE(manager.StartReconfiguration(2, 1.0, nullptr).ok());
+  EXPECT_FALSE(manager.StartReconfiguration(0, 1.0, nullptr).ok());
+  EXPECT_FALSE(manager.StartReconfiguration(17, 1.0, nullptr).ok());
+  EXPECT_FALSE(manager.StartReconfiguration(3, 0.0, nullptr).ok());
+}
+
+TEST(MigrationManagerTest, RejectsConcurrentReconfiguration) {
+  Cluster cluster(TestCluster(2));
+  LoadData(&cluster, 2000, 1024);
+  EventLoop loop;
+  MigrationManager manager(&loop, &cluster, nullptr, FastMigration());
+  ASSERT_TRUE(manager.StartReconfiguration(4, 1.0, nullptr).ok());
+  EXPECT_TRUE(manager.InProgress());
+  EXPECT_FALSE(manager.StartReconfiguration(6, 1.0, nullptr).ok());
+  loop.RunToCompletion();
+  EXPECT_FALSE(manager.InProgress());
+}
+
+// The load-bearing invariant: scale-out then scale-in moves every row
+// without loss or duplication, leaves shares even, and empties released
+// machines.
+class MigrationRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MigrationRoundTrip, PreservesDataAndBalance) {
+  const auto [from_nodes, to_nodes] = GetParam();
+  Cluster cluster(TestCluster(from_nodes));
+  const uint64_t kRows = 3000;
+  LoadData(&cluster, kRows, 2048);
+  const int64_t total_bytes = cluster.TotalDataBytes();
+
+  EventLoop loop;
+  MetricsCollector metrics;
+  MigrationManager manager(&loop, &cluster, &metrics, FastMigration());
+  bool done = false;
+  ASSERT_TRUE(
+      manager.StartReconfiguration(to_nodes, 1.0, [&] { done = true; }).ok());
+  loop.RunToCompletion();
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(manager.InProgress());
+  EXPECT_EQ(cluster.active_nodes(), to_nodes);
+
+  // No rows lost or duplicated.
+  EXPECT_EQ(cluster.TotalRowCount(), static_cast<int64_t>(kRows));
+  EXPECT_EQ(cluster.TotalDataBytes(), total_bytes);
+
+  // Every row is reachable through routing.
+  for (uint64_t key = 0; key < kRows; key += 17) {
+    const BucketId bucket = cluster.BucketForKey(key);
+    const Row* row =
+        cluster.partition(cluster.PartitionOfBucket(bucket)).Get(bucket, 0,
+                                                                 key);
+    ASSERT_NE(row, nullptr) << "key " << key;
+    EXPECT_EQ(row->f0, static_cast<int64_t>(key));
+  }
+
+  // Shares even to within bucket granularity (~ a few buckets).
+  const double mean =
+      static_cast<double>(total_bytes) / static_cast<double>(to_nodes);
+  for (int node = 0; node < to_nodes; ++node) {
+    EXPECT_NEAR(static_cast<double>(cluster.NodeDataBytes(node)) / mean, 1.0,
+                0.25)
+        << "node " << node;
+  }
+
+  // Released machines hold nothing.
+  for (int node = to_nodes; node < cluster.options().max_nodes; ++node) {
+    EXPECT_EQ(cluster.NodeDataBytes(node), 0) << "node " << node;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    UpAndDown, MigrationRoundTrip,
+    ::testing::Values(std::make_tuple(1, 2), std::make_tuple(2, 1),
+                      std::make_tuple(2, 4), std::make_tuple(4, 2),
+                      std::make_tuple(3, 5), std::make_tuple(5, 3),
+                      std::make_tuple(3, 9), std::make_tuple(9, 3),
+                      std::make_tuple(3, 7), std::make_tuple(7, 3),
+                      std::make_tuple(2, 3), std::make_tuple(4, 10),
+                      std::make_tuple(10, 4)));
+
+TEST(MigrationManagerTest, DurationTracksModel) {
+  // Reconfiguration time must match Eq. 3 with D derived from the
+  // sustained pair rate.
+  Cluster cluster(TestCluster(2, 8));
+  LoadData(&cluster, 4000, 4096);
+  const int64_t db_bytes = cluster.TotalDataBytes();
+  const MigrationOptions options = FastMigration();
+
+  EventLoop loop;
+  MigrationManager manager(&loop, &cluster, nullptr, options);
+  SimTime finished_at = -1;
+  ASSERT_TRUE(manager
+                  .StartReconfiguration(4, 1.0,
+                                        [&] { finished_at = loop.now(); })
+                  .ok());
+  loop.RunToCompletion();
+  ASSERT_GE(finished_at, 0);
+
+  PlannerParams params;
+  params.target_rate_per_node = 1.0;
+  params.d_slots = SingleThreadFullMigrationSeconds(db_bytes, options);
+  params.partitions_per_node = 2;
+  const double expected_seconds = MoveTime(2, 4, params);
+  EXPECT_NEAR(ToSeconds(finished_at), expected_seconds,
+              expected_seconds * 0.35 + 1.0);
+}
+
+TEST(MigrationManagerTest, FractionMovedProgresses) {
+  Cluster cluster(TestCluster(2, 8));
+  LoadData(&cluster, 4000, 4096);
+  EventLoop loop;
+  MigrationManager manager(&loop, &cluster, nullptr, FastMigration());
+  ASSERT_TRUE(manager.StartReconfiguration(4, 1.0, nullptr).ok());
+  EXPECT_LT(manager.FractionMoved(), 0.5);
+  // Run halfway through the expected duration.
+  loop.RunUntil(loop.now() + 2 * kSecond);
+  const double midway = manager.FractionMoved();
+  loop.RunToCompletion();
+  EXPECT_GE(manager.FractionMoved(), midway);
+  EXPECT_EQ(manager.FractionMoved(), 1.0);  // idle => 1.0
+  EXPECT_GT(manager.total_bytes_moved(), 0);
+  EXPECT_EQ(manager.reconfigurations_completed(), 1);
+}
+
+TEST(MigrationManagerTest, HigherRateMultiplierIsFaster) {
+  auto run = [](double multiplier) {
+    Cluster cluster(TestCluster(1, 4));
+    LoadData(&cluster, 3000, 4096);
+    EventLoop loop;
+    MigrationManager manager(&loop, &cluster, nullptr, FastMigration());
+    SimTime finished_at = 0;
+    PSTORE_CHECK_OK(manager.StartReconfiguration(
+        2, multiplier, [&] { finished_at = loop.now(); }));
+    loop.RunToCompletion();
+    return finished_at;
+  };
+  const SimTime slow = run(1.0);
+  const SimTime fast = run(8.0);
+  EXPECT_LT(fast, slow);
+  EXPECT_NEAR(static_cast<double>(slow) / static_cast<double>(fast), 8.0,
+              2.0);
+}
+
+TEST(MigrationManagerTest, ChunkWorkBlocksPartitions) {
+  Cluster cluster(TestCluster(1, 4));
+  LoadData(&cluster, 3000, 4096);
+  EventLoop loop;
+  MigrationOptions options = FastMigration();
+  options.extract_rate_bytes_per_sec = 1e6;  // heavy per-chunk blocking
+  MigrationManager manager(&loop, &cluster, nullptr, options);
+  ASSERT_TRUE(manager.StartReconfiguration(2, 1.0, nullptr).ok());
+  loop.RunToCompletion();
+  // Source partitions must have been busy with extraction work.
+  SimTime busy = 0;
+  for (int p = 0; p < 4; ++p) {
+    busy += cluster.partition(p).total_busy_time();
+  }
+  EXPECT_GT(busy, 0);
+}
+
+TEST(MigrationManagerTest, RoutingStaysCorrectMidMigration) {
+  // Submit reads continuously during a migration: every key must always
+  // resolve to a partition that actually has its row.
+  Cluster cluster(TestCluster(2, 8));
+  const uint64_t kRows = 2000;
+  LoadData(&cluster, kRows, 2048);
+  EventLoop loop;
+  MigrationManager manager(&loop, &cluster, nullptr, FastMigration());
+  bool done = false;
+  ASSERT_TRUE(
+      manager.StartReconfiguration(5, 1.0, [&] { done = true; }).ok());
+
+  Rng rng(4);
+  int probes = 0;
+  while (!done) {
+    loop.RunUntil(loop.now() + 50 * kMillisecond);
+    for (int i = 0; i < 20; ++i) {
+      const uint64_t key = rng.NextUint64(kRows);
+      const BucketId bucket = cluster.BucketForKey(key);
+      const Row* row = cluster.partition(cluster.PartitionOfBucket(bucket))
+                           .Get(bucket, 0, key);
+      ASSERT_NE(row, nullptr) << "key " << key << " mid-migration";
+      ++probes;
+    }
+    if (loop.pending_events() == 0) break;
+  }
+  EXPECT_TRUE(done);
+  EXPECT_GT(probes, 20);
+}
+
+}  // namespace
+}  // namespace pstore

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "prediction/spar_model.h"
+#include "trace/b2w_trace_generator.h"
+
+namespace pstore {
+namespace {
+
+TimeSeries TrainingTrace() {
+  B2wTraceOptions options;
+  options.days = 16;
+  options.seed = 12;
+  return GenerateB2wTrace(options);
+}
+
+SparOptions SmallOptions() {
+  SparOptions options;
+  options.period = 1440;
+  options.num_periods = 3;
+  options.num_recent = 10;
+  options.max_tau = 20;
+  options.tau_stride = 5;
+  return options;
+}
+
+TEST(SparModelIoTest, SaveRequiresFit) {
+  SparPredictor spar(SmallOptions());
+  EXPECT_FALSE(spar.SaveToFile(::testing::TempDir() + "/x.spar").ok());
+}
+
+TEST(SparModelIoTest, RoundTripPredictsIdentically) {
+  const TimeSeries trace = TrainingTrace();
+  SparPredictor original(SmallOptions());
+  ASSERT_TRUE(original.Fit(trace.Slice(0, 14 * 1440)).ok());
+
+  const std::string path = ::testing::TempDir() + "/roundtrip.spar";
+  ASSERT_TRUE(original.SaveToFile(path).ok());
+  StatusOr<SparPredictor> loaded = SparPredictor::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  for (size_t tau : {1u, 7u, 20u}) {
+    const StatusOr<double> a = original.PredictAhead(trace, tau);
+    const StatusOr<double> b = loaded->PredictAhead(trace, tau);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    // Hex-float serialization: bit-exact round trip.
+    EXPECT_EQ(*a, *b) << "tau=" << tau;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SparModelIoTest, MissingFileFails) {
+  EXPECT_FALSE(SparPredictor::LoadFromFile("/no/such/model.spar").ok());
+}
+
+TEST(SparModelIoTest, WrongMagicRejected) {
+  const std::string path = ::testing::TempDir() + "/bad_magic.spar";
+  std::ofstream(path) << "NOTSPAR\n1 2 3 4 5\n";
+  EXPECT_FALSE(SparPredictor::LoadFromFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SparModelIoTest, TruncatedHeaderRejected) {
+  const std::string path = ::testing::TempDir() + "/trunc.spar";
+  std::ofstream(path) << "SPARv1\n1440 3\n";
+  EXPECT_FALSE(SparPredictor::LoadFromFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SparModelIoTest, CoefficientCountMismatchRejected) {
+  const std::string path = ::testing::TempDir() + "/short_row.spar";
+  std::ofstream(path) << "SPARv1\n1440 3 10 20 5\n1 0x1p+0 0x1p+0\n";
+  EXPECT_FALSE(SparPredictor::LoadFromFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SparModelIoTest, MissingStrideTauRejected) {
+  // Header says taus 1, 6, 11, 16 must exist; provide only tau 1.
+  const std::string path = ::testing::TempDir() + "/missing_tau.spar";
+  std::ofstream out(path);
+  out << "SPARv1\n1440 1 1 20 5\n1 0x1p+0 0x1p+0\n";
+  out.close();
+  EXPECT_FALSE(SparPredictor::LoadFromFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SparModelIoTest, EmptyModelRejected) {
+  const std::string path = ::testing::TempDir() + "/empty.spar";
+  std::ofstream(path) << "SPARv1\n1440 3 10 20 5\n";
+  EXPECT_FALSE(SparPredictor::LoadFromFile(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pstore

@@ -1,0 +1,163 @@
+#include "engine/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "common/sim_time.h"
+
+namespace pstore {
+namespace {
+
+Row MakeRow(uint32_t bytes, int64_t f0 = 0) {
+  Row row;
+  row.payload_bytes = bytes;
+  row.f0 = f0;
+  return row;
+}
+
+// ---- Queueing model ------------------------------------------------------
+
+TEST(PartitionQueueTest, IdlePartitionServesImmediately) {
+  Partition p;
+  const SimTime completion = p.Submit(100, 10);
+  EXPECT_EQ(completion, 110);
+  EXPECT_EQ(p.busy_until(), 110);
+}
+
+TEST(PartitionQueueTest, FifoBackToBack) {
+  Partition p;
+  EXPECT_EQ(p.Submit(0, 10), 10);
+  EXPECT_EQ(p.Submit(0, 10), 20);   // queues behind the first
+  EXPECT_EQ(p.Submit(5, 10), 30);   // still queued
+  EXPECT_EQ(p.Submit(100, 10), 110);  // idle again
+}
+
+TEST(PartitionQueueTest, QueueDelayReflectsBacklog) {
+  Partition p;
+  p.Submit(0, 50);
+  EXPECT_EQ(p.QueueDelay(10), 40);
+  EXPECT_EQ(p.QueueDelay(50), 0);
+  EXPECT_EQ(p.QueueDelay(60), 0);
+}
+
+TEST(PartitionQueueTest, BusyTimeAccumulates) {
+  Partition p;
+  p.Submit(0, 10);
+  p.Submit(0, 15);
+  EXPECT_EQ(p.total_busy_time(), 25);
+  EXPECT_EQ(p.jobs_executed(), 2);
+}
+
+TEST(PartitionQueueTest, LatencyGrowsUnderOverload) {
+  // Offered rate 2x the service rate: queueing delay grows linearly —
+  // the saturation behaviour behind Fig. 7.
+  Partition p;
+  SimTime last_latency = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime arrival = i * 5;
+    const SimTime completion = p.Submit(arrival, 10);
+    last_latency = completion - arrival;
+  }
+  EXPECT_GT(last_latency, 4000);
+}
+
+// ---- Storage -----------------------------------------------------------------
+
+TEST(PartitionStorageTest, PutGetErase) {
+  Partition p;
+  p.Put(7, 0, 42, MakeRow(100, 5));
+  const Row* row = p.Get(7, 0, 42);
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->f0, 5);
+  EXPECT_EQ(p.row_count(), 1);
+  EXPECT_EQ(p.data_bytes(), 100);
+  EXPECT_TRUE(p.Erase(7, 0, 42));
+  EXPECT_EQ(p.Get(7, 0, 42), nullptr);
+  EXPECT_EQ(p.row_count(), 0);
+  EXPECT_EQ(p.data_bytes(), 0);
+}
+
+TEST(PartitionStorageTest, GetMissingReturnsNull) {
+  Partition p;
+  EXPECT_EQ(p.Get(0, 0, 1), nullptr);
+  EXPECT_EQ(p.GetMutable(0, 0, 1), nullptr);
+  EXPECT_FALSE(p.Erase(0, 0, 1));
+}
+
+TEST(PartitionStorageTest, OverwriteAdjustsBytes) {
+  Partition p;
+  p.Put(1, 0, 9, MakeRow(100));
+  p.Put(1, 0, 9, MakeRow(250));
+  EXPECT_EQ(p.row_count(), 1);
+  EXPECT_EQ(p.data_bytes(), 250);
+}
+
+TEST(PartitionStorageTest, TablesAreIndependentNamespaces) {
+  Partition p;
+  p.Put(1, 0, 9, MakeRow(10, 1));
+  p.Put(1, 1, 9, MakeRow(20, 2));
+  EXPECT_EQ(p.Get(1, 0, 9)->f0, 1);
+  EXPECT_EQ(p.Get(1, 1, 9)->f0, 2);
+  EXPECT_EQ(p.row_count(), 2);
+}
+
+TEST(PartitionStorageTest, BucketsAreIndependent) {
+  Partition p;
+  p.Put(1, 0, 9, MakeRow(10, 1));
+  p.Put(2, 0, 9, MakeRow(20, 2));
+  EXPECT_EQ(p.Get(1, 0, 9)->f0, 1);
+  EXPECT_EQ(p.Get(2, 0, 9)->f0, 2);
+  // Key 9 in bucket 3 does not exist.
+  EXPECT_EQ(p.Get(3, 0, 9), nullptr);
+}
+
+TEST(PartitionStorageTest, GetMutableEditsInPlace) {
+  Partition p;
+  p.Put(1, 0, 9, MakeRow(10, 1));
+  p.GetMutable(1, 0, 9)->f0 = 99;
+  EXPECT_EQ(p.Get(1, 0, 9)->f0, 99);
+}
+
+TEST(PartitionBucketTest, ExtractAndInsertMovesEverything) {
+  Partition source;
+  Partition dest;
+  source.Put(5, 0, 1, MakeRow(100, 11));
+  source.Put(5, 0, 2, MakeRow(200, 22));
+  source.Put(5, 1, 3, MakeRow(300, 33));
+  source.Put(6, 0, 4, MakeRow(50, 44));  // different bucket, stays
+
+  BucketData moved = source.ExtractBucket(5);
+  EXPECT_EQ(moved.rows, 3);
+  EXPECT_EQ(moved.bytes, 600);
+  EXPECT_EQ(source.row_count(), 1);
+  EXPECT_EQ(source.data_bytes(), 50);
+  EXPECT_FALSE(source.HasBucket(5));
+  EXPECT_TRUE(source.HasBucket(6));
+
+  dest.InsertBucket(5, std::move(moved));
+  EXPECT_EQ(dest.row_count(), 3);
+  EXPECT_EQ(dest.data_bytes(), 600);
+  ASSERT_NE(dest.Get(5, 0, 2), nullptr);
+  EXPECT_EQ(dest.Get(5, 0, 2)->f0, 22);
+  EXPECT_EQ(dest.Get(5, 1, 3)->f0, 33);
+}
+
+TEST(PartitionBucketTest, BucketBytes) {
+  Partition p;
+  EXPECT_EQ(p.BucketBytes(1), 0);
+  p.Put(1, 0, 9, MakeRow(123));
+  EXPECT_EQ(p.BucketBytes(1), 123);
+}
+
+TEST(PartitionBucketTest, EraseUpdatesBucketAccounting) {
+  Partition p;
+  p.Put(1, 0, 9, MakeRow(100));
+  p.Put(1, 0, 10, MakeRow(100));
+  EXPECT_TRUE(p.Erase(1, 0, 9));
+  EXPECT_EQ(p.BucketBytes(1), 100);
+  BucketData data = p.ExtractBucket(1);
+  EXPECT_EQ(data.rows, 1);
+  EXPECT_EQ(data.bytes, 100);
+}
+
+}  // namespace
+}  // namespace pstore

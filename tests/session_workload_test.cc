@@ -1,0 +1,151 @@
+#include "b2w/session_workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "b2w/procedures.h"
+#include "b2w/workload.h"
+#include "common/logging.h"
+#include "engine/metrics.h"
+#include "engine/txn_executor.h"
+
+namespace pstore {
+namespace b2w {
+namespace {
+
+ClusterOptions SmallCluster() {
+  ClusterOptions options;
+  options.partitions_per_node = 2;
+  options.max_nodes = 2;
+  options.initial_nodes = 2;
+  options.num_buckets = 256;
+  return options;
+}
+
+SessionWorkloadOptions SmallOptions() {
+  SessionWorkloadOptions options;
+  options.cart_pool = 20000;
+  options.checkout_pool = 8000;
+  options.max_sessions = 2000;
+  return options;
+}
+
+struct RunResult {
+  std::map<ProcedureId, TxnExecutor::ProcedureStats> stats;
+  int64_t committed = 0;
+  int64_t aborted = 0;
+};
+
+RunResult RunSessions(SessionWorkload* workload, Cluster* cluster,
+                      int transactions) {
+  ExecutorOptions exec_options;
+  exec_options.mean_service_seconds = 1e-6;
+  TxnExecutor executor(cluster, nullptr, exec_options);
+  PSTORE_CHECK_OK(RegisterProcedures(&executor));
+  Rng rng(9);
+  for (int i = 0; i < transactions; ++i) {
+    executor.Submit(workload->NextTransaction(rng), i * 10);
+  }
+  RunResult result;
+  for (ProcedureId id = 0; id < kNumProcedures; ++id) {
+    result.stats[id] = executor.procedure_stats(id);
+  }
+  result.committed = executor.committed_count();
+  result.aborted = executor.aborted_count();
+  return result;
+}
+
+TEST(SessionWorkloadTest, LoadsPools) {
+  Cluster cluster(SmallCluster());
+  SessionWorkload workload(SmallOptions());
+  ASSERT_TRUE(workload.LoadInitialData(&cluster).ok());
+  EXPECT_EQ(cluster.TotalRowCount(), 20000 + 8000);
+}
+
+TEST(SessionWorkloadTest, FunnelOrderingEliminatesCheckoutAborts) {
+  // The i.i.d. mix aborts ~13% of AddLineToCheckout calls (operating on
+  // entities in random order); the session funnel creates the checkout
+  // before adding lines, so those aborts vanish.
+  Cluster cluster(SmallCluster());
+  SessionWorkload workload(SmallOptions());
+  ASSERT_TRUE(workload.LoadInitialData(&cluster).ok());
+  const RunResult result = RunSessions(&workload, &cluster, 200000);
+
+  const auto& add_line = result.stats.at(kAddLineToCheckout);
+  ASSERT_GT(add_line.committed, 1000);
+  EXPECT_EQ(add_line.aborted, 0);
+  const auto& payment = result.stats.at(kCreateCheckoutPayment);
+  ASSERT_GT(payment.committed, 500);
+  EXPECT_EQ(payment.aborted, 0);
+  // Overall abort rate: only genuine pool-recycling races remain.
+  EXPECT_LT(static_cast<double>(result.aborted) /
+                static_cast<double>(result.committed + result.aborted),
+            0.02);
+}
+
+TEST(SessionWorkloadTest, SessionAccountingBalances) {
+  Cluster cluster(SmallCluster());
+  SessionWorkload workload(SmallOptions());
+  ASSERT_TRUE(workload.LoadInitialData(&cluster).ok());
+  (void)RunSessions(&workload, &cluster, 100000);
+  EXPECT_EQ(workload.sessions_started(),
+            workload.sessions_checked_out() +
+                workload.sessions_abandoned() +
+                static_cast<int64_t>(workload.active_sessions()));
+  EXPECT_GT(workload.sessions_checked_out(), 0);
+  EXPECT_GT(workload.sessions_abandoned(), 0);
+}
+
+TEST(SessionWorkloadTest, SessionsBoundedByMax) {
+  Cluster cluster(SmallCluster());
+  SessionWorkloadOptions options = SmallOptions();
+  options.max_sessions = 50;
+  options.new_session_probability = 1.0;  // always try to start
+  options.abandon_probability = 0.0;
+  options.checkout_probability = 0.0;  // never finish
+  SessionWorkload workload(options);
+  ASSERT_TRUE(workload.LoadInitialData(&cluster).ok());
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    (void)workload.NextTransaction(rng);
+  }
+  EXPECT_EQ(workload.active_sessions(), 50u);
+}
+
+TEST(SessionWorkloadTest, DatabaseSizeStaysBounded) {
+  Cluster cluster(SmallCluster());
+  SessionWorkload workload(SmallOptions());
+  ASSERT_TRUE(workload.LoadInitialData(&cluster).ok());
+  const int64_t initial = cluster.TotalDataBytes();
+  (void)RunSessions(&workload, &cluster, 300000);
+  const double growth = static_cast<double>(cluster.TotalDataBytes()) /
+                        static_cast<double>(initial);
+  EXPECT_LT(growth, 1.5);
+  // The session model deletes carts at checkout/abandonment, so the
+  // database settles at its session-driven steady state (active carts +
+  // the checkout pool) — smaller than the pre-loaded pool, but bounded.
+  EXPECT_GT(growth, 0.15);
+}
+
+TEST(SessionWorkloadTest, CheckoutConversionRateSane) {
+  Cluster cluster(SmallCluster());
+  SessionWorkloadOptions options = SmallOptions();
+  options.abandon_probability = 0.03;
+  options.checkout_probability = 0.12;
+  SessionWorkload workload(options);
+  ASSERT_TRUE(workload.LoadInitialData(&cluster).ok());
+  (void)RunSessions(&workload, &cluster, 200000);
+  const double finished = static_cast<double>(
+      workload.sessions_checked_out() + workload.sessions_abandoned());
+  ASSERT_GT(finished, 100);
+  const double conversion =
+      static_cast<double>(workload.sessions_checked_out()) / finished;
+  // Per-step checkout odds 0.12 vs abandon 0.03: ~80% convert.
+  EXPECT_GT(conversion, 0.6);
+  EXPECT_LT(conversion, 0.95);
+}
+
+}  // namespace
+}  // namespace b2w
+}  // namespace pstore

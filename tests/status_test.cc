@@ -1,0 +1,67 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace pstore {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status status = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad input");
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Infeasible("x").code(), StatusCode::kInfeasible);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result = Status::NotFound("missing");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::vector<int>> result = std::vector<int>{1, 2, 3};
+  ASSERT_TRUE(result.ok());
+  std::vector<int> taken = std::move(result).value();
+  EXPECT_EQ(taken.size(), 3u);
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> result = std::string("hello");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 5u);
+}
+
+}  // namespace
+}  // namespace pstore

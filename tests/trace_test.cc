@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "trace/b2w_trace_generator.h"
+#include "trace/spike_injector.h"
+#include "trace/trace_io.h"
+#include "trace/wikipedia_trace_generator.h"
+
+namespace pstore {
+namespace {
+
+B2wTraceOptions DefaultB2w(int days) {
+  B2wTraceOptions options;
+  options.days = days;
+  options.seed = 42;
+  return options;
+}
+
+TEST(B2wTraceTest, LengthAndSlotDuration) {
+  const TimeSeries trace = GenerateB2wTrace(DefaultB2w(3));
+  EXPECT_EQ(trace.size(), 3u * 1440u);
+  EXPECT_EQ(trace.slot_seconds(), 60.0);
+}
+
+TEST(B2wTraceTest, DeterministicBySeed) {
+  const TimeSeries a = GenerateB2wTrace(DefaultB2w(2));
+  const TimeSeries b = GenerateB2wTrace(DefaultB2w(2));
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(B2wTraceTest, DifferentSeedsDiffer) {
+  B2wTraceOptions options = DefaultB2w(1);
+  const TimeSeries a = GenerateB2wTrace(options);
+  options.seed = 43;
+  const TimeSeries b = GenerateB2wTrace(options);
+  int differing = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) ++differing;
+  }
+  EXPECT_GT(differing, 1000);
+}
+
+TEST(B2wTraceTest, PeakToTroughRatioNearTen) {
+  // The paper reports peak load ~10x the trough (Fig. 1).
+  B2wTraceOptions options = DefaultB2w(7);
+  options.promo_probability = 0.0;  // keep the baseline shape clean
+  const TimeSeries trace = GenerateB2wTrace(options);
+  const double ratio = trace.Max() / trace.Min();
+  EXPECT_GT(ratio, 6.0);
+  EXPECT_LT(ratio, 16.0);
+}
+
+TEST(B2wTraceTest, PeakNearConfiguredLevel) {
+  B2wTraceOptions options = DefaultB2w(3);
+  options.promo_probability = 0.0;
+  const TimeSeries trace = GenerateB2wTrace(options);
+  EXPECT_GT(trace.Max(), options.peak_requests_per_min * 0.8);
+  EXPECT_LT(trace.Max(), options.peak_requests_per_min * 1.35);
+}
+
+TEST(B2wTraceTest, DailyPeriodicity) {
+  // The same minute on consecutive weekdays should be highly correlated.
+  B2wTraceOptions options = DefaultB2w(5);
+  options.promo_probability = 0.0;
+  options.weekend_factor = 1.0;
+  const TimeSeries trace = GenerateB2wTrace(options);
+  double same_slot_error = 0.0;
+  int counted = 0;
+  for (int minute = 0; minute < 1440; minute += 10) {
+    const double day0 = trace[minute];
+    const double day1 = trace[1440 + minute];
+    same_slot_error += std::abs(day0 - day1) / std::max(1.0, day0);
+    ++counted;
+  }
+  EXPECT_LT(same_slot_error / counted, 0.35);
+}
+
+TEST(B2wTraceTest, PeakOccursNearConfiguredHour) {
+  B2wTraceOptions options = DefaultB2w(1);
+  options.promo_probability = 0.0;
+  options.slot_noise_sigma = 0.0;
+  options.daily_amplitude_sigma = 0.0;
+  options.drift_sigma = 0.0;
+  const TimeSeries trace = GenerateB2wTrace(options);
+  size_t argmax = 0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    if (trace[i] > trace[argmax]) argmax = i;
+  }
+  EXPECT_NEAR(static_cast<double>(argmax), options.peak_minute_of_day, 30.0);
+}
+
+TEST(B2wTraceTest, BlackFridayRaisesLoadSharply) {
+  B2wTraceOptions base = DefaultB2w(3);
+  base.promo_probability = 0.0;
+  const TimeSeries normal = GenerateB2wTrace(base);
+
+  B2wTraceOptions bf = base;
+  bf.black_friday_day = 1;
+  const TimeSeries spiked = GenerateB2wTrace(bf);
+
+  // Day 0 identical... (same rng draw order) and day 1 much larger.
+  double normal_day1_max = 0.0;
+  double bf_day1_max = 0.0;
+  for (int m = 0; m < 1440; ++m) {
+    normal_day1_max = std::max(normal_day1_max, normal[1440 + m]);
+    bf_day1_max = std::max(bf_day1_max, spiked[1440 + m]);
+  }
+  EXPECT_GT(bf_day1_max, normal_day1_max * 1.8);
+  // Shortly after midnight the surge is already well above the normal
+  // overnight trough.
+  EXPECT_GT(spiked[1440 + 30], normal[1440 + 30] * 2.0);
+}
+
+TEST(B2wTraceTest, PromotionsAddMidScaleSpikes) {
+  B2wTraceOptions options = DefaultB2w(60);
+  options.promo_probability = 1.0;  // every day
+  const TimeSeries with_promos = GenerateB2wTrace(options);
+  options.promo_probability = 0.0;
+  const TimeSeries without = GenerateB2wTrace(options);
+  EXPECT_GT(with_promos.Mean(), without.Mean());
+}
+
+TEST(WikipediaTraceTest, LengthsAndLevels) {
+  WikipediaTraceOptions options;
+  options.days = 14;
+  const TimeSeries en = GenerateWikipediaTrace(options);
+  EXPECT_EQ(en.size(), 14u * 24u);
+  EXPECT_EQ(en.slot_seconds(), 3600.0);
+  // English peaks near 1e7 requests/hour (Fig. 6a).
+  EXPECT_GT(en.Max(), 5e6);
+  EXPECT_LT(en.Max(), 2e7);
+
+  options.edition = WikipediaEdition::kGerman;
+  const TimeSeries de = GenerateWikipediaTrace(options);
+  // German is several times smaller.
+  EXPECT_LT(de.Max(), en.Max() / 2.0);
+}
+
+TEST(WikipediaTraceTest, GermanIsLessPredictableThanEnglish) {
+  // Proxy for predictability: relative error of the seasonal-naive
+  // forecast (same hour yesterday). The paper's Fig. 6 shows German with
+  // visibly higher prediction error.
+  WikipediaTraceOptions options;
+  options.days = 28;
+  const TimeSeries en = GenerateWikipediaTrace(options);
+  options.edition = WikipediaEdition::kGerman;
+  const TimeSeries de = GenerateWikipediaTrace(options);
+
+  auto naive_error = [](const TimeSeries& series) {
+    double total = 0.0;
+    int n = 0;
+    for (size_t i = 24; i < series.size(); ++i) {
+      total += std::abs(series[i] - series[i - 24]) / series[i];
+      ++n;
+    }
+    return total / n;
+  };
+  EXPECT_GT(naive_error(de), naive_error(en) * 1.5);
+}
+
+TEST(SpikeInjectorTest, ShapeAndBounds) {
+  TimeSeries base(60.0, std::vector<double>(200, 100.0));
+  SpikeOptions spike;
+  spike.start_slot = 50;
+  spike.ramp_slots = 10;
+  spike.sustain_slots = 20;
+  spike.decay_slots = 10;
+  spike.magnitude = 3.0;
+  const TimeSeries out = InjectSpike(base, spike);
+  // Before the spike: untouched.
+  EXPECT_EQ(out[49], 100.0);
+  // Ramp rises monotonically.
+  EXPECT_GT(out[55], out[51]);
+  // Sustain at full magnitude.
+  EXPECT_NEAR(out[65], 300.0, 1e-9);
+  // Decay returns to baseline.
+  EXPECT_NEAR(out[95], 100.0, 1e-9);
+  EXPECT_EQ(out[150], 100.0);
+}
+
+TEST(SpikeInjectorTest, SpikeBeyondEndIsIgnored) {
+  TimeSeries base(60.0, std::vector<double>(10, 1.0));
+  SpikeOptions spike;
+  spike.start_slot = 50;
+  const TimeSeries out = InjectSpike(base, spike);
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], 1.0);
+}
+
+TEST(TraceIoTest, RoundTrip) {
+  const TimeSeries trace = GenerateB2wTrace(DefaultB2w(1));
+  const std::string path = ::testing::TempDir() + "/trace_roundtrip.csv";
+  ASSERT_TRUE(SaveTraceCsv(trace, path).ok());
+  StatusOr<TimeSeries> loaded = LoadTraceCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), trace.size());
+  EXPECT_EQ(loaded->slot_seconds(), trace.slot_seconds());
+  for (size_t i = 0; i < trace.size(); i += 97) {
+    EXPECT_NEAR((*loaded)[i], trace[i], 1e-6 * std::max(1.0, trace[i]));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, MissingFileFails) {
+  EXPECT_FALSE(LoadTraceCsv("/nonexistent/path/trace.csv").ok());
+}
+
+}  // namespace
+}  // namespace pstore

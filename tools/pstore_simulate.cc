@@ -1,0 +1,135 @@
+// pstore_simulate: run the long-horizon capacity simulator over a trace
+// CSV with a chosen allocation strategy — the Fig. 12 machinery as a
+// CLI for operators exploring their own traces.
+//
+// Usage:
+//   pstore_simulate --trace=trace.csv --strategy=pstore
+//       [--q=285 --qhat=350 --d-minutes=77 --partitions=6]
+//       [--train-days=28] [--inflation=1.15]
+//   pstore_simulate --trace=trace.csv --strategy=reactive [--watermark=1.1]
+//   pstore_simulate --trace=trace.csv --strategy=static --nodes=10
+//   pstore_simulate --trace=trace.csv --strategy=simple --day-nodes=10
+//       --night-nodes=3
+
+#include <cstdio>
+#include <string>
+
+#include "common/flags.h"
+#include "prediction/spar_model.h"
+#include "sim/capacity_simulator.h"
+#include "trace/trace_io.h"
+
+using namespace pstore;
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+void Report(const SimResult& result, double slot_seconds) {
+  const double hours = result.machine_slots * slot_seconds / 3600.0;
+  std::printf("machine-hours:        %.0f\n", hours);
+  std::printf("insufficient slots:   %lld (%.3f%% of time)\n",
+              static_cast<long long>(result.insufficient_slots),
+              100.0 * result.insufficient_fraction);
+  std::printf("reconfigurations:     %d\n", result.reconfigurations);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  const Status parsed = flags.Parse(argc - 1, argv + 1);
+  if (!parsed.ok()) return Fail(parsed.ToString());
+
+  const std::string trace_path = flags.GetString("trace", "");
+  if (trace_path.empty()) return Fail("--trace=<csv> is required");
+  StatusOr<TimeSeries> trace = LoadTraceCsv(trace_path);
+  if (!trace.ok()) return Fail(trace.status().ToString());
+
+  const StatusOr<double> q = flags.GetDouble("q", 285.0);
+  const StatusOr<double> qhat = flags.GetDouble("qhat", 350.0);
+  const StatusOr<double> d_minutes = flags.GetDouble("d-minutes", 77.0);
+  const StatusOr<int64_t> partitions = flags.GetInt("partitions", 6);
+  const StatusOr<int64_t> train_days = flags.GetInt("train-days", 28);
+  const StatusOr<double> inflation = flags.GetDouble("inflation", 1.15);
+  for (const Status& status :
+       {q.status(), qhat.status(), d_minutes.status(), partitions.status(),
+        train_days.status(), inflation.status()}) {
+    if (!status.ok()) return Fail(status.ToString());
+  }
+
+  const double slot_seconds = trace->slot_seconds();
+  const size_t slots_per_day =
+      static_cast<size_t>(86400.0 / slot_seconds + 0.5);
+
+  SimOptions options;
+  options.q = *q;
+  options.q_hat = *qhat;
+  options.d_fine_slots = *d_minutes * 60.0 / slot_seconds;
+  options.partitions_per_node = static_cast<int>(*partitions);
+  options.inflation = *inflation;
+  options.initial_nodes = 4;
+  options.max_nodes = 80;
+  options.eval_begin = *train_days * slots_per_day;
+  if (options.eval_begin + slots_per_day >= trace->size()) {
+    return Fail("trace too short for --train-days plus one day");
+  }
+  const CapacitySimulator sim(options);
+
+  const std::string strategy = flags.GetString("strategy", "pstore");
+  std::printf("Strategy %s over %zu evaluation slots (Q=%.0f Qhat=%.0f "
+              "D=%.0fmin)\n\n",
+              strategy.c_str(), trace->size() - options.eval_begin, *q,
+              *qhat, *d_minutes);
+
+  if (strategy == "pstore") {
+    const TimeSeries coarse = trace->DownsampleMean(options.plan_slot_factor);
+    SparOptions spar_options;
+    spar_options.period = slots_per_day / options.plan_slot_factor;
+    spar_options.num_periods = 7;
+    spar_options.num_recent = 6;
+    spar_options.max_tau = options.horizon_plan_slots;
+    SparPredictor spar(spar_options);
+    const Status fit = spar.Fit(
+        coarse.Slice(0, options.eval_begin / options.plan_slot_factor));
+    if (!fit.ok()) return Fail("SPAR fit: " + fit.ToString());
+    StatusOr<SimResult> result = sim.RunPredictive(*trace, spar);
+    if (!result.ok()) return Fail(result.status().ToString());
+    Report(*result, slot_seconds);
+  } else if (strategy == "reactive") {
+    ReactiveSimParams params;
+    const StatusOr<double> watermark =
+        flags.GetDouble("watermark", params.high_watermark);
+    if (!watermark.ok()) return Fail(watermark.status().ToString());
+    params.high_watermark = *watermark;
+    StatusOr<SimResult> result = sim.RunReactive(*trace, params);
+    if (!result.ok()) return Fail(result.status().ToString());
+    Report(*result, slot_seconds);
+  } else if (strategy == "static") {
+    const StatusOr<int64_t> nodes = flags.GetInt("nodes", 10);
+    if (!nodes.ok()) return Fail(nodes.status().ToString());
+    StatusOr<SimResult> result =
+        sim.RunStatic(*trace, static_cast<int>(*nodes));
+    if (!result.ok()) return Fail(result.status().ToString());
+    Report(*result, slot_seconds);
+  } else if (strategy == "simple") {
+    SimpleSimParams params;
+    params.slots_per_day = static_cast<int>(slots_per_day);
+    const StatusOr<int64_t> day_nodes = flags.GetInt("day-nodes", 10);
+    const StatusOr<int64_t> night_nodes = flags.GetInt("night-nodes", 3);
+    if (!day_nodes.ok()) return Fail(day_nodes.status().ToString());
+    if (!night_nodes.ok()) return Fail(night_nodes.status().ToString());
+    params.day_nodes = static_cast<int>(*day_nodes);
+    params.night_nodes = static_cast<int>(*night_nodes);
+    StatusOr<SimResult> result = sim.RunSimple(*trace, params);
+    if (!result.ok()) return Fail(result.status().ToString());
+    Report(*result, slot_seconds);
+  } else {
+    return Fail("unknown --strategy (pstore|reactive|static|simple): " +
+                strategy);
+  }
+  return 0;
+}
