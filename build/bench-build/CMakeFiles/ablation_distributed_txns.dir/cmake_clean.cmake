@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_distributed_txns"
+  "../bench/ablation_distributed_txns.pdb"
+  "CMakeFiles/ablation_distributed_txns.dir/ablation_distributed_txns.cc.o"
+  "CMakeFiles/ablation_distributed_txns.dir/ablation_distributed_txns.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_distributed_txns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

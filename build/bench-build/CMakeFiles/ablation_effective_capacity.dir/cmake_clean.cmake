@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_effective_capacity"
+  "../bench/ablation_effective_capacity.pdb"
+  "CMakeFiles/ablation_effective_capacity.dir/ablation_effective_capacity.cc.o"
+  "CMakeFiles/ablation_effective_capacity.dir/ablation_effective_capacity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_effective_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_inflation"
+  "../bench/ablation_inflation.pdb"
+  "CMakeFiles/ablation_inflation.dir/ablation_inflation.cc.o"
+  "CMakeFiles/ablation_inflation.dir/ablation_inflation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_inflation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_scale_in_confirm"
+  "../bench/ablation_scale_in_confirm.pdb"
+  "CMakeFiles/ablation_scale_in_confirm.dir/ablation_scale_in_confirm.cc.o"
+  "CMakeFiles/ablation_scale_in_confirm.dir/ablation_scale_in_confirm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scale_in_confirm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_scale_in_confirm.
+# This may be replaced when dependencies are built.

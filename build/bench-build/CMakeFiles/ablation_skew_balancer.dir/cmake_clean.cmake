@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_skew_balancer"
+  "../bench/ablation_skew_balancer.pdb"
+  "CMakeFiles/ablation_skew_balancer.dir/ablation_skew_balancer.cc.o"
+  "CMakeFiles/ablation_skew_balancer.dir/ablation_skew_balancer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_skew_balancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_stale_d"
+  "../bench/ablation_stale_d.pdb"
+  "CMakeFiles/ablation_stale_d.dir/ablation_stale_d.cc.o"
+  "CMakeFiles/ablation_stale_d.dir/ablation_stale_d.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stale_d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_three_phase"
+  "../bench/ablation_three_phase.pdb"
+  "CMakeFiles/ablation_three_phase.dir/ablation_three_phase.cc.o"
+  "CMakeFiles/ablation_three_phase.dir/ablation_three_phase.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_three_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

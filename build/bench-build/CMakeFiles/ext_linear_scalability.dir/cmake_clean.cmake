@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_linear_scalability"
+  "../bench/ext_linear_scalability.pdb"
+  "CMakeFiles/ext_linear_scalability.dir/ext_linear_scalability.cc.o"
+  "CMakeFiles/ext_linear_scalability.dir/ext_linear_scalability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_linear_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

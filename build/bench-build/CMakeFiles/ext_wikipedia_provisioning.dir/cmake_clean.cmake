@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_wikipedia_provisioning"
+  "../bench/ext_wikipedia_provisioning.pdb"
+  "CMakeFiles/ext_wikipedia_provisioning.dir/ext_wikipedia_provisioning.cc.o"
+  "CMakeFiles/ext_wikipedia_provisioning.dir/ext_wikipedia_provisioning.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_wikipedia_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_b2w_load"
+  "../bench/fig01_b2w_load.pdb"
+  "CMakeFiles/fig01_b2w_load.dir/fig01_b2w_load.cc.o"
+  "CMakeFiles/fig01_b2w_load.dir/fig01_b2w_load.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_b2w_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig01_b2w_load.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_ideal_capacity"
+  "../bench/fig02_ideal_capacity.pdb"
+  "CMakeFiles/fig02_ideal_capacity.dir/fig02_ideal_capacity.cc.o"
+  "CMakeFiles/fig02_ideal_capacity.dir/fig02_ideal_capacity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_ideal_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig04_effective_capacity.cc" "bench-build/CMakeFiles/fig04_effective_capacity.dir/fig04_effective_capacity.cc.o" "gcc" "bench-build/CMakeFiles/fig04_effective_capacity.dir/fig04_effective_capacity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/pstore_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/pstore_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/migration/CMakeFiles/pstore_migration.dir/DependInfo.cmake"
+  "/root/repo/build/src/b2w/CMakeFiles/pstore_b2w.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/pstore_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pstore_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pstore_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/planner/CMakeFiles/pstore_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/prediction/CMakeFiles/pstore_prediction.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pstore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_effective_capacity"
+  "../bench/fig04_effective_capacity.pdb"
+  "CMakeFiles/fig04_effective_capacity.dir/fig04_effective_capacity.cc.o"
+  "CMakeFiles/fig04_effective_capacity.dir/fig04_effective_capacity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_effective_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

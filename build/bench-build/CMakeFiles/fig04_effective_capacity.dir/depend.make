@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_effective_capacity.
+# This may be replaced when dependencies are built.

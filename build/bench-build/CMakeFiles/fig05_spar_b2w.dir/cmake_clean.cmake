@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_spar_b2w"
+  "../bench/fig05_spar_b2w.pdb"
+  "CMakeFiles/fig05_spar_b2w.dir/fig05_spar_b2w.cc.o"
+  "CMakeFiles/fig05_spar_b2w.dir/fig05_spar_b2w.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_spar_b2w.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

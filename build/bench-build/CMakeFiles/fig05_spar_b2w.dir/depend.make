@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_spar_b2w.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_spar_wikipedia"
+  "../bench/fig06_spar_wikipedia.pdb"
+  "CMakeFiles/fig06_spar_wikipedia.dir/fig06_spar_wikipedia.cc.o"
+  "CMakeFiles/fig06_spar_wikipedia.dir/fig06_spar_wikipedia.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_spar_wikipedia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

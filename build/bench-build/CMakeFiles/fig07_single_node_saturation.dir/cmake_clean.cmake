@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_single_node_saturation"
+  "../bench/fig07_single_node_saturation.pdb"
+  "CMakeFiles/fig07_single_node_saturation.dir/fig07_single_node_saturation.cc.o"
+  "CMakeFiles/fig07_single_node_saturation.dir/fig07_single_node_saturation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_single_node_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

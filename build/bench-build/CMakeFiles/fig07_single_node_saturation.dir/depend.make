@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_single_node_saturation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_chunk_size"
+  "../bench/fig08_chunk_size.pdb"
+  "CMakeFiles/fig08_chunk_size.dir/fig08_chunk_size.cc.o"
+  "CMakeFiles/fig08_chunk_size.dir/fig08_chunk_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_chunk_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_elasticity_comparison"
+  "../bench/fig09_elasticity_comparison.pdb"
+  "CMakeFiles/fig09_elasticity_comparison.dir/fig09_elasticity_comparison.cc.o"
+  "CMakeFiles/fig09_elasticity_comparison.dir/fig09_elasticity_comparison.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_elasticity_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

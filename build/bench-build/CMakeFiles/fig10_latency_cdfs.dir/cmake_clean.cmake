@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_latency_cdfs"
+  "../bench/fig10_latency_cdfs.pdb"
+  "CMakeFiles/fig10_latency_cdfs.dir/fig10_latency_cdfs.cc.o"
+  "CMakeFiles/fig10_latency_cdfs.dir/fig10_latency_cdfs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_latency_cdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_reactive_rates"
+  "../bench/fig11_reactive_rates.pdb"
+  "CMakeFiles/fig11_reactive_rates.dir/fig11_reactive_rates.cc.o"
+  "CMakeFiles/fig11_reactive_rates.dir/fig11_reactive_rates.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_reactive_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

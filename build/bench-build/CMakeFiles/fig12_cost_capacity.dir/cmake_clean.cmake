@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_cost_capacity"
+  "../bench/fig12_cost_capacity.pdb"
+  "CMakeFiles/fig12_cost_capacity.dir/fig12_cost_capacity.cc.o"
+  "CMakeFiles/fig12_cost_capacity.dir/fig12_cost_capacity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_cost_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_black_friday"
+  "../bench/fig13_black_friday.pdb"
+  "CMakeFiles/fig13_black_friday.dir/fig13_black_friday.cc.o"
+  "CMakeFiles/fig13_black_friday.dir/fig13_black_friday.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_black_friday.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

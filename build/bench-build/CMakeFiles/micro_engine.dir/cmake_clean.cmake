@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_engine"
+  "../bench/micro_engine.pdb"
+  "CMakeFiles/micro_engine.dir/micro_engine.cc.o"
+  "CMakeFiles/micro_engine.dir/micro_engine.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

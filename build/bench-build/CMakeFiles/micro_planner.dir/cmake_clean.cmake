@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_planner"
+  "../bench/micro_planner.pdb"
+  "CMakeFiles/micro_planner.dir/micro_planner.cc.o"
+  "CMakeFiles/micro_planner.dir/micro_planner.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

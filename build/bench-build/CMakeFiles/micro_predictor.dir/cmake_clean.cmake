@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_predictor"
+  "../bench/micro_predictor.pdb"
+  "CMakeFiles/micro_predictor.dir/micro_predictor.cc.o"
+  "CMakeFiles/micro_predictor.dir/micro_predictor.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

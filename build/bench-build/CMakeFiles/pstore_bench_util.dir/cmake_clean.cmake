@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstore_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/pstore_bench_util.dir/bench_util.cc.o.d"
+  "libpstore_bench_util.a"
+  "libpstore_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstore_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

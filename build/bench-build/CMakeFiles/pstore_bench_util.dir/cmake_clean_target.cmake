@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpstore_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_migration_schedule"
+  "../bench/table1_migration_schedule.pdb"
+  "CMakeFiles/table1_migration_schedule.dir/table1_migration_schedule.cc.o"
+  "CMakeFiles/table1_migration_schedule.dir/table1_migration_schedule.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_migration_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_sla_violations"
+  "../bench/table2_sla_violations.pdb"
+  "CMakeFiles/table2_sla_violations.dir/table2_sla_violations.cc.o"
+  "CMakeFiles/table2_sla_violations.dir/table2_sla_violations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_sla_violations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/text_model_comparison"
+  "../bench/text_model_comparison.pdb"
+  "CMakeFiles/text_model_comparison.dir/text_model_comparison.cc.o"
+  "CMakeFiles/text_model_comparison.dir/text_model_comparison.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_model_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

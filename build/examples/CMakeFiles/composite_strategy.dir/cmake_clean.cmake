@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composite_strategy.dir/composite_strategy.cc.o"
+  "CMakeFiles/composite_strategy.dir/composite_strategy.cc.o.d"
+  "composite_strategy"
+  "composite_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composite_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_retailer.dir/online_retailer.cc.o"
+  "CMakeFiles/online_retailer.dir/online_retailer.cc.o.d"
+  "online_retailer"
+  "online_retailer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_retailer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spike_drill.dir/spike_drill.cc.o"
+  "CMakeFiles/spike_drill.dir/spike_drill.cc.o.d"
+  "spike_drill"
+  "spike_drill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spike_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

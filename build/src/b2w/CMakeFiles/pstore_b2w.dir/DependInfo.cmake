@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/b2w/procedures.cc" "src/b2w/CMakeFiles/pstore_b2w.dir/procedures.cc.o" "gcc" "src/b2w/CMakeFiles/pstore_b2w.dir/procedures.cc.o.d"
+  "/root/repo/src/b2w/session_workload.cc" "src/b2w/CMakeFiles/pstore_b2w.dir/session_workload.cc.o" "gcc" "src/b2w/CMakeFiles/pstore_b2w.dir/session_workload.cc.o.d"
+  "/root/repo/src/b2w/workload.cc" "src/b2w/CMakeFiles/pstore_b2w.dir/workload.cc.o" "gcc" "src/b2w/CMakeFiles/pstore_b2w.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/pstore_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pstore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

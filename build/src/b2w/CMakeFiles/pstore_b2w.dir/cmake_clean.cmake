@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstore_b2w.dir/procedures.cc.o"
+  "CMakeFiles/pstore_b2w.dir/procedures.cc.o.d"
+  "CMakeFiles/pstore_b2w.dir/session_workload.cc.o"
+  "CMakeFiles/pstore_b2w.dir/session_workload.cc.o.d"
+  "CMakeFiles/pstore_b2w.dir/workload.cc.o"
+  "CMakeFiles/pstore_b2w.dir/workload.cc.o.d"
+  "libpstore_b2w.a"
+  "libpstore_b2w.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstore_b2w.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/csv_writer.cc" "src/common/CMakeFiles/pstore_common.dir/csv_writer.cc.o" "gcc" "src/common/CMakeFiles/pstore_common.dir/csv_writer.cc.o.d"
+  "/root/repo/src/common/flags.cc" "src/common/CMakeFiles/pstore_common.dir/flags.cc.o" "gcc" "src/common/CMakeFiles/pstore_common.dir/flags.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/common/CMakeFiles/pstore_common.dir/histogram.cc.o" "gcc" "src/common/CMakeFiles/pstore_common.dir/histogram.cc.o.d"
+  "/root/repo/src/common/linalg.cc" "src/common/CMakeFiles/pstore_common.dir/linalg.cc.o" "gcc" "src/common/CMakeFiles/pstore_common.dir/linalg.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/common/CMakeFiles/pstore_common.dir/rng.cc.o" "gcc" "src/common/CMakeFiles/pstore_common.dir/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/common/CMakeFiles/pstore_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/pstore_common.dir/status.cc.o.d"
+  "/root/repo/src/common/time_series.cc" "src/common/CMakeFiles/pstore_common.dir/time_series.cc.o" "gcc" "src/common/CMakeFiles/pstore_common.dir/time_series.cc.o.d"
+  "/root/repo/src/common/zipf.cc" "src/common/CMakeFiles/pstore_common.dir/zipf.cc.o" "gcc" "src/common/CMakeFiles/pstore_common.dir/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstore_common.dir/csv_writer.cc.o"
+  "CMakeFiles/pstore_common.dir/csv_writer.cc.o.d"
+  "CMakeFiles/pstore_common.dir/flags.cc.o"
+  "CMakeFiles/pstore_common.dir/flags.cc.o.d"
+  "CMakeFiles/pstore_common.dir/histogram.cc.o"
+  "CMakeFiles/pstore_common.dir/histogram.cc.o.d"
+  "CMakeFiles/pstore_common.dir/linalg.cc.o"
+  "CMakeFiles/pstore_common.dir/linalg.cc.o.d"
+  "CMakeFiles/pstore_common.dir/rng.cc.o"
+  "CMakeFiles/pstore_common.dir/rng.cc.o.d"
+  "CMakeFiles/pstore_common.dir/status.cc.o"
+  "CMakeFiles/pstore_common.dir/status.cc.o.d"
+  "CMakeFiles/pstore_common.dir/time_series.cc.o"
+  "CMakeFiles/pstore_common.dir/time_series.cc.o.d"
+  "CMakeFiles/pstore_common.dir/zipf.cc.o"
+  "CMakeFiles/pstore_common.dir/zipf.cc.o.d"
+  "libpstore_common.a"
+  "libpstore_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstore_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstore_controller.dir/load_balancer.cc.o"
+  "CMakeFiles/pstore_controller.dir/load_balancer.cc.o.d"
+  "CMakeFiles/pstore_controller.dir/predictive_controller.cc.o"
+  "CMakeFiles/pstore_controller.dir/predictive_controller.cc.o.d"
+  "CMakeFiles/pstore_controller.dir/reactive_controller.cc.o"
+  "CMakeFiles/pstore_controller.dir/reactive_controller.cc.o.d"
+  "CMakeFiles/pstore_controller.dir/simple_controller.cc.o"
+  "CMakeFiles/pstore_controller.dir/simple_controller.cc.o.d"
+  "libpstore_controller.a"
+  "libpstore_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstore_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

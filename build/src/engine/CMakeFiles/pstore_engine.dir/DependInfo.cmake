@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/cluster.cc" "src/engine/CMakeFiles/pstore_engine.dir/cluster.cc.o" "gcc" "src/engine/CMakeFiles/pstore_engine.dir/cluster.cc.o.d"
+  "/root/repo/src/engine/event_loop.cc" "src/engine/CMakeFiles/pstore_engine.dir/event_loop.cc.o" "gcc" "src/engine/CMakeFiles/pstore_engine.dir/event_loop.cc.o.d"
+  "/root/repo/src/engine/metrics.cc" "src/engine/CMakeFiles/pstore_engine.dir/metrics.cc.o" "gcc" "src/engine/CMakeFiles/pstore_engine.dir/metrics.cc.o.d"
+  "/root/repo/src/engine/murmur_hash.cc" "src/engine/CMakeFiles/pstore_engine.dir/murmur_hash.cc.o" "gcc" "src/engine/CMakeFiles/pstore_engine.dir/murmur_hash.cc.o.d"
+  "/root/repo/src/engine/partition.cc" "src/engine/CMakeFiles/pstore_engine.dir/partition.cc.o" "gcc" "src/engine/CMakeFiles/pstore_engine.dir/partition.cc.o.d"
+  "/root/repo/src/engine/txn_executor.cc" "src/engine/CMakeFiles/pstore_engine.dir/txn_executor.cc.o" "gcc" "src/engine/CMakeFiles/pstore_engine.dir/txn_executor.cc.o.d"
+  "/root/repo/src/engine/workload_driver.cc" "src/engine/CMakeFiles/pstore_engine.dir/workload_driver.cc.o" "gcc" "src/engine/CMakeFiles/pstore_engine.dir/workload_driver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pstore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

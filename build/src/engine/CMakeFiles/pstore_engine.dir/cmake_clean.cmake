@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstore_engine.dir/cluster.cc.o"
+  "CMakeFiles/pstore_engine.dir/cluster.cc.o.d"
+  "CMakeFiles/pstore_engine.dir/event_loop.cc.o"
+  "CMakeFiles/pstore_engine.dir/event_loop.cc.o.d"
+  "CMakeFiles/pstore_engine.dir/metrics.cc.o"
+  "CMakeFiles/pstore_engine.dir/metrics.cc.o.d"
+  "CMakeFiles/pstore_engine.dir/murmur_hash.cc.o"
+  "CMakeFiles/pstore_engine.dir/murmur_hash.cc.o.d"
+  "CMakeFiles/pstore_engine.dir/partition.cc.o"
+  "CMakeFiles/pstore_engine.dir/partition.cc.o.d"
+  "CMakeFiles/pstore_engine.dir/txn_executor.cc.o"
+  "CMakeFiles/pstore_engine.dir/txn_executor.cc.o.d"
+  "CMakeFiles/pstore_engine.dir/workload_driver.cc.o"
+  "CMakeFiles/pstore_engine.dir/workload_driver.cc.o.d"
+  "libpstore_engine.a"
+  "libpstore_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstore_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

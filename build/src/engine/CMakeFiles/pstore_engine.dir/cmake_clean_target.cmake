@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpstore_engine.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for pstore_engine.
+# This may be replaced when dependencies are built.

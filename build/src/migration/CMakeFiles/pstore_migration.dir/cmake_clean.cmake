@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstore_migration.dir/squall_migrator.cc.o"
+  "CMakeFiles/pstore_migration.dir/squall_migrator.cc.o.d"
+  "libpstore_migration.a"
+  "libpstore_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstore_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

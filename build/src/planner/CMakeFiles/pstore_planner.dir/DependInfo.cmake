@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/planner/brute_force_planner.cc" "src/planner/CMakeFiles/pstore_planner.dir/brute_force_planner.cc.o" "gcc" "src/planner/CMakeFiles/pstore_planner.dir/brute_force_planner.cc.o.d"
+  "/root/repo/src/planner/dp_planner.cc" "src/planner/CMakeFiles/pstore_planner.dir/dp_planner.cc.o" "gcc" "src/planner/CMakeFiles/pstore_planner.dir/dp_planner.cc.o.d"
+  "/root/repo/src/planner/migration_schedule.cc" "src/planner/CMakeFiles/pstore_planner.dir/migration_schedule.cc.o" "gcc" "src/planner/CMakeFiles/pstore_planner.dir/migration_schedule.cc.o.d"
+  "/root/repo/src/planner/move.cc" "src/planner/CMakeFiles/pstore_planner.dir/move.cc.o" "gcc" "src/planner/CMakeFiles/pstore_planner.dir/move.cc.o.d"
+  "/root/repo/src/planner/move_model.cc" "src/planner/CMakeFiles/pstore_planner.dir/move_model.cc.o" "gcc" "src/planner/CMakeFiles/pstore_planner.dir/move_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pstore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstore_planner.dir/brute_force_planner.cc.o"
+  "CMakeFiles/pstore_planner.dir/brute_force_planner.cc.o.d"
+  "CMakeFiles/pstore_planner.dir/dp_planner.cc.o"
+  "CMakeFiles/pstore_planner.dir/dp_planner.cc.o.d"
+  "CMakeFiles/pstore_planner.dir/migration_schedule.cc.o"
+  "CMakeFiles/pstore_planner.dir/migration_schedule.cc.o.d"
+  "CMakeFiles/pstore_planner.dir/move.cc.o"
+  "CMakeFiles/pstore_planner.dir/move.cc.o.d"
+  "CMakeFiles/pstore_planner.dir/move_model.cc.o"
+  "CMakeFiles/pstore_planner.dir/move_model.cc.o.d"
+  "libpstore_planner.a"
+  "libpstore_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstore_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

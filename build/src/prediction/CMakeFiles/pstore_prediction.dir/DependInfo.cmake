@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prediction/ar_model.cc" "src/prediction/CMakeFiles/pstore_prediction.dir/ar_model.cc.o" "gcc" "src/prediction/CMakeFiles/pstore_prediction.dir/ar_model.cc.o.d"
+  "/root/repo/src/prediction/arma_model.cc" "src/prediction/CMakeFiles/pstore_prediction.dir/arma_model.cc.o" "gcc" "src/prediction/CMakeFiles/pstore_prediction.dir/arma_model.cc.o.d"
+  "/root/repo/src/prediction/event_calendar.cc" "src/prediction/CMakeFiles/pstore_prediction.dir/event_calendar.cc.o" "gcc" "src/prediction/CMakeFiles/pstore_prediction.dir/event_calendar.cc.o.d"
+  "/root/repo/src/prediction/holt_winters.cc" "src/prediction/CMakeFiles/pstore_prediction.dir/holt_winters.cc.o" "gcc" "src/prediction/CMakeFiles/pstore_prediction.dir/holt_winters.cc.o.d"
+  "/root/repo/src/prediction/naive_models.cc" "src/prediction/CMakeFiles/pstore_prediction.dir/naive_models.cc.o" "gcc" "src/prediction/CMakeFiles/pstore_prediction.dir/naive_models.cc.o.d"
+  "/root/repo/src/prediction/online_predictor.cc" "src/prediction/CMakeFiles/pstore_prediction.dir/online_predictor.cc.o" "gcc" "src/prediction/CMakeFiles/pstore_prediction.dir/online_predictor.cc.o.d"
+  "/root/repo/src/prediction/predictor.cc" "src/prediction/CMakeFiles/pstore_prediction.dir/predictor.cc.o" "gcc" "src/prediction/CMakeFiles/pstore_prediction.dir/predictor.cc.o.d"
+  "/root/repo/src/prediction/spar_model.cc" "src/prediction/CMakeFiles/pstore_prediction.dir/spar_model.cc.o" "gcc" "src/prediction/CMakeFiles/pstore_prediction.dir/spar_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pstore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

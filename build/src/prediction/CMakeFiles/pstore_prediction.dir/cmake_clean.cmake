@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstore_prediction.dir/ar_model.cc.o"
+  "CMakeFiles/pstore_prediction.dir/ar_model.cc.o.d"
+  "CMakeFiles/pstore_prediction.dir/arma_model.cc.o"
+  "CMakeFiles/pstore_prediction.dir/arma_model.cc.o.d"
+  "CMakeFiles/pstore_prediction.dir/event_calendar.cc.o"
+  "CMakeFiles/pstore_prediction.dir/event_calendar.cc.o.d"
+  "CMakeFiles/pstore_prediction.dir/holt_winters.cc.o"
+  "CMakeFiles/pstore_prediction.dir/holt_winters.cc.o.d"
+  "CMakeFiles/pstore_prediction.dir/naive_models.cc.o"
+  "CMakeFiles/pstore_prediction.dir/naive_models.cc.o.d"
+  "CMakeFiles/pstore_prediction.dir/online_predictor.cc.o"
+  "CMakeFiles/pstore_prediction.dir/online_predictor.cc.o.d"
+  "CMakeFiles/pstore_prediction.dir/predictor.cc.o"
+  "CMakeFiles/pstore_prediction.dir/predictor.cc.o.d"
+  "CMakeFiles/pstore_prediction.dir/spar_model.cc.o"
+  "CMakeFiles/pstore_prediction.dir/spar_model.cc.o.d"
+  "libpstore_prediction.a"
+  "libpstore_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstore_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

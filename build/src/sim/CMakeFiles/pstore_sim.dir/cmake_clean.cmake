@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstore_sim.dir/capacity_simulator.cc.o"
+  "CMakeFiles/pstore_sim.dir/capacity_simulator.cc.o.d"
+  "libpstore_sim.a"
+  "libpstore_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstore_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/b2w_trace_generator.cc" "src/trace/CMakeFiles/pstore_trace.dir/b2w_trace_generator.cc.o" "gcc" "src/trace/CMakeFiles/pstore_trace.dir/b2w_trace_generator.cc.o.d"
+  "/root/repo/src/trace/spike_injector.cc" "src/trace/CMakeFiles/pstore_trace.dir/spike_injector.cc.o" "gcc" "src/trace/CMakeFiles/pstore_trace.dir/spike_injector.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/trace/CMakeFiles/pstore_trace.dir/trace_io.cc.o" "gcc" "src/trace/CMakeFiles/pstore_trace.dir/trace_io.cc.o.d"
+  "/root/repo/src/trace/wikipedia_trace_generator.cc" "src/trace/CMakeFiles/pstore_trace.dir/wikipedia_trace_generator.cc.o" "gcc" "src/trace/CMakeFiles/pstore_trace.dir/wikipedia_trace_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pstore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

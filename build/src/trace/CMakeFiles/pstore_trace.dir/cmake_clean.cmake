@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstore_trace.dir/b2w_trace_generator.cc.o"
+  "CMakeFiles/pstore_trace.dir/b2w_trace_generator.cc.o.d"
+  "CMakeFiles/pstore_trace.dir/spike_injector.cc.o"
+  "CMakeFiles/pstore_trace.dir/spike_injector.cc.o.d"
+  "CMakeFiles/pstore_trace.dir/trace_io.cc.o"
+  "CMakeFiles/pstore_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/pstore_trace.dir/wikipedia_trace_generator.cc.o"
+  "CMakeFiles/pstore_trace.dir/wikipedia_trace_generator.cc.o.d"
+  "libpstore_trace.a"
+  "libpstore_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstore_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

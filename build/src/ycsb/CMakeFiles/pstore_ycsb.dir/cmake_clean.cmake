@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstore_ycsb.dir/ycsb_workload.cc.o"
+  "CMakeFiles/pstore_ycsb.dir/ycsb_workload.cc.o.d"
+  "libpstore_ycsb.a"
+  "libpstore_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstore_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/b2w_test.dir/b2w_test.cc.o"
+  "CMakeFiles/b2w_test.dir/b2w_test.cc.o.d"
+  "b2w_test"
+  "b2w_test.pdb"
+  "b2w_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/b2w_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_sim_test.dir/capacity_sim_test.cc.o"
+  "CMakeFiles/capacity_sim_test.dir/capacity_sim_test.cc.o.d"
+  "capacity_sim_test"
+  "capacity_sim_test.pdb"
+  "capacity_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

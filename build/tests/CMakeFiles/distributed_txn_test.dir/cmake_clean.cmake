@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_txn_test.dir/distributed_txn_test.cc.o"
+  "CMakeFiles/distributed_txn_test.dir/distributed_txn_test.cc.o.d"
+  "distributed_txn_test"
+  "distributed_txn_test.pdb"
+  "distributed_txn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_txn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

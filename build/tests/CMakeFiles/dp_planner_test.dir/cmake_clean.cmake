@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_planner_test.dir/dp_planner_test.cc.o"
+  "CMakeFiles/dp_planner_test.dir/dp_planner_test.cc.o.d"
+  "dp_planner_test"
+  "dp_planner_test.pdb"
+  "dp_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

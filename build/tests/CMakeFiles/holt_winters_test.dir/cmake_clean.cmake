@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holt_winters_test.dir/holt_winters_test.cc.o"
+  "CMakeFiles/holt_winters_test.dir/holt_winters_test.cc.o.d"
+  "holt_winters_test"
+  "holt_winters_test.pdb"
+  "holt_winters_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holt_winters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

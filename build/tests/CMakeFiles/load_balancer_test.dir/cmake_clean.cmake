@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_balancer_test.dir/load_balancer_test.cc.o"
+  "CMakeFiles/load_balancer_test.dir/load_balancer_test.cc.o.d"
+  "load_balancer_test"
+  "load_balancer_test.pdb"
+  "load_balancer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_balancer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

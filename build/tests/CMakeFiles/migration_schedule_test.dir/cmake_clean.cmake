@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_schedule_test.dir/migration_schedule_test.cc.o"
+  "CMakeFiles/migration_schedule_test.dir/migration_schedule_test.cc.o.d"
+  "migration_schedule_test"
+  "migration_schedule_test.pdb"
+  "migration_schedule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

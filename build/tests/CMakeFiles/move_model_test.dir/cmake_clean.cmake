@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/move_model_test.dir/move_model_test.cc.o"
+  "CMakeFiles/move_model_test.dir/move_model_test.cc.o.d"
+  "move_model_test"
+  "move_model_test.pdb"
+  "move_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/move_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

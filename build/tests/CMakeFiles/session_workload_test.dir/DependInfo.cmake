@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/session_workload_test.cc" "tests/CMakeFiles/session_workload_test.dir/session_workload_test.cc.o" "gcc" "tests/CMakeFiles/session_workload_test.dir/session_workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/b2w/CMakeFiles/pstore_b2w.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/pstore_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pstore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

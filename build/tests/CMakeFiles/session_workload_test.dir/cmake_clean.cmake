@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_workload_test.dir/session_workload_test.cc.o"
+  "CMakeFiles/session_workload_test.dir/session_workload_test.cc.o.d"
+  "session_workload_test"
+  "session_workload_test.pdb"
+  "session_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_series_test.dir/time_series_test.cc.o"
+  "CMakeFiles/time_series_test.dir/time_series_test.cc.o.d"
+  "time_series_test"
+  "time_series_test.pdb"
+  "time_series_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_series_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ycsb_test.dir/ycsb_test.cc.o"
+  "CMakeFiles/ycsb_test.dir/ycsb_test.cc.o.d"
+  "ycsb_test"
+  "ycsb_test.pdb"
+  "ycsb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ycsb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstore_plan.dir/pstore_plan.cc.o"
+  "CMakeFiles/pstore_plan.dir/pstore_plan.cc.o.d"
+  "pstore_plan"
+  "pstore_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstore_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

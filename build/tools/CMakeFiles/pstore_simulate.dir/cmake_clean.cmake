@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstore_simulate.dir/pstore_simulate.cc.o"
+  "CMakeFiles/pstore_simulate.dir/pstore_simulate.cc.o.d"
+  "pstore_simulate"
+  "pstore_simulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstore_simulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstore_tracegen.dir/pstore_tracegen.cc.o"
+  "CMakeFiles/pstore_tracegen.dir/pstore_tracegen.cc.o.d"
+  "pstore_tracegen"
+  "pstore_tracegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstore_tracegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

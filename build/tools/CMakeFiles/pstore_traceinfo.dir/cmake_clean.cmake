@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstore_traceinfo.dir/pstore_traceinfo.cc.o"
+  "CMakeFiles/pstore_traceinfo.dir/pstore_traceinfo.cc.o.d"
+  "pstore_traceinfo"
+  "pstore_traceinfo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstore_traceinfo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
