@@ -13,6 +13,7 @@
 #include "engine/event_loop.h"
 #include "engine/txn_executor.h"
 #include "engine/workload_driver.h"
+#include "fault/fault_injector.h"
 #include "migration/squall_migrator.h"
 #include "prediction/naive_models.h"
 #include "prediction/online_predictor.h"
@@ -60,6 +61,7 @@ TimeSeries EngineTrace(const EngineRunConfig& config) {
   // comfortable headroom, 4 do not (the paper's Fig. 9 setup).
   options.peak_requests_per_min = 9000.0;
   options.seed = config.trace_seed;
+  options.black_friday_day = config.black_friday_day;
   // req/min -> txn/s at 10x replay speed, scaled.
   TimeSeries trace =
       GenerateB2wTrace(options).Scaled(10.0 / 60.0 * config.scale);
@@ -110,6 +112,14 @@ EngineRunResult RunEngineExperiment(const EngineRunConfig& config) {
   migration_options.extract_rate_bytes_per_sec = 20e6;
   MigrationManager migration(&loop, &cluster, &metrics, migration_options);
   metrics.RecordMachines(0, config.nodes);
+
+  std::unique_ptr<FaultInjector> injector;
+  if (!config.faults.empty()) {
+    injector = std::make_unique<FaultInjector>(
+        &loop, &cluster, &metrics, FaultSchedule::Scripted(config.faults));
+    migration.set_fault_hook(injector.get());
+    injector->Arm();
+  }
 
   DriverOptions driver_options;
   driver_options.slot_sim_seconds = 6.0;  // one trace minute at 10x
@@ -183,12 +193,17 @@ EngineRunResult RunEngineExperiment(const EngineRunConfig& config) {
   EngineRunResult result;
   result.windows = metrics.Finalize(end);
   result.violations = MetricsCollector::CountViolations(result.windows);
+  result.attribution = MetricsCollector::AttributeViolations(result.windows);
   result.avg_machines = metrics.AverageMachines(end);
   result.committed = executor.committed_count();
   result.aborted = executor.aborted_count();
+  result.unavailable = executor.unavailable_count();
   result.duration_seconds = ToSeconds(end);
   result.reconfigurations =
       static_cast<int>(migration.reconfigurations_completed());
+  result.failed_reconfigurations =
+      static_cast<int>(migration.reconfigurations_failed());
+  result.chunk_retries = migration.chunk_retries();
   return result;
 }
 

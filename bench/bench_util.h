@@ -8,6 +8,7 @@
 #include "common/csv_writer.h"
 #include "common/time_series.h"
 #include "engine/metrics.h"
+#include "fault/fault_schedule.h"
 
 namespace pstore {
 namespace bench {
@@ -53,17 +54,29 @@ struct EngineRunConfig {
   // Scale factor on the workload (and pools) to trade fidelity for run
   // time; 1.0 = paper scale (~2800 txn/s peak, ~1.1 GB database).
   double scale = 1.0;
+  // Trace day carrying the Black-Friday surge (-1 = none); passed to the
+  // trace generator, so it works in both training and replay windows.
+  int black_friday_day = -1;
+  // Scripted fault events injected during the replay (empty = no fault
+  // injection; event times are simulated seconds from replay start).
+  std::vector<FaultEvent> faults;
 };
 
 // Result of one run: per-second window stats plus summary numbers.
 struct EngineRunResult {
   std::vector<WindowStats> windows;
   SlaViolations violations;
+  // Violations split into fault / migration / baseline windows.
+  SlaAttribution attribution;
   double avg_machines = 0.0;
   int64_t committed = 0;
   int64_t aborted = 0;
+  int64_t unavailable = 0;
   double duration_seconds = 0.0;
   int reconfigurations = 0;
+  // Fault-recovery counters; nonzero only when faults were injected.
+  int failed_reconfigurations = 0;
+  int64_t chunk_retries = 0;
 };
 
 // Runs the full engine experiment for one approach. Deterministic for a

@@ -21,6 +21,10 @@ const char* CodeName(StatusCode code) {
       return "Infeasible";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kAborted:
+      return "Aborted";
   }
   return "Unknown";
 }

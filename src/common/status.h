@@ -19,6 +19,8 @@ enum class StatusCode {
   kFailedPrecondition,
   kInfeasible,   // planner: no feasible move sequence exists
   kInternal,
+  kUnavailable,  // transient: a node or link is down, retrying may succeed
+  kAborted,      // the operation was given up (e.g., retry budget exhausted)
 };
 
 // A Status carries a code and, for errors, a human-readable message.
@@ -50,6 +52,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -92,5 +100,16 @@ class StatusOr {
 };
 
 }  // namespace pstore
+
+// Evaluates `expr` (a Status expression) and returns it from the calling
+// function if it is an error. The calling function must itself return
+// Status.
+#define RETURN_IF_ERROR(expr)                                       \
+  do {                                                              \
+    ::pstore::Status pstore_return_if_error_status_ = (expr);       \
+    if (!pstore_return_if_error_status_.ok()) {                     \
+      return pstore_return_if_error_status_;                       \
+    }                                                               \
+  } while (0)
 
 #endif  // PSTORE_COMMON_STATUS_H_

@@ -40,6 +40,20 @@ void PredictiveController::Tick() {
                        [this] { Tick(); });
 }
 
+MigrationManager::DoneCallback PredictiveController::OnMoveDone() {
+  return [this](const Status& status) {
+    if (status.ok()) return;
+    // The move died (retry budget exhausted on a crashed node or dead
+    // link) and left the cluster somewhere between the old and new
+    // layouts. Re-plan right away from the actual machine count instead
+    // of waiting for the next planning cycle — the fault already cost
+    // us time we planned to spend migrating.
+    ++move_failures_;
+    ++replans_after_failure_;
+    Plan();
+  };
+}
+
 std::vector<double> PredictiveController::BuildPlanningLoad(
     double current_rate, const std::vector<double>& forecast) const {
   std::vector<double> load;
@@ -82,7 +96,8 @@ void PredictiveController::Plan() {
                                   ? options_.reactive_rate_multiplier
                                   : 1.0;
     scale_in_votes_ = 0;
-    if (migration_->StartReconfiguration(target, multiplier, nullptr).ok()) {
+    if (migration_->StartReconfiguration(target, multiplier, OnMoveDone())
+            .ok()) {
       ++reconfigurations_started_;
     }
     return;
@@ -113,7 +128,7 @@ void PredictiveController::Plan() {
   const int target =
       std::min(first->nodes_after, cluster_->options().max_nodes);
   if (target == cluster_->active_nodes()) return;
-  if (migration_->StartReconfiguration(target, 1.0, nullptr).ok()) {
+  if (migration_->StartReconfiguration(target, 1.0, OnMoveDone()).ok()) {
     ++reconfigurations_started_;
   }
 }

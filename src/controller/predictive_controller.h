@@ -59,10 +59,19 @@ class PredictiveController : public ElasticityController {
   int64_t reconfigurations_started() const {
     return reconfigurations_started_;
   }
+  // Reconfigurations this controller started that ended in failure
+  // (migrator retry budget exhausted), and the immediate re-plans they
+  // triggered. Nonzero only under fault injection.
+  int64_t move_failures() const { return move_failures_; }
+  int64_t replans_after_failure() const { return replans_after_failure_; }
 
  private:
   void Tick();
   void Plan();
+  // Completion callback handed to the migrator: a failed move triggers
+  // an immediate re-plan against the refreshed cluster state instead of
+  // waiting out the current planning interval.
+  MigrationManager::DoneCallback OnMoveDone();
   // Converts the trace-slot-granularity forecast into planning-slot
   // loads: L[0] is the current measured rate; L[i] is the max predicted
   // rate within planning slot i (conservative within the slot).
@@ -83,6 +92,8 @@ class PredictiveController : public ElasticityController {
   int64_t plans_computed_ = 0;
   int64_t infeasible_plans_ = 0;
   int64_t reconfigurations_started_ = 0;
+  int64_t move_failures_ = 0;
+  int64_t replans_after_failure_ = 0;
 };
 
 }  // namespace pstore

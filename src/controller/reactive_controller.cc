@@ -50,7 +50,15 @@ void ReactiveController::Tick() {
             std::min(cluster_->options().max_nodes,
                      std::max(nodes + 1,
                               static_cast<int>(std::ceil(sized_load / q))));
-        if (migration_->StartReconfiguration(target, 1.0, nullptr).ok()) {
+        auto on_done = [this](const Status& status) {
+          if (status.ok()) return;
+          // The scale-out died mid-move while the system is still
+          // overloaded. Skip the detection phase — the overload was
+          // already confirmed — so the next overloaded tick retries.
+          ++move_failures_;
+          consecutive_overload_slots_ = options_.detection_slots;
+        };
+        if (migration_->StartReconfiguration(target, 1.0, on_done).ok()) {
           ++scale_outs_;
         }
       }
@@ -60,7 +68,12 @@ void ReactiveController::Tick() {
       ++consecutive_low_slots_;
       if (consecutive_low_slots_ >= options_.low_slots_required) {
         consecutive_low_slots_ = 0;
-        if (migration_->StartReconfiguration(nodes - 1, 1.0, nullptr).ok()) {
+        auto on_done = [this](const Status& status) {
+          // A failed scale-in is benign: stay at the current size and
+          // let the low-watermark counter build up again.
+          if (!status.ok()) ++move_failures_;
+        };
+        if (migration_->StartReconfiguration(nodes - 1, 1.0, on_done).ok()) {
           ++scale_ins_;
         }
       }

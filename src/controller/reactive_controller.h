@@ -51,6 +51,10 @@ class ReactiveController : public ElasticityController {
 
   int64_t scale_outs() const { return scale_outs_; }
   int64_t scale_ins() const { return scale_ins_; }
+  // Reconfigurations that ended in failure (nonzero only under fault
+  // injection). A failed scale-out re-arms detection so the controller
+  // retries on the very next overloaded tick.
+  int64_t move_failures() const { return move_failures_; }
 
  private:
   void Tick();
@@ -64,6 +68,7 @@ class ReactiveController : public ElasticityController {
   int consecutive_overload_slots_ = 0;
   int64_t scale_outs_ = 0;
   int64_t scale_ins_ = 0;
+  int64_t move_failures_ = 0;
 };
 
 }  // namespace pstore

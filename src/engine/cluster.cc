@@ -17,6 +17,7 @@ Cluster::Cluster(const ClusterOptions& options)
   partitions_.resize(static_cast<size_t>(options_.max_nodes) *
                      options_.partitions_per_node);
   bucket_map_.resize(options_.num_buckets);
+  node_up_.assign(static_cast<size_t>(options_.max_nodes), 1);
   // Initial placement: round-robin across the active partitions.
   for (int b = 0; b < options_.num_buckets; ++b) {
     bucket_map_[b] = b % total_active_partitions();
@@ -53,6 +54,24 @@ Status Cluster::DeactivateNodes(int count) {
   }
   active_nodes_ = count;
   return Status::OK();
+}
+
+void Cluster::MarkNodeDown(int node) {
+  PSTORE_CHECK(node >= 0 && node < options_.max_nodes);
+  node_up_[node] = 0;
+}
+
+void Cluster::MarkNodeUp(int node) {
+  PSTORE_CHECK(node >= 0 && node < options_.max_nodes);
+  node_up_[node] = 1;
+}
+
+int Cluster::HealthyActiveNodes() const {
+  int up = 0;
+  for (int node = 0; node < active_nodes_; ++node) {
+    if (node_up_[node]) ++up;
+  }
+  return up;
 }
 
 void Cluster::MoveBucket(BucketId bucket, int partition_id) {

@@ -78,6 +78,19 @@ class Cluster {
   // machines being released must hold no buckets.
   Status DeactivateNodes(int count);
 
+  // --- Node health (fault injection) --------------------------------------
+  // Health is orthogonal to allocation: a crashed node keeps its data and
+  // its place in the active set, but serves no transactions and accepts
+  // no migration chunks until it recovers. The fault subsystem toggles
+  // these; the executor and migrator consult them.
+
+  void MarkNodeDown(int node);
+  void MarkNodeUp(int node);
+  bool IsNodeUp(int node) const { return node_up_[node] != 0; }
+
+  // Active nodes currently up.
+  int HealthyActiveNodes() const;
+
   // --- Bucket placement ---------------------------------------------------
 
   // Reassigns a bucket's routing to `partition_id` and physically moves
@@ -106,6 +119,7 @@ class Cluster {
   int active_nodes_;
   std::vector<Partition> partitions_;     // max_nodes * partitions_per_node
   std::vector<int> bucket_map_;           // bucket -> partition id
+  std::vector<char> node_up_;             // per node; 1 = healthy
 };
 
 }  // namespace pstore

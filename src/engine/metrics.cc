@@ -68,6 +68,7 @@ void MetricsCollector::EnsureWindow(size_t index) {
     latency_.resize(index + 1);
     submitted_.resize(index + 1, 0);
     completed_.resize(index + 1, 0);
+    unavailable_.resize(index + 1, 0);
   }
 }
 
@@ -81,12 +82,23 @@ void MetricsCollector::RecordTxn(SimTime submit, SimTime completion) {
   latency_[complete_window].Record(completion - submit);
 }
 
+void MetricsCollector::RecordUnavailable(SimTime now) {
+  const size_t window = WindowIndex(now);
+  EnsureWindow(window);
+  ++submitted_[window];
+  ++unavailable_[window];
+}
+
 void MetricsCollector::RecordMachines(SimTime now, int machines) {
   machine_steps_.emplace_back(now, machines);
 }
 
 void MetricsCollector::RecordMigrationActive(SimTime now, bool active) {
   migration_steps_.emplace_back(now, active);
+}
+
+void MetricsCollector::RecordFaultActive(SimTime now, bool active) {
+  fault_steps_.emplace_back(now, active);
 }
 
 std::vector<WindowStats> MetricsCollector::Finalize(SimTime end) const {
@@ -97,6 +109,8 @@ std::vector<WindowStats> MetricsCollector::Finalize(SimTime end) const {
   int machines = machine_steps_.empty() ? 0 : machine_steps_.front().second;
   size_t migration_idx = 0;
   bool migrating = false;
+  size_t fault_idx = 0;
+  bool fault = false;
 
   for (size_t w = 0; w < num_windows; ++w) {
     WindowStats& stats = out[w];
@@ -106,6 +120,7 @@ std::vector<WindowStats> MetricsCollector::Finalize(SimTime end) const {
     if (w < latency_.size()) {
       stats.submitted = submitted_[w];
       stats.completed = completed_[w];
+      stats.unavailable = unavailable_[w];
       stats.p50_ms = ToSeconds(latency_[w].ValueAtQuantile(0.50)) * 1e3;
       stats.p95_ms = ToSeconds(latency_[w].ValueAtQuantile(0.95)) * 1e3;
       stats.p99_ms = ToSeconds(latency_[w].ValueAtQuantile(0.99)) * 1e3;
@@ -126,6 +141,16 @@ std::vector<WindowStats> MetricsCollector::Finalize(SimTime end) const {
     // inside it (approximated by: active at window end or a toggle
     // occurred within the window).
     stats.migrating = migrating;
+    // Same approximation for the fault flag: active at window end, or a
+    // fault began/ended inside the window.
+    bool fault_toggled = false;
+    while (fault_idx < fault_steps_.size() &&
+           fault_steps_[fault_idx].first < window_end) {
+      fault = fault_steps_[fault_idx].second;
+      fault_toggled = true;
+      ++fault_idx;
+    }
+    stats.fault = fault || fault_toggled;
   }
   return out;
 }
@@ -140,6 +165,30 @@ SlaViolations MetricsCollector::CountViolations(
     if (w.p99_ms > threshold_ms) ++v.p99;
   }
   return v;
+}
+
+SlaAttribution MetricsCollector::AttributeViolations(
+    const std::vector<WindowStats>& windows, double threshold_ms) {
+  SlaAttribution out;
+  for (const WindowStats& w : windows) {
+    if (w.completed == 0) continue;
+    SlaViolations* bucket = w.fault ? &out.during_fault
+                           : w.migrating ? &out.during_migration
+                                         : &out.baseline;
+    if (w.p50_ms > threshold_ms) {
+      ++out.total.p50;
+      ++bucket->p50;
+    }
+    if (w.p95_ms > threshold_ms) {
+      ++out.total.p95;
+      ++bucket->p95;
+    }
+    if (w.p99_ms > threshold_ms) {
+      ++out.total.p99;
+      ++bucket->p99;
+    }
+  }
+  return out;
 }
 
 double MetricsCollector::AverageMachines(SimTime end) const {

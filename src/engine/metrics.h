@@ -39,11 +39,18 @@ struct WindowStats {
   double start_seconds = 0.0;
   int64_t submitted = 0;
   int64_t completed = 0;
+  // Transactions failed fast with kUnavailable (owning node crashed).
+  // These never complete, so they are invisible to the latency
+  // percentiles; availability SLA accounting must look here.
+  int64_t unavailable = 0;
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   double p99_ms = 0.0;
   int machines = 0;
   bool migrating = false;
+  // An injected fault (node outage, straggler, degraded network) was
+  // active at some point inside the window.
+  bool fault = false;
 };
 
 // Counts of windows whose per-window percentile latency exceeded the SLA
@@ -53,6 +60,18 @@ struct SlaViolations {
   int64_t p50 = 0;
   int64_t p95 = 0;
   int64_t p99 = 0;
+};
+
+// SLA violations split by what the system was doing during the violating
+// window: an injected fault was active (fault wins when both apply), a
+// reconfiguration was in flight, or neither (pure misprediction /
+// capacity shortfall). total = during_fault + during_migration + baseline
+// per percentile.
+struct SlaAttribution {
+  SlaViolations total;
+  SlaViolations during_fault;
+  SlaViolations during_migration;
+  SlaViolations baseline;
 };
 
 // Collects per-window (default 1 s) latency distributions, submission and
@@ -66,9 +85,15 @@ class MetricsCollector {
   // `completion`; the latency lands in the window containing completion.
   void RecordTxn(SimTime submit, SimTime completion);
 
+  // Records a transaction failed fast as unavailable at `now` (it has no
+  // completion and therefore no latency sample).
+  void RecordUnavailable(SimTime now);
+
   // Step-series updates.
   void RecordMachines(SimTime now, int machines);
   void RecordMigrationActive(SimTime now, bool active);
+  // Fault step series: true while at least one injected fault is active.
+  void RecordFaultActive(SimTime now, bool active);
 
   // Summarizes all windows up to `end`. Call once after the run.
   std::vector<WindowStats> Finalize(SimTime end) const;
@@ -77,6 +102,11 @@ class MetricsCollector {
   // transactions are skipped.
   static SlaViolations CountViolations(const std::vector<WindowStats>& windows,
                                        double threshold_ms = 500.0);
+
+  // Like CountViolations, additionally splitting each violated window by
+  // its fault/migrating flags.
+  static SlaAttribution AttributeViolations(
+      const std::vector<WindowStats>& windows, double threshold_ms = 500.0);
 
   // Time-weighted average of the machines-allocated step series on
   // [0, end].
@@ -93,8 +123,10 @@ class MetricsCollector {
   std::vector<WindowHistogram> latency_;
   std::vector<int64_t> submitted_;
   std::vector<int64_t> completed_;
+  std::vector<int64_t> unavailable_;
   std::vector<std::pair<SimTime, int>> machine_steps_;
   std::vector<std::pair<SimTime, bool>> migration_steps_;
+  std::vector<std::pair<SimTime, bool>> fault_steps_;
 };
 
 }  // namespace pstore

@@ -37,6 +37,9 @@ enum class TxnStatus : uint8_t {
   kAborted,
   // The procedure id was not registered.
   kUnknownProcedure,
+  // A partition the transaction needs lives on a crashed node; the
+  // request fails fast without executing (fault-injection drills).
+  kUnavailable,
 };
 
 // Outcome of executing a transaction's logic (the timing outcome —

@@ -79,6 +79,13 @@ TxnResult TxnExecutor::SubmitMulti(const TxnRequest& request, SimTime now) {
     const uint64_t key = i == 0 ? request.key : request.extra_keys[i - 1];
     const BucketId bucket = cluster_->BucketForKey(key);
     const int partition_id = cluster_->PartitionOfBucket(bucket);
+    if (!cluster_->IsNodeUp(cluster_->NodeOfPartition(partition_id))) {
+      ++unavailable_count_;
+      if (metrics_ != nullptr) metrics_->RecordUnavailable(now);
+      const TxnResult result{TxnStatus::kUnavailable, 0};
+      CountOutcome(request.procedure, result);
+      return result;
+    }
     contexts[i].partition = &cluster_->partition(partition_id);
     contexts[i].bucket = bucket;
     contexts[i].key = key;
@@ -138,6 +145,15 @@ TxnResult TxnExecutor::Submit(const TxnRequest& request, SimTime now) {
 
   const BucketId bucket = cluster_->BucketForKey(request.key);
   const int partition_id = cluster_->PartitionOfBucket(bucket);
+  if (!cluster_->IsNodeUp(cluster_->NodeOfPartition(partition_id))) {
+    // The owning node is crashed: fail fast without executing or
+    // charging service time (the client sees an error, not a stall).
+    ++unavailable_count_;
+    if (metrics_ != nullptr) metrics_->RecordUnavailable(now);
+    const TxnResult result{TxnStatus::kUnavailable, 0};
+    CountOutcome(request.procedure, result);
+    return result;
+  }
   Partition& partition = cluster_->partition(partition_id);
   partition.RecordAccess(bucket);
 

@@ -58,6 +58,9 @@ class TxnExecutor {
   int64_t aborted_count() const { return aborted_count_; }
   // Multi-key transactions whose keys spanned > 1 partition.
   int64_t distributed_count() const { return distributed_count_; }
+  // Transactions rejected because a needed node was down (a subset of
+  // aborted_count); nonzero only under fault injection.
+  int64_t unavailable_count() const { return unavailable_count_; }
 
   // Per-procedure outcome counters (commits and aborts), for workload
   // mix reporting.
@@ -86,6 +89,7 @@ class TxnExecutor {
   int64_t committed_count_ = 0;
   int64_t aborted_count_ = 0;
   int64_t distributed_count_ = 0;
+  int64_t unavailable_count_ = 0;
   std::array<ProcedureStats, kMaxProcedures> procedure_stats_ = {};
 };
 

@@ -1,0 +1,115 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace pstore {
+
+FaultInjector::FaultInjector(EventLoop* loop, Cluster* cluster,
+                             MetricsCollector* metrics,
+                             FaultSchedule schedule)
+    : loop_(loop),
+      cluster_(cluster),
+      metrics_(metrics),
+      schedule_(std::move(schedule)) {
+  PSTORE_CHECK(loop_ != nullptr && cluster_ != nullptr);
+  straggler_.assign(static_cast<size_t>(cluster_->options().max_nodes), 1.0);
+}
+
+void FaultInjector::Arm() {
+  PSTORE_CHECK(!armed_);
+  armed_ = true;
+  for (const FaultEvent& event : schedule_.events()) {
+    loop_->ScheduleAt(event.at, [this, event] { Apply(event); });
+  }
+}
+
+void FaultInjector::AdjustActive(int delta) {
+  const int before = active_faults_;
+  active_faults_ += delta;
+  PSTORE_CHECK(active_faults_ >= 0);
+  if (metrics_ == nullptr) return;
+  if (before == 0 && active_faults_ > 0) {
+    metrics_->RecordFaultActive(loop_->now(), true);
+  } else if (before > 0 && active_faults_ == 0) {
+    metrics_->RecordFaultActive(loop_->now(), false);
+  }
+}
+
+void FaultInjector::Apply(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::kNodeCrash:
+      // Crashing an already-down node is a no-op so the refcount stays
+      // balanced under overlapping random windows.
+      if (event.node >= 0 && cluster_->IsNodeUp(event.node)) {
+        cluster_->MarkNodeDown(event.node);
+        ++stats_.crashes;
+        AdjustActive(+1);
+      }
+      break;
+    case FaultKind::kNodeRecover:
+      if (event.node >= 0 && !cluster_->IsNodeUp(event.node)) {
+        cluster_->MarkNodeUp(event.node);
+        ++stats_.recoveries;
+        AdjustActive(-1);
+      }
+      break;
+    case FaultKind::kChunkAbort:
+      ++pending_chunk_aborts_;
+      ++stats_.chunk_aborts_armed;
+      break;
+    case FaultKind::kStragglerStart:
+      if (event.node >= 0 &&
+          static_cast<size_t>(event.node) < straggler_.size() &&
+          straggler_[event.node] >= 1.0) {
+        straggler_[event.node] = std::clamp(event.multiplier, 0.01, 1.0);
+        ++stats_.stragglers;
+        AdjustActive(+1);
+      }
+      break;
+    case FaultKind::kStragglerEnd:
+      if (event.node >= 0 &&
+          static_cast<size_t>(event.node) < straggler_.size() &&
+          straggler_[event.node] < 1.0) {
+        straggler_[event.node] = 1.0;
+        AdjustActive(-1);
+      }
+      break;
+    case FaultKind::kNetworkDegrade:
+      if (network_multiplier_ >= 1.0) {
+        network_multiplier_ = std::clamp(event.multiplier, 0.01, 1.0);
+        ++stats_.degradations;
+        AdjustActive(+1);
+      }
+      break;
+    case FaultKind::kNetworkRestore:
+      if (network_multiplier_ < 1.0) {
+        network_multiplier_ = 1.0;
+        AdjustActive(-1);
+      }
+      break;
+  }
+}
+
+double FaultInjector::NodeMultiplier(int node) const {
+  if (node < 0 || static_cast<size_t>(node) >= straggler_.size()) return 1.0;
+  return straggler_[node];
+}
+
+double FaultInjector::ChunkRateMultiplier(int from_node, int to_node) {
+  // A transfer is as slow as its slower endpoint, and the cluster-wide
+  // network state applies on top.
+  return network_multiplier_ *
+         std::min(NodeMultiplier(from_node), NodeMultiplier(to_node));
+}
+
+bool FaultInjector::TakeChunkAbort(int /*from_node*/, int /*to_node*/) {
+  if (pending_chunk_aborts_ == 0) return false;
+  --pending_chunk_aborts_;
+  ++stats_.chunk_aborts_consumed;
+  return true;
+}
+
+}  // namespace pstore

@@ -1,0 +1,75 @@
+#ifndef PSTORE_FAULT_FAULT_INJECTOR_H_
+#define PSTORE_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/cluster.h"
+#include "engine/event_loop.h"
+#include "engine/metrics.h"
+#include "fault/fault_schedule.h"
+#include "migration/squall_migrator.h"
+
+namespace pstore {
+
+// Drives a FaultSchedule against a live engine run: node crashes and
+// recoveries toggle Cluster node health (failing transactions fast and
+// stalling that node's chunk transfers), stragglers and network
+// degradation slow chunk transfers through the MigrationFaultHook, and
+// chunk aborts fail in-flight transfers. Also feeds the fault-active
+// step series to the MetricsCollector so SLA violations can be
+// attributed to faults.
+//
+// Install it with migration.set_fault_hook(&injector) and call Arm()
+// once before running the loop. The injector must outlive the run.
+class FaultInjector final : public MigrationFaultHook {
+ public:
+  struct Stats {
+    int64_t crashes = 0;
+    int64_t recoveries = 0;
+    int64_t stragglers = 0;
+    int64_t degradations = 0;
+    int64_t chunk_aborts_armed = 0;
+    int64_t chunk_aborts_consumed = 0;
+  };
+
+  // `metrics` may be null (no fault step series is recorded then).
+  FaultInjector(EventLoop* loop, Cluster* cluster, MetricsCollector* metrics,
+                FaultSchedule schedule);
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Schedules every event of the schedule on the loop. Call once.
+  void Arm();
+
+  // MigrationFaultHook: combined rate multiplier for a chunk between the
+  // two nodes (cluster-wide network state times the slower endpoint).
+  double ChunkRateMultiplier(int from_node, int to_node) override;
+  // Consumes one pending chunk abort, if armed.
+  bool TakeChunkAbort(int from_node, int to_node) override;
+
+  const Stats& stats() const { return stats_; }
+  const FaultSchedule& schedule() const { return schedule_; }
+
+ private:
+  void Apply(const FaultEvent& event);
+  // Maintains the active-fault refcount and emits metrics transitions
+  // when it crosses zero.
+  void AdjustActive(int delta);
+  double NodeMultiplier(int node) const;
+
+  EventLoop* loop_;
+  Cluster* cluster_;
+  MetricsCollector* metrics_;
+  FaultSchedule schedule_;
+  std::vector<double> straggler_;  // per-node rate multiplier, 1.0 = healthy
+  double network_multiplier_ = 1.0;
+  int pending_chunk_aborts_ = 0;
+  int active_faults_ = 0;
+  bool armed_ = false;
+  Stats stats_;
+};
+
+}  // namespace pstore
+
+#endif  // PSTORE_FAULT_FAULT_INJECTOR_H_

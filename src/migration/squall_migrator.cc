@@ -1,6 +1,7 @@
 #include "migration/squall_migrator.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 #include <utility>
 
@@ -50,14 +51,12 @@ void MigrationManager::SetMachines(int count) {
   if (metrics_ != nullptr) metrics_->RecordMachines(loop_->now(), count);
 }
 
-Status MigrationManager::StartReconfiguration(int target_nodes,
-                                              double rate_multiplier,
-                                              DoneCallback done) {
+Status MigrationManager::ValidateTarget(int target_nodes,
+                                        double rate_multiplier) const {
   if (in_progress_) {
     return Status::FailedPrecondition("reconfiguration already in progress");
   }
-  const int before = cluster_->active_nodes();
-  if (target_nodes == before) {
+  if (target_nodes == cluster_->active_nodes()) {
     return Status::InvalidArgument("target equals current machine count");
   }
   if (target_nodes < 1 || target_nodes > cluster_->options().max_nodes) {
@@ -68,6 +67,14 @@ Status MigrationManager::StartReconfiguration(int target_nodes,
   if (rate_multiplier <= 0.0) {
     return Status::InvalidArgument("rate multiplier must be positive");
   }
+  return Status::OK();
+}
+
+Status MigrationManager::StartReconfiguration(int target_nodes,
+                                              double rate_multiplier,
+                                              DoneCallback done) {
+  RETURN_IF_ERROR(ValidateTarget(target_nodes, rate_multiplier));
+  const int before = cluster_->active_nodes();
   StatusOr<MigrationSchedule> schedule =
       BuildMigrationSchedule(before, target_nodes);
   if (!schedule.ok()) return schedule.status();
@@ -247,50 +254,88 @@ void MigrationManager::ScheduleNextChunk(size_t stream_index, SimTime at) {
 void MigrationManager::TransferChunk(size_t stream_index) {
   Stream& stream = streams_[stream_index];
   PSTORE_CHECK(stream.next_bucket < stream.buckets.size());
+  const int from_partition = stream.from_partition;
+  const int to_partition = stream.to_partition;
+  const int from_node = cluster_->NodeOfPartition(from_partition);
+  const int to_node = cluster_->NodeOfPartition(to_partition);
 
-  // Select the buckets this chunk covers. The actual handoff happens in
-  // the completion event below, so mid-transfer transactions keep
-  // executing at the source.
+  // Fault pre-checks: a crashed endpoint or a dead link means the chunk
+  // cannot even start; back off and retry.
+  double fault_multiplier = 1.0;
+  if (fault_hook_ != nullptr) {
+    fault_multiplier = fault_hook_->ChunkRateMultiplier(from_node, to_node);
+  }
+  if (!cluster_->IsNodeUp(from_node) || !cluster_->IsNodeUp(to_node) ||
+      fault_multiplier <= 0.0) {
+    RetryChunk(stream_index,
+               Status::Unavailable("chunk endpoint down (nodes " +
+                                   std::to_string(from_node) + " -> " +
+                                   std::to_string(to_node) + ")"));
+    return;
+  }
+
+  // Plan the chunk on locals: the stream cursor commits only in the
+  // successful completion event below, so a chunk that fails in flight
+  // is simply replanned from the same position. The actual handoff also
+  // happens at completion, so mid-transfer transactions keep executing
+  // at the source.
   int64_t chunk = 0;
   std::vector<BucketId> handoff;
-  while (chunk < options_.chunk_bytes &&
-         stream.next_bucket < stream.buckets.size()) {
-    const int64_t take = std::min(options_.chunk_bytes - chunk,
-                                  stream.bytes_left_in_bucket);
+  size_t next_bucket = stream.next_bucket;
+  int64_t bytes_left = stream.bytes_left_in_bucket;
+  while (chunk < options_.chunk_bytes && next_bucket < stream.buckets.size()) {
+    const int64_t take = std::min(options_.chunk_bytes - chunk, bytes_left);
     chunk += take;
-    stream.bytes_left_in_bucket -= take;
-    if (stream.bytes_left_in_bucket == 0) {
-      handoff.push_back(stream.buckets[stream.next_bucket]);
-      ++stream.next_bucket;
-      if (stream.next_bucket < stream.buckets.size()) {
-        stream.bytes_left_in_bucket = std::max<int64_t>(
-            1, cluster_->partition(stream.from_partition)
-                   .BucketBytes(stream.buckets[stream.next_bucket]));
+    bytes_left -= take;
+    if (bytes_left == 0) {
+      handoff.push_back(stream.buckets[next_bucket]);
+      ++next_bucket;
+      if (next_bucket < stream.buckets.size()) {
+        bytes_left = std::max<int64_t>(
+            1, cluster_->partition(from_partition)
+                   .BucketBytes(stream.buckets[next_bucket]));
       }
     }
   }
-  const bool stream_done = stream.next_bucket >= stream.buckets.size();
-  const int from_partition = stream.from_partition;
-  const int to_partition = stream.to_partition;
+  const bool stream_done = next_bucket >= stream.buckets.size();
 
-  // The transfer occupies the wire for chunk/net_rate. When it lands,
-  // the extraction/loading work blocks each endpoint partition for
+  // The transfer occupies the wire for chunk/net_rate (stretched by an
+  // active straggler or network-degradation fault). When it lands, the
+  // extraction/loading work blocks each endpoint partition for
   // chunk/extract_rate of service time, competing with transactions —
   // the per-chunk latency bump of Fig. 8. The block is charged at
   // completion time (not reserved in advance), so transactions arriving
   // during the wire transfer are not queued behind it.
   const double transfer_seconds =
       static_cast<double>(chunk) /
-      (options_.net_rate_bytes_per_sec * rate_multiplier_);
+      (options_.net_rate_bytes_per_sec * rate_multiplier_ * fault_multiplier);
   const SimTime completion = loop_->now() + FromSeconds(transfer_seconds);
   const SimTime block = FromSeconds(static_cast<double>(chunk) /
                                     options_.extract_rate_bytes_per_sec);
   const uint64_t epoch = epoch_;
   loop_->ScheduleAt(
       completion, [this, epoch, stream_index, chunk, block, from_partition,
-                   to_partition, stream_done,
-                   handoff = std::move(handoff)] {
+                   to_partition, from_node, to_node, stream_done, next_bucket,
+                   bytes_left, handoff = std::move(handoff)] {
         if (epoch != epoch_) return;
+        // Completion checks: an endpoint crashed mid-transfer, or the
+        // fault schedule aborts this transfer. Nothing was committed,
+        // so the retry replans the identical chunk.
+        if (!cluster_->IsNodeUp(from_node) || !cluster_->IsNodeUp(to_node)) {
+          RetryChunk(stream_index,
+                     Status::Unavailable("chunk endpoint crashed in flight"));
+          return;
+        }
+        if (fault_hook_ != nullptr &&
+            fault_hook_->TakeChunkAbort(from_node, to_node)) {
+          ++chunks_aborted_;
+          RetryChunk(stream_index, Status::Aborted("injected chunk abort"));
+          return;
+        }
+        Stream& done_stream = streams_[stream_index];
+        done_stream.next_bucket = next_bucket;
+        done_stream.bytes_left_in_bucket = bytes_left;
+        done_stream.attempts = 0;
         for (const BucketId bucket : handoff) {
           cluster_->MoveBucket(bucket, to_partition);
         }
@@ -306,6 +351,47 @@ void MigrationManager::TransferChunk(size_t stream_index) {
             options_.chunk_spacing_seconds / rate_multiplier_;
         ScheduleNextChunk(stream_index, loop_->now() + FromSeconds(spacing));
       });
+}
+
+void MigrationManager::RetryChunk(size_t stream_index, const Status& cause) {
+  Stream& stream = streams_[stream_index];
+  if (stream.attempts >= options_.max_chunk_retries) {
+    AbortReconfiguration(Status::Aborted(
+        "chunk retry budget (" + std::to_string(options_.max_chunk_retries) +
+        ") exhausted: " + cause.ToString()));
+    return;
+  }
+  // Exponential backoff derived from the attempt count, so no extra
+  // per-stream state needs resetting on success.
+  const double backoff = std::min(
+      options_.max_backoff_seconds,
+      options_.retry_backoff_seconds *
+          std::pow(options_.retry_backoff_multiplier, stream.attempts));
+  ++stream.attempts;
+  ++chunk_retries_;
+  ScheduleNextChunk(stream_index, loop_->now() + FromSeconds(backoff));
+}
+
+void MigrationManager::AbortReconfiguration(const Status& cause) {
+  PSTORE_CHECK(in_progress_);
+  in_progress_ = false;
+  ++reconfigurations_failed_;
+  last_failure_ = cause;
+  // Bumping the epoch cancels every pending chunk event of the other
+  // streams. The cluster is left in a consistent intermediate state:
+  // bucket routing always matches where the data actually is, and any
+  // machines brought up mid-move stay up (the controller owns the
+  // decision to re-plan from here).
+  ++epoch_;
+  streams_.clear();
+  if (metrics_ != nullptr) {
+    metrics_->RecordMigrationActive(loop_->now(), false);
+  }
+  if (done_) {
+    DoneCallback done = std::move(done_);
+    done_ = nullptr;
+    done(cause);
+  }
 }
 
 void MigrationManager::FinishRound() {
@@ -335,7 +421,7 @@ void MigrationManager::FinishReconfiguration() {
   if (done_) {
     DoneCallback done = std::move(done_);
     done_ = nullptr;
-    done();
+    done(Status::OK());
   }
 }
 

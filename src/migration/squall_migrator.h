@@ -31,6 +31,31 @@ struct MigrationOptions {
   // fixed spacing amortizes) but block partitions longer per chunk,
   // spiking tail latency — the Fig. 8 tradeoff.
   int64_t chunk_bytes = 1000 * 1000;
+  // Failure recovery: a chunk that cannot start (endpoint down, link
+  // dead) or fails in flight is retried with exponential backoff. Once a
+  // single stream exhausts its retry budget the whole reconfiguration
+  // aborts with kAborted, leaving routing consistent with the data moved
+  // so far.
+  int max_chunk_retries = 8;
+  double retry_backoff_seconds = 0.5;
+  double retry_backoff_multiplier = 2.0;
+  double max_backoff_seconds = 30.0;
+};
+
+// Injection seam for fault drills: the migrator consults the hook
+// before starting and after landing each chunk. Implemented by
+// FaultInjector (src/fault/), keeping the dependency pointed
+// fault -> migration.
+class MigrationFaultHook {
+ public:
+  virtual ~MigrationFaultHook() = default;
+  // Multiplier applied to the wire rate for a chunk between the two
+  // nodes: 1.0 healthy, in (0,1) degraded or straggling, <= 0 link down
+  // (the chunk cannot start and is retried with backoff).
+  virtual double ChunkRateMultiplier(int from_node, int to_node) = 0;
+  // Returns true to fail the chunk that just finished its wire transfer
+  // (consumed: one pending abort fails one chunk).
+  virtual bool TakeChunkAbort(int from_node, int to_node) = 0;
 };
 
 // Sustained per-pair migration rate in bytes/s implied by the options:
@@ -51,7 +76,9 @@ double SingleThreadFullMigrationSeconds(int64_t db_bytes,
 // byte arrives, so transactions always find their data.
 class MigrationManager {
  public:
-  using DoneCallback = std::function<void()>;
+  // Runs when the reconfiguration ends: OK after the last bucket lands,
+  // kAborted when a stream exhausted its retry budget.
+  using DoneCallback = std::function<void(const Status&)>;
 
   MigrationManager(EventLoop* loop, Cluster* cluster,
                    MetricsCollector* metrics,
@@ -79,6 +106,17 @@ class MigrationManager {
   int64_t reconfigurations_completed() const {
     return reconfigurations_completed_;
   }
+  int64_t reconfigurations_failed() const { return reconfigurations_failed_; }
+  // Chunks that had to be rescheduled after a fault (backoff retries).
+  int64_t chunk_retries() const { return chunk_retries_; }
+  // Chunks failed by an injected transfer abort (a subset of retries).
+  int64_t chunks_aborted() const { return chunks_aborted_; }
+  // Status of the most recent failed reconfiguration (OK if none).
+  const Status& last_failure() const { return last_failure_; }
+
+  // Installs (or clears, with nullptr) the fault hook consulted around
+  // every chunk transfer.
+  void set_fault_hook(MigrationFaultHook* hook) { fault_hook_ = hook; }
 
   const MigrationOptions& options() const { return options_; }
 
@@ -90,11 +128,19 @@ class MigrationManager {
     std::vector<BucketId> buckets;  // buckets to move, in order
     size_t next_bucket = 0;
     int64_t bytes_left_in_bucket = 0;  // of buckets[next_bucket]
+    // Consecutive failed attempts for the current chunk; reset when a
+    // chunk lands. Backoff grows exponentially with this count.
+    int attempts = 0;
   };
 
+  Status ValidateTarget(int target_nodes, double rate_multiplier) const;
   void StartRound(size_t round_index);
   void ScheduleNextChunk(size_t stream_index, SimTime at);
   void TransferChunk(size_t stream_index);
+  // Reschedules the stream's current chunk after backoff, or aborts the
+  // reconfiguration when the retry budget is exhausted.
+  void RetryChunk(size_t stream_index, const Status& cause);
+  void AbortReconfiguration(const Status& cause);
   void FinishRound();
   void FinishReconfiguration();
   void SetMachines(int count);
@@ -131,6 +177,11 @@ class MigrationManager {
   int64_t moved_bytes_ = 0;
   int64_t total_bytes_moved_ = 0;
   int64_t reconfigurations_completed_ = 0;
+  int64_t reconfigurations_failed_ = 0;
+  int64_t chunk_retries_ = 0;
+  int64_t chunks_aborted_ = 0;
+  Status last_failure_ = Status::OK();
+  MigrationFaultHook* fault_hook_ = nullptr;
   uint64_t epoch_ = 0;  // guards stale chunk events after completion
 };
 

@@ -59,11 +59,23 @@ class CapacitySimulator::Run {
         eff_cap = options_.q_hat * nodes_;
         machines = nodes_;
       }
+      // Injected faults degrade whatever capacity the strategy thinks it
+      // has; overlapping windows compound by taking the minimum.
+      double fault_multiplier = 1.0;
+      for (const CapacityFault& fault : options_.faults) {
+        if (t >= fault.begin_fine_slot && t < fault.end_fine_slot) {
+          fault_multiplier = std::min(
+              fault_multiplier, std::max(0.0, fault.capacity_multiplier));
+        }
+      }
+      eff_cap *= fault_multiplier;
       result.machine_slots += machines;
       if (move_active_) ++result.move_slots;
+      if (fault_multiplier < 1.0) ++result.fault_slots;
       if (trace_[t] > eff_cap) {
         ++result.insufficient_slots;
         if (move_active_) ++result.insufficient_during_move_slots;
+        if (fault_multiplier < 1.0) ++result.insufficient_during_fault_slots;
       }
       result.effective_capacity.push_back(eff_cap);
       result.machines.push_back(machines);

@@ -16,6 +16,16 @@ namespace pstore {
 // (machine-slots, Eq. 1) and the time during which the offered load
 // exceeded the effective capacity of the cluster — including the reduced
 // capacity while data is in flight (Eq. 7).
+// One coarse fault window for the capacity simulator: while the window
+// is active the cluster's effective capacity is multiplied by
+// `capacity_multiplier` (e.g. a crashed node out of n healthy ones is
+// (n-1)/n). Overlapping windows compound by taking the minimum.
+struct CapacityFault {
+  size_t begin_fine_slot = 0;
+  size_t end_fine_slot = 0;  // exclusive
+  double capacity_multiplier = 1.0;
+};
+
 struct SimOptions {
   // Fine slots per planning slot (the paper plans at 5-minute granularity
   // over a 1-minute trace, so violations occur even under a perfect
@@ -51,6 +61,10 @@ struct SimOptions {
   // Fine slot at which evaluation starts (history before it is the
   // predictor's warmup window).
   size_t eval_begin = 0;
+  // Injected fault windows (see CapacityFault). Strategies do not see
+  // them when planning; violations are measured against the degraded
+  // capacity, so faults show up as fault-attributed insufficiency.
+  std::vector<CapacityFault> faults;
 };
 
 // Reactive-baseline knobs (same semantics as ReactiveController: the
@@ -88,6 +102,11 @@ struct SimResult {
   // effect for the effective-capacity ablation).
   int64_t insufficient_during_move_slots = 0;
   int64_t move_slots = 0;
+  // Fine slots with an injected fault active, and the subset of
+  // insufficient slots that had one (fault-attributed violations, kept
+  // separate from the migration attribution above).
+  int64_t fault_slots = 0;
+  int64_t insufficient_during_fault_slots = 0;
   int reconfigurations = 0;
   // Per evaluated fine slot (for Fig. 13-style plots).
   std::vector<double> effective_capacity;

@@ -161,6 +161,47 @@ TEST(CapacitySimTest, SweepingQTradesCostForCapacity) {
   }
 }
 
+TEST(CapacitySimTest, FaultWindowsDegradeEffectiveCapacity) {
+  const TimeSeries trace = TestTrace(9);
+  SimOptions options = TestOptions(7);
+  const StatusOr<SimResult> clean = CapacitySimulator(options).RunStatic(
+      trace, 10);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_LT(clean->insufficient_fraction, 0.001);
+  EXPECT_EQ(clean->fault_slots, 0);
+  EXPECT_EQ(clean->insufficient_during_fault_slots, 0);
+
+  // Capacity cut to 40% for the whole first evaluated day: 10 * 350 *
+  // 0.4 = 1400 txn/s against ~1750 txn/s peaks must go insufficient.
+  CapacityFault fault;
+  fault.begin_fine_slot = options.eval_begin;
+  fault.end_fine_slot = options.eval_begin + 1440;
+  fault.capacity_multiplier = 0.4;
+  options.faults.push_back(fault);
+  const StatusOr<SimResult> faulted = CapacitySimulator(options).RunStatic(
+      trace, 10);
+  ASSERT_TRUE(faulted.ok());
+  EXPECT_EQ(faulted->fault_slots, 1440);
+  EXPECT_GT(faulted->insufficient_during_fault_slots, 0);
+  EXPECT_GT(faulted->insufficient_slots, clean->insufficient_slots);
+  // All the extra insufficiency is inside the fault window, and the
+  // non-fault remainder of the run is unchanged.
+  EXPECT_EQ(faulted->insufficient_slots - faulted->insufficient_during_fault_slots,
+            clean->insufficient_slots);
+  EXPECT_EQ(faulted->machine_slots, clean->machine_slots);
+
+  // Overlapping windows compound by taking the minimum multiplier, so
+  // stacking a milder fault on top changes nothing.
+  CapacityFault milder = fault;
+  milder.capacity_multiplier = 0.9;
+  options.faults.push_back(milder);
+  const StatusOr<SimResult> stacked = CapacitySimulator(options).RunStatic(
+      trace, 10);
+  ASSERT_TRUE(stacked.ok());
+  EXPECT_EQ(stacked->insufficient_slots, faulted->insufficient_slots);
+  EXPECT_EQ(stacked->fault_slots, faulted->fault_slots);
+}
+
 TEST(CapacitySimTest, EffectiveCapacitySeriesCoversEvalWindow) {
   const TimeSeries trace = TestTrace(9);
   const SimOptions options = TestOptions(7);

@@ -1,0 +1,541 @@
+#include "fault/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "b2w/procedures.h"
+#include "b2w/schema.h"
+#include "b2w/workload.h"
+#include "common/logging.h"
+#include "controller/predictive_controller.h"
+#include "engine/cluster.h"
+#include "engine/event_loop.h"
+#include "engine/metrics.h"
+#include "engine/txn_executor.h"
+#include "engine/workload_driver.h"
+#include "fault/fault_schedule.h"
+#include "prediction/naive_models.h"
+#include "prediction/online_predictor.h"
+
+namespace pstore {
+namespace {
+
+ClusterOptions TestCluster(int initial_nodes, int max_nodes = 16) {
+  ClusterOptions options;
+  options.partitions_per_node = 2;
+  options.max_nodes = max_nodes;
+  options.initial_nodes = initial_nodes;
+  options.num_buckets = 512;
+  return options;
+}
+
+MigrationOptions FastMigration() {
+  MigrationOptions options;
+  options.net_rate_bytes_per_sec = 10e6;
+  options.chunk_spacing_seconds = 0.01;
+  options.extract_rate_bytes_per_sec = 200e6;
+  options.chunk_bytes = 256 * 1024;
+  return options;
+}
+
+void LoadData(Cluster* cluster, uint64_t rows, uint32_t row_bytes) {
+  Row row;
+  row.payload_bytes = row_bytes;
+  for (uint64_t key = 0; key < rows; ++key) {
+    const BucketId bucket = cluster->BucketForKey(key);
+    row.f0 = static_cast<int64_t>(key);
+    cluster->partition(cluster->PartitionOfBucket(bucket))
+        .Put(bucket, 0, key, row);
+  }
+}
+
+FaultEvent MakeEvent(double at_seconds, FaultKind kind, int node = -1,
+                     double multiplier = 1.0) {
+  FaultEvent event;
+  event.at = FromSeconds(at_seconds);
+  event.kind = kind;
+  event.node = node;
+  event.multiplier = multiplier;
+  return event;
+}
+
+// ---- FaultSchedule ---------------------------------------------------------
+
+TEST(FaultScheduleTest, ScriptedSortsByTime) {
+  const FaultSchedule schedule = FaultSchedule::Scripted({
+      MakeEvent(5.0, FaultKind::kNodeRecover, 1),
+      MakeEvent(1.0, FaultKind::kNodeCrash, 1),
+      MakeEvent(3.0, FaultKind::kChunkAbort),
+  });
+  ASSERT_EQ(schedule.events().size(), 3u);
+  EXPECT_EQ(schedule.events()[0].kind, FaultKind::kNodeCrash);
+  EXPECT_EQ(schedule.events()[1].kind, FaultKind::kChunkAbort);
+  EXPECT_EQ(schedule.events()[2].kind, FaultKind::kNodeRecover);
+}
+
+TEST(FaultScheduleTest, SeededRandomIsReproducible) {
+  FaultScheduleOptions options;
+  options.seed = 12345;
+  options.horizon_seconds = 7200.0;
+  options.max_node = 7;
+  options.crash_rate_per_hour = 4.0;
+  options.chunk_abort_rate_per_hour = 10.0;
+  options.straggler_rate_per_hour = 6.0;
+  options.degrade_rate_per_hour = 2.0;
+
+  const FaultSchedule a = FaultSchedule::SeededRandom(options);
+  const FaultSchedule b = FaultSchedule::SeededRandom(options);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].at, b.events()[i].at) << "event " << i;
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind) << "event " << i;
+    EXPECT_EQ(a.events()[i].node, b.events()[i].node) << "event " << i;
+    EXPECT_EQ(a.events()[i].multiplier, b.events()[i].multiplier)
+        << "event " << i;
+  }
+
+  options.seed = 54321;
+  const FaultSchedule c = FaultSchedule::SeededRandom(options);
+  bool differs = c.events().size() != a.events().size();
+  for (size_t i = 0; !differs && i < a.events().size(); ++i) {
+    differs = a.events()[i].at != c.events()[i].at ||
+              a.events()[i].kind != c.events()[i].kind;
+  }
+  EXPECT_TRUE(differs) << "different seeds produced identical streams";
+}
+
+TEST(FaultScheduleTest, SeededRandomPairsWindowedFaults) {
+  FaultScheduleOptions options;
+  options.seed = 99;
+  options.horizon_seconds = 36000.0;
+  options.max_node = 3;
+  options.crash_rate_per_hour = 3.0;
+  options.straggler_rate_per_hour = 3.0;
+  options.degrade_rate_per_hour = 1.0;
+  const FaultSchedule schedule = FaultSchedule::SeededRandom(options);
+
+  int64_t counts[7] = {};
+  for (const FaultEvent& event : schedule.events()) {
+    ++counts[static_cast<int>(event.kind)];
+    EXPECT_GE(event.at, 0);
+    if (event.kind == FaultKind::kNodeCrash ||
+        event.kind == FaultKind::kStragglerStart) {
+      EXPECT_GE(event.node, 0);
+      EXPECT_LE(event.node, options.max_node);
+    }
+  }
+  EXPECT_GT(counts[static_cast<int>(FaultKind::kNodeCrash)], 0);
+  EXPECT_EQ(counts[static_cast<int>(FaultKind::kNodeCrash)],
+            counts[static_cast<int>(FaultKind::kNodeRecover)]);
+  EXPECT_EQ(counts[static_cast<int>(FaultKind::kStragglerStart)],
+            counts[static_cast<int>(FaultKind::kStragglerEnd)]);
+  EXPECT_EQ(counts[static_cast<int>(FaultKind::kNetworkDegrade)],
+            counts[static_cast<int>(FaultKind::kNetworkRestore)]);
+}
+
+TEST(FaultScheduleTest, ToCapacityFaultsBuildsWindows) {
+  // One crash (60 s..120 s), one straggler at 0.25 (30 s..90 s); network
+  // degradation has no serving-capacity footprint and must be dropped.
+  const FaultSchedule schedule = FaultSchedule::Scripted({
+      MakeEvent(60.0, FaultKind::kNodeCrash, 2),
+      MakeEvent(120.0, FaultKind::kNodeRecover, 2),
+      MakeEvent(30.0, FaultKind::kStragglerStart, 1, 0.25),
+      MakeEvent(90.0, FaultKind::kStragglerEnd, 1),
+      MakeEvent(10.0, FaultKind::kNetworkDegrade, -1, 0.5),
+      MakeEvent(200.0, FaultKind::kNetworkRestore, -1),
+  });
+  const std::vector<CapacityFault> faults =
+      ToCapacityFaults(schedule, 30.0, 4);
+  ASSERT_EQ(faults.size(), 2u);
+  // Sorted by event time: straggler first.
+  EXPECT_EQ(faults[0].begin_fine_slot, 1u);  // 30 s / 30 s slots
+  EXPECT_EQ(faults[0].end_fine_slot, 3u);
+  EXPECT_NEAR(faults[0].capacity_multiplier, (4 - 1 + 0.25) / 4.0, 1e-12);
+  EXPECT_EQ(faults[1].begin_fine_slot, 2u);
+  EXPECT_EQ(faults[1].end_fine_slot, 4u);
+  EXPECT_NEAR(faults[1].capacity_multiplier, 3.0 / 4.0, 1e-12);
+}
+
+// ---- FaultInjector ---------------------------------------------------------
+
+TEST(FaultInjectorTest, CrashTogglesNodeHealthAndMetrics) {
+  Cluster cluster(TestCluster(2, 4));
+  EventLoop loop;
+  MetricsCollector metrics(1.0);
+  FaultInjector injector(&loop, &cluster, &metrics,
+                         FaultSchedule::Scripted({
+                             MakeEvent(1.0, FaultKind::kNodeCrash, 1),
+                             MakeEvent(3.0, FaultKind::kNodeRecover, 1),
+                         }));
+  injector.Arm();
+
+  EXPECT_TRUE(cluster.IsNodeUp(1));
+  loop.RunUntil(FromSeconds(2.0));
+  EXPECT_FALSE(cluster.IsNodeUp(1));
+  loop.RunUntil(FromSeconds(4.0));
+  EXPECT_TRUE(cluster.IsNodeUp(1));
+  EXPECT_EQ(injector.stats().crashes, 1);
+  EXPECT_EQ(injector.stats().recoveries, 1);
+
+  // The fault window must be visible in the finalized window stats.
+  const std::vector<WindowStats> windows = metrics.Finalize(FromSeconds(5.0));
+  ASSERT_EQ(windows.size(), 5u);
+  EXPECT_FALSE(windows[0].fault);
+  EXPECT_TRUE(windows[1].fault);
+  EXPECT_TRUE(windows[2].fault);
+  EXPECT_TRUE(windows[3].fault);  // recovery toggles inside this window
+  EXPECT_FALSE(windows[4].fault);
+}
+
+TEST(FaultInjectorTest, StragglerAndDegradeSlowChunkRate) {
+  Cluster cluster(TestCluster(2, 4));
+  EventLoop loop;
+  FaultInjector injector(&loop, &cluster, nullptr,
+                         FaultSchedule::Scripted({
+                             MakeEvent(1.0, FaultKind::kStragglerStart, 0, 0.25),
+                             MakeEvent(2.0, FaultKind::kNetworkDegrade, -1, 0.5),
+                             MakeEvent(3.0, FaultKind::kStragglerEnd, 0),
+                             MakeEvent(4.0, FaultKind::kNetworkRestore, -1),
+                         }));
+  injector.Arm();
+
+  EXPECT_EQ(injector.ChunkRateMultiplier(0, 1), 1.0);
+  loop.RunUntil(FromSeconds(1.5));
+  EXPECT_DOUBLE_EQ(injector.ChunkRateMultiplier(0, 1), 0.25);
+  EXPECT_DOUBLE_EQ(injector.ChunkRateMultiplier(1, 2), 1.0);  // other pair
+  loop.RunUntil(FromSeconds(2.5));
+  EXPECT_DOUBLE_EQ(injector.ChunkRateMultiplier(0, 1), 0.25 * 0.5);
+  EXPECT_DOUBLE_EQ(injector.ChunkRateMultiplier(1, 2), 0.5);
+  loop.RunUntil(FromSeconds(5.0));
+  EXPECT_EQ(injector.ChunkRateMultiplier(0, 1), 1.0);
+  EXPECT_EQ(injector.stats().stragglers, 1);
+  EXPECT_EQ(injector.stats().degradations, 1);
+}
+
+TEST(FaultInjectorTest, ChunkAbortIsConsumedOnce) {
+  Cluster cluster(TestCluster(2, 4));
+  EventLoop loop;
+  FaultInjector injector(&loop, &cluster, nullptr,
+                         FaultSchedule::Scripted({
+                             MakeEvent(1.0, FaultKind::kChunkAbort),
+                         }));
+  injector.Arm();
+  EXPECT_FALSE(injector.TakeChunkAbort(0, 1));
+  loop.RunUntil(FromSeconds(2.0));
+  EXPECT_TRUE(injector.TakeChunkAbort(0, 1));
+  EXPECT_FALSE(injector.TakeChunkAbort(0, 1));  // consumed
+  EXPECT_EQ(injector.stats().chunk_aborts_armed, 1);
+  EXPECT_EQ(injector.stats().chunk_aborts_consumed, 1);
+}
+
+// ---- Migration-level recovery ----------------------------------------------
+
+// Acceptance scenario (a): a node crashes mid-migration and recovers.
+// The in-flight chunks retry with backoff and the move still completes,
+// with a duration inflated by the outage but bounded.
+TEST(FaultRecoveryTest, CrashMidMigrationRetriesAndCompletes) {
+  auto run = [](bool with_fault) {
+    Cluster cluster(TestCluster(2));
+    const uint64_t kRows = 3000;
+    LoadData(&cluster, kRows, 2048);
+    EventLoop loop;
+    MigrationManager manager(&loop, &cluster, nullptr, FastMigration());
+    std::unique_ptr<FaultInjector> injector;
+    if (with_fault) {
+      // Node 2 is a scale-out target: crash it shortly into the move,
+      // bring it back 0.4 s later.
+      injector = std::make_unique<FaultInjector>(
+          &loop, &cluster, nullptr,
+          FaultSchedule::Scripted({
+              MakeEvent(0.05, FaultKind::kNodeCrash, 2),
+              MakeEvent(0.45, FaultKind::kNodeRecover, 2),
+          }));
+      manager.set_fault_hook(injector.get());
+      injector->Arm();
+    }
+    Status done = Status::Internal("never finished");
+    SimTime finished_at = -1;
+    PSTORE_CHECK_OK(manager.StartReconfiguration(4, 1.0, [&](const Status& s) {
+      done = s;
+      finished_at = loop.now();
+    }));
+    loop.RunToCompletion();
+    PSTORE_CHECK(done.ok());
+    PSTORE_CHECK(cluster.TotalRowCount() == static_cast<int64_t>(kRows));
+    return std::make_tuple(finished_at, manager.chunk_retries());
+  };
+
+  const auto [clean_duration, clean_retries] = run(false);
+  const auto [faulted_duration, faulted_retries] = run(true);
+  EXPECT_EQ(clean_retries, 0);
+  EXPECT_GT(faulted_retries, 0) << "crash did not intersect the migration";
+  EXPECT_GT(faulted_duration, clean_duration);
+  // Bounded: the outage (0.4 s) plus a couple of backoff steps, not a
+  // runaway stall.
+  EXPECT_LT(faulted_duration, clean_duration + FromSeconds(5.0));
+}
+
+// Acceptance scenario (b), migrator half: a crash that outlives the
+// retry budget aborts the reconfiguration with kAborted and leaves the
+// cluster routing every surviving row.
+TEST(FaultRecoveryTest, RetryBudgetExhaustionAbortsMove) {
+  Cluster cluster(TestCluster(2));
+  const uint64_t kRows = 3000;
+  LoadData(&cluster, kRows, 2048);
+  EventLoop loop;
+  MigrationOptions options = FastMigration();
+  options.max_chunk_retries = 2;
+  options.retry_backoff_seconds = 0.05;
+  MigrationManager manager(&loop, &cluster, nullptr, options);
+  FaultInjector injector(&loop, &cluster, nullptr,
+                         FaultSchedule::Scripted({
+                             MakeEvent(0.05, FaultKind::kNodeCrash, 2),
+                             // never recovers
+                         }));
+  manager.set_fault_hook(&injector);
+  injector.Arm();
+
+  Status done = Status::OK();
+  bool called = false;
+  PSTORE_CHECK_OK(manager.StartReconfiguration(4, 1.0, [&](const Status& s) {
+    done = s;
+    called = true;
+  }));
+  loop.RunToCompletion();
+
+  ASSERT_TRUE(called);
+  EXPECT_EQ(done.code(), StatusCode::kAborted) << done.ToString();
+  EXPECT_FALSE(manager.InProgress());
+  EXPECT_EQ(manager.reconfigurations_failed(), 1);
+  EXPECT_EQ(manager.reconfigurations_completed(), 0);
+  EXPECT_EQ(manager.last_failure().code(), StatusCode::kAborted);
+  EXPECT_GT(manager.chunk_retries(), 0);
+
+  // Chunks commit atomically, so no row was lost or duplicated and
+  // routing stays internally consistent.
+  EXPECT_EQ(cluster.TotalRowCount(), static_cast<int64_t>(kRows));
+  for (uint64_t key = 0; key < kRows; key += 13) {
+    const BucketId bucket = cluster.BucketForKey(key);
+    const Row* row = cluster.partition(cluster.PartitionOfBucket(bucket))
+                         .Get(bucket, 0, key);
+    ASSERT_NE(row, nullptr) << "key " << key;
+  }
+
+  // The abort leaves the cluster at the expanded machine count with
+  // whatever buckets already landed on the new nodes; once the node is
+  // back, a follow-up reconfiguration (here: scaling to 3) succeeds.
+  cluster.MarkNodeUp(2);
+  Status second = Status::Internal("never finished");
+  PSTORE_CHECK_OK(manager.StartReconfiguration(
+      3, 1.0, [&](const Status& s) { second = s; }));
+  loop.RunToCompletion();
+  EXPECT_TRUE(second.ok()) << second.ToString();
+  EXPECT_EQ(cluster.TotalRowCount(), static_cast<int64_t>(kRows));
+}
+
+// ---- Controller-level recovery ---------------------------------------------
+
+// Small B2W harness matching controller_test.cc.
+struct Harness {
+  explicit Harness(TimeSeries trace_txn_per_s, int initial_nodes)
+      : trace(std::move(trace_txn_per_s)),
+        cluster(MakeClusterOptions(initial_nodes)),
+        metrics(1.0),
+        executor(&cluster, &metrics, ExecutorOptions{}),
+        migration(&loop, &cluster, &metrics, MakeMigrationOptions()),
+        workload(MakeWorkloadOptions()) {
+    PSTORE_CHECK_OK(b2w::RegisterProcedures(&executor));
+    PSTORE_CHECK_OK(workload.LoadInitialData(&cluster));
+    DriverOptions driver_options;
+    driver_options.slot_sim_seconds = 6.0;
+    driver_options.rate_factor = 1.0;
+    driver_options.seed = 21;
+    driver = std::make_unique<WorkloadDriver>(
+        &loop, &executor, trace,
+        [this](Rng& rng) { return workload.NextTransaction(rng); },
+        driver_options);
+    metrics.RecordMachines(0, cluster.active_nodes());
+  }
+
+  static ClusterOptions MakeClusterOptions(int initial_nodes) {
+    ClusterOptions options;
+    options.partitions_per_node = 6;
+    options.max_nodes = 10;
+    options.initial_nodes = initial_nodes;
+    options.num_buckets = 1200;
+    return options;
+  }
+  static MigrationOptions MakeMigrationOptions() {
+    MigrationOptions options;
+    options.net_rate_bytes_per_sec = 200e3;
+    options.chunk_spacing_seconds = 0.5;
+    options.chunk_bytes = 256 * 1024;
+    options.extract_rate_bytes_per_sec = 20e6;
+    // Keep recovery prompt at test scale.
+    options.max_chunk_retries = 3;
+    options.retry_backoff_seconds = 0.5;
+    options.max_backoff_seconds = 4.0;
+    return options;
+  }
+  static b2w::WorkloadOptions MakeWorkloadOptions() {
+    b2w::WorkloadOptions options;
+    options.cart_pool = 20000;
+    options.checkout_pool = 8000;
+    return options;
+  }
+
+  PredictiveControllerOptions MakePredictiveOptions() const {
+    PredictiveControllerOptions options;
+    options.slot_sim_seconds = 6.0;
+    options.plan_slot_factor = 5;
+    options.horizon_plan_slots = 20;
+    options.planner_params.target_rate_per_node = 285.0;
+    options.planner_params.max_rate_per_node = 350.0;
+    options.planner_params.partitions_per_node = 6;
+    options.planner_params.d_slots =
+        SingleThreadFullMigrationSeconds(cluster.TotalDataBytes(),
+                                         MakeMigrationOptions()) /
+        30.0;
+    return options;
+  }
+
+  std::unique_ptr<OnlinePredictor> MakeOracle(const TimeSeries& truth) {
+    OnlinePredictorOptions options;
+    options.inflation = 1.1;
+    options.refit_interval = 1u << 30;
+    options.training_window = 10;
+    auto online = std::make_unique<OnlinePredictor>(
+        std::make_unique<OraclePredictor>(truth), options);
+    PSTORE_CHECK_OK(online->Warmup(truth.Slice(0, 1)));
+    return online;
+  }
+
+  TimeSeries trace;
+  EventLoop loop;
+  Cluster cluster;
+  MetricsCollector metrics;
+  TxnExecutor executor;
+  MigrationManager migration;
+  b2w::Workload workload;
+  std::unique_ptr<WorkloadDriver> driver;
+};
+
+TimeSeries StepTrace(size_t slots, size_t step_at, double before,
+                     double after) {
+  TimeSeries trace(6.0);
+  for (size_t i = 0; i < slots; ++i) {
+    trace.Append(i < step_at ? before : after);
+  }
+  return trace;
+}
+
+// Acceptance scenario (b), controller half: the scale-out target node
+// crashes permanently, the move's retry budget runs out, and the
+// controller must see the failure and re-plan immediately (not wait for
+// operator intervention or a stuck in_progress flag).
+TEST(FaultRecoveryTest, ControllerReplansAfterPermanentMoveFailure) {
+  // Load steps 300 -> 800 txn/s at slot 120 (t = 720 s); the oracle
+  // controller starts the 2 -> 3 scale-out around t = 610 s. Node 2 (the
+  // scale-out target) goes down at t = 600 s and never comes back.
+  const TimeSeries trace = StepTrace(240, 120, 300.0, 800.0);
+  Harness harness(trace, 2);
+  FaultInjector injector(&harness.loop, &harness.cluster, &harness.metrics,
+                         FaultSchedule::Scripted({
+                             MakeEvent(600.0, FaultKind::kNodeCrash, 2),
+                         }));
+  harness.migration.set_fault_hook(&injector);
+  injector.Arm();
+
+  auto oracle = harness.MakeOracle(trace);
+  PredictiveController controller(&harness.loop, &harness.cluster,
+                                  &harness.executor, &harness.migration,
+                                  oracle.get(),
+                                  harness.MakePredictiveOptions());
+  controller.Start();
+
+  harness.driver->Start(240 * 6 * kSecond);
+  harness.loop.RunUntil(240 * 6 * kSecond);
+
+  EXPECT_GT(harness.migration.reconfigurations_failed(), 0)
+      << "the crash never made a move fail";
+  EXPECT_GE(controller.move_failures(), 1);
+  // Every failure triggers an immediate re-plan, within the same control
+  // cycle.
+  EXPECT_EQ(controller.replans_after_failure(), controller.move_failures());
+  // The crashed node was a scale-out *target*: no bucket ever landed on
+  // it (its chunks kept failing), so no transaction routed to it either.
+  EXPECT_EQ(harness.executor.unavailable_count(), 0);
+}
+
+// ---- End-to-end determinism ------------------------------------------------
+
+// Acceptance scenario (c): the same seed reproduces the identical fault
+// stream and, run against the identical engine setup, the identical
+// final window statistics.
+TEST(FaultDeterminismTest, SameSeedSameWindows) {
+  auto run = [](uint64_t seed) {
+    FaultScheduleOptions fault_options;
+    fault_options.seed = seed;
+    fault_options.horizon_seconds = 600.0;
+    fault_options.max_node = 3;
+    fault_options.crash_rate_per_hour = 18.0;
+    fault_options.mean_outage_seconds = 20.0;
+    fault_options.straggler_rate_per_hour = 12.0;
+    fault_options.chunk_abort_rate_per_hour = 30.0;
+    const FaultSchedule schedule = FaultSchedule::SeededRandom(fault_options);
+
+    Harness harness(StepTrace(100, 50, 300.0, 800.0), 2);
+    FaultInjector injector(&harness.loop, &harness.cluster, &harness.metrics,
+                           schedule);
+    harness.migration.set_fault_hook(&injector);
+    injector.Arm();
+    auto oracle = harness.MakeOracle(harness.trace);
+    PredictiveController controller(&harness.loop, &harness.cluster,
+                                    &harness.executor, &harness.migration,
+                                    oracle.get(),
+                                    harness.MakePredictiveOptions());
+    controller.Start();
+    harness.driver->Start(100 * 6 * kSecond);
+    harness.loop.RunUntil(100 * 6 * kSecond);
+
+    return std::make_tuple(schedule.events(),
+                           harness.metrics.Finalize(100 * 6 * kSecond),
+                           harness.executor.committed_count(),
+                           harness.executor.unavailable_count(),
+                           harness.migration.chunk_retries());
+  };
+
+  const auto [events_a, windows_a, committed_a, unavailable_a, retries_a] =
+      run(7);
+  const auto [events_b, windows_b, committed_b, unavailable_b, retries_b] =
+      run(7);
+
+  ASSERT_FALSE(events_a.empty());
+  ASSERT_EQ(events_a.size(), events_b.size());
+  for (size_t i = 0; i < events_a.size(); ++i) {
+    EXPECT_EQ(events_a[i].at, events_b[i].at);
+    EXPECT_EQ(events_a[i].kind, events_b[i].kind);
+    EXPECT_EQ(events_a[i].node, events_b[i].node);
+  }
+
+  EXPECT_EQ(committed_a, committed_b);
+  EXPECT_EQ(unavailable_a, unavailable_b);
+  EXPECT_EQ(retries_a, retries_b);
+  ASSERT_EQ(windows_a.size(), windows_b.size());
+  for (size_t i = 0; i < windows_a.size(); ++i) {
+    EXPECT_EQ(windows_a[i].submitted, windows_b[i].submitted) << "window " << i;
+    EXPECT_EQ(windows_a[i].completed, windows_b[i].completed) << "window " << i;
+    EXPECT_EQ(windows_a[i].unavailable, windows_b[i].unavailable)
+        << "window " << i;
+    EXPECT_EQ(windows_a[i].p99_ms, windows_b[i].p99_ms) << "window " << i;
+    EXPECT_EQ(windows_a[i].machines, windows_b[i].machines) << "window " << i;
+    EXPECT_EQ(windows_a[i].fault, windows_b[i].fault) << "window " << i;
+  }
+}
+
+}  // namespace
+}  // namespace pstore

@@ -38,6 +38,38 @@ TEST(WindowHistogramTest, SubMillisecondLatenciesLandInFirstBucket) {
   EXPECT_LE(h.ValueAtQuantile(1.0), 100);
 }
 
+TEST(WindowHistogramTest, QuantileEdgeCases) {
+  WindowHistogram empty;
+  EXPECT_EQ(empty.ValueAtQuantile(0.0), 0);
+  EXPECT_EQ(empty.ValueAtQuantile(1.0), 0);
+
+  WindowHistogram h;
+  h.Record(10 * kMillisecond);
+  h.Record(400 * kMillisecond);
+  // q = 0.0 still reports the smallest recorded sample's bucket (its
+  // upper edge, within the ~9% bucket resolution), not 0.
+  EXPECT_GT(h.ValueAtQuantile(0.0), 0);
+  EXPECT_LE(h.ValueAtQuantile(0.0), 11 * kMillisecond);
+  // q = 1.0 is capped at the true maximum, not the bucket's upper edge.
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 400 * kMillisecond);
+  // Out-of-range quantiles clamp instead of reading out of bounds.
+  EXPECT_EQ(h.ValueAtQuantile(-0.5), h.ValueAtQuantile(0.0));
+  EXPECT_EQ(h.ValueAtQuantile(2.0), h.ValueAtQuantile(1.0));
+}
+
+TEST(WindowHistogramTest, BeyondTopBucketStaysBoundedAndMonotone) {
+  WindowHistogram h;
+  // ~28 hours: far past the top bucket's edge. The sample lands in the
+  // last bucket; quantiles stay within [top-bucket range, observed max]
+  // instead of overflowing or crashing.
+  const SimTime huge = 100000 * kSecond;
+  h.Record(huge);
+  const SimTime p50 = h.ValueAtQuantile(0.5);
+  EXPECT_EQ(p50, h.ValueAtQuantile(1.0));
+  EXPECT_GT(p50, FromSeconds(5.0));
+  EXPECT_LE(p50, huge);
+}
+
 TEST(MetricsCollectorTest, ThroughputPerWindow) {
   MetricsCollector metrics(1.0);
   // Three txns complete in window 0, one in window 2.
@@ -112,6 +144,47 @@ TEST(MetricsCollectorTest, SlaViolationCounting) {
   EXPECT_EQ(violations.p50, 0);
   EXPECT_EQ(violations.p95, 0);
   EXPECT_EQ(violations.p99, 1);
+}
+
+TEST(MetricsCollectorTest, UnavailableTxnsCountedPerWindow) {
+  MetricsCollector metrics(1.0);
+  metrics.RecordTxn(0, 10 * kMillisecond);
+  metrics.RecordUnavailable(100 * kMillisecond);
+  metrics.RecordUnavailable(kSecond + 1);
+  const auto windows = metrics.Finalize(2 * kSecond);
+  ASSERT_EQ(windows.size(), 2u);
+  // Fast-failed txns count as submitted but never complete, so they
+  // leave the latency percentiles untouched.
+  EXPECT_EQ(windows[0].submitted, 2);
+  EXPECT_EQ(windows[0].completed, 1);
+  EXPECT_EQ(windows[0].unavailable, 1);
+  EXPECT_EQ(windows[1].unavailable, 1);
+  EXPECT_EQ(windows[1].completed, 0);
+}
+
+TEST(MetricsCollectorTest, AttributionSplitsByFaultAndMigration) {
+  MetricsCollector metrics(1.0);
+  // Four windows, all violating at p99: 0 baseline, 1 migrating,
+  // 2 fault-only, 3 fault AND migrating (fault wins).
+  for (SimTime w = 0; w < 4; ++w) {
+    for (int i = 0; i < 10; ++i) {
+      metrics.RecordTxn(w * kSecond, w * kSecond + 900 * kMillisecond);
+    }
+  }
+  metrics.RecordMigrationActive(kSecond, true);
+  metrics.RecordMigrationActive(2 * kSecond, false);
+  metrics.RecordMigrationActive(3 * kSecond, true);
+  metrics.RecordFaultActive(2 * kSecond, true);
+  const auto windows = metrics.Finalize(5 * kSecond);
+  const SlaAttribution attribution =
+      MetricsCollector::AttributeViolations(windows, 500.0);
+  EXPECT_EQ(attribution.total.p99, 4);
+  EXPECT_EQ(attribution.baseline.p99, 1);
+  EXPECT_EQ(attribution.during_migration.p99, 1);
+  EXPECT_EQ(attribution.during_fault.p99, 2);
+  EXPECT_EQ(attribution.during_fault.p99 + attribution.during_migration.p99 +
+                attribution.baseline.p99,
+            attribution.total.p99);
 }
 
 TEST(MetricsCollectorTest, EmptyWindowsDoNotViolate) {

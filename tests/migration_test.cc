@@ -103,7 +103,10 @@ TEST_P(MigrationRoundTrip, PreservesDataAndBalance) {
   MigrationManager manager(&loop, &cluster, &metrics, FastMigration());
   bool done = false;
   ASSERT_TRUE(
-      manager.StartReconfiguration(to_nodes, 1.0, [&] { done = true; }).ok());
+      manager
+          .StartReconfiguration(to_nodes, 1.0,
+                                [&](const Status& s) { done = s.ok(); })
+          .ok());
   loop.RunToCompletion();
   ASSERT_TRUE(done);
   EXPECT_FALSE(manager.InProgress());
@@ -159,10 +162,11 @@ TEST(MigrationManagerTest, DurationTracksModel) {
   EventLoop loop;
   MigrationManager manager(&loop, &cluster, nullptr, options);
   SimTime finished_at = -1;
-  ASSERT_TRUE(manager
-                  .StartReconfiguration(4, 1.0,
-                                        [&] { finished_at = loop.now(); })
-                  .ok());
+  ASSERT_TRUE(
+      manager
+          .StartReconfiguration(
+              4, 1.0, [&](const Status&) { finished_at = loop.now(); })
+          .ok());
   loop.RunToCompletion();
   ASSERT_GE(finished_at, 0);
 
@@ -200,7 +204,7 @@ TEST(MigrationManagerTest, HigherRateMultiplierIsFaster) {
     MigrationManager manager(&loop, &cluster, nullptr, FastMigration());
     SimTime finished_at = 0;
     PSTORE_CHECK_OK(manager.StartReconfiguration(
-        2, multiplier, [&] { finished_at = loop.now(); }));
+        2, multiplier, [&](const Status&) { finished_at = loop.now(); }));
     loop.RunToCompletion();
     return finished_at;
   };
@@ -238,7 +242,10 @@ TEST(MigrationManagerTest, RoutingStaysCorrectMidMigration) {
   MigrationManager manager(&loop, &cluster, nullptr, FastMigration());
   bool done = false;
   ASSERT_TRUE(
-      manager.StartReconfiguration(5, 1.0, [&] { done = true; }).ok());
+      manager
+          .StartReconfiguration(5, 1.0,
+                                [&](const Status& s) { done = s.ok(); })
+          .ok());
 
   Rng rng(4);
   int probes = 0;

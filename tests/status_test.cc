@@ -35,6 +35,31 @@ TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::Infeasible("x").code(), StatusCode::kInfeasible);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::Aborted("x").code(), StatusCode::kAborted);
+}
+
+TEST(StatusTest, TransientCodesRenderNames) {
+  EXPECT_EQ(Status::Unavailable("node 3 down").ToString(),
+            "Unavailable: node 3 down");
+  EXPECT_EQ(Status::Aborted("retry budget").ToString(),
+            "Aborted: retry budget");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = [] { return Status::Unavailable("down"); };
+  auto succeeds = [] { return Status::OK(); };
+  auto wrapper = [&](bool fail) -> Status {
+    RETURN_IF_ERROR(succeeds());
+    if (fail) {
+      RETURN_IF_ERROR(fails());
+    }
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper(false).ok());
+  const Status propagated = wrapper(true);
+  EXPECT_EQ(propagated.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(propagated.message(), "down");
 }
 
 TEST(StatusOrTest, HoldsValue) {

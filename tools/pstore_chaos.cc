@@ -1,0 +1,270 @@
+// pstore_chaos: chaos-drill driver for the live engine. Runs the B2W
+// workload from a synthetic step trace under a chosen controller while a
+// fault schedule (scripted crash and/or seeded-random fault streams)
+// plays against the cluster, then reports recovery behaviour: chunk
+// retries, failed reconfigurations, controller re-plans, unavailable
+// transactions, and SLA violations attributed to fault / migration /
+// baseline windows.
+//
+// Usage:
+//   pstore_chaos [--minutes=24] [--controller=pstore|reactive]
+//       [--nodes=2] [--base-rate=300] [--peak-rate=800] [--step-minute=12]
+//   Scripted drill (crash node mid-scale-out):
+//       pstore_chaos --crash-node=2 --crash-at=640 --recover-at=700
+//   Seeded-random drill (reproducible: same --seed, same stream):
+//       pstore_chaos --seed=7 --crash-rate=6 --straggler-rate=4
+//       [--degrade-rate=2] [--chunk-abort-rate=12]
+//       [--mean-outage=60] (seconds; also --mean-straggler, --mean-degrade)
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "b2w/procedures.h"
+#include "b2w/workload.h"
+#include "common/flags.h"
+#include "common/logging.h"
+#include "controller/predictive_controller.h"
+#include "controller/reactive_controller.h"
+#include "engine/workload_driver.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_schedule.h"
+#include "prediction/naive_models.h"
+
+using namespace pstore;
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+void PrintAttribution(const SlaAttribution& sla) {
+  std::printf("SLA violations (windows over 500 ms), by attribution:\n");
+  std::printf("  %-12s %8s %8s %8s\n", "", "p50", "p95", "p99");
+  const auto row = [](const char* name, const SlaViolations& v) {
+    std::printf("  %-12s %8lld %8lld %8lld\n", name,
+                static_cast<long long>(v.p50), static_cast<long long>(v.p95),
+                static_cast<long long>(v.p99));
+  };
+  row("fault", sla.during_fault);
+  row("migration", sla.during_migration);
+  row("baseline", sla.baseline);
+  row("total", sla.total);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  const Status parsed = flags.Parse(argc - 1, argv + 1);
+  if (!parsed.ok()) return Fail(parsed.ToString());
+
+  const StatusOr<int64_t> minutes = flags.GetInt("minutes", 24);
+  const StatusOr<int64_t> nodes = flags.GetInt("nodes", 2);
+  const StatusOr<double> base_rate = flags.GetDouble("base-rate", 300.0);
+  const StatusOr<double> peak_rate = flags.GetDouble("peak-rate", 800.0);
+  const StatusOr<int64_t> step_minute = flags.GetInt("step-minute", 12);
+  const StatusOr<int64_t> crash_node = flags.GetInt("crash-node", -1);
+  const StatusOr<double> crash_at = flags.GetDouble("crash-at", 640.0);
+  const StatusOr<double> recover_at = flags.GetDouble("recover-at", 700.0);
+  const StatusOr<int64_t> seed = flags.GetInt("seed", 0);
+  const StatusOr<double> crash_rate = flags.GetDouble("crash-rate", 0.0);
+  const StatusOr<double> straggler_rate =
+      flags.GetDouble("straggler-rate", 0.0);
+  const StatusOr<double> degrade_rate = flags.GetDouble("degrade-rate", 0.0);
+  const StatusOr<double> abort_rate = flags.GetDouble("chunk-abort-rate", 0.0);
+  const StatusOr<double> mean_outage = flags.GetDouble("mean-outage", 60.0);
+  const StatusOr<double> mean_straggler =
+      flags.GetDouble("mean-straggler", 45.0);
+  const StatusOr<double> mean_degrade = flags.GetDouble("mean-degrade", 90.0);
+  for (const Status& status :
+       {minutes.status(), nodes.status(), base_rate.status(),
+        peak_rate.status(), step_minute.status(), crash_node.status(),
+        crash_at.status(), recover_at.status(), seed.status(),
+        crash_rate.status(), straggler_rate.status(), degrade_rate.status(),
+        abort_rate.status(), mean_outage.status(), mean_straggler.status(),
+        mean_degrade.status()}) {
+    if (!status.ok()) return Fail(status.ToString());
+  }
+  if (*minutes < 1) return Fail("--minutes must be >= 1");
+  const double total_seconds = static_cast<double>(*minutes) * 60.0;
+
+  // Load trace: base rate stepping to the peak at --step-minute, on 6 s
+  // slots (the controller's monitoring granularity).
+  const double slot_seconds = 6.0;
+  const size_t slots =
+      static_cast<size_t>(total_seconds / slot_seconds + 0.5);
+  const size_t step_slot =
+      static_cast<size_t>(*step_minute * 60.0 / slot_seconds + 0.5);
+  TimeSeries trace(slot_seconds);
+  for (size_t i = 0; i < slots; ++i) {
+    trace.Append(i < step_slot ? *base_rate : *peak_rate);
+  }
+
+  // Engine: a 10-node-max cluster running B2W, same shape as the
+  // controller tests so drills are comparable with known-good behaviour.
+  ClusterOptions cluster_options;
+  cluster_options.partitions_per_node = 6;
+  cluster_options.max_nodes = 10;
+  cluster_options.initial_nodes = static_cast<int>(*nodes);
+  cluster_options.num_buckets = 1200;
+  if (*nodes < 1 || *nodes > cluster_options.max_nodes) {
+    return Fail("--nodes outside [1, 10]");
+  }
+  Cluster cluster(cluster_options);
+  MetricsCollector metrics(1.0);
+  TxnExecutor executor(&cluster, &metrics, ExecutorOptions{});
+  PSTORE_CHECK_OK(b2w::RegisterProcedures(&executor));
+  b2w::WorkloadOptions workload_options;
+  workload_options.cart_pool = 20000;
+  workload_options.checkout_pool = 8000;
+  b2w::Workload workload(workload_options);
+  PSTORE_CHECK_OK(workload.LoadInitialData(&cluster));
+
+  MigrationOptions migration_options;
+  migration_options.net_rate_bytes_per_sec = 200e3;
+  migration_options.chunk_spacing_seconds = 0.5;
+  migration_options.chunk_bytes = 256 * 1024;
+  migration_options.extract_rate_bytes_per_sec = 20e6;
+  EventLoop loop;
+  MigrationManager migration(&loop, &cluster, &metrics, migration_options);
+
+  DriverOptions driver_options;
+  driver_options.slot_sim_seconds = slot_seconds;
+  driver_options.rate_factor = 1.0;
+  driver_options.seed = 21;
+  WorkloadDriver driver(
+      &loop, &executor, trace,
+      [&workload](Rng& rng) { return workload.NextTransaction(rng); },
+      driver_options);
+  metrics.RecordMachines(0, cluster.active_nodes());
+
+  // Fault schedule: scripted crash window plus optional seeded-random
+  // streams, merged into one time-ordered schedule.
+  std::vector<FaultEvent> events;
+  if (*crash_node >= 0) {
+    if (*crash_node >= cluster_options.max_nodes) {
+      return Fail("--crash-node outside the cluster");
+    }
+    FaultEvent crash;
+    crash.at = FromSeconds(*crash_at);
+    crash.kind = FaultKind::kNodeCrash;
+    crash.node = static_cast<int>(*crash_node);
+    events.push_back(crash);
+    if (*recover_at > *crash_at) {
+      FaultEvent recover = crash;
+      recover.at = FromSeconds(*recover_at);
+      recover.kind = FaultKind::kNodeRecover;
+      events.push_back(recover);
+    }
+  }
+  if (*seed != 0) {
+    FaultScheduleOptions fault_options;
+    fault_options.seed = static_cast<uint64_t>(*seed);
+    fault_options.horizon_seconds = total_seconds;
+    fault_options.max_node = cluster_options.max_nodes - 1;
+    fault_options.crash_rate_per_hour = *crash_rate;
+    fault_options.mean_outage_seconds = *mean_outage;
+    fault_options.chunk_abort_rate_per_hour = *abort_rate;
+    fault_options.straggler_rate_per_hour = *straggler_rate;
+    fault_options.mean_straggler_seconds = *mean_straggler;
+    fault_options.degrade_rate_per_hour = *degrade_rate;
+    fault_options.mean_degrade_seconds = *mean_degrade;
+    const FaultSchedule random = FaultSchedule::SeededRandom(fault_options);
+    events.insert(events.end(), random.events().begin(),
+                  random.events().end());
+  }
+  FaultInjector injector(&loop, &cluster, &metrics,
+                         FaultSchedule::Scripted(std::move(events)));
+  migration.set_fault_hook(&injector);
+  injector.Arm();
+
+  // Controller under test.
+  const std::string controller_name = flags.GetString("controller", "pstore");
+  std::unique_ptr<OnlinePredictor> oracle;
+  std::unique_ptr<PredictiveController> pstore_controller;
+  std::unique_ptr<ReactiveController> reactive_controller;
+  if (controller_name == "pstore") {
+    OnlinePredictorOptions predictor_options;
+    predictor_options.inflation = 1.1;
+    predictor_options.refit_interval = 1u << 30;
+    predictor_options.training_window = 10;
+    oracle = std::make_unique<OnlinePredictor>(
+        std::make_unique<OraclePredictor>(trace), predictor_options);
+    PSTORE_CHECK_OK(oracle->Warmup(trace.Slice(0, 1)));
+    PredictiveControllerOptions options;
+    options.slot_sim_seconds = slot_seconds;
+    options.plan_slot_factor = 5;
+    options.horizon_plan_slots = 20;
+    options.planner_params.target_rate_per_node = 285.0;
+    options.planner_params.max_rate_per_node = 350.0;
+    options.planner_params.partitions_per_node = 6;
+    options.planner_params.d_slots = SingleThreadFullMigrationSeconds(
+        cluster.TotalDataBytes(), migration_options) / 30.0;
+    pstore_controller = std::make_unique<PredictiveController>(
+        &loop, &cluster, &executor, &migration, oracle.get(), options);
+    pstore_controller->Start();
+  } else if (controller_name == "reactive") {
+    ReactiveControllerOptions options;
+    options.slot_sim_seconds = slot_seconds;
+    options.planner_params.target_rate_per_node = 285.0;
+    options.planner_params.max_rate_per_node = 350.0;
+    options.planner_params.partitions_per_node = 6;
+    reactive_controller = std::make_unique<ReactiveController>(
+        &loop, &cluster, &executor, &migration, options);
+    reactive_controller->Start();
+  } else {
+    return Fail("unknown --controller (pstore|reactive): " + controller_name);
+  }
+
+  const SimTime end = FromSeconds(total_seconds);
+  driver.Start(end);
+  loop.RunUntil(end);
+
+  std::printf("Chaos drill: %s controller, %lld min, %zu fault events\n\n",
+              controller_name.c_str(), static_cast<long long>(*minutes),
+              injector.schedule().events().size());
+  std::printf("transactions:         %lld submitted, %lld committed, "
+              "%lld unavailable\n",
+              static_cast<long long>(executor.submitted_count()),
+              static_cast<long long>(executor.committed_count()),
+              static_cast<long long>(executor.unavailable_count()));
+  std::printf("reconfigurations:     %lld completed, %lld failed\n",
+              static_cast<long long>(migration.reconfigurations_completed()),
+              static_cast<long long>(migration.reconfigurations_failed()));
+  std::printf("chunk retries:        %lld (%lld from injected aborts)\n",
+              static_cast<long long>(migration.chunk_retries()),
+              static_cast<long long>(migration.chunks_aborted()));
+  const FaultInjector::Stats& stats = injector.stats();
+  std::printf("faults applied:       %lld crashes, %lld stragglers, "
+              "%lld degradations, %lld/%lld chunk aborts consumed\n",
+              static_cast<long long>(stats.crashes),
+              static_cast<long long>(stats.stragglers),
+              static_cast<long long>(stats.degradations),
+              static_cast<long long>(stats.chunk_aborts_consumed),
+              static_cast<long long>(stats.chunk_aborts_armed));
+  if (pstore_controller != nullptr) {
+    std::printf("controller:           %lld moves started, %lld failed, "
+                "%lld immediate re-plans\n",
+                static_cast<long long>(
+                    pstore_controller->reconfigurations_started()),
+                static_cast<long long>(pstore_controller->move_failures()),
+                static_cast<long long>(
+                    pstore_controller->replans_after_failure()));
+  } else {
+    std::printf("controller:           %lld scale-outs, %lld scale-ins, "
+                "%lld failed moves\n",
+                static_cast<long long>(reactive_controller->scale_outs()),
+                static_cast<long long>(reactive_controller->scale_ins()),
+                static_cast<long long>(reactive_controller->move_failures()));
+  }
+  std::printf("average machines:     %.2f\n\n", metrics.AverageMachines(end));
+
+  const std::vector<WindowStats> windows = metrics.Finalize(end);
+  PrintAttribution(MetricsCollector::AttributeViolations(windows));
+  return 0;
+}

@@ -10,11 +10,20 @@
 //   pstore_simulate --trace=trace.csv --strategy=static --nodes=10
 //   pstore_simulate --trace=trace.csv --strategy=simple --day-nodes=10
 //       --night-nodes=3
+//
+// Optional seeded-random fault injection (identical --seed reproduces
+// the identical fault stream): node crashes and stragglers degrade the
+// effective capacity while active, and violations occurring under a
+// fault are reported separately.
+//   pstore_simulate --trace=trace.csv --seed=7 --crash-rate=0.1
+//       [--mean-outage-minutes=30] [--straggler-rate=0.2]
+//       [--fault-nodes=10]
 
 #include <cstdio>
 #include <string>
 
 #include "common/flags.h"
+#include "fault/fault_schedule.h"
 #include "prediction/spar_model.h"
 #include "sim/capacity_simulator.h"
 #include "trace/trace_io.h"
@@ -35,6 +44,13 @@ void Report(const SimResult& result, double slot_seconds) {
               static_cast<long long>(result.insufficient_slots),
               100.0 * result.insufficient_fraction);
   std::printf("reconfigurations:     %d\n", result.reconfigurations);
+  if (result.fault_slots > 0) {
+    std::printf("fault slots:          %lld (%lld insufficient during "
+                "fault)\n",
+                static_cast<long long>(result.fault_slots),
+                static_cast<long long>(
+                    result.insufficient_during_fault_slots));
+  }
 }
 
 }  // namespace
@@ -76,6 +92,39 @@ int main(int argc, char** argv) {
   options.eval_begin = *train_days * slots_per_day;
   if (options.eval_begin + slots_per_day >= trace->size()) {
     return Fail("trace too short for --train-days plus one day");
+  }
+
+  // Seeded-random fault stream, mapped onto capacity windows.
+  const StatusOr<int64_t> seed = flags.GetInt("seed", 0);
+  const StatusOr<double> crash_rate = flags.GetDouble("crash-rate", 0.0);
+  const StatusOr<double> mean_outage =
+      flags.GetDouble("mean-outage-minutes", 30.0);
+  const StatusOr<double> straggler_rate =
+      flags.GetDouble("straggler-rate", 0.0);
+  const StatusOr<int64_t> fault_nodes = flags.GetInt("fault-nodes", 10);
+  for (const Status& status :
+       {seed.status(), crash_rate.status(), mean_outage.status(),
+        straggler_rate.status(), fault_nodes.status()}) {
+    if (!status.ok()) return Fail(status.ToString());
+  }
+  if (*seed != 0 && (*crash_rate > 0.0 || *straggler_rate > 0.0)) {
+    if (*fault_nodes < 1) return Fail("--fault-nodes must be >= 1");
+    FaultScheduleOptions fault_options;
+    fault_options.seed = static_cast<uint64_t>(*seed);
+    fault_options.horizon_seconds =
+        static_cast<double>(trace->size()) * slot_seconds;
+    fault_options.max_node = static_cast<int>(*fault_nodes) - 1;
+    fault_options.crash_rate_per_hour = *crash_rate;
+    fault_options.mean_outage_seconds = *mean_outage * 60.0;
+    fault_options.straggler_rate_per_hour = *straggler_rate;
+    const FaultSchedule schedule =
+        FaultSchedule::SeededRandom(fault_options);
+    options.faults = ToCapacityFaults(schedule, slot_seconds,
+                                      static_cast<int>(*fault_nodes));
+    std::printf("Fault stream: seed %lld, %zu events, %zu capacity "
+                "windows\n",
+                static_cast<long long>(*seed), schedule.events().size(),
+                options.faults.size());
   }
   const CapacitySimulator sim(options);
 
