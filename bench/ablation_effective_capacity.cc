@@ -34,14 +34,15 @@ Audit AuditPlan(const PlanResult& plan, const std::vector<double>& load,
   audit.cost = plan.total_cost;
   for (const Move& move : plan.moves) {
     if (move.IsReconfiguration() && audit.first_move_start < 0) {
-      audit.first_move_start = move.start_slot;
+      audit.first_move_start = move.start_slot.value();
     }
     const int duration = move.DurationSlots();
     for (int i = 1; i <= duration; ++i) {
       const double f = static_cast<double>(i) / duration;
       const double cap = EffectiveCapacity(move.nodes_before,
                                            move.nodes_after, f, true_params);
-      const double deficit = load[move.start_slot + i] - cap;
+      const double deficit =
+          load[static_cast<size_t>(move.start_slot.value() + i)] - cap;
       if (deficit > 1e-9) {
         ++audit.violated_slots;
         audit.worst_deficit = std::max(audit.worst_deficit, deficit);
@@ -100,7 +101,7 @@ int main() {
       PlannerParams plan_params = params;
       plan_params.assume_instant_capacity = naive;
       const DpPlanner planner(plan_params);
-      StatusOr<PlanResult> plan = planner.BestMoves(load, 3);
+      StatusOr<PlanResult> plan = planner.BestMoves(load, NodeCount(3));
       const char* name = naive ? "instant-capacity" : "effective-capacity";
       if (!plan.ok()) {
         std::printf("%10d %-20s %10s\n", ramp_slots, name, "infeasible");

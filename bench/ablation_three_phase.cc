@@ -56,12 +56,12 @@ int main() {
   for (const auto& move : moves) {
     const int b = move[0];
     const int a = move[1];
-    StatusOr<MigrationSchedule> schedule = BuildMigrationSchedule(b, a);
+    StatusOr<MigrationSchedule> schedule = BuildMigrationSchedule(NodeCount(b), NodeCount(a));
     if (!schedule.ok()) continue;
     const int smaller = std::min(b, a);
     const int larger = std::max(b, a);
     const int naive_rounds = NaiveRounds(smaller, larger);
-    const double avg_jit = AvgMachinesAllocated(b, a);
+    const double avg_jit = AvgMachinesAllocated(NodeCount(b), NodeCount(a));
     const double avg_all = larger;  // allocate everything up front
     const double saving = 100.0 * (avg_all - avg_jit) / avg_all;
     char label[16];

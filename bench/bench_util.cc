@@ -203,7 +203,7 @@ EngineRunResult RunEngineExperiment(const EngineRunConfig& config) {
       static_cast<int>(migration.reconfigurations_completed());
   result.failed_reconfigurations =
       static_cast<int>(migration.reconfigurations_failed());
-  result.chunk_retries = migration.chunk_retries();
+  result.chunk_retries = migration.chunk_retries().value();
   return result;
 }
 

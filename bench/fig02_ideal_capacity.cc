@@ -34,7 +34,7 @@ int main() {
     const double phase = 2.0 * M_PI * t / kSlots;
     const double demand = 1500.0 + 1200.0 * std::sin(phase);
     const double ideal = demand * buffer;
-    const int servers = planner.NodesFor(ideal);
+    const int servers = planner.NodesFor(ideal).value();
     const double step = servers * params.target_rate_per_node;
     total_ideal += ideal;
     total_step += step;

@@ -30,7 +30,7 @@ int main() {
   for (const auto& move : cases) {
     const int b = move[0];
     const int a = move[1];
-    const double duration = MoveTime(b, a, params);
+    const double duration = MoveTime(NodeCount(b), NodeCount(a), params);
     std::printf("\nCase %d -> %d machines (move takes %.3f D)\n", b, a,
                 duration);
     std::printf("%10s %10s %10s %12s\n", "time(D)", "frac", "machines",
@@ -39,8 +39,10 @@ int main() {
     for (int i = 0; i <= kSteps; ++i) {
       const double f = static_cast<double>(i) / kSteps;
       const double time_d = f * duration;
-      const int machines = MachinesAllocatedAt(b, a, f);
-      const double eff = EffectiveCapacity(b, a, f, params);
+      const int machines =
+          MachinesAllocatedAt(NodeCount(b), NodeCount(a), f).value();
+      const double eff =
+          EffectiveCapacity(NodeCount(b), NodeCount(a), f, params);
       std::printf("%10.4f %10.3f %10d %12.3f\n", time_d, f, machines, eff);
       if (csv) {
         char label[16];
@@ -52,8 +54,9 @@ int main() {
     std::printf(
         "  avg machines allocated: %.3f (Algorithm 4), eff-cap at f=0.5: "
         "%.2f vs %d machines up\n",
-        AvgMachinesAllocated(b, a), EffectiveCapacity(b, a, 0.5, params),
-        MachinesAllocatedAt(b, a, 0.5));
+        AvgMachinesAllocated(NodeCount(b), NodeCount(a)),
+        EffectiveCapacity(NodeCount(b), NodeCount(a), 0.5, params),
+        MachinesAllocatedAt(NodeCount(b), NodeCount(a), 0.5).value());
   }
   std::printf(
       "\nShape check: for 3->14 the effective capacity stays well below "

@@ -65,7 +65,7 @@ ChunkResult RunChunkExperiment(int64_t chunk_bytes, bool migrate) {
   SimTime migration_end = 0;
   if (migrate) {
     PSTORE_CHECK_OK(migration.StartReconfiguration(
-        2, 1.0, [&](const Status&) { migration_end = loop.now(); }));
+        NodeCount(2), 1.0, [&](const Status&) { migration_end = loop.now(); }));
   }
   const SimTime end = FromSeconds(240.0);
   Rng rng(5);

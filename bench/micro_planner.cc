@@ -35,7 +35,7 @@ void BM_DpPlanner(benchmark::State& state) {
   const DpPlanner planner(params);
   const std::vector<double> load = DiurnalLoad(horizon, peak);
   for (auto _ : state) {
-    StatusOr<PlanResult> plan = planner.BestMoves(load, 2);
+    StatusOr<PlanResult> plan = planner.BestMoves(load, NodeCount(2));
     benchmark::DoNotOptimize(plan);
   }
 }
@@ -53,7 +53,7 @@ void BM_EffectiveCapacity(benchmark::State& state) {
   for (auto _ : state) {
     f += 0.001;
     if (f > 1.0) f = 0.0;
-    benchmark::DoNotOptimize(EffectiveCapacity(3, 14, f, params));
+    benchmark::DoNotOptimize(EffectiveCapacity(NodeCount(3), NodeCount(14), f, params));
   }
 }
 BENCHMARK(BM_EffectiveCapacity);
@@ -62,7 +62,7 @@ void BM_AvgMachinesAllocated(benchmark::State& state) {
   int b = 1;
   for (auto _ : state) {
     b = b % 19 + 1;
-    benchmark::DoNotOptimize(AvgMachinesAllocated(b, 20 - b + 1));
+    benchmark::DoNotOptimize(AvgMachinesAllocated(NodeCount(b), NodeCount(20 - b + 1)));
   }
 }
 BENCHMARK(BM_AvgMachinesAllocated);
@@ -72,7 +72,7 @@ void BM_BuildMigrationSchedule(benchmark::State& state) {
   const int after = static_cast<int>(state.range(1));
   for (auto _ : state) {
     StatusOr<MigrationSchedule> schedule =
-        BuildMigrationSchedule(before, after);
+        BuildMigrationSchedule(NodeCount(before), NodeCount(after));
     benchmark::DoNotOptimize(schedule);
   }
 }

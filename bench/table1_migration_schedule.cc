@@ -14,7 +14,7 @@ int main() {
       "Table 1: parallel migration schedule for 3 -> 14 machines",
       "11 rounds in 3 phases (6 + 2 + 3); senders never idle");
 
-  StatusOr<MigrationSchedule> schedule = BuildMigrationSchedule(3, 14);
+  StatusOr<MigrationSchedule> schedule = BuildMigrationSchedule(NodeCount(3), NodeCount(14));
   if (!schedule.ok()) {
     std::printf("ERROR: %s\n", schedule.status().ToString().c_str());
     return 1;
@@ -31,7 +31,7 @@ int main() {
 
   // Also show the symmetric scale-in, and a case-1 and case-2 move.
   for (const auto& [b, a] : {std::pair<int, int>{14, 3}, {3, 5}, {3, 9}}) {
-    StatusOr<MigrationSchedule> other = BuildMigrationSchedule(b, a);
+    StatusOr<MigrationSchedule> other = BuildMigrationSchedule(NodeCount(b), NodeCount(a));
     if (other.ok()) {
       std::printf("\n%s", other->ToString().c_str());
     }

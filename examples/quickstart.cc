@@ -75,7 +75,7 @@ int main() {
   params.d_slots = 15.4;
   params.partitions_per_node = 6;
   const DpPlanner planner(params);
-  const int current_nodes = 3;
+  const NodeCount current_nodes(3);
   StatusOr<PlanResult> plan = planner.BestMoves(load, current_nodes);
   if (!plan.ok()) {
     std::printf("no feasible plan: %s (a reactive scale-out would kick "
@@ -99,8 +99,9 @@ int main() {
   StatusOr<MigrationSchedule> schedule =
       BuildMigrationSchedule(first->nodes_before, first->nodes_after);
   if (schedule.ok()) {
-    std::printf("\nFirst move %d -> %d expands to:\n%s", first->nodes_before,
-                first->nodes_after, schedule->ToString().c_str());
+    std::printf("\nFirst move %d -> %d expands to:\n%s",
+                first->nodes_before.value(), first->nodes_after.value(),
+                schedule->ToString().c_str());
   }
   return 0;
 }

@@ -1,0 +1,99 @@
+#ifndef PSTORE_COMMON_CHECK_H_
+#define PSTORE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "common/status.h"
+
+namespace pstore {
+namespace internal_logging {
+
+// Terminates the process after printing a fatal invariant-violation
+// message. Used by the PSTORE_CHECK family below; invariant violations are
+// programming errors, not recoverable conditions, so we abort.
+[[noreturn]] inline void FatalCheckFailure(const char* file, int line,
+                                           const char* expr,
+                                           const std::string& extra) {
+  std::fprintf(stderr, "FATAL %s:%d: check failed: %s %s\n", file, line, expr,
+               extra.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal_logging
+
+// Debug-check gate: PSTORE_DCHECK* are compiled in every build type (so
+// they cannot bit-rot) but evaluated only when NDEBUG is off — the `tidy`
+// and plain Debug configurations. Release and sanitizer builds pay
+// nothing; the branch folds away on the constant.
+#ifdef NDEBUG
+inline constexpr bool kDebugChecksEnabled = false;
+#else
+inline constexpr bool kDebugChecksEnabled = true;
+#endif
+
+}  // namespace pstore
+
+// Unconditional invariant check. Active in all build types: the library's
+// correctness arguments (planner feasibility, migration invariants) rely
+// on these holding, and the cost is negligible relative to the work done.
+#define PSTORE_CHECK(expr)                                                 \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::pstore::internal_logging::FatalCheckFailure(__FILE__, __LINE__,    \
+                                                    #expr, "");            \
+    }                                                                      \
+  } while (0)
+
+#define PSTORE_CHECK_MSG(expr, msg)                                        \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream pstore_check_oss_;                                \
+      pstore_check_oss_ << msg;                                            \
+      ::pstore::internal_logging::FatalCheckFailure(                       \
+          __FILE__, __LINE__, #expr, pstore_check_oss_.str());             \
+    }                                                                      \
+  } while (0)
+
+#define PSTORE_CHECK_OK(status_expr)                                       \
+  do {                                                                     \
+    const ::pstore::Status pstore_check_status_ = (status_expr);           \
+    if (!pstore_check_status_.ok()) {                                      \
+      ::pstore::internal_logging::FatalCheckFailure(                       \
+          __FILE__, __LINE__, #status_expr,                                \
+          pstore_check_status_.ToString());                                \
+    }                                                                      \
+  } while (0)
+
+// Debug-only variants: expensive mechanical verification (schedule and
+// plan validators, O(n) scans) that debug builds run on every emitted
+// artifact and release builds skip.
+#define PSTORE_DCHECK(expr)                                                \
+  do {                                                                     \
+    if (::pstore::kDebugChecksEnabled && !(expr)) {                        \
+      ::pstore::internal_logging::FatalCheckFailure(__FILE__, __LINE__,    \
+                                                    #expr, "");            \
+    }                                                                      \
+  } while (0)
+
+#define PSTORE_DCHECK_MSG(expr, msg)                                       \
+  do {                                                                     \
+    if (::pstore::kDebugChecksEnabled && !(expr)) {                        \
+      std::ostringstream pstore_check_oss_;                                \
+      pstore_check_oss_ << msg;                                            \
+      ::pstore::internal_logging::FatalCheckFailure(                       \
+          __FILE__, __LINE__, #expr, pstore_check_oss_.str());             \
+    }                                                                      \
+  } while (0)
+
+#define PSTORE_DCHECK_OK(status_expr)                                      \
+  do {                                                                     \
+    if (::pstore::kDebugChecksEnabled) {                                   \
+      PSTORE_CHECK_OK(status_expr);                                        \
+    }                                                                      \
+  } while (0)
+
+#endif  // PSTORE_COMMON_CHECK_H_

@@ -1,0 +1,98 @@
+#ifndef PSTORE_COMMON_STRONG_ID_H_
+#define PSTORE_COMMON_STRONG_ID_H_
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace pstore {
+
+// Zero-cost strongly-typed integer wrapper. Each alias below gets its own
+// incompatible type, so swapping a node count for a node index (or a slot
+// index for a chunk count) is a compile error instead of a silently wrong
+// plan. The representation is a single integer; every operation inlines
+// to the raw arithmetic.
+//
+// Conversions are explicit in both directions: construct with
+// `NodeCount(4)`, extract with `.value()`. Typed arithmetic keeps units
+// honest: adding a raw offset to an id/count/step yields the same strong
+// type, while subtracting two values of the same strong type yields a raw
+// distance (there is no "NodeId + NodeId" — that has no meaning).
+template <typename Tag, typename Rep>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  constexpr Rep value() const { return value_; }
+
+  friend constexpr bool operator==(StrongId, StrongId) = default;
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  // Advance / rewind by a raw offset, staying in the same unit.
+  friend constexpr StrongId operator+(StrongId a, Rep d) {
+    return StrongId(a.value_ + d);
+  }
+  friend constexpr StrongId operator-(StrongId a, Rep d) {
+    return StrongId(a.value_ - d);
+  }
+  // Distance between two values of the same unit, as a raw integer.
+  friend constexpr Rep operator-(StrongId a, StrongId b) {
+    return a.value_ - b.value_;
+  }
+
+  constexpr StrongId& operator++() {
+    ++value_;
+    return *this;
+  }
+  constexpr StrongId& operator--() {
+    --value_;
+    return *this;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << id.value_;
+  }
+
+ private:
+  Rep value_{};
+};
+
+// Cluster-global machine index in [0, max_nodes). For a scale-out from B
+// to A machines, ids [0, B) are the original nodes and [B, A) the new
+// ones; for a scale-in from B to A, ids [0, A) survive.
+using NodeId = StrongId<struct NodeIdTag, int>;
+
+// Index of a data partition in [0, max_nodes * partitions_per_node).
+// Partition p lives on node p / partitions_per_node.
+using PartitionId = StrongId<struct PartitionIdTag, int>;
+
+// A number of machines (cluster size, allocation level) — never an index.
+using NodeCount = StrongId<struct NodeCountTag, int>;
+
+// A planning-slot index on the prediction horizon, slot 0 being "now".
+// Distinct from SimTime (microseconds) and from raw slot durations.
+using TimeStep = StrongId<struct TimeStepTag, int>;
+
+// A number of migration chunks (retry/abort accounting).
+using ChunkCount = StrongId<struct ChunkCountTag, std::int64_t>;
+
+// True when `id` indexes into a cluster of `n` machines.
+constexpr bool InCluster(NodeId id, NodeCount n) {
+  return id.value() >= 0 && id.value() < n.value();
+}
+
+}  // namespace pstore
+
+template <typename Tag, typename Rep>
+struct std::hash<pstore::StrongId<Tag, Rep>> {
+  std::size_t operator()(pstore::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+
+#endif  // PSTORE_COMMON_STRONG_ID_H_

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace pstore {
 
@@ -81,7 +81,7 @@ void PredictiveController::Plan() {
   const std::vector<double> load = BuildPlanningLoad(last_rate_, *forecast);
   ++plans_computed_;
   StatusOr<PlanResult> plan =
-      planner_.BestMoves(load, cluster_->active_nodes());
+      planner_.BestMoves(load, NodeCount(cluster_->active_nodes()));
 
   if (!plan.ok()) {
     // No feasible plan: the predictions (or current load) exceed what we
@@ -89,9 +89,9 @@ void PredictiveController::Plan() {
     // peak needs, at the regular or boosted migration rate (§4.3.1).
     ++infeasible_plans_;
     const double peak = *std::max_element(load.begin(), load.end());
-    const int target =
-        std::min(planner_.NodesFor(peak), cluster_->options().max_nodes);
-    if (target == cluster_->active_nodes()) return;
+    const NodeCount target = std::min(
+        planner_.NodesFor(peak), NodeCount(cluster_->options().max_nodes));
+    if (target.value() == cluster_->active_nodes()) return;
     const double multiplier = options_.fast_reactive_fallback
                                   ? options_.reactive_rate_multiplier
                                   : 1.0;
@@ -111,7 +111,7 @@ void PredictiveController::Plan() {
   // Receding horizon: only the first move matters, and only once its
   // start time arrives. We re-plan every slot, so "starts within the
   // current planning slot" means "start now".
-  if (first->start_slot > 0) {
+  if (first->start_slot > TimeStep(0)) {
     if (first->nodes_after >= first->nodes_before) scale_in_votes_ = 0;
     return;
   }
@@ -125,9 +125,9 @@ void PredictiveController::Plan() {
   // The plan may want more machines than physically exist; peg at the
   // cluster ceiling rather than stalling (the capacity shortfall then
   // shows up as violations, which is the honest outcome).
-  const int target =
-      std::min(first->nodes_after, cluster_->options().max_nodes);
-  if (target == cluster_->active_nodes()) return;
+  const NodeCount target =
+      std::min(first->nodes_after, NodeCount(cluster_->options().max_nodes));
+  if (target.value() == cluster_->active_nodes()) return;
   if (migration_->StartReconfiguration(target, 1.0, OnMoveDone()).ok()) {
     ++reconfigurations_started_;
   }

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace pstore {
 
@@ -46,10 +46,10 @@ void ReactiveController::Tick() {
         // reactive system has no forecast), and migrate while
         // saturated — the reactive cost.
         const double sized_load = rate * (1.0 + options_.headroom);
-        const int target =
+        const NodeCount target = NodeCount(
             std::min(cluster_->options().max_nodes,
                      std::max(nodes + 1,
-                              static_cast<int>(std::ceil(sized_load / q))));
+                              static_cast<int>(std::ceil(sized_load / q)))));
         auto on_done = [this](const Status& status) {
           if (status.ok()) return;
           // The scale-out died mid-move while the system is still
@@ -73,7 +73,9 @@ void ReactiveController::Tick() {
           // let the low-watermark counter build up again.
           if (!status.ok()) ++move_failures_;
         };
-        if (migration_->StartReconfiguration(nodes - 1, 1.0, on_done).ok()) {
+        if (migration_
+                ->StartReconfiguration(NodeCount(nodes - 1), 1.0, on_done)
+                .ok()) {
           ++scale_ins_;
         }
       }

@@ -1,6 +1,6 @@
 #include "controller/simple_controller.h"
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace pstore {
 
@@ -33,7 +33,7 @@ void SimpleController::Tick() {
   const int desired = DesiredNodes(slot_of_day);
   if (!migration_->InProgress() && desired != cluster_->active_nodes()) {
     // Best-effort: ignore failures (e.g., target out of range).
-    (void)migration_->StartReconfiguration(desired, 1.0, nullptr);
+    (void)migration_->StartReconfiguration(NodeCount(desired), 1.0, nullptr);
   }
   loop_->ScheduleAfter(FromSeconds(options_.slot_sim_seconds),
                        [this] { Tick(); });

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <utility>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace pstore {
 
@@ -98,14 +98,14 @@ double FaultInjector::NodeMultiplier(int node) const {
   return straggler_[node];
 }
 
-double FaultInjector::ChunkRateMultiplier(int from_node, int to_node) {
+double FaultInjector::ChunkRateMultiplier(NodeId from_node, NodeId to_node) {
   // A transfer is as slow as its slower endpoint, and the cluster-wide
   // network state applies on top.
-  return network_multiplier_ *
-         std::min(NodeMultiplier(from_node), NodeMultiplier(to_node));
+  return network_multiplier_ * std::min(NodeMultiplier(from_node.value()),
+                                        NodeMultiplier(to_node.value()));
 }
 
-bool FaultInjector::TakeChunkAbort(int /*from_node*/, int /*to_node*/) {
+bool FaultInjector::TakeChunkAbort(NodeId /*from_node*/, NodeId /*to_node*/) {
   if (pending_chunk_aborts_ == 0) return false;
   --pending_chunk_aborts_;
   ++stats_.chunk_aborts_consumed;

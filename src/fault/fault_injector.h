@@ -44,9 +44,9 @@ class FaultInjector final : public MigrationFaultHook {
 
   // MigrationFaultHook: combined rate multiplier for a chunk between the
   // two nodes (cluster-wide network state times the slower endpoint).
-  double ChunkRateMultiplier(int from_node, int to_node) override;
+  double ChunkRateMultiplier(NodeId from_node, NodeId to_node) override;
   // Consumes one pending chunk abort, if armed.
-  bool TakeChunkAbort(int from_node, int to_node) override;
+  bool TakeChunkAbort(NodeId from_node, NodeId to_node) override;
 
   const Stats& stats() const { return stats_; }
   const FaultSchedule& schedule() const { return schedule_; }

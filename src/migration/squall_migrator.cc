@@ -5,7 +5,8 @@
 #include <string>
 #include <utility>
 
-#include "common/logging.h"
+#include "common/check.h"
+#include "planner/validate.h"
 #include "common/sim_time.h"
 
 namespace pstore {
@@ -40,28 +41,31 @@ double MigrationManager::FractionMoved() const {
                            static_cast<double>(planned_bytes_));
 }
 
-void MigrationManager::SetMachines(int count) {
-  if (count > cluster_->active_nodes()) {
-    PSTORE_CHECK_OK(cluster_->ActivateNodes(count));
-  } else if (count < cluster_->active_nodes()) {
-    PSTORE_CHECK_OK(cluster_->DeactivateNodes(count));
+void MigrationManager::SetMachines(NodeCount count) {
+  if (count.value() > cluster_->active_nodes()) {
+    PSTORE_CHECK_OK(cluster_->ActivateNodes(count.value()));
+  } else if (count.value() < cluster_->active_nodes()) {
+    PSTORE_CHECK_OK(cluster_->DeactivateNodes(count.value()));
   } else {
     return;
   }
-  if (metrics_ != nullptr) metrics_->RecordMachines(loop_->now(), count);
+  if (metrics_ != nullptr) {
+    metrics_->RecordMachines(loop_->now(), count.value());
+  }
 }
 
-Status MigrationManager::ValidateTarget(int target_nodes,
+Status MigrationManager::ValidateTarget(NodeCount target_nodes,
                                         double rate_multiplier) const {
   if (in_progress_) {
     return Status::FailedPrecondition("reconfiguration already in progress");
   }
-  if (target_nodes == cluster_->active_nodes()) {
+  if (target_nodes.value() == cluster_->active_nodes()) {
     return Status::InvalidArgument("target equals current machine count");
   }
-  if (target_nodes < 1 || target_nodes > cluster_->options().max_nodes) {
+  if (target_nodes < NodeCount(1) ||
+      target_nodes.value() > cluster_->options().max_nodes) {
     return Status::OutOfRange("target node count " +
-                              std::to_string(target_nodes) +
+                              std::to_string(target_nodes.value()) +
                               " outside [1, max_nodes]");
   }
   if (rate_multiplier <= 0.0) {
@@ -70,14 +74,17 @@ Status MigrationManager::ValidateTarget(int target_nodes,
   return Status::OK();
 }
 
-Status MigrationManager::StartReconfiguration(int target_nodes,
+Status MigrationManager::StartReconfiguration(NodeCount target_nodes,
                                               double rate_multiplier,
                                               DoneCallback done) {
   RETURN_IF_ERROR(ValidateTarget(target_nodes, rate_multiplier));
   const int before = cluster_->active_nodes();
   StatusOr<MigrationSchedule> schedule =
-      BuildMigrationSchedule(before, target_nodes);
+      BuildMigrationSchedule(NodeCount(before), target_nodes);
   if (!schedule.ok()) return schedule.status();
+  // Debug builds re-verify the §4.4.1 invariants on the exact schedule
+  // this reconfiguration will execute.
+  PSTORE_DCHECK_OK(ScheduleValidator().Validate(*schedule));
 
   in_progress_ = true;
   target_nodes_ = target_nodes;
@@ -106,15 +113,15 @@ Status MigrationManager::StartReconfiguration(int target_nodes,
   for (const ScheduleRound& round : schedule_.rounds) {
     for (const TransferPair& pair : round.transfers) {
       for (int i = 0; i < p; ++i) {
-        ++remaining_sends_[pair.sender * p + i];
+        ++remaining_sends_[pair.sender.value() * p + i];
       }
     }
   }
-  const bool scale_out = target_nodes > before;
+  const bool scale_out = target_nodes.value() > before;
   const int64_t survivor_partition_bytes =
-      db_bytes / (static_cast<int64_t>(target_nodes) * p);
+      db_bytes / (static_cast<int64_t>(target_nodes.value()) * p);
   for (int node = 0; node < cluster_->options().max_nodes; ++node) {
-    const bool survives = scale_out || node < target_nodes;
+    const bool survives = scale_out || node < target_nodes.value();
     for (int i = 0; i < p; ++i) {
       final_target_bytes_[node * p + i] =
           survives ? survivor_partition_bytes : 0;
@@ -129,7 +136,7 @@ Status MigrationManager::StartReconfiguration(int target_nodes,
   // the uniform 1/delta split.
   deficit_weight_.assign(total_partitions, 0.0);
   const int first_receiver = scale_out ? before : 0;
-  const int last_receiver = scale_out ? target_nodes : target_nodes;
+  const int last_receiver = target_nodes.value();
   for (int i = 0; i < p; ++i) {
     double total_deficit = 0.0;
     for (int node = first_receiver; node < last_receiver; ++node) {
@@ -165,7 +172,8 @@ void MigrationManager::StartRound(size_t round_index) {
 
   // Just-in-time allocation: on scale-out new machines come up at the
   // start of the round that first fills them.
-  if (scale_out && round.machines_allocated > cluster_->active_nodes()) {
+  if (scale_out &&
+      round.machines_allocated.value() > cluster_->active_nodes()) {
     SetMachines(round.machines_allocated);
   }
 
@@ -175,8 +183,8 @@ void MigrationManager::StartRound(size_t round_index) {
   for (const TransferPair& pair : round.transfers) {
     for (int i = 0; i < p; ++i) {
       Stream stream;
-      stream.from_partition = pair.sender * p + i;
-      stream.to_partition = pair.receiver * p + i;
+      stream.from_partition = PartitionId(pair.sender.value() * p + i);
+      stream.to_partition = PartitionId(pair.receiver.value() * p + i);
       streams_.push_back(stream);
     }
   }
@@ -188,28 +196,30 @@ void MigrationManager::StartRound(size_t round_index) {
   // particular a draining partition's last stream always takes
   // everything left, so released machines end up truly empty.
   for (Stream& stream : streams_) {
-    Partition& source = cluster_->partition(stream.from_partition);
-    const int sends_left = remaining_sends_[stream.from_partition];
+    Partition& source = cluster_->partition(stream.from_partition.value());
+    const int sends_left = remaining_sends_[stream.from_partition.value()];
     PSTORE_CHECK(sends_left >= 1);
     const int64_t surplus = std::max<int64_t>(
-        0, source.data_bytes() - final_target_bytes_[stream.from_partition]);
+        0, source.data_bytes() -
+               final_target_bytes_[stream.from_partition.value()]);
     // Deficit-weighted share of the remaining surplus: this receiver's
     // weight over the total weight of receivers this sender has not
     // served yet. Both the surplus and the weight pool shrink as rounds
     // complete, so bucket-granularity rounding self-corrects.
-    const double weight = deficit_weight_[stream.to_partition];
+    const double weight = deficit_weight_[stream.to_partition.value()];
     const double pool =
-        std::max(remaining_weight_[stream.from_partition], 1e-12);
+        std::max(remaining_weight_[stream.from_partition.value()], 1e-12);
     const int64_t target_bytes = static_cast<int64_t>(
         static_cast<double>(surplus) * std::min(1.0, weight / pool) + 0.5);
-    remaining_weight_[stream.from_partition] =
+    remaining_weight_[stream.from_partition.value()] =
         std::max(0.0, pool - weight);
-    --remaining_sends_[stream.from_partition];
-    const bool take_all = sends_left == 1 && !scale_out &&
-                          final_target_bytes_[stream.from_partition] == 0;
+    --remaining_sends_[stream.from_partition.value()];
+    const bool take_all =
+        sends_left == 1 && !scale_out &&
+        final_target_bytes_[stream.from_partition.value()] == 0;
 
     const std::vector<BucketId> available =
-        cluster_->BucketsOnPartition(stream.from_partition);
+        cluster_->BucketsOnPartition(stream.from_partition.value());
     int64_t taken = 0;
     for (BucketId bucket : available) {
       const int64_t bytes = std::max<int64_t>(1, source.BucketBytes(bucket));
@@ -254,8 +264,8 @@ void MigrationManager::ScheduleNextChunk(size_t stream_index, SimTime at) {
 void MigrationManager::TransferChunk(size_t stream_index) {
   Stream& stream = streams_[stream_index];
   PSTORE_CHECK(stream.next_bucket < stream.buckets.size());
-  const int from_partition = stream.from_partition;
-  const int to_partition = stream.to_partition;
+  const int from_partition = stream.from_partition.value();
+  const int to_partition = stream.to_partition.value();
   const int from_node = cluster_->NodeOfPartition(from_partition);
   const int to_node = cluster_->NodeOfPartition(to_partition);
 
@@ -263,7 +273,8 @@ void MigrationManager::TransferChunk(size_t stream_index) {
   // cannot even start; back off and retry.
   double fault_multiplier = 1.0;
   if (fault_hook_ != nullptr) {
-    fault_multiplier = fault_hook_->ChunkRateMultiplier(from_node, to_node);
+    fault_multiplier = fault_hook_->ChunkRateMultiplier(NodeId(from_node),
+                                                        NodeId(to_node));
   }
   if (!cluster_->IsNodeUp(from_node) || !cluster_->IsNodeUp(to_node) ||
       fault_multiplier <= 0.0) {
@@ -327,7 +338,7 @@ void MigrationManager::TransferChunk(size_t stream_index) {
           return;
         }
         if (fault_hook_ != nullptr &&
-            fault_hook_->TakeChunkAbort(from_node, to_node)) {
+            fault_hook_->TakeChunkAbort(NodeId(from_node), NodeId(to_node))) {
           ++chunks_aborted_;
           RetryChunk(stream_index, Status::Aborted("injected chunk abort"));
           return;

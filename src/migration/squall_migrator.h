@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/strong_id.h"
 #include "engine/cluster.h"
 #include "engine/event_loop.h"
 #include "engine/metrics.h"
@@ -52,10 +53,10 @@ class MigrationFaultHook {
   // Multiplier applied to the wire rate for a chunk between the two
   // nodes: 1.0 healthy, in (0,1) degraded or straggling, <= 0 link down
   // (the chunk cannot start and is retried with backoff).
-  virtual double ChunkRateMultiplier(int from_node, int to_node) = 0;
+  virtual double ChunkRateMultiplier(NodeId from_node, NodeId to_node) = 0;
   // Returns true to fail the chunk that just finished its wire transfer
   // (consumed: one pending abort fails one chunk).
-  virtual bool TakeChunkAbort(int from_node, int to_node) = 0;
+  virtual bool TakeChunkAbort(NodeId from_node, NodeId to_node) = 0;
 };
 
 // Sustained per-pair migration rate in bytes/s implied by the options:
@@ -91,11 +92,11 @@ class MigrationManager {
   // reactive fallback uses 8.0, Fig. 11). `done` runs when the last
   // bucket lands. Fails if a reconfiguration is already in progress or
   // target_nodes equals the current size or is out of range.
-  Status StartReconfiguration(int target_nodes, double rate_multiplier,
+  Status StartReconfiguration(NodeCount target_nodes, double rate_multiplier,
                               DoneCallback done);
 
   bool InProgress() const { return in_progress_; }
-  int target_nodes() const { return target_nodes_; }
+  NodeCount target_nodes() const { return target_nodes_; }
 
   // Fraction (0..1) of the planned bytes already moved in the current
   // reconfiguration; 1.0 when idle.
@@ -108,9 +109,9 @@ class MigrationManager {
   }
   int64_t reconfigurations_failed() const { return reconfigurations_failed_; }
   // Chunks that had to be rescheduled after a fault (backoff retries).
-  int64_t chunk_retries() const { return chunk_retries_; }
+  ChunkCount chunk_retries() const { return ChunkCount(chunk_retries_); }
   // Chunks failed by an injected transfer abort (a subset of retries).
-  int64_t chunks_aborted() const { return chunks_aborted_; }
+  ChunkCount chunks_aborted() const { return ChunkCount(chunks_aborted_); }
   // Status of the most recent failed reconfiguration (OK if none).
   const Status& last_failure() const { return last_failure_; }
 
@@ -123,8 +124,8 @@ class MigrationManager {
  private:
   // One pair's per-partition-index chunk stream within a round.
   struct Stream {
-    int from_partition = 0;
-    int to_partition = 0;
+    PartitionId from_partition{0};
+    PartitionId to_partition{0};
     std::vector<BucketId> buckets;  // buckets to move, in order
     size_t next_bucket = 0;
     int64_t bytes_left_in_bucket = 0;  // of buckets[next_bucket]
@@ -133,7 +134,7 @@ class MigrationManager {
     int attempts = 0;
   };
 
-  Status ValidateTarget(int target_nodes, double rate_multiplier) const;
+  Status ValidateTarget(NodeCount target_nodes, double rate_multiplier) const;
   void StartRound(size_t round_index);
   void ScheduleNextChunk(size_t stream_index, SimTime at);
   void TransferChunk(size_t stream_index);
@@ -143,7 +144,7 @@ class MigrationManager {
   void AbortReconfiguration(const Status& cause);
   void FinishRound();
   void FinishReconfiguration();
-  void SetMachines(int count);
+  void SetMachines(NodeCount count);
 
   EventLoop* loop_;
   Cluster* cluster_;
@@ -151,7 +152,7 @@ class MigrationManager {
   MigrationOptions options_;
 
   bool in_progress_ = false;
-  int target_nodes_ = 0;
+  NodeCount target_nodes_{0};
   double rate_multiplier_ = 1.0;
   DoneCallback done_;
   MigrationSchedule schedule_;

@@ -4,7 +4,8 @@
 #include <cmath>
 #include <limits>
 
-#include "common/logging.h"
+#include "common/check.h"
+#include "planner/validate.h"
 #include "planner/dp_planner.h"
 
 namespace pstore {
@@ -31,8 +32,9 @@ bool MoveFeasible(const SearchState& state, int start, int end, int before,
   for (int i = 1; i <= duration; ++i) {
     const double fraction =
         static_cast<double>(i) / static_cast<double>(duration);
-    if ((*state.load)[start + i] >
-        EffectiveCapacity(before, after, fraction, state.rules->params())) {
+    if ((*state.load)[static_cast<size_t>(start + i)] >
+        EffectiveCapacity(NodeCount(before), NodeCount(after), fraction,
+                          state.rules->params())) {
       return false;
     }
   }
@@ -52,16 +54,18 @@ void Search(SearchState* state, int t, int nodes, double cost_so_far) {
     return;
   }
   for (int next = 1; next <= state->z; ++next) {
-    const int duration = state->rules->MoveSlots(nodes, next);
+    const int duration =
+        state->rules->MoveSlots(NodeCount(nodes), NodeCount(next));
     const int end = t + duration;
     if (end > state->horizon) continue;
     if (!MoveFeasible(*state, t, end, nodes, next)) continue;
-    const double move_cost = state->rules->MoveCostCharged(nodes, next);
+    const double move_cost =
+        state->rules->MoveCostCharged(NodeCount(nodes), NodeCount(next));
     Move move;
-    move.start_slot = t;
-    move.end_slot = end;
-    move.nodes_before = nodes;
-    move.nodes_after = next;
+    move.start_slot = TimeStep(t);
+    move.end_slot = TimeStep(end);
+    move.nodes_before = NodeCount(nodes);
+    move.nodes_after = NodeCount(next);
     state->current.push_back(move);
     Search(state, end, next, cost_so_far + move_cost);
     state->current.pop_back();
@@ -74,18 +78,18 @@ BruteForcePlanner::BruteForcePlanner(const PlannerParams& params)
     : params_(params) {}
 
 StatusOr<PlanResult> BruteForcePlanner::BestMoves(
-    const std::vector<double>& predicted_load, int initial_nodes) const {
+    const std::vector<double>& predicted_load, NodeCount initial_nodes) const {
   if (predicted_load.size() < 2) {
     return Status::InvalidArgument("prediction horizon must cover >= 2 slots");
   }
-  if (initial_nodes < 1) {
+  if (initial_nodes < NodeCount(1)) {
     return Status::InvalidArgument("initial_nodes must be >= 1");
   }
   const DpPlanner rules(params_);
   const int horizon = static_cast<int>(predicted_load.size()) - 1;
   const double max_load =
       *std::max_element(predicted_load.begin(), predicted_load.end());
-  const int z = std::max(rules.NodesFor(max_load), initial_nodes);
+  const int z = std::max(rules.NodesFor(max_load), initial_nodes).value();
 
   if (predicted_load[0] > Capacity(initial_nodes, params_)) {
     return Status::Infeasible("initial capacity below current load");
@@ -96,7 +100,8 @@ StatusOr<PlanResult> BruteForcePlanner::BestMoves(
   state.horizon = horizon;
   state.z = z;
   state.rules = &rules;
-  Search(&state, 0, initial_nodes, initial_nodes);
+  Search(&state, 0, initial_nodes.value(),
+         static_cast<double>(initial_nodes.value()));
 
   if (state.best_cost == kInfinity) {
     return Status::Infeasible("no feasible sequence of moves");
@@ -104,7 +109,9 @@ StatusOr<PlanResult> BruteForcePlanner::BestMoves(
   PlanResult result;
   result.moves = state.best_moves;
   result.total_cost = state.best_cost;
-  result.final_nodes = state.best_final;
+  result.final_nodes = NodeCount(state.best_final);
+  PSTORE_DCHECK_OK(
+      PlanValidator(params_).Validate(result, predicted_load, initial_nodes));
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/strong_id.h"
 #include "planner/move.h"
 #include "planner/move_model.h"
 
@@ -23,7 +24,7 @@ class BruteForcePlanner {
   explicit BruteForcePlanner(const PlannerParams& params);
 
   StatusOr<PlanResult> BestMoves(const std::vector<double>& predicted_load,
-                                 int initial_nodes) const;
+                                 NodeCount initial_nodes) const;
 
  private:
   PlannerParams params_;

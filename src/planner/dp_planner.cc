@@ -4,7 +4,8 @@
 #include <cmath>
 #include <limits>
 
-#include "common/logging.h"
+#include "common/check.h"
+#include "planner/validate.h"
 
 namespace pstore {
 namespace {
@@ -41,7 +42,8 @@ double Cost(DpState* state, int t, int nodes);
 // would start in the past or the predicted load exceeds the effective
 // capacity at any point during the move.
 double SubCost(DpState* state, int t, int before, int after) {
-  const int duration = state->planner->MoveSlots(before, after);
+  const int duration =
+      state->planner->MoveSlots(NodeCount(before), NodeCount(after));
   const int start_move = t - duration;
   if (start_move < 0) return kInfinity;
   for (int i = 1; i <= duration; ++i) {
@@ -50,15 +52,17 @@ double SubCost(DpState* state, int t, int before, int after) {
         static_cast<double>(i) / static_cast<double>(duration);
     const double capacity =
         state->params->assume_instant_capacity
-            ? Capacity(after, *state->params)
-            : EffectiveCapacity(before, after, fraction, *state->params);
+            ? Capacity(NodeCount(after), *state->params)
+            : EffectiveCapacity(NodeCount(before), NodeCount(after), fraction,
+                                *state->params);
     if (load > capacity) {
       return kInfinity;
     }
   }
   const double prior = Cost(state, start_move, before);
   if (prior == kInfinity) return kInfinity;
-  return prior + state->planner->MoveCostCharged(before, after);
+  return prior + state->planner->MoveCostCharged(NodeCount(before),
+                                                 NodeCount(after));
 }
 
 // Algorithm 2 (cost): minimum cost of a feasible sequence of moves ending
@@ -66,7 +70,9 @@ double SubCost(DpState* state, int t, int before, int after) {
 double Cost(DpState* state, int t, int nodes) {
   if (t < 0) return kInfinity;
   if (t == 0 && nodes != state->n0) return kInfinity;
-  if ((*state->load)[t] > Capacity(nodes, *state->params)) return kInfinity;
+  if ((*state->load)[t] > Capacity(NodeCount(nodes), *state->params)) {
+    return kInfinity;
+  }
   MemoEntry& entry = state->At(t, nodes);
   if (entry.computed) return entry.cost;
   entry.computed = true;  // set before recursing; t strictly decreases
@@ -85,7 +91,8 @@ double Cost(DpState* state, int t, int nodes) {
   }
   entry.cost = best;
   if (best_before >= 0 && best < kInfinity) {
-    entry.prev_time = t - state->planner->MoveSlots(best_before, nodes);
+    entry.prev_time =
+        t - state->planner->MoveSlots(NodeCount(best_before), NodeCount(nodes));
     entry.prev_nodes = best_before;
   }
   return entry.cost;
@@ -99,47 +106,47 @@ DpPlanner::DpPlanner(const PlannerParams& params) : params_(params) {
   PSTORE_CHECK(params_.partitions_per_node >= 1);
 }
 
-int DpPlanner::NodesFor(double load) const {
-  if (load <= 0.0) return 1;
-  return std::max(
-      1, static_cast<int>(std::ceil(load / params_.target_rate_per_node)));
+NodeCount DpPlanner::NodesFor(double load) const {
+  if (load <= 0.0) return NodeCount(1);
+  return NodeCount(std::max(
+      1, static_cast<int>(std::ceil(load / params_.target_rate_per_node))));
 }
 
-int DpPlanner::MoveSlots(int before, int after) const {
+int DpPlanner::MoveSlots(NodeCount before, NodeCount after) const {
   if (before == after) return 1;  // "do nothing" occupies one slot
   const double t = MoveTime(before, after, params_);
   return std::max(1, static_cast<int>(std::ceil(t)));
 }
 
-double DpPlanner::MoveCostCharged(int before, int after) const {
-  if (before == after) return before;
+double DpPlanner::MoveCostCharged(NodeCount before, NodeCount after) const {
+  if (before == after) return before.value();
   const double real_time = MoveTime(before, after, params_);
   const int slots = MoveSlots(before, after);
   const double padding = static_cast<double>(slots) - real_time;
   return MoveCost(before, after, params_) +
-         padding * static_cast<double>(after);
+         padding * static_cast<double>(after.value());
 }
 
 StatusOr<PlanResult> DpPlanner::BestMoves(
-    const std::vector<double>& predicted_load, int initial_nodes) const {
+    const std::vector<double>& predicted_load, NodeCount initial_nodes) const {
   if (predicted_load.size() < 2) {
     return Status::InvalidArgument("prediction horizon must cover >= 2 slots");
   }
-  if (initial_nodes < 1) {
+  if (initial_nodes < NodeCount(1)) {
     return Status::InvalidArgument("initial_nodes must be >= 1");
   }
   const int horizon = static_cast<int>(predicted_load.size()) - 1;
   const double max_load =
       *std::max_element(predicted_load.begin(), predicted_load.end());
   // Z: the maximum number of machines ever needed (Algorithm 1 line 2).
-  const int z = std::max(NodesFor(max_load), initial_nodes);
+  const int z = std::max(NodesFor(max_load), initial_nodes).value();
 
   // The memo is keyed only by (slot, machines), independent of the
   // final-machine target, so unlike the paper's pseudocode we build it
   // once and reuse it across candidate targets.
   DpState state;
   state.load = &predicted_load;
-  state.n0 = initial_nodes;
+  state.n0 = initial_nodes.value();
   state.z = z;
   state.planner = this;
   state.params = &params_;
@@ -154,7 +161,7 @@ StatusOr<PlanResult> DpPlanner::BestMoves(
     // Walk the memoized best moves backwards (Algorithm 1 lines 6-11).
     PlanResult result;
     result.total_cost = total;
-    result.final_nodes = final_nodes;
+    result.final_nodes = NodeCount(final_nodes);
     int t = horizon;
     int nodes = final_nodes;
     while (t > 0) {
@@ -163,15 +170,19 @@ StatusOr<PlanResult> DpPlanner::BestMoves(
       PSTORE_CHECK_MSG(entry.prev_time >= 0 && entry.prev_time < t,
                        "memoized move does not advance time");
       Move move;
-      move.start_slot = entry.prev_time;
-      move.end_slot = t;
-      move.nodes_before = entry.prev_nodes;
-      move.nodes_after = nodes;
+      move.start_slot = TimeStep(entry.prev_time);
+      move.end_slot = TimeStep(t);
+      move.nodes_before = NodeCount(entry.prev_nodes);
+      move.nodes_after = NodeCount(nodes);
       result.moves.push_back(move);
       t = entry.prev_time;
       nodes = entry.prev_nodes;
     }
     std::reverse(result.moves.begin(), result.moves.end());
+    // Debug builds mechanically re-verify every emitted plan against the
+    // paper's invariants (coverage, chaining, Eq. 7 feasibility, cost).
+    PSTORE_DCHECK_OK(
+        PlanValidator(params_).Validate(result, predicted_load, initial_nodes));
     return result;
   }
   return Status::Infeasible(

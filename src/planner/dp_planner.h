@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/strong_id.h"
 #include "planner/move.h"
 #include "planner/move_model.h"
 
@@ -29,25 +30,25 @@ class DpPlanner {
   // predicted load from N0 machines, and kInvalidArgument if the horizon
   // has fewer than 2 slots or initial_nodes < 1.
   StatusOr<PlanResult> BestMoves(const std::vector<double>& predicted_load,
-                                 int initial_nodes) const;
+                                 NodeCount initial_nodes) const;
 
   // The smallest number of machines whose full capacity covers `load`
   // (ceil(load / Q)), never less than 1.
-  int NodesFor(double load) const;
+  NodeCount NodesFor(double load) const;
 
   const PlannerParams& params() const { return params_; }
 
   // The integral duration of a move in slots as used by the dynamic
   // program: ceil of Eq. 3, and at least 1 so every move occupies a slot
   // (Algorithm 2 line 9).
-  int MoveSlots(int before, int after) const;
+  int MoveSlots(NodeCount before, NodeCount after) const;
 
   // The cost charged for a move lasting MoveSlots(before, after) slots:
   // the Eq. 4 cost for the real-valued migration time plus `after`
   // machines for the remainder of the final slot (the migration finishes
   // partway through it). For before == after this is `before` (one slot
   // at B machines, Algorithm 2 line 9).
-  double MoveCostCharged(int before, int after) const;
+  double MoveCostCharged(NodeCount before, NodeCount after) const;
 
  private:
   PlannerParams params_;

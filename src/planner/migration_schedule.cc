@@ -1,12 +1,12 @@
 #include "planner/migration_schedule.h"
 
 #include <algorithm>
-#include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
-#include "common/logging.h"
+#include "common/check.h"
+#include "planner/validate.h"
 
 namespace pstore {
 namespace {
@@ -53,7 +53,7 @@ class EdgeColorer {
     for (int sender = 0; sender < static_cast<int>(sender_color_.size());
          ++sender) {
       const int receiver = sender_color_[sender][color];
-      if (receiver >= 0) out.push_back({sender, receiver});
+      if (receiver >= 0) out.push_back({NodeId(sender), NodeId(receiver)});
     }
     return out;
   }
@@ -126,10 +126,10 @@ std::vector<ScheduleRound> BuildScaleOutRounds(int s, int l) {
   if (delta <= s) {
     for (int k = 0; k < s; ++k) {
       ScheduleRound round;
-      round.machines_allocated = l;
+      round.machines_allocated = NodeCount(l);
       round.phase = 1;
       for (int j = 0; j < delta; ++j) {
-        round.transfers.push_back({(j + k) % s, s + j});
+        round.transfers.push_back({NodeId((j + k) % s), NodeId(s + j)});
       }
       rounds.push_back(std::move(round));
     }
@@ -142,10 +142,10 @@ std::vector<ScheduleRound> BuildScaleOutRounds(int s, int l) {
                         int num_rounds) {
     for (int k = 0; k < num_rounds; ++k) {
       ScheduleRound round;
-      round.machines_allocated = allocated;
+      round.machines_allocated = NodeCount(allocated);
       round.phase = phase;
       for (int i = 0; i < s; ++i) {
-        round.transfers.push_back({i, block_start + (i + k) % s});
+        round.transfers.push_back({NodeId(i), NodeId(block_start + (i + k) % s)});
       }
       rounds.push_back(std::move(round));
     }
@@ -183,19 +183,22 @@ std::vector<ScheduleRound> BuildScaleOutRounds(int s, int l) {
       s, std::vector<bool>(l, false));  // served[sender][receiver]
   for (const ScheduleRound& round : rounds) {
     for (const TransferPair& pair : round.transfers) {
-      served[pair.sender][pair.receiver] = true;
+      served[static_cast<size_t>(pair.sender.value())]
+            [static_cast<size_t>(pair.receiver.value())] = true;
     }
   }
   EdgeColorer colorer(s, l, s);
   for (int i = 0; i < s; ++i) {
     for (int v = partial_start; v < l; ++v) {
       const bool is_new = v >= final_start;
-      if (is_new || !served[i][v]) colorer.ColorEdge(i, v);
+      if (is_new || !served[static_cast<size_t>(i)][static_cast<size_t>(v)]) {
+        colorer.ColorEdge(i, v);
+      }
     }
   }
   for (int k = 0; k < s; ++k) {
     ScheduleRound round;
-    round.machines_allocated = l;
+    round.machines_allocated = NodeCount(l);
     round.phase = 3;
     round.transfers = colorer.RoundPairs(k);
     PSTORE_CHECK_MSG(round.transfers.size() == static_cast<size_t>(s),
@@ -209,14 +212,14 @@ std::vector<ScheduleRound> BuildScaleOutRounds(int s, int l) {
 }  // namespace
 
 double MigrationSchedule::TotalFractionMoved() const {
-  const double b = static_cast<double>(nodes_before);
-  const double a = static_cast<double>(nodes_after);
+  const double b = static_cast<double>(nodes_before.value());
+  const double a = static_cast<double>(nodes_after.value());
   return IsScaleOut() ? 1.0 - b / a : 1.0 - a / b;
 }
 
 std::string MigrationSchedule::ToString() const {
-  std::string out = "Reconfiguration " + std::to_string(nodes_before) +
-                    " -> " + std::to_string(nodes_after) + " (" +
+  std::string out = "Reconfiguration " + std::to_string(nodes_before.value()) +
+                    " -> " + std::to_string(nodes_after.value()) + " (" +
                     std::to_string(rounds.size()) + " rounds)\n";
   int last_phase = 0;
   for (size_t i = 0; i < rounds.size(); ++i) {
@@ -226,20 +229,21 @@ std::string MigrationSchedule::ToString() const {
       last_phase = round.phase;
     }
     out += "  round " + std::to_string(i + 1) + " (machines " +
-           std::to_string(round.machines_allocated) + "): ";
+           std::to_string(round.machines_allocated.value()) + "): ";
     for (size_t j = 0; j < round.transfers.size(); ++j) {
       if (j > 0) out += ", ";
       // 1-based machine ids, matching the paper's Table 1.
-      out += std::to_string(round.transfers[j].sender + 1) + " -> " +
-             std::to_string(round.transfers[j].receiver + 1);
+      out += std::to_string(round.transfers[j].sender.value() + 1) + " -> " +
+             std::to_string(round.transfers[j].receiver.value() + 1);
     }
     out += "\n";
   }
   return out;
 }
 
-StatusOr<MigrationSchedule> BuildMigrationSchedule(int before, int after) {
-  if (before < 1 || after < 1) {
+StatusOr<MigrationSchedule> BuildMigrationSchedule(NodeCount before,
+                                                   NodeCount after) {
+  if (before < NodeCount(1) || after < NodeCount(1)) {
     return Status::InvalidArgument("machine counts must be >= 1");
   }
   if (before == after) {
@@ -248,18 +252,18 @@ StatusOr<MigrationSchedule> BuildMigrationSchedule(int before, int after) {
   MigrationSchedule schedule;
   schedule.nodes_before = before;
   schedule.nodes_after = after;
-  schedule.per_pair_fraction =
-      1.0 / (static_cast<double>(before) * static_cast<double>(after));
+  schedule.per_pair_fraction = 1.0 / (static_cast<double>(before.value()) *
+                                      static_cast<double>(after.value()));
 
   if (before < after) {
-    schedule.rounds = BuildScaleOutRounds(before, after);
+    schedule.rounds = BuildScaleOutRounds(before.value(), after.value());
   } else {
     // Scale-in is the time-reverse of the scale-out from `after` to
     // `before` machines with sender/receiver roles swapped: machines
     // [0, after) survive and receive; [after, before) drain and are
     // deallocated as soon as they finish sending.
     std::vector<ScheduleRound> out_rounds =
-        BuildScaleOutRounds(after, before);
+        BuildScaleOutRounds(after.value(), before.value());
     int max_phase = 1;
     for (const ScheduleRound& round : out_rounds) {
       max_phase = std::max(max_phase, round.phase);
@@ -278,73 +282,7 @@ StatusOr<MigrationSchedule> BuildMigrationSchedule(int before, int after) {
 }
 
 Status ValidateSchedule(const MigrationSchedule& schedule) {
-  const int before = schedule.nodes_before;
-  const int after = schedule.nodes_after;
-  const int larger = std::max(before, after);
-  const int smaller = std::min(before, after);
-  const int delta = larger - smaller;
-
-  const size_t expected_rounds =
-      static_cast<size_t>(delta <= smaller ? smaller : delta);
-  if (schedule.rounds.size() != expected_rounds) {
-    return Status::Internal(
-        "round count " + std::to_string(schedule.rounds.size()) +
-        " != expected " + std::to_string(expected_rounds));
-  }
-
-  // The stable machines are [0, smaller); the transient ones
-  // [smaller, larger). On scale-out stable machines send; on scale-in
-  // they receive.
-  std::set<std::pair<int, int>> seen_pairs;
-  for (size_t i = 0; i < schedule.rounds.size(); ++i) {
-    const ScheduleRound& round = schedule.rounds[i];
-    std::set<int> machines_this_round;
-    for (const TransferPair& pair : round.transfers) {
-      if (pair.sender < 0 || pair.sender >= larger || pair.receiver < 0 ||
-          pair.receiver >= larger) {
-        return Status::Internal("machine id out of range");
-      }
-      if (pair.sender >= round.machines_allocated ||
-          pair.receiver >= round.machines_allocated) {
-        return Status::Internal("transfer uses an unallocated machine");
-      }
-      if (!machines_this_round.insert(pair.sender).second ||
-          !machines_this_round.insert(pair.receiver).second) {
-        return Status::Internal("machine used twice in round " +
-                                std::to_string(i + 1));
-      }
-      if (!seen_pairs.insert({pair.sender, pair.receiver}).second) {
-        return Status::Internal("duplicate sender-receiver pair");
-      }
-      const bool sender_stable = pair.sender < smaller;
-      const bool receiver_stable = pair.receiver < smaller;
-      const bool scale_out = after > before;
-      if (scale_out && (!sender_stable || receiver_stable)) {
-        return Status::Internal("scale-out transfer direction wrong");
-      }
-      if (!scale_out && (sender_stable || !receiver_stable)) {
-        return Status::Internal("scale-in transfer direction wrong");
-      }
-    }
-  }
-
-  // Pair completeness: every (stable, transient) combination exactly
-  // once. Combined with equal per-pair amounts this guarantees equal
-  // shares on every machine after the move.
-  if (seen_pairs.size() != static_cast<size_t>(smaller) * delta) {
-    return Status::Internal("schedule does not cover all machine pairs");
-  }
-
-  // Just-in-time allocation must be monotone: non-decreasing on
-  // scale-out, non-increasing on scale-in.
-  for (size_t i = 1; i < schedule.rounds.size(); ++i) {
-    const int prev = schedule.rounds[i - 1].machines_allocated;
-    const int curr = schedule.rounds[i].machines_allocated;
-    if (after > before ? curr < prev : curr > prev) {
-      return Status::Internal("machine allocation not monotone");
-    }
-  }
-  return Status::OK();
+  return ScheduleValidator().Validate(schedule);
 }
 
 }  // namespace pstore

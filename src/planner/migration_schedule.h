@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/strong_id.h"
 
 namespace pstore {
 
@@ -14,8 +15,8 @@ namespace pstore {
 // from B to A, machines [0, A) survive and [A, B) are drained and
 // removed.
 struct TransferPair {
-  int sender = 0;
-  int receiver = 0;
+  NodeId sender{0};
+  NodeId receiver{0};
 
   friend bool operator==(const TransferPair&, const TransferPair&) = default;
 };
@@ -26,7 +27,7 @@ struct TransferPair {
 struct ScheduleRound {
   std::vector<TransferPair> transfers;
   // Machines allocated while this round runs (just-in-time allocation).
-  int machines_allocated = 0;
+  NodeCount machines_allocated{0};
   // Phase of the three-phase schedule this round belongs to (1-3);
   // single-phase moves use phase 1 throughout.
   int phase = 1;
@@ -37,8 +38,8 @@ struct ScheduleRound {
 // exactly once, moving fraction 1/(A*B) of the database, so all machines
 // hold equal shares before and after the move.
 struct MigrationSchedule {
-  int nodes_before = 0;
-  int nodes_after = 0;
+  NodeCount nodes_before{0};
+  NodeCount nodes_after{0};
   // Fraction of the whole database moved by each individual transfer.
   double per_pair_fraction = 0.0;
   std::vector<ScheduleRound> rounds;
@@ -58,16 +59,16 @@ struct MigrationSchedule {
 // and allocates/deallocates machines just in time, using the three-phase
 // structure when the cluster delta is a non-multiple of the smaller
 // cluster size.
-StatusOr<MigrationSchedule> BuildMigrationSchedule(int before, int after);
+StatusOr<MigrationSchedule> BuildMigrationSchedule(NodeCount before,
+                                                   NodeCount after);
 
-// Validates the structural invariants of a schedule:
-//  - every machine appears at most once per round,
-//  - every (sender, receiver) pair appears at most once overall,
-//  - senders (receivers) hold equal shares after the move,
-//  - the round count equals the theoretical minimum
-//    (smaller cluster size if delta <= smaller, else delta).
-// Returns OK or a description of the first violated invariant. Exposed
-// so tests and the migration executor can double-check schedules.
+// Validates the structural invariants of a schedule (see
+// planner/validate.h for the full catalogue): every machine in at most
+// one transfer per round, every pair at most once overall, equal shares
+// after the move, minimal round count, monotone just-in-time allocation.
+// Returns OK or a description of the first violated invariant.
+// Convenience wrapper over ScheduleValidator, kept for callers that only
+// need a yes/no answer.
 Status ValidateSchedule(const MigrationSchedule& schedule);
 
 }  // namespace pstore

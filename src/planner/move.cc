@@ -7,11 +7,11 @@ namespace pstore {
 std::string Move::ToString() const {
   char buf[96];
   if (IsReconfiguration()) {
-    std::snprintf(buf, sizeof(buf), "[%d,%d] %d->%d", start_slot, end_slot,
-                  nodes_before, nodes_after);
+    std::snprintf(buf, sizeof(buf), "[%d,%d] %d->%d", start_slot.value(),
+                  end_slot.value(), nodes_before.value(), nodes_after.value());
   } else {
-    std::snprintf(buf, sizeof(buf), "[%d,%d] stay %d", start_slot, end_slot,
-                  nodes_before);
+    std::snprintf(buf, sizeof(buf), "[%d,%d] stay %d", start_slot.value(),
+                  end_slot.value(), nodes_before.value());
   }
   return buf;
 }

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "common/strong_id.h"
+
 namespace pstore {
 
 // One move of the predictive elasticity algorithm (paper §4.3): a
@@ -12,10 +14,10 @@ namespace pstore {
 // nodes_before == nodes_after is the "do nothing" move, which by
 // definition lasts exactly one slot.
 struct Move {
-  int start_slot = 0;
-  int end_slot = 0;
-  int nodes_before = 0;
-  int nodes_after = 0;
+  TimeStep start_slot{0};
+  TimeStep end_slot{0};
+  NodeCount nodes_before{0};
+  NodeCount nodes_after{0};
 
   bool IsReconfiguration() const { return nodes_before != nodes_after; }
   int DurationSlots() const { return end_slot - start_slot; }
@@ -31,7 +33,7 @@ struct Move {
 struct PlanResult {
   std::vector<Move> moves;
   double total_cost = 0.0;
-  int final_nodes = 0;
+  NodeCount final_nodes{0};
 
   // The plan with consecutive "do nothing" moves merged, so the caller
   // sees actual reconfigurations separated by idle stretches.

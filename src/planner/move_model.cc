@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace pstore {
 namespace {
@@ -28,36 +28,37 @@ MoveShape ShapeOf(int before, int after) {
 
 }  // namespace
 
-int MaxParallelTransfers(int before, int after, int partitions_per_node) {
-  PSTORE_CHECK(before >= 1 && after >= 1 && partitions_per_node >= 1);
+int MaxParallelTransfers(NodeCount before, NodeCount after,
+                         const PlannerParams& params) {
+  PSTORE_CHECK(before >= NodeCount(1) && after >= NodeCount(1) &&
+               params.partitions_per_node >= 1);
   if (before == after) return 0;
-  const MoveShape shape = ShapeOf(before, after);
-  return partitions_per_node * std::min(shape.smaller, shape.delta);
+  const MoveShape shape = ShapeOf(before.value(), after.value());
+  return params.partitions_per_node * std::min(shape.smaller, shape.delta);
 }
 
-double MoveTime(int before, int after, const PlannerParams& params) {
-  PSTORE_CHECK(before >= 1 && after >= 1);
+double MoveTime(NodeCount before, NodeCount after,
+                const PlannerParams& params) {
+  PSTORE_CHECK(before >= NodeCount(1) && after >= NodeCount(1));
   if (before == after) return 0.0;
-  const int parallel =
-      MaxParallelTransfers(before, after, params.partitions_per_node);
-  const double fraction_moved =
-      before < after
-          ? 1.0 - static_cast<double>(before) / static_cast<double>(after)
-          : 1.0 - static_cast<double>(after) / static_cast<double>(before);
+  const int parallel = MaxParallelTransfers(before, after, params);
+  const double b = static_cast<double>(before.value());
+  const double a = static_cast<double>(after.value());
+  const double fraction_moved = before < after ? 1.0 - b / a : 1.0 - a / b;
   return params.d_slots / static_cast<double>(parallel) * fraction_moved;
 }
 
-double Capacity(int nodes, const PlannerParams& params) {
-  PSTORE_CHECK(nodes >= 0);
-  return params.target_rate_per_node * static_cast<double>(nodes);
+double Capacity(NodeCount nodes, const PlannerParams& params) {
+  PSTORE_CHECK(nodes >= NodeCount(0));
+  return params.target_rate_per_node * static_cast<double>(nodes.value());
 }
 
-double EffectiveCapacity(int before, int after, double fraction_moved,
-                         const PlannerParams& params) {
-  PSTORE_CHECK(before >= 1 && after >= 1);
+double EffectiveCapacity(NodeCount before, NodeCount after,
+                         double fraction_moved, const PlannerParams& params) {
+  PSTORE_CHECK(before >= NodeCount(1) && after >= NodeCount(1));
   const double f = std::clamp(fraction_moved, 0.0, 1.0);
-  const double b = static_cast<double>(before);
-  const double a = static_cast<double>(after);
+  const double b = static_cast<double>(before.value());
+  const double a = static_cast<double>(after.value());
   if (before == after) return Capacity(before, params);
   // Share of the database held by each of the busiest machines: the
   // original B machines when scaling out, the surviving A machines when
@@ -73,11 +74,11 @@ double EffectiveCapacity(int before, int after, double fraction_moved,
   return params.target_rate_per_node / largest_share;
 }
 
-int MachinesAllocatedAt(int before, int after, double f) {
-  PSTORE_CHECK(before >= 1 && after >= 1);
+NodeCount MachinesAllocatedAt(NodeCount before, NodeCount after, double f) {
+  PSTORE_CHECK(before >= NodeCount(1) && after >= NodeCount(1));
   f = std::clamp(f, 0.0, 1.0);
   if (before == after) return before;
-  const MoveShape shape = ShapeOf(before, after);
+  const MoveShape shape = ShapeOf(before.value(), after.value());
   const int s = shape.smaller;
   const int l = shape.larger;
   const int delta = shape.delta;
@@ -88,7 +89,7 @@ int MachinesAllocatedAt(int before, int after, double f) {
   const double g = before < after ? f : 1.0 - f;
 
   // Case 1: all machines added at once.
-  if (s >= delta) return l;
+  if (s >= delta) return NodeCount(l);
 
   // Case 2: delta is a multiple of s; blocks of s machines are allocated
   // and filled one after another, each taking s/delta of the move.
@@ -97,7 +98,7 @@ int MachinesAllocatedAt(int before, int after, double f) {
     int active_block =
         static_cast<int>(std::floor(g * static_cast<double>(blocks)));
     active_block = std::min(active_block, blocks - 1);
-    return s + (active_block + 1) * s;
+    return NodeCount(s + (active_block + 1) * s);
   }
 
   // Case 3: three phases (paper §4.4.1, Fig. 4c).
@@ -114,16 +115,16 @@ int MachinesAllocatedAt(int before, int after, double f) {
   if (g < phase1_end) {
     int active_step = static_cast<int>(std::floor(g / step));
     active_step = std::min(active_step, n1 - 1);
-    return s + (active_step + 1) * s;
+    return NodeCount(s + (active_step + 1) * s);
   }
-  if (g < phase2_end) return l - r;
-  return l;
+  if (g < phase2_end) return NodeCount(l - r);
+  return NodeCount(l);
 }
 
-double AvgMachinesAllocated(int before, int after) {
-  PSTORE_CHECK(before >= 1 && after >= 1);
-  if (before == after) return before;
-  const MoveShape shape = ShapeOf(before, after);
+double AvgMachinesAllocated(NodeCount before, NodeCount after) {
+  PSTORE_CHECK(before >= NodeCount(1) && after >= NodeCount(1));
+  if (before == after) return before.value();
+  const MoveShape shape = ShapeOf(before.value(), after.value());
   const double s = shape.smaller;
   const double l = shape.larger;
   const double delta = shape.delta;
@@ -149,7 +150,8 @@ double AvgMachinesAllocated(int before, int after) {
   return phase1 + phase2 + phase3;
 }
 
-double MoveCost(int before, int after, const PlannerParams& params) {
+double MoveCost(NodeCount before, NodeCount after,
+                const PlannerParams& params) {
   if (before == after) return 0.0;
   return MoveTime(before, after, params) * AvgMachinesAllocated(before, after);
 }

@@ -1,6 +1,8 @@
 #ifndef PSTORE_PLANNER_MOVE_MODEL_H_
 #define PSTORE_PLANNER_MOVE_MODEL_H_
 
+#include "common/strong_id.h"
+
 namespace pstore {
 
 // Model parameters extracted by offline evaluation (paper §4.1).
@@ -26,40 +28,43 @@ struct PlannerParams {
 };
 
 // Eq. 2: the maximum number of parallel data transfers when moving from
-// `before` to `after` machines with `partitions_per_node` partitions per
-// machine. Zero when before == after.
-int MaxParallelTransfers(int before, int after, int partitions_per_node);
+// `before` to `after` machines with params.partitions_per_node partitions
+// per machine. Zero when before == after.
+int MaxParallelTransfers(NodeCount before, NodeCount after,
+                         const PlannerParams& params);
 
 // Eq. 3: time for the move from `before` to `after` machines, in the same
 // (fractional) slot units as params.d_slots. Zero when before == after.
-double MoveTime(int before, int after, const PlannerParams& params);
+double MoveTime(NodeCount before, NodeCount after,
+                const PlannerParams& params);
 
 // Eq. 5: total capacity of n evenly-loaded machines, Q * n.
-double Capacity(int nodes, const PlannerParams& params);
+double Capacity(NodeCount nodes, const PlannerParams& params);
 
 // Eq. 7: effective capacity of the system after a fraction
 // `fraction_moved` (in [0,1]) of the migrating data has been moved during
 // a reconfiguration from `before` to `after` machines. While data is in
 // flight the most-loaded machine bounds system throughput, so effective
 // capacity lags the machine count.
-double EffectiveCapacity(int before, int after, double fraction_moved,
-                         const PlannerParams& params);
+double EffectiveCapacity(NodeCount before, NodeCount after,
+                         double fraction_moved, const PlannerParams& params);
 
 // Algorithm 4: average number of machines allocated over the course of a
 // move, taking just-in-time allocation of the three-phase schedule into
 // account. Symmetric in (before, after).
-double AvgMachinesAllocated(int before, int after);
+double AvgMachinesAllocated(NodeCount before, NodeCount after);
 
 // The number of machines allocated at move-progress fraction `f` in
 // [0, 1) — the step profile whose time-average Algorithm 4 computes
 // (plotted in Fig. 4; also used by the coarse simulator for cost
 // accounting). At f == 0 the first phase's machines are already
 // allocated.
-int MachinesAllocatedAt(int before, int after, double f);
+NodeCount MachinesAllocatedAt(NodeCount before, NodeCount after, double f);
 
 // Eq. 4: cost of a move, T(B,A) * avg-mach-alloc(B,A), in machine-slots.
 // Zero when before == after.
-double MoveCost(int before, int after, const PlannerParams& params);
+double MoveCost(NodeCount before, NodeCount after,
+                const PlannerParams& params);
 
 }  // namespace pstore
 

@@ -1,0 +1,263 @@
+#include "planner/validate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <set>
+#include <utility>
+
+#include "planner/dp_planner.h"
+
+namespace pstore {
+namespace {
+
+Status FirstViolationOrOk(const std::vector<std::string>& violations) {
+  if (violations.empty()) return Status::OK();
+  std::string message = violations.front();
+  if (violations.size() > 1) {
+    message += " (+" + std::to_string(violations.size() - 1) +
+               " more violation(s))";
+  }
+  return Status::Internal(message);
+}
+
+}  // namespace
+
+std::vector<std::string> ScheduleValidator::Violations(
+    const MigrationSchedule& schedule) const {
+  std::vector<std::string> violations;
+  const int before = schedule.nodes_before.value();
+  const int after = schedule.nodes_after.value();
+  if (before < 1 || after < 1 || before == after) {
+    violations.push_back("machine counts invalid: " + std::to_string(before) +
+                         " -> " + std::to_string(after));
+    return violations;
+  }
+  const int larger = std::max(before, after);
+  const int smaller = std::min(before, after);
+  const int delta = larger - smaller;
+  const bool scale_out = after > before;
+
+  // Minimal round count (Eq. 2 parallelism saturated every round).
+  const size_t expected_rounds =
+      static_cast<size_t>(delta <= smaller ? smaller : delta);
+  if (schedule.rounds.size() != expected_rounds) {
+    violations.push_back("round count " +
+                         std::to_string(schedule.rounds.size()) +
+                         " != expected " + std::to_string(expected_rounds));
+  }
+
+  // Equal per-pair amounts: each of the smaller*delta transfers carries
+  // fraction 1/(B*A) of the database.
+  const double expected_fraction =
+      1.0 / (static_cast<double>(before) * static_cast<double>(after));
+  if (std::abs(schedule.per_pair_fraction - expected_fraction) >
+      1e-12 * expected_fraction) {
+    violations.push_back("per-pair fraction " +
+                         std::to_string(schedule.per_pair_fraction) +
+                         " != 1/(B*A)");
+  }
+
+  // The stable machines are [0, smaller); the transient ones
+  // [smaller, larger). On scale-out stable machines send; on scale-in
+  // they receive.
+  std::set<std::pair<int, int>> seen_pairs;
+  std::vector<int> transfers_per_machine(static_cast<size_t>(larger), 0);
+  for (size_t i = 0; i < schedule.rounds.size(); ++i) {
+    const ScheduleRound& round = schedule.rounds[i];
+    std::set<int> machines_this_round;
+    for (const TransferPair& pair : round.transfers) {
+      const int sender = pair.sender.value();
+      const int receiver = pair.receiver.value();
+      if (sender < 0 || sender >= larger || receiver < 0 ||
+          receiver >= larger) {
+        violations.push_back("machine id out of range in round " +
+                             std::to_string(i + 1));
+        continue;
+      }
+      if (NodeCount(sender) >= round.machines_allocated ||
+          NodeCount(receiver) >= round.machines_allocated) {
+        violations.push_back("transfer uses an unallocated machine in round " +
+                             std::to_string(i + 1));
+      }
+      if (!machines_this_round.insert(sender).second ||
+          !machines_this_round.insert(receiver).second) {
+        violations.push_back("machine used twice in round " +
+                             std::to_string(i + 1));
+      }
+      if (!seen_pairs.insert({sender, receiver}).second) {
+        violations.push_back("duplicate sender-receiver pair " +
+                             std::to_string(sender) + " -> " +
+                             std::to_string(receiver));
+      }
+      ++transfers_per_machine[static_cast<size_t>(sender)];
+      ++transfers_per_machine[static_cast<size_t>(receiver)];
+      const bool sender_stable = sender < smaller;
+      const bool receiver_stable = receiver < smaller;
+      if (scale_out && (!sender_stable || receiver_stable)) {
+        violations.push_back("scale-out transfer direction wrong in round " +
+                             std::to_string(i + 1));
+      }
+      if (!scale_out && (sender_stable || !receiver_stable)) {
+        violations.push_back("scale-in transfer direction wrong in round " +
+                             std::to_string(i + 1));
+      }
+    }
+  }
+
+  // Pair completeness: every (stable, transient) combination exactly
+  // once. Combined with equal per-pair amounts this guarantees equal
+  // shares on every machine after the move.
+  if (seen_pairs.size() !=
+      static_cast<size_t>(smaller) * static_cast<size_t>(delta)) {
+    violations.push_back("schedule does not cover all machine pairs (" +
+                         std::to_string(seen_pairs.size()) + " of " +
+                         std::to_string(smaller * delta) + ")");
+  }
+
+  // Equal post-move shares, checked per machine: a stable machine must
+  // take part in exactly `delta` transfers of 1/(B*A) each and a
+  // transient machine in exactly `smaller`, which lands every surviving
+  // machine on share 1/max(B,A) exactly.
+  for (int machine = 0; machine < larger; ++machine) {
+    const int expected = machine < smaller ? delta : smaller;
+    const int actual = transfers_per_machine[static_cast<size_t>(machine)];
+    if (actual != expected) {
+      violations.push_back(
+          "machine " + std::to_string(machine) + " in " +
+          std::to_string(actual) + " transfers, expected " +
+          std::to_string(expected) + " (unequal post-move share)");
+    }
+  }
+
+  // Just-in-time allocation must be monotone: non-decreasing on
+  // scale-out, non-increasing on scale-in.
+  for (size_t i = 1; i < schedule.rounds.size(); ++i) {
+    const NodeCount prev = schedule.rounds[i - 1].machines_allocated;
+    const NodeCount curr = schedule.rounds[i].machines_allocated;
+    if (scale_out ? curr < prev : curr > prev) {
+      violations.push_back("machine allocation not monotone at round " +
+                           std::to_string(i + 1));
+    }
+  }
+  return violations;
+}
+
+Status ScheduleValidator::Validate(const MigrationSchedule& schedule) const {
+  return FirstViolationOrOk(Violations(schedule));
+}
+
+PlanValidator::PlanValidator(const PlannerParams& params) : params_(params) {}
+
+std::vector<std::string> PlanValidator::Violations(
+    const PlanResult& plan, const std::vector<double>& predicted_load,
+    NodeCount initial_nodes) const {
+  std::vector<std::string> violations;
+  if (predicted_load.size() < 2) {
+    violations.push_back("prediction horizon must cover >= 2 slots");
+    return violations;
+  }
+  if (initial_nodes < NodeCount(1)) {
+    violations.push_back("initial_nodes must be >= 1");
+    return violations;
+  }
+  const int horizon = static_cast<int>(predicted_load.size()) - 1;
+  if (plan.moves.empty()) {
+    violations.push_back("plan has no moves");
+    return violations;
+  }
+
+  const DpPlanner rules(params_);
+
+  // The initial allocation must already cover the measured load (the
+  // Algorithm 2 base case).
+  if (predicted_load[0] > Capacity(initial_nodes, params_)) {
+    violations.push_back("load[0] exceeds the initial capacity");
+  }
+
+  // Coverage and chaining: moves tile (0, T] and the machine counts form
+  // an unbroken sequence from initial_nodes to final_nodes.
+  if (plan.moves.front().start_slot != TimeStep(0)) {
+    violations.push_back("first move does not start at slot 0");
+  }
+  if (plan.moves.front().nodes_before != initial_nodes) {
+    violations.push_back("first move does not start from the initial " +
+                         std::to_string(initial_nodes.value()) + " machines");
+  }
+  if (plan.moves.back().end_slot != TimeStep(horizon)) {
+    violations.push_back("last move does not end at the horizon");
+  }
+  if (plan.final_nodes != plan.moves.back().nodes_after) {
+    violations.push_back("final_nodes does not match the last move");
+  }
+
+  double expected_cost = static_cast<double>(initial_nodes.value());
+  for (size_t i = 0; i < plan.moves.size(); ++i) {
+    const Move& move = plan.moves[i];
+    const std::string label = "move " + std::to_string(i + 1) + " (" +
+                              move.ToString() + ")";
+    if (move.nodes_before < NodeCount(1) || move.nodes_after < NodeCount(1)) {
+      violations.push_back(label + ": machine count below 1");
+      return violations;
+    }
+    if (move.DurationSlots() <= 0) {
+      violations.push_back(label + ": does not advance time");
+      return violations;
+    }
+    if (i > 0) {
+      if (move.start_slot != plan.moves[i - 1].end_slot) {
+        violations.push_back(label + ": not contiguous with previous move");
+      }
+      if (move.nodes_before != plan.moves[i - 1].nodes_after) {
+        violations.push_back(label + ": machine count chain broken");
+      }
+    }
+    const int expected_slots =
+        rules.MoveSlots(move.nodes_before, move.nodes_after);
+    if (move.DurationSlots() != expected_slots) {
+      violations.push_back(label + ": duration " +
+                           std::to_string(move.DurationSlots()) +
+                           " slots != ceil(Eq. 3) = " +
+                           std::to_string(expected_slots));
+    }
+    // Eq. 7 feasibility at every step of the move, mirroring the
+    // planners' own check (fraction moved advances linearly in slots).
+    const int duration = move.DurationSlots();
+    for (int step = 1; step <= duration; ++step) {
+      const size_t slot =
+          static_cast<size_t>(move.start_slot.value() + step);
+      if (slot >= predicted_load.size()) break;  // reported via coverage
+      const double fraction =
+          static_cast<double>(step) / static_cast<double>(duration);
+      const double capacity =
+          params_.assume_instant_capacity || !move.IsReconfiguration()
+              ? Capacity(move.nodes_after, params_)
+              : EffectiveCapacity(move.nodes_before, move.nodes_after,
+                                  fraction, params_);
+      if (predicted_load[slot] > capacity) {
+        violations.push_back(
+            label + ": predicted load " + std::to_string(predicted_load[slot]) +
+            " exceeds effective capacity " + std::to_string(capacity) +
+            " at slot " + std::to_string(slot));
+      }
+    }
+    expected_cost += rules.MoveCostCharged(move.nodes_before, move.nodes_after);
+  }
+
+  // Cost accounting (Eq. 1 / Algorithm 2): N0 machines billed for slot 0
+  // plus the charged cost of every move.
+  if (std::abs(plan.total_cost - expected_cost) >
+      1e-6 * std::max(1.0, std::abs(expected_cost))) {
+    violations.push_back("total_cost " + std::to_string(plan.total_cost) +
+                         " != recomputed " + std::to_string(expected_cost));
+  }
+  return violations;
+}
+
+Status PlanValidator::Validate(const PlanResult& plan,
+                               const std::vector<double>& predicted_load,
+                               NodeCount initial_nodes) const {
+  return FirstViolationOrOk(Violations(plan, predicted_load, initial_nodes));
+}
+
+}  // namespace pstore

@@ -1,0 +1,75 @@
+#ifndef PSTORE_PLANNER_VALIDATE_H_
+#define PSTORE_PLANNER_VALIDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/strong_id.h"
+#include "planner/migration_schedule.h"
+#include "planner/move.h"
+#include "planner/move_model.h"
+
+namespace pstore {
+
+// Mechanical verification of the paper's migration-schedule invariants
+// (§4.4.1, Table 1). A valid schedule satisfies:
+//  - every machine appears in at most one transfer per round (the Squall
+//    constraint: all transfers of a round proceed concurrently),
+//  - every (sender, receiver) pair appears at most once overall, and all
+//    smaller*delta pairs are covered,
+//  - every machine participates in exactly the transfer count that lands
+//    all machines on equal data shares after the move (each transfer
+//    carries fraction 1/(B*A) of the database),
+//  - transfers point stable -> transient on scale-out and transient ->
+//    stable on scale-in, and never touch an unallocated machine,
+//  - the round count equals the theoretical minimum (smaller cluster
+//    size if delta <= smaller, else delta),
+//  - just-in-time machine allocation is monotone (non-decreasing on
+//    scale-out, non-increasing on scale-in).
+class ScheduleValidator {
+ public:
+  // Every violated invariant, one human-readable line each (empty =
+  // valid). Collecting all of them makes test failures and chaos-drill
+  // postmortems actionable in one pass.
+  std::vector<std::string> Violations(const MigrationSchedule& schedule) const;
+
+  // OK, or kInternal describing the first violation (and how many more
+  // there are).
+  Status Validate(const MigrationSchedule& schedule) const;
+};
+
+// Mechanical verification of an emitted plan against the move model
+// (§4.3, Algorithms 1-3). A valid plan for `predicted_load` (indexed by
+// slot, slot 0 = "now", T = predicted_load.size() - 1) satisfies:
+//  - moves cover (0, T] contiguously and monotonically in time,
+//  - the machine counts chain: the first move starts from
+//    `initial_nodes`, and each move starts where the previous ended,
+//  - every move's slot duration is the ceil of its Eq. 3 migration time
+//    (minimum 1 slot; "do nothing" moves last exactly 1 slot),
+//  - predicted load never exceeds the Eq. 7 effective capacity at any
+//    step of any move (or full Eq. 5 capacity under the
+//    assume_instant_capacity ablation), including load[0] against the
+//    initial allocation,
+//  - final_nodes matches the last move, and total_cost equals the
+//    Algorithm 2 accounting (N0 billed for slot 0 plus per-move charged
+//    costs).
+class PlanValidator {
+ public:
+  explicit PlanValidator(const PlannerParams& params);
+
+  std::vector<std::string> Violations(
+      const PlanResult& plan, const std::vector<double>& predicted_load,
+      NodeCount initial_nodes) const;
+
+  Status Validate(const PlanResult& plan,
+                  const std::vector<double>& predicted_load,
+                  NodeCount initial_nodes) const;
+
+ private:
+  PlannerParams params_;
+};
+
+}  // namespace pstore
+
+#endif  // PSTORE_PLANNER_VALIDATE_H_

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <functional>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "planner/dp_planner.h"
 #include "planner/move_model.h"
 
@@ -40,7 +40,7 @@ class CapacitySimulator::Run {
     for (size_t t = options_.eval_begin; t < end; ++t) {
       fine_slot_ = t;
       // Complete a move whose duration has elapsed.
-      if (move_active_ && t >= move_end_) {
+      if (move_active_ && static_cast<double>(t) >= move_end_) {
         nodes_ = move_to_;
         move_active_ = false;
       }
@@ -53,8 +53,11 @@ class CapacitySimulator::Run {
             std::clamp((static_cast<double>(t) + 1.0 - move_start_) /
                            (move_end_ - move_start_),
                        0.0, 1.0);
-        eff_cap = EffectiveCapacity(move_from_, move_to_, f, serve_params_);
-        machines = MachinesAllocatedAt(move_from_, move_to_, f);
+        eff_cap = EffectiveCapacity(NodeCount(move_from_), NodeCount(move_to_),
+                                    f, serve_params_);
+        machines =
+            MachinesAllocatedAt(NodeCount(move_from_), NodeCount(move_to_), f)
+                .value();
       } else {
         eff_cap = options_.q_hat * nodes_;
         machines = nodes_;
@@ -185,21 +188,23 @@ StatusOr<SimResult> CapacitySimulator::RunPredictive(
       load.push_back(std::max(0.0, v * options_.inflation));
     }
 
-    StatusOr<PlanResult> plan = planner.BestMoves(load, run.nodes());
+    StatusOr<PlanResult> plan =
+        planner.BestMoves(load, NodeCount(run.nodes()));
     if (!plan.ok()) {
       // No feasible plan: react by scaling straight to the needed size
       // at the regular migration rate (paper §4.3.1 option 2).
       const double peak = *std::max_element(load.begin(), load.end());
       const int target =
-          std::min(options_.max_nodes, planner.NodesFor(peak));
+          std::min(options_.max_nodes, planner.NodesFor(peak).value());
       if (target != run.nodes()) {
         scale_in_votes = 0;
-        run.StartMove(target, planner.MoveSlots(run.nodes(), target));
+        run.StartMove(target, planner.MoveSlots(NodeCount(run.nodes()),
+                                                NodeCount(target)));
       }
       return;
     }
     const Move* first = plan->FirstReconfiguration();
-    if (first == nullptr || first->start_slot > 0) {
+    if (first == nullptr || first->start_slot > TimeStep(0)) {
       if (first == nullptr || first->nodes_after >= first->nodes_before) {
         scale_in_votes = 0;
       }
@@ -209,7 +214,7 @@ StatusOr<SimResult> CapacitySimulator::RunPredictive(
       if (++scale_in_votes < options_.scale_in_confirm_cycles) return;
     }
     scale_in_votes = 0;
-    run.StartMove(first->nodes_after,
+    run.StartMove(first->nodes_after.value(),
                   planner.MoveSlots(first->nodes_before, first->nodes_after));
   };
   return run.Execute(decide);
@@ -238,13 +243,15 @@ StatusOr<SimResult> CapacitySimulator::RunReactive(
           std::max(nodes + 1,
                    static_cast<int>(std::ceil(
                        load * (1.0 + params.headroom) / options_.q))));
-      run.StartMove(target, planner.MoveSlots(nodes, target));
+      run.StartMove(target,
+                    planner.MoveSlots(NodeCount(nodes), NodeCount(target)));
     } else if (nodes > 1 &&
                load < params.low_watermark * options_.q * (nodes - 1)) {
       overload_slots = 0;
       if (++low_slots >= params.low_slots_required) {
         low_slots = 0;
-        run.StartMove(nodes - 1, planner.MoveSlots(nodes, nodes - 1));
+        run.StartMove(nodes - 1, planner.MoveSlots(NodeCount(nodes),
+                                                   NodeCount(nodes - 1)));
       }
     } else {
       low_slots = 0;
@@ -269,7 +276,8 @@ StatusOr<SimResult> CapacitySimulator::RunSimple(
         slot_of_day >= params.up_slot && slot_of_day < params.down_slot;
     const int desired = daytime ? params.day_nodes : params.night_nodes;
     if (desired != run.nodes()) {
-      run.StartMove(desired, planner.MoveSlots(run.nodes(), desired));
+      run.StartMove(desired, planner.MoveSlots(NodeCount(run.nodes()),
+                                               NodeCount(desired)));
     }
   };
   return run.Execute(decide);

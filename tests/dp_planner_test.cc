@@ -29,13 +29,13 @@ void CheckPlanFeasible(const PlanResult& plan,
                        const std::vector<double>& load,
                        const PlannerParams& params, int initial_nodes) {
   ASSERT_FALSE(plan.moves.empty());
-  EXPECT_EQ(plan.moves.front().start_slot, 0);
-  EXPECT_EQ(plan.moves.front().nodes_before, initial_nodes);
+  EXPECT_EQ(plan.moves.front().start_slot, TimeStep(0));
+  EXPECT_EQ(plan.moves.front().nodes_before, NodeCount(initial_nodes));
   EXPECT_EQ(plan.moves.back().end_slot,
-            static_cast<int>(load.size()) - 1);
-  EXPECT_LE(load[0], Capacity(initial_nodes, params));
-  int prev_end = 0;
-  int prev_nodes = initial_nodes;
+            TimeStep(static_cast<int>(load.size()) - 1));
+  EXPECT_LE(load[0], Capacity(NodeCount(initial_nodes), params));
+  TimeStep prev_end(0);
+  NodeCount prev_nodes(initial_nodes);
   for (const Move& move : plan.moves) {
     EXPECT_EQ(move.start_slot, prev_end);
     EXPECT_EQ(move.nodes_before, prev_nodes);
@@ -47,7 +47,8 @@ void CheckPlanFeasible(const PlanResult& plan,
       const double cap = EffectiveCapacity(move.nodes_before,
                                            move.nodes_after, fraction,
                                            params);
-      EXPECT_LE(load[move.start_slot + i], cap + 1e-9)
+      EXPECT_LE(load[static_cast<size_t>(move.start_slot.value() + i)],
+                cap + 1e-9)
           << "slot " << move.start_slot + i << " during move "
           << move.ToString();
     }
@@ -59,16 +60,16 @@ void CheckPlanFeasible(const PlanResult& plan,
 
 TEST(DpPlannerTest, RejectsDegenerateInputs) {
   const DpPlanner planner(FastParams());
-  EXPECT_FALSE(planner.BestMoves({100.0}, 2).ok());
-  EXPECT_FALSE(planner.BestMoves({100.0, 100.0}, 0).ok());
+  EXPECT_FALSE(planner.BestMoves({100.0}, NodeCount(2)).ok());
+  EXPECT_FALSE(planner.BestMoves({100.0, 100.0}, NodeCount(0)).ok());
 }
 
 TEST(DpPlannerTest, FlatLoadDoesNothing) {
   const DpPlanner planner(FastParams());
   const std::vector<double> load(10, 150.0);  // needs 2 nodes
-  StatusOr<PlanResult> plan = planner.BestMoves(load, 2);
+  StatusOr<PlanResult> plan = planner.BestMoves(load, NodeCount(2));
   ASSERT_TRUE(plan.ok());
-  EXPECT_EQ(plan->final_nodes, 2);
+  EXPECT_EQ(plan->final_nodes, NodeCount(2));
   EXPECT_EQ(plan->FirstReconfiguration(), nullptr);
   // Cost: 2 machines for 10 slots (slot 0 through 9).
   EXPECT_NEAR(plan->total_cost, 20.0, 1e-9);
@@ -80,40 +81,40 @@ TEST(DpPlannerTest, ScalesOutAheadOfRamp) {
   // takes ceil((4/2)*(1 - 2/4)) = 4 slots, so it must start by slot 4.
   std::vector<double> load(12, 150.0);
   for (size_t t = 8; t < load.size(); ++t) load[t] = 350.0;
-  StatusOr<PlanResult> plan = planner.BestMoves(load, 2);
+  StatusOr<PlanResult> plan = planner.BestMoves(load, NodeCount(2));
   ASSERT_TRUE(plan.ok());
   CheckPlanFeasible(*plan, load, FastParams(), 2);
-  EXPECT_EQ(plan->final_nodes, 4);
+  EXPECT_EQ(plan->final_nodes, NodeCount(4));
   const Move* first = plan->FirstReconfiguration();
   ASSERT_NE(first, nullptr);
-  EXPECT_EQ(first->nodes_after, 4);
+  EXPECT_EQ(first->nodes_after, NodeCount(4));
   // Effective capacity during 2->4 reaches 350 only near the end of the
   // move, so the move must complete just as (or before) the ramp hits.
-  EXPECT_LE(first->end_slot, 8);
+  EXPECT_LE(first->end_slot, TimeStep(8));
   // Cost minimization: the move should start as late as possible.
-  EXPECT_GE(first->start_slot, 3);
+  EXPECT_GE(first->start_slot, TimeStep(3));
 }
 
 TEST(DpPlannerTest, ScaleInDelayedUntilLoadDrops) {
   const DpPlanner planner(FastParams());
   std::vector<double> load(12, 380.0);  // needs 4 nodes
   for (size_t t = 4; t < load.size(); ++t) load[t] = 90.0;  // needs 1
-  StatusOr<PlanResult> plan = planner.BestMoves(load, 4);
+  StatusOr<PlanResult> plan = planner.BestMoves(load, NodeCount(4));
   ASSERT_TRUE(plan.ok());
   CheckPlanFeasible(*plan, load, FastParams(), 4);
-  EXPECT_EQ(plan->final_nodes, 1);
+  EXPECT_EQ(plan->final_nodes, NodeCount(1));
   const Move* first = plan->FirstReconfiguration();
   ASSERT_NE(first, nullptr);
-  EXPECT_LT(first->nodes_after, 4);
+  EXPECT_LT(first->nodes_after, NodeCount(4));
   // Cannot start shedding capacity while load is still high.
-  EXPECT_GE(first->start_slot, 3);
+  EXPECT_GE(first->start_slot, TimeStep(3));
 }
 
 TEST(DpPlannerTest, InfeasibleWhenRampTooFast) {
   const DpPlanner planner(FastParams());
   // Load explodes next slot; migration cannot complete in time.
   std::vector<double> load = {150.0, 800.0, 800.0, 800.0};
-  StatusOr<PlanResult> plan = planner.BestMoves(load, 2);
+  StatusOr<PlanResult> plan = planner.BestMoves(load, NodeCount(2));
   EXPECT_FALSE(plan.ok());
   EXPECT_EQ(plan.status().code(), StatusCode::kInfeasible);
 }
@@ -121,7 +122,7 @@ TEST(DpPlannerTest, InfeasibleWhenRampTooFast) {
 TEST(DpPlannerTest, InfeasibleWhenCurrentLoadExceedsCapacity) {
   const DpPlanner planner(FastParams());
   const std::vector<double> load(6, 500.0);
-  EXPECT_FALSE(planner.BestMoves(load, 2).ok());
+  EXPECT_FALSE(planner.BestMoves(load, NodeCount(2)).ok());
 }
 
 TEST(DpPlannerTest, EndsWithMinimalMachines) {
@@ -129,37 +130,37 @@ TEST(DpPlannerTest, EndsWithMinimalMachines) {
   // A hump in the middle: scale out then back in; final count minimal.
   std::vector<double> load(24, 120.0);
   for (int t = 8; t < 12; ++t) load[t] = 290.0;
-  StatusOr<PlanResult> plan = planner.BestMoves(load, 2);
+  StatusOr<PlanResult> plan = planner.BestMoves(load, NodeCount(2));
   ASSERT_TRUE(plan.ok());
   CheckPlanFeasible(*plan, load, FastParams(), 2);
-  EXPECT_EQ(plan->final_nodes, 2);
+  EXPECT_EQ(plan->final_nodes, NodeCount(2));
   // Somewhere mid-plan we must have had >= 3 nodes.
   int peak_nodes = 0;
   for (const Move& move : plan->moves) {
-    peak_nodes = std::max(peak_nodes, move.nodes_after);
+    peak_nodes = std::max(peak_nodes, move.nodes_after.value());
   }
   EXPECT_GE(peak_nodes, 3);
 }
 
 TEST(DpPlannerTest, NodesForRounding) {
   const DpPlanner planner(FastParams());
-  EXPECT_EQ(planner.NodesFor(0.0), 1);
-  EXPECT_EQ(planner.NodesFor(99.9), 1);
-  EXPECT_EQ(planner.NodesFor(100.0), 1);
-  EXPECT_EQ(planner.NodesFor(100.1), 2);
-  EXPECT_EQ(planner.NodesFor(1000.0), 10);
+  EXPECT_EQ(planner.NodesFor(0.0), NodeCount(1));
+  EXPECT_EQ(planner.NodesFor(99.9), NodeCount(1));
+  EXPECT_EQ(planner.NodesFor(100.0), NodeCount(1));
+  EXPECT_EQ(planner.NodesFor(100.1), NodeCount(2));
+  EXPECT_EQ(planner.NodesFor(1000.0), NodeCount(10));
 }
 
 TEST(DpPlannerTest, MoveSlotsAtLeastOne) {
   const DpPlanner planner(FastParams());
-  EXPECT_EQ(planner.MoveSlots(3, 3), 1);
-  EXPECT_GE(planner.MoveSlots(3, 4), 1);
+  EXPECT_EQ(planner.MoveSlots(NodeCount(3), NodeCount(3)), 1);
+  EXPECT_GE(planner.MoveSlots(NodeCount(3), NodeCount(4)), 1);
   // 3 -> 4 with D = 4: (4/1)*(1/4) = 1.0 slots -> 1.
-  EXPECT_EQ(planner.MoveSlots(3, 4), 1);
+  EXPECT_EQ(planner.MoveSlots(NodeCount(3), NodeCount(4)), 1);
   // 2 -> 4 with D = 4: (4/2)*(1/2) = 1.0 -> 1.
-  EXPECT_EQ(planner.MoveSlots(2, 4), 1);
+  EXPECT_EQ(planner.MoveSlots(NodeCount(2), NodeCount(4)), 1);
   // 1 -> 2 with D = 4: (4/1)*(1/2) = 2.
-  EXPECT_EQ(planner.MoveSlots(1, 2), 2);
+  EXPECT_EQ(planner.MoveSlots(NodeCount(1), NodeCount(2)), 2);
 }
 
 TEST(DpPlannerTest, ChargedCostCoversWholeSlots) {
@@ -169,10 +170,10 @@ TEST(DpPlannerTest, ChargedCostCoversWholeSlots) {
   for (int b = 1; b <= 8; ++b) {
     for (int a = 1; a <= 8; ++a) {
       if (a == b) continue;
-      const double charged = planner.MoveCostCharged(b, a);
-      EXPECT_GE(charged, MoveCost(b, a, FastParams()) - 1e-9);
+      const double charged = planner.MoveCostCharged(NodeCount(b), NodeCount(a));
+      EXPECT_GE(charged, MoveCost(NodeCount(b), NodeCount(a), FastParams()) - 1e-9);
       EXPECT_LE(charged,
-                planner.MoveSlots(b, a) *
+                planner.MoveSlots(NodeCount(b), NodeCount(a)) *
                         static_cast<double>(std::max(a, b)) +
                     1e-9);
     }
@@ -203,9 +204,9 @@ TEST_P(DpVersusBruteForce, SameFinalNodesAndCost) {
   }
   const DpPlanner dp(params);
   const BruteForcePlanner brute(params);
-  StatusOr<PlanResult> dp_plan = dp.BestMoves(load, test_case.initial_nodes);
+  StatusOr<PlanResult> dp_plan = dp.BestMoves(load, NodeCount(test_case.initial_nodes));
   StatusOr<PlanResult> bf_plan =
-      brute.BestMoves(load, test_case.initial_nodes);
+      brute.BestMoves(load, NodeCount(test_case.initial_nodes));
   ASSERT_EQ(dp_plan.ok(), bf_plan.ok());
   if (!dp_plan.ok()) return;
   EXPECT_EQ(dp_plan->final_nodes, bf_plan->final_nodes);
@@ -239,8 +240,8 @@ TEST(DpVersusBruteForceRamp, StepRamp) {
   }
   const DpPlanner dp(params);
   const BruteForcePlanner brute(params);
-  StatusOr<PlanResult> dp_plan = dp.BestMoves(load, 1);
-  StatusOr<PlanResult> bf_plan = brute.BestMoves(load, 1);
+  StatusOr<PlanResult> dp_plan = dp.BestMoves(load, NodeCount(1));
+  StatusOr<PlanResult> bf_plan = brute.BestMoves(load, NodeCount(1));
   ASSERT_EQ(dp_plan.ok(), bf_plan.ok());
   if (dp_plan.ok()) {
     EXPECT_EQ(dp_plan->final_nodes, bf_plan->final_nodes);
@@ -251,12 +252,12 @@ TEST(DpVersusBruteForceRamp, StepRamp) {
 TEST(DpPlannerTest, CondensedMergesIdleStretches) {
   const DpPlanner planner(FastParams());
   std::vector<double> load(10, 150.0);
-  StatusOr<PlanResult> plan = planner.BestMoves(load, 2);
+  StatusOr<PlanResult> plan = planner.BestMoves(load, NodeCount(2));
   ASSERT_TRUE(plan.ok());
   const std::vector<Move> condensed = plan->Condensed();
   ASSERT_EQ(condensed.size(), 1u);
-  EXPECT_EQ(condensed[0].start_slot, 0);
-  EXPECT_EQ(condensed[0].end_slot, 9);
+  EXPECT_EQ(condensed[0].start_slot, TimeStep(0));
+  EXPECT_EQ(condensed[0].end_slot, TimeStep(9));
   EXPECT_FALSE(condensed[0].IsReconfiguration());
 }
 
@@ -272,10 +273,10 @@ TEST(DpPlannerTest, LargeHorizonRunsQuickly) {
     load.push_back(150.0 + 800.0 * 0.5 *
                                (1.0 - std::cos(2.0 * M_PI * t / 48.0)));
   }
-  StatusOr<PlanResult> plan = planner.BestMoves(load, 2);
+  StatusOr<PlanResult> plan = planner.BestMoves(load, NodeCount(2));
   ASSERT_TRUE(plan.ok());
   CheckPlanFeasible(*plan, load, params, 2);
-  EXPECT_GE(plan->final_nodes, 1);
+  EXPECT_GE(plan->final_nodes, NodeCount(1));
 }
 
 }  // namespace

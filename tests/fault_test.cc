@@ -203,15 +203,15 @@ TEST(FaultInjectorTest, StragglerAndDegradeSlowChunkRate) {
                          }));
   injector.Arm();
 
-  EXPECT_EQ(injector.ChunkRateMultiplier(0, 1), 1.0);
+  EXPECT_EQ(injector.ChunkRateMultiplier(NodeId(0), NodeId(1)), 1.0);
   loop.RunUntil(FromSeconds(1.5));
-  EXPECT_DOUBLE_EQ(injector.ChunkRateMultiplier(0, 1), 0.25);
-  EXPECT_DOUBLE_EQ(injector.ChunkRateMultiplier(1, 2), 1.0);  // other pair
+  EXPECT_DOUBLE_EQ(injector.ChunkRateMultiplier(NodeId(0), NodeId(1)), 0.25);
+  EXPECT_DOUBLE_EQ(injector.ChunkRateMultiplier(NodeId(1), NodeId(2)), 1.0);  // other pair
   loop.RunUntil(FromSeconds(2.5));
-  EXPECT_DOUBLE_EQ(injector.ChunkRateMultiplier(0, 1), 0.25 * 0.5);
-  EXPECT_DOUBLE_EQ(injector.ChunkRateMultiplier(1, 2), 0.5);
+  EXPECT_DOUBLE_EQ(injector.ChunkRateMultiplier(NodeId(0), NodeId(1)), 0.25 * 0.5);
+  EXPECT_DOUBLE_EQ(injector.ChunkRateMultiplier(NodeId(1), NodeId(2)), 0.5);
   loop.RunUntil(FromSeconds(5.0));
-  EXPECT_EQ(injector.ChunkRateMultiplier(0, 1), 1.0);
+  EXPECT_EQ(injector.ChunkRateMultiplier(NodeId(0), NodeId(1)), 1.0);
   EXPECT_EQ(injector.stats().stragglers, 1);
   EXPECT_EQ(injector.stats().degradations, 1);
 }
@@ -224,10 +224,10 @@ TEST(FaultInjectorTest, ChunkAbortIsConsumedOnce) {
                              MakeEvent(1.0, FaultKind::kChunkAbort),
                          }));
   injector.Arm();
-  EXPECT_FALSE(injector.TakeChunkAbort(0, 1));
+  EXPECT_FALSE(injector.TakeChunkAbort(NodeId(0), NodeId(1)));
   loop.RunUntil(FromSeconds(2.0));
-  EXPECT_TRUE(injector.TakeChunkAbort(0, 1));
-  EXPECT_FALSE(injector.TakeChunkAbort(0, 1));  // consumed
+  EXPECT_TRUE(injector.TakeChunkAbort(NodeId(0), NodeId(1)));
+  EXPECT_FALSE(injector.TakeChunkAbort(NodeId(0), NodeId(1)));  // consumed
   EXPECT_EQ(injector.stats().chunk_aborts_armed, 1);
   EXPECT_EQ(injector.stats().chunk_aborts_consumed, 1);
 }
@@ -259,7 +259,7 @@ TEST(FaultRecoveryTest, CrashMidMigrationRetriesAndCompletes) {
     }
     Status done = Status::Internal("never finished");
     SimTime finished_at = -1;
-    PSTORE_CHECK_OK(manager.StartReconfiguration(4, 1.0, [&](const Status& s) {
+    PSTORE_CHECK_OK(manager.StartReconfiguration(NodeCount(4), 1.0, [&](const Status& s) {
       done = s;
       finished_at = loop.now();
     }));
@@ -271,8 +271,9 @@ TEST(FaultRecoveryTest, CrashMidMigrationRetriesAndCompletes) {
 
   const auto [clean_duration, clean_retries] = run(false);
   const auto [faulted_duration, faulted_retries] = run(true);
-  EXPECT_EQ(clean_retries, 0);
-  EXPECT_GT(faulted_retries, 0) << "crash did not intersect the migration";
+  EXPECT_EQ(clean_retries, ChunkCount(0));
+  EXPECT_GT(faulted_retries, ChunkCount(0))
+      << "crash did not intersect the migration";
   EXPECT_GT(faulted_duration, clean_duration);
   // Bounded: the outage (0.4 s) plus a couple of backoff steps, not a
   // runaway stall.
@@ -301,7 +302,7 @@ TEST(FaultRecoveryTest, RetryBudgetExhaustionAbortsMove) {
 
   Status done = Status::OK();
   bool called = false;
-  PSTORE_CHECK_OK(manager.StartReconfiguration(4, 1.0, [&](const Status& s) {
+  PSTORE_CHECK_OK(manager.StartReconfiguration(NodeCount(4), 1.0, [&](const Status& s) {
     done = s;
     called = true;
   }));
@@ -313,7 +314,7 @@ TEST(FaultRecoveryTest, RetryBudgetExhaustionAbortsMove) {
   EXPECT_EQ(manager.reconfigurations_failed(), 1);
   EXPECT_EQ(manager.reconfigurations_completed(), 0);
   EXPECT_EQ(manager.last_failure().code(), StatusCode::kAborted);
-  EXPECT_GT(manager.chunk_retries(), 0);
+  EXPECT_GT(manager.chunk_retries(), ChunkCount(0));
 
   // Chunks commit atomically, so no row was lost or duplicated and
   // routing stays internally consistent.
@@ -331,7 +332,7 @@ TEST(FaultRecoveryTest, RetryBudgetExhaustionAbortsMove) {
   cluster.MarkNodeUp(2);
   Status second = Status::Internal("never finished");
   PSTORE_CHECK_OK(manager.StartReconfiguration(
-      3, 1.0, [&](const Status& s) { second = s; }));
+      NodeCount(3), 1.0, [&](const Status& s) { second = s; }));
   loop.RunToCompletion();
   EXPECT_TRUE(second.ok()) << second.ToString();
   EXPECT_EQ(cluster.TotalRowCount(), static_cast<int64_t>(kRows));

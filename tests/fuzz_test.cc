@@ -63,7 +63,7 @@ TEST_P(MigrationChainFuzz, DataSurvivesRandomReconfigurationChains) {
       target = 1 + static_cast<int>(rng.NextUint64(12));
     } while (target == cluster.active_nodes());
     const double multiplier = rng.NextBool(0.3) ? 8.0 : 1.0;
-    ASSERT_TRUE(manager.StartReconfiguration(target, multiplier, nullptr).ok())
+    ASSERT_TRUE(manager.StartReconfiguration(NodeCount(target), multiplier, nullptr).ok())
         << "step " << step << " to " << target;
     loop.RunToCompletion();
     ASSERT_EQ(cluster.active_nodes(), target);
@@ -123,8 +123,9 @@ TEST_P(PlannerFuzz, DpMatchesBruteForceOnRandomInstances) {
 
   const DpPlanner dp(params);
   const BruteForcePlanner brute(params);
-  StatusOr<PlanResult> dp_plan = dp.BestMoves(load, initial);
-  StatusOr<PlanResult> bf_plan = brute.BestMoves(load, initial);
+  StatusOr<PlanResult> dp_plan = dp.BestMoves(load, NodeCount(initial));
+  StatusOr<PlanResult> bf_plan =
+      brute.BestMoves(load, NodeCount(initial));
   ASSERT_EQ(dp_plan.ok(), bf_plan.ok());
   if (!dp_plan.ok()) return;
   EXPECT_EQ(dp_plan->final_nodes, bf_plan->final_nodes);
@@ -147,7 +148,7 @@ TEST_P(ScheduleFuzz, RandomPairsUpTo40Validate) {
       after = 1 + static_cast<int>(rng.NextUint64(40));
     } while (after == before);
     StatusOr<MigrationSchedule> schedule =
-        BuildMigrationSchedule(before, after);
+        BuildMigrationSchedule(NodeCount(before), NodeCount(after));
     ASSERT_TRUE(schedule.ok()) << before << "->" << after;
     ASSERT_TRUE(ValidateSchedule(*schedule).ok()) << before << "->" << after;
   }
@@ -208,7 +209,7 @@ TEST(BalancerMigrationInterplayTest, ConcurrentChurnPreservesData) {
     if (!migration.InProgress() &&
         targets[i] != cluster.active_nodes()) {
       ASSERT_TRUE(
-          migration.StartReconfiguration(targets[i], 1.0, nullptr).ok());
+          migration.StartReconfiguration(NodeCount(targets[i]), 1.0, nullptr).ok());
     }
   }
   // The balancer re-arms its tick forever, so run to a bound (generous

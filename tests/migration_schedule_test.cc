@@ -13,6 +13,12 @@
 namespace pstore {
 namespace {
 
+// Int-accepting shim over the strongly-typed builder so the pair sweeps
+// below stay terse.
+StatusOr<MigrationSchedule> BuildMigrationSchedule(int before, int after) {
+  return pstore::BuildMigrationSchedule(NodeCount(before), NodeCount(after));
+}
+
 TEST(MigrationScheduleTest, RejectsDegenerateInputs) {
   EXPECT_FALSE(BuildMigrationSchedule(0, 3).ok());
   EXPECT_FALSE(BuildMigrationSchedule(3, 0).ok());
@@ -24,7 +30,8 @@ TEST(MigrationScheduleTest, OneToTwo) {
   ASSERT_TRUE(schedule.ok());
   ASSERT_EQ(schedule->rounds.size(), 1u);
   ASSERT_EQ(schedule->rounds[0].transfers.size(), 1u);
-  EXPECT_EQ(schedule->rounds[0].transfers[0], (TransferPair{0, 1}));
+  EXPECT_EQ(schedule->rounds[0].transfers[0],
+            (TransferPair{NodeId(0), NodeId(1)}));
   EXPECT_NEAR(schedule->per_pair_fraction, 0.5, 1e-12);
   EXPECT_NEAR(schedule->TotalFractionMoved(), 0.5, 1e-12);
 }
@@ -35,7 +42,7 @@ TEST(MigrationScheduleTest, CaseOneThreeToFive) {
   ASSERT_TRUE(schedule.ok());
   EXPECT_EQ(schedule->rounds.size(), 3u);
   for (const ScheduleRound& round : schedule->rounds) {
-    EXPECT_EQ(round.machines_allocated, 5);
+    EXPECT_EQ(round.machines_allocated, NodeCount(5));
     EXPECT_EQ(round.transfers.size(), 2u);  // max parallel = 2
   }
 }
@@ -46,9 +53,9 @@ TEST(MigrationScheduleTest, CaseTwoThreeToNine) {
   ASSERT_TRUE(schedule.ok());
   EXPECT_EQ(schedule->rounds.size(), 6u);
   // First block fills machines 3-5 with only 6 allocated...
-  EXPECT_EQ(schedule->rounds[0].machines_allocated, 6);
+  EXPECT_EQ(schedule->rounds[0].machines_allocated, NodeCount(6));
   // ...second block brings up 9.
-  EXPECT_EQ(schedule->rounds[5].machines_allocated, 9);
+  EXPECT_EQ(schedule->rounds[5].machines_allocated, NodeCount(9));
 }
 
 TEST(MigrationScheduleTest, CaseThreeThreeToFourteenMatchesTable1) {
@@ -60,7 +67,7 @@ TEST(MigrationScheduleTest, CaseThreeThreeToFourteenMatchesTable1) {
   std::vector<int> allocations;
   std::vector<int> phases;
   for (const ScheduleRound& round : schedule->rounds) {
-    allocations.push_back(round.machines_allocated);
+    allocations.push_back(round.machines_allocated.value());
     phases.push_back(round.phase);
     // Every round keeps all three senders busy.
     EXPECT_EQ(round.transfers.size(), 3u);
@@ -77,11 +84,11 @@ TEST(MigrationScheduleTest, ScaleInFourteenToThreeIsReversed) {
   ASSERT_EQ(schedule->rounds.size(), 11u);
   std::vector<int> allocations;
   for (const ScheduleRound& round : schedule->rounds) {
-    allocations.push_back(round.machines_allocated);
+    allocations.push_back(round.machines_allocated.value());
     // Transfers flow from the drained machines into the survivors.
     for (const TransferPair& pair : round.transfers) {
-      EXPECT_GE(pair.sender, 3);
-      EXPECT_LT(pair.receiver, 3);
+      EXPECT_GE(pair.sender, NodeId(3));
+      EXPECT_LT(pair.receiver, NodeId(3));
     }
   }
   EXPECT_EQ(allocations, (std::vector<int>{14, 14, 14, 12, 12, 9, 9, 9, 6,
@@ -165,7 +172,7 @@ TEST_P(ScheduleAllocationConsistency, MatchesAnalyticProfile) {
     // Evaluate the profile at the midpoint of round r.
     const double f = (static_cast<double>(r) + 0.5) / rounds;
     EXPECT_EQ(schedule->rounds[r].machines_allocated,
-              MachinesAllocatedAt(before, after, f))
+              MachinesAllocatedAt(NodeCount(before), NodeCount(after), f))
         << before << "->" << after << " round " << r;
   }
 }

@@ -67,10 +67,10 @@ TEST(MigrationManagerTest, RejectsBadTargets) {
   Cluster cluster(TestCluster(2));
   EventLoop loop;
   MigrationManager manager(&loop, &cluster, nullptr, FastMigration());
-  EXPECT_FALSE(manager.StartReconfiguration(2, 1.0, nullptr).ok());
-  EXPECT_FALSE(manager.StartReconfiguration(0, 1.0, nullptr).ok());
-  EXPECT_FALSE(manager.StartReconfiguration(17, 1.0, nullptr).ok());
-  EXPECT_FALSE(manager.StartReconfiguration(3, 0.0, nullptr).ok());
+  EXPECT_FALSE(manager.StartReconfiguration(NodeCount(2), 1.0, nullptr).ok());
+  EXPECT_FALSE(manager.StartReconfiguration(NodeCount(0), 1.0, nullptr).ok());
+  EXPECT_FALSE(manager.StartReconfiguration(NodeCount(17), 1.0, nullptr).ok());
+  EXPECT_FALSE(manager.StartReconfiguration(NodeCount(3), 0.0, nullptr).ok());
 }
 
 TEST(MigrationManagerTest, RejectsConcurrentReconfiguration) {
@@ -78,9 +78,9 @@ TEST(MigrationManagerTest, RejectsConcurrentReconfiguration) {
   LoadData(&cluster, 2000, 1024);
   EventLoop loop;
   MigrationManager manager(&loop, &cluster, nullptr, FastMigration());
-  ASSERT_TRUE(manager.StartReconfiguration(4, 1.0, nullptr).ok());
+  ASSERT_TRUE(manager.StartReconfiguration(NodeCount(4), 1.0, nullptr).ok());
   EXPECT_TRUE(manager.InProgress());
-  EXPECT_FALSE(manager.StartReconfiguration(6, 1.0, nullptr).ok());
+  EXPECT_FALSE(manager.StartReconfiguration(NodeCount(6), 1.0, nullptr).ok());
   loop.RunToCompletion();
   EXPECT_FALSE(manager.InProgress());
 }
@@ -104,7 +104,7 @@ TEST_P(MigrationRoundTrip, PreservesDataAndBalance) {
   bool done = false;
   ASSERT_TRUE(
       manager
-          .StartReconfiguration(to_nodes, 1.0,
+          .StartReconfiguration(NodeCount(to_nodes), 1.0,
                                 [&](const Status& s) { done = s.ok(); })
           .ok());
   loop.RunToCompletion();
@@ -165,7 +165,7 @@ TEST(MigrationManagerTest, DurationTracksModel) {
   ASSERT_TRUE(
       manager
           .StartReconfiguration(
-              4, 1.0, [&](const Status&) { finished_at = loop.now(); })
+              NodeCount(4), 1.0, [&](const Status&) { finished_at = loop.now(); })
           .ok());
   loop.RunToCompletion();
   ASSERT_GE(finished_at, 0);
@@ -174,7 +174,8 @@ TEST(MigrationManagerTest, DurationTracksModel) {
   params.target_rate_per_node = 1.0;
   params.d_slots = SingleThreadFullMigrationSeconds(db_bytes, options);
   params.partitions_per_node = 2;
-  const double expected_seconds = MoveTime(2, 4, params);
+  const double expected_seconds =
+      MoveTime(NodeCount(2), NodeCount(4), params);
   EXPECT_NEAR(ToSeconds(finished_at), expected_seconds,
               expected_seconds * 0.35 + 1.0);
 }
@@ -184,7 +185,7 @@ TEST(MigrationManagerTest, FractionMovedProgresses) {
   LoadData(&cluster, 4000, 4096);
   EventLoop loop;
   MigrationManager manager(&loop, &cluster, nullptr, FastMigration());
-  ASSERT_TRUE(manager.StartReconfiguration(4, 1.0, nullptr).ok());
+  ASSERT_TRUE(manager.StartReconfiguration(NodeCount(4), 1.0, nullptr).ok());
   EXPECT_LT(manager.FractionMoved(), 0.5);
   // Run halfway through the expected duration.
   loop.RunUntil(loop.now() + 2 * kSecond);
@@ -204,7 +205,7 @@ TEST(MigrationManagerTest, HigherRateMultiplierIsFaster) {
     MigrationManager manager(&loop, &cluster, nullptr, FastMigration());
     SimTime finished_at = 0;
     PSTORE_CHECK_OK(manager.StartReconfiguration(
-        2, multiplier, [&](const Status&) { finished_at = loop.now(); }));
+        NodeCount(2), multiplier, [&](const Status&) { finished_at = loop.now(); }));
     loop.RunToCompletion();
     return finished_at;
   };
@@ -222,7 +223,7 @@ TEST(MigrationManagerTest, ChunkWorkBlocksPartitions) {
   MigrationOptions options = FastMigration();
   options.extract_rate_bytes_per_sec = 1e6;  // heavy per-chunk blocking
   MigrationManager manager(&loop, &cluster, nullptr, options);
-  ASSERT_TRUE(manager.StartReconfiguration(2, 1.0, nullptr).ok());
+  ASSERT_TRUE(manager.StartReconfiguration(NodeCount(2), 1.0, nullptr).ok());
   loop.RunToCompletion();
   // Source partitions must have been busy with extraction work.
   SimTime busy = 0;
@@ -243,7 +244,7 @@ TEST(MigrationManagerTest, RoutingStaysCorrectMidMigration) {
   bool done = false;
   ASSERT_TRUE(
       manager
-          .StartReconfiguration(5, 1.0,
+          .StartReconfiguration(NodeCount(5), 1.0,
                                 [&](const Status& s) { done = s.ok(); })
           .ok());
 

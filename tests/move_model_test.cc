@@ -9,6 +9,43 @@
 namespace pstore {
 namespace {
 
+// Int-accepting shims over the strongly-typed move-model API so the
+// table-driven cases below stay terse. The third MaxParallelTransfers
+// argument is the partitions-per-node count, as in Eq. 2.
+int MaxParallelTransfers(int before, int after, int partitions) {
+  PlannerParams params;
+  params.partitions_per_node = partitions;
+  return pstore::MaxParallelTransfers(NodeCount(before), NodeCount(after),
+                                      params);
+}
+
+double MoveTime(int before, int after, const PlannerParams& params) {
+  return pstore::MoveTime(NodeCount(before), NodeCount(after), params);
+}
+
+double Capacity(int nodes, const PlannerParams& params) {
+  return pstore::Capacity(NodeCount(nodes), params);
+}
+
+double EffectiveCapacity(int before, int after, double fraction,
+                         const PlannerParams& params) {
+  return pstore::EffectiveCapacity(NodeCount(before), NodeCount(after),
+                                   fraction, params);
+}
+
+double AvgMachinesAllocated(int before, int after) {
+  return pstore::AvgMachinesAllocated(NodeCount(before), NodeCount(after));
+}
+
+int MachinesAllocatedAt(int before, int after, double f) {
+  return pstore::MachinesAllocatedAt(NodeCount(before), NodeCount(after), f)
+      .value();
+}
+
+double MoveCost(int before, int after, const PlannerParams& params) {
+  return pstore::MoveCost(NodeCount(before), NodeCount(after), params);
+}
+
 PlannerParams UnitParams() {
   PlannerParams params;
   params.target_rate_per_node = 1.0;

@@ -237,8 +237,8 @@ int main(int argc, char** argv) {
               static_cast<long long>(migration.reconfigurations_completed()),
               static_cast<long long>(migration.reconfigurations_failed()));
   std::printf("chunk retries:        %lld (%lld from injected aborts)\n",
-              static_cast<long long>(migration.chunk_retries()),
-              static_cast<long long>(migration.chunks_aborted()));
+              static_cast<long long>(migration.chunk_retries().value()),
+              static_cast<long long>(migration.chunks_aborted().value()));
   const FaultInjector::Stats& stats = injector.stats();
   std::printf("faults applied:       %lld crashes, %lld stragglers, "
               "%lld degradations, %lld/%lld chunk aborts consumed\n",

@@ -156,13 +156,13 @@ int main(int argc, char** argv) {
               static_cast<long long>(*nodes));
 
   StatusOr<PlanResult> plan =
-      planner.BestMoves(load, static_cast<int>(*nodes));
+      planner.BestMoves(load, NodeCount(static_cast<int>(*nodes)));
   if (!plan.ok()) {
     const double peak = *std::max_element(load.begin(), load.end());
     std::printf("NO FEASIBLE PLAN (%s).\n", plan.status().ToString().c_str());
     std::printf("Reactive fallback would scale straight to %d machines for "
                 "the predicted peak of %.0f.\n",
-                planner.NodesFor(peak), peak);
+                planner.NodesFor(peak).value(), peak);
     return 2;
   }
 
