@@ -12,7 +12,10 @@
 
 #include "bench_util.h"
 #include "common/logging.h"
+#include "common/status.h"
+#include "common/strong_id.h"
 #include "planner/dp_planner.h"
+#include "planner/move.h"
 #include "planner/move_model.h"
 
 namespace {

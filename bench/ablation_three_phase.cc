@@ -9,6 +9,8 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/status.h"
+#include "common/strong_id.h"
 #include "planner/migration_schedule.h"
 #include "planner/move_model.h"
 

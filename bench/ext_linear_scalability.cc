@@ -13,7 +13,13 @@
 #include "b2w/workload.h"
 #include "bench_util.h"
 #include "common/logging.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "common/time_series.h"
+#include "engine/cluster.h"
 #include "engine/event_loop.h"
+#include "engine/metrics.h"
+#include "engine/txn_executor.h"
 #include "engine/workload_driver.h"
 
 int main() {

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/time_series.h"
 #include "trace/b2w_trace_generator.h"
 
 int main() {

@@ -7,6 +7,7 @@
 
 #include "bench_util.h"
 #include "planner/dp_planner.h"
+#include "planner/move_model.h"
 
 int main() {
   using namespace pstore;

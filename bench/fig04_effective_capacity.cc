@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/strong_id.h"
 #include "planner/move_model.h"
 
 int main() {

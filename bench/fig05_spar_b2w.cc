@@ -6,6 +6,9 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/status.h"
+#include "common/time_series.h"
+#include "prediction/predictor.h"
 #include "prediction/spar_model.h"
 #include "trace/b2w_trace_generator.h"
 

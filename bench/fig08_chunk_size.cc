@@ -15,7 +15,14 @@
 #include "b2w/workload.h"
 #include "bench_util.h"
 #include "common/logging.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "common/strong_id.h"
+#include "engine/cluster.h"
 #include "engine/event_loop.h"
+#include "engine/metrics.h"
+#include "engine/txn_executor.h"
 #include "engine/workload_driver.h"
 #include "migration/squall_migrator.h"
 

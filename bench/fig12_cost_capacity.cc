@@ -11,6 +11,8 @@
 
 #include "bench_util.h"
 #include "common/logging.h"
+#include "common/status.h"
+#include "common/time_series.h"
 #include "prediction/naive_models.h"
 #include "prediction/spar_model.h"
 #include "sim/capacity_simulator.h"

@@ -6,7 +6,9 @@
 
 #include "b2w/procedures.h"
 #include "b2w/workload.h"
+#include "common/check.h"
 #include "common/rng.h"
+#include "common/sim_time.h"
 #include "engine/cluster.h"
 #include "engine/metrics.h"
 #include "engine/murmur_hash.h"
@@ -36,12 +38,12 @@ void BM_TxnSubmit(benchmark::State& state) {
   Cluster cluster(BenchCluster());
   MetricsCollector metrics;
   TxnExecutor executor(&cluster, &metrics, ExecutorOptions{});
-  (void)b2w::RegisterProcedures(&executor);
+  PSTORE_CHECK(b2w::RegisterProcedures(&executor).ok());
   b2w::WorkloadOptions workload_options;
   workload_options.cart_pool = 100000;
   workload_options.checkout_pool = 40000;
   b2w::Workload workload(workload_options);
-  (void)workload.LoadInitialData(&cluster);
+  PSTORE_CHECK(workload.LoadInitialData(&cluster).ok());
   Rng rng(1);
   SimTime now = 0;
   for (auto _ : state) {
@@ -68,7 +70,7 @@ void BM_BucketHandoff(benchmark::State& state) {
   workload_options.cart_pool = 100000;
   workload_options.checkout_pool = 40000;
   b2w::Workload workload(workload_options);
-  (void)workload.LoadInitialData(&cluster);
+  PSTORE_CHECK(workload.LoadInitialData(&cluster).ok());
   int flip = 0;
   for (auto _ : state) {
     // Bounce bucket 7 between two partitions.

@@ -6,8 +6,11 @@
 #include <cmath>
 #include <vector>
 
+#include "common/status.h"
+#include "common/strong_id.h"
 #include "planner/dp_planner.h"
 #include "planner/migration_schedule.h"
+#include "planner/move.h"
 #include "planner/move_model.h"
 
 namespace pstore {

@@ -3,6 +3,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/time_series.h"
 #include "prediction/ar_model.h"
 #include "prediction/arma_model.h"
 #include "prediction/spar_model.h"

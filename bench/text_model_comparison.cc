@@ -5,10 +5,13 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/status.h"
+#include "common/time_series.h"
 #include "prediction/ar_model.h"
 #include "prediction/arma_model.h"
 #include "prediction/holt_winters.h"
 #include "prediction/naive_models.h"
+#include "prediction/predictor.h"
 #include "prediction/spar_model.h"
 #include "trace/b2w_trace_generator.h"
 

@@ -1,0 +1,80 @@
+#include "analysis/analyzer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "analysis/check.h"
+#include "analysis/include_hygiene_check.h"
+#include "analysis/layering_check.h"
+#include "analysis/project.h"
+#include "analysis/source_file.h"
+#include "analysis/status_check.h"
+#include "common/status.h"
+
+namespace pstore {
+namespace analysis {
+
+Analyzer::Analyzer() {
+  checks_.push_back(std::make_unique<LayeringCheck>());
+  checks_.push_back(std::make_unique<StatusCheck>());
+  checks_.push_back(std::make_unique<IncludeHygieneCheck>());
+}
+
+std::vector<std::string> Analyzer::RuleNames() const {
+  std::vector<std::string> names;
+  names.reserve(checks_.size());
+  for (const auto& check : checks_) names.push_back(check->name());
+  return names;
+}
+
+Status Analyzer::SelectRules(const std::vector<std::string>& names) {
+  const std::vector<std::string> known = RuleNames();
+  for (const std::string& name : names) {
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      return Status::InvalidArgument("unknown rule '" + name + "'");
+    }
+  }
+  selected_ = names;
+  return Status::OK();
+}
+
+std::vector<Finding> Analyzer::Run(const Project& project) const {
+  std::map<std::string, const SourceFile*> by_path;
+  for (const SourceFile& file : project.files()) {
+    by_path[file.path()] = &file;
+  }
+  std::vector<Finding> findings;
+  for (const auto& check : checks_) {
+    if (!selected_.empty() &&
+        std::find(selected_.begin(), selected_.end(), check->name()) ==
+            selected_.end()) {
+      continue;
+    }
+    check->Run(project, &findings);
+  }
+  // Apply `// pstore-analyze: allow(<rule>)` suppressions.
+  std::vector<Finding> kept;
+  for (Finding& finding : findings) {
+    auto it = by_path.find(finding.file);
+    if (it != by_path.end() &&
+        it->second->IsSuppressed(finding.rule, finding.line)) {
+      continue;
+    }
+    kept.push_back(std::move(finding));
+  }
+  std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.message < b.message;
+  });
+  return kept;
+}
+
+std::string FormatFinding(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ": [" +
+         finding.rule + "] " + finding.message;
+}
+
+}  // namespace analysis
+}  // namespace pstore

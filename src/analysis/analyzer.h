@@ -1,0 +1,42 @@
+#ifndef PSTORE_ANALYSIS_ANALYZER_H_
+#define PSTORE_ANALYSIS_ANALYZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/check.h"
+#include "analysis/project.h"
+#include "common/status.h"
+
+namespace pstore {
+namespace analysis {
+
+// Runs the registered rule families over a Project and applies the
+// `// pstore-analyze: allow(<rule>)` suppressions. Constructed with the
+// default rule set (layering, status, include).
+class Analyzer {
+ public:
+  Analyzer();
+
+  std::vector<std::string> RuleNames() const;
+
+  // Restricts the run to the named rules. Fails on unknown names.
+  Status SelectRules(const std::vector<std::string>& names);
+
+  // Runs the (selected) checks; the result is suppression-filtered and
+  // sorted by file, line, rule.
+  std::vector<Finding> Run(const Project& project) const;
+
+ private:
+  std::vector<std::unique_ptr<Check>> checks_;
+  std::vector<std::string> selected_;  // empty = all
+};
+
+// Renders "file:line: [rule] message" for tool output.
+std::string FormatFinding(const Finding& finding);
+
+}  // namespace analysis
+}  // namespace pstore
+
+#endif  // PSTORE_ANALYSIS_ANALYZER_H_

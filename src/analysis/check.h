@@ -1,0 +1,34 @@
+#ifndef PSTORE_ANALYSIS_CHECK_H_
+#define PSTORE_ANALYSIS_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/project.h"
+
+namespace pstore {
+namespace analysis {
+
+// One diagnostic produced by a check.
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;  // the rule id usable in allow(<rule>) suppressions
+  std::string message;
+};
+
+// A semantic rule family run over the whole project. Checks report
+// findings without filtering: the Analyzer applies the
+// `// pstore-analyze: allow(<rule>)` suppressions afterwards.
+class Check {
+ public:
+  virtual ~Check() = default;
+  virtual std::string name() const = 0;
+  virtual void Run(const Project& project,
+                   std::vector<Finding>* findings) const = 0;
+};
+
+}  // namespace analysis
+}  // namespace pstore
+
+#endif  // PSTORE_ANALYSIS_CHECK_H_

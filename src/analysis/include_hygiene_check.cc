@@ -1,0 +1,337 @@
+#include "analysis/include_hygiene_check.h"
+
+#include <deque>
+#include <map>
+
+#include "analysis/check.h"
+#include "analysis/project.h"
+#include "analysis/source_file.h"
+#include "analysis/tokenizer.h"
+
+namespace pstore {
+namespace analysis {
+namespace {
+
+enum class ScopeKind { kNamespace, kClass, kEnum, kOpaque };
+
+bool IsIdent(const std::vector<Token>& tokens, size_t i) {
+  return i < tokens.size() && tokens[i].kind == TokenKind::kIdentifier;
+}
+
+bool IsPunct(const std::vector<Token>& tokens, size_t i, const char* text) {
+  return i < tokens.size() && tokens[i].kind == TokenKind::kPunct &&
+         tokens[i].text == text;
+}
+
+// Skips [[...]] attribute brackets and the `final` keyword after a
+// class-key, returning the index of the declared name (or `from` when
+// the shape is unexpected).
+size_t SkipAttributes(const std::vector<Token>& tokens, size_t from) {
+  size_t i = from;
+  while (IsPunct(tokens, i, "[") && IsPunct(tokens, i + 1, "[")) {
+    size_t depth = 0;
+    while (i < tokens.size()) {
+      if (IsPunct(tokens, i, "[")) ++depth;
+      if (IsPunct(tokens, i, "]")) {
+        --depth;
+        if (depth == 0) {
+          ++i;
+          break;
+        }
+      }
+      ++i;
+    }
+  }
+  return i;
+}
+
+// The stem of "src/planner/move.h" or "move.cc" is "move".
+std::string PathStem(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
+  const size_t dot = base.find_last_of('.');
+  return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+// foo.cc and foo.h in the same directory form a pair: a file always
+// keeps (and never re-reports) its own header.
+bool IsOwnHeader(const SourceFile& file, const SourceFile& header) {
+  return file.dir() == header.dir() &&
+         PathStem(file.path()) == PathStem(header.path());
+}
+
+// All identifiers referenced by the file, with the line of first use.
+std::map<std::string, int> ReferencedNames(const SourceFile& file) {
+  std::map<std::string, int> used;
+  for (const Token& token : Tokenize(file.clean())) {
+    if (token.kind == TokenKind::kIdentifier) {
+      used.emplace(token.text, token.line);
+    }
+  }
+  return used;
+}
+
+}  // namespace
+
+DeclaredNames IncludeHygieneCheck::ExtractDeclaredNames(
+    const SourceFile& file) {
+  DeclaredNames out;
+  for (const MacroDefinition& macro : file.macros()) {
+    out.strong.insert(macro.name);
+  }
+  const std::vector<Token> tokens = Tokenize(file.clean());
+  const size_t n = tokens.size();
+  std::vector<ScopeKind> scopes;
+  std::string pending_scope;  // class-key seen since the last boundary
+  int paren_depth = 0;        // parameter lists declare nothing
+  auto in_opaque = [&] {
+    for (ScopeKind kind : scopes) {
+      if (kind == ScopeKind::kOpaque) return true;
+    }
+    return false;
+  };
+  auto in_class = [&] {
+    for (ScopeKind kind : scopes) {
+      if (kind == ScopeKind::kClass) return true;
+    }
+    return false;
+  };
+  auto add = [&](const std::string& name) {
+    if (in_class()) {
+      out.weak.insert(name);
+    } else {
+      out.strong.insert(name);
+    }
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    const Token& token = tokens[i];
+    if (token.kind == TokenKind::kPunct) {
+      if (token.text == "{") {
+        ScopeKind kind = ScopeKind::kOpaque;
+        // A brace after ')' (ignoring specifiers) is a function body.
+        size_t back = i;
+        while (back > 0 && tokens[back - 1].kind == TokenKind::kIdentifier &&
+               (tokens[back - 1].text == "const" ||
+                tokens[back - 1].text == "override" ||
+                tokens[back - 1].text == "final" ||
+                tokens[back - 1].text == "noexcept" ||
+                tokens[back - 1].text == "mutable")) {
+          --back;
+        }
+        const bool after_paren = back > 0 && IsPunct(tokens, back - 1, ")");
+        if (!after_paren && pending_scope == "namespace") {
+          kind = ScopeKind::kNamespace;
+        } else if (!after_paren && (pending_scope == "class" ||
+                                    pending_scope == "struct" ||
+                                    pending_scope == "union")) {
+          kind = ScopeKind::kClass;
+        } else if (!after_paren && pending_scope == "enum") {
+          kind = ScopeKind::kEnum;
+        }
+        scopes.push_back(kind);
+        pending_scope.clear();
+        continue;
+      }
+      if (token.text == "}") {
+        if (!scopes.empty()) scopes.pop_back();
+        continue;
+      }
+      if (token.text == ";") {
+        pending_scope.clear();
+        continue;
+      }
+      if (token.text == "(") ++paren_depth;
+      if (token.text == ")" && paren_depth > 0) --paren_depth;
+      continue;
+    }
+    if (token.kind != TokenKind::kIdentifier || in_opaque() ||
+        paren_depth > 0) {
+      continue;
+    }
+    const std::string& word = token.text;
+
+    if (word == "namespace" || word == "class" || word == "struct" ||
+        word == "union" || word == "enum") {
+      // `enum class X` keeps the enum key; `template <class T>` is
+      // neutralized by the function-body rule at the brace.
+      if (!(pending_scope == "enum" && (word == "class" || word == "struct"))) {
+        pending_scope = word;
+      }
+      if (word != "namespace") {
+        size_t name_at = i + 1;
+        if (word == "enum" &&
+            (IsIdent(tokens, name_at) && (tokens[name_at].text == "class" ||
+                                          tokens[name_at].text == "struct"))) {
+          ++name_at;
+        }
+        name_at = SkipAttributes(tokens, name_at);
+        // `struct std::hash<...>` (out-of-namespace specialization) and
+        // `struct hash<X>` (explicit specialization) declare nothing new.
+        if (IsIdent(tokens, name_at) && !IsPunct(tokens, name_at + 1, "::") &&
+            !IsPunct(tokens, name_at + 1, "<")) {
+          add(tokens[name_at].text);
+        }
+      }
+      continue;
+    }
+    if (word == "using" && IsIdent(tokens, i + 1) &&
+        IsPunct(tokens, i + 2, "=")) {
+      add(tokens[i + 1].text);
+      continue;
+    }
+    if (word == "typedef") {
+      size_t j = i;
+      while (j < n && !IsPunct(tokens, j, ";")) ++j;
+      if (j > i + 1 && IsIdent(tokens, j - 1)) add(tokens[j - 1].text);
+      continue;
+    }
+    // Enumerators: identifiers at enum scope followed by , } or =.
+    if (!scopes.empty() && scopes.back() == ScopeKind::kEnum) {
+      if (IsPunct(tokens, i + 1, ",") || IsPunct(tokens, i + 1, "}") ||
+          IsPunct(tokens, i + 1, "=")) {
+        add(word);
+      }
+      continue;
+    }
+    // Function declarations and variable/constant definitions: an
+    // identifier preceded by type-ish tokens. Function bodies are
+    // opaque scopes, so control-flow keywords never reach here.
+    const bool typed_before =
+        i > 0 && (tokens[i - 1].kind == TokenKind::kIdentifier ||
+                  IsPunct(tokens, i - 1, ">") || IsPunct(tokens, i - 1, "*") ||
+                  IsPunct(tokens, i - 1, "&") || IsPunct(tokens, i - 1, "::"));
+    if (typed_before && IsPunct(tokens, i + 1, "(")) {
+      add(word);
+      continue;
+    }
+    if (typed_before && !IsPunct(tokens, i - 1, "::") &&
+        (IsPunct(tokens, i + 1, "=") || IsPunct(tokens, i + 1, ";") ||
+         IsPunct(tokens, i + 1, "{") || IsPunct(tokens, i + 1, "["))) {
+      add(word);
+      continue;
+    }
+  }
+  return out;
+}
+
+void IncludeHygieneCheck::Run(const Project& project,
+                              std::vector<Finding>* findings) const {
+  // Declared names per file, by path.
+  std::map<std::string, DeclaredNames> declared;
+  for (const SourceFile& file : project.files()) {
+    declared[file.path()] = ExtractDeclaredNames(file);
+  }
+
+  // Export closure: a header that marks an include with `IWYU pragma:
+  // export` also vouches for (and re-exports the names of) that header.
+  std::map<const SourceFile*, std::set<const SourceFile*>> exports;
+  for (const SourceFile& file : project.files()) {
+    if (!file.is_header()) continue;
+    for (const IncludeDirective& inc : file.includes()) {
+      if (inc.angled || !inc.iwyu_export) continue;
+      const SourceFile* target = project.FindHeader(inc.target);
+      if (target != nullptr) exports[&file].insert(target);
+    }
+  }
+  auto export_closure = [&](const SourceFile* header) {
+    std::set<const SourceFile*> closed = {header};
+    std::deque<const SourceFile*> queue = {header};
+    while (!queue.empty()) {
+      const SourceFile* at = queue.front();
+      queue.pop_front();
+      auto it = exports.find(at);
+      if (it == exports.end()) continue;
+      for (const SourceFile* next : it->second) {
+        if (closed.insert(next).second) queue.push_back(next);
+      }
+    }
+    return closed;
+  };
+
+  // Strong names declared by exactly one project header.
+  std::map<std::string, const SourceFile*> unique_strong;
+  std::set<std::string> ambiguous;
+  for (const SourceFile& file : project.files()) {
+    if (!file.is_header() || file.include_key().empty()) continue;
+    for (const std::string& name : declared[file.path()].strong) {
+      auto [it, inserted] = unique_strong.emplace(name, &file);
+      if (!inserted && it->second != &file) ambiguous.insert(name);
+    }
+  }
+  for (const std::string& name : ambiguous) unique_strong.erase(name);
+
+  for (const SourceFile& file : project.files()) {
+    const std::map<std::string, int> used = ReferencedNames(file);
+    // Direct includes, expanded through export closures.
+    std::set<const SourceFile*> direct;
+    for (const IncludeDirective& inc : file.includes()) {
+      if (inc.angled) continue;
+      const SourceFile* header = project.FindHeader(inc.target);
+      if (header == nullptr || header == &file) continue;
+      for (const SourceFile* h : export_closure(header)) direct.insert(h);
+    }
+
+    // Unused direct includes.
+    for (const IncludeDirective& inc : file.includes()) {
+      if (inc.angled || inc.iwyu_export) continue;
+      const SourceFile* header = project.FindHeader(inc.target);
+      if (header == nullptr || header == &file) continue;
+      if (IsOwnHeader(file, *header)) continue;
+      bool referenced = false;
+      for (const SourceFile* h : export_closure(header)) {
+        const DeclaredNames& names = declared[h->path()];
+        for (const auto& [name, line] : used) {
+          if (names.strong.count(name) != 0 || names.weak.count(name) != 0) {
+            referenced = true;
+            break;
+          }
+        }
+        if (referenced) break;
+      }
+      if (!referenced) {
+        findings->push_back(
+            {file.path(), inc.line, "include",
+             "unused include: nothing declared in '" + inc.target +
+                 "' is referenced here"});
+      }
+    }
+
+    // Transitive closure of the project includes.
+    std::set<const SourceFile*> reachable = direct;
+    std::deque<const SourceFile*> queue(direct.begin(), direct.end());
+    while (!queue.empty()) {
+      const SourceFile* at = queue.front();
+      queue.pop_front();
+      for (const IncludeDirective& inc : at->includes()) {
+        if (inc.angled) continue;
+        const SourceFile* next = project.FindHeader(inc.target);
+        if (next == nullptr) continue;
+        for (const SourceFile* h : export_closure(next)) {
+          if (reachable.insert(h).second) queue.push_back(h);
+        }
+      }
+    }
+
+    // Missing direct includes, one finding per offending header.
+    const DeclaredNames& self = declared[file.path()];
+    std::set<const SourceFile*> already_reported;
+    for (const auto& [name, line] : used) {
+      auto owner_it = unique_strong.find(name);
+      if (owner_it == unique_strong.end()) continue;
+      const SourceFile* owner = owner_it->second;
+      if (owner == &file || direct.count(owner) != 0) continue;
+      if (IsOwnHeader(file, *owner)) continue;
+      if (self.strong.count(name) != 0 || self.weak.count(name) != 0) continue;
+      if (reachable.count(owner) == 0) continue;
+      if (!already_reported.insert(owner).second) continue;
+      findings->push_back(
+          {file.path(), line, "include",
+           "uses '" + name + "' declared in '" + owner->include_key() +
+               "' without including it directly"});
+    }
+  }
+}
+
+}  // namespace analysis
+}  // namespace pstore

@@ -1,0 +1,45 @@
+#ifndef PSTORE_ANALYSIS_INCLUDE_HYGIENE_CHECK_H_
+#define PSTORE_ANALYSIS_INCLUDE_HYGIENE_CHECK_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/check.h"
+#include "analysis/project.h"
+#include "analysis/source_file.h"
+
+namespace pstore {
+namespace analysis {
+
+// Names a header declares, split by confidence. Strong names are
+// namespace-scope declarations (types, enumerators, functions,
+// constants, macros) that identify the header uniquely enough to drive
+// missing-include findings; weak names (members, methods, nested types)
+// only count as evidence that an include is used.
+struct DeclaredNames {
+  std::set<std::string> strong;
+  std::set<std::string> weak;
+};
+
+// IWYU-lite include hygiene over project (`"dir/file.h"`) includes,
+// rule id "include":
+//  - unused include: the including file references none of the names
+//    the header (or anything it re-exports via `IWYU pragma: export`)
+//    declares;
+//  - missing direct include: the file uses a name declared by exactly
+//    one project header that it only receives transitively.
+class IncludeHygieneCheck : public Check {
+ public:
+  // Heuristic declaration scan of one file (exposed for tests).
+  static DeclaredNames ExtractDeclaredNames(const SourceFile& file);
+
+  std::string name() const override { return "include"; }
+  void Run(const Project& project,
+           std::vector<Finding>* findings) const override;
+};
+
+}  // namespace analysis
+}  // namespace pstore
+
+#endif  // PSTORE_ANALYSIS_INCLUDE_HYGIENE_CHECK_H_

@@ -1,0 +1,146 @@
+#include "analysis/layering_check.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "analysis/check.h"
+#include "analysis/project.h"
+#include "analysis/source_file.h"
+
+namespace pstore {
+namespace analysis {
+namespace {
+
+// Location of the first observed include edge from one directory to
+// another, for anchoring cycle reports.
+struct EdgeSite {
+  std::string file;
+  int line = 0;
+};
+
+std::string JoinSorted(const std::set<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out.empty() ? "(nothing)" : out;
+}
+
+}  // namespace
+
+const std::map<std::string, std::set<std::string>>&
+LayeringCheck::AllowedDependencies() {
+  static const std::map<std::string, std::set<std::string>> kAllowed = {
+      {"common", {}},
+      {"engine", {"common"}},
+      {"prediction", {"common"}},
+      {"trace", {"common"}},
+      {"analysis", {"common"}},
+      {"b2w", {"common", "engine"}},
+      {"ycsb", {"common", "engine"}},
+      {"planner", {"common", "engine", "prediction", "trace"}},
+      {"migration",
+       {"common", "engine", "prediction", "trace", "b2w", "ycsb", "planner"}},
+      {"sim",
+       {"common", "engine", "prediction", "trace", "b2w", "ycsb", "planner",
+        "migration"}},
+      {"fault",
+       {"common", "engine", "prediction", "trace", "b2w", "ycsb", "planner",
+        "migration", "sim"}},
+      {"controller",
+       {"common", "engine", "prediction", "trace", "b2w", "ycsb", "planner",
+        "migration", "sim", "fault"}},
+  };
+  return kAllowed;
+}
+
+void LayeringCheck::Run(const Project& project,
+                        std::vector<Finding>* findings) const {
+  const auto& allowed = AllowedDependencies();
+  // Observed directory-level edges with their first site.
+  std::map<std::pair<std::string, std::string>, EdgeSite> edges;
+
+  for (const SourceFile& file : project.files()) {
+    const std::string& dir = file.dir();
+    if (dir.empty()) continue;  // tools/bench/tests may include anything
+    const auto allowed_it = allowed.find(dir);
+    if (allowed_it == allowed.end()) {
+      findings->push_back(
+          {file.path(), 1, "layering",
+           "directory 'src/" + dir +
+               "' is not declared in the layer DAG; add it to "
+               "LayeringCheck::AllowedDependencies() and DESIGN.md"});
+      continue;
+    }
+    for (const IncludeDirective& inc : file.includes()) {
+      if (inc.angled) continue;
+      const size_t slash = inc.target.find('/');
+      if (slash == std::string::npos) continue;
+      const std::string target_dir = inc.target.substr(0, slash);
+      // Only project directories participate; a quoted include that
+      // neither resolves nor names a known layer is out of scope.
+      const bool known_dir = allowed.count(target_dir) != 0;
+      if (!known_dir && project.FindHeader(inc.target) == nullptr) continue;
+      if (target_dir == dir) continue;
+      edges.try_emplace({dir, target_dir}, EdgeSite{file.path(), inc.line});
+      if (!known_dir) {
+        findings->push_back(
+            {file.path(), inc.line, "layering",
+             "include of '" + inc.target + "': directory 'src/" + target_dir +
+                 "' is not declared in the layer DAG"});
+        continue;
+      }
+      if (allowed_it->second.count(target_dir) == 0) {
+        findings->push_back(
+            {file.path(), inc.line, "layering",
+             "layering violation: '" + dir + "' may not depend on '" +
+                 target_dir + "' (allowed: " +
+                 JoinSorted(allowed_it->second) + ")"});
+      }
+    }
+  }
+
+  // Cycle detection over the observed graph (DFS, three colors).
+  std::map<std::string, std::vector<std::string>> graph;
+  for (const auto& [edge, site] : edges) graph[edge.first].push_back(edge.second);
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::string> stack;
+  std::set<std::string> reported;
+  // Iterative DFS; on a back edge, report the cycle once.
+  std::function<void(const std::string&)> visit = [&](const std::string& node) {
+    color[node] = 1;
+    stack.push_back(node);
+    auto it = graph.find(node);
+    if (it != graph.end()) {
+      for (const std::string& next : it->second) {
+        if (color[next] == 1) {
+          // Reconstruct node -> ... -> next -> node.
+          auto from = std::find(stack.begin(), stack.end(), next);
+          std::string path;
+          for (auto walk = from; walk != stack.end(); ++walk) {
+            path += *walk + " -> ";
+          }
+          path += next;
+          if (reported.insert(path).second) {
+            const EdgeSite& site = edges.at({node, next});
+            findings->push_back(
+                {site.file, site.line, "layering",
+                 "include cycle between src directories: " + path});
+          }
+        } else if (color[next] == 0) {
+          visit(next);
+        }
+      }
+    }
+    stack.pop_back();
+    color[node] = 2;
+  };
+  for (const auto& [node, unused] : graph) {
+    if (color[node] == 0) visit(node);
+  }
+}
+
+}  // namespace analysis
+}  // namespace pstore

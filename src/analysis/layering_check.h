@@ -1,0 +1,43 @@
+#ifndef PSTORE_ANALYSIS_LAYERING_CHECK_H_
+#define PSTORE_ANALYSIS_LAYERING_CHECK_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/check.h"
+#include "analysis/project.h"
+
+namespace pstore {
+namespace analysis {
+
+// Enforces the declared layer DAG over src/ directories:
+//
+//   common
+//     -> {engine, prediction, trace, analysis}
+//     -> {b2w, ycsb}            (workloads sit on the engine)
+//     -> planner
+//     -> migration
+//     -> {sim, fault}           (fault implements sim/migration seams)
+//     -> controller
+//
+// A directory may include itself and anything in the set returned by
+// AllowedDependencies(). Rule id: "layering". Also detects cycles in
+// the *observed* directory-level include graph, which catches
+// violations even if the declared map is ever edited into a cycle.
+class LayeringCheck : public Check {
+ public:
+  // The declared DAG: directory -> directories it may include.
+  static const std::map<std::string, std::set<std::string>>&
+  AllowedDependencies();
+
+  std::string name() const override { return "layering"; }
+  void Run(const Project& project,
+           std::vector<Finding>* findings) const override;
+};
+
+}  // namespace analysis
+}  // namespace pstore
+
+#endif  // PSTORE_ANALYSIS_LAYERING_CHECK_H_

@@ -1,0 +1,67 @@
+#include "analysis/project.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "analysis/source_file.h"
+#include "common/status.h"
+
+namespace pstore {
+namespace analysis {
+namespace {
+
+bool IsSourcePath(const std::filesystem::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc";
+}
+
+}  // namespace
+
+void Project::AddFile(SourceFile file) {
+  if (!file.include_key().empty() && file.is_header()) {
+    by_include_key_[file.include_key()] = files_.size();
+  }
+  files_.push_back(std::move(file));
+}
+
+const SourceFile* Project::FindHeader(const std::string& include_key) const {
+  auto it = by_include_key_.find(include_key);
+  if (it == by_include_key_.end()) return nullptr;
+  return &files_[it->second];
+}
+
+StatusOr<Project> Project::Load(const std::vector<std::string>& roots) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> paths;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (fs::recursive_directory_iterator it(root, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file() && IsSourcePath(it->path())) {
+          paths.push_back(it->path().string());
+        }
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      paths.push_back(root);
+    } else {
+      return Status::NotFound("no such file or directory: " + root);
+    }
+  }
+  if (paths.empty()) {
+    return Status::InvalidArgument("no .h or .cc files under the given roots");
+  }
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+  Project project;
+  for (const std::string& path : paths) {
+    StatusOr<SourceFile> file = SourceFile::Load(path);
+    RETURN_IF_ERROR(file.status());
+    project.AddFile(std::move(file.value()));
+  }
+  return project;
+}
+
+}  // namespace analysis
+}  // namespace pstore

@@ -1,0 +1,41 @@
+#ifndef PSTORE_ANALYSIS_PROJECT_H_
+#define PSTORE_ANALYSIS_PROJECT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/source_file.h"
+#include "common/status.h"
+
+namespace pstore {
+namespace analysis {
+
+// The set of source files under analysis, with lookup from include
+// paths ("planner/move.h") to the loaded header. Populate either from
+// disk with Load() or from in-memory fixtures with AddFile().
+class Project {
+ public:
+  Project() = default;
+
+  // Walks each root (a directory or a single file), loading every .h
+  // and .cc found, in sorted order for deterministic output.
+  static StatusOr<Project> Load(const std::vector<std::string>& roots);
+
+  void AddFile(SourceFile file);
+
+  const std::vector<SourceFile>& files() const { return files_; }
+
+  // Looks up a project header by its include key; nullptr if the path
+  // does not name a loaded src/ header.
+  const SourceFile* FindHeader(const std::string& include_key) const;
+
+ private:
+  std::vector<SourceFile> files_;
+  std::map<std::string, size_t> by_include_key_;
+};
+
+}  // namespace analysis
+}  // namespace pstore
+
+#endif  // PSTORE_ANALYSIS_PROJECT_H_

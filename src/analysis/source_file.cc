@@ -1,0 +1,318 @@
+#include "analysis/source_file.h"
+
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/status.h"
+
+namespace pstore {
+namespace analysis {
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsHorizontalSpace(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+
+// True when the '"' at raw[i] opens a raw string literal: it is
+// preceded by exactly one of the encoding prefixes ending in R.
+bool IsRawStringOpener(const std::string& raw, size_t i) {
+  static const char* kPrefixes[] = {"u8R", "uR", "UR", "LR", "R"};
+  for (const char* prefix : kPrefixes) {
+    const size_t len = std::strlen(prefix);
+    if (i >= len && raw.compare(i - len, len, prefix) == 0 &&
+        (i == len || !IsIdentChar(raw[i - len - 1]))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+struct CommentRecord {
+  int line = 0;            // line the comment starts on
+  bool code_before = false;  // some code precedes it on that line
+  std::string text;
+};
+
+struct CleanResult {
+  std::string clean;
+  std::vector<CommentRecord> comments;
+  // Ordinary (non-raw) string literal values with the line they end on;
+  // used to recover #include targets after blanking.
+  std::vector<std::pair<int, std::string>> strings;
+};
+
+// Single pass over the raw text: blanks comments, string literals
+// (ordinary and raw), and character literals to spaces while keeping
+// newlines, so byte positions and line numbers are preserved.
+CleanResult StripCommentsAndStrings(const std::string& raw) {
+  const size_t n = raw.size();
+  CleanResult result;
+  result.clean.assign(n, ' ');
+  for (size_t k = 0; k < n; ++k) {
+    if (raw[k] == '\n') result.clean[k] = '\n';
+  }
+  int line = 1;
+  bool code_on_line = false;
+  size_t i = 0;
+  // Advances the line counter over raw[from, to).
+  auto count_lines = [&](size_t from, size_t to) {
+    for (size_t k = from; k < to && k < n; ++k) {
+      if (raw[k] == '\n') {
+        ++line;
+        code_on_line = false;
+      }
+    }
+  };
+  while (i < n) {
+    const char c = raw[i];
+    if (c == '\n') {
+      ++line;
+      code_on_line = false;
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && raw[i + 1] == '/') {
+      size_t j = raw.find('\n', i);
+      if (j == std::string::npos) j = n;
+      result.comments.push_back({line, code_on_line, raw.substr(i + 2, j - i - 2)});
+      i = j;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && raw[i + 1] == '*') {
+      size_t j = raw.find("*/", i + 2);
+      const size_t end = (j == std::string::npos) ? n : j + 2;
+      const size_t text_end = (j == std::string::npos) ? n : j;
+      result.comments.push_back(
+          {line, code_on_line, raw.substr(i + 2, text_end - i - 2)});
+      count_lines(i, end);
+      i = end;
+      continue;
+    }
+    if (c == '"') {
+      if (IsRawStringOpener(raw, i)) {
+        // Blank the encoding prefix (R, u8R, ...) already copied out.
+        for (size_t b = i; b > 0 && IsIdentChar(raw[b - 1]); --b) {
+          result.clean[b - 1] = ' ';
+        }
+        const size_t delim_start = i + 1;
+        const size_t paren = raw.find('(', delim_start);
+        size_t end = n;
+        if (paren != std::string::npos) {
+          const std::string closer =
+              ")" + raw.substr(delim_start, paren - delim_start) + "\"";
+          const size_t close = raw.find(closer, paren + 1);
+          if (close != std::string::npos) end = close + closer.size();
+        }
+        count_lines(i, end);
+        i = end;
+        code_on_line = true;
+        continue;
+      }
+      size_t j = i + 1;
+      std::string value;
+      while (j < n && raw[j] != '"' && raw[j] != '\n') {
+        if (raw[j] == '\\' && j + 1 < n) {
+          value.append(raw, j, 2);
+          j += 2;
+        } else {
+          value.push_back(raw[j]);
+          ++j;
+        }
+      }
+      result.strings.emplace_back(line, std::move(value));
+      i = (j < n && raw[j] == '"') ? j + 1 : j;
+      code_on_line = true;
+      continue;
+    }
+    if (c == '\'') {
+      // A quote between identifier characters is a digit separator
+      // (1'000'000), not a character literal.
+      if (i > 0 && IsIdentChar(raw[i - 1]) && i + 1 < n &&
+          IsIdentChar(raw[i + 1])) {
+        ++i;
+        continue;
+      }
+      size_t j = i + 1;
+      while (j < n && raw[j] != '\'' && raw[j] != '\n') {
+        j += (raw[j] == '\\' && j + 1 < n) ? 2 : 1;
+      }
+      i = (j < n && raw[j] == '\'') ? j + 1 : j;
+      code_on_line = true;
+      continue;
+    }
+    result.clean[i] = c;
+    if (!IsHorizontalSpace(c)) code_on_line = true;
+    ++i;
+  }
+  return result;
+}
+
+// Reads the identifier starting at text[i], or "" if none.
+std::string ReadIdent(const std::string& text, size_t i) {
+  size_t j = i;
+  while (j < text.size() && IsIdentChar(text[j])) ++j;
+  return text.substr(i, j - i);
+}
+
+// Parses `// pstore-analyze: allow(rule1, rule2)` out of a comment.
+std::vector<std::string> ParseAllowedRules(const std::string& comment) {
+  std::vector<std::string> rules;
+  const size_t marker = comment.find("pstore-analyze:");
+  if (marker == std::string::npos) return rules;
+  const size_t open = comment.find("allow(", marker);
+  if (open == std::string::npos) return rules;
+  const size_t close = comment.find(')', open);
+  if (close == std::string::npos) return rules;
+  std::string list = comment.substr(open + 6, close - open - 6);
+  std::stringstream stream(list);
+  std::string rule;
+  while (std::getline(stream, rule, ',')) {
+    size_t begin = rule.find_first_not_of(" \t");
+    size_t end = rule.find_last_not_of(" \t");
+    if (begin == std::string::npos) continue;
+    rules.push_back(rule.substr(begin, end - begin + 1));
+  }
+  return rules;
+}
+
+}  // namespace
+
+bool SourceFile::is_header() const {
+  return path_.size() >= 2 && path_.compare(path_.size() - 2, 2, ".h") == 0;
+}
+
+bool SourceFile::IsSuppressed(const std::string& rule, int line) const {
+  auto it = suppressions_.find(line);
+  if (it == suppressions_.end()) return false;
+  return it->second.count(rule) != 0 || it->second.count("*") != 0;
+}
+
+StatusOr<SourceFile> SourceFile::Load(const std::string& path) {
+  std::ifstream stream(path, std::ios::binary);
+  if (!stream) {
+    return Status::NotFound("cannot read " + path);
+  }
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  return FromContents(path, buffer.str());
+}
+
+SourceFile SourceFile::FromContents(std::string path, const std::string& raw) {
+  SourceFile file;
+  file.path_ = std::move(path);
+  // Normalize separators, then derive dir/include key from the last
+  // "src/" path component (works for absolute and fixture paths).
+  std::string normalized = file.path_;
+  for (char& c : normalized) {
+    if (c == '\\') c = '/';
+  }
+  size_t src = std::string::npos;
+  for (size_t at = normalized.find("src/"); at != std::string::npos;
+       at = normalized.find("src/", at + 1)) {
+    if (at == 0 || normalized[at - 1] == '/') src = at;
+  }
+  if (src != std::string::npos) {
+    file.include_key_ = normalized.substr(src + 4);
+    const size_t slash = file.include_key_.find('/');
+    if (slash != std::string::npos) {
+      file.dir_ = file.include_key_.substr(0, slash);
+    }
+  }
+
+  CleanResult stripped = StripCommentsAndStrings(raw);
+  file.clean_ = std::move(stripped.clean);
+
+  // Preprocessor pass over the comment/string-blanked text: record
+  // #include targets and #define names, then blank the directive lines
+  // (with backslash continuations) so they never reach the tokenizer.
+  std::string& clean = file.clean_;
+  const size_t n = clean.size();
+  size_t i = 0;
+  int line = 1;
+  while (i < n) {
+    size_t eol = clean.find('\n', i);
+    if (eol == std::string::npos) eol = n;
+    size_t first = i;
+    while (first < eol && IsHorizontalSpace(clean[first])) ++first;
+    if (first >= eol || clean[first] != '#') {
+      i = eol + 1;
+      ++line;
+      continue;
+    }
+    // Extend over backslash continuations to the logical end.
+    const int directive_line = line;
+    int spanned = 0;
+    size_t logical_end = eol;
+    while (logical_end < n) {
+      size_t last = logical_end;
+      while (last > first && IsHorizontalSpace(clean[last - 1])) --last;
+      if (last == first || clean[last - 1] != '\\') break;
+      ++spanned;
+      size_t next_eol = clean.find('\n', logical_end + 1);
+      logical_end = (next_eol == std::string::npos) ? n : next_eol;
+    }
+    // Identify the directive and its operand.
+    size_t word_at = first + 1;
+    while (word_at < logical_end && IsHorizontalSpace(clean[word_at])) ++word_at;
+    const std::string word = ReadIdent(clean, word_at);
+    if (word == "include") {
+      IncludeDirective inc;
+      inc.line = directive_line;
+      const size_t open = clean.find('<', word_at);
+      if (open != std::string::npos && open < logical_end) {
+        const size_t close = clean.find('>', open);
+        if (close != std::string::npos && close < logical_end) {
+          inc.angled = true;
+          inc.target = clean.substr(open + 1, close - open - 1);
+          file.includes_.push_back(inc);
+        }
+      } else {
+        // Quoted target: the literal was blanked, recover it from the
+        // recorded string table by line number.
+        for (const auto& [string_line, value] : stripped.strings) {
+          if (string_line >= directive_line &&
+              string_line <= directive_line + spanned) {
+            inc.target = value;
+            file.includes_.push_back(inc);
+            break;
+          }
+        }
+      }
+    } else if (word == "define") {
+      size_t name_at = word_at + word.size();
+      while (name_at < logical_end && IsHorizontalSpace(clean[name_at])) {
+        ++name_at;
+      }
+      const std::string name = ReadIdent(clean, name_at);
+      if (!name.empty()) file.macros_.push_back({name, directive_line});
+    }
+    // Blank the whole logical directive.
+    for (size_t k = i; k < logical_end; ++k) {
+      if (clean[k] != '\n') clean[k] = ' ';
+    }
+    line += spanned + 1;
+    i = logical_end + 1;
+  }
+
+  // Suppressions and IWYU export pragmas come from the comments.
+  for (const CommentRecord& comment : stripped.comments) {
+    for (const std::string& rule : ParseAllowedRules(comment.text)) {
+      const int covered = comment.code_before ? comment.line : comment.line + 1;
+      file.suppressions_[covered].insert(rule);
+    }
+    if (comment.text.find("IWYU pragma: export") != std::string::npos) {
+      for (IncludeDirective& inc : file.includes_) {
+        if (inc.line == comment.line) inc.iwyu_export = true;
+      }
+    }
+  }
+  return file;
+}
+
+}  // namespace analysis
+}  // namespace pstore

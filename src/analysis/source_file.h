@@ -1,0 +1,82 @@
+#ifndef PSTORE_ANALYSIS_SOURCE_FILE_H_
+#define PSTORE_ANALYSIS_SOURCE_FILE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pstore {
+namespace analysis {
+
+// One #include directive as written in the source.
+struct IncludeDirective {
+  std::string target;        // path as written, e.g. "planner/move.h"
+  int line = 0;              // 1-based line of the directive
+  bool angled = false;       // <...> (system/third-party) vs "..." (project)
+  bool iwyu_export = false;  // carries an `IWYU pragma: export` comment
+};
+
+// One #define in the file (object- or function-like; name only).
+struct MacroDefinition {
+  std::string name;
+  int line = 0;
+};
+
+// A source file prepared for analysis. Loading strips comments, string
+// literals (including raw strings and escaped quotes), character
+// literals, and preprocessor directives from the text, replacing them
+// with spaces so that byte positions and line numbers in `clean()`
+// match the original file exactly. Includes, macro definitions, and
+// `// pstore-analyze: allow(<rule>)` suppression comments are recorded
+// before stripping.
+class SourceFile {
+ public:
+  // Reads `path` from disk. Fails with kNotFound if unreadable.
+  static StatusOr<SourceFile> Load(const std::string& path);
+
+  // Builds a SourceFile from an in-memory buffer (fixture tests).
+  static SourceFile FromContents(std::string path, const std::string& raw);
+
+  const std::string& path() const { return path_; }
+
+  // First directory component below src/ ("planner" for src/planner/*),
+  // or "" for files outside src/ (tools, bench, tests, examples).
+  const std::string& dir() const { return dir_; }
+
+  // The path by which project code includes this header
+  // ("planner/move.h" for src/planner/move.h); "" outside src/.
+  const std::string& include_key() const { return include_key_; }
+
+  bool is_header() const;
+
+  // Original text with comments, strings, and preprocessor lines
+  // blanked to spaces; newlines preserved, same length as the input.
+  const std::string& clean() const { return clean_; }
+
+  const std::vector<IncludeDirective>& includes() const { return includes_; }
+  const std::vector<MacroDefinition>& macros() const { return macros_; }
+
+  // True if a `// pstore-analyze: allow(rule)` comment covers `line`.
+  // A trailing comment covers its own line; a comment alone on a line
+  // covers the following line.
+  bool IsSuppressed(const std::string& rule, int line) const;
+
+ private:
+  SourceFile() = default;
+
+  std::string path_;
+  std::string dir_;
+  std::string include_key_;
+  std::string clean_;
+  std::vector<IncludeDirective> includes_;
+  std::vector<MacroDefinition> macros_;
+  std::map<int, std::set<std::string>> suppressions_;  // line -> rules
+};
+
+}  // namespace analysis
+}  // namespace pstore
+
+#endif  // PSTORE_ANALYSIS_SOURCE_FILE_H_

@@ -1,0 +1,211 @@
+#include "analysis/status_check.h"
+
+#include "analysis/check.h"
+#include "analysis/project.h"
+#include "analysis/source_file.h"
+#include "analysis/tokenizer.h"
+
+namespace pstore {
+namespace analysis {
+namespace {
+
+bool IsIdent(const std::vector<Token>& tokens, size_t i) {
+  return i < tokens.size() && tokens[i].kind == TokenKind::kIdentifier;
+}
+
+bool IsPunct(const std::vector<Token>& tokens, size_t i, const char* text) {
+  return i < tokens.size() && tokens[i].kind == TokenKind::kPunct &&
+         tokens[i].text == text;
+}
+
+// Returns the index just past the bracket run starting at `open`
+// (tokens[open] must be "(", "[", or "{"), or tokens.size() if
+// unbalanced. All bracket kinds nest together.
+size_t SkipBalanced(const std::vector<Token>& tokens, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < tokens.size(); ++i) {
+    const std::string& t = tokens[i].text;
+    if (tokens[i].kind != TokenKind::kPunct) continue;
+    if (t == "(" || t == "[" || t == "{") ++depth;
+    if (t == ")" || t == "]" || t == "}") {
+      --depth;
+      if (depth == 0) return i + 1;
+    }
+  }
+  return tokens.size();
+}
+
+// Skips "< ... >" template argument brackets starting at `open`;
+// returns open if the run never closes before a ; or statement brace.
+size_t SkipTemplateArgs(const std::vector<Token>& tokens, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::kPunct) continue;
+    const std::string& t = tokens[i].text;
+    if (t == "<") ++depth;
+    if (t == ">") {
+      --depth;
+      if (depth == 0) return i + 1;
+    }
+    if (t == ";" || t == "{" || t == "}") break;
+  }
+  return open;
+}
+
+const std::set<std::string>& ControlKeywords() {
+  static const std::set<std::string> kControl = {"if", "for", "while",
+                                                "switch", "catch"};
+  return kControl;
+}
+
+// Keywords that start a statement which cannot be a bare discarded
+// call; scanning just continues to the next boundary.
+bool IsPlainKeywordStart(const std::string& text) {
+  static const std::set<std::string> kPlain = {
+      "return",  "throw",   "co_return", "co_await", "co_yield", "goto",
+      "break",   "continue", "delete",   "using",    "typedef",  "template",
+      "case",    "default",  "public",   "private",  "protected", "else",
+      "do",      "try",      "static_assert"};
+  return kPlain.count(text) != 0;
+}
+
+}  // namespace
+
+std::set<std::string> StatusCheck::CollectStatusFunctions(
+    const Project& project) {
+  std::set<std::string> names;
+  for (const SourceFile& file : project.files()) {
+    if (!file.is_header()) continue;
+    const std::vector<Token> tokens = Tokenize(file.clean());
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      if (tokens[i].kind != TokenKind::kIdentifier) continue;
+      size_t after_type = 0;
+      if (tokens[i].text == "Status") {
+        after_type = i + 1;
+      } else if (tokens[i].text == "StatusOr" && IsPunct(tokens, i + 1, "<")) {
+        const size_t closed = SkipTemplateArgs(tokens, i + 1);
+        if (closed == i + 1) continue;
+        after_type = closed;
+      } else {
+        continue;
+      }
+      // `Status Name(` / `StatusOr<T> Name(` declares Name. References
+      // (`Status&`), members (`Status s_ = ...`) and qualified uses
+      // (`Status::OK`) all fail the ident-then-paren shape.
+      if (IsIdent(tokens, after_type) && IsPunct(tokens, after_type + 1, "(")) {
+        names.insert(tokens[after_type].text);
+      }
+    }
+  }
+  return names;
+}
+
+void StatusCheck::Run(const Project& project,
+                      std::vector<Finding>* findings) const {
+  const std::set<std::string> status_fns = CollectStatusFunctions(project);
+  if (status_fns.empty()) return;
+
+  for (const SourceFile& file : project.files()) {
+    const std::vector<Token> tokens = Tokenize(file.clean());
+    const size_t n = tokens.size();
+    bool at_start = true;
+    size_t i = 0;
+    while (i < n) {
+      if (!at_start) {
+        // Scan for the next statement boundary.
+        if (tokens[i].kind == TokenKind::kPunct &&
+            (tokens[i].text == ";" || tokens[i].text == "{" ||
+             tokens[i].text == "}")) {
+          at_start = true;
+        }
+        ++i;
+        continue;
+      }
+      at_start = false;
+      if (tokens[i].kind == TokenKind::kPunct) {
+        if (tokens[i].text == ";" || tokens[i].text == "{" ||
+            tokens[i].text == "}") {
+          at_start = true;
+          ++i;
+          continue;
+        }
+        if (tokens[i].text == "(" && IsIdent(tokens, i + 1) &&
+            tokens[i + 1].text == "void" && IsPunct(tokens, i + 2, ")")) {
+          // (void)Call(): explicit discard; skip to the next boundary.
+          i += 3;
+          continue;
+        }
+        ++i;
+        continue;
+      }
+      const std::string& word = tokens[i].text;
+      if (ControlKeywords().count(word) != 0) {
+        // if/for/while/switch (cond): the body starts a new statement.
+        size_t j = i + 1;
+        if (IsPunct(tokens, j, "(")) j = SkipBalanced(tokens, j);
+        i = j;
+        at_start = true;
+        continue;
+      }
+      if (IsPlainKeywordStart(word)) {
+        // `else`, `do`, `try` immediately restart a statement; the rest
+        // fall through to boundary scanning.
+        if (word == "else" || word == "do" || word == "try") at_start = true;
+        ++i;
+        continue;
+      }
+      // Candidate call chain: ident (:: ident)* ((. | ->) ident)* (...)
+      // possibly continued by .member(...) links; flag when the final
+      // call's result hits `;` unconsumed.
+      size_t j = i;
+      std::string callee = tokens[j].text;
+      int callee_line = tokens[j].line;
+      ++j;
+      bool chain_ok = true;
+      while (chain_ok) {
+        if (IsPunct(tokens, j, "::") || IsPunct(tokens, j, ".") ||
+            IsPunct(tokens, j, "->")) {
+          if (!IsIdent(tokens, j + 1)) {
+            chain_ok = false;
+            break;
+          }
+          callee = tokens[j + 1].text;
+          callee_line = tokens[j + 1].line;
+          j += 2;
+          continue;
+        }
+        if (IsPunct(tokens, j, "(")) {
+          const size_t after = SkipBalanced(tokens, j);
+          if (after >= n) {
+            chain_ok = false;
+            break;
+          }
+          if (IsPunct(tokens, after, ";")) {
+            if (status_fns.count(callee) != 0) {
+              findings->push_back(
+                  {file.path(), callee_line, "status",
+                   "result of Status-returning '" + callee +
+                       "' is silently discarded; check it, wrap it in "
+                       "RETURN_IF_ERROR, or discard explicitly with (void)"});
+            }
+            i = after;
+            break;
+          }
+          if (IsPunct(tokens, after, ".") || IsPunct(tokens, after, "->")) {
+            j = after;
+            continue;
+          }
+          chain_ok = false;
+          break;
+        }
+        chain_ok = false;
+        break;
+      }
+      if (chain_ok) continue;  // resumed at the terminating `;`
+      ++i;
+    }
+  }
+}
+
+}  // namespace analysis
+}  // namespace pstore

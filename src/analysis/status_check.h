@@ -1,0 +1,32 @@
+#ifndef PSTORE_ANALYSIS_STATUS_CHECK_H_
+#define PSTORE_ANALYSIS_STATUS_CHECK_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/check.h"
+#include "analysis/project.h"
+
+namespace pstore {
+namespace analysis {
+
+// Status discipline: scans project headers for functions returning
+// Status or StatusOr<T>, then flags expression statements that call one
+// of them and silently discard the result. `(void)call()` is the
+// explicit discard idiom and is not flagged. Rule id: "status".
+class StatusCheck : public Check {
+ public:
+  // The Status-returning function names found in the project's headers
+  // (exposed for tests).
+  static std::set<std::string> CollectStatusFunctions(const Project& project);
+
+  std::string name() const override { return "status"; }
+  void Run(const Project& project,
+           std::vector<Finding>* findings) const override;
+};
+
+}  // namespace analysis
+}  // namespace pstore
+
+#endif  // PSTORE_ANALYSIS_STATUS_CHECK_H_

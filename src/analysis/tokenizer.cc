@@ -1,0 +1,82 @@
+#include "analysis/tokenizer.h"
+
+#include <cctype>
+
+namespace pstore {
+namespace analysis {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+}  // namespace
+
+std::vector<Token> Tokenize(const std::string& clean) {
+  std::vector<Token> tokens;
+  const size_t n = clean.size();
+  int line = 1;
+  size_t i = 0;
+  while (i < n) {
+    const char c = clean[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(clean[j])) ++j;
+      tokens.push_back({TokenKind::kIdentifier, clean.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (IsDigit(c)) {
+      // Numbers including suffixes, hex, and exponents (1e-5, 0x1fULL).
+      size_t j = i + 1;
+      while (j < n) {
+        const char d = clean[j];
+        if (IsIdentChar(d) || d == '.') {
+          ++j;
+        } else if ((d == '+' || d == '-') &&
+                   (clean[j - 1] == 'e' || clean[j - 1] == 'E' ||
+                    clean[j - 1] == 'p' || clean[j - 1] == 'P')) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      tokens.push_back({TokenKind::kNumber, clean.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Punctuation. Only the two-character tokens the checks care about
+    // are merged; everything else is one character at a time.
+    if (c == ':' && i + 1 < n && clean[i + 1] == ':') {
+      tokens.push_back({TokenKind::kPunct, "::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && clean[i + 1] == '>') {
+      tokens.push_back({TokenKind::kPunct, "->", line});
+      i += 2;
+      continue;
+    }
+    tokens.push_back({TokenKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return tokens;
+}
+
+}  // namespace analysis
+}  // namespace pstore

@@ -1,0 +1,29 @@
+#ifndef PSTORE_ANALYSIS_TOKENIZER_H_
+#define PSTORE_ANALYSIS_TOKENIZER_H_
+
+#include <string>
+#include <vector>
+
+namespace pstore {
+namespace analysis {
+
+enum class TokenKind {
+  kIdentifier,  // identifiers and keywords
+  kNumber,
+  kPunct,  // one operator/punctuator; "::" and "->" are single tokens
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 0;  // 1-based
+};
+
+// Tokenizes cleaned source text (see SourceFile::clean()): comments,
+// strings, and preprocessor lines are assumed to already be blanked.
+std::vector<Token> Tokenize(const std::string& clean);
+
+}  // namespace analysis
+}  // namespace pstore
+
+#endif  // PSTORE_ANALYSIS_TOKENIZER_H_

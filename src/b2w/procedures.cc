@@ -1,6 +1,10 @@
 #include "b2w/procedures.h"
 
 #include "b2w/schema.h"
+#include "common/status.h"
+#include "engine/table.h"
+#include "engine/transaction.h"
+#include "engine/txn_executor.h"
 
 namespace pstore {
 namespace b2w {

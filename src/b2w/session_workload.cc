@@ -3,6 +3,12 @@
 #include "b2w/procedures.h"
 #include "b2w/schema.h"
 #include "common/logging.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "engine/cluster.h"
+#include "engine/partition.h"
+#include "engine/table.h"
+#include "engine/transaction.h"
 
 namespace pstore {
 namespace b2w {

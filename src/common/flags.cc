@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "common/status.h"
+
 namespace pstore {
 
 Status FlagParser::Parse(int argc, const char* const* argv) {

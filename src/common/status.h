@@ -24,8 +24,11 @@ enum class StatusCode {
 };
 
 // A Status carries a code and, for errors, a human-readable message.
-// The OK status carries no message and is cheap to copy.
-class Status {
+// The OK status carries no message and is cheap to copy. Marked
+// [[nodiscard]] so that silently dropping an error at a call site is a
+// compile-time warning (an error under the tidy preset); discard
+// deliberately with a (void) cast and a comment.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -73,9 +76,9 @@ class Status {
 };
 
 // StatusOr<T> holds either a value or an error status. Callers must check
-// ok() before dereferencing.
+// ok() before dereferencing. [[nodiscard]] for the same reason as Status.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(Status status)  // NOLINT(google-explicit-constructor)
       : status_(std::move(status)) {}

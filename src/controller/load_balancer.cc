@@ -4,6 +4,11 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/sim_time.h"
+#include "engine/cluster.h"
+#include "engine/event_loop.h"
+#include "engine/partition.h"
+#include "migration/squall_migrator.h"
 
 namespace pstore {
 

@@ -3,6 +3,15 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "common/strong_id.h"
+#include "engine/cluster.h"
+#include "engine/event_loop.h"
+#include "engine/txn_executor.h"
+#include "migration/squall_migrator.h"
+#include "planner/move.h"
+#include "prediction/online_predictor.h"
 
 namespace pstore {
 

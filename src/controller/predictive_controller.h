@@ -6,8 +6,12 @@
 #include <vector>
 
 #include "controller/controller.h"
+#include "engine/cluster.h"
+#include "engine/event_loop.h"
+#include "engine/txn_executor.h"
 #include "migration/squall_migrator.h"
 #include "planner/dp_planner.h"
+#include "planner/move_model.h"
 #include "prediction/online_predictor.h"
 
 namespace pstore {

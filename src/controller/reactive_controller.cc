@@ -4,6 +4,13 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "common/strong_id.h"
+#include "engine/cluster.h"
+#include "engine/event_loop.h"
+#include "engine/txn_executor.h"
+#include "migration/squall_migrator.h"
 
 namespace pstore {
 

@@ -4,6 +4,9 @@
 #include <string>
 
 #include "controller/controller.h"
+#include "engine/cluster.h"
+#include "engine/event_loop.h"
+#include "engine/txn_executor.h"
 #include "migration/squall_migrator.h"
 #include "planner/move_model.h"
 

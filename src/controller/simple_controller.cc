@@ -1,6 +1,11 @@
 #include "controller/simple_controller.h"
 
 #include "common/check.h"
+#include "common/sim_time.h"
+#include "common/strong_id.h"
+#include "engine/cluster.h"
+#include "engine/event_loop.h"
+#include "migration/squall_migrator.h"
 
 namespace pstore {
 

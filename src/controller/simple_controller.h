@@ -4,6 +4,8 @@
 #include <string>
 
 #include "controller/controller.h"
+#include "engine/cluster.h"
+#include "engine/event_loop.h"
 #include "migration/squall_migrator.h"
 
 namespace pstore {

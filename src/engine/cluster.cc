@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/status.h"
+#include "engine/partition.h"
 
 namespace pstore {
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/sim_time.h"
 
 namespace pstore {
 

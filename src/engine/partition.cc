@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/sim_time.h"
+#include "engine/table.h"
 
 namespace pstore {
 

@@ -5,6 +5,11 @@
 
 #include "common/logging.h"
 #include "common/sim_time.h"
+#include "common/status.h"
+#include "engine/cluster.h"
+#include "engine/metrics.h"
+#include "engine/partition.h"
+#include "engine/transaction.h"
 
 namespace pstore {
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "common/rng.h"
+#include "common/sim_time.h"
 #include "common/status.h"
 #include "engine/cluster.h"
 #include "engine/metrics.h"

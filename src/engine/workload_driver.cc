@@ -3,6 +3,11 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/sim_time.h"
+#include "common/time_series.h"
+#include "engine/event_loop.h"
+#include "engine/transaction.h"
+#include "engine/txn_executor.h"
 
 namespace pstore {
 

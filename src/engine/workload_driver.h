@@ -5,8 +5,10 @@
 #include <functional>
 
 #include "common/rng.h"
+#include "common/sim_time.h"
 #include "common/time_series.h"
 #include "engine/event_loop.h"
+#include "engine/transaction.h"
 #include "engine/txn_executor.h"
 
 namespace pstore {

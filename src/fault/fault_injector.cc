@@ -4,6 +4,11 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/strong_id.h"
+#include "engine/cluster.h"
+#include "engine/event_loop.h"
+#include "engine/metrics.h"
+#include "fault/fault_schedule.h"
 
 namespace pstore {
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/strong_id.h"
 #include "engine/cluster.h"
 #include "engine/event_loop.h"
 #include "engine/metrics.h"

@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/sim_time.h"
+#include "sim/capacity_simulator.h"
 
 namespace pstore {
 

@@ -6,8 +6,15 @@
 #include <utility>
 
 #include "common/check.h"
-#include "planner/validate.h"
 #include "common/sim_time.h"
+#include "common/status.h"
+#include "common/strong_id.h"
+#include "engine/cluster.h"
+#include "engine/event_loop.h"
+#include "engine/metrics.h"
+#include "engine/partition.h"
+#include "planner/migration_schedule.h"
+#include "planner/validate.h"
 
 namespace pstore {
 

@@ -5,11 +5,13 @@
 #include <functional>
 #include <vector>
 
+#include "common/sim_time.h"
 #include "common/status.h"
 #include "common/strong_id.h"
 #include "engine/cluster.h"
 #include "engine/event_loop.h"
 #include "engine/metrics.h"
+#include "engine/partition.h"
 #include "planner/migration_schedule.h"
 
 namespace pstore {

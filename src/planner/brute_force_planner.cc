@@ -5,8 +5,12 @@
 #include <limits>
 
 #include "common/check.h"
-#include "planner/validate.h"
+#include "common/status.h"
+#include "common/strong_id.h"
 #include "planner/dp_planner.h"
+#include "planner/move.h"
+#include "planner/move_model.h"
+#include "planner/validate.h"
 
 namespace pstore {
 namespace {

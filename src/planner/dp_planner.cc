@@ -5,6 +5,10 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/status.h"
+#include "common/strong_id.h"
+#include "planner/move.h"
+#include "planner/move_model.h"
 #include "planner/validate.h"
 
 namespace pstore {

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/status.h"
+#include "common/strong_id.h"
 #include "planner/validate.h"
 
 namespace pstore {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/strong_id.h"
 
 namespace pstore {
 namespace {

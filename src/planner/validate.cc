@@ -6,7 +6,12 @@
 #include <set>
 #include <utility>
 
+#include "common/status.h"
+#include "common/strong_id.h"
 #include "planner/dp_planner.h"
+#include "planner/migration_schedule.h"
+#include "planner/move.h"
+#include "planner/move_model.h"
 
 namespace pstore {
 namespace {

@@ -4,6 +4,8 @@
 
 #include "common/linalg.h"
 #include "common/logging.h"
+#include "common/status.h"
+#include "common/time_series.h"
 
 namespace pstore {
 

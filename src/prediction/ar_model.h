@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/status.h"
+#include "common/time_series.h"
 #include "prediction/predictor.h"
 
 namespace pstore {

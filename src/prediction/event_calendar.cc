@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/status.h"
+
 namespace pstore {
 
 Status EventCalendar::AddEvent(const PlannedEvent& event) {

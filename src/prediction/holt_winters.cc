@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/status.h"
+#include "common/time_series.h"
 
 namespace pstore {
 

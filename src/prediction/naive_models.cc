@@ -1,6 +1,8 @@
 #include "prediction/naive_models.h"
 
 #include "common/logging.h"
+#include "common/status.h"
+#include "common/time_series.h"
 
 namespace pstore {
 

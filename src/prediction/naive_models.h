@@ -3,6 +3,8 @@
 
 #include <cstddef>
 
+#include "common/status.h"
+#include "common/time_series.h"
 #include "prediction/predictor.h"
 
 namespace pstore {

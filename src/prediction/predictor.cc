@@ -1,5 +1,8 @@
 #include "prediction/predictor.h"
 
+#include "common/status.h"
+#include "common/time_series.h"
+
 namespace pstore {
 
 StatusOr<std::vector<double>> LoadPredictor::PredictHorizon(

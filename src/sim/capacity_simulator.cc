@@ -5,7 +5,11 @@
 #include <functional>
 
 #include "common/check.h"
+#include "common/status.h"
+#include "common/strong_id.h"
+#include "common/time_series.h"
 #include "planner/dp_planner.h"
+#include "planner/move.h"
 #include "planner/move_model.h"
 
 namespace pstore {

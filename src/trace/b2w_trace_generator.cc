@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/time_series.h"
 
 namespace pstore {
 namespace {

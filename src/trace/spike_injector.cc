@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/time_series.h"
+
 namespace pstore {
 
 TimeSeries InjectSpike(const TimeSeries& base, const SpikeOptions& options) {

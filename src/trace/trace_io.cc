@@ -5,6 +5,9 @@
 #include <sstream>
 #include <string>
 
+#include "common/status.h"
+#include "common/time_series.h"
+
 namespace pstore {
 
 Status SaveTraceCsv(const TimeSeries& trace, const std::string& path) {

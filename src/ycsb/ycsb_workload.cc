@@ -1,6 +1,14 @@
 #include "ycsb/ycsb_workload.h"
 
 #include "common/logging.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/zipf.h"
+#include "engine/cluster.h"
+#include "engine/partition.h"
+#include "engine/table.h"
+#include "engine/transaction.h"
+#include "engine/txn_executor.h"
 
 namespace pstore {
 namespace ycsb {

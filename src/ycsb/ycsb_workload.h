@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "common/zipf.h"
 #include "engine/cluster.h"
+#include "engine/table.h"
 #include "engine/transaction.h"
 #include "engine/txn_executor.h"
 

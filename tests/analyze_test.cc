@@ -1,0 +1,421 @@
+// Fixture tests for the pstore_analyze rule families: each rule is
+// seeded with a small violating snippet and asserted to fire, plus the
+// negative cases (suppressions, explicit discards, exports) that keep
+// the real tree clean.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/check.h"
+#include "analysis/include_hygiene_check.h"
+#include "analysis/layering_check.h"
+#include "analysis/project.h"
+#include "analysis/source_file.h"
+#include "analysis/status_check.h"
+#include "analysis/tokenizer.h"
+#include "common/status.h"
+
+namespace pstore {
+namespace analysis {
+namespace {
+
+SourceFile Make(const std::string& path, const std::string& body) {
+  return SourceFile::FromContents(path, body);
+}
+
+bool HasFinding(const std::vector<Finding>& findings, const std::string& rule,
+                const std::string& file, const std::string& needle) {
+  for (const Finding& finding : findings) {
+    if (finding.rule == rule && finding.file == file &&
+        finding.message.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Finding> RunRule(const Project& project, const std::string& rule) {
+  Analyzer analyzer;
+  EXPECT_TRUE(analyzer.SelectRules({rule}).ok());
+  return analyzer.Run(project);
+}
+
+// ---------------------------------------------------------------- source file
+
+TEST(SourceFileTest, StripsCommentsAndStringsButKeepsLines) {
+  SourceFile file = Make("src/common/x.h",
+                         "int a; // trailing comment\n"
+                         "const char* s = \"string // not a comment\";\n"
+                         "/* block\n   spanning */ int b;\n");  // b on line 4
+  EXPECT_NE(file.clean().find("int a;"), std::string::npos);
+  EXPECT_NE(file.clean().find("int b;"), std::string::npos);
+  EXPECT_EQ(file.clean().find("trailing"), std::string::npos);
+  EXPECT_EQ(file.clean().find("not a comment"), std::string::npos);
+  EXPECT_EQ(file.clean().find("spanning"), std::string::npos);
+  // Line structure preserved: "int b;" lands on line 4 because the
+  // block comment spans lines 3-4.
+  std::vector<Token> tokens = Tokenize(file.clean());
+  ASSERT_FALSE(tokens.empty());
+  EXPECT_EQ(tokens.back().text, ";");
+  EXPECT_EQ(tokens.back().line, 4);
+}
+
+TEST(SourceFileTest, HandlesRawStringsAndEscapedQuotes) {
+  SourceFile file = Make("src/common/x.cc",
+                         "auto a = R\"(raw \" with quote and // slashes)\";\n"
+                         "auto b = R\"delim(nested )\" still raw)delim\";\n"
+                         "auto c = \"escaped \\\" quote\"; int after = 1;\n");
+  EXPECT_EQ(file.clean().find("raw"), std::string::npos);
+  EXPECT_EQ(file.clean().find("still"), std::string::npos);
+  EXPECT_EQ(file.clean().find("escaped"), std::string::npos);
+  EXPECT_NE(file.clean().find("int after = 1;"), std::string::npos);
+}
+
+TEST(SourceFileTest, DigitSeparatorIsNotACharLiteral) {
+  SourceFile file = Make("src/common/x.cc",
+                         "int big = 1'000'000; int next = 2;\n");
+  EXPECT_NE(file.clean().find("int next = 2;"), std::string::npos);
+}
+
+TEST(SourceFileTest, RecordsIncludesAndMacros) {
+  SourceFile file = Make("src/common/x.h",
+                         "#include <vector>\n"
+                         "#include \"common/status.h\"\n"
+                         "#define MY_MACRO(x) (x)\n");
+  ASSERT_EQ(file.includes().size(), 2u);
+  EXPECT_TRUE(file.includes()[0].angled);
+  EXPECT_EQ(file.includes()[0].target, "vector");
+  EXPECT_FALSE(file.includes()[1].angled);
+  EXPECT_EQ(file.includes()[1].target, "common/status.h");
+  EXPECT_EQ(file.includes()[1].line, 2);
+  ASSERT_EQ(file.macros().size(), 1u);
+  EXPECT_EQ(file.macros()[0].name, "MY_MACRO");
+}
+
+TEST(SourceFileTest, DirAndIncludeKeyDerivation) {
+  SourceFile in_src = Make("/abs/repo/src/planner/move.h", "");
+  EXPECT_EQ(in_src.dir(), "planner");
+  EXPECT_EQ(in_src.include_key(), "planner/move.h");
+  SourceFile outside = Make("tests/analyze_test.cc", "");
+  EXPECT_EQ(outside.dir(), "");
+  EXPECT_EQ(outside.include_key(), "");
+}
+
+TEST(SourceFileTest, SuppressionCoversOwnOrNextLine) {
+  SourceFile file = Make("src/common/x.cc",
+                         "Foo();  // pstore-analyze: allow(status)\n"
+                         "// pstore-analyze: allow(layering, include)\n"
+                         "Bar();\n");
+  EXPECT_TRUE(file.IsSuppressed("status", 1));
+  EXPECT_FALSE(file.IsSuppressed("include", 1));
+  EXPECT_TRUE(file.IsSuppressed("layering", 3));
+  EXPECT_TRUE(file.IsSuppressed("include", 3));
+  EXPECT_FALSE(file.IsSuppressed("status", 3));
+}
+
+// ------------------------------------------------------------------- layering
+
+TEST(LayeringCheckTest, FlagsForbiddenEdge) {
+  Project project;
+  project.AddFile(Make("src/migration/squall.h", "struct Mig {};\n"));
+  project.AddFile(Make("src/planner/bad.h",
+                       "#include \"migration/squall.h\"\n"
+                       "Mig use_it();\n"));
+  std::vector<Finding> findings = RunRule(project, "layering");
+  EXPECT_TRUE(HasFinding(findings, "layering", "src/planner/bad.h",
+                         "'planner' may not depend on 'migration'"));
+}
+
+TEST(LayeringCheckTest, AllowsDeclaredEdgeAndSelf) {
+  Project project;
+  project.AddFile(Make("src/common/base.h", "struct Base {};\n"));
+  project.AddFile(Make("src/planner/a.h", "struct A {};\n"));
+  project.AddFile(Make("src/planner/good.h",
+                       "#include \"common/base.h\"\n"
+                       "#include \"planner/a.h\"\n"
+                       "Base b(); A a();\n"));
+  EXPECT_TRUE(RunRule(project, "layering").empty());
+}
+
+TEST(LayeringCheckTest, ReportsCycleInObservedGraph) {
+  Project project;
+  // planner -> engine is allowed; engine -> planner is both a
+  // violation and closes a directory cycle.
+  project.AddFile(Make("src/planner/a.h",
+                       "#include \"engine/b.h\"\nEngineB use();\n"));
+  project.AddFile(Make("src/engine/b.h",
+                       "#include \"planner/a.h\"\nstruct EngineB {};\n"));
+  std::vector<Finding> findings = RunRule(project, "layering");
+  EXPECT_TRUE(HasFinding(findings, "layering", "src/engine/b.h",
+                         "'engine' may not depend on 'planner'"));
+  // The cycle report anchors at whichever edge the DFS closes, so only
+  // pin the rule and message, not the file.
+  bool cycle_reported = false;
+  for (const Finding& finding : findings) {
+    if (finding.rule == "layering" &&
+        finding.message.find("include cycle between src directories") !=
+            std::string::npos) {
+      cycle_reported = true;
+      EXPECT_NE(finding.message.find("engine"), std::string::npos);
+      EXPECT_NE(finding.message.find("planner"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(cycle_reported);
+}
+
+TEST(LayeringCheckTest, FlagsDirectoryMissingFromTheDag) {
+  Project project;
+  project.AddFile(Make("src/newdir/thing.h", "struct Thing {};\n"));
+  std::vector<Finding> findings = RunRule(project, "layering");
+  EXPECT_TRUE(HasFinding(findings, "layering", "src/newdir/thing.h",
+                         "not declared in the layer DAG"));
+}
+
+TEST(LayeringCheckTest, DeclaredDagIsAcyclicAndClosed) {
+  // Every directory named in an allowed set is itself declared, and the
+  // declared edges form a DAG (defense against future map edits).
+  const auto& allowed = LayeringCheck::AllowedDependencies();
+  for (const auto& [dir, deps] : allowed) {
+    for (const std::string& dep : deps) {
+      EXPECT_TRUE(allowed.count(dep) != 0) << dir << " -> " << dep;
+      // Antisymmetry is enough for a DAG here because allowed sets are
+      // transitively closed by construction.
+      auto it = allowed.find(dep);
+      if (it != allowed.end()) {
+        EXPECT_TRUE(it->second.count(dir) == 0)
+            << "cycle: " << dir << " <-> " << dep;
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------- status
+
+TEST(StatusCheckTest, CollectsStatusReturningFunctions) {
+  Project project;
+  project.AddFile(Make("src/common/api.h",
+                       "Status DoThing(int x);\n"
+                       "StatusOr<std::vector<int>> Compute();\n"
+                       "class Widget {\n"
+                       " public:\n"
+                       "  Status Apply();\n"
+                       "  const Status& last() const;\n"
+                       "  void Run();\n"
+                       "};\n"));
+  std::set<std::string> fns = StatusCheck::CollectStatusFunctions(project);
+  EXPECT_TRUE(fns.count("DoThing"));
+  EXPECT_TRUE(fns.count("Compute"));
+  EXPECT_TRUE(fns.count("Apply"));
+  EXPECT_FALSE(fns.count("last"));
+  EXPECT_FALSE(fns.count("Run"));
+}
+
+TEST(StatusCheckTest, FlagsDiscardedCalls) {
+  Project project;
+  project.AddFile(Make("src/common/api.h",
+                       "Status DoThing(int x);\n"
+                       "struct Widget { Status Apply(); };\n"));
+  project.AddFile(Make("src/common/user.cc",
+                       "#include \"common/api.h\"\n"
+                       "void Caller(Widget w, Widget* p) {\n"
+                       "  DoThing(1);\n"
+                       "  w.Apply();\n"
+                       "  p->Apply();\n"
+                       "  if (p) DoThing(2);\n"
+                       "}\n"));
+  std::vector<Finding> findings = RunRule(project, "status");
+  ASSERT_EQ(findings.size(), 4u);
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_EQ(findings[1].line, 4);
+  EXPECT_EQ(findings[2].line, 5);
+  EXPECT_EQ(findings[3].line, 6);
+  EXPECT_TRUE(HasFinding(findings, "status", "src/common/user.cc",
+                         "'DoThing' is silently discarded"));
+  EXPECT_TRUE(HasFinding(findings, "status", "src/common/user.cc",
+                         "'Apply' is silently discarded"));
+}
+
+TEST(StatusCheckTest, AcceptsHandledConsumedOrVoidedCalls) {
+  Project project;
+  project.AddFile(Make("src/common/api.h", "Status DoThing(int x);\n"));
+  project.AddFile(Make("src/common/user.cc",
+                       "#include \"common/api.h\"\n"
+                       "Status Forward() {\n"
+                       "  (void)DoThing(1);\n"
+                       "  Status s = DoThing(2);\n"
+                       "  RETURN_IF_ERROR(DoThing(3));\n"
+                       "  if (!DoThing(4).ok()) return s;\n"
+                       "  return DoThing(5);\n"
+                       "}\n"));
+  EXPECT_TRUE(RunRule(project, "status").empty());
+}
+
+TEST(StatusCheckTest, SuppressionComment) {
+  Project project;
+  project.AddFile(Make("src/common/api.h", "Status DoThing(int x);\n"));
+  project.AddFile(Make("src/common/user.cc",
+                       "#include \"common/api.h\"\n"
+                       "void Caller() {\n"
+                       "  DoThing(1);  // pstore-analyze: allow(status)\n"
+                       "}\n"));
+  EXPECT_TRUE(RunRule(project, "status").empty());
+}
+
+// -------------------------------------------------------------------- include
+
+TEST(IncludeHygieneTest, ExtractsDeclaredNames) {
+  SourceFile header = Make("src/common/api.h",
+                           "#define API_MACRO 1\n"
+                           "namespace pstore {\n"
+                           "enum class Color { kRed, kBlue };\n"
+                           "using Alias = int;\n"
+                           "struct Gadget {\n"
+                           "  void Method();\n"
+                           "  int member_ = 0;\n"
+                           "};\n"
+                           "double Compute(double x);\n"
+                           "inline constexpr int kLimit = 3;\n"
+                           "}\n");
+  DeclaredNames names = IncludeHygieneCheck::ExtractDeclaredNames(header);
+  EXPECT_TRUE(names.strong.count("API_MACRO"));
+  EXPECT_TRUE(names.strong.count("Color"));
+  EXPECT_TRUE(names.strong.count("kRed"));
+  EXPECT_TRUE(names.strong.count("Alias"));
+  EXPECT_TRUE(names.strong.count("Gadget"));
+  EXPECT_TRUE(names.strong.count("Compute"));
+  EXPECT_TRUE(names.strong.count("kLimit"));
+  EXPECT_TRUE(names.weak.count("Method"));
+  EXPECT_TRUE(names.weak.count("member_"));
+  EXPECT_FALSE(names.strong.count("Method"));
+  // Parameter names declare nothing.
+  EXPECT_FALSE(names.strong.count("x"));
+  EXPECT_FALSE(names.weak.count("x"));
+}
+
+TEST(IncludeHygieneTest, FlagsUnusedInclude) {
+  Project project;
+  project.AddFile(Make("src/common/alpha.h", "struct Alpha {};\n"));
+  project.AddFile(Make("src/planner/user.cc",
+                       "#include \"common/alpha.h\"\n"
+                       "int unrelated() { return 7; }\n"));
+  std::vector<Finding> findings = RunRule(project, "include");
+  EXPECT_TRUE(HasFinding(findings, "include", "src/planner/user.cc",
+                         "unused include"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(IncludeHygieneTest, FlagsMissingDirectInclude) {
+  Project project;
+  project.AddFile(Make("src/common/alpha.h", "struct Alpha {};\n"));
+  project.AddFile(Make("src/common/beta.h",
+                       "#include \"common/alpha.h\"\n"
+                       "struct Beta { Alpha a; };\n"));
+  project.AddFile(Make("src/planner/user.cc",
+                       "#include \"common/beta.h\"\n"
+                       "Beta b;\n"
+                       "Alpha a;\n"));
+  std::vector<Finding> findings = RunRule(project, "include");
+  EXPECT_TRUE(HasFinding(findings, "include", "src/planner/user.cc",
+                         "uses 'Alpha' declared in 'common/alpha.h'"));
+}
+
+TEST(IncludeHygieneTest, OwnHeaderIsAlwaysKept) {
+  Project project;
+  project.AddFile(Make("src/planner/thing.h", "struct Thing {};\n"));
+  project.AddFile(Make("src/planner/thing.cc",
+                       "#include \"planner/thing.h\"\n"
+                       "int helper() { return 1; }\n"));
+  EXPECT_TRUE(RunRule(project, "include").empty());
+}
+
+TEST(IncludeHygieneTest, IwyuExportVouchesForTheTarget) {
+  Project project;
+  project.AddFile(Make("src/common/alpha.h", "struct Alpha {};\n"));
+  project.AddFile(Make(
+      "src/common/facade.h",
+      "#include \"common/alpha.h\"  // IWYU pragma: export\n"));
+  project.AddFile(Make("src/planner/user.cc",
+                       "#include \"common/facade.h\"\n"
+                       "Alpha a;\n"));
+  std::vector<Finding> findings = RunRule(project, "include");
+  // Neither a missing-include for alpha.h (the facade re-exports it)
+  // nor an unused-include for facade.h (its exported names are used).
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(IncludeHygieneTest, SuppressionKeepsAnInclude) {
+  Project project;
+  project.AddFile(Make("src/common/alpha.h", "struct Alpha {};\n"));
+  project.AddFile(Make(
+      "src/planner/user.cc",
+      "#include \"common/alpha.h\"  // pstore-analyze: allow(include)\n"
+      "int unrelated() { return 7; }\n"));
+  EXPECT_TRUE(RunRule(project, "include").empty());
+}
+
+// ------------------------------------------------------------------- analyzer
+
+TEST(AnalyzerTest, RuleCatalogAndSelection) {
+  Analyzer analyzer;
+  const std::vector<std::string> names = analyzer.RuleNames();
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"layering", "status", "include"}));
+  EXPECT_FALSE(analyzer.SelectRules({"nonsense"}).ok());
+  EXPECT_TRUE(analyzer.SelectRules({"layering", "status"}).ok());
+}
+
+TEST(AnalyzerTest, FindingsAreSortedAndFormatted) {
+  Project project;
+  project.AddFile(Make("src/migration/squall.h", "struct Mig {};\n"));
+  project.AddFile(Make("src/planner/bad.h",
+                       "#include \"migration/squall.h\"\n"
+                       "Mig use_it();\n"));
+  Analyzer analyzer;
+  std::vector<Finding> findings = analyzer.Run(project);
+  ASSERT_FALSE(findings.empty());
+  const std::string formatted = FormatFinding(findings[0]);
+  EXPECT_NE(formatted.find("src/planner/bad.h:1: [layering]"),
+            std::string::npos);
+}
+
+TEST(AnalyzerTest, LoadsProjectFromDisk) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::path(::testing::TempDir()) / "analyze_fixture";
+  fs::create_directories(root / "src" / "planner");
+  fs::create_directories(root / "src" / "migration");
+  {
+    std::ofstream out(root / "src" / "migration" / "squall.h");
+    out << "struct Mig {};\n";
+  }
+  {
+    std::ofstream out(root / "src" / "planner" / "bad.h");
+    out << "#include \"migration/squall.h\"\nMig use_it();\n";
+  }
+  StatusOr<Project> project = Project::Load({(root / "src").string()});
+  ASSERT_TRUE(project.ok()) << project.status().ToString();
+  EXPECT_EQ(project.value().files().size(), 2u);
+  Analyzer analyzer;
+  ASSERT_TRUE(analyzer.SelectRules({"layering"}).ok());
+  std::vector<Finding> findings = analyzer.Run(project.value());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(HasFinding(findings, "layering", findings[0].file,
+                         "'planner' may not depend on 'migration'"));
+  fs::remove_all(root);
+}
+
+TEST(AnalyzerTest, LoadFailsOnMissingRoot) {
+  StatusOr<Project> project = Project::Load({"/nonexistent-pstore-root"});
+  EXPECT_FALSE(project.ok());
+  EXPECT_EQ(project.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace pstore

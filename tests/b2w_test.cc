@@ -7,8 +7,12 @@
 #include "b2w/workload.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/sim_time.h"
 #include "engine/cluster.h"
 #include "engine/metrics.h"
+#include "engine/partition.h"
+#include "engine/table.h"
+#include "engine/transaction.h"
 #include "engine/txn_executor.h"
 
 namespace pstore {

@@ -6,6 +6,8 @@
 #include <cmath>
 #include <memory>
 
+#include "common/status.h"
+#include "common/time_series.h"
 #include "prediction/naive_models.h"
 #include "prediction/spar_model.h"
 #include "trace/b2w_trace_generator.h"

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "engine/murmur_hash.h"
+#include "engine/partition.h"
+#include "engine/table.h"
 
 namespace pstore {
 namespace {

@@ -8,9 +8,15 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "common/time_series.h"
 #include "engine/cluster.h"
 #include "engine/event_loop.h"
 #include "engine/metrics.h"
+#include "engine/partition.h"
+#include "engine/table.h"
+#include "engine/transaction.h"
 #include "engine/txn_executor.h"
 #include "engine/workload_driver.h"
 #include "ycsb/ycsb_workload.h"

@@ -7,7 +7,10 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
+#include "common/strong_id.h"
 #include "planner/brute_force_planner.h"
+#include "planner/move.h"
 #include "planner/move_model.h"
 
 namespace pstore {

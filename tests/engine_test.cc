@@ -6,9 +6,13 @@
 #include "b2w/schema.h"
 #include "b2w/workload.h"
 #include "common/rng.h"
+#include "common/sim_time.h"
+#include "common/time_series.h"
 #include "engine/cluster.h"
 #include "engine/event_loop.h"
 #include "engine/metrics.h"
+#include "engine/partition.h"
+#include "engine/transaction.h"
 #include "engine/txn_executor.h"
 #include "engine/workload_driver.h"
 
@@ -203,7 +207,7 @@ TEST(WorkloadDriverTest, DeterministicReplay) {
   auto run = [] {
     Cluster cluster(OneNodeCluster());
     TxnExecutor executor(&cluster, nullptr, ExecutorOptions{});
-    (void)b2w::RegisterProcedures(&executor);
+    EXPECT_TRUE(b2w::RegisterProcedures(&executor).ok());
     EventLoop loop;
     TimeSeries trace(1.0, std::vector<double>(10, 200.0));
     DriverOptions options;
@@ -214,7 +218,7 @@ TEST(WorkloadDriverTest, DeterministicReplay) {
     wl.cart_pool = 1000;
     wl.checkout_pool = 500;
     b2w::Workload workload(wl);
-    (void)workload.LoadInitialData(&cluster);
+    EXPECT_TRUE(workload.LoadInitialData(&cluster).ok());
     WorkloadDriver driver(
         &loop, &executor, trace,
         [&workload](Rng& rng) { return workload.NextTransaction(rng); },

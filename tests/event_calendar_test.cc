@@ -5,6 +5,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/status.h"
+#include "common/time_series.h"
 #include "prediction/naive_models.h"
 #include "prediction/online_predictor.h"
 

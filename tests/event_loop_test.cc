@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "common/sim_time.h"
+
 namespace pstore {
 namespace {
 
@@ -86,6 +88,64 @@ TEST(EventLoopTest, RunUntilWithEmptyQueueAdvancesTime) {
   EventLoop loop;
   loop.RunUntil(1000);
   EXPECT_EQ(loop.now(), 1000);
+}
+
+TEST(EventLoopTest, RunUntilAdvancesToEndWhenQueueDrainsEarly) {
+  // The queue empties mid-run (last event at 40), but the clock must
+  // still land exactly on the requested boundary.
+  EventLoop loop;
+  std::vector<int> fired;
+  loop.ScheduleAt(10, [&] { fired.push_back(10); });
+  loop.ScheduleAt(40, [&] { fired.push_back(40); });
+  loop.RunUntil(500);
+  EXPECT_EQ(fired, (std::vector<int>{10, 40}));
+  EXPECT_EQ(loop.now(), 500);
+  EXPECT_EQ(loop.pending_events(), 0u);
+}
+
+TEST(EventLoopTest, TiesScheduledFromRunningEventsStayFifo) {
+  // Events scheduled for an already-reached timestamp from inside a
+  // running event run after earlier same-timestamp events, in the order
+  // they were scheduled.
+  EventLoop loop;
+  std::vector<int> order;
+  loop.ScheduleAt(10, [&] {
+    order.push_back(1);
+    loop.ScheduleAt(10, [&] { order.push_back(3); });
+    loop.ScheduleAt(10, [&] { order.push_back(4); });
+  });
+  loop.ScheduleAt(10, [&] { order.push_back(2); });
+  loop.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(loop.now(), 10);
+}
+
+TEST(EventLoopTest, PastClampedEventsKeepFifoWithPresentEvents) {
+  // A past-clamped event lands at now() and runs after events already
+  // queued for now(), preserving scheduling order among the clamped.
+  EventLoop loop;
+  std::vector<int> order;
+  loop.ScheduleAt(50, [&] {
+    order.push_back(1);
+    loop.ScheduleAt(7, [&] { order.push_back(3); });   // clamped to 50
+    loop.ScheduleAt(0, [&] { order.push_back(4); });   // clamped to 50
+    loop.ScheduleAt(50, [&] { order.push_back(5); });
+  });
+  loop.ScheduleAt(50, [&] { order.push_back(2); });
+  loop.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(loop.now(), 50);
+}
+
+TEST(EventLoopTest, ScheduleAtNowRunsInsideCurrentRun) {
+  EventLoop loop;
+  SimTime fired_at = -1;
+  loop.ScheduleAt(20, [&] {
+    loop.ScheduleAt(loop.now(), [&] { fired_at = loop.now(); });
+  });
+  loop.RunUntil(20);
+  EXPECT_EQ(fired_at, 20);
+  EXPECT_EQ(loop.pending_events(), 0u);
 }
 
 }  // namespace

@@ -10,15 +10,24 @@
 #include "b2w/schema.h"
 #include "b2w/workload.h"
 #include "common/logging.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "common/strong_id.h"
+#include "common/time_series.h"
 #include "controller/predictive_controller.h"
 #include "engine/cluster.h"
 #include "engine/event_loop.h"
 #include "engine/metrics.h"
+#include "engine/partition.h"
+#include "engine/table.h"
 #include "engine/txn_executor.h"
 #include "engine/workload_driver.h"
 #include "fault/fault_schedule.h"
+#include "migration/squall_migrator.h"
 #include "prediction/naive_models.h"
 #include "prediction/online_predictor.h"
+#include "sim/capacity_simulator.h"
 
 namespace pstore {
 namespace {

@@ -10,14 +10,24 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "common/strong_id.h"
+#include "common/time_series.h"
 #include "controller/load_balancer.h"
 #include "engine/cluster.h"
 #include "engine/event_loop.h"
+#include "engine/metrics.h"
+#include "engine/partition.h"
+#include "engine/table.h"
+#include "engine/txn_executor.h"
 #include "engine/workload_driver.h"
 #include "migration/squall_migrator.h"
 #include "planner/brute_force_planner.h"
 #include "planner/dp_planner.h"
 #include "planner/migration_schedule.h"
+#include "planner/move.h"
+#include "planner/move_model.h"
 #include "ycsb/ycsb_workload.h"
 
 namespace pstore {

@@ -5,7 +5,10 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "common/status.h"
+#include "common/time_series.h"
 #include "prediction/naive_models.h"
+#include "prediction/predictor.h"
 #include "trace/b2w_trace_generator.h"
 
 namespace pstore {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 
 namespace pstore {
 namespace {

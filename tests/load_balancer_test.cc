@@ -6,8 +6,15 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "common/time_series.h"
+#include "engine/cluster.h"
 #include "engine/event_loop.h"
+#include "engine/metrics.h"
+#include "engine/txn_executor.h"
 #include "engine/workload_driver.h"
+#include "migration/squall_migrator.h"
 #include "ycsb/ycsb_workload.h"
 
 namespace pstore {

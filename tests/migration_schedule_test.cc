@@ -8,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
+#include "common/strong_id.h"
 #include "planner/move_model.h"
 
 namespace pstore {

@@ -10,9 +10,14 @@
 #include "b2w/workload.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "common/strong_id.h"
 #include "engine/cluster.h"
 #include "engine/event_loop.h"
 #include "engine/metrics.h"
+#include "engine/partition.h"
+#include "engine/table.h"
 #include "engine/txn_executor.h"
 #include "engine/workload_driver.h"
 #include "planner/move_model.h"

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <string>
 
+#include "common/status.h"
+#include "common/time_series.h"
 #include "prediction/spar_model.h"
 #include "trace/b2w_trace_generator.h"
 

@@ -6,6 +6,8 @@
 #include <cmath>
 #include <tuple>
 
+#include "common/strong_id.h"
+
 namespace pstore {
 namespace {
 

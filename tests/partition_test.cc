@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/sim_time.h"
+#include "engine/table.h"
 
 namespace pstore {
 namespace {

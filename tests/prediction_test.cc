@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
+#include "common/time_series.h"
 #include "prediction/ar_model.h"
 #include "prediction/arma_model.h"
 #include "prediction/naive_models.h"

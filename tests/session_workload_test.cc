@@ -7,7 +7,10 @@
 #include "b2w/procedures.h"
 #include "b2w/workload.h"
 #include "common/logging.h"
+#include "common/rng.h"
+#include "engine/cluster.h"
 #include "engine/metrics.h"
+#include "engine/transaction.h"
 #include "engine/txn_executor.h"
 
 namespace pstore {

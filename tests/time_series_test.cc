@@ -5,6 +5,8 @@
 #include <cmath>
 #include <vector>
 
+#include "common/status.h"
+
 namespace pstore {
 namespace {
 

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <string>
 
+#include "common/status.h"
+#include "common/time_series.h"
 #include "trace/b2w_trace_generator.h"
 #include "trace/spike_injector.h"
 #include "trace/trace_io.h"

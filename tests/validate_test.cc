@@ -10,11 +10,14 @@
 #include "b2w/procedures.h"
 #include "b2w/schema.h"
 #include "b2w/workload.h"
+#include "common/status.h"
+#include "common/strong_id.h"
 #include "engine/cluster.h"
 #include "engine/event_loop.h"
 #include "migration/squall_migrator.h"
 #include "planner/dp_planner.h"
 #include "planner/migration_schedule.h"
+#include "planner/move.h"
 #include "planner/move_model.h"
 
 namespace pstore {

@@ -6,8 +6,12 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/rng.h"
 #include "common/zipf.h"
+#include "engine/cluster.h"
 #include "engine/metrics.h"
+#include "engine/transaction.h"
+#include "engine/txn_executor.h"
 
 namespace pstore {
 namespace ycsb {

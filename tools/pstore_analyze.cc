@@ -1,0 +1,82 @@
+// pstore_analyze: semantic static analysis for the P-Store tree.
+//
+// Usage: pstore_analyze [--rule=<name>]... [--list-rules] [PATH ...]
+//
+// Runs the layering, Status-discipline, and include-hygiene rule
+// families (src/analysis/) over the given files or directories
+// (default: src tools bench tests examples, resolved from the current
+// directory). Exits 0 when clean, 1 with findings, 2 on usage errors.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/check.h"
+#include "analysis/project.h"
+#include "common/status.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: pstore_analyze [--rule=<name>]... [--list-rules] "
+               "[PATH ...]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  std::vector<std::string> rules;
+  bool list_rules = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg.rfind("--rule=", 0) == 0) {
+      rules.push_back(arg.substr(7));
+    } else if (arg == "--help" || arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      roots.push_back(arg);
+    }
+  }
+
+  pstore::analysis::Analyzer analyzer;
+  if (list_rules) {
+    for (const std::string& name : analyzer.RuleNames()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  const pstore::Status selected = analyzer.SelectRules(rules);
+  if (!selected.ok()) {
+    std::fprintf(stderr, "pstore_analyze: %s\n", selected.ToString().c_str());
+    return 2;
+  }
+  if (roots.empty()) {
+    roots = {"src", "tools", "bench", "tests", "examples"};
+  }
+
+  pstore::StatusOr<pstore::analysis::Project> project =
+      pstore::analysis::Project::Load(roots);
+  if (!project.ok()) {
+    std::fprintf(stderr, "pstore_analyze: %s\n",
+                 project.status().ToString().c_str());
+    return 2;
+  }
+
+  const std::vector<pstore::analysis::Finding> findings =
+      analyzer.Run(project.value());
+  for (const pstore::analysis::Finding& finding : findings) {
+    std::printf("%s\n", pstore::analysis::FormatFinding(finding).c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "pstore_analyze: %zu finding(s) in %zu files\n",
+                 findings.size(), project.value().files().size());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Self-test for tools/pstore_lint (run under the `lint` ctest label)."""
+
+import importlib.machinery
+import importlib.util
+import os
+import unittest
+
+_LINT_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "pstore_lint")
+_LOADER = importlib.machinery.SourceFileLoader("pstore_lint", _LINT_PATH)
+_SPEC = importlib.util.spec_from_loader("pstore_lint", _LOADER)
+lint = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(lint)
+
+
+class StripTest(unittest.TestCase):
+    def test_line_comment(self):
+        self.assertEqual(lint.strip_comments_and_strings("int a; // x\nint b;"),
+                         "int a; \nint b;")
+
+    def test_block_comment_preserves_lines(self):
+        stripped = lint.strip_comments_and_strings("a /* x\ny */ b")
+        self.assertEqual(stripped.count("\n"), 1)
+        self.assertNotIn("x", stripped)
+        self.assertIn("b", stripped)
+
+    def test_string_with_escaped_quote(self):
+        stripped = lint.strip_comments_and_strings(
+            'auto s = "a \\" rand( b"; rand();')
+        self.assertNotIn("a ", stripped)
+        # The real call after the literal survives.
+        self.assertIn("rand();", stripped)
+
+    def test_unterminated_string_stops_at_newline(self):
+        stripped = lint.strip_comments_and_strings('auto s = "oops\nint a;')
+        self.assertIn("int a;", stripped)
+
+    def test_raw_string(self):
+        stripped = lint.strip_comments_and_strings(
+            'auto s = R"(rand( " // not code)"; srand(1);')
+        self.assertNotIn("not code", stripped)
+        self.assertIn("srand(1);", stripped)
+
+    def test_raw_string_custom_delimiter_and_prefix(self):
+        text = 'auto s = u8R"x(body )" still body)x"; int tail = 1;'
+        stripped = lint.strip_comments_and_strings(text)
+        self.assertNotIn("body", stripped)
+        self.assertNotIn("u8R", stripped)
+        self.assertIn("int tail = 1;", stripped)
+
+    def test_raw_string_preserves_line_count(self):
+        text = 'auto s = R"(line1\nline2\nline3)";\nint after;\n'
+        stripped = lint.strip_comments_and_strings(text)
+        self.assertEqual(stripped.count("\n"), text.count("\n"))
+        self.assertEqual(lint.line_of(stripped, stripped.index("after")), 4)
+
+    def test_identifier_ending_in_r_is_not_a_raw_prefix(self):
+        stripped = lint.strip_comments_and_strings('Wrapper"text" tail')
+        self.assertIn("Wrapper", stripped)
+        self.assertNotIn("text", stripped)
+
+    def test_digit_separator(self):
+        stripped = lint.strip_comments_and_strings(
+            "int big = 1'000'000; rand();")
+        self.assertIn("rand();", stripped)
+
+    def test_char_literal(self):
+        stripped = lint.strip_comments_and_strings("char c = '\\''; int d;")
+        self.assertIn("int d;", stripped)
+
+
+class ChecksTest(unittest.TestCase):
+    def test_banned_call_flagged(self):
+        findings = []
+        lint.check_banned_calls("src/sim/x.cc", "int s = rand();", findings)
+        self.assertEqual(len(findings), 1)
+        self.assertIn("rand", findings[0][2])
+
+    def test_prefixed_call_not_flagged(self):
+        findings = []
+        lint.check_banned_calls("src/sim/x.cc",
+                                "int s = my_rand(); std::time(nullptr);",
+                                findings)
+        self.assertEqual(findings, [])
+
+    def test_header_guard_mismatch(self):
+        findings = []
+        lint.check_header_guard("src/planner/move.h",
+                                "#ifndef WRONG_GUARD\n#endif\n", findings)
+        self.assertEqual(len(findings), 1)
+        self.assertIn("PSTORE_PLANNER_MOVE_H_", findings[0][2])
+
+    def test_header_guard_outside_src_uses_full_path(self):
+        findings = []
+        lint.check_header_guard("bench/bench_util.h",
+                                "#ifndef PSTORE_BENCH_BENCH_UTIL_H_\n#endif\n",
+                                findings)
+        self.assertEqual(findings, [])
+
+    def test_bare_int_param_in_planner_header(self):
+        findings = []
+        lint.check_bare_int_params("src/planner/api.h",
+                                   "void Plan(int num_nodes);", findings)
+        self.assertEqual(len(findings), 1)
+        self.assertIn("num_nodes", findings[0][2])
+
+    def test_bare_int_param_elsewhere_ignored(self):
+        findings = []
+        lint.check_bare_int_params("src/common/api.h",
+                                   "void Plan(int num_nodes);", findings)
+        self.assertEqual(findings, [])
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -23,8 +23,13 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "common/status.h"
+#include "common/strong_id.h"
+#include "common/time_series.h"
 #include "planner/dp_planner.h"
 #include "planner/migration_schedule.h"
+#include "planner/move.h"
+#include "planner/move_model.h"
 #include "prediction/ar_model.h"
 #include "prediction/holt_winters.h"
 #include "prediction/spar_model.h"

@@ -23,6 +23,8 @@
 #include <string>
 
 #include "common/flags.h"
+#include "common/status.h"
+#include "common/time_series.h"
 #include "fault/fault_schedule.h"
 #include "prediction/spar_model.h"
 #include "sim/capacity_simulator.h"

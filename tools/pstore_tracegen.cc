@@ -14,6 +14,8 @@
 #include <string>
 
 #include "common/flags.h"
+#include "common/status.h"
+#include "common/time_series.h"
 #include "trace/b2w_trace_generator.h"
 #include "trace/trace_io.h"
 #include "trace/wikipedia_trace_generator.h"

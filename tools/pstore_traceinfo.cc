@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "common/status.h"
+#include "common/time_series.h"
 #include "trace/trace_io.h"
 
 using namespace pstore;
