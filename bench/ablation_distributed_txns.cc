@@ -112,5 +112,6 @@ int main() {
       "offered rate — why the paper validates this assumption for B2W "
       "(every B2W transaction touches one key) before applying "
       "P-Store's uniform capacity model.\n");
+  bench::CloseCsv(csv.get());
   return 0;
 }

@@ -131,5 +131,6 @@ int main() {
       "under-provisioning. (In the full system P-Store's Q-hat slack and "
       "15%% inflation partially mask this, which is itself worth "
       "knowing.)\n");
+  bench::CloseCsv(csv.get());
   return 0;
 }

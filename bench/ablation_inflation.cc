@@ -70,5 +70,6 @@ int main() {
       "\nReading: more inflation = more machines = fewer under-capacity "
       "slots, mirroring the Q sweep of Fig. 12 — the two knobs are "
       "interchangeable buffers, as the paper's footnote says.\n");
+  bench::CloseCsv(csv.get());
   return 0;
 }

@@ -46,5 +46,6 @@ int main() {
       "confirmation cycles at nearly unchanged machine cost — the "
       "paper's heuristic sits at the knee. Very long confirmation "
       "inflates the average machine count.\n");
+  bench::CloseCsv(csv.get());
   return 0;
 }

@@ -141,5 +141,6 @@ int main() {
       "smooths the load, §8.1); as skew grows, tail latency without "
       "balancing degrades while the balancer holds it near the uniform "
       "level by relocating hot buckets.\n");
+  bench::CloseCsv(csv.get());
   return 0;
 }

@@ -92,5 +92,6 @@ int main() {
       "under-capacity time during moves climbs, because every migration "
       "takes longer than the plan budgeted — the §4.2 prescription in "
       "numbers.\n");
+  bench::CloseCsv(csv.get());
   return 0;
 }

@@ -82,5 +82,6 @@ int main() {
       "saves at least one round over block-by-block, and just-in-time "
       "allocation shaves 10-30%% off the machine-time bill of large "
       "moves (Eq. 4's avg-mach-alloc vs the full target count).\n");
+  bench::CloseCsv(csv.get());
   return 0;
 }

@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/sim_time.h"
+#include "common/status.h"
 #include "common/time_series.h"
 #include "controller/predictive_controller.h"
 #include "controller/reactive_controller.h"
@@ -20,6 +21,7 @@
 #include "fault/fault_injector.h"
 #include "fault/fault_schedule.h"
 #include "migration/squall_migrator.h"
+#include "obs/tracer.h"
 #include "planner/move_model.h"
 #include "prediction/naive_models.h"
 #include "prediction/online_predictor.h"
@@ -44,6 +46,14 @@ std::unique_ptr<CsvWriter> OpenCsv(const std::string& name) {
   auto writer = std::make_unique<CsvWriter>("bench_out/" + name);
   if (!writer->ok()) return nullptr;
   return writer;
+}
+
+void CloseCsv(CsvWriter* csv) {
+  if (csv == nullptr) return;
+  const Status closed = csv->Close();
+  if (!closed.ok()) {
+    std::fprintf(stderr, "warning: %s\n", closed.ToString().c_str());
+  }
 }
 
 const char* ApproachName(Approach approach) {
@@ -117,12 +127,15 @@ EngineRunResult RunEngineExperiment(const EngineRunConfig& config) {
   migration_options.chunk_bytes = 1000 * 1000;
   migration_options.extract_rate_bytes_per_sec = 20e6;
   MigrationManager migration(&loop, &cluster, &metrics, migration_options);
+  executor.set_tracer(config.tracer);
+  migration.set_tracer(config.tracer);
   metrics.RecordMachines(0, config.nodes);
 
   std::unique_ptr<FaultInjector> injector;
   if (!config.faults.empty()) {
     injector = std::make_unique<FaultInjector>(
         &loop, &cluster, &metrics, FaultSchedule::Scripted(config.faults));
+    injector->set_tracer(config.tracer);
     migration.set_fault_hook(injector.get());
     injector->Arm();
   }
@@ -136,6 +149,7 @@ EngineRunResult RunEngineExperiment(const EngineRunConfig& config) {
       &loop, &executor, trace,
       [&workload](Rng& rng) { return workload.NextTransaction(rng); },
       driver_options);
+  driver.set_tracer(config.tracer);
 
   PlannerParams planner_params;
   planner_params.target_rate_per_node = 285.0 * config.scale;
@@ -171,6 +185,7 @@ EngineRunResult RunEngineExperiment(const EngineRunConfig& config) {
     }
     predictor = std::make_unique<OnlinePredictor>(std::move(model),
                                                   online_options);
+    predictor->set_tracer(config.tracer, [&loop] { return loop.now(); });
     PSTORE_CHECK_OK(predictor->Warmup(trace.Slice(0, replay_begin)));
 
     PredictiveControllerOptions options;
@@ -182,6 +197,7 @@ EngineRunResult RunEngineExperiment(const EngineRunConfig& config) {
     options.planner_params = planner_params;
     predictive = std::make_unique<PredictiveController>(
         &loop, &cluster, &executor, &migration, predictor.get(), options);
+    predictive->set_tracer(config.tracer);
     predictive->Start();
   } else if (config.approach == Approach::kReactive) {
     ReactiveControllerOptions options;
@@ -210,6 +226,30 @@ EngineRunResult RunEngineExperiment(const EngineRunConfig& config) {
   result.failed_reconfigurations =
       static_cast<int>(migration.reconfigurations_failed());
   result.chunk_retries = migration.chunk_retries().value();
+
+  if (config.tracer != nullptr) {
+    // One sla.window event per window violating the 500 ms p99 SLA, then
+    // the run's headline numbers so the trace is self-describing.
+    for (const WindowStats& window : result.windows) {
+      if (window.p99_ms <= 500.0) continue;
+      PSTORE_TRACE(config.tracer, ::pstore::obs::TraceCategory::kReport,
+                   FromSeconds(window.start_seconds), "sla.window",
+                   .With("p50_ms", window.p50_ms)
+                       .With("p95_ms", window.p95_ms)
+                       .With("p99_ms", window.p99_ms)
+                       .With("fault", window.fault)
+                       .With("migrating", window.migrating));
+    }
+    PSTORE_TRACE(config.tracer, ::pstore::obs::TraceCategory::kReport, end,
+                 "run.summary",
+                 .With("approach", ApproachName(config.approach))
+                     .With("committed", result.committed)
+                     .With("unavailable", result.unavailable)
+                     .With("avg_machines", result.avg_machines)
+                     .With("reconfigurations", result.reconfigurations)
+                     .With("chunk_retries", result.chunk_retries)
+                     .With("sla_p99_violations", result.violations.p99));
+  }
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include "common/time_series.h"
 #include "engine/metrics.h"
 #include "fault/fault_schedule.h"
+#include "obs/tracer.h"
 
 namespace pstore {
 namespace bench {
@@ -19,6 +20,11 @@ void PrintHeader(const std::string& experiment, const std::string& claim);
 // Opens a CSV under bench_out/ (created on demand); returns nullptr when
 // the directory cannot be created (output then goes to stdout only).
 std::unique_ptr<CsvWriter> OpenCsv(const std::string& name);
+
+// Closes a CSV opened with OpenCsv and surfaces any buffered I/O failure
+// on stderr, so a bench never reports success over a truncated file.
+// Null writers are ignored (the bench ran without CSV output).
+void CloseCsv(CsvWriter* csv);
 
 // ---- Shared engine experiment (Figs. 7-11, Table 2) ------------------------
 
@@ -60,6 +66,11 @@ struct EngineRunConfig {
   // Scripted fault events injected during the replay (empty = no fault
   // injection; event times are simulated seconds from replay start).
   std::vector<FaultEvent> faults;
+  // Optional structured tracer wired through the whole stack (engine,
+  // driver, migration, predictor, controller, faults). The run emits
+  // sla.window events for violating windows and a final run.summary; the
+  // caller owns the tracer and must Close() it after the run.
+  obs::Tracer* tracer = nullptr;
 };
 
 // Result of one run: per-second window stats plus summary numbers.

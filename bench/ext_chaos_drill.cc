@@ -148,5 +148,6 @@ int main() {
                      std::to_string(w.fault ? 1 : 0)});
     }
   }
+  bench::CloseCsv(csv.get());
   return 0;
 }

@@ -94,5 +94,6 @@ int main() {
       "cluster grows — the precondition for modeling capacity as Q x N "
       "(Eq. 5). Contrast with ablation_distributed_txns, where breaking "
       "the single-key assumption destroys this.\n");
+  bench::CloseCsv(csv.get());
   return 0;
 }

@@ -114,5 +114,6 @@ int main() {
       "the absolute savings shrink, but P-Store still undercuts static "
       "peak provisioning at near-zero under-capacity time on both "
       "editions — the pipeline is not retail-specific.\n");
+  bench::CloseCsv(csv.get());
   return 0;
 }

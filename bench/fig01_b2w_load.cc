@@ -48,5 +48,6 @@ int main() {
   std::printf("\nMeasured: peak %.0f req/min, peak/trough ratio %.1f "
               "(paper: ~22000 req/min, ~10x).\n",
               trace.Max(), trace.Max() / trace.Min());
+  bench::CloseCsv(csv.get());
   return 0;
 }

@@ -52,5 +52,6 @@ int main() {
       "\nStep allocation overhead vs. ideal: %.1f%% (integral servers "
       "force capacity above the ideal curve).\n",
       100.0 * (total_step - total_ideal) / total_ideal);
+  bench::CloseCsv(csv.get());
   return 0;
 }

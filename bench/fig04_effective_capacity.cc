@@ -62,5 +62,6 @@ int main() {
   std::printf(
       "\nShape check: for 3->14 the effective capacity stays well below "
       "the allocated machine count throughout, as in Fig. 4c.\n");
+  bench::CloseCsv(csv.get());
   return 0;
 }

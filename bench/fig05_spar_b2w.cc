@@ -75,5 +75,7 @@ int main() {
   std::printf(
       "\nShape check: error grows smoothly with tau and stays in the "
       "single-digit-to-low-teens range, as in Fig. 5b.\n");
+  bench::CloseCsv(csv_a.get());
+  bench::CloseCsv(csv_b.get());
   return 0;
 }

@@ -64,5 +64,6 @@ int main() {
   std::printf(
       "\nShape check: German-language error exceeds English at every tau, "
       "matching Fig. 6b.\n");
+  bench::CloseCsv(csv.get());
   return 0;
 }

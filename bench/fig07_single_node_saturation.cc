@@ -112,5 +112,6 @@ int main() {
   std::printf("Derived operating points: Q-hat = %.0f (80%%), Q = %.0f "
               "(65%%) — the paper uses 350 and 285.\n",
               plateau * 0.8, plateau * 0.65);
+  bench::CloseCsv(csv.get());
   return 0;
 }

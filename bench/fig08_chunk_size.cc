@@ -165,5 +165,6 @@ int main() {
       "shrinks — the Fig. 8 tradeoff. With 1000 kB chunks the sustained "
       "pair rate is ~250 kB/s, so the full 1.1 GB database would take "
       "~74 min to move single-threaded (paper: 77 min incl. buffer).\n");
+  bench::CloseCsv(csv.get());
   return 0;
 }

@@ -63,6 +63,7 @@ int main() {
                               migrating ? 1.0 : 0.0});
       }
     }
+    bench::CloseCsv(csv.get());
 
     // Console: a coarse hourly picture of machines + p99.
     std::printf("    %-10s", "t(h):");

@@ -108,5 +108,6 @@ int main() {
       "\nShape check: the reactive curve sits far right of P-Store for "
       "p95/p99 (its tail latencies are worse); static-10 is the leftmost "
       "curve.\n");
+  bench::CloseCsv(csv.get());
   return 0;
 }

@@ -53,5 +53,6 @@ int main() {
       "— the faster migration should cut the total substantially "
       "(paper: 95 vs 244).\n",
       fast_total, slow_total);
+  bench::CloseCsv(csv.get());
   return 0;
 }

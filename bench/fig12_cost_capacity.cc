@@ -159,5 +159,6 @@ int main() {
       "\nShape check: at comparable cost, P-Store Oracle <= P-Store SPAR "
       "< Reactive < Simple/Static in %% time with insufficient capacity; "
       "static curves shift right (higher cost) to reduce violations.\n");
+  bench::CloseCsv(csv.get());
   return 0;
 }

@@ -143,5 +143,6 @@ int main() {
       "\nShape check: on ordinary days all three look workable; in the "
       "Black-Friday window Simple and Static leave a large capacity "
       "deficit that P-Store avoids.\n");
+  bench::CloseCsv(csv.get());
   return 0;
 }

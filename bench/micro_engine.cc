@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "b2w/procedures.h"
 #include "b2w/workload.h"
 #include "common/check.h"
@@ -13,6 +15,8 @@
 #include "engine/metrics.h"
 #include "engine/murmur_hash.h"
 #include "engine/txn_executor.h"
+#include "micro_util.h"
+#include "obs/tracer.h"
 
 namespace pstore {
 namespace {
@@ -55,6 +59,41 @@ void BM_TxnSubmit(benchmark::State& state) {
 }
 BENCHMARK(BM_TxnSubmit);
 
+// The same hot path with a live tracer attached. With the default mask
+// the per-transaction engine.txn events sit in kVerbose and are skipped
+// after a null + bitmask check, so this measures the cost tracing-on
+// runs pay when the firehose is off (the acceptance bar is < 5% vs
+// BM_TxnSubmit). state.range(0) == 1 additionally enables kVerbose, so
+// every submit builds and emits an event into a counting sink.
+void BM_TxnSubmitTraced(benchmark::State& state) {
+  Cluster cluster(BenchCluster());
+  MetricsCollector metrics;
+  TxnExecutor executor(&cluster, &metrics, ExecutorOptions{});
+  PSTORE_CHECK(b2w::RegisterProcedures(&executor).ok());
+  b2w::WorkloadOptions workload_options;
+  workload_options.cart_pool = 100000;
+  workload_options.checkout_pool = 40000;
+  b2w::Workload workload(workload_options);
+  PSTORE_CHECK(workload.LoadInitialData(&cluster).ok());
+  obs::Tracer tracer;
+  tracer.SetSink(std::make_unique<obs::CountingTraceSink>());
+  if (state.range(0) == 1) {
+    tracer.Enable(obs::TraceCategory::kVerbose);
+  }
+  executor.set_tracer(&tracer);
+  Rng rng(1);
+  SimTime now = 0;
+  for (auto _ : state) {
+    now += 300;  // ~3333 txn/s offered
+    benchmark::DoNotOptimize(
+        executor.Submit(workload.NextTransaction(rng), now));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["events"] =
+      static_cast<double>(tracer.events_emitted());
+}
+BENCHMARK(BM_TxnSubmitTraced)->Arg(0)->Arg(1);
+
 void BM_TxnFactoryOnly(benchmark::State& state) {
   b2w::Workload workload(b2w::WorkloadOptions{});
   Rng rng(1);
@@ -83,4 +122,4 @@ BENCHMARK(BM_BucketHandoff);
 }  // namespace
 }  // namespace pstore
 
-BENCHMARK_MAIN();
+PSTORE_MICRO_BENCH_MAIN("engine")

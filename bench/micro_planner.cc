@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "micro_util.h"
+
 #include <cmath>
 #include <vector>
 
@@ -88,4 +90,4 @@ BENCHMARK(BM_BuildMigrationSchedule)
 }  // namespace
 }  // namespace pstore
 
-BENCHMARK_MAIN();
+PSTORE_MICRO_BENCH_MAIN("planner")

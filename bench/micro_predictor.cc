@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "micro_util.h"
+
 #include "common/time_series.h"
 #include "prediction/ar_model.h"
 #include "prediction/arma_model.h"
@@ -82,4 +84,4 @@ BENCHMARK(BM_ArmaFit)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace pstore
 
-BENCHMARK_MAIN();
+PSTORE_MICRO_BENCH_MAIN("predictor")

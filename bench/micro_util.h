@@ -1,0 +1,59 @@
+#ifndef PSTORE_BENCH_MICRO_UTIL_H_
+#define PSTORE_BENCH_MICRO_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace pstore {
+namespace bench {
+
+// Shared main body for the micro benchmarks: identical to
+// BENCHMARK_MAIN(), except that when the caller passed no
+// --benchmark_out flag the run also writes its full results to
+// BENCH_micro_<name>.json (google-benchmark's JSON format) in the
+// working directory, so every invocation leaves a machine-readable
+// artifact. An explicit --benchmark_out on the command line wins.
+inline int MicroBenchMain(const char* name, int argc, char** argv) {
+  char arg0_default[] = "benchmark";
+  char* args_default = arg0_default;
+  if (argv == nullptr) {
+    argc = 1;
+    argv = &args_default;
+  }
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  std::string out_flag;
+  std::string format_flag;
+  if (!has_out) {
+    out_flag = std::string("--benchmark_out=BENCH_micro_") + name + ".json";
+    format_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  ::benchmark::Initialize(&args_count, args.data());
+  if (::benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace pstore
+
+// Drop-in replacement for BENCHMARK_MAIN(); `name` tags the default
+// BENCH_micro_<name>.json artifact.
+#define PSTORE_MICRO_BENCH_MAIN(name)                         \
+  int main(int argc, char** argv) {                           \
+    return ::pstore::bench::MicroBenchMain(name, argc, argv); \
+  }
+
+#endif  // PSTORE_BENCH_MICRO_UTIL_H_

@@ -79,5 +79,6 @@ int main() {
                   : 0.0);
   std::printf("  P-Store avg machines / static-10:  %.2f (paper: ~0.50)\n",
               pstore_run.avg_machines / static10_run.avg_machines);
+  bench::CloseCsv(csv.get());
   return 0;
 }

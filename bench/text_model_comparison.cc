@@ -80,5 +80,6 @@ int main() {
   std::printf(
       "\nShape check: SPAR < ARMA/AR in MRE, with all AR-family models "
       "workable — the paper's ordering.\n");
+  bench::CloseCsv(csv.get());
   return 0;
 }

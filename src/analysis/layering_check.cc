@@ -34,24 +34,26 @@ const std::map<std::string, std::set<std::string>>&
 LayeringCheck::AllowedDependencies() {
   static const std::map<std::string, std::set<std::string>> kAllowed = {
       {"common", {}},
-      {"engine", {"common"}},
-      {"prediction", {"common"}},
+      {"obs", {"common"}},
+      {"engine", {"common", "obs"}},
+      {"prediction", {"common", "obs"}},
       {"trace", {"common"}},
       {"analysis", {"common"}},
       {"b2w", {"common", "engine"}},
       {"ycsb", {"common", "engine"}},
-      {"planner", {"common", "engine", "prediction", "trace"}},
+      {"planner", {"common", "obs", "engine", "prediction", "trace"}},
       {"migration",
-       {"common", "engine", "prediction", "trace", "b2w", "ycsb", "planner"}},
+       {"common", "obs", "engine", "prediction", "trace", "b2w", "ycsb",
+        "planner"}},
       {"sim",
-       {"common", "engine", "prediction", "trace", "b2w", "ycsb", "planner",
-        "migration"}},
+       {"common", "obs", "engine", "prediction", "trace", "b2w", "ycsb",
+        "planner", "migration"}},
       {"fault",
-       {"common", "engine", "prediction", "trace", "b2w", "ycsb", "planner",
-        "migration", "sim"}},
+       {"common", "obs", "engine", "prediction", "trace", "b2w", "ycsb",
+        "planner", "migration", "sim"}},
       {"controller",
-       {"common", "engine", "prediction", "trace", "b2w", "ycsb", "planner",
-        "migration", "sim", "fault"}},
+       {"common", "obs", "engine", "prediction", "trace", "b2w", "ycsb",
+        "planner", "migration", "sim", "fault"}},
   };
   return kAllowed;
 }

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/status.h"
+
 namespace pstore {
 namespace {
 
@@ -21,10 +23,13 @@ std::string Quote(const std::string& cell) {
 
 }  // namespace
 
-CsvWriter::CsvWriter(const std::string& path) : out_(path) {}
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {}
 
 void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
-  if (!out_.good()) return;
+  if (!out_.good()) {
+    write_failed_ = true;
+    return;
+  }
   for (size_t i = 0; i < cells.size(); ++i) {
     if (i > 0) out_ << ',';
     out_ << (NeedsQuoting(cells[i]) ? Quote(cells[i]) : cells[i]);
@@ -33,7 +38,10 @@ void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
 }
 
 void CsvWriter::WriteNumericRow(const std::vector<double>& cells) {
-  if (!out_.good()) return;
+  if (!out_.good()) {
+    write_failed_ = true;
+    return;
+  }
   char buf[64];
   for (size_t i = 0; i < cells.size(); ++i) {
     if (i > 0) out_ << ',';
@@ -41,6 +49,34 @@ void CsvWriter::WriteNumericRow(const std::vector<double>& cells) {
     out_ << buf;
   }
   out_ << '\n';
+}
+
+Status CsvWriter::Close() {
+  if (closed_) {
+    if (write_failed_) {
+      return Status::Internal("csv write to '" + path_ + "' failed");
+    }
+    return Status::OK();
+  }
+  closed_ = true;
+  if (write_failed_ || !out_.good()) {
+    write_failed_ = true;
+    out_.close();
+    return Status::Internal("csv write to '" + path_ +
+                            "' failed (bad path or interrupted write)");
+  }
+  out_.flush();
+  if (!out_.good()) {
+    write_failed_ = true;
+    out_.close();
+    return Status::Internal("csv flush of '" + path_ + "' failed");
+  }
+  out_.close();
+  if (out_.fail()) {
+    write_failed_ = true;
+    return Status::Internal("closing csv '" + path_ + "' failed");
+  }
+  return Status::OK();
 }
 
 }  // namespace pstore

@@ -10,16 +10,20 @@
 namespace pstore {
 
 // Small CSV emitter used by the benchmark harnesses to persist the series
-// behind each figure. Writing is best-effort: benches print their tables
-// to stdout regardless, and CSV output is an optional extra for plotting.
+// behind each figure. Row writes are buffered and individually
+// best-effort, but every writer must be Close()d: Close() flushes and
+// surfaces any I/O failure (ENOSPC, a bad path, a row dropped mid-run)
+// as a Status so a truncated result file cannot masquerade as a
+// complete run.
 class CsvWriter {
  public:
   // Opens `path` for writing, creating parent directories is NOT attempted;
   // callers pass paths inside an existing directory. Check ok() after
-  // construction.
+  // construction (or rely on Close() reporting the failure).
   explicit CsvWriter(const std::string& path);
 
   bool ok() const { return out_.good(); }
+  const std::string& path() const { return path_; }
 
   // Writes a header or data row; values are joined with commas. Strings
   // containing commas/quotes are quoted per RFC 4180.
@@ -28,8 +32,16 @@ class CsvWriter {
   // Convenience: formats doubles with %.6g.
   void WriteNumericRow(const std::vector<double>& cells);
 
+  // Flushes and closes the file. Returns an error if the file never
+  // opened, any row write failed, or the final flush fails. Idempotent:
+  // a second call reports the sticky outcome of the first.
+  Status Close();
+
  private:
+  std::string path_;
   std::ofstream out_;
+  bool closed_ = false;
+  bool write_failed_ = false;
 };
 
 }  // namespace pstore

@@ -10,6 +10,7 @@
 #include "engine/event_loop.h"
 #include "engine/txn_executor.h"
 #include "migration/squall_migrator.h"
+#include "obs/tracer.h"
 #include "planner/move.h"
 #include "prediction/online_predictor.h"
 
@@ -37,10 +38,20 @@ void PredictiveController::Start() {
                        [this] { Tick(); });
 }
 
+void PredictiveController::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  planner_.set_tracer(tracer, [this] { return loop_->now(); });
+}
+
 void PredictiveController::Tick() {
   ++ticks_;
   last_rate_ = monitor_.SampleSlotRate();
   predictor_->Observe(last_rate_);
+  PSTORE_TRACE(tracer_, ::pstore::obs::TraceCategory::kController,
+               loop_->now(), "controller.cycle",
+               .With("load", last_rate_)
+                   .With("machines", cluster_->active_nodes())
+                   .With("migrating", migration_->InProgress()));
   if (!migration_->InProgress() &&
       ticks_ % std::max(1, options_.plan_interval_slots) == 0) {
     Plan();
@@ -108,6 +119,10 @@ void PredictiveController::Plan() {
     if (migration_->StartReconfiguration(target, multiplier, OnMoveDone())
             .ok()) {
       ++reconfigurations_started_;
+      PSTORE_TRACE(tracer_, ::pstore::obs::TraceCategory::kController,
+                   loop_->now(), "controller.action",
+                   .With("kind", "reactive_fallback")
+                       .With("target", target.value()));
     }
     return;
   }
@@ -139,6 +154,9 @@ void PredictiveController::Plan() {
   if (target.value() == cluster_->active_nodes()) return;
   if (migration_->StartReconfiguration(target, 1.0, OnMoveDone()).ok()) {
     ++reconfigurations_started_;
+    PSTORE_TRACE(tracer_, ::pstore::obs::TraceCategory::kController,
+                 loop_->now(), "controller.action",
+                 .With("kind", "start_move").With("target", target.value()));
   }
 }
 

@@ -10,6 +10,7 @@
 #include "engine/event_loop.h"
 #include "engine/txn_executor.h"
 #include "migration/squall_migrator.h"
+#include "obs/tracer.h"
 #include "planner/dp_planner.h"
 #include "planner/move_model.h"
 #include "prediction/online_predictor.h"
@@ -69,6 +70,11 @@ class PredictiveController : public ElasticityController {
   int64_t move_failures() const { return move_failures_; }
   int64_t replans_after_failure() const { return replans_after_failure_; }
 
+  // Observability: controller.cycle per monitoring tick and
+  // controller.action per planning decision; also forwards the tracer
+  // (with this loop's clock) to the owned planner.
+  void set_tracer(obs::Tracer* tracer);
+
  private:
   void Tick();
   void Plan();
@@ -98,6 +104,7 @@ class PredictiveController : public ElasticityController {
   int64_t reconfigurations_started_ = 0;
   int64_t move_failures_ = 0;
   int64_t replans_after_failure_ = 0;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace pstore

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/logging.h"
 #include "common/sim_time.h"
@@ -33,10 +34,15 @@ SimTime WindowHistogram::UpperEdge(int bucket) {
                               std::pow(2.0, octaves));
 }
 
-void WindowHistogram::Record(SimTime latency) {
+void WindowHistogram::Record(SimTime latency, int64_t weight) {
+  if (weight <= 0) return;
   if (latency < 0) latency = 0;
-  ++buckets_[BucketFor(latency)];
-  ++count_;
+  uint32_t& bucket = buckets_[static_cast<size_t>(BucketFor(latency))];
+  const uint64_t kSaturated = std::numeric_limits<uint32_t>::max();
+  const uint64_t sum = static_cast<uint64_t>(bucket) +
+                       static_cast<uint64_t>(weight);
+  bucket = static_cast<uint32_t>(std::min(sum, kSaturated));
+  count_ += weight;
   max_ = std::max(max_, latency);
 }
 
@@ -133,15 +139,19 @@ std::vector<WindowStats> MetricsCollector::Finalize(SimTime end) const {
       ++machine_idx;
     }
     stats.machines = machines;
+    // A window counts as migrating if migration was active at any point
+    // inside it (approximated by: active at window end or a toggle
+    // occurred within the window). Without the toggle term a migration
+    // that starts and finishes inside one window would be invisible to
+    // Table 2's during_migration attribution.
+    bool migration_toggled = false;
     while (migration_idx < migration_steps_.size() &&
            migration_steps_[migration_idx].first < window_end) {
       migrating = migration_steps_[migration_idx].second;
+      migration_toggled = true;
       ++migration_idx;
     }
-    // A window counts as migrating if migration was active at any point
-    // inside it (approximated by: active at window end or a toggle
-    // occurred within the window).
-    stats.migrating = migrating;
+    stats.migrating = migrating || migration_toggled;
     // Same approximation for the fault flag: active at window end, or a
     // fault began/ended inside the window.
     bool fault_toggled = false;

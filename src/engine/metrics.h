@@ -20,7 +20,12 @@ class WindowHistogram {
  public:
   static constexpr int kNumBuckets = 128;
 
-  void Record(SimTime latency);
+  void Record(SimTime latency) { Record(latency, 1); }
+  // Records `weight` samples at `latency` in one call. Bucket counters
+  // saturate at UINT32_MAX instead of wrapping, so multi-day high-TPS
+  // runs degrade gracefully (quantiles drift toward the maximum) rather
+  // than silently corrupting the distribution.
+  void Record(SimTime latency, int64_t weight);
   int64_t count() const { return count_; }
   // Latency (in SimTime us) at the given quantile; upper bucket edge.
   SimTime ValueAtQuantile(double q) const;

@@ -10,6 +10,7 @@
 #include "engine/metrics.h"
 #include "engine/partition.h"
 #include "engine/transaction.h"
+#include "obs/tracer.h"
 
 namespace pstore {
 
@@ -128,6 +129,12 @@ TxnResult TxnExecutor::SubmitMulti(const TxnRequest& request, SimTime now) {
   }
   if (metrics_ != nullptr) metrics_->RecordTxn(now, completion);
   CountOutcome(request.procedure, result);
+  PSTORE_TRACE(tracer_, ::pstore::obs::TraceCategory::kVerbose, now,
+               "engine.txn",
+               .With("proc", request.procedure)
+                   .With("committed", result.status == TxnStatus::kCommitted)
+                   .With("distributed", distributed)
+                   .With("latency_us", completion - now));
   return result;
 }
 
@@ -176,6 +183,12 @@ TxnResult TxnExecutor::Submit(const TxnRequest& request, SimTime now) {
   if (metrics_ != nullptr) metrics_->RecordTxn(now, completion);
 
   CountOutcome(request.procedure, result);
+  PSTORE_TRACE(tracer_, ::pstore::obs::TraceCategory::kVerbose, now,
+               "engine.txn",
+               .With("proc", request.procedure)
+                   .With("committed", result.status == TxnStatus::kCommitted)
+                   .With("distributed", false)
+                   .With("latency_us", completion - now));
   return result;
 }
 

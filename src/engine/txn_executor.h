@@ -10,6 +10,7 @@
 #include "engine/cluster.h"
 #include "engine/metrics.h"
 #include "engine/transaction.h"
+#include "obs/tracer.h"
 
 namespace pstore {
 
@@ -75,6 +76,11 @@ class TxnExecutor {
 
   Cluster* cluster() { return cluster_; }
 
+  // Observability: emits one engine.txn event per submitted transaction
+  // under the kVerbose category (off in the default trace mask — this is
+  // the per-transaction firehose).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   TxnResult SubmitMulti(const TxnRequest& request, SimTime now);
   void CountOutcome(ProcedureId id, const TxnResult& result);
@@ -92,6 +98,7 @@ class TxnExecutor {
   int64_t distributed_count_ = 0;
   int64_t unavailable_count_ = 0;
   std::array<ProcedureStats, kMaxProcedures> procedure_stats_ = {};
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace pstore

@@ -8,6 +8,7 @@
 #include "engine/event_loop.h"
 #include "engine/transaction.h"
 #include "engine/txn_executor.h"
+#include "obs/tracer.h"
 
 namespace pstore {
 
@@ -46,6 +47,7 @@ void WorkloadDriver::Tick() {
   const SimTime tick_end = tick_start + kSecond;
 
   const double rate = OfferedRate(tick_start);
+  int64_t arrivals = 0;
   if (rate > 0.0) {
     // Exact Poisson process within the tick: exponential gaps, arrivals
     // generated in time order.
@@ -55,9 +57,13 @@ void WorkloadDriver::Tick() {
       const TxnRequest request = factory_(rng_);
       executor_->Submit(request, t);
       ++arrivals_generated_;
+      ++arrivals;
       t += FromSeconds(rng_.NextExponential(mean_gap_seconds));
     }
   }
+  PSTORE_TRACE(tracer_, ::pstore::obs::TraceCategory::kEngine, tick_start,
+               "engine.slot",
+               .With("rate", rate).With("arrivals", arrivals));
   loop_->ScheduleAt(tick_end, [this] { Tick(); });
 }
 

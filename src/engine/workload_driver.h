@@ -10,6 +10,7 @@
 #include "engine/event_loop.h"
 #include "engine/transaction.h"
 #include "engine/txn_executor.h"
+#include "obs/tracer.h"
 
 namespace pstore {
 
@@ -52,6 +53,10 @@ class WorkloadDriver {
 
   int64_t arrivals_generated() const { return arrivals_generated_; }
 
+  // Observability: emits one engine.slot event per one-second generation
+  // tick with the offered rate and arrivals produced.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   void Tick();
 
@@ -63,6 +68,7 @@ class WorkloadDriver {
   Rng rng_;
   SimTime end_time_ = 0;
   int64_t arrivals_generated_ = 0;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace pstore

@@ -9,6 +9,7 @@
 #include "engine/event_loop.h"
 #include "engine/metrics.h"
 #include "fault/fault_schedule.h"
+#include "obs/tracer.h"
 
 namespace pstore {
 
@@ -35,15 +36,23 @@ void FaultInjector::AdjustActive(int delta) {
   const int before = active_faults_;
   active_faults_ += delta;
   PSTORE_CHECK(active_faults_ >= 0);
-  if (metrics_ == nullptr) return;
   if (before == 0 && active_faults_ > 0) {
-    metrics_->RecordFaultActive(loop_->now(), true);
+    PSTORE_TRACE(tracer_, ::pstore::obs::TraceCategory::kFault, loop_->now(),
+                 "fault.window", .With("active", true));
+    if (metrics_ != nullptr) metrics_->RecordFaultActive(loop_->now(), true);
   } else if (before > 0 && active_faults_ == 0) {
-    metrics_->RecordFaultActive(loop_->now(), false);
+    PSTORE_TRACE(tracer_, ::pstore::obs::TraceCategory::kFault, loop_->now(),
+                 "fault.window", .With("active", false));
+    if (metrics_ != nullptr) metrics_->RecordFaultActive(loop_->now(), false);
   }
 }
 
 void FaultInjector::Apply(const FaultEvent& event) {
+  PSTORE_TRACE(tracer_, ::pstore::obs::TraceCategory::kFault, loop_->now(),
+               "fault.apply",
+               .With("kind", FaultKindName(event.kind))
+                   .With("node", event.node)
+                   .With("multiplier", event.multiplier));
   switch (event.kind) {
     case FaultKind::kNodeCrash:
       // Crashing an already-down node is a no-op so the refcount stays

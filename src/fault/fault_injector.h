@@ -10,6 +10,7 @@
 #include "engine/metrics.h"
 #include "fault/fault_schedule.h"
 #include "migration/squall_migrator.h"
+#include "obs/tracer.h"
 
 namespace pstore {
 
@@ -52,6 +53,10 @@ class FaultInjector final : public MigrationFaultHook {
   const Stats& stats() const { return stats_; }
   const FaultSchedule& schedule() const { return schedule_; }
 
+  // Observability: emits fault.apply per delivered schedule event and
+  // fault.window {active} when the active-fault count crosses zero.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   void Apply(const FaultEvent& event);
   // Maintains the active-fault refcount and emits metrics transitions
@@ -69,6 +74,7 @@ class FaultInjector final : public MigrationFaultHook {
   int active_faults_ = 0;
   bool armed_ = false;
   Stats stats_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace pstore

@@ -13,6 +13,7 @@
 #include "engine/event_loop.h"
 #include "engine/metrics.h"
 #include "engine/partition.h"
+#include "obs/tracer.h"
 #include "planner/migration_schedule.h"
 #include "planner/validate.h"
 
@@ -166,6 +167,13 @@ Status MigrationManager::StartReconfiguration(NodeCount target_nodes,
   }
 
   if (metrics_ != nullptr) metrics_->RecordMigrationActive(loop_->now(), true);
+  PSTORE_TRACE(tracer_, ::pstore::obs::TraceCategory::kMigration, loop_->now(),
+               "migration.start",
+               .With("from", before)
+                   .With("to", target_nodes.value())
+                   .With("planned_bytes", planned_bytes_)
+                   .With("rate", rate_multiplier)
+                   .With("rounds", schedule_.rounds.size()));
   StartRound(0);
   return Status::OK();
 }
@@ -245,6 +253,12 @@ void MigrationManager::StartRound(size_t round_index) {
           std::max<int64_t>(1, source.BucketBytes(stream.buckets[0]));
     }
   }
+
+  PSTORE_TRACE(tracer_, ::pstore::obs::TraceCategory::kMigration, loop_->now(),
+               "migration.round",
+               .With("round", round_index)
+                   .With("streams", streams_.size())
+                   .With("machines", cluster_->active_nodes()));
 
   // Kick off every stream.
   streams_active_ = 0;
@@ -361,6 +375,13 @@ void MigrationManager::TransferChunk(size_t stream_index) {
         cluster_->partition(to_partition).Submit(loop_->now(), block);
         moved_bytes_ += chunk;
         total_bytes_moved_ += chunk;
+        PSTORE_TRACE(tracer_, ::pstore::obs::TraceCategory::kMigration,
+                     loop_->now(), "migration.chunk",
+                     .With("from", from_partition)
+                         .With("to", to_partition)
+                         .With("bytes", chunk)
+                         .With("handoffs", handoff.size())
+                         .With("stream_done", stream_done));
         if (stream_done) {
           if (--streams_active_ == 0) FinishRound();
           return;
@@ -387,6 +408,13 @@ void MigrationManager::RetryChunk(size_t stream_index, const Status& cause) {
           std::pow(options_.retry_backoff_multiplier, stream.attempts));
   ++stream.attempts;
   ++chunk_retries_;
+  PSTORE_TRACE(tracer_, ::pstore::obs::TraceCategory::kMigration, loop_->now(),
+               "migration.retry",
+               .With("from", stream.from_partition.value())
+                   .With("to", stream.to_partition.value())
+                   .With("attempts", stream.attempts)
+                   .With("backoff_s", backoff)
+                   .With("cause", cause.ToString()));
   ScheduleNextChunk(stream_index, loop_->now() + FromSeconds(backoff));
 }
 
@@ -405,6 +433,10 @@ void MigrationManager::AbortReconfiguration(const Status& cause) {
   if (metrics_ != nullptr) {
     metrics_->RecordMigrationActive(loop_->now(), false);
   }
+  PSTORE_TRACE(tracer_, ::pstore::obs::TraceCategory::kMigration, loop_->now(),
+               "migration.abort",
+               .With("moved_bytes", moved_bytes_)
+                   .With("cause", cause.ToString()));
   if (done_) {
     DoneCallback done = std::move(done_);
     done_ = nullptr;
@@ -436,6 +468,10 @@ void MigrationManager::FinishReconfiguration() {
   if (metrics_ != nullptr) {
     metrics_->RecordMigrationActive(loop_->now(), false);
   }
+  PSTORE_TRACE(tracer_, ::pstore::obs::TraceCategory::kMigration, loop_->now(),
+               "migration.done",
+               .With("bytes", moved_bytes_)
+                   .With("machines", target_nodes_.value()));
   if (done_) {
     DoneCallback done = std::move(done_);
     done_ = nullptr;

@@ -12,6 +12,7 @@
 #include "engine/event_loop.h"
 #include "engine/metrics.h"
 #include "engine/partition.h"
+#include "obs/tracer.h"
 #include "planner/migration_schedule.h"
 
 namespace pstore {
@@ -121,6 +122,10 @@ class MigrationManager {
   // every chunk transfer.
   void set_fault_hook(MigrationFaultHook* hook) { fault_hook_ = hook; }
 
+  // Installs (or clears) the tracer receiving migration.* events:
+  // start/round/chunk/retry/abort/done, one event per chunk landed.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   const MigrationOptions& options() const { return options_; }
 
  private:
@@ -185,6 +190,7 @@ class MigrationManager {
   int64_t chunks_aborted_ = 0;
   Status last_failure_ = Status::OK();
   MigrationFaultHook* fault_hook_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
   uint64_t epoch_ = 0;  // guards stale chunk events after completion
 };
 

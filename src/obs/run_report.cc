@@ -1,0 +1,313 @@
+#include "obs/run_report.h"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstddef>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/csv_writer.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "obs/trace_reader.h"
+
+namespace pstore {
+namespace obs {
+namespace {
+
+bool IsCycleEvent(const ParsedTraceEvent& event) {
+  return event.name == "controller.cycle" || event.name == "sim.cycle";
+}
+
+bool IsForecastEvent(const ParsedTraceEvent& event) {
+  return event.name == "predictor.forecast" || event.name == "sim.forecast";
+}
+
+bool IsActionEvent(const ParsedTraceEvent& event) {
+  return event.name == "controller.action" || event.name == "sim.action";
+}
+
+std::string FormatNumber(double value) {
+  char buf[64];
+  if (std::floor(value) == value && std::fabs(value) < 9e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+  }
+  return std::string(buf);
+}
+
+std::string FormatFieldValue(const TraceFieldValue& value) {
+  switch (value.kind) {
+    case TraceFieldValue::Kind::kNumber:
+      return FormatNumber(value.number);
+    case TraceFieldValue::Kind::kBool:
+      return value.bool_value ? "true" : "false";
+    case TraceFieldValue::Kind::kString:
+      return value.text;
+  }
+  return "";
+}
+
+void AppendLine(std::string* out, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendLine(std::string* out, const char* format, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  out->append(buf);
+  out->push_back('\n');
+}
+
+}  // namespace
+
+StatusOr<RunReport> BuildRunReport(
+    const std::vector<ParsedTraceEvent>& events) {
+  RunReport report;
+  report.events = static_cast<int64_t>(events.size());
+
+  std::map<std::string, WallRollup> wall;
+  SimTime max_ts = 0;
+
+  for (const ParsedTraceEvent& event : events) {
+    if (event.ts > max_ts) max_ts = event.ts;
+
+    if (const TraceFieldValue* wall_us = event.Find("wall_us");
+        wall_us != nullptr &&
+        wall_us->kind == TraceFieldValue::Kind::kNumber) {
+      WallRollup& rollup = wall[event.name];
+      rollup.name = event.name;
+      ++rollup.count;
+      const int64_t us = static_cast<int64_t>(wall_us->number);
+      rollup.total_us += us;
+      if (us > rollup.max_us) rollup.max_us = us;
+    }
+
+    if (IsCycleEvent(event)) {
+      CycleRow row;
+      row.t_seconds = ToSeconds(event.ts);
+      row.load = event.Number("load", 0.0);
+      row.machines = event.Int("machines", 0);
+      row.migrating = event.Bool("migrating", false);
+      report.cycles.push_back(row);
+      continue;
+    }
+
+    CycleRow* cycle = report.cycles.empty() ? nullptr
+                                            : &report.cycles.back();
+    if (IsForecastEvent(event)) {
+      if (cycle != nullptr) {
+        cycle->has_forecast = true;
+        cycle->pred_next = event.Number("pred_next", 0.0);
+      }
+      continue;
+    }
+    if (IsActionEvent(event)) {
+      if (cycle != nullptr) {
+        cycle->action = event.Str("kind", "");
+        cycle->action_target = event.Int("target", 0);
+      }
+      continue;
+    }
+    if (event.name == "planner.plan") {
+      ++report.plans;
+      if (!event.Bool("feasible", true)) ++report.infeasible_plans;
+      continue;
+    }
+    if (event.name == "migration.start" || event.name == "sim.move.start") {
+      ++report.moves_started;
+      continue;
+    }
+    if (event.name == "migration.done" || event.name == "sim.move.done") {
+      ++report.moves_completed;
+      continue;
+    }
+    if (event.name == "migration.abort") {
+      ++report.moves_aborted;
+      continue;
+    }
+    if (event.name == "migration.chunk") {
+      ++report.chunks;
+      report.bytes_moved += event.Int("bytes", 0);
+      if (cycle != nullptr) ++cycle->chunks;
+      continue;
+    }
+    if (event.name == "migration.retry") {
+      ++report.chunk_retries;
+      if (cycle != nullptr) ++cycle->chunk_retries;
+      continue;
+    }
+    if (event.name == "fault.window") {
+      if (event.Bool("active", false)) ++report.fault_windows;
+      continue;
+    }
+    if (event.name == "sim.insufficient") {
+      ++report.insufficient_slots;
+      continue;
+    }
+    if (event.name == "sla.window") {
+      ++report.sla_violations;
+      if (event.Bool("fault", false)) {
+        ++report.sla_during_fault;
+      } else if (event.Bool("migrating", false)) {
+        ++report.sla_during_migration;
+      } else {
+        ++report.sla_baseline;
+      }
+      continue;
+    }
+    if (event.name == "run.summary") {
+      for (const auto& [key, value] : event.fields) {
+        report.summary.emplace_back(key, FormatFieldValue(value));
+      }
+      continue;
+    }
+  }
+
+  report.duration_seconds = ToSeconds(max_ts);
+
+  double abs_error_sum = 0.0;
+  double rel_error_sum = 0.0;
+  for (size_t i = 0; i + 1 < report.cycles.size(); ++i) {
+    if (!report.cycles[i].has_forecast) continue;
+    const double actual = report.cycles[i + 1].load;
+    if (std::fabs(actual) <= 1e-9) continue;
+    const double error = std::fabs(report.cycles[i].pred_next - actual);
+    abs_error_sum += error;
+    rel_error_sum += error / std::fabs(actual);
+    ++report.forecast_samples;
+  }
+  if (report.forecast_samples > 0) {
+    report.forecast_mae =
+        abs_error_sum / static_cast<double>(report.forecast_samples);
+    report.forecast_mre =
+        rel_error_sum / static_cast<double>(report.forecast_samples);
+  }
+
+  report.wall.reserve(wall.size());
+  for (auto& [name, rollup] : wall) {
+    (void)name;
+    report.wall.push_back(std::move(rollup));
+  }
+  return report;
+}
+
+std::string RenderRunReport(const RunReport& report, int64_t max_rows) {
+  std::string out;
+  AppendLine(&out, "== run summary ==");
+  AppendLine(&out, "events: %lld   duration: %.1f s   cycles: %zu",
+             static_cast<long long>(report.events), report.duration_seconds,
+             report.cycles.size());
+  AppendLine(&out, "plans: %lld (infeasible %lld)",
+             static_cast<long long>(report.plans),
+             static_cast<long long>(report.infeasible_plans));
+  AppendLine(&out,
+             "moves: started %lld, completed %lld, aborted %lld; "
+             "chunks %lld (retries %lld), bytes %lld",
+             static_cast<long long>(report.moves_started),
+             static_cast<long long>(report.moves_completed),
+             static_cast<long long>(report.moves_aborted),
+             static_cast<long long>(report.chunks),
+             static_cast<long long>(report.chunk_retries),
+             static_cast<long long>(report.bytes_moved));
+  if (report.forecast_samples > 0) {
+    AppendLine(&out, "forecast: samples %lld, MAE %.4g, MRE %.2f%%",
+               static_cast<long long>(report.forecast_samples),
+               report.forecast_mae, 100.0 * report.forecast_mre);
+  }
+  AppendLine(&out,
+             "fault windows: %lld   insufficient-capacity slots: %lld",
+             static_cast<long long>(report.fault_windows),
+             static_cast<long long>(report.insufficient_slots));
+  AppendLine(&out,
+             "SLA-violating windows: %lld (fault %lld, migration %lld, "
+             "baseline %lld)",
+             static_cast<long long>(report.sla_violations),
+             static_cast<long long>(report.sla_during_fault),
+             static_cast<long long>(report.sla_during_migration),
+             static_cast<long long>(report.sla_baseline));
+  for (const WallRollup& rollup : report.wall) {
+    AppendLine(&out, "wall %-24s count %-6lld total %lld us, max %lld us",
+               rollup.name.c_str(), static_cast<long long>(rollup.count),
+               static_cast<long long>(rollup.total_us),
+               static_cast<long long>(rollup.max_us));
+  }
+  for (const auto& [key, value] : report.summary) {
+    AppendLine(&out, "summary %s = %s", key.c_str(), value.c_str());
+  }
+
+  if (max_rows == 0 || report.cycles.empty()) return out;
+  size_t rows = report.cycles.size();
+  if (max_rows > 0 && static_cast<size_t>(max_rows) < rows) {
+    rows = static_cast<size_t>(max_rows);
+  }
+  out.push_back('\n');
+  AppendLine(&out, "== timeline (%zu of %zu cycles) ==", rows,
+             report.cycles.size());
+  AppendLine(&out, "%10s %10s %10s %8s %5s %6s %7s  %s", "t_s", "load",
+             "pred_next", "machines", "migr", "chunks", "retries", "action");
+  for (size_t i = 0; i < rows; ++i) {
+    const CycleRow& row = report.cycles[i];
+    char pred[32];
+    if (row.has_forecast) {
+      std::snprintf(pred, sizeof(pred), "%10.1f", row.pred_next);
+    } else {
+      std::snprintf(pred, sizeof(pred), "%10s", "-");
+    }
+    std::string action = row.action;
+    if (!action.empty() && row.action_target > 0) {
+      action.push_back('(');
+      action += std::to_string(row.action_target);
+      action.push_back(')');
+    }
+    AppendLine(&out, "%10.1f %10.1f %s %8lld %5s %6lld %7lld  %s",
+               row.t_seconds, row.load, pred,
+               static_cast<long long>(row.machines),
+               row.migrating ? "yes" : "no",
+               static_cast<long long>(row.chunks),
+               static_cast<long long>(row.chunk_retries), action.c_str());
+  }
+  if (rows < report.cycles.size()) {
+    AppendLine(&out, "... %zu more cycles (use --max-rows)",
+               report.cycles.size() - rows);
+  }
+  return out;
+}
+
+Status WriteCycleCsv(const RunReport& report, const std::string& path) {
+  CsvWriter csv(path);
+  csv.WriteRow({"t_s", "load", "pred_next", "machines", "migrating",
+                "chunks", "retries", "action", "target"});
+  char buf[64];
+  for (const CycleRow& row : report.cycles) {
+    std::vector<std::string> cells;
+    std::snprintf(buf, sizeof(buf), "%.6g", row.t_seconds);
+    cells.emplace_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.6g", row.load);
+    cells.emplace_back(buf);
+    if (row.has_forecast) {
+      std::snprintf(buf, sizeof(buf), "%.6g", row.pred_next);
+      cells.emplace_back(buf);
+    } else {
+      cells.emplace_back("");
+    }
+    cells.emplace_back(std::to_string(row.machines));
+    cells.emplace_back(row.migrating ? "1" : "0");
+    cells.emplace_back(std::to_string(row.chunks));
+    cells.emplace_back(std::to_string(row.chunk_retries));
+    cells.emplace_back(row.action);
+    cells.emplace_back(std::to_string(row.action_target));
+    csv.WriteRow(cells);
+  }
+  return csv.Close();
+}
+
+}  // namespace obs
+}  // namespace pstore

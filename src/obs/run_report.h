@@ -1,0 +1,94 @@
+#ifndef PSTORE_OBS_RUN_REPORT_H_
+#define PSTORE_OBS_RUN_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/trace_reader.h"
+
+namespace pstore {
+namespace obs {
+
+// One controller/simulator cycle reconstructed from the trace: the
+// cycle event itself plus everything that happened before the next
+// cycle (forecast, planner decision, migration activity).
+struct CycleRow {
+  double t_seconds = 0.0;
+  double load = 0.0;
+  bool has_forecast = false;
+  double pred_next = 0.0;
+  int64_t machines = 0;
+  bool migrating = false;
+  // Last planner/controller decision in the cycle, e.g. "start_move"
+  // with its target machine count; empty when the cycle only observed.
+  std::string action;
+  int64_t action_target = 0;
+  int64_t chunks = 0;
+  int64_t chunk_retries = 0;
+};
+
+// Wall-clock rollup for one span-emitting event name.
+struct WallRollup {
+  std::string name;
+  int64_t count = 0;
+  int64_t total_us = 0;
+  int64_t max_us = 0;
+};
+
+// Aggregated view of one traced run.
+struct RunReport {
+  int64_t events = 0;
+  double duration_seconds = 0.0;
+  std::vector<CycleRow> cycles;
+
+  int64_t plans = 0;
+  int64_t infeasible_plans = 0;
+
+  int64_t moves_started = 0;
+  int64_t moves_completed = 0;
+  int64_t moves_aborted = 0;
+  int64_t chunks = 0;
+  int64_t chunk_retries = 0;
+  int64_t bytes_moved = 0;
+
+  int64_t fault_windows = 0;
+  int64_t insufficient_slots = 0;
+
+  // Windows whose sla.window events mark an SLA violation, split by
+  // what the system was doing (mirrors SlaAttribution).
+  int64_t sla_violations = 0;
+  int64_t sla_during_fault = 0;
+  int64_t sla_during_migration = 0;
+  int64_t sla_baseline = 0;
+
+  // One-cycle-ahead forecast error: cycle i's pred_next against cycle
+  // i+1's observed load. MRE skips actuals below 1e-9.
+  int64_t forecast_samples = 0;
+  double forecast_mae = 0.0;
+  double forecast_mre = 0.0;
+
+  std::vector<WallRollup> wall;
+
+  // Fields of the trailing run.summary event, verbatim, in file order.
+  std::vector<std::pair<std::string, std::string>> summary;
+};
+
+// Aggregates a parsed trace (file order) into a RunReport.
+StatusOr<RunReport> BuildRunReport(
+    const std::vector<ParsedTraceEvent>& events);
+
+// Renders the report as a human-readable summary plus a per-cycle
+// timeline capped at `max_rows` rows (0 = summary only, negative =
+// unlimited).
+std::string RenderRunReport(const RunReport& report, int64_t max_rows);
+
+// Writes the per-cycle timeline as CSV.
+Status WriteCycleCsv(const RunReport& report, const std::string& path);
+
+}  // namespace obs
+}  // namespace pstore
+
+#endif  // PSTORE_OBS_RUN_REPORT_H_

@@ -1,0 +1,111 @@
+#include "obs/trace_event.h"
+
+#include <cstdio>
+
+namespace pstore {
+namespace obs {
+namespace {
+
+void AppendDouble(double value, std::string* out) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  out->append(buf);
+}
+
+void AppendInt(int64_t value, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  out->append(buf);
+}
+
+}  // namespace
+
+const char* TraceCategoryName(TraceCategory category) {
+  switch (category) {
+    case TraceCategory::kController:
+      return "controller";
+    case TraceCategory::kPredictor:
+      return "predictor";
+    case TraceCategory::kPlanner:
+      return "planner";
+    case TraceCategory::kMigration:
+      return "migration";
+    case TraceCategory::kEngine:
+      return "engine";
+    case TraceCategory::kFault:
+      return "fault";
+    case TraceCategory::kSim:
+      return "sim";
+    case TraceCategory::kReport:
+      return "report";
+    case TraceCategory::kVerbose:
+      return "verbose";
+  }
+  return "unknown";
+}
+
+void AppendJsonEscaped(const std::string& text, std::string* out) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+void TraceEvent::AppendJsonl(std::string* out) const {
+  out->append("{\"ts\":");
+  AppendInt(ts_, out);
+  out->append(",\"cat\":\"");
+  out->append(TraceCategoryName(category_));
+  out->append("\",\"name\":\"");
+  AppendJsonEscaped(name_, out);
+  out->push_back('"');
+  for (const Field& field : fields_) {
+    out->append(",\"");
+    AppendJsonEscaped(field.key, out);
+    out->append("\":");
+    switch (field.kind) {
+      case FieldKind::kInt:
+        AppendInt(field.int_value, out);
+        break;
+      case FieldKind::kDouble:
+        AppendDouble(field.double_value, out);
+        break;
+      case FieldKind::kBool:
+        out->append(field.bool_value ? "true" : "false");
+        break;
+      case FieldKind::kString:
+        out->push_back('"');
+        AppendJsonEscaped(field.string_value, out);
+        out->push_back('"');
+        break;
+    }
+  }
+  out->append("}\n");
+}
+
+}  // namespace obs
+}  // namespace pstore

@@ -1,0 +1,152 @@
+#ifndef PSTORE_OBS_TRACE_EVENT_H_
+#define PSTORE_OBS_TRACE_EVENT_H_
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace pstore {
+namespace obs {
+
+// Trace categories form a bitmask so a Tracer can cheaply gate whole
+// subsystems. kVerbose is reserved for per-transaction firehose events
+// and is excluded from the default mask: enabling tracing on a run must
+// not turn every Submit() into an I/O call.
+enum class TraceCategory : uint32_t {
+  kController = 1u << 0,
+  kPredictor = 1u << 1,
+  kPlanner = 1u << 2,
+  kMigration = 1u << 3,
+  kEngine = 1u << 4,
+  kFault = 1u << 5,
+  kSim = 1u << 6,
+  kReport = 1u << 7,
+  kVerbose = 1u << 8,
+};
+
+// Everything except the per-transaction firehose.
+constexpr uint32_t kDefaultTraceMask =
+    static_cast<uint32_t>(TraceCategory::kController) |
+    static_cast<uint32_t>(TraceCategory::kPredictor) |
+    static_cast<uint32_t>(TraceCategory::kPlanner) |
+    static_cast<uint32_t>(TraceCategory::kMigration) |
+    static_cast<uint32_t>(TraceCategory::kEngine) |
+    static_cast<uint32_t>(TraceCategory::kFault) |
+    static_cast<uint32_t>(TraceCategory::kSim) |
+    static_cast<uint32_t>(TraceCategory::kReport);
+
+constexpr uint32_t kAllTraceMask =
+    kDefaultTraceMask | static_cast<uint32_t>(TraceCategory::kVerbose);
+
+// Short lowercase label used as the "cat" field of serialized events.
+const char* TraceCategoryName(TraceCategory category);
+
+// One structured trace event: a category, a simulation timestamp, a
+// dotted event name ("migration.chunk"), and a flat list of typed
+// key/value fields. Keys are string literals owned by the call site;
+// "ts", "cat" and "name" are reserved for the envelope. Events are
+// built fluently:
+//
+//   TraceEvent(TraceCategory::kMigration, now, "migration.chunk")
+//       .With("from", 3).With("bytes", chunk_bytes)
+//
+// and are cheap enough to construct on instrumented paths that already
+// write to a sink; the fast path for disabled tracing never constructs
+// one (see PSTORE_TRACE in obs/tracer.h).
+class TraceEvent {
+ public:
+  enum class FieldKind { kInt, kDouble, kBool, kString };
+
+  struct Field {
+    const char* key;
+    FieldKind kind;
+    int64_t int_value;
+    double double_value;
+    bool bool_value;
+    std::string string_value;
+  };
+
+  TraceEvent(TraceCategory category, SimTime ts, const char* name)
+      : category_(category), ts_(ts), name_(name) {
+    fields_.reserve(8);
+  }
+
+  template <typename T,
+            typename std::enable_if<std::is_integral<T>::value &&
+                                        !std::is_same<T, bool>::value,
+                                    int>::type = 0>
+  TraceEvent& With(const char* key, T value) {
+    Field f;
+    f.key = key;
+    f.kind = FieldKind::kInt;
+    f.int_value = static_cast<int64_t>(value);
+    f.double_value = 0.0;
+    f.bool_value = false;
+    fields_.push_back(std::move(f));
+    return *this;
+  }
+
+  TraceEvent& With(const char* key, double value) {
+    Field f;
+    f.key = key;
+    f.kind = FieldKind::kDouble;
+    f.int_value = 0;
+    f.double_value = value;
+    f.bool_value = false;
+    fields_.push_back(std::move(f));
+    return *this;
+  }
+
+  TraceEvent& With(const char* key, bool value) {
+    Field f;
+    f.key = key;
+    f.kind = FieldKind::kBool;
+    f.int_value = 0;
+    f.double_value = 0.0;
+    f.bool_value = value;
+    fields_.push_back(std::move(f));
+    return *this;
+  }
+
+  TraceEvent& With(const char* key, const char* value) {
+    return With(key, std::string(value));
+  }
+
+  TraceEvent& With(const char* key, std::string value) {
+    Field f;
+    f.key = key;
+    f.kind = FieldKind::kString;
+    f.int_value = 0;
+    f.double_value = 0.0;
+    f.bool_value = false;
+    f.string_value = std::move(value);
+    fields_.push_back(std::move(f));
+    return *this;
+  }
+
+  TraceCategory category() const { return category_; }
+  SimTime ts() const { return ts_; }
+  const char* name() const { return name_; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  // Appends this event as one JSONL line (including the trailing
+  // newline): {"ts":...,"cat":"...","name":"...",<fields>...}.
+  void AppendJsonl(std::string* out) const;
+
+ private:
+  TraceCategory category_;
+  SimTime ts_;
+  const char* name_;
+  std::vector<Field> fields_;
+};
+
+// JSON string escaping shared by the trace and metrics serializers.
+void AppendJsonEscaped(const std::string& text, std::string* out);
+
+}  // namespace obs
+}  // namespace pstore
+
+#endif  // PSTORE_OBS_TRACE_EVENT_H_

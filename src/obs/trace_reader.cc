@@ -1,0 +1,245 @@
+#include "obs/trace_reader.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/status.h"
+
+namespace pstore {
+namespace obs {
+namespace {
+
+// Cursor over one line. Parse helpers return false on malformed input
+// and leave an explanation in *error.
+struct Cursor {
+  const std::string& line;
+  size_t pos = 0;
+  std::string error;
+
+  explicit Cursor(const std::string& text) : line(text) {}
+
+  bool AtEnd() const { return pos >= line.size(); }
+  char Peek() const { return AtEnd() ? '\0' : line[pos]; }
+
+  bool Expect(char c) {
+    if (Peek() != c) {
+      error = std::string("expected '") + c + "' at offset " +
+              std::to_string(pos);
+      return false;
+    }
+    ++pos;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Expect('"')) return false;
+    out->clear();
+    while (!AtEnd() && line[pos] != '"') {
+      char c = line[pos];
+      if (c == '\\') {
+        ++pos;
+        if (AtEnd()) break;
+        switch (line[pos]) {
+          case '"':
+            out->push_back('"');
+            break;
+          case '\\':
+            out->push_back('\\');
+            break;
+          case '/':
+            out->push_back('/');
+            break;
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 'r':
+            out->push_back('\r');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'b':
+            out->push_back('\b');
+            break;
+          case 'f':
+            out->push_back('\f');
+            break;
+          case 'u': {
+            if (pos + 4 >= line.size()) {
+              error = "truncated \\u escape";
+              return false;
+            }
+            const std::string hex = line.substr(pos + 1, 4);
+            char* end = nullptr;
+            const long code = std::strtol(hex.c_str(), &end, 16);
+            if (end == nullptr || *end != '\0') {
+              error = "bad \\u escape '" + hex + "'";
+              return false;
+            }
+            // The serializer only emits \u00XX for control bytes.
+            out->push_back(static_cast<char>(code & 0xff));
+            pos += 4;
+            break;
+          }
+          default:
+            error = std::string("unknown escape '\\") + line[pos] + "'";
+            return false;
+        }
+        ++pos;
+      } else {
+        out->push_back(c);
+        ++pos;
+      }
+    }
+    return Expect('"');
+  }
+
+  bool ParseValue(TraceFieldValue* out) {
+    const char c = Peek();
+    if (c == '"') {
+      out->kind = TraceFieldValue::Kind::kString;
+      return ParseString(&out->text);
+    }
+    if (line.compare(pos, 4, "true") == 0) {
+      out->kind = TraceFieldValue::Kind::kBool;
+      out->bool_value = true;
+      pos += 4;
+      return true;
+    }
+    if (line.compare(pos, 5, "false") == 0) {
+      out->kind = TraceFieldValue::Kind::kBool;
+      out->bool_value = false;
+      pos += 5;
+      return true;
+    }
+    // Number: strtod consumes exactly the JSON number grammar we emit.
+    const char* start = line.c_str() + pos;
+    char* end = nullptr;
+    const double value = std::strtod(start, &end);
+    if (end == start) {
+      error = "expected a value at offset " + std::to_string(pos);
+      return false;
+    }
+    out->kind = TraceFieldValue::Kind::kNumber;
+    out->number = value;
+    pos += static_cast<size_t>(end - start);
+    return true;
+  }
+};
+
+}  // namespace
+
+const TraceFieldValue* ParsedTraceEvent::Find(const std::string& key) const {
+  for (const auto& [name_key, value] : fields) {
+    if (name_key == key) return &value;
+  }
+  return nullptr;
+}
+
+double ParsedTraceEvent::Number(const std::string& key,
+                                double fallback) const {
+  const TraceFieldValue* value = Find(key);
+  if (value == nullptr || value->kind != TraceFieldValue::Kind::kNumber) {
+    return fallback;
+  }
+  return value->number;
+}
+
+int64_t ParsedTraceEvent::Int(const std::string& key, int64_t fallback) const {
+  const TraceFieldValue* value = Find(key);
+  if (value == nullptr || value->kind != TraceFieldValue::Kind::kNumber) {
+    return fallback;
+  }
+  return static_cast<int64_t>(value->number);
+}
+
+bool ParsedTraceEvent::Bool(const std::string& key, bool fallback) const {
+  const TraceFieldValue* value = Find(key);
+  if (value == nullptr || value->kind != TraceFieldValue::Kind::kBool) {
+    return fallback;
+  }
+  return value->bool_value;
+}
+
+std::string ParsedTraceEvent::Str(const std::string& key,
+                                  const std::string& fallback) const {
+  const TraceFieldValue* value = Find(key);
+  if (value == nullptr || value->kind != TraceFieldValue::Kind::kString) {
+    return fallback;
+  }
+  return value->text;
+}
+
+StatusOr<ParsedTraceEvent> ParseTraceLine(const std::string& line) {
+  Cursor cursor(line);
+  ParsedTraceEvent event;
+  if (!cursor.Expect('{')) {
+    return Status::InvalidArgument("trace line: " + cursor.error);
+  }
+  bool first = true;
+  while (cursor.Peek() != '}') {
+    if (!first && !cursor.Expect(',')) {
+      return Status::InvalidArgument("trace line: " + cursor.error);
+    }
+    first = false;
+    std::string key;
+    TraceFieldValue value;
+    if (!cursor.ParseString(&key) || !cursor.Expect(':') ||
+        !cursor.ParseValue(&value)) {
+      return Status::InvalidArgument("trace line: " + cursor.error);
+    }
+    if (key == "ts" && value.kind == TraceFieldValue::Kind::kNumber) {
+      event.ts = static_cast<SimTime>(value.number);
+    } else if (key == "cat" &&
+               value.kind == TraceFieldValue::Kind::kString) {
+      event.cat = std::move(value.text);
+    } else if (key == "name" &&
+               value.kind == TraceFieldValue::Kind::kString) {
+      event.name = std::move(value.text);
+    } else {
+      event.fields.emplace_back(std::move(key), std::move(value));
+    }
+  }
+  if (!cursor.Expect('}')) {
+    return Status::InvalidArgument("trace line: " + cursor.error);
+  }
+  if (event.name.empty()) {
+    return Status::InvalidArgument("trace line: missing \"name\"");
+  }
+  return event;
+}
+
+StatusOr<std::vector<ParsedTraceEvent>> ReadTraceFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return Status::NotFound("cannot open trace file '" + path + "'");
+  }
+  std::vector<ParsedTraceEvent> events;
+  std::string line;
+  int64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    StatusOr<ParsedTraceEvent> event = ParseTraceLine(line);
+    if (!event.ok()) {
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(line_number) + ": " +
+          event.status().message());
+    }
+    events.push_back(std::move(event.value()));
+  }
+  if (in.bad()) {
+    return Status::Internal("error reading trace file '" + path + "'");
+  }
+  return events;
+}
+
+}  // namespace obs
+}  // namespace pstore

@@ -1,0 +1,54 @@
+#ifndef PSTORE_OBS_TRACE_READER_H_
+#define PSTORE_OBS_TRACE_READER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/status.h"
+
+namespace pstore {
+namespace obs {
+
+// A field value parsed back from a JSONL trace. Numbers are held as
+// doubles: every value the serializer emits (SimTime microseconds,
+// byte counts, percentiles) fits a double's 53-bit integer range.
+struct TraceFieldValue {
+  enum class Kind { kNumber, kBool, kString };
+  Kind kind = Kind::kNumber;
+  double number = 0.0;
+  bool bool_value = false;
+  std::string text;
+};
+
+// One parsed trace event: the envelope (ts/cat/name) plus the flat
+// field list in file order.
+struct ParsedTraceEvent {
+  SimTime ts = 0;
+  std::string cat;
+  std::string name;
+  std::vector<std::pair<std::string, TraceFieldValue>> fields;
+
+  const TraceFieldValue* Find(const std::string& key) const;
+  double Number(const std::string& key, double fallback) const;
+  int64_t Int(const std::string& key, int64_t fallback) const;
+  bool Bool(const std::string& key, bool fallback) const;
+  std::string Str(const std::string& key, const std::string& fallback) const;
+};
+
+// Parses one JSONL line produced by JsonlTraceSink. This is a reader
+// for our own flat output, not a general JSON parser: values are
+// numbers, booleans, or strings — no nesting, no null.
+StatusOr<ParsedTraceEvent> ParseTraceLine(const std::string& line);
+
+// Reads a whole trace file, in file order. Blank lines are skipped;
+// any malformed line fails the read with its line number.
+StatusOr<std::vector<ParsedTraceEvent>> ReadTraceFile(
+    const std::string& path);
+
+}  // namespace obs
+}  // namespace pstore
+
+#endif  // PSTORE_OBS_TRACE_READER_H_

@@ -1,0 +1,88 @@
+#include "obs/tracer.h"
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "obs/trace_event.h"
+
+namespace pstore {
+namespace obs {
+namespace {
+
+// Flush the JSONL buffer once it crosses this size; large enough to
+// amortize stream writes, small enough that a crashed run still leaves
+// a mostly-complete trace on disk.
+constexpr std::size_t kFlushThreshold = 64 * 1024;
+
+}  // namespace
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path)
+    : path_(path), out_(path) {
+  buffer_.reserve(2 * kFlushThreshold);
+}
+
+StatusOr<std::unique_ptr<JsonlTraceSink>> JsonlTraceSink::Open(
+    const std::string& path) {
+  std::unique_ptr<JsonlTraceSink> sink(new JsonlTraceSink(path));
+  if (!sink->out_.good()) {
+    return Status::InvalidArgument("cannot open trace file '" + path + "'");
+  }
+  return sink;
+}
+
+void JsonlTraceSink::Write(const TraceEvent& event) {
+  if (closed_) return;
+  event.AppendJsonl(&buffer_);
+  if (buffer_.size() >= kFlushThreshold) FlushBuffer();
+}
+
+void JsonlTraceSink::FlushBuffer() {
+  if (!buffer_.empty()) {
+    out_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    buffer_.clear();
+  }
+  if (!out_.good()) write_failed_ = true;
+}
+
+Status JsonlTraceSink::Close() {
+  if (closed_) {
+    if (write_failed_) {
+      return Status::Internal("trace write to '" + path_ + "' failed");
+    }
+    return Status::OK();
+  }
+  closed_ = true;
+  FlushBuffer();
+  out_.flush();
+  if (!out_.good()) write_failed_ = true;
+  out_.close();
+  if (out_.fail()) write_failed_ = true;
+  if (write_failed_) {
+    return Status::Internal("trace write to '" + path_ + "' failed");
+  }
+  return Status::OK();
+}
+
+Status Tracer::OpenJsonl(const std::string& path) {
+  StatusOr<std::unique_ptr<JsonlTraceSink>> sink = JsonlTraceSink::Open(path);
+  if (!sink.ok()) return sink.status();
+  sink_ = std::move(sink.value());
+  return Status::OK();
+}
+
+void Tracer::Emit(const TraceEvent& event) {
+  if (sink_ == nullptr) return;
+  sink_->Write(event);
+  ++events_emitted_;
+}
+
+Status Tracer::Close() {
+  if (sink_ == nullptr) return Status::OK();
+  return sink_->Close();
+}
+
+}  // namespace obs
+}  // namespace pstore

@@ -1,0 +1,138 @@
+#ifndef PSTORE_OBS_TRACER_H_
+#define PSTORE_OBS_TRACER_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+// Re-exported: the PSTORE_TRACE macro below expands to TraceEvent and
+// TraceCategory at every instrumentation site.
+#include "obs/trace_event.h"  // IWYU pragma: export
+
+namespace pstore {
+namespace obs {
+
+// Where emitted trace events go. Sinks own their I/O failure state and
+// surface it from Close(); Write() itself stays cheap and unchecked so
+// the instrumented hot paths never branch on stream health.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void Write(const TraceEvent& event) = 0;
+  virtual Status Close() = 0;
+};
+
+// Counts events and drops them. Used by tests and by the tracing
+// overhead benchmarks, where file I/O would dominate the measurement.
+class CountingTraceSink : public TraceSink {
+ public:
+  void Write(const TraceEvent& event) override {
+    (void)event;
+    ++count_;
+  }
+  Status Close() override { return Status::OK(); }
+  int64_t count() const { return count_; }
+
+ private:
+  int64_t count_ = 0;
+};
+
+// Serializes events as JSON Lines into a file, one object per event:
+//   {"ts":<us>,"cat":"<category>","name":"<event>",<fields>...}
+// Lines are buffered and flushed in batches; Close() flushes the tail
+// and reports any write failure seen during the run.
+class JsonlTraceSink : public TraceSink {
+ public:
+  static StatusOr<std::unique_ptr<JsonlTraceSink>> Open(
+      const std::string& path);
+
+  void Write(const TraceEvent& event) override;
+  Status Close() override;
+
+ private:
+  explicit JsonlTraceSink(const std::string& path);
+  void FlushBuffer();
+
+  std::string path_;
+  std::ofstream out_;
+  std::string buffer_;
+  bool write_failed_ = false;
+  bool closed_ = false;
+};
+
+// The tracing front end held (as a nullable pointer) by instrumented
+// subsystems. enabled() is the fast path: a null check plus a bitmask
+// test, inlined at every instrumentation site via PSTORE_TRACE below.
+// Event construction and sink I/O happen only when the category is on.
+class Tracer {
+ public:
+  Tracer() = default;
+
+  // Convenience: opens `path` and installs a JSONL sink.
+  Status OpenJsonl(const std::string& path);
+
+  void SetSink(std::unique_ptr<TraceSink> sink) { sink_ = std::move(sink); }
+
+  bool enabled(TraceCategory category) const {
+    return sink_ != nullptr &&
+           (mask_ & static_cast<uint32_t>(category)) != 0u;
+  }
+
+  void Enable(TraceCategory category) {
+    mask_ |= static_cast<uint32_t>(category);
+  }
+  void Disable(TraceCategory category) {
+    mask_ &= ~static_cast<uint32_t>(category);
+  }
+  void set_mask(uint32_t mask) { mask_ = mask; }
+  uint32_t mask() const { return mask_; }
+
+  void Emit(const TraceEvent& event);
+  int64_t events_emitted() const { return events_emitted_; }
+
+  // Closes the sink (if any) and surfaces its I/O outcome. Idempotent.
+  Status Close();
+
+ private:
+  std::unique_ptr<TraceSink> sink_;
+  uint32_t mask_ = kDefaultTraceMask;
+  int64_t events_emitted_ = 0;
+};
+
+}  // namespace obs
+}  // namespace pstore
+
+// Instrumentation entry point. `tracer` is a (possibly null)
+// pstore::obs::Tracer*; the trailing variadic part is a fluent .With()
+// chain appended to the event builder:
+//
+//   PSTORE_TRACE(tracer_, ::pstore::obs::TraceCategory::kMigration,
+//                loop_->now(), "migration.chunk",
+//                .With("from", from).With("bytes", bytes));
+//
+// When the build defines PSTORE_TRACE_DISABLED (-DPSTORE_TRACING=OFF)
+// the macro still type-checks its arguments inside an unevaluated
+// sizeof, so no code is generated and no operand is evaluated.
+#if defined(PSTORE_TRACE_DISABLED)
+#define PSTORE_TRACE(tracer, category, ts, name, ...)               \
+  do {                                                              \
+    (void)sizeof((tracer),                                          \
+                 ::pstore::obs::TraceEvent((category), (ts), (name)) \
+                     __VA_ARGS__);                                  \
+  } while (0)
+#else
+#define PSTORE_TRACE(tracer, category, ts, name, ...)                \
+  do {                                                               \
+    ::pstore::obs::Tracer* pstore_trace_tracer_ = (tracer);          \
+    if (pstore_trace_tracer_ != nullptr &&                           \
+        pstore_trace_tracer_->enabled(category)) {                   \
+      pstore_trace_tracer_->Emit(                                    \
+          ::pstore::obs::TraceEvent((category), (ts), (name))        \
+              __VA_ARGS__);                                          \
+    }                                                                \
+  } while (0)
+#endif
+
+#endif  // PSTORE_OBS_TRACER_H_

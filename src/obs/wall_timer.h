@@ -1,0 +1,32 @@
+#ifndef PSTORE_OBS_WALL_TIMER_H_
+#define PSTORE_OBS_WALL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace pstore {
+namespace obs {
+
+// Measures real (wall-clock) time spent inside an instrumented span,
+// e.g. one planner search or one predictor refit. This is the one
+// deliberate non-determinism in traces: simulation fields are
+// reproducible across runs, wall_us fields are not, and the run report
+// only ever aggregates them.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  int64_t ElapsedMicros() const {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace pstore
+
+#endif  // PSTORE_OBS_WALL_TIMER_H_

@@ -7,6 +7,8 @@
 #include "common/check.h"
 #include "common/status.h"
 #include "common/strong_id.h"
+#include "obs/tracer.h"
+#include "obs/wall_timer.h"
 #include "planner/move.h"
 #include "planner/move_model.h"
 #include "planner/validate.h"
@@ -132,6 +134,26 @@ double DpPlanner::MoveCostCharged(NodeCount before, NodeCount after) const {
 }
 
 StatusOr<PlanResult> DpPlanner::BestMoves(
+    const std::vector<double>& predicted_load, NodeCount initial_nodes) const {
+  obs::WallTimer timer;
+  StatusOr<PlanResult> result = RunSearch(predicted_load, initial_nodes);
+  const bool feasible = result.ok();
+  PSTORE_TRACE(
+      tracer_, ::pstore::obs::TraceCategory::kPlanner,
+      trace_now_ ? trace_now_() : 0, "planner.plan",
+      .With("wall_us", timer.ElapsedMicros())
+          .With("feasible", feasible)
+          .With("n0", initial_nodes.value())
+          .With("horizon", predicted_load.empty()
+                               ? 0
+                               : static_cast<int>(predicted_load.size()) - 1)
+          .With("target", feasible ? result->final_nodes.value() : 0)
+          .With("moves",
+                feasible ? static_cast<int>(result->moves.size()) : 0));
+  return result;
+}
+
+StatusOr<PlanResult> DpPlanner::RunSearch(
     const std::vector<double>& predicted_load, NodeCount initial_nodes) const {
   if (predicted_load.size() < 2) {
     return Status::InvalidArgument("prediction horizon must cover >= 2 slots");

@@ -1,10 +1,14 @@
 #ifndef PSTORE_PLANNER_DP_PLANNER_H_
 #define PSTORE_PLANNER_DP_PLANNER_H_
 
+#include <functional>
+#include <utility>
 #include <vector>
 
+#include "common/sim_time.h"
 #include "common/status.h"
 #include "common/strong_id.h"
+#include "obs/tracer.h"
 #include "planner/move.h"
 #include "planner/move_model.h"
 
@@ -50,8 +54,22 @@ class DpPlanner {
   // at B machines, Algorithm 2 line 9).
   double MoveCostCharged(NodeCount before, NodeCount after) const;
 
+  // Observability: when set, every BestMoves search emits one
+  // planner.plan event (wall time, feasibility, chosen target). The
+  // planner has no clock of its own, so `now_fn` supplies the
+  // simulation timestamp of the emitting harness.
+  void set_tracer(obs::Tracer* tracer, std::function<SimTime()> now_fn) {
+    tracer_ = tracer;
+    trace_now_ = std::move(now_fn);
+  }
+
  private:
+  StatusOr<PlanResult> RunSearch(const std::vector<double>& predicted_load,
+                                 NodeCount initial_nodes) const;
+
   PlannerParams params_;
+  obs::Tracer* tracer_ = nullptr;
+  std::function<SimTime()> trace_now_;
 };
 
 }  // namespace pstore

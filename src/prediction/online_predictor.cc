@@ -6,6 +6,8 @@
 #include "common/logging.h"
 #include "common/status.h"
 #include "common/time_series.h"
+#include "obs/tracer.h"
+#include "obs/wall_timer.h"
 
 namespace pstore {
 
@@ -59,10 +61,18 @@ TimeSeries OnlinePredictor::TrainingSlice() const {
 Status OnlinePredictor::Warmup(const TimeSeries& history) {
   history_ = history;
   const TimeSeries training = TrainingSlice();
+  obs::WallTimer timer;
   const Status status = model_->Fit(training);
   fitted_ = status.ok();
   observations_since_fit_ = 0;
   if (fitted_ && options_.auto_inflation) CalibrateInflation(training);
+  PSTORE_TRACE(tracer_, ::pstore::obs::TraceCategory::kPredictor,
+               trace_now_ ? trace_now_() : 0, "predictor.fit",
+               .With("n", training.size())
+                   .With("ok", status.ok())
+                   .With("inflation", effective_inflation_)
+                   .With("warmup", true)
+                   .With("wall_us", timer.ElapsedMicros()));
   return status;
 }
 
@@ -77,6 +87,7 @@ void OnlinePredictor::Observe(double value) {
 void OnlinePredictor::MaybeRefit() {
   observations_since_fit_ = 0;
   const TimeSeries training = TrainingSlice();
+  obs::WallTimer timer;
   const Status status = model_->Fit(training);
   if (status.ok()) {
     fitted_ = true;
@@ -84,11 +95,19 @@ void OnlinePredictor::MaybeRefit() {
   }
   // On failure (e.g., not enough history yet) we keep the previous fit if
   // any; the controller keeps running either way.
+  PSTORE_TRACE(tracer_, ::pstore::obs::TraceCategory::kPredictor,
+               trace_now_ ? trace_now_() : 0, "predictor.fit",
+               .With("n", training.size())
+                   .With("ok", status.ok())
+                   .With("inflation", effective_inflation_)
+                   .With("warmup", false)
+                   .With("wall_us", timer.ElapsedMicros()));
 }
 
 StatusOr<std::vector<double>> OnlinePredictor::PredictHorizon(
     size_t horizon) const {
   if (horizon == 0) return Status::InvalidArgument("horizon must be >= 1");
+  obs::WallTimer timer;
   std::vector<double> out;
   if (fitted_) {
     StatusOr<std::vector<double>> forecast =
@@ -110,6 +129,16 @@ StatusOr<std::vector<double>> OnlinePredictor::PredictHorizon(
   // Overlay manually-planned events: the forecast's first element is
   // the slot right after the last observation.
   calendar_.ApplyToForecast(history_.size(), &out);
+  PSTORE_TRACE(tracer_, ::pstore::obs::TraceCategory::kPredictor,
+               trace_now_ ? trace_now_() : 0, "predictor.forecast",
+               .With("horizon", horizon)
+                   .With("pred_next", out.empty() ? 0.0 : out.front())
+                   .With("pred_peak",
+                         out.empty()
+                             ? 0.0
+                             : *std::max_element(out.begin(), out.end()))
+                   .With("fitted", fitted_)
+                   .With("wall_us", timer.ElapsedMicros()));
   return out;
 }
 

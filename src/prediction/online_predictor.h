@@ -2,11 +2,15 @@
 #define PSTORE_PREDICTION_ONLINE_PREDICTOR_H_
 
 #include <cstddef>
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "common/sim_time.h"
 #include "common/status.h"
 #include "common/time_series.h"
+#include "obs/tracer.h"
 #include "prediction/event_calendar.h"
 #include "prediction/predictor.h"
 
@@ -74,6 +78,14 @@ class OnlinePredictor {
   // auto-derived value).
   double effective_inflation() const { return effective_inflation_; }
 
+  // Observability: when set, fits emit predictor.fit and horizon
+  // forecasts emit predictor.forecast (both with wall time). `now_fn`
+  // supplies the simulation timestamp of the emitting harness.
+  void set_tracer(obs::Tracer* tracer, std::function<SimTime()> now_fn) {
+    tracer_ = tracer;
+    trace_now_ = std::move(now_fn);
+  }
+
  private:
   void MaybeRefit();
   // The most recent training_window slots of history (or all of it).
@@ -89,6 +101,8 @@ class OnlinePredictor {
   size_t observations_since_fit_ = 0;
   bool fitted_ = false;
   double effective_inflation_ = 1.0;
+  obs::Tracer* tracer_ = nullptr;
+  std::function<SimTime()> trace_now_;
 };
 
 }  // namespace pstore

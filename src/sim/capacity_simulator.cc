@@ -5,9 +5,12 @@
 #include <functional>
 
 #include "common/check.h"
+#include "common/sim_time.h"
 #include "common/status.h"
 #include "common/strong_id.h"
 #include "common/time_series.h"
+#include "obs/tracer.h"
+#include "obs/wall_timer.h"
 #include "planner/dp_planner.h"
 #include "planner/move.h"
 #include "planner/move_model.h"
@@ -19,8 +22,9 @@ namespace pstore {
 // in via a decision callback invoked after each slot's accounting.
 class CapacitySimulator::Run {
  public:
-  Run(const SimOptions& options, const TimeSeries& fine_trace)
-      : options_(options), trace_(fine_trace) {
+  Run(const SimOptions& options, const TimeSeries& fine_trace,
+      obs::Tracer* tracer)
+      : options_(options), trace_(fine_trace), tracer_(tracer) {
     // Serving capacity is governed by Q-hat; provisioning by Q.
     serve_params_.target_rate_per_node = options.q_hat;
     serve_params_.d_slots = options.d_fine_slots;
@@ -47,6 +51,8 @@ class CapacitySimulator::Run {
       if (move_active_ && static_cast<double>(t) >= move_end_) {
         nodes_ = move_to_;
         move_active_ = false;
+        PSTORE_TRACE(tracer_, ::pstore::obs::TraceCategory::kSim, TsAt(t),
+                     "sim.move.done", .With("machines", nodes_));
       }
       decide(t);
       // Account this slot.
@@ -83,6 +89,12 @@ class CapacitySimulator::Run {
         ++result.insufficient_slots;
         if (move_active_) ++result.insufficient_during_move_slots;
         if (fault_multiplier < 1.0) ++result.insufficient_during_fault_slots;
+        PSTORE_TRACE(tracer_, ::pstore::obs::TraceCategory::kSim, TsAt(t),
+                     "sim.insufficient",
+                     .With("load", trace_[t])
+                         .With("capacity", eff_cap)
+                         .With("migrating", move_active_)
+                         .With("fault", fault_multiplier < 1.0));
       }
       result.effective_capacity.push_back(eff_cap);
       result.machines.push_back(machines);
@@ -97,6 +109,12 @@ class CapacitySimulator::Run {
   bool move_active() const { return move_active_; }
   int nodes() const { return nodes_; }
   size_t fine_slot() const { return fine_slot_; }
+  obs::Tracer* tracer() const { return tracer_; }
+
+  // Simulated timestamp of a fine slot, for trace events.
+  SimTime TsAt(size_t t) const {
+    return FromSeconds(static_cast<double>(t) * options_.fine_slot_sim_seconds);
+  }
 
   // How much larger the database (and therefore any migration) is at the
   // current slot, relative to the start of the trace.
@@ -124,6 +142,11 @@ class CapacitySimulator::Run {
     }
     move_end_ = move_start_ + actual_slots;
     ++reconfigurations_;
+    PSTORE_TRACE(tracer_, ::pstore::obs::TraceCategory::kSim, TsAt(fine_slot_),
+                 "sim.move.start",
+                 .With("from", move_from_)
+                     .With("to", move_to_)
+                     .With("fine_slots", actual_slots));
   }
 
   const PlannerParams& plan_params() const { return plan_params_; }
@@ -141,6 +164,7 @@ class CapacitySimulator::Run {
   double move_start_ = 0.0;
   double move_end_ = 0.0;
   int reconfigurations_ = 0;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 CapacitySimulator::CapacitySimulator(const SimOptions& options)
@@ -158,15 +182,20 @@ StatusOr<SimResult> CapacitySimulator::RunPredictive(
   }
   const TimeSeries coarse =
       fine_trace.DownsampleMean(options_.plan_slot_factor);
-  Run run(options_, fine_trace);
+  Run run(options_, fine_trace, tracer_);
   const int factor = options_.plan_slot_factor;
   int scale_in_votes = 0;
 
   auto decide = [&](size_t t) {
-    if (run.move_active()) return;
     if (t % static_cast<size_t>(factor) != 0) return;  // plan boundaries
     const size_t coarse_now = t / factor;
     if (coarse_now + 1 >= coarse.size()) return;
+    PSTORE_TRACE(run.tracer(), ::pstore::obs::TraceCategory::kSim, run.TsAt(t),
+                 "sim.cycle",
+                 .With("load", coarse[coarse_now])
+                     .With("machines", run.nodes())
+                     .With("migrating", run.move_active()));
+    if (run.move_active()) return;
 
     // The planner's D: re-discovered as the database grows (the paper's
     // prescription) or frozen at its original value for the stale-D
@@ -181,6 +210,7 @@ StatusOr<SimResult> CapacitySimulator::RunPredictive(
 
     // Forecast the horizon at planning granularity.
     const TimeSeries history = coarse.Slice(0, coarse_now + 1);
+    obs::WallTimer forecast_timer;
     StatusOr<std::vector<double>> forecast = predictor.PredictHorizon(
         history, static_cast<size_t>(options_.horizon_plan_slots));
     if (!forecast.ok()) return;
@@ -191,6 +221,13 @@ StatusOr<SimResult> CapacitySimulator::RunPredictive(
     for (double v : *forecast) {
       load.push_back(std::max(0.0, v * options_.inflation));
     }
+    PSTORE_TRACE(run.tracer(), ::pstore::obs::TraceCategory::kSim, run.TsAt(t),
+                 "sim.forecast",
+                 .With("horizon", options_.horizon_plan_slots)
+                     .With("pred_next", load.size() > 1 ? load[1] : 0.0)
+                     .With("pred_peak",
+                           *std::max_element(load.begin(), load.end()))
+                     .With("wall_us", forecast_timer.ElapsedMicros()));
 
     StatusOr<PlanResult> plan =
         planner.BestMoves(load, NodeCount(run.nodes()));
@@ -202,6 +239,9 @@ StatusOr<SimResult> CapacitySimulator::RunPredictive(
           std::min(options_.max_nodes, planner.NodesFor(peak).value());
       if (target != run.nodes()) {
         scale_in_votes = 0;
+        PSTORE_TRACE(run.tracer(), ::pstore::obs::TraceCategory::kSim,
+                     run.TsAt(t), "sim.action",
+                     .With("kind", "reactive_fallback").With("target", target));
         run.StartMove(target, planner.MoveSlots(NodeCount(run.nodes()),
                                                 NodeCount(target)));
       }
@@ -218,6 +258,10 @@ StatusOr<SimResult> CapacitySimulator::RunPredictive(
       if (++scale_in_votes < options_.scale_in_confirm_cycles) return;
     }
     scale_in_votes = 0;
+    PSTORE_TRACE(run.tracer(), ::pstore::obs::TraceCategory::kSim, run.TsAt(t),
+                 "sim.action",
+                 .With("kind", "start_move")
+                     .With("target", first->nodes_after.value()));
     run.StartMove(first->nodes_after.value(),
                   planner.MoveSlots(first->nodes_before, first->nodes_after));
   };
@@ -229,7 +273,7 @@ StatusOr<SimResult> CapacitySimulator::RunReactive(
   if (fine_trace.size() <= options_.eval_begin) {
     return Status::InvalidArgument("trace shorter than eval_begin");
   }
-  Run run(options_, fine_trace);
+  Run run(options_, fine_trace, tracer_);
   const DpPlanner planner(run.plan_params());
   int low_slots = 0;
   int overload_slots = 0;
@@ -270,7 +314,7 @@ StatusOr<SimResult> CapacitySimulator::RunSimple(
   if (fine_trace.size() <= options_.eval_begin) {
     return Status::InvalidArgument("trace shorter than eval_begin");
   }
-  Run run(options_, fine_trace);
+  Run run(options_, fine_trace, tracer_);
   const DpPlanner planner(run.plan_params());
 
   auto decide = [&](size_t t) {
@@ -296,7 +340,7 @@ StatusOr<SimResult> CapacitySimulator::RunStatic(
   SimOptions fixed = options_;
   fixed.initial_nodes = nodes;
   CapacitySimulator sim(fixed);
-  Run run(sim.options_, fine_trace);
+  Run run(sim.options_, fine_trace, tracer_);
   return run.Execute([](size_t) {});
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "common/time_series.h"
+#include "obs/tracer.h"
 #include "prediction/predictor.h"
 
 namespace pstore {
@@ -65,6 +66,9 @@ struct SimOptions {
   // them when planning; violations are measured against the degraded
   // capacity, so faults show up as fault-attributed insufficiency.
   std::vector<CapacityFault> faults;
+  // Simulated duration of one fine slot, used only to timestamp trace
+  // events (the paper's traces are per-minute).
+  double fine_slot_sim_seconds = 60.0;
 };
 
 // Reactive-baseline knobs (same semantics as ReactiveController: the
@@ -140,10 +144,17 @@ class CapacitySimulator {
 
   const SimOptions& options() const { return options_; }
 
+  // Observability: runs emit sim.cycle / sim.forecast / sim.action at
+  // plan boundaries (RunPredictive), sim.move.start / sim.move.done for
+  // reconfigurations, and sim.insufficient per violating fine slot.
+  // Timestamps derive from the fine slot index and fine_slot_sim_seconds.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   class Run;  // defined in the .cc
 
   SimOptions options_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace pstore

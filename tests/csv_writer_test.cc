@@ -1,0 +1,67 @@
+#include "common/csv_writer.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace pstore {
+namespace {
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path);
+  std::string out((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  return out;
+}
+
+TEST(CsvWriterTest, CloseReportsSuccessAndFlushesRows) {
+  const std::string path = ::testing::TempDir() + "/ok.csv";
+  CsvWriter csv(path);
+  ASSERT_TRUE(csv.ok());
+  csv.WriteRow({"a", "b"});
+  csv.WriteNumericRow({1.5, 2.0});
+  EXPECT_TRUE(csv.Close().ok());
+  EXPECT_EQ(ReadWholeFile(path), "a,b\n1.5,2\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, CloseSurfacesOpenFailure) {
+  CsvWriter csv("/nonexistent/dir/out.csv");
+  EXPECT_FALSE(csv.ok());
+  csv.WriteRow({"dropped"});
+  const Status closed = csv.Close();
+  EXPECT_FALSE(closed.ok());
+  // The error names the path so a bench log identifies the lost file.
+  EXPECT_NE(closed.ToString().find("/nonexistent/dir/out.csv"),
+            std::string::npos);
+}
+
+TEST(CsvWriterTest, CloseIsIdempotent) {
+  const std::string path = ::testing::TempDir() + "/twice.csv";
+  CsvWriter csv(path);
+  csv.WriteRow({"x"});
+  EXPECT_TRUE(csv.Close().ok());
+  EXPECT_TRUE(csv.Close().ok());
+  std::remove(path.c_str());
+
+  CsvWriter bad("/nonexistent/dir/out.csv");
+  EXPECT_FALSE(bad.Close().ok());
+  // The sticky failure outcome is reported again, not forgotten.
+  EXPECT_FALSE(bad.Close().ok());
+}
+
+TEST(CsvWriterTest, QuotesCellsWithCommasAndQuotes) {
+  const std::string path = ::testing::TempDir() + "/quoted.csv";
+  CsvWriter csv(path);
+  csv.WriteRow({"plain", "a,b", "say \"hi\""});
+  ASSERT_TRUE(csv.Close().ok());
+  EXPECT_EQ(ReadWholeFile(path), "plain,\"a,b\",\"say \"\"hi\"\"\"\n");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pstore

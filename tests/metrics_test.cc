@@ -70,6 +70,30 @@ TEST(WindowHistogramTest, BeyondTopBucketStaysBoundedAndMonotone) {
   EXPECT_LE(p50, huge);
 }
 
+TEST(WindowHistogramTest, BucketCountersSaturateInsteadOfWrapping) {
+  WindowHistogram h;
+  // Overfill one low-latency bucket past uint32_t range, then add a
+  // smaller high-latency population. If the bucket wrapped (the pre-fix
+  // behavior), the low bucket would hold ~1 sample and the median would
+  // jump to the 800 ms population; saturation keeps it at the low edge.
+  const int64_t kMax = 4294967295LL;  // UINT32_MAX
+  h.Record(1 * kMillisecond, kMax);
+  h.Record(1 * kMillisecond, 2);  // would wrap the bucket to 1
+  h.Record(800 * kMillisecond, 100);
+  EXPECT_EQ(h.count(), kMax + 2 + 100);
+  EXPECT_LE(h.ValueAtQuantile(0.5), 2 * kMillisecond);
+  // The true maximum is still reported even though its bucket is tiny
+  // relative to the saturated one.
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 800 * kMillisecond);
+}
+
+TEST(WindowHistogramTest, NonPositiveWeightIsIgnored) {
+  WindowHistogram h;
+  h.Record(10 * kMillisecond, 0);
+  h.Record(10 * kMillisecond, -5);
+  EXPECT_EQ(h.count(), 0);
+}
+
 TEST(MetricsCollectorTest, ThroughputPerWindow) {
   MetricsCollector metrics(1.0);
   // Three txns complete in window 0, one in window 2.
@@ -185,6 +209,83 @@ TEST(MetricsCollectorTest, AttributionSplitsByFaultAndMigration) {
   EXPECT_EQ(attribution.during_fault.p99 + attribution.during_migration.p99 +
                 attribution.baseline.p99,
             attribution.total.p99);
+}
+
+TEST(MetricsCollectorTest, IntraWindowMigrationIsNotDropped) {
+  // Regression: a migration that starts and finishes inside one metrics
+  // window used to leave every window's `migrating` flag false, because
+  // Finalize only sampled the step series at window boundaries. Table
+  // 2's during_migration attribution then under-counted short moves.
+  MetricsCollector metrics(1.0);
+  metrics.RecordMigrationActive(kSecond + 200 * kMillisecond, true);
+  metrics.RecordMigrationActive(kSecond + 800 * kMillisecond, false);
+  const auto windows = metrics.Finalize(3 * kSecond);
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_FALSE(windows[0].migrating);
+  EXPECT_TRUE(windows[1].migrating);
+  EXPECT_FALSE(windows[2].migrating);
+}
+
+TEST(MetricsCollectorTest, IntraWindowFaultIsNotDropped) {
+  MetricsCollector metrics(1.0);
+  metrics.RecordFaultActive(2 * kSecond + 100 * kMillisecond, true);
+  metrics.RecordFaultActive(2 * kSecond + 900 * kMillisecond, false);
+  const auto windows = metrics.Finalize(4 * kSecond);
+  ASSERT_EQ(windows.size(), 4u);
+  EXPECT_FALSE(windows[1].fault);
+  EXPECT_TRUE(windows[2].fault);
+  EXPECT_FALSE(windows[3].fault);
+}
+
+TEST(MetricsCollectorTest, IntraWindowTogglesFeedAttribution) {
+  MetricsCollector metrics(1.0);
+  // A violating window whose entire migration falls inside it must be
+  // attributed to during_migration, not baseline.
+  for (int i = 0; i < 10; ++i) {
+    metrics.RecordTxn(0, 900 * kMillisecond);
+  }
+  metrics.RecordMigrationActive(200 * kMillisecond, true);
+  metrics.RecordMigrationActive(700 * kMillisecond, false);
+  const auto windows = metrics.Finalize(kSecond);
+  const SlaAttribution attribution =
+      MetricsCollector::AttributeViolations(windows, 500.0);
+  EXPECT_EQ(attribution.total.p99, 1);
+  EXPECT_EQ(attribution.during_migration.p99, 1);
+  EXPECT_EQ(attribution.baseline.p99, 0);
+}
+
+TEST(MetricsCollectorTest, UnavailableOnlyWindowsCannotViolate) {
+  MetricsCollector metrics(1.0);
+  // Fast-failed txns have no latency samples, so a window holding only
+  // unavailable txns has completed == 0 and is skipped by both SLA
+  // counters rather than read as a zero-latency (or violating) window.
+  for (int i = 0; i < 50; ++i) {
+    metrics.RecordUnavailable(100 * kMillisecond);
+  }
+  const auto windows = metrics.Finalize(kSecond);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].submitted, 50);
+  EXPECT_EQ(windows[0].unavailable, 50);
+  EXPECT_EQ(windows[0].completed, 0);
+  const SlaViolations violations =
+      MetricsCollector::CountViolations(windows);
+  EXPECT_EQ(violations.p50 + violations.p95 + violations.p99, 0);
+  const SlaAttribution attribution =
+      MetricsCollector::AttributeViolations(windows);
+  EXPECT_EQ(attribution.total.p99, 0);
+}
+
+TEST(MetricsCollectorTest, AverageMachinesFirstStepAfterZero) {
+  MetricsCollector metrics(1.0);
+  // No sample at t=0: the first step's value extends back to the start
+  // of the run, matching how Finalize fills early windows.
+  metrics.RecordMachines(4 * kSecond, 2);
+  metrics.RecordMachines(8 * kSecond, 4);
+  // 8 s at 2 machines + 2 s at 4 machines over 10 s = 2.4.
+  EXPECT_NEAR(metrics.AverageMachines(10 * kSecond), 2.4, 1e-9);
+  const auto windows = metrics.Finalize(10 * kSecond);
+  EXPECT_EQ(windows[0].machines, 2);
+  EXPECT_EQ(windows[8].machines, 4);
 }
 
 TEST(MetricsCollectorTest, EmptyWindowsDoNotViolate) {

@@ -15,6 +15,13 @@
 //       pstore_chaos --seed=7 --crash-rate=6 --straggler-rate=4
 //       [--degrade-rate=2] [--chunk-abort-rate=12]
 //       [--mean-outage=60] (seconds; also --mean-straggler, --mean-degrade)
+//
+// Machine-readable outputs:
+//   --trace-out=run.jsonl   structured event trace across the whole
+//                           stack (controller, predictor, planner,
+//                           migration, faults); render with
+//                           pstore_report --trace=run.jsonl
+//   --bench-json=out.json   headline metrics as a JSON metrics registry
 
 #include <cstdio>
 #include <memory>
@@ -40,6 +47,8 @@
 #include "fault/fault_injector.h"
 #include "fault/fault_schedule.h"
 #include "migration/squall_migrator.h"
+#include "obs/metrics_registry.h"
+#include "obs/tracer.h"
 #include "prediction/naive_models.h"
 #include "prediction/online_predictor.h"
 
@@ -103,6 +112,15 @@ int main(int argc, char** argv) {
   if (*minutes < 1) return Fail("--minutes must be >= 1");
   const double total_seconds = static_cast<double>(*minutes) * 60.0;
 
+  // Structured run trace (no-op unless --trace-out is given: components
+  // are wired to the tracer, but without a sink every event is skipped).
+  const std::string trace_out = flags.GetString("trace-out", "");
+  obs::Tracer tracer;
+  if (!trace_out.empty()) {
+    const Status opened = tracer.OpenJsonl(trace_out);
+    if (!opened.ok()) return Fail(opened.ToString());
+  }
+
   // Load trace: base rate stepping to the peak at --step-minute, on 6 s
   // slots (the controller's monitoring granularity).
   const double slot_seconds = 6.0;
@@ -142,6 +160,8 @@ int main(int argc, char** argv) {
   migration_options.extract_rate_bytes_per_sec = 20e6;
   EventLoop loop;
   MigrationManager migration(&loop, &cluster, &metrics, migration_options);
+  executor.set_tracer(&tracer);
+  migration.set_tracer(&tracer);
 
   DriverOptions driver_options;
   driver_options.slot_sim_seconds = slot_seconds;
@@ -151,6 +171,7 @@ int main(int argc, char** argv) {
       &loop, &executor, trace,
       [&workload](Rng& rng) { return workload.NextTransaction(rng); },
       driver_options);
+  driver.set_tracer(&tracer);
   metrics.RecordMachines(0, cluster.active_nodes());
 
   // Fault schedule: scripted crash window plus optional seeded-random
@@ -190,6 +211,7 @@ int main(int argc, char** argv) {
   }
   FaultInjector injector(&loop, &cluster, &metrics,
                          FaultSchedule::Scripted(std::move(events)));
+  injector.set_tracer(&tracer);
   migration.set_fault_hook(&injector);
   injector.Arm();
 
@@ -205,6 +227,7 @@ int main(int argc, char** argv) {
     predictor_options.training_window = 10;
     oracle = std::make_unique<OnlinePredictor>(
         std::make_unique<OraclePredictor>(trace), predictor_options);
+    oracle->set_tracer(&tracer, [&loop] { return loop.now(); });
     PSTORE_CHECK_OK(oracle->Warmup(trace.Slice(0, 1)));
     PredictiveControllerOptions options;
     options.slot_sim_seconds = slot_seconds;
@@ -217,6 +240,7 @@ int main(int argc, char** argv) {
         cluster.TotalDataBytes(), migration_options) / 30.0;
     pstore_controller = std::make_unique<PredictiveController>(
         &loop, &cluster, &executor, &migration, oracle.get(), options);
+    pstore_controller->set_tracer(&tracer);
     pstore_controller->Start();
   } else if (controller_name == "reactive") {
     ReactiveControllerOptions options;
@@ -275,6 +299,65 @@ int main(int argc, char** argv) {
   std::printf("average machines:     %.2f\n\n", metrics.AverageMachines(end));
 
   const std::vector<WindowStats> windows = metrics.Finalize(end);
-  PrintAttribution(MetricsCollector::AttributeViolations(windows));
+  const SlaAttribution sla = MetricsCollector::AttributeViolations(windows);
+  PrintAttribution(sla);
+
+  if (!trace_out.empty()) {
+    // One sla.window event per window violating the 500 ms p99 SLA, then
+    // the run's headline numbers so the trace is self-describing.
+    for (const WindowStats& window : windows) {
+      if (window.p99_ms <= 500.0) continue;
+      PSTORE_TRACE(&tracer, ::pstore::obs::TraceCategory::kReport,
+                   FromSeconds(window.start_seconds), "sla.window",
+                   .With("p50_ms", window.p50_ms)
+                       .With("p95_ms", window.p95_ms)
+                       .With("p99_ms", window.p99_ms)
+                       .With("fault", window.fault)
+                       .With("migrating", window.migrating));
+    }
+    PSTORE_TRACE(&tracer, ::pstore::obs::TraceCategory::kReport, end,
+                 "run.summary",
+                 .With("controller", controller_name.c_str())
+                     .With("submitted", executor.submitted_count())
+                     .With("committed", executor.committed_count())
+                     .With("unavailable", executor.unavailable_count())
+                     .With("chunk_retries", migration.chunk_retries().value())
+                     .With("avg_machines", metrics.AverageMachines(end))
+                     .With("sla_p99_violations", sla.total.p99));
+    const Status closed = tracer.Close();
+    if (!closed.ok()) return Fail(closed.ToString());
+    std::printf("\nTrace: %lld events -> %s (render with pstore_report "
+                "--trace=%s)\n",
+                static_cast<long long>(tracer.events_emitted()),
+                trace_out.c_str(), trace_out.c_str());
+  }
+
+  const std::string bench_json = flags.GetString("bench-json", "");
+  if (!bench_json.empty()) {
+    obs::MetricsRegistry registry;
+    registry.GetCounter("engine.txn_submitted")
+        ->Increment(executor.submitted_count());
+    registry.GetCounter("engine.txn_committed")
+        ->Increment(executor.committed_count());
+    registry.GetCounter("engine.txn_unavailable")
+        ->Increment(executor.unavailable_count());
+    registry.GetCounter("migration.completed")
+        ->Increment(migration.reconfigurations_completed());
+    registry.GetCounter("migration.failed")
+        ->Increment(migration.reconfigurations_failed());
+    registry.GetCounter("migration.chunk_retries")
+        ->Increment(migration.chunk_retries().value());
+    registry.GetCounter("fault.crashes")->Increment(stats.crashes);
+    registry.GetCounter("fault.stragglers")->Increment(stats.stragglers);
+    registry.GetGauge("engine.avg_machines")->Set(metrics.AverageMachines(end));
+    registry.GetCounter("sla.p99_violations")->Increment(sla.total.p99);
+    registry.GetCounter("sla.p99_during_fault")
+        ->Increment(sla.during_fault.p99);
+    registry.GetCounter("sla.p99_during_migration")
+        ->Increment(sla.during_migration.p99);
+    const Status written = registry.WriteJson(bench_json);
+    if (!written.ok()) return Fail(written.ToString());
+    std::printf("Metrics: %s\n", bench_json.c_str());
+  }
   return 0;
 }

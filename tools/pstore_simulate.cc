@@ -18,6 +18,10 @@
 //   pstore_simulate --trace=trace.csv --seed=7 --crash-rate=0.1
 //       [--mean-outage-minutes=30] [--straggler-rate=0.2]
 //       [--fault-nodes=10]
+//
+// Machine-readable outputs:
+//   --trace-out=run.jsonl   structured event trace (see pstore_report)
+//   --bench-json=out.json   headline metrics as a JSON metrics registry
 
 #include <cstdio>
 #include <string>
@@ -26,6 +30,8 @@
 #include "common/status.h"
 #include "common/time_series.h"
 #include "fault/fault_schedule.h"
+#include "obs/metrics_registry.h"
+#include "obs/tracer.h"
 #include "prediction/spar_model.h"
 #include "sim/capacity_simulator.h"
 #include "trace/trace_io.h"
@@ -128,7 +134,18 @@ int main(int argc, char** argv) {
                 static_cast<long long>(*seed), schedule.events().size(),
                 options.faults.size());
   }
-  const CapacitySimulator sim(options);
+  options.fine_slot_sim_seconds = slot_seconds;
+  CapacitySimulator sim(options);
+
+  // Structured run trace: every decision and violation as JSONL that
+  // pstore_report can render into a timeline.
+  const std::string trace_out = flags.GetString("trace-out", "");
+  obs::Tracer tracer;
+  if (!trace_out.empty()) {
+    const Status opened = tracer.OpenJsonl(trace_out);
+    if (!opened.ok()) return Fail(opened.ToString());
+    sim.set_tracer(&tracer);
+  }
 
   const std::string strategy = flags.GetString("strategy", "pstore");
   std::printf("Strategy %s over %zu evaluation slots (Q=%.0f Qhat=%.0f "
@@ -136,6 +153,7 @@ int main(int argc, char** argv) {
               strategy.c_str(), trace->size() - options.eval_begin, *q,
               *qhat, *d_minutes);
 
+  SimResult sim_result;
   if (strategy == "pstore") {
     const TimeSeries coarse = trace->DownsampleMean(options.plan_slot_factor);
     SparOptions spar_options;
@@ -150,6 +168,7 @@ int main(int argc, char** argv) {
     StatusOr<SimResult> result = sim.RunPredictive(*trace, spar);
     if (!result.ok()) return Fail(result.status().ToString());
     Report(*result, slot_seconds);
+    sim_result = *result;
   } else if (strategy == "reactive") {
     ReactiveSimParams params;
     const StatusOr<double> watermark =
@@ -159,6 +178,7 @@ int main(int argc, char** argv) {
     StatusOr<SimResult> result = sim.RunReactive(*trace, params);
     if (!result.ok()) return Fail(result.status().ToString());
     Report(*result, slot_seconds);
+    sim_result = *result;
   } else if (strategy == "static") {
     const StatusOr<int64_t> nodes = flags.GetInt("nodes", 10);
     if (!nodes.ok()) return Fail(nodes.status().ToString());
@@ -166,6 +186,7 @@ int main(int argc, char** argv) {
         sim.RunStatic(*trace, static_cast<int>(*nodes));
     if (!result.ok()) return Fail(result.status().ToString());
     Report(*result, slot_seconds);
+    sim_result = *result;
   } else if (strategy == "simple") {
     SimpleSimParams params;
     params.slots_per_day = static_cast<int>(slots_per_day);
@@ -178,9 +199,41 @@ int main(int argc, char** argv) {
     StatusOr<SimResult> result = sim.RunSimple(*trace, params);
     if (!result.ok()) return Fail(result.status().ToString());
     Report(*result, slot_seconds);
+    sim_result = *result;
   } else {
     return Fail("unknown --strategy (pstore|reactive|static|simple): " +
                 strategy);
+  }
+
+  if (!trace_out.empty()) {
+    const Status closed = tracer.Close();
+    if (!closed.ok()) return Fail(closed.ToString());
+    std::printf("\nTrace: %lld events -> %s (render with pstore_report "
+                "--trace=%s)\n",
+                static_cast<long long>(tracer.events_emitted()),
+                trace_out.c_str(), trace_out.c_str());
+  }
+
+  const std::string bench_json = flags.GetString("bench-json", "");
+  if (!bench_json.empty()) {
+    obs::MetricsRegistry registry;
+    registry.GetGauge("sim.machine_hours")
+        ->Set(sim_result.machine_slots * slot_seconds / 3600.0);
+    registry.GetGauge("sim.insufficient_fraction")
+        ->Set(sim_result.insufficient_fraction);
+    registry.GetCounter("sim.insufficient_slots")
+        ->Increment(sim_result.insufficient_slots);
+    registry.GetCounter("sim.insufficient_during_move_slots")
+        ->Increment(sim_result.insufficient_during_move_slots);
+    registry.GetCounter("sim.insufficient_during_fault_slots")
+        ->Increment(sim_result.insufficient_during_fault_slots);
+    registry.GetCounter("sim.move_slots")->Increment(sim_result.move_slots);
+    registry.GetCounter("sim.fault_slots")->Increment(sim_result.fault_slots);
+    registry.GetCounter("sim.reconfigurations")
+        ->Increment(sim_result.reconfigurations);
+    const Status written = registry.WriteJson(bench_json);
+    if (!written.ok()) return Fail(written.ToString());
+    std::printf("Metrics: %s\n", bench_json.c_str());
   }
   return 0;
 }
