@@ -42,7 +42,7 @@ Result RunShare(double multi_fraction, double rate) {
   MetricsCollector metrics(1.0);
   TxnExecutor executor(&cluster, &metrics, ExecutorOptions{});
   PSTORE_CHECK_OK(ycsb::Workload::RegisterProcedures(&executor));
-  ycsb::WorkloadOptions options;
+  ycsb::YcsbWorkloadOptions options;
   options.record_count = 200000;
   options.multi_key_fraction = multi_fraction;
   ycsb::Workload workload(options);

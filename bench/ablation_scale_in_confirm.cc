@@ -5,11 +5,21 @@
 // long confirmation the cluster holds surplus machines after the peak.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/status.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pstore;
+  FlagParser flags;
+  PSTORE_CHECK_OK(flags.Parse(argc - 1, argv + 1));
+  const StatusOr<int64_t> threads = flags.GetInt("threads", 0);
+  PSTORE_CHECK_OK(threads.status());
+
   bench::PrintHeader(
       "Ablation: scale-in confirmation cycles (paper uses 3)",
       "too few -> reconfiguration flapping; too many -> paying for idle "
@@ -22,13 +32,22 @@ int main() {
   }
   std::printf("%14s %16s %14s %10s %10s\n", "confirm cycles",
               "reconfigurations", "avg machines", "p95 viol", "p99 viol");
-  for (const int cycles : {1, 3, 10, 30}) {
+  const std::vector<int> confirm_cycles = {1, 3, 10, 30};
+  std::vector<bench::EngineRunConfig> configs;
+  for (const int cycles : confirm_cycles) {
     bench::EngineRunConfig config;
-    config.approach = bench::Approach::kPStoreSpar;
+    config.spec.label = "confirm-" + std::to_string(cycles);
+    config.spec.strategy = Strategy::kPredictive;
     config.nodes = 4;
     config.replay_days = 2;
     config.scale_in_confirm_cycles = cycles;
-    const bench::EngineRunResult run = bench::RunEngineExperiment(config);
+    configs.push_back(config);
+  }
+  const std::vector<bench::EngineRunResult> runs =
+      bench::RunEngineExperiments(configs, static_cast<int>(*threads));
+  for (size_t c = 0; c < runs.size(); ++c) {
+    const int cycles = confirm_cycles[c];
+    const bench::EngineRunResult& run = runs[c];
     std::printf("%14d %16d %14.2f %10lld %10lld\n", cycles,
                 run.reconfigurations, run.avg_machines,
                 static_cast<long long>(run.violations.p95),

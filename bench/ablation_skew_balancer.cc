@@ -45,7 +45,7 @@ SkewResult RunSkewed(double theta, bool balance, double rate) {
   MetricsCollector metrics(1.0);
   TxnExecutor executor(&cluster, &metrics, ExecutorOptions{});
   PSTORE_CHECK_OK(ycsb::Workload::RegisterProcedures(&executor));
-  ycsb::WorkloadOptions workload_options;
+  ycsb::YcsbWorkloadOptions workload_options;
   workload_options.record_count = 200000;
   workload_options.zipf_theta = theta;
   workload_options.mix = ycsb::Mix::kB;

@@ -3,10 +3,14 @@
 #include <cstdio>
 #include <filesystem>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "b2w/procedures.h"
 #include "b2w/workload.h"
+#include "common/check.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "common/rng.h"
 #include "common/sim_time.h"
 #include "common/status.h"
@@ -56,45 +60,53 @@ void CloseCsv(CsvWriter* csv) {
   }
 }
 
-const char* ApproachName(Approach approach) {
-  switch (approach) {
-    case Approach::kStatic:
+const char* EngineApproachLabel(const EngineRunConfig& config) {
+  switch (config.spec.strategy) {
+    case Strategy::kStatic:
       return "Static";
-    case Approach::kReactive:
+    case Strategy::kReactive:
       return "Reactive";
-    case Approach::kPStoreSpar:
-      return "P-Store (SPAR)";
-    case Approach::kPStoreOracle:
-      return "P-Store (Oracle)";
+    case Strategy::kPredictive:
+      return config.oracle_predictor ? "P-Store (Oracle)" : "P-Store (SPAR)";
+    case Strategy::kSimple:
+      break;  // no engine controller; rejected by RunEngineExperiment
   }
   return "?";
 }
 
-TimeSeries EngineTrace(const EngineRunConfig& config) {
-  B2wTraceOptions options;
-  options.days = config.training_days + config.replay_days;
+WorkloadSpec EngineWorkload(const EngineRunConfig& config) {
+  WorkloadSpec workload;
+  workload.kind = WorkloadSpec::Kind::kB2wSynthetic;
+  workload.b2w.days = config.training_days + config.replay_days;
   // ~1500 txn/s at 10x acceleration: 10 machines at Q-hat = 350 leave
   // comfortable headroom, 4 do not (the paper's Fig. 9 setup).
-  options.peak_requests_per_min = 9000.0;
-  options.seed = config.trace_seed;
-  options.black_friday_day = config.black_friday_day;
+  workload.b2w.peak_requests_per_min = 9000.0;
+  workload.b2w.seed = config.spec.seed;
+  workload.b2w.black_friday_day = config.black_friday_day;
   // req/min -> txn/s at 10x replay speed, scaled.
-  TimeSeries trace =
-      GenerateB2wTrace(options).Scaled(10.0 / 60.0 * config.scale);
+  workload.scale = 10.0 / 60.0 * config.scale;
   if (config.inject_spike) {
-    SpikeOptions spike;
+    workload.inject_spike = true;
     // Mid-afternoon of the first replayed day, on the peak's shoulder.
-    spike.start_slot = static_cast<size_t>(config.training_days) * 1440 + 660;
-    spike.ramp_slots = 15;
-    spike.sustain_slots = 90;
-    spike.decay_slots = 90;
-    spike.magnitude = config.spike_magnitude;
-    trace = InjectSpike(trace, spike);
+    workload.spike.start_slot =
+        static_cast<size_t>(config.training_days) * 1440 + 660;
+    workload.spike.ramp_slots = 15;
+    workload.spike.sustain_slots = 90;
+    workload.spike.decay_slots = 90;
+    workload.spike.magnitude = config.spike_magnitude;
   }
-  return trace;
+  return workload;
+}
+
+TimeSeries EngineTrace(const EngineRunConfig& config) {
+  StatusOr<TimeSeries> trace = BuildWorkloadTrace(EngineWorkload(config));
+  PSTORE_CHECK_OK(trace.status());
+  return *std::move(trace);
 }
 
 EngineRunResult RunEngineExperiment(const EngineRunConfig& config) {
+  // The Simple day/night schedule exists only in the capacity simulator.
+  PSTORE_CHECK(config.spec.strategy != Strategy::kSimple);
   const TimeSeries trace = EngineTrace(config);
   const size_t replay_begin =
       static_cast<size_t>(config.training_days) * 1440;
@@ -110,7 +122,7 @@ EngineRunResult RunEngineExperiment(const EngineRunConfig& config) {
   TxnExecutor executor(&cluster, &metrics, ExecutorOptions{});
   PSTORE_CHECK_OK(b2w::RegisterProcedures(&executor));
 
-  b2w::WorkloadOptions workload_options;
+  b2w::B2wWorkloadOptions workload_options;
   workload_options.cart_pool =
       static_cast<uint64_t>(300000 * config.scale);
   workload_options.checkout_pool =
@@ -127,15 +139,15 @@ EngineRunResult RunEngineExperiment(const EngineRunConfig& config) {
   migration_options.chunk_bytes = 1000 * 1000;
   migration_options.extract_rate_bytes_per_sec = 20e6;
   MigrationManager migration(&loop, &cluster, &metrics, migration_options);
-  executor.set_tracer(config.tracer);
-  migration.set_tracer(config.tracer);
+  executor.set_tracer(config.spec.tracer);
+  migration.set_tracer(config.spec.tracer);
   metrics.RecordMachines(0, config.nodes);
 
   std::unique_ptr<FaultInjector> injector;
   if (!config.faults.empty()) {
     injector = std::make_unique<FaultInjector>(
         &loop, &cluster, &metrics, FaultSchedule::Scripted(config.faults));
-    injector->set_tracer(config.tracer);
+    injector->set_tracer(config.spec.tracer);
     migration.set_fault_hook(injector.get());
     injector->Arm();
   }
@@ -144,12 +156,12 @@ EngineRunResult RunEngineExperiment(const EngineRunConfig& config) {
   driver_options.slot_sim_seconds = 6.0;  // one trace minute at 10x
   driver_options.rate_factor = 1.0;       // trace already in txn/s
   driver_options.start_slot = replay_begin;
-  driver_options.seed = config.trace_seed * 7919 + 13;
+  driver_options.seed = config.spec.seed * 7919 + 13;
   WorkloadDriver driver(
       &loop, &executor, trace,
       [&workload](Rng& rng) { return workload.NextTransaction(rng); },
       driver_options);
-  driver.set_tracer(config.tracer);
+  driver.set_tracer(config.spec.tracer);
 
   PlannerParams planner_params;
   planner_params.target_rate_per_node = 285.0 * config.scale;
@@ -164,15 +176,14 @@ EngineRunResult RunEngineExperiment(const EngineRunConfig& config) {
   std::unique_ptr<PredictiveController> predictive;
   std::unique_ptr<ReactiveController> reactive;
 
-  if (config.approach == Approach::kPStoreSpar ||
-      config.approach == Approach::kPStoreOracle) {
+  if (config.spec.strategy == Strategy::kPredictive) {
     OnlinePredictorOptions online_options;
     online_options.inflation = 1.15;  // §8.2: predictions inflated by 15%
     online_options.training_window =
         static_cast<size_t>(config.training_days) * 1440;
     online_options.refit_interval = 7 * 1440;  // weekly (§7)
     std::unique_ptr<LoadPredictor> model;
-    if (config.approach == Approach::kPStoreSpar) {
+    if (!config.oracle_predictor) {
       SparOptions spar_options;
       spar_options.period = 1440;
       spar_options.num_periods = 7;
@@ -185,7 +196,8 @@ EngineRunResult RunEngineExperiment(const EngineRunConfig& config) {
     }
     predictor = std::make_unique<OnlinePredictor>(std::move(model),
                                                   online_options);
-    predictor->set_tracer(config.tracer, [&loop] { return loop.now(); });
+    predictor->set_tracer(config.spec.tracer,
+                          [&loop] { return loop.now(); });
     PSTORE_CHECK_OK(predictor->Warmup(trace.Slice(0, replay_begin)));
 
     PredictiveControllerOptions options;
@@ -197,9 +209,9 @@ EngineRunResult RunEngineExperiment(const EngineRunConfig& config) {
     options.planner_params = planner_params;
     predictive = std::make_unique<PredictiveController>(
         &loop, &cluster, &executor, &migration, predictor.get(), options);
-    predictive->set_tracer(config.tracer);
+    predictive->set_tracer(config.spec.tracer);
     predictive->Start();
-  } else if (config.approach == Approach::kReactive) {
+  } else if (config.spec.strategy == Strategy::kReactive) {
     ReactiveControllerOptions options;
     options.slot_sim_seconds = 6.0;
     options.planner_params = planner_params;
@@ -227,12 +239,12 @@ EngineRunResult RunEngineExperiment(const EngineRunConfig& config) {
       static_cast<int>(migration.reconfigurations_failed());
   result.chunk_retries = migration.chunk_retries().value();
 
-  if (config.tracer != nullptr) {
+  if (config.spec.tracer != nullptr) {
     // One sla.window event per window violating the 500 ms p99 SLA, then
     // the run's headline numbers so the trace is self-describing.
     for (const WindowStats& window : result.windows) {
       if (window.p99_ms <= 500.0) continue;
-      PSTORE_TRACE(config.tracer, ::pstore::obs::TraceCategory::kReport,
+      PSTORE_TRACE(config.spec.tracer, ::pstore::obs::TraceCategory::kReport,
                    FromSeconds(window.start_seconds), "sla.window",
                    .With("p50_ms", window.p50_ms)
                        .With("p95_ms", window.p95_ms)
@@ -240,9 +252,10 @@ EngineRunResult RunEngineExperiment(const EngineRunConfig& config) {
                        .With("fault", window.fault)
                        .With("migrating", window.migrating));
     }
-    PSTORE_TRACE(config.tracer, ::pstore::obs::TraceCategory::kReport, end,
-                 "run.summary",
-                 .With("approach", ApproachName(config.approach))
+    PSTORE_TRACE(config.spec.tracer, ::pstore::obs::TraceCategory::kReport,
+                 end, "run.summary",
+                 .With("label", config.spec.label)
+                     .With("approach", EngineApproachLabel(config))
                      .With("committed", result.committed)
                      .With("unavailable", result.unavailable)
                      .With("avg_machines", result.avg_machines)
@@ -251,6 +264,24 @@ EngineRunResult RunEngineExperiment(const EngineRunConfig& config) {
                      .With("sla_p99_violations", result.violations.p99));
   }
   return result;
+}
+
+std::vector<EngineRunResult> RunEngineExperiments(
+    const std::vector<EngineRunConfig>& configs, int threads) {
+  // Tracers are single-threaded sinks: concurrent runs must not share
+  // one (null is fine, it means "no tracing").
+  for (size_t i = 0; i < configs.size(); ++i) {
+    if (configs[i].spec.tracer == nullptr) continue;
+    for (size_t j = i + 1; j < configs.size(); ++j) {
+      PSTORE_CHECK(configs[j].spec.tracer != configs[i].spec.tracer);
+    }
+  }
+  std::vector<EngineRunResult> results(configs.size());
+  ThreadPool pool(ResolveThreadCount(threads));
+  pool.ParallelFor(configs.size(), [&](size_t i) {
+    results[i] = RunEngineExperiment(configs[i]);
+  });
+  return results;
 }
 
 void PrintRunSummary(const std::string& label, const EngineRunResult& run) {

@@ -9,7 +9,7 @@
 #include "common/time_series.h"
 #include "engine/metrics.h"
 #include "fault/fault_schedule.h"
-#include "obs/tracer.h"
+#include "sim/run_spec.h"
 
 namespace pstore {
 namespace bench {
@@ -28,28 +28,40 @@ void CloseCsv(CsvWriter* csv);
 
 // ---- Shared engine experiment (Figs. 7-11, Table 2) ------------------------
 
-// Which elasticity approach drives the cluster.
-enum class Approach {
-  kStatic,
-  kReactive,
-  kPStoreSpar,
-  kPStoreOracle,
-};
-
-const char* ApproachName(Approach approach);
-
 // Configuration of one engine run replaying the B2W benchmark at 10x
 // acceleration (paper §7: one trace minute = 6 simulated seconds).
+//
+// The run description lives in `spec` (sim/run_spec.h), the same type
+// the capacity-simulator sweeps and CLI tools construct:
+//   spec.label    - name used in banners and the run.summary event
+//   spec.strategy - kPredictive / kReactive / kStatic (kSimple has no
+//                   engine controller and is rejected)
+//   spec.seed     - trace generator seed; equal seeds, equal workloads
+//   spec.tracer   - optional structured tracer wired through the whole
+//                   stack (engine, driver, migration, predictor,
+//                   controller, faults). The run emits sla.window events
+//                   for violating windows and a final run.summary; the
+//                   caller owns the tracer and must Close() it after the
+//                   run.
+// spec.workload is derived from the knobs below by EngineWorkload();
+// callers leave it default-constructed.
 struct EngineRunConfig {
-  Approach approach = Approach::kPStoreSpar;
+  EngineRunConfig() {
+    spec.label = "P-Store";
+    spec.strategy = Strategy::kPredictive;
+    spec.seed = 42;
+  }
+
+  RunSpec spec;
+  // kPredictive only: drive the controller with a perfect oracle model
+  // instead of SPAR (the paper's "P-Store Oracle" variant).
+  bool oracle_predictor = false;
   // Days of trace replayed (after the training window).
   int replay_days = 3;
   // Days of history used to train SPAR (and to warm the predictor).
   int training_days = 28;
   // Machines for kStatic; initial machines otherwise.
   int nodes = 4;
-  // Trace generator seed; equal seeds give identical workloads.
-  uint64_t trace_seed = 42;
   // Inject an unexpected flash-crowd spike (Fig. 11)?
   bool inject_spike = false;
   double spike_magnitude = 2.2;
@@ -66,12 +78,11 @@ struct EngineRunConfig {
   // Scripted fault events injected during the replay (empty = no fault
   // injection; event times are simulated seconds from replay start).
   std::vector<FaultEvent> faults;
-  // Optional structured tracer wired through the whole stack (engine,
-  // driver, migration, predictor, controller, faults). The run emits
-  // sla.window events for violating windows and a final run.summary; the
-  // caller owns the tracer and must Close() it after the run.
-  obs::Tracer* tracer = nullptr;
 };
+
+// Human-readable approach name derived from the spec ("Static",
+// "Reactive", "P-Store (SPAR)", "P-Store (Oracle)").
+const char* EngineApproachLabel(const EngineRunConfig& config);
 
 // Result of one run: per-second window stats plus summary numbers.
 struct EngineRunResult {
@@ -93,6 +104,18 @@ struct EngineRunResult {
 // Runs the full engine experiment for one approach. Deterministic for a
 // given config.
 EngineRunResult RunEngineExperiment(const EngineRunConfig& config);
+
+// Runs independent engine experiments concurrently on a deterministic
+// ThreadPool (threads < 1 = hardware concurrency) and returns results by
+// config index, so the output is identical to running each serially.
+// Concurrent configs must not share a spec.tracer (checked).
+std::vector<EngineRunResult> RunEngineExperiments(
+    const std::vector<EngineRunConfig>& configs, int threads);
+
+// The workload description behind EngineTrace: a seeded B2W synthetic
+// trace (txn/s units at 10x acceleration) including the training prefix,
+// plus the optional Fig. 11 flash-crowd spike.
+WorkloadSpec EngineWorkload(const EngineRunConfig& config);
 
 // The per-minute B2W load trace used by the engine runs (txn/s units at
 // 10x acceleration), including training prefix.

@@ -85,7 +85,8 @@ int main() {
       "the SLA; violations under the fault are attributed to it");
 
   bench::EngineRunConfig config;
-  config.approach = bench::Approach::kPStoreSpar;
+  config.spec.label = "chaos-drill";
+  config.spec.strategy = Strategy::kPredictive;
   config.training_days = kTrainingDays;
   config.replay_days = kReplayDays;
   config.black_friday_day = kBlackFridayDay;

@@ -49,7 +49,7 @@ int main() {
     MetricsCollector metrics(1.0);
     TxnExecutor executor(&cluster, &metrics, ExecutorOptions{});
     PSTORE_CHECK_OK(b2w::RegisterProcedures(&executor));
-    b2w::WorkloadOptions workload_options;
+    b2w::B2wWorkloadOptions workload_options;
     workload_options.cart_pool = 100000;
     workload_options.checkout_pool = 40000;
     b2w::Workload workload(workload_options);

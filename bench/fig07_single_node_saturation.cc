@@ -38,7 +38,7 @@ int main() {
   TxnExecutor executor(&cluster, &metrics, ExecutorOptions{});
   PSTORE_CHECK_OK(b2w::RegisterProcedures(&executor));
 
-  b2w::WorkloadOptions workload_options;
+  b2w::B2wWorkloadOptions workload_options;
   workload_options.cart_pool = 30000;
   workload_options.checkout_pool = 12000;
   b2w::Workload workload(workload_options);

@@ -4,15 +4,27 @@
 // static-10 is clean but wasteful, static-4 cheap but slow at peak,
 // reactive spikes latency at every ramp, and P-Store reconfigures ahead
 // of demand with few violations at ~half the machines of static-10.
+//
+// The four runs are independent, so they are evaluated concurrently on
+// the deterministic thread pool (--threads N, default: hardware
+// concurrency); results are identical for any thread count.
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench_util.h"
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/status.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pstore;
-  using bench::Approach;
+  FlagParser flags;
+  PSTORE_CHECK_OK(flags.Parse(argc - 1, argv + 1));
+  const StatusOr<int64_t> threads = flags.GetInt("threads", 0);
+  PSTORE_CHECK_OK(threads.status());
+
   bench::PrintHeader(
       "Figure 9: comparison of elasticity approaches (3-day B2W replay)",
       "P-Store: few latency spikes at ~5 machines avg; reactive: spikes "
@@ -20,24 +32,32 @@ int main() {
 
   struct Config {
     const char* label;
-    Approach approach;
+    Strategy strategy;
     int nodes;
     const char* csv;
   };
   const Config configs[] = {
-      {"Static-10", Approach::kStatic, 10, "fig09a_static10.csv"},
-      {"Static-4", Approach::kStatic, 4, "fig09b_static4.csv"},
-      {"Reactive", Approach::kReactive, 4, "fig09c_reactive.csv"},
-      {"P-Store", Approach::kPStoreSpar, 4, "fig09d_pstore.csv"},
+      {"Static-10", Strategy::kStatic, 10, "fig09a_static10.csv"},
+      {"Static-4", Strategy::kStatic, 4, "fig09b_static4.csv"},
+      {"Reactive", Strategy::kReactive, 4, "fig09c_reactive.csv"},
+      {"P-Store", Strategy::kPredictive, 4, "fig09d_pstore.csv"},
   };
 
+  std::vector<bench::EngineRunConfig> run_configs;
   for (const Config& config : configs) {
     bench::EngineRunConfig run_config;
-    run_config.approach = config.approach;
+    run_config.spec.label = config.label;
+    run_config.spec.strategy = config.strategy;
     run_config.nodes = config.nodes;
     run_config.replay_days = 3;
-    const bench::EngineRunResult run =
-        bench::RunEngineExperiment(run_config);
+    run_configs.push_back(run_config);
+  }
+  const std::vector<bench::EngineRunResult> runs =
+      bench::RunEngineExperiments(run_configs, static_cast<int>(*threads));
+
+  for (size_t c = 0; c < runs.size(); ++c) {
+    const Config& config = configs[c];
+    const bench::EngineRunResult& run = runs[c];
     bench::PrintRunSummary(config.label, run);
 
     auto csv = bench::OpenCsv(config.csv);

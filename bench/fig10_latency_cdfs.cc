@@ -9,6 +9,9 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/status.h"
 
 namespace {
 
@@ -30,8 +33,12 @@ std::vector<double> TopOnePercent(const std::vector<WindowStats>& windows,
 
 }  // namespace
 
-int main() {
-  using bench::Approach;
+int main(int argc, char** argv) {
+  FlagParser flags;
+  PSTORE_CHECK_OK(flags.Parse(argc - 1, argv + 1));
+  const StatusOr<int64_t> threads = flags.GetInt("threads", 0);
+  PSTORE_CHECK_OK(threads.status());
+
   bench::PrintHeader(
       "Figure 10: CDFs of the top 1% of per-second p50/p95/p99 latencies",
       "reactive worst everywhere; static-4 loses badly at p95/p99; "
@@ -39,14 +46,14 @@ int main() {
 
   struct Config {
     const char* label;
-    Approach approach;
+    Strategy strategy;
     int nodes;
   };
   const Config configs[] = {
-      {"Static-10", Approach::kStatic, 10},
-      {"Static-4", Approach::kStatic, 4},
-      {"Reactive", Approach::kReactive, 4},
-      {"P-Store", Approach::kPStoreSpar, 4},
+      {"Static-10", Strategy::kStatic, 10},
+      {"Static-4", Strategy::kStatic, 4},
+      {"Reactive", Strategy::kReactive, 4},
+      {"P-Store", Strategy::kPredictive, 4},
   };
 
   auto csv = bench::OpenCsv("fig10_latency_cdfs.csv");
@@ -60,16 +67,23 @@ int main() {
     std::vector<double> p95;
     std::vector<double> p99;
   };
-  std::vector<Curves> all;
+  std::vector<bench::EngineRunConfig> run_configs;
   for (const Config& config : configs) {
     bench::EngineRunConfig run_config;
-    run_config.approach = config.approach;
+    run_config.spec.label = config.label;
+    run_config.spec.strategy = config.strategy;
     run_config.nodes = config.nodes;
     run_config.replay_days = 2;
-    const bench::EngineRunResult run =
-        bench::RunEngineExperiment(run_config);
+    run_configs.push_back(run_config);
+  }
+  const std::vector<bench::EngineRunResult> runs =
+      bench::RunEngineExperiments(run_configs, static_cast<int>(*threads));
+
+  std::vector<Curves> all;
+  for (size_t c = 0; c < runs.size(); ++c) {
+    const bench::EngineRunResult& run = runs[c];
     Curves curves;
-    curves.label = config.label;
+    curves.label = configs[c].label;
     curves.p50 = TopOnePercent(run.windows, &WindowStats::p50_ms);
     curves.p95 = TopOnePercent(run.windows, &WindowStats::p95_ms);
     curves.p99 = TopOnePercent(run.windows, &WindowStats::p99_ms);

@@ -6,12 +6,21 @@
 // 22/44/51 — higher median impact but fewer total violation-seconds.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/status.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pstore;
-  using bench::Approach;
+  FlagParser flags;
+  PSTORE_CHECK_OK(flags.Parse(argc - 1, argv + 1));
+  const StatusOr<int64_t> threads = flags.GetInt("threads", 0);
+  PSTORE_CHECK_OK(threads.status());
+
   bench::PrintHeader(
       "Figure 11: reacting to an unexpected spike at rate R vs R x 8",
       "R x 8 trades a little migration overhead for far fewer "
@@ -23,17 +32,22 @@ int main() {
                    "p99_violations", "avg_machines"});
   }
 
-  bench::EngineRunResult results[2];
   const char* labels[2] = {"Rate R", "Rate R x 8"};
+  std::vector<bench::EngineRunConfig> configs;
   for (int fast = 0; fast < 2; ++fast) {
     bench::EngineRunConfig config;
-    config.approach = Approach::kPStoreSpar;
+    config.spec.label = labels[fast];
+    config.spec.strategy = Strategy::kPredictive;
     config.nodes = 4;
     config.replay_days = 1;
     config.inject_spike = true;
     config.spike_magnitude = 2.2;
     config.fast_reactive_fallback = fast == 1;
-    results[fast] = bench::RunEngineExperiment(config);
+    configs.push_back(config);
+  }
+  const std::vector<bench::EngineRunResult> results =
+      bench::RunEngineExperiments(configs, static_cast<int>(*threads));
+  for (size_t fast = 0; fast < results.size(); ++fast) {
     bench::PrintRunSummary(labels[fast], results[fast]);
     if (csv) {
       csv->WriteRow({labels[fast],

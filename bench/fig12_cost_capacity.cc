@@ -4,18 +4,24 @@
 // count for Static), simulated over months of B2W load including a
 // Black-Friday surge. The paper's ordering at matched cost:
 // P-Store-Oracle <= P-Store-SPAR < Reactive < Simple < Static.
+//
+// All 26 grid points are independent RunSpecs evaluated concurrently by
+// RunSweep (--threads N, default: hardware concurrency). Results are
+// collected by spec index, so the CSV is identical for any thread count.
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
-#include "common/logging.h"
+#include "common/check.h"
+#include "common/flags.h"
 #include "common/status.h"
 #include "common/time_series.h"
 #include "prediction/naive_models.h"
 #include "prediction/spar_model.h"
 #include "sim/capacity_simulator.h"
+#include "sim/run_spec.h"
 #include "trace/b2w_trace_generator.h"
 
 namespace {
@@ -49,7 +55,12 @@ struct Point {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  FlagParser flags;
+  PSTORE_CHECK_OK(flags.Parse(argc - 1, argv + 1));
+  const StatusOr<int64_t> threads = flags.GetInt("threads", 0);
+  PSTORE_CHECK_OK(threads.status());
+
   bench::PrintHeader(
       "Figure 12: cost vs %% time with insufficient capacity "
       "(long-horizon simulation incl. Black Friday)",
@@ -65,7 +76,8 @@ int main() {
       GenerateB2wTrace(trace_options).Scaled(10.0 / 60.0);
   const TimeSeries coarse = trace.DownsampleMean(5);
 
-  // Predictors, fitted once on the training window.
+  // Predictors, fitted once on the training window and shared read-only
+  // by every predictive spec in the sweep.
   SparOptions spar_options;
   spar_options.period = 1440 / 5;
   spar_options.num_periods = 7;
@@ -75,60 +87,82 @@ int main() {
   PSTORE_CHECK_OK(spar.Fit(coarse.Slice(0, kTrainDays * 288)));
   OraclePredictor oracle(coarse);
 
-  std::vector<Point> points;
-  auto add_point = [&](const std::string& strategy, const std::string& knob,
-                       const StatusOr<SimResult>& result) {
-    PSTORE_CHECK_OK(result.status());
-    Point point;
-    point.strategy = strategy;
-    point.knob = knob;
-    point.cost = result->machine_slots;
-    point.insufficient_percent = 100.0 * result->insufficient_fraction;
-    points.push_back(point);
-    std::printf("  %-16s %-18s cost=%12.0f  insufficient=%7.3f%%\n",
-                strategy.c_str(), knob.c_str(), point.cost,
-                point.insufficient_percent);
-  };
+  // The full strategy/knob grid, one RunSpec per point. Every spec
+  // borrows the same (read-only) trace.
+  std::vector<RunSpec> specs;
+  std::vector<std::string> strategy_names;  // display name, by spec index
+  RunSpec base;
+  base.workload.kind = WorkloadSpec::Kind::kProvided;
+  base.workload.provided = &trace;
+  base.sim = BaseOptions();
 
   // P-Store with SPAR and Oracle: sweep Q.
   for (const double q : {200.0, 240.0, 285.0, 320.0, 340.0}) {
-    SimOptions options = BaseOptions();
-    options.q = q;
-    const CapacitySimulator sim(options);
-    add_point("P-Store SPAR", "Q=" + std::to_string(static_cast<int>(q)),
-              sim.RunPredictive(trace, spar));
-    SimOptions oracle_options = options;
-    oracle_options.inflation = 1.0;
-    const CapacitySimulator oracle_sim(oracle_options);
-    add_point("P-Store Oracle", "Q=" + std::to_string(static_cast<int>(q)),
-              oracle_sim.RunPredictive(trace, oracle));
+    RunSpec spec = base;
+    spec.label = "Q=" + std::to_string(static_cast<int>(q));
+    spec.strategy = Strategy::kPredictive;
+    spec.sim.q = q;
+    spec.predictor = &spar;
+    strategy_names.push_back("P-Store SPAR");
+    specs.push_back(spec);
+    spec.sim.inflation = 1.0;
+    spec.predictor = &oracle;
+    strategy_names.push_back("P-Store Oracle");
+    specs.push_back(spec);
   }
 
   // Reactive: sweep the watermark buffer.
   for (const double watermark : {1.1, 1.0, 0.9, 0.8, 0.7}) {
-    ReactiveSimParams params;
-    params.high_watermark = watermark;
-    const CapacitySimulator sim(BaseOptions());
+    RunSpec spec = base;
     char knob[32];
     std::snprintf(knob, sizeof(knob), "watermark=%.1f", watermark);
-    add_point("Reactive", knob, sim.RunReactive(trace, params));
+    spec.label = knob;
+    spec.strategy = Strategy::kReactive;
+    spec.reactive.high_watermark = watermark;
+    strategy_names.push_back("Reactive");
+    specs.push_back(spec);
   }
 
   // Simple: sweep day machines.
   for (const int day_nodes : {8, 10, 12, 16, 20}) {
-    SimpleSimParams params;
-    params.day_nodes = day_nodes;
-    params.night_nodes = 3;
-    const CapacitySimulator sim(BaseOptions());
-    add_point("Simple", "day=" + std::to_string(day_nodes),
-              sim.RunSimple(trace, params));
+    RunSpec spec = base;
+    spec.label = "day=" + std::to_string(day_nodes);
+    spec.strategy = Strategy::kSimple;
+    spec.simple.day_nodes = day_nodes;
+    spec.simple.night_nodes = 3;
+    strategy_names.push_back("Simple");
+    specs.push_back(spec);
   }
 
   // Static: sweep machine count.
   for (const int nodes : {4, 6, 8, 10, 14, 20}) {
-    const CapacitySimulator sim(BaseOptions());
-    add_point("Static", std::to_string(nodes) + " machines",
-              sim.RunStatic(trace, nodes));
+    RunSpec spec = base;
+    spec.label = std::to_string(nodes) + " machines";
+    spec.strategy = Strategy::kStatic;
+    spec.static_nodes = nodes;
+    strategy_names.push_back("Static");
+    specs.push_back(spec);
+  }
+
+  SweepOptions sweep_options;
+  sweep_options.threads = static_cast<int>(*threads);
+  const StatusOr<SweepResult> sweep = RunSweep(specs, sweep_options);
+  PSTORE_CHECK_OK(sweep.status());
+  std::printf("(%zu runs swept on %d threads)\n", specs.size(),
+              sweep->threads);
+
+  std::vector<Point> points;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    Point point;
+    point.strategy = strategy_names[i];
+    point.knob = specs[i].label;
+    point.cost = sweep->results[i].machine_slots;
+    point.insufficient_percent =
+        100.0 * sweep->results[i].insufficient_fraction;
+    points.push_back(point);
+    std::printf("  %-16s %-18s cost=%12.0f  insufficient=%7.3f%%\n",
+                point.strategy.c_str(), point.knob.c_str(), point.cost,
+                point.insufficient_percent);
   }
 
   // Normalize cost to P-Store SPAR at the default Q = 285.

@@ -8,13 +8,16 @@
 #include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench_util.h"
-#include "common/logging.h"
+#include "common/check.h"
+#include "common/flags.h"
 #include "common/status.h"
 #include "common/time_series.h"
 #include "prediction/spar_model.h"
 #include "sim/capacity_simulator.h"
+#include "sim/run_spec.h"
 #include "trace/b2w_trace_generator.h"
 
 namespace {
@@ -27,7 +30,12 @@ constexpr int kBlackFriday = 70;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  FlagParser flags;
+  PSTORE_CHECK_OK(flags.Parse(argc - 1, argv + 1));
+  const StatusOr<int64_t> threads = flags.GetInt("threads", 0);
+  PSTORE_CHECK_OK(threads.status());
+
   bench::PrintHeader(
       "Figure 13: load vs effective capacity on ordinary days and around "
       "Black Friday",
@@ -53,7 +61,6 @@ int main() {
   options.initial_nodes = 4;
   options.max_nodes = 60;
   options.eval_begin = kTrainDays * 1440;
-  const CapacitySimulator sim(options);
 
   SparOptions spar_options;
   spar_options.period = 1440 / 5;
@@ -63,15 +70,38 @@ int main() {
   SparPredictor spar(spar_options);
   PSTORE_CHECK_OK(spar.Fit(coarse.Slice(0, kTrainDays * 288)));
 
-  StatusOr<SimResult> pstore = sim.RunPredictive(trace, spar);
-  SimpleSimParams simple_params;
-  simple_params.day_nodes = 10;
-  simple_params.night_nodes = 3;
-  StatusOr<SimResult> simple = sim.RunSimple(trace, simple_params);
-  StatusOr<SimResult> fixed = sim.RunStatic(trace, 10);
-  PSTORE_CHECK_OK(pstore.status());
-  PSTORE_CHECK_OK(simple.status());
-  PSTORE_CHECK_OK(fixed.status());
+  // The three strategies are independent RunSpecs over the same borrowed
+  // trace, evaluated concurrently (--threads N); results come back by
+  // spec index.
+  RunSpec base;
+  base.workload.kind = WorkloadSpec::Kind::kProvided;
+  base.workload.provided = &trace;
+  base.sim = options;
+
+  RunSpec pstore_spec = base;
+  pstore_spec.label = "P-Store";
+  pstore_spec.strategy = Strategy::kPredictive;
+  pstore_spec.predictor = &spar;
+
+  RunSpec simple_spec = base;
+  simple_spec.label = "Simple";
+  simple_spec.strategy = Strategy::kSimple;
+  simple_spec.simple.day_nodes = 10;
+  simple_spec.simple.night_nodes = 3;
+
+  RunSpec static_spec = base;
+  static_spec.label = "Static";
+  static_spec.strategy = Strategy::kStatic;
+  static_spec.static_nodes = 10;
+
+  SweepOptions sweep_options;
+  sweep_options.threads = static_cast<int>(*threads);
+  const StatusOr<SweepResult> sweep =
+      RunSweep({pstore_spec, simple_spec, static_spec}, sweep_options);
+  PSTORE_CHECK_OK(sweep.status());
+  const SimResult& pstore = sweep->results[0];
+  const SimResult& simple = sweep->results[1];
+  const SimResult& fixed = sweep->results[2];
 
   // Two 4-day windows, in fine slots relative to eval_begin.
   const size_t ordinary_begin = (40 - kTrainDays) * 1440;
@@ -101,7 +131,7 @@ int main() {
     double static_deficit = 0.0;
     for (size_t hour = 0; hour < 4 * 24; ++hour) {
       const size_t slot = window.begin + hour * 60;
-      if (slot >= pstore->effective_capacity.size()) break;
+      if (slot >= pstore.effective_capacity.size()) break;
       // Hourly max load vs min capacity: the conservative view.
       double load = 0.0;
       double pstore_cap = 1e18;
@@ -109,18 +139,18 @@ int main() {
       double static_cap = 1e18;
       for (size_t i = slot; i < slot + 60; ++i) {
         load = std::max(load, trace[options.eval_begin + i]);
-        pstore_cap = std::min(pstore_cap, pstore->effective_capacity[i]);
-        simple_cap = std::min(simple_cap, simple->effective_capacity[i]);
-        static_cap = std::min(static_cap, fixed->effective_capacity[i]);
+        pstore_cap = std::min(pstore_cap, pstore.effective_capacity[i]);
+        simple_cap = std::min(simple_cap, simple.effective_capacity[i]);
+        static_cap = std::min(static_cap, fixed.effective_capacity[i]);
         pstore_deficit +=
             std::max(0.0, trace[options.eval_begin + i] -
-                              pstore->effective_capacity[i]);
+                              pstore.effective_capacity[i]);
         simple_deficit +=
             std::max(0.0, trace[options.eval_begin + i] -
-                              simple->effective_capacity[i]);
+                              simple.effective_capacity[i]);
         static_deficit +=
             std::max(0.0, trace[options.eval_begin + i] -
-                              fixed->effective_capacity[i]);
+                              fixed.effective_capacity[i]);
       }
       if (csv) {
         csv->WriteRow({window.name, std::to_string(hour),

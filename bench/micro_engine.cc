@@ -43,7 +43,7 @@ void BM_TxnSubmit(benchmark::State& state) {
   MetricsCollector metrics;
   TxnExecutor executor(&cluster, &metrics, ExecutorOptions{});
   PSTORE_CHECK(b2w::RegisterProcedures(&executor).ok());
-  b2w::WorkloadOptions workload_options;
+  b2w::B2wWorkloadOptions workload_options;
   workload_options.cart_pool = 100000;
   workload_options.checkout_pool = 40000;
   b2w::Workload workload(workload_options);
@@ -70,7 +70,7 @@ void BM_TxnSubmitTraced(benchmark::State& state) {
   MetricsCollector metrics;
   TxnExecutor executor(&cluster, &metrics, ExecutorOptions{});
   PSTORE_CHECK(b2w::RegisterProcedures(&executor).ok());
-  b2w::WorkloadOptions workload_options;
+  b2w::B2wWorkloadOptions workload_options;
   workload_options.cart_pool = 100000;
   workload_options.checkout_pool = 40000;
   b2w::Workload workload(workload_options);
@@ -95,7 +95,7 @@ void BM_TxnSubmitTraced(benchmark::State& state) {
 BENCHMARK(BM_TxnSubmitTraced)->Arg(0)->Arg(1);
 
 void BM_TxnFactoryOnly(benchmark::State& state) {
-  b2w::Workload workload(b2w::WorkloadOptions{});
+  b2w::Workload workload(b2w::B2wWorkloadOptions{});
   Rng rng(1);
   for (auto _ : state) {
     benchmark::DoNotOptimize(workload.NextTransaction(rng));
@@ -105,7 +105,7 @@ BENCHMARK(BM_TxnFactoryOnly);
 
 void BM_BucketHandoff(benchmark::State& state) {
   Cluster cluster(BenchCluster());
-  b2w::WorkloadOptions workload_options;
+  b2w::B2wWorkloadOptions workload_options;
   workload_options.cart_pool = 100000;
   workload_options.checkout_pool = 40000;
   b2w::Workload workload(workload_options);

@@ -1,0 +1,144 @@
+// Microbenchmarks for the parallel sweep runtime: RunSweep over a
+// fig12-style strategy grid at several worker-thread counts (the
+// speedup/efficiency headline), plus the raw dispatch overhead of
+// ThreadPool::ParallelFor. Results land in BENCH_micro_sweep.json.
+//
+// The sweep output is bit-identical across thread counts (verified by
+// tests/run_sweep_test.cc); this benchmark measures only the wall-clock
+// side of that guarantee.
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "common/time_series.h"
+#include "micro_util.h"
+#include "prediction/spar_model.h"
+#include "sim/capacity_simulator.h"
+#include "sim/run_spec.h"
+#include "trace/b2w_trace_generator.h"
+
+namespace pstore {
+namespace {
+
+constexpr int kDays = 21;
+constexpr int kTrainDays = 14;
+
+// Trace and predictor are built once and shared read-only by every
+// spec, exactly as fig12 does at full scale.
+const TimeSeries& BenchTrace() {
+  static const TimeSeries* const trace = [] {
+    B2wTraceOptions options;
+    options.days = kDays;
+    options.seed = 42;
+    options.peak_requests_per_min = 10500.0;
+    return new TimeSeries(GenerateB2wTrace(options).Scaled(10.0 / 60.0));
+  }();
+  return *trace;
+}
+
+const SparPredictor& BenchSpar() {
+  static const SparPredictor* const spar = [] {
+    SparOptions options;
+    options.period = 1440 / 5;
+    options.num_periods = 7;
+    options.num_recent = 6;
+    options.max_tau = 36;
+    auto* predictor = new SparPredictor(options);
+    PSTORE_CHECK_OK(predictor->Fit(
+        BenchTrace().DownsampleMean(5).Slice(0, kTrainDays * 288)));
+    return predictor;
+  }();
+  return *spar;
+}
+
+std::vector<RunSpec> BenchSpecs() {
+  RunSpec base;
+  base.workload.kind = WorkloadSpec::Kind::kProvided;
+  base.workload.provided = &BenchTrace();
+  base.sim.plan_slot_factor = 5;
+  base.sim.horizon_plan_slots = 36;
+  base.sim.q = 285.0;
+  base.sim.q_hat = 350.0;
+  base.sim.d_fine_slots = 77.0;
+  base.sim.partitions_per_node = 6;
+  base.sim.initial_nodes = 4;
+  base.sim.max_nodes = 60;
+  base.sim.eval_begin = kTrainDays * 1440;
+
+  std::vector<RunSpec> specs;
+  for (const double q : {240.0, 285.0, 320.0}) {
+    RunSpec spec = base;
+    spec.label = "spar-q" + std::to_string(static_cast<int>(q));
+    spec.strategy = Strategy::kPredictive;
+    spec.sim.q = q;
+    spec.predictor = &BenchSpar();
+    specs.push_back(spec);
+  }
+  for (const double watermark : {1.0, 0.8}) {
+    RunSpec spec = base;
+    spec.label = "reactive-w" + std::to_string(static_cast<int>(watermark * 10));
+    spec.strategy = Strategy::kReactive;
+    spec.reactive.high_watermark = watermark;
+    specs.push_back(spec);
+  }
+  for (const int day_nodes : {10, 16}) {
+    RunSpec spec = base;
+    spec.label = "simple-d" + std::to_string(day_nodes);
+    spec.strategy = Strategy::kSimple;
+    spec.simple.day_nodes = day_nodes;
+    spec.simple.night_nodes = 3;
+    specs.push_back(spec);
+  }
+  for (const int nodes : {4, 8, 14}) {
+    RunSpec spec = base;
+    spec.label = "static-" + std::to_string(nodes);
+    spec.strategy = Strategy::kStatic;
+    spec.static_nodes = nodes;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+// One full sweep of the grid; state.range(0) = worker threads. With one
+// hardware core the >1-thread numbers show pool overhead only; on a
+// multi-core box threads=4 should cut wall time by >= 2x vs threads=1
+// (the ISSUE's acceptance bar).
+void BM_RunSweep(benchmark::State& state) {
+  const std::vector<RunSpec> specs = BenchSpecs();
+  SweepOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    StatusOr<SweepResult> sweep = RunSweep(specs, options);
+    PSTORE_CHECK_OK(sweep.status());
+    benchmark::DoNotOptimize(sweep->results.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(specs.size()));
+}
+// benchmark::kMillisecond is the benchmark library enumerator, not the
+// common/sim_time.h constant.  pstore-analyze: allow(include)
+BENCHMARK(BM_RunSweep)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// Pool construction + one ParallelFor over trivial bodies: the fixed
+// dispatch overhead a sweep pays before any real work happens.
+void BM_ParallelForDispatch(benchmark::State& state) {
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  std::vector<size_t> sink(64, 0);
+  for (auto _ : state) {
+    pool.ParallelFor(sink.size(), [&sink](size_t i) { sink[i] = i; });
+    benchmark::DoNotOptimize(sink.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(sink.size()));
+}
+BENCHMARK(BM_ParallelForDispatch)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+}  // namespace pstore
+
+PSTORE_MICRO_BENCH_MAIN("sweep")

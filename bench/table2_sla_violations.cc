@@ -12,12 +12,21 @@
 // ~half the machines of peak provisioning.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/status.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pstore;
-  using bench::Approach;
+  FlagParser flags;
+  PSTORE_CHECK_OK(flags.Parse(argc - 1, argv + 1));
+  const StatusOr<int64_t> threads = flags.GetInt("threads", 0);
+  PSTORE_CHECK_OK(threads.status());
+
   bench::PrintHeader(
       "Table 2: SLA violations (500 ms) and average machines (3-day replay)",
       "P-Store ~1/3 of reactive's violations at ~1/2 of static-10's "
@@ -25,15 +34,27 @@ int main() {
 
   struct Config {
     const char* label;
-    Approach approach;
+    Strategy strategy;
     int nodes;
   };
   const Config configs[] = {
-      {"Static-10", Approach::kStatic, 10},
-      {"Static-4", Approach::kStatic, 4},
-      {"Reactive", Approach::kReactive, 4},
-      {"P-Store", Approach::kPStoreSpar, 4},
+      {"Static-10", Strategy::kStatic, 10},
+      {"Static-4", Strategy::kStatic, 4},
+      {"Reactive", Strategy::kReactive, 4},
+      {"P-Store", Strategy::kPredictive, 4},
   };
+
+  std::vector<bench::EngineRunConfig> run_configs;
+  for (const Config& config : configs) {
+    bench::EngineRunConfig run_config;
+    run_config.spec.label = config.label;
+    run_config.spec.strategy = config.strategy;
+    run_config.nodes = config.nodes;
+    run_config.replay_days = 3;
+    run_configs.push_back(run_config);
+  }
+  const std::vector<bench::EngineRunResult> runs =
+      bench::RunEngineExperiments(run_configs, static_cast<int>(*threads));
 
   auto csv = bench::OpenCsv("table2_sla_violations.csv");
   if (csv) {
@@ -43,16 +64,9 @@ int main() {
 
   std::printf("%-12s %10s %10s %10s %14s\n", "approach", "p50 viol",
               "p95 viol", "p99 viol", "avg machines");
-  bench::EngineRunResult reactive_run;
-  bench::EngineRunResult pstore_run;
-  bench::EngineRunResult static10_run;
-  for (const Config& config : configs) {
-    bench::EngineRunConfig run_config;
-    run_config.approach = config.approach;
-    run_config.nodes = config.nodes;
-    run_config.replay_days = 3;
-    const bench::EngineRunResult run =
-        bench::RunEngineExperiment(run_config);
+  for (size_t c = 0; c < runs.size(); ++c) {
+    const Config& config = configs[c];
+    const bench::EngineRunResult& run = runs[c];
     std::printf("%-12s %10lld %10lld %10lld %14.2f\n", config.label,
                 static_cast<long long>(run.violations.p50),
                 static_cast<long long>(run.violations.p95),
@@ -64,12 +78,10 @@ int main() {
                      std::to_string(run.violations.p99),
                      std::to_string(run.avg_machines)});
     }
-    if (config.approach == Approach::kReactive) reactive_run = run;
-    if (config.approach == Approach::kPStoreSpar) pstore_run = run;
-    if (config.approach == Approach::kStatic && config.nodes == 10) {
-      static10_run = run;
-    }
   }
+  const bench::EngineRunResult& static10_run = runs[0];
+  const bench::EngineRunResult& reactive_run = runs[2];
+  const bench::EngineRunResult& pstore_run = runs[3];
 
   std::printf("\nShape check:\n");
   std::printf("  P-Store p99 violations / reactive: %.2f (paper: ~0.28)\n",

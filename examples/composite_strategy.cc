@@ -71,7 +71,7 @@ int main() {
   MetricsCollector metrics(1.0);
   TxnExecutor executor(&cluster, &metrics, ExecutorOptions{});
   PSTORE_CHECK_OK(b2w::RegisterProcedures(&executor));
-  b2w::Workload workload(b2w::WorkloadOptions{});
+  b2w::Workload workload(b2w::B2wWorkloadOptions{});
   PSTORE_CHECK_OK(workload.LoadInitialData(&cluster));
 
   EventLoop loop;

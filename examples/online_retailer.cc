@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
   MetricsCollector metrics(1.0);
   TxnExecutor executor(&cluster, &metrics, ExecutorOptions{});
   PSTORE_CHECK_OK(b2w::RegisterProcedures(&executor));
-  b2w::Workload workload(b2w::WorkloadOptions{});
+  b2w::Workload workload(b2w::B2wWorkloadOptions{});
   PSTORE_CHECK_OK(workload.LoadInitialData(&cluster));
   std::printf("Loaded %lld rows (%.0f MB nominal) across %d machines\n",
               static_cast<long long>(cluster.TotalRowCount()),

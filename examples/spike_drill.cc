@@ -55,7 +55,7 @@ DrillResult RunDrill(bool fast_fallback, double magnitude) {
   MetricsCollector metrics(1.0);
   TxnExecutor executor(&cluster, &metrics, ExecutorOptions{});
   PSTORE_CHECK_OK(b2w::RegisterProcedures(&executor));
-  b2w::Workload workload(b2w::WorkloadOptions{});
+  b2w::Workload workload(b2w::B2wWorkloadOptions{});
   PSTORE_CHECK_OK(workload.LoadInitialData(&cluster));
 
   EventLoop loop;

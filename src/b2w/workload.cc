@@ -24,7 +24,7 @@ double TotalWeight(const MixWeights& mix) {
 
 }  // namespace
 
-Workload::Workload(const WorkloadOptions& options) : options_(options) {
+Workload::Workload(const B2wWorkloadOptions& options) : options_(options) {
   PSTORE_CHECK(options_.cart_pool >= 1);
   PSTORE_CHECK(options_.checkout_pool >= 1);
   total_weight_ = TotalWeight(mix_);

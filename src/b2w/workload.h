@@ -12,7 +12,7 @@ namespace pstore {
 namespace b2w {
 
 // Configuration of the trace-driven B2W workload.
-struct WorkloadOptions {
+struct B2wWorkloadOptions {
   // Live entity pools. Ids are recycled (a "new" cart overwrites the
   // oldest slot), so the database size stays steady — matching the
   // paper's assumption that only active data is kept (§4.2) and its
@@ -29,6 +29,12 @@ struct WorkloadOptions {
   int initial_checkout_lines = 2;
   uint64_t seed = 17;
 };
+
+// Deprecated alias, kept for one PR: the unqualified name collided with
+// ycsb::WorkloadOptions, which RunSpec-style code holding both had to
+// dodge with qualification gymnastics.
+using WorkloadOptions [[deprecated("use B2wWorkloadOptions")]] =
+    B2wWorkloadOptions;
 
 // Per-procedure weights of the transaction mix (cart and checkout
 // operations only — the stock database lives on a separate cluster in
@@ -52,7 +58,7 @@ struct MixWeights {
 // across an experiment.
 class Workload {
  public:
-  explicit Workload(const WorkloadOptions& options);
+  explicit Workload(const B2wWorkloadOptions& options);
   Workload(const Workload& other) = delete;
   Workload& operator=(const Workload&) = delete;
 
@@ -65,7 +71,7 @@ class Workload {
   // driver's generator, so replays are deterministic.
   TxnRequest NextTransaction(Rng& rng);
 
-  const WorkloadOptions& options() const { return options_; }
+  const B2wWorkloadOptions& options() const { return options_; }
   const MixWeights& mix() const { return mix_; }
   void set_mix(const MixWeights& mix);
 
@@ -75,7 +81,7 @@ class Workload {
   uint64_t RandomCartIndex(Rng& rng) const;
   uint64_t RandomCheckoutIndex(Rng& rng) const;
 
-  WorkloadOptions options_;
+  B2wWorkloadOptions options_;
   MixWeights mix_;
   double total_weight_ = 0.0;
   // Rolling slot for cart recycling: "new" carts overwrite this index.

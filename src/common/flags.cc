@@ -20,15 +20,18 @@ Status FlagParser::Parse(int argc, const char* const* argv) {
     const auto eq = body.find('=');
     if (eq != std::string::npos) {
       flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      occurrences_.emplace_back(body.substr(0, eq), body.substr(eq + 1));
       continue;
     }
     // "--name value" when the next token is not itself a flag;
     // otherwise boolean true.
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       flags_[body] = argv[i + 1];
+      occurrences_.emplace_back(body, argv[i + 1]);
       ++i;
     } else {
       flags_[body] = "true";
+      occurrences_.emplace_back(body, "true");
     }
   }
   return Status::OK();
@@ -42,6 +45,15 @@ std::string FlagParser::GetString(const std::string& name,
                                   const std::string& default_value) const {
   const auto it = flags_.find(name);
   return it == flags_.end() ? default_value : it->second;
+}
+
+std::vector<std::string> FlagParser::GetStrings(
+    const std::string& name) const {
+  std::vector<std::string> values;
+  for (const auto& occurrence : occurrences_) {
+    if (occurrence.first == name) values.push_back(occurrence.second);
+  }
+  return values;
 }
 
 StatusOr<int64_t> FlagParser::GetInt(const std::string& name,

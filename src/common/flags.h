@@ -3,6 +3,7 @@
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -24,6 +25,10 @@ class FlagParser {
 
   std::string GetString(const std::string& name,
                         const std::string& default_value) const;
+  // Every value given for a repeatable flag ("--rule=a --rule=b"), in
+  // command-line order; empty when the flag is absent. The scalar
+  // getters see only the last occurrence.
+  std::vector<std::string> GetStrings(const std::string& name) const;
   // Return kInvalidArgument if the flag is present but not parseable.
   StatusOr<int64_t> GetInt(const std::string& name,
                            int64_t default_value) const;
@@ -38,6 +43,9 @@ class FlagParser {
 
  private:
   std::map<std::string, std::string> flags_;
+  // Every (name, value) occurrence in command-line order, for
+  // repeatable flags.
+  std::vector<std::pair<std::string, std::string>> occurrences_;
   std::vector<std::string> positional_;
 };
 

@@ -1,0 +1,137 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/status.h"
+
+namespace pstore {
+
+ThreadPool::ThreadPool(int threads) : threads_(std::max(1, threads)) {
+  workers_.reserve(static_cast<size_t>(threads_ - 1));
+  for (int i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+int ThreadPool::HardwareConcurrency() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0u ? 1 : static_cast<int>(hw);
+}
+
+void ThreadPool::DrainBatch(Batch* batch) {
+  for (;;) {
+    const size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch->count) break;
+    try {
+      (*batch->body)(i);
+    } catch (...) {
+      // Keep the lowest-index exception so which error surfaces does
+      // not depend on scheduling.
+      std::lock_guard<std::mutex> lock(batch->error_mu);
+      if (batch->error == nullptr || i < batch->error_index) {
+        batch->error = std::current_exception();
+        batch->error_index = i;
+      }
+    }
+    batch->completed.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      batch = batch_;  // may already be gone if the batch finished fast
+      if (batch != nullptr) ++batch->attached;
+    }
+    if (batch == nullptr) continue;
+    DrainBatch(batch);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --batch->attached;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t count,
+                             const std::function<void(size_t)>& body) {
+  if (count == 0) return;
+  if (workers_.empty()) {
+    // Purely serial, but with the same failure semantics as the pooled
+    // path: every index runs, then the lowest-index exception surfaces.
+    std::exception_ptr error;
+    for (size_t i = 0; i < count; ++i) {
+      try {
+        body(i);
+      } catch (...) {
+        if (error == nullptr) error = std::current_exception();
+      }
+    }
+    if (error != nullptr) std::rethrow_exception(error);
+    return;
+  }
+  Batch batch;
+  batch.body = &body;
+  batch.count = count;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = &batch;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  DrainBatch(&batch);
+  {
+    // The batch lives on this stack frame: wait until every index ran
+    // *and* no worker still holds a pointer to it.
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return batch.completed.load(std::memory_order_acquire) == count &&
+             batch.attached == 0;
+    });
+    batch_ = nullptr;
+  }
+  if (batch.error != nullptr) std::rethrow_exception(batch.error);
+}
+
+Status ThreadPool::ParallelForStatus(
+    size_t count, const std::function<Status(size_t)>& body) {
+  std::mutex mu;
+  Status first = Status::OK();
+  size_t first_index = std::numeric_limits<size_t>::max();
+  ParallelFor(count, [&](size_t i) {
+    Status status = body(i);
+    if (status.ok()) return;
+    std::lock_guard<std::mutex> lock(mu);
+    if (i < first_index) {
+      first = std::move(status);
+      first_index = i;
+    }
+  });
+  return first;
+}
+
+int ResolveThreadCount(int64_t requested) {
+  if (requested < 1) return ThreadPool::HardwareConcurrency();
+  const int64_t cap = 256;  // sanity bound for a flag-supplied value
+  return static_cast<int>(std::min(requested, cap));
+}
+
+}  // namespace pstore

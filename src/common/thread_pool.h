@@ -1,0 +1,98 @@
+#ifndef PSTORE_COMMON_THREAD_POOL_H_
+#define PSTORE_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pstore {
+
+// A small fixed-size thread pool for deterministic fan-out/fan-in
+// parallelism. The design goal is reproducibility, not generality:
+// ParallelFor hands out loop indices, callers write results *by index*
+// into pre-sized storage, and the reduction therefore observes results
+// in index order regardless of which worker ran which index or how the
+// OS scheduled them. Given bodies that are themselves deterministic
+// functions of their index, outputs are bit-identical for any thread
+// count — the property the sweep golden tests assert.
+//
+// The calling thread participates in every batch, so a pool constructed
+// with `threads` == 1 spawns no workers and runs bodies inline with no
+// synchronization at all: the single-threaded path is plain serial code.
+//
+// One batch runs at a time; ParallelFor is not reentrant (a body must
+// not call back into the same pool) and the pool must not be shared by
+// concurrent ParallelFor callers. Per-task isolation is the caller's
+// contract: bodies for distinct indices must not share mutable state.
+class ThreadPool {
+ public:
+  // Spawns `threads` - 1 workers (values < 1 clamp to 1).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const { return threads_; }
+
+  // std::thread::hardware_concurrency(), clamped to at least 1.
+  static int HardwareConcurrency();
+
+  // Runs body(i) for every i in [0, count), distributing indices across
+  // the pool, and blocks until all complete. If one or more bodies
+  // throw, the exception thrown by the *lowest* index is rethrown here
+  // (after every claimed body finished), so failure is as deterministic
+  // as success; the remaining indices still run.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& body);
+
+  // As ParallelFor, for Status-returning bodies: returns OK if every
+  // body succeeded, otherwise the error of the lowest failing index.
+  Status ParallelForStatus(size_t count,
+                           const std::function<Status(size_t)>& body);
+
+ private:
+  // State of one ParallelFor batch, shared between the caller and the
+  // workers. `next` hands out indices; the caller waits until
+  // `completed` reaches `count` and every worker detached (`attached`
+  // back to 0), because the Batch lives on the caller's stack.
+  struct Batch {
+    const std::function<void(size_t)>* body = nullptr;
+    size_t count = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> completed{0};
+    int attached = 0;               // guarded by ThreadPool::mu_
+    size_t error_index = 0;         // guarded by error_mu
+    std::exception_ptr error;       // guarded by error_mu
+    std::mutex error_mu;
+  };
+
+  void WorkerLoop();
+  // Claims and runs indices of `batch` until they are exhausted,
+  // capturing the lowest-index exception.
+  static void DrainBatch(Batch* batch);
+
+  const int threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: a new batch is available
+  std::condition_variable done_cv_;  // caller: batch fully completed
+  Batch* batch_ = nullptr;           // current batch, null when idle
+  uint64_t generation_ = 0;          // bumped per batch, wakes workers
+  bool shutdown_ = false;
+};
+
+// Resolves a --threads style request: values < 1 mean "use the
+// hardware", anything else is taken literally.
+int ResolveThreadCount(int64_t requested);
+
+}  // namespace pstore
+
+#endif  // PSTORE_COMMON_THREAD_POOL_H_

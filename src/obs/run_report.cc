@@ -163,6 +163,31 @@ StatusOr<RunReport> BuildRunReport(
       }
       continue;
     }
+    if (event.name == "sweep.task") {
+      SweepTaskRow task_row;
+      task_row.label = event.Str("label", "");
+      task_row.strategy = event.Str("strategy", "");
+      task_row.wall_us = event.Number("wall_us", 0.0);
+      report.sweep.task_rows.push_back(std::move(task_row));
+      continue;
+    }
+    if (event.name == "sweep.done") {
+      report.has_sweep = true;
+      report.sweep.tasks = event.Int("tasks", 0);
+      report.sweep.threads = event.Int("threads", 0);
+      report.sweep.wall_us = event.Number("wall_us", 0.0);
+      report.sweep.serial_wall_us = event.Number("serial_wall_us", 0.0);
+      if (report.sweep.wall_us > 0.0) {
+        report.sweep.speedup =
+            report.sweep.serial_wall_us / report.sweep.wall_us;
+      }
+      if (report.sweep.threads > 0) {
+        report.sweep.efficiency =
+            report.sweep.speedup /
+            static_cast<double>(report.sweep.threads);
+      }
+      continue;
+    }
     if (event.name == "run.summary") {
       for (const auto& [key, value] : event.fields) {
         report.summary.emplace_back(key, FormatFieldValue(value));
@@ -238,6 +263,22 @@ std::string RenderRunReport(const RunReport& report, int64_t max_rows) {
                rollup.name.c_str(), static_cast<long long>(rollup.count),
                static_cast<long long>(rollup.total_us),
                static_cast<long long>(rollup.max_us));
+  }
+  if (report.has_sweep) {
+    AppendLine(&out,
+               "sweep: %lld tasks on %lld threads — wall %.1f ms, "
+               "serial-equivalent %.1f ms, speedup %.2fx, parallel "
+               "efficiency %.0f%%",
+               static_cast<long long>(report.sweep.tasks),
+               static_cast<long long>(report.sweep.threads),
+               report.sweep.wall_us / 1000.0,
+               report.sweep.serial_wall_us / 1000.0, report.sweep.speedup,
+               100.0 * report.sweep.efficiency);
+    for (const SweepTaskRow& task_row : report.sweep.task_rows) {
+      AppendLine(&out, "  sweep task %-28s %-10s %10.1f ms",
+                 task_row.label.c_str(), task_row.strategy.c_str(),
+                 task_row.wall_us / 1000.0);
+    }
   }
   for (const auto& [key, value] : report.summary) {
     AppendLine(&out, "summary %s = %s", key.c_str(), value.c_str());

@@ -38,6 +38,28 @@ struct WallRollup {
   int64_t max_us = 0;
 };
 
+// One parallel-sweep task, from a sweep.task event (RunSweep emits one
+// per spec, in spec order).
+struct SweepTaskRow {
+  std::string label;
+  std::string strategy;
+  double wall_us = 0.0;
+};
+
+// Parallel-sweep rollup from the closing sweep.done event: wall_us is
+// the sweep's elapsed time, serial_wall_us the sum of per-task times
+// (what one thread would have paid), speedup their ratio, and
+// efficiency = speedup / threads (1.0 = perfectly parallel).
+struct SweepStats {
+  int64_t tasks = 0;
+  int64_t threads = 0;
+  double wall_us = 0.0;
+  double serial_wall_us = 0.0;
+  double speedup = 0.0;
+  double efficiency = 0.0;
+  std::vector<SweepTaskRow> task_rows;
+};
+
 // Aggregated view of one traced run.
 struct RunReport {
   int64_t events = 0;
@@ -71,6 +93,10 @@ struct RunReport {
   double forecast_mre = 0.0;
 
   std::vector<WallRollup> wall;
+
+  // Present when the trace contains a RunSweep's sweep.done event.
+  bool has_sweep = false;
+  SweepStats sweep;
 
   // Fields of the trailing run.summary event, verbatim, in file order.
   std::vector<std::pair<std::string, std::string>> summary;

@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "common/strong_id.h"
+#include "common/thread_pool.h"
 #include "planner/move.h"
 #include "planner/move_model.h"
 
@@ -26,8 +27,17 @@ class BruteForcePlanner {
   StatusOr<PlanResult> BestMoves(const std::vector<double>& predicted_load,
                                  NodeCount initial_nodes) const;
 
+  // Optional parallelism: each top-level first-move candidate's subtree
+  // is searched independently (one ParallelFor index per candidate) and
+  // the per-candidate optima are merged in candidate order under the
+  // same strictly-better predicate the serial search applies, so the
+  // chosen plan — ties included — is identical for any thread count.
+  // The pool is caller-owned and must outlive the planner.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
  private:
   PlannerParams params_;
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace pstore

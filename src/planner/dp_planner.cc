@@ -120,17 +120,22 @@ NodeCount DpPlanner::NodesFor(double load) const {
 
 int DpPlanner::MoveSlots(NodeCount before, NodeCount after) const {
   if (before == after) return 1;  // "do nothing" occupies one slot
-  const double t = MoveTime(before, after, params_);
+  const bool tabled = move_table_ != nullptr && move_table_->Covers(before, after);
+  const double t = tabled ? move_table_->MoveTime(before, after)
+                          : MoveTime(before, after, params_);
   return std::max(1, static_cast<int>(std::ceil(t)));
 }
 
 double DpPlanner::MoveCostCharged(NodeCount before, NodeCount after) const {
   if (before == after) return before.value();
-  const double real_time = MoveTime(before, after, params_);
+  const bool tabled = move_table_ != nullptr && move_table_->Covers(before, after);
+  const double real_time = tabled ? move_table_->MoveTime(before, after)
+                                  : MoveTime(before, after, params_);
   const int slots = MoveSlots(before, after);
   const double padding = static_cast<double>(slots) - real_time;
-  return MoveCost(before, after, params_) +
-         padding * static_cast<double>(after.value());
+  const double cost = tabled ? move_table_->MoveCost(before, after)
+                             : MoveCost(before, after, params_);
+  return cost + padding * static_cast<double>(after.value());
 }
 
 StatusOr<PlanResult> DpPlanner::BestMoves(

@@ -5,12 +5,14 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "common/sim_time.h"
 #include "common/status.h"
 #include "common/strong_id.h"
 #include "obs/tracer.h"
 #include "planner/move.h"
 #include "planner/move_model.h"
+#include "planner/move_model_table.h"
 
 namespace pstore {
 
@@ -63,11 +65,23 @@ class DpPlanner {
     trace_now_ = std::move(now_fn);
   }
 
+  // Installs a precomputed (caller-owned, outliving the planner) move
+  // model table; MoveSlots / MoveCostCharged then look transitions up
+  // instead of recomputing Eqs. 3-4 + Algorithm 4 per DP transition.
+  // Lookups are bit-identical to direct computation, so plans do not
+  // change. The table must have been built from matching params; pairs
+  // beyond its max_nodes fall back to direct computation.
+  void set_move_table(const MoveModelTable* table) {
+    PSTORE_CHECK(table == nullptr || table->MatchesParams(params_));
+    move_table_ = table;
+  }
+
  private:
   StatusOr<PlanResult> RunSearch(const std::vector<double>& predicted_load,
                                  NodeCount initial_nodes) const;
 
   PlannerParams params_;
+  const MoveModelTable* move_table_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   std::function<SimTime()> trace_now_;
 };

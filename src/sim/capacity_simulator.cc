@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <memory>
 
 #include "common/check.h"
 #include "common/sim_time.h"
@@ -14,8 +15,26 @@
 #include "planner/dp_planner.h"
 #include "planner/move.h"
 #include "planner/move_model.h"
+#include "planner/move_model_table.h"
 
 namespace pstore {
+namespace {
+
+// The planner-facing parameters derived from the simulator options;
+// shared by the per-run state machine and the simulator's precomputed
+// move model table (which must be built from the identical params).
+PlannerParams PlanParamsFor(const SimOptions& options) {
+  PlannerParams params;
+  params.target_rate_per_node = options.q;
+  params.max_rate_per_node = options.q_hat;
+  params.d_slots =
+      options.d_fine_slots / static_cast<double>(options.plan_slot_factor);
+  params.partitions_per_node = options.partitions_per_node;
+  params.assume_instant_capacity = options.naive_capacity_planner;
+  return params;
+}
+
+}  // namespace
 
 // Shared per-run state machine: advances fine slot by fine slot, tracks
 // the in-flight move, and accounts cost and violations. Strategies hook
@@ -29,12 +48,7 @@ class CapacitySimulator::Run {
     serve_params_.target_rate_per_node = options.q_hat;
     serve_params_.d_slots = options.d_fine_slots;
     serve_params_.partitions_per_node = options.partitions_per_node;
-    plan_params_.target_rate_per_node = options.q;
-    plan_params_.max_rate_per_node = options.q_hat;
-    plan_params_.d_slots =
-        options.d_fine_slots / static_cast<double>(options.plan_slot_factor);
-    plan_params_.partitions_per_node = options.partitions_per_node;
-    plan_params_.assume_instant_capacity = options.naive_capacity_planner;
+    plan_params_ = PlanParamsFor(options);
     nodes_ = options.initial_nodes;
   }
 
@@ -173,6 +187,9 @@ CapacitySimulator::CapacitySimulator(const SimOptions& options)
   PSTORE_CHECK(options_.q > 0.0 && options_.q_hat >= options_.q);
   PSTORE_CHECK(options_.d_fine_slots > 0.0);
   PSTORE_CHECK(options_.initial_nodes >= 1);
+  move_table_ = std::make_unique<const MoveModelTable>(
+      PlanParamsFor(options_),
+      NodeCount(std::max(options_.max_nodes, options_.initial_nodes)));
 }
 
 StatusOr<SimResult> CapacitySimulator::RunPredictive(
@@ -206,7 +223,11 @@ StatusOr<SimResult> CapacitySimulator::RunPredictive(
           1.0 + options_.d_growth_per_day *
                     (static_cast<double>(t) / 1440.0);
     }
-    const DpPlanner planner(plan_params);
+    DpPlanner planner(plan_params);
+    // The precomputed table matches unless refresh_d just rescaled D.
+    if (move_table_->MatchesParams(plan_params)) {
+      planner.set_move_table(move_table_.get());
+    }
 
     // Forecast the horizon at planning granularity.
     const TimeSeries history = coarse.Slice(0, coarse_now + 1);
@@ -274,7 +295,8 @@ StatusOr<SimResult> CapacitySimulator::RunReactive(
     return Status::InvalidArgument("trace shorter than eval_begin");
   }
   Run run(options_, fine_trace, tracer_);
-  const DpPlanner planner(run.plan_params());
+  DpPlanner planner(run.plan_params());
+  planner.set_move_table(move_table_.get());
   int low_slots = 0;
   int overload_slots = 0;
 
@@ -315,7 +337,8 @@ StatusOr<SimResult> CapacitySimulator::RunSimple(
     return Status::InvalidArgument("trace shorter than eval_begin");
   }
   Run run(options_, fine_trace, tracer_);
-  const DpPlanner planner(run.plan_params());
+  DpPlanner planner(run.plan_params());
+  planner.set_move_table(move_table_.get());
 
   auto decide = [&](size_t t) {
     if (run.move_active()) return;

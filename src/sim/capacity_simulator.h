@@ -2,11 +2,13 @@
 #define PSTORE_SIM_CAPACITY_SIMULATOR_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
 #include "common/time_series.h"
 #include "obs/tracer.h"
+#include "planner/move_model_table.h"
 #include "prediction/predictor.h"
 
 namespace pstore {
@@ -154,6 +156,12 @@ class CapacitySimulator {
   class Run;  // defined in the .cc
 
   SimOptions options_;
+  // T(B,A)/C(B,A)/avg-mach-alloc grid up to max_nodes, built once per
+  // simulator from the planning params and attached (read-only) to
+  // every DpPlanner the strategies construct — except when refresh_d
+  // rescales D mid-run, which changes the params the table was built
+  // from (the planner then recomputes directly).
+  std::unique_ptr<const MoveModelTable> move_table_;
   obs::Tracer* tracer_ = nullptr;
 };
 

@@ -69,7 +69,7 @@ TxnResult MultiTransfer(const TxnContext* contexts, int num_keys) {
 
 }  // namespace
 
-Workload::Workload(const WorkloadOptions& options) : options_(options) {
+Workload::Workload(const YcsbWorkloadOptions& options) : options_(options) {
   PSTORE_CHECK(options_.record_count >= 1);
   if (options_.zipf_theta > 0.0) {
     zipf_ = std::make_unique<ZipfGenerator>(options_.record_count,

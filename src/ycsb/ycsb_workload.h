@@ -41,7 +41,7 @@ inline uint64_t UserKey(uint64_t index) { return kYcsbKeyBase | index; }
 // C = read-only, F = read-modify-write.
 enum class Mix { kA, kB, kC, kF };
 
-struct WorkloadOptions {
+struct YcsbWorkloadOptions {
   uint64_t record_count = 100000;
   uint32_t record_bytes = 1024;
   Mix mix = Mix::kB;
@@ -54,10 +54,15 @@ struct WorkloadOptions {
   uint64_t seed = 31;
 };
 
+// Deprecated alias, kept for one PR: the unqualified name collided with
+// b2w::WorkloadOptions (see B2wWorkloadOptions there).
+using WorkloadOptions [[deprecated("use YcsbWorkloadOptions")]] =
+    YcsbWorkloadOptions;
+
 // Generates YCSB transactions and pre-loads the user table.
 class Workload {
  public:
-  explicit Workload(const WorkloadOptions& options);
+  explicit Workload(const YcsbWorkloadOptions& options);
   Workload(const Workload&) = delete;
   Workload& operator=(const Workload&) = delete;
 
@@ -70,12 +75,12 @@ class Workload {
   // Produces the next transaction according to the mix and skew.
   TxnRequest NextTransaction(Rng& rng);
 
-  const WorkloadOptions& options() const { return options_; }
+  const YcsbWorkloadOptions& options() const { return options_; }
 
  private:
   uint64_t NextKeyIndex(Rng& rng);
 
-  WorkloadOptions options_;
+  YcsbWorkloadOptions options_;
   std::unique_ptr<ZipfGenerator> zipf_;  // null when theta == 0
   uint64_t insert_cursor_ = 0;
 };

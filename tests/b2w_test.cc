@@ -240,7 +240,7 @@ TEST(B2wWorkloadTest, LoadInitialDataSizes) {
   cluster_options.max_nodes = 2;
   cluster_options.num_buckets = 128;
   Cluster cluster(cluster_options);
-  WorkloadOptions options;
+  B2wWorkloadOptions options;
   options.cart_pool = 5000;
   options.checkout_pool = 2000;
   Workload workload(options);
@@ -261,7 +261,7 @@ TEST(B2wWorkloadTest, DataSpreadsEvenlyAcrossPartitions) {
   cluster_options.max_nodes = 2;
   cluster_options.num_buckets = 128;
   Cluster cluster(cluster_options);
-  WorkloadOptions options;
+  B2wWorkloadOptions options;
   options.cart_pool = 20000;
   options.checkout_pool = 1;
   Workload workload(options);
@@ -276,7 +276,7 @@ TEST(B2wWorkloadTest, DataSpreadsEvenlyAcrossPartitions) {
 }
 
 TEST(B2wWorkloadTest, MixFrequenciesRoughlyMatchWeights) {
-  WorkloadOptions options;
+  B2wWorkloadOptions options;
   options.cart_pool = 1000;
   options.checkout_pool = 500;
   Workload workload(options);
@@ -306,7 +306,7 @@ TEST(B2wWorkloadTest, DatabaseSizeStaysSteadyUnderChurn) {
   ClusterOptions cluster_options;
   cluster_options.num_buckets = 128;
   Cluster cluster(cluster_options);
-  WorkloadOptions options;
+  B2wWorkloadOptions options;
   options.cart_pool = 2000;
   options.checkout_pool = 800;
   Workload workload(options);

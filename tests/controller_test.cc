@@ -66,8 +66,8 @@ struct Harness {
     options.extract_rate_bytes_per_sec = 20e6;
     return options;
   }
-  static b2w::WorkloadOptions MakeWorkloadOptions() {
-    b2w::WorkloadOptions options;
+  static b2w::B2wWorkloadOptions MakeWorkloadOptions() {
+    b2w::B2wWorkloadOptions options;
     options.cart_pool = 20000;
     options.checkout_pool = 8000;
     return options;
@@ -303,7 +303,7 @@ TEST(LoadMonitorTest, RatesAreDeltas) {
   TxnExecutor executor(&cluster, nullptr, ExecutorOptions{});
   ASSERT_TRUE(b2w::RegisterProcedures(&executor).ok());
   LoadMonitor monitor(&executor, 10.0);
-  b2w::Workload workload(b2w::WorkloadOptions{});
+  b2w::Workload workload(b2w::B2wWorkloadOptions{});
   Rng rng(1);
   for (int i = 0; i < 50; ++i) {
     executor.Submit(workload.NextTransaction(rng), 0);

@@ -65,7 +65,7 @@ class DistributedTxnTest : public ::testing::Test {
       : cluster_(TwoNodeCluster()),
         executor_(&cluster_, &metrics_, ExecutorOptions{}) {
     PSTORE_CHECK_OK(ycsb::Workload::RegisterProcedures(&executor_));
-    ycsb::WorkloadOptions options;
+    ycsb::YcsbWorkloadOptions options;
     options.record_count = 1000;
     ycsb::Workload workload(options);
     PSTORE_CHECK_OK(workload.LoadInitialData(&cluster_));
@@ -200,7 +200,7 @@ TEST(DistributedTxnScalabilityTest, ThroughputDegradesWithMultiKeyShare) {
     MetricsCollector metrics(1.0);
     TxnExecutor executor(&cluster, &metrics, ExecutorOptions{});
     PSTORE_CHECK_OK(ycsb::Workload::RegisterProcedures(&executor));
-    ycsb::WorkloadOptions options;
+    ycsb::YcsbWorkloadOptions options;
     options.record_count = 30000;
     options.multi_key_fraction = multi_fraction;
     ycsb::Workload workload(options);

@@ -9,9 +9,11 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/strong_id.h"
+#include "common/thread_pool.h"
 #include "planner/brute_force_planner.h"
 #include "planner/move.h"
 #include "planner/move_model.h"
+#include "planner/move_model_table.h"
 
 namespace pstore {
 namespace {
@@ -249,6 +251,95 @@ TEST(DpVersusBruteForceRamp, StepRamp) {
   if (dp_plan.ok()) {
     EXPECT_EQ(dp_plan->final_nodes, bf_plan->final_nodes);
     EXPECT_NEAR(dp_plan->total_cost, bf_plan->total_cost, 1e-6);
+  }
+}
+
+// ---- Parallel brute force ---------------------------------------------------
+
+// The parallel candidate search must return the *same plan* — ties
+// included — as the serial search, for any thread count.
+TEST(BruteForcePlannerTest, ParallelSearchMatchesSerial) {
+  PlannerParams params = FastParams();
+  params.d_slots = 3.0;
+  const BruteForcePlanner serial(params);
+  for (const uint64_t seed : {21u, 22u, 23u, 24u, 25u, 26u}) {
+    Rng rng(seed);
+    std::vector<double> load;
+    for (int t = 0; t <= 7; ++t) {
+      load.push_back(60.0 + 260.0 * rng.NextDouble());
+    }
+    const NodeCount initial(1 + static_cast<int>(seed % 4));
+    StatusOr<PlanResult> serial_plan = serial.BestMoves(load, initial);
+    for (int threads : {2, 8}) {
+      ThreadPool pool(threads);
+      BruteForcePlanner parallel(params);
+      parallel.set_thread_pool(&pool);
+      StatusOr<PlanResult> parallel_plan = parallel.BestMoves(load, initial);
+      ASSERT_EQ(serial_plan.ok(), parallel_plan.ok())
+          << "seed " << seed << " threads " << threads;
+      if (!serial_plan.ok()) continue;
+      EXPECT_EQ(serial_plan->moves, parallel_plan->moves)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(serial_plan->total_cost, parallel_plan->total_cost);
+      EXPECT_EQ(serial_plan->final_nodes, parallel_plan->final_nodes);
+    }
+  }
+}
+
+// ---- Move-model table -------------------------------------------------------
+
+// Plans must not change when the planner looks Eqs. 3-4 up in a
+// precomputed table instead of recomputing them per transition.
+TEST(DpPlannerTest, TableBackedPlansAreIdentical) {
+  PlannerParams params = FastParams();
+  params.d_slots = 4.0;
+  const DpPlanner direct(params);
+  DpPlanner table_backed(params);
+  const MoveModelTable table(params, NodeCount(16));
+  table_backed.set_move_table(&table);
+
+  for (int before = 1; before <= 16; ++before) {
+    for (int after = 1; after <= 16; ++after) {
+      EXPECT_EQ(direct.MoveSlots(NodeCount(before), NodeCount(after)),
+                table_backed.MoveSlots(NodeCount(before), NodeCount(after)));
+      EXPECT_EQ(
+          direct.MoveCostCharged(NodeCount(before), NodeCount(after)),
+          table_backed.MoveCostCharged(NodeCount(before), NodeCount(after)));
+    }
+  }
+
+  for (const uint64_t seed : {31u, 32u, 33u, 34u}) {
+    Rng rng(seed);
+    std::vector<double> load;
+    for (int t = 0; t <= 30; ++t) {
+      load.push_back(80.0 + 600.0 * rng.NextDouble());
+    }
+    StatusOr<PlanResult> a = direct.BestMoves(load, NodeCount(2));
+    StatusOr<PlanResult> b = table_backed.BestMoves(load, NodeCount(2));
+    ASSERT_EQ(a.ok(), b.ok()) << "seed " << seed;
+    if (!a.ok()) continue;
+    EXPECT_EQ(a->moves, b->moves) << "seed " << seed;
+    EXPECT_EQ(a->total_cost, b->total_cost) << "seed " << seed;
+    EXPECT_EQ(a->final_nodes, b->final_nodes) << "seed " << seed;
+  }
+}
+
+// A table smaller than the planner's reach: covered pairs come from the
+// table, pairs beyond max_nodes fall back to direct computation.
+TEST(DpPlannerTest, SmallTableFallsBackBeyondItsGrid) {
+  PlannerParams params = FastParams();
+  const DpPlanner direct(params);
+  DpPlanner table_backed(params);
+  const MoveModelTable table(params, NodeCount(3));
+  table_backed.set_move_table(&table);
+  for (int before = 1; before <= 8; ++before) {
+    for (int after = 1; after <= 8; ++after) {
+      EXPECT_EQ(direct.MoveSlots(NodeCount(before), NodeCount(after)),
+                table_backed.MoveSlots(NodeCount(before), NodeCount(after)));
+      EXPECT_EQ(
+          direct.MoveCostCharged(NodeCount(before), NodeCount(after)),
+          table_backed.MoveCostCharged(NodeCount(before), NodeCount(after)));
+    }
   }
 }
 

@@ -109,7 +109,7 @@ TEST(TxnExecutorTest, SingleNodeSaturatesNearCalibratedRate) {
     MetricsCollector metrics;
     TxnExecutor executor(&cluster, &metrics, ExecutorOptions{});
     ASSERT_TRUE(b2w::RegisterProcedures(&executor).ok());
-    b2w::WorkloadOptions wl_options;
+    b2w::B2wWorkloadOptions wl_options;
     wl_options.cart_pool = 20000;
     wl_options.checkout_pool = 8000;
     b2w::Workload workload(wl_options);
@@ -155,7 +155,7 @@ TEST(WorkloadDriverTest, ArrivalCountTracksTrace) {
   options.slot_sim_seconds = 1.0;
   options.rate_factor = 1.0;
   options.seed = 12;
-  b2w::Workload workload(b2w::WorkloadOptions{});
+  b2w::Workload workload(b2w::B2wWorkloadOptions{});
   WorkloadDriver driver(
       &loop, &executor, trace,
       [&workload](Rng& rng) { return workload.NextTransaction(rng); },
@@ -176,7 +176,7 @@ TEST(WorkloadDriverTest, OfferedRateFollowsSlots) {
   DriverOptions options;
   options.slot_sim_seconds = 6.0;
   options.rate_factor = 10.0 / 60.0;  // 10x accelerated replay
-  b2w::Workload workload(b2w::WorkloadOptions{});
+  b2w::Workload workload(b2w::B2wWorkloadOptions{});
   WorkloadDriver driver(
       &loop, &executor, trace,
       [&workload](Rng& rng) { return workload.NextTransaction(rng); },
@@ -195,7 +195,7 @@ TEST(WorkloadDriverTest, StartSlotOffset) {
   options.slot_sim_seconds = 6.0;
   options.rate_factor = 1.0;
   options.start_slot = 2;
-  b2w::Workload workload(b2w::WorkloadOptions{});
+  b2w::Workload workload(b2w::B2wWorkloadOptions{});
   WorkloadDriver driver(
       &loop, &executor, trace,
       [&workload](Rng& rng) { return workload.NextTransaction(rng); },
@@ -214,7 +214,7 @@ TEST(WorkloadDriverTest, DeterministicReplay) {
     options.slot_sim_seconds = 1.0;
     options.rate_factor = 1.0;
     options.seed = 77;
-    b2w::WorkloadOptions wl;
+    b2w::B2wWorkloadOptions wl;
     wl.cart_pool = 1000;
     wl.checkout_pool = 500;
     b2w::Workload workload(wl);

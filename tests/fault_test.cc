@@ -391,8 +391,8 @@ struct Harness {
     options.max_backoff_seconds = 4.0;
     return options;
   }
-  static b2w::WorkloadOptions MakeWorkloadOptions() {
-    b2w::WorkloadOptions options;
+  static b2w::B2wWorkloadOptions MakeWorkloadOptions() {
+    b2w::B2wWorkloadOptions options;
     options.cart_pool = 20000;
     options.checkout_pool = 8000;
     return options;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 namespace pstore {
@@ -77,6 +78,32 @@ TEST(FlagParserTest, BareDashDashRejected) {
 TEST(FlagParserTest, LastValueWins) {
   FlagParser flags = ParseOk({"--n=1", "--n=2"});
   EXPECT_EQ(*flags.GetInt("n", 0), 2);
+}
+
+TEST(FlagParserTest, GetStringsReturnsEveryOccurrenceInOrder) {
+  FlagParser flags =
+      ParseOk({"--rule=layering", "--x=1", "--rule", "includes",
+               "--rule=status"});
+  const std::vector<std::string> rules = flags.GetStrings("rule");
+  ASSERT_EQ(rules.size(), 3u);
+  EXPECT_EQ(rules[0], "layering");
+  EXPECT_EQ(rules[1], "includes");
+  EXPECT_EQ(rules[2], "status");
+  // The scalar getter still sees only the last occurrence.
+  EXPECT_EQ(flags.GetString("rule", ""), "status");
+}
+
+TEST(FlagParserTest, GetStringsEmptyWhenAbsent) {
+  FlagParser flags = ParseOk({"--x=1"});
+  EXPECT_TRUE(flags.GetStrings("rule").empty());
+}
+
+TEST(FlagParserTest, GetStringsSeesBareBooleanAsTrue) {
+  FlagParser flags = ParseOk({"--verbose", "--verbose"});
+  const std::vector<std::string> values = flags.GetStrings("verbose");
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0], "true");
+  EXPECT_EQ(values[1], "true");
 }
 
 }  // namespace

@@ -182,7 +182,7 @@ TEST(BalancerMigrationInterplayTest, ConcurrentChurnPreservesData) {
   MetricsCollector metrics(1.0);
   TxnExecutor executor(&cluster, &metrics, ExecutorOptions{});
   PSTORE_CHECK_OK(ycsb::Workload::RegisterProcedures(&executor));
-  ycsb::WorkloadOptions workload_options;
+  ycsb::YcsbWorkloadOptions workload_options;
   workload_options.record_count = 20000;
   workload_options.zipf_theta = 1.0;
   workload_options.mix = ycsb::Mix::kC;  // read-only: row count stable

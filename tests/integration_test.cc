@@ -71,7 +71,7 @@ RunStats RunExperiment(Mode mode, const TimeSeries& trace,
   TxnExecutor executor(&cluster, &metrics, ExecutorOptions{});
   PSTORE_CHECK_OK(b2w::RegisterProcedures(&executor));
 
-  b2w::WorkloadOptions workload_options;
+  b2w::B2wWorkloadOptions workload_options;
   workload_options.cart_pool = 20000;
   workload_options.checkout_pool = 8000;
   b2w::Workload workload(workload_options);
@@ -184,7 +184,7 @@ TEST(IntegrationTest, PredictiveTracksLoadUpAndDown) {
   MetricsCollector metrics(1.0);
   TxnExecutor executor(&cluster, &metrics, ExecutorOptions{});
   PSTORE_CHECK_OK(b2w::RegisterProcedures(&executor));
-  b2w::WorkloadOptions workload_options;
+  b2w::B2wWorkloadOptions workload_options;
   workload_options.cart_pool = 20000;
   workload_options.checkout_pool = 8000;
   b2w::Workload workload(workload_options);

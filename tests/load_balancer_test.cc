@@ -41,7 +41,7 @@ SkewRun RunSkewedWorkload(bool with_balancer, double theta,
   MetricsCollector metrics(1.0);
   TxnExecutor executor(&cluster, &metrics, ExecutorOptions{});
   PSTORE_CHECK_OK(ycsb::Workload::RegisterProcedures(&executor));
-  ycsb::WorkloadOptions workload_options;
+  ycsb::YcsbWorkloadOptions workload_options;
   workload_options.record_count = 60000;
   workload_options.zipf_theta = theta;
   workload_options.mix = ycsb::Mix::kB;

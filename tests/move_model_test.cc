@@ -7,6 +7,7 @@
 #include <tuple>
 
 #include "common/strong_id.h"
+#include "planner/move_model_table.h"
 
 namespace pstore {
 namespace {
@@ -281,6 +282,67 @@ TEST(MoveCostTest, ScalesWithD) {
   const double c1 = MoveCost(3, 9, params);
   params.d_slots = 10.0;
   EXPECT_NEAR(MoveCost(3, 9, params), 10.0 * c1, 1e-9);
+}
+
+// ---- Precomputed table ------------------------------------------------------
+
+// The table contract: lookups are *bit-identical* to calling the move
+// model directly, over the entire (B, A) grid. EXPECT_EQ on doubles is
+// deliberate — the table must cache, never re-derive.
+TEST(MoveModelTableTest, MatchesDirectComputationOverFullGrid) {
+  for (const double d_slots : {1.0, 4.0, 12.833}) {
+    for (const int partitions : {1, 6}) {
+      PlannerParams params = UnitParams();
+      params.d_slots = d_slots;
+      params.partitions_per_node = partitions;
+      constexpr int kMaxNodes = 24;
+      const MoveModelTable table(params, NodeCount(kMaxNodes));
+      EXPECT_EQ(table.max_nodes(), kMaxNodes);
+      for (int before = 1; before <= kMaxNodes; ++before) {
+        for (int after = 1; after <= kMaxNodes; ++after) {
+          ASSERT_TRUE(table.Covers(NodeCount(before), NodeCount(after)));
+          EXPECT_EQ(table.MoveTime(NodeCount(before), NodeCount(after)),
+                    MoveTime(before, after, params))
+              << "T(" << before << "," << after << ") d=" << d_slots
+              << " p=" << partitions;
+          EXPECT_EQ(table.MoveCost(NodeCount(before), NodeCount(after)),
+                    MoveCost(before, after, params))
+              << "C(" << before << "," << after << ") d=" << d_slots
+              << " p=" << partitions;
+          EXPECT_EQ(
+              table.AvgMachinesAllocated(NodeCount(before), NodeCount(after)),
+              AvgMachinesAllocated(before, after))
+              << "avg(" << before << "," << after << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(MoveModelTableTest, CoversOnlyTheGrid) {
+  const MoveModelTable table(UnitParams(), NodeCount(8));
+  EXPECT_TRUE(table.Covers(NodeCount(1), NodeCount(1)));
+  EXPECT_TRUE(table.Covers(NodeCount(8), NodeCount(8)));
+  EXPECT_FALSE(table.Covers(NodeCount(0), NodeCount(4)));
+  EXPECT_FALSE(table.Covers(NodeCount(9), NodeCount(4)));
+  EXPECT_FALSE(table.Covers(NodeCount(4), NodeCount(9)));
+}
+
+TEST(MoveModelTableTest, MatchesParamsChecksOnlyTheFieldsItReads) {
+  PlannerParams params = UnitParams();
+  const MoveModelTable table(params, NodeCount(4));
+  EXPECT_TRUE(table.MatchesParams(params));
+  // Fields the move-time/cost functions never read may differ.
+  PlannerParams rates = params;
+  rates.target_rate_per_node = 999.0;
+  rates.max_rate_per_node = 1234.0;
+  EXPECT_TRUE(table.MatchesParams(rates));
+  PlannerParams other_d = params;
+  other_d.d_slots = params.d_slots + 1.0;
+  EXPECT_FALSE(table.MatchesParams(other_d));
+  PlannerParams other_p = params;
+  other_p.partitions_per_node = params.partitions_per_node + 1;
+  EXPECT_FALSE(table.MatchesParams(other_p));
 }
 
 }  // namespace

@@ -1,0 +1,258 @@
+#include "sim/run_spec.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "common/time_series.h"
+#include "obs/tracer.h"
+#include "prediction/naive_models.h"
+#include "sim/capacity_simulator.h"
+
+namespace pstore {
+namespace {
+
+// A compact 4-day B2W workload in txn/s (same scaling as the capacity
+// simulator tests): 3 warmup days, 1440 evaluation slots.
+WorkloadSpec TestWorkload(uint64_t seed = 11) {
+  WorkloadSpec workload;
+  workload.kind = WorkloadSpec::Kind::kB2wSynthetic;
+  workload.b2w.days = 4;
+  workload.b2w.seed = seed;
+  workload.b2w.peak_requests_per_min = 10500.0;
+  workload.scale = 10.0 / 60.0;
+  return workload;
+}
+
+SimOptions TestSim() {
+  SimOptions options;
+  options.plan_slot_factor = 5;
+  options.horizon_plan_slots = 36;
+  options.q = 285.0;
+  options.q_hat = 350.0;
+  options.d_fine_slots = 77.0;
+  options.partitions_per_node = 6;
+  options.initial_nodes = 4;
+  options.max_nodes = 40;
+  options.eval_begin = 3 * 1440;
+  return options;
+}
+
+// The strategy mix every test sweeps: one spec per strategy, with the
+// predictive spec driven by an oracle over the coarse (plan-slot) trace.
+struct SweepFixture {
+  SweepFixture() {
+    const StatusOr<TimeSeries> trace = BuildWorkloadTrace(TestWorkload());
+    PSTORE_CHECK_OK(trace.status());
+    oracle = std::make_unique<OraclePredictor>(trace->DownsampleMean(5));
+
+    RunSpec pstore;
+    pstore.label = "pstore";
+    pstore.workload = TestWorkload();
+    pstore.sim = TestSim();
+    pstore.sim.inflation = 1.0;
+    pstore.strategy = Strategy::kPredictive;
+    pstore.predictor = oracle.get();
+    specs.push_back(pstore);
+
+    RunSpec reactive;
+    reactive.label = "reactive";
+    reactive.workload = TestWorkload();
+    reactive.sim = TestSim();
+    reactive.strategy = Strategy::kReactive;
+    specs.push_back(reactive);
+
+    RunSpec simple;
+    simple.label = "simple";
+    simple.workload = TestWorkload();
+    simple.sim = TestSim();
+    simple.strategy = Strategy::kSimple;
+    simple.simple.day_nodes = 8;
+    simple.simple.night_nodes = 3;
+    specs.push_back(simple);
+
+    RunSpec fixed;
+    fixed.label = "static";
+    fixed.workload = TestWorkload();
+    fixed.sim = TestSim();
+    fixed.strategy = Strategy::kStatic;
+    fixed.static_nodes = 7;
+    specs.push_back(fixed);
+  }
+
+  std::unique_ptr<OraclePredictor> oracle;
+  std::vector<RunSpec> specs;
+};
+
+bool SameResult(const SimResult& a, const SimResult& b) {
+  return a.machine_slots == b.machine_slots &&
+         a.insufficient_slots == b.insufficient_slots &&
+         a.insufficient_fraction == b.insufficient_fraction &&
+         a.move_slots == b.move_slots &&
+         a.reconfigurations == b.reconfigurations;
+}
+
+TEST(RunSpecTest, ParseStrategyRoundTrips) {
+  for (Strategy strategy : {Strategy::kPredictive, Strategy::kReactive,
+                            Strategy::kSimple, Strategy::kStatic}) {
+    const StatusOr<Strategy> parsed = ParseStrategy(StrategyName(strategy));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, strategy);
+  }
+  ASSERT_TRUE(ParseStrategy("predictive").ok());
+  EXPECT_EQ(*ParseStrategy("predictive"), Strategy::kPredictive);
+  EXPECT_FALSE(ParseStrategy("oracle").ok());
+  EXPECT_FALSE(ParseStrategy("").ok());
+}
+
+TEST(RunSpecTest, BuildStepWorkload) {
+  WorkloadSpec workload;
+  workload.kind = WorkloadSpec::Kind::kStep;
+  workload.step_slot_seconds = 6.0;
+  workload.step_slots = 100;
+  workload.step_at_slot = 40;
+  workload.base_rate = 300.0;
+  workload.peak_rate = 800.0;
+  const StatusOr<TimeSeries> trace = BuildWorkloadTrace(workload);
+  ASSERT_TRUE(trace.ok());
+  ASSERT_EQ(trace->size(), 100u);
+  EXPECT_EQ(trace->slot_seconds(), 6.0);
+  EXPECT_EQ((*trace)[0], 300.0);
+  EXPECT_EQ((*trace)[39], 300.0);
+  EXPECT_EQ((*trace)[40], 800.0);
+  EXPECT_EQ((*trace)[99], 800.0);
+
+  workload.step_slots = 0;
+  EXPECT_FALSE(BuildWorkloadTrace(workload).ok());
+}
+
+TEST(RunSpecTest, BuildProvidedWorkloadRequiresSeries) {
+  WorkloadSpec workload;
+  workload.kind = WorkloadSpec::Kind::kProvided;
+  EXPECT_FALSE(BuildWorkloadTrace(workload).ok());
+}
+
+TEST(RunSpecTest, EqualSpecsBuildIdenticalTraces) {
+  const StatusOr<TimeSeries> a = BuildWorkloadTrace(TestWorkload());
+  const StatusOr<TimeSeries> b = BuildWorkloadTrace(TestWorkload());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i], (*b)[i]) << "slot " << i;
+  }
+}
+
+TEST(RunSpecTest, SeedOverridesWorkloadSeed) {
+  SweepFixture fixture;
+  RunSpec spec = fixture.specs[1];  // reactive: no predictor entanglement
+  const StatusOr<SimResult> base = RunOne(spec);
+  ASSERT_TRUE(base.ok());
+  spec.seed = 99;  // same as TestWorkload(99)
+  const StatusOr<SimResult> reseeded = RunOne(spec);
+  ASSERT_TRUE(reseeded.ok());
+  spec.workload = TestWorkload(99);
+  spec.seed = 0;
+  const StatusOr<SimResult> direct = RunOne(spec);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(SameResult(*reseeded, *direct));
+  EXPECT_FALSE(SameResult(*base, *reseeded));
+}
+
+TEST(RunSweepTest, MatchesSerialRunOne) {
+  SweepFixture fixture;
+  SweepOptions options;
+  options.threads = 2;
+  const StatusOr<SweepResult> sweep = RunSweep(fixture.specs, options);
+  ASSERT_TRUE(sweep.ok());
+  ASSERT_EQ(sweep->results.size(), fixture.specs.size());
+  EXPECT_EQ(sweep->threads, 2);
+  EXPECT_EQ(sweep->task_wall_us.size(), fixture.specs.size());
+  for (size_t i = 0; i < fixture.specs.size(); ++i) {
+    const StatusOr<SimResult> serial = RunOne(fixture.specs[i]);
+    ASSERT_TRUE(serial.ok());
+    EXPECT_TRUE(SameResult(sweep->results[i], *serial)) << "spec " << i;
+  }
+}
+
+// The tentpole guarantee: the sweep artifact is byte-identical for any
+// thread count.
+TEST(RunSweepTest, CsvGoldenAcrossThreadCounts) {
+  SweepFixture fixture;
+  SweepOptions serial_options;
+  serial_options.threads = 1;
+  const StatusOr<SweepResult> serial = RunSweep(fixture.specs, serial_options);
+  ASSERT_TRUE(serial.ok());
+  const std::string golden = SweepCsvRows(fixture.specs, *serial);
+  EXPECT_NE(golden.find("pstore,pstore,"), std::string::npos);
+
+  for (int threads : {2, 8}) {
+    SweepOptions options;
+    options.threads = threads;
+    const StatusOr<SweepResult> sweep = RunSweep(fixture.specs, options);
+    ASSERT_TRUE(sweep.ok());
+    EXPECT_EQ(SweepCsvRows(fixture.specs, *sweep), golden)
+        << "with " << threads << " threads";
+  }
+}
+
+TEST(RunSweepTest, RunsOnCallerOwnedPool) {
+  SweepFixture fixture;
+  ThreadPool pool(3);
+  SweepOptions options;
+  options.pool = &pool;
+  options.threads = 1;  // ignored when a pool is supplied
+  const StatusOr<SweepResult> sweep = RunSweep(fixture.specs, options);
+  ASSERT_TRUE(sweep.ok());
+  EXPECT_EQ(sweep->threads, 3);
+  SweepOptions serial_options;
+  serial_options.threads = 1;
+  const StatusOr<SweepResult> serial = RunSweep(fixture.specs, serial_options);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_EQ(SweepCsvRows(fixture.specs, *sweep),
+            SweepCsvRows(fixture.specs, *serial));
+}
+
+TEST(RunSweepTest, MissingPredictorIsRejectedBeforeRunning) {
+  SweepFixture fixture;
+  fixture.specs[0].predictor = nullptr;
+  const StatusOr<SweepResult> sweep = RunSweep(fixture.specs, {});
+  ASSERT_FALSE(sweep.ok());
+  EXPECT_NE(sweep.status().message().find("needs a predictor"),
+            std::string::npos);
+}
+
+TEST(RunSweepTest, AliasedTracersAreRejected) {
+  SweepFixture fixture;
+  obs::Tracer tracer;
+  fixture.specs[0].tracer = &tracer;
+  fixture.specs[2].tracer = &tracer;
+  const StatusOr<SweepResult> sweep = RunSweep(fixture.specs, {});
+  ASSERT_FALSE(sweep.ok());
+  EXPECT_NE(sweep.status().message().find("share a Tracer"),
+            std::string::npos);
+}
+
+TEST(RunSweepTest, EmitsSweepTelemetryInSpecOrder) {
+  SweepFixture fixture;
+  obs::Tracer tracer;
+  auto sink = std::make_unique<obs::CountingTraceSink>();
+  obs::CountingTraceSink* counter = sink.get();
+  tracer.SetSink(std::move(sink));
+  SweepOptions options;
+  options.threads = 2;
+  options.tracer = &tracer;
+  const StatusOr<SweepResult> sweep = RunSweep(fixture.specs, options);
+  ASSERT_TRUE(sweep.ok());
+  // One sweep.task per spec plus the closing sweep.done.
+  EXPECT_EQ(counter->count(),
+            static_cast<int64_t>(fixture.specs.size()) + 1);
+}
+
+}  // namespace
+}  // namespace pstore

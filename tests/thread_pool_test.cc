@@ -1,0 +1,151 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pstore {
+namespace {
+
+// A deterministic per-index workload: enough arithmetic that indices
+// finish out of order under real scheduling, but a pure function of i.
+double Work(size_t i) {
+  double x = static_cast<double>(i) + 1.0;
+  for (int k = 0; k < 100; ++k) {
+    x = std::sqrt(x * 3.0 + static_cast<double>(k));
+  }
+  return x;
+}
+
+TEST(ThreadPoolTest, HardwareConcurrencyAtLeastOne) {
+  EXPECT_GE(ThreadPool::HardwareConcurrency(), 1);
+}
+
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  EXPECT_EQ(ResolveThreadCount(0), ThreadPool::HardwareConcurrency());
+  EXPECT_EQ(ResolveThreadCount(-3), ThreadPool::HardwareConcurrency());
+  EXPECT_EQ(ResolveThreadCount(1), 1);
+  EXPECT_EQ(ResolveThreadCount(7), 7);
+}
+
+TEST(ThreadPoolTest, ThreadCountClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1);
+}
+
+TEST(ThreadPoolTest, EveryIndexRunsExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    constexpr size_t kCount = 1000;
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.ParallelFor(kCount, [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " with " << threads
+                                   << " threads";
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ZeroCountIsANoOp) {
+  ThreadPool pool(4);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "body ran for empty range"; });
+}
+
+// The core reproducibility contract: results written by index are
+// bit-identical for any thread count.
+TEST(ThreadPoolTest, DeterministicAcrossThreadCounts) {
+  constexpr size_t kCount = 500;
+  std::vector<double> serial(kCount);
+  {
+    ThreadPool pool(1);
+    pool.ParallelFor(kCount, [&](size_t i) { serial[i] = Work(i); });
+  }
+  for (int threads : {2, 8}) {
+    std::vector<double> parallel(kCount);
+    ThreadPool pool(threads);
+    pool.ParallelFor(kCount, [&](size_t i) { parallel[i] = Work(i); });
+    EXPECT_EQ(serial, parallel) << "with " << threads << " threads";
+  }
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossBatches) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<size_t> sum{0};
+    pool.ParallelFor(100, [&](size_t i) { sum.fetch_add(i + 1); });
+    EXPECT_EQ(sum.load(), 5050u) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, LowestIndexExceptionWins) {
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(64);
+    try {
+      pool.ParallelFor(64, [&](size_t i) {
+        hits[i].fetch_add(1);
+        if (i == 7 || i == 23 || i == 50) {
+          throw std::runtime_error("boom " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception with " << threads << " threads";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "boom 7") << "with " << threads
+                                           << " threads";
+    }
+    // Failure does not abandon the batch: every index still ran.
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, PoolSurvivesAFailedBatch) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(8, [](size_t) { throw std::runtime_error("x"); }),
+      std::runtime_error);
+  std::atomic<size_t> count{0};
+  pool.ParallelFor(8, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8u);
+}
+
+TEST(ThreadPoolTest, ParallelForStatusOk) {
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    std::vector<int> out(100, 0);
+    const Status status = pool.ParallelForStatus(out.size(), [&](size_t i) {
+      out[i] = static_cast<int>(i);
+      return Status::OK();
+    });
+    EXPECT_TRUE(status.ok());
+    for (size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], static_cast<int>(i));
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForStatusReturnsLowestFailingIndex) {
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    const Status status = pool.ParallelForStatus(64, [](size_t i) {
+      if (i % 10 == 3) {  // fails at 3, 13, 23, ...
+        return Status::InvalidArgument("bad index " + std::to_string(i));
+      }
+      return Status::OK();
+    });
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.message(), "bad index 3") << "with " << threads
+                                               << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace pstore

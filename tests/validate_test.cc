@@ -232,7 +232,7 @@ TEST(ValidatorIntegrationTest, MigratorScheduleValidatesOnFig08Config) {
   cluster_options.initial_nodes = 1;
   cluster_options.num_buckets = 1200;
   Cluster cluster(cluster_options);
-  b2w::WorkloadOptions workload_options;
+  b2w::B2wWorkloadOptions workload_options;
   workload_options.cart_pool = 2000;
   workload_options.checkout_pool = 800;
   b2w::Workload workload(workload_options);

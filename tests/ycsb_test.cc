@@ -72,7 +72,7 @@ TEST(ZipfTest, KeysStayInRange) {
 
 TEST(YcsbWorkloadTest, LoadsRecords) {
   Cluster cluster(SmallCluster());
-  WorkloadOptions options;
+  YcsbWorkloadOptions options;
   options.record_count = 5000;
   options.record_bytes = 512;
   Workload workload(options);
@@ -82,7 +82,7 @@ TEST(YcsbWorkloadTest, LoadsRecords) {
 }
 
 TEST(YcsbWorkloadTest, MixCFullyReadOnly) {
-  WorkloadOptions options;
+  YcsbWorkloadOptions options;
   options.mix = Mix::kC;
   Workload workload(options);
   Rng rng(5);
@@ -92,7 +92,7 @@ TEST(YcsbWorkloadTest, MixCFullyReadOnly) {
 }
 
 TEST(YcsbWorkloadTest, MixProportions) {
-  WorkloadOptions options;
+  YcsbWorkloadOptions options;
   options.mix = Mix::kA;
   Workload workload(options);
   Rng rng(6);
@@ -113,7 +113,7 @@ TEST(YcsbWorkloadTest, ProceduresExecute) {
   exec_options.mean_service_seconds = 1e-4;
   TxnExecutor executor(&cluster, &metrics, exec_options);
   ASSERT_TRUE(Workload::RegisterProcedures(&executor).ok());
-  WorkloadOptions options;
+  YcsbWorkloadOptions options;
   options.record_count = 2000;
   Workload workload(options);
   ASSERT_TRUE(workload.LoadInitialData(&cluster).ok());
@@ -129,7 +129,7 @@ TEST(YcsbWorkloadTest, UpdateBumpsVersion) {
   Cluster cluster(SmallCluster());
   TxnExecutor executor(&cluster, nullptr, ExecutorOptions{});
   ASSERT_TRUE(Workload::RegisterProcedures(&executor).ok());
-  WorkloadOptions options;
+  YcsbWorkloadOptions options;
   options.record_count = 10;
   Workload workload(options);
   ASSERT_TRUE(workload.LoadInitialData(&cluster).ok());
@@ -166,7 +166,7 @@ TEST(YcsbWorkloadTest, SkewedKeysCreatePartitionImbalance) {
   exec_options.mean_service_seconds = 1e-5;
   TxnExecutor executor(&cluster, &metrics, exec_options);
   ASSERT_TRUE(Workload::RegisterProcedures(&executor).ok());
-  WorkloadOptions options;
+  YcsbWorkloadOptions options;
   options.record_count = 20000;
   options.zipf_theta = 1.3;
   Workload workload(options);

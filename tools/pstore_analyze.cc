@@ -14,6 +14,7 @@
 #include "analysis/analyzer.h"
 #include "analysis/check.h"
 #include "analysis/project.h"
+#include "common/flags.h"
 #include "common/status.h"
 
 namespace {
@@ -28,21 +29,18 @@ int Usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<std::string> roots;
-  std::vector<std::string> rules;
-  bool list_rules = false;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--list-rules") {
-      list_rules = true;
-    } else if (arg.rfind("--rule=", 0) == 0) {
-      rules.push_back(arg.substr(7));
-    } else if (arg == "--help" || arg.rfind("--", 0) == 0) {
-      return Usage();
-    } else {
-      roots.push_back(arg);
-    }
+  pstore::FlagParser flags;
+  const pstore::Status parsed = flags.Parse(argc - 1, argv + 1);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "pstore_analyze: %s\n", parsed.ToString().c_str());
+    return Usage();
   }
+  for (const auto& flag : flags.flags()) {
+    if (flag.first != "rule" && flag.first != "list-rules") return Usage();
+  }
+  std::vector<std::string> roots = flags.positional();
+  const std::vector<std::string> rules = flags.GetStrings("rule");
+  const bool list_rules = flags.GetBool("list-rules", false);
 
   pstore::analysis::Analyzer analyzer;
   if (list_rules) {

@@ -16,11 +16,17 @@
 //       [--degrade-rate=2] [--chunk-abort-rate=12]
 //       [--mean-outage=60] (seconds; also --mean-straggler, --mean-degrade)
 //
+// --controller accepts a comma list ("pstore,reactive"): the same drill
+// is then run once per controller, concurrently on --threads N worker
+// threads (default: hardware concurrency), with reports printed in
+// controller order — identical output for any thread count.
+//
 // Machine-readable outputs:
 //   --trace-out=run.jsonl   structured event trace across the whole
 //                           stack (controller, predictor, planner,
 //                           migration, faults); render with
-//                           pstore_report --trace=run.jsonl
+//                           pstore_report --trace=run.jsonl (single
+//                           controller only: a Tracer is one sink)
 //   --bench-json=out.json   headline metrics as a JSON metrics registry
 
 #include <cstdio>
@@ -36,6 +42,7 @@
 #include "common/rng.h"
 #include "common/sim_time.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "common/time_series.h"
 #include "controller/predictive_controller.h"
 #include "controller/reactive_controller.h"
@@ -51,6 +58,7 @@
 #include "obs/tracer.h"
 #include "prediction/naive_models.h"
 #include "prediction/online_predictor.h"
+#include "sim/run_spec.h"
 
 using namespace pstore;
 
@@ -59,6 +67,183 @@ namespace {
 int Fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n", message.c_str());
   return 1;
+}
+
+// One drill: the shared run description (label, strategy, kStep
+// workload, tracer) plus the engine-side knobs.
+struct DrillConfig {
+  RunSpec spec;
+  int nodes = 2;
+  double total_seconds = 0.0;
+  std::vector<FaultEvent> faults;
+};
+
+// Everything the report prints, snapshotted so drills can run
+// concurrently and print afterwards, in order.
+struct DrillResult {
+  size_t fault_events = 0;
+  int64_t submitted = 0;
+  int64_t committed = 0;
+  int64_t unavailable = 0;
+  int64_t reconfigs_completed = 0;
+  int64_t reconfigs_failed = 0;
+  int64_t chunk_retries = 0;
+  int64_t chunks_aborted = 0;
+  FaultInjector::Stats fault_stats;
+  bool predictive = false;
+  int64_t moves_started = 0;
+  int64_t move_failures = 0;
+  int64_t replans = 0;
+  int64_t scale_outs = 0;
+  int64_t scale_ins = 0;
+  double avg_machines = 0.0;
+  std::vector<WindowStats> windows;
+  SlaAttribution sla;
+};
+
+DrillResult RunDrill(const DrillConfig& config) {
+  obs::Tracer* tracer = config.spec.tracer;
+  const StatusOr<TimeSeries> built = BuildWorkloadTrace(config.spec.workload);
+  PSTORE_CHECK_OK(built.status());
+  const TimeSeries& trace = *built;
+  const double slot_seconds = trace.slot_seconds();
+
+  // Engine: a 10-node-max cluster running B2W, same shape as the
+  // controller tests so drills are comparable with known-good behaviour.
+  ClusterOptions cluster_options;
+  cluster_options.partitions_per_node = 6;
+  cluster_options.max_nodes = 10;
+  cluster_options.initial_nodes = config.nodes;
+  cluster_options.num_buckets = 1200;
+  Cluster cluster(cluster_options);
+  MetricsCollector metrics(1.0);
+  TxnExecutor executor(&cluster, &metrics, ExecutorOptions{});
+  PSTORE_CHECK_OK(b2w::RegisterProcedures(&executor));
+  b2w::B2wWorkloadOptions workload_options;
+  workload_options.cart_pool = 20000;
+  workload_options.checkout_pool = 8000;
+  b2w::Workload workload(workload_options);
+  PSTORE_CHECK_OK(workload.LoadInitialData(&cluster));
+
+  MigrationOptions migration_options;
+  migration_options.net_rate_bytes_per_sec = 200e3;
+  migration_options.chunk_spacing_seconds = 0.5;
+  migration_options.chunk_bytes = 256 * 1024;
+  migration_options.extract_rate_bytes_per_sec = 20e6;
+  EventLoop loop;
+  MigrationManager migration(&loop, &cluster, &metrics, migration_options);
+  executor.set_tracer(tracer);
+  migration.set_tracer(tracer);
+
+  DriverOptions driver_options;
+  driver_options.slot_sim_seconds = slot_seconds;
+  driver_options.rate_factor = 1.0;
+  driver_options.seed = 21;
+  WorkloadDriver driver(
+      &loop, &executor, trace,
+      [&workload](Rng& rng) { return workload.NextTransaction(rng); },
+      driver_options);
+  driver.set_tracer(tracer);
+  metrics.RecordMachines(0, cluster.active_nodes());
+
+  FaultInjector injector(&loop, &cluster, &metrics,
+                         FaultSchedule::Scripted(config.faults));
+  injector.set_tracer(tracer);
+  migration.set_fault_hook(&injector);
+  injector.Arm();
+
+  // Controller under test.
+  std::unique_ptr<OnlinePredictor> oracle;
+  std::unique_ptr<PredictiveController> pstore_controller;
+  std::unique_ptr<ReactiveController> reactive_controller;
+  if (config.spec.strategy == Strategy::kPredictive) {
+    OnlinePredictorOptions predictor_options;
+    predictor_options.inflation = 1.1;
+    predictor_options.refit_interval = 1u << 30;
+    predictor_options.training_window = 10;
+    oracle = std::make_unique<OnlinePredictor>(
+        std::make_unique<OraclePredictor>(trace), predictor_options);
+    oracle->set_tracer(tracer, [&loop] { return loop.now(); });
+    PSTORE_CHECK_OK(oracle->Warmup(trace.Slice(0, 1)));
+    PredictiveControllerOptions options;
+    options.slot_sim_seconds = slot_seconds;
+    options.plan_slot_factor = 5;
+    options.horizon_plan_slots = 20;
+    options.planner_params.target_rate_per_node = 285.0;
+    options.planner_params.max_rate_per_node = 350.0;
+    options.planner_params.partitions_per_node = 6;
+    options.planner_params.d_slots = SingleThreadFullMigrationSeconds(
+        cluster.TotalDataBytes(), migration_options) / 30.0;
+    pstore_controller = std::make_unique<PredictiveController>(
+        &loop, &cluster, &executor, &migration, oracle.get(), options);
+    pstore_controller->set_tracer(tracer);
+    pstore_controller->Start();
+  } else {
+    PSTORE_CHECK(config.spec.strategy == Strategy::kReactive);
+    ReactiveControllerOptions options;
+    options.slot_sim_seconds = slot_seconds;
+    options.planner_params.target_rate_per_node = 285.0;
+    options.planner_params.max_rate_per_node = 350.0;
+    options.planner_params.partitions_per_node = 6;
+    reactive_controller = std::make_unique<ReactiveController>(
+        &loop, &cluster, &executor, &migration, options);
+    reactive_controller->Start();
+  }
+
+  const SimTime end = FromSeconds(config.total_seconds);
+  driver.Start(end);
+  loop.RunUntil(end);
+
+  DrillResult result;
+  result.fault_events = injector.schedule().events().size();
+  result.submitted = executor.submitted_count();
+  result.committed = executor.committed_count();
+  result.unavailable = executor.unavailable_count();
+  result.reconfigs_completed =
+      static_cast<int64_t>(migration.reconfigurations_completed());
+  result.reconfigs_failed =
+      static_cast<int64_t>(migration.reconfigurations_failed());
+  result.chunk_retries = migration.chunk_retries().value();
+  result.chunks_aborted = migration.chunks_aborted().value();
+  result.fault_stats = injector.stats();
+  if (pstore_controller != nullptr) {
+    result.predictive = true;
+    result.moves_started = pstore_controller->reconfigurations_started();
+    result.move_failures = pstore_controller->move_failures();
+    result.replans = pstore_controller->replans_after_failure();
+  } else {
+    result.scale_outs = reactive_controller->scale_outs();
+    result.scale_ins = reactive_controller->scale_ins();
+    result.move_failures = reactive_controller->move_failures();
+  }
+  result.avg_machines = metrics.AverageMachines(end);
+  result.windows = metrics.Finalize(end);
+  result.sla = MetricsCollector::AttributeViolations(result.windows);
+
+  if (tracer != nullptr) {
+    // One sla.window event per window violating the 500 ms p99 SLA, then
+    // the run's headline numbers so the trace is self-describing.
+    for (const WindowStats& window : result.windows) {
+      if (window.p99_ms <= 500.0) continue;
+      PSTORE_TRACE(tracer, ::pstore::obs::TraceCategory::kReport,
+                   FromSeconds(window.start_seconds), "sla.window",
+                   .With("p50_ms", window.p50_ms)
+                       .With("p95_ms", window.p95_ms)
+                       .With("p99_ms", window.p99_ms)
+                       .With("fault", window.fault)
+                       .With("migrating", window.migrating));
+    }
+    PSTORE_TRACE(tracer, ::pstore::obs::TraceCategory::kReport, end,
+                 "run.summary",
+                 .With("controller", config.spec.label)
+                     .With("submitted", result.submitted)
+                     .With("committed", result.committed)
+                     .With("unavailable", result.unavailable)
+                     .With("chunk_retries", result.chunk_retries)
+                     .With("avg_machines", result.avg_machines)
+                     .With("sla_p99_violations", result.sla.total.p99));
+  }
+  return result;
 }
 
 void PrintAttribution(const SlaAttribution& sla) {
@@ -73,6 +258,61 @@ void PrintAttribution(const SlaAttribution& sla) {
   row("migration", sla.during_migration);
   row("baseline", sla.baseline);
   row("total", sla.total);
+}
+
+void PrintDrill(const DrillConfig& config, const DrillResult& result,
+                int64_t minutes) {
+  std::printf("Chaos drill: %s controller, %lld min, %zu fault events\n\n",
+              config.spec.label.c_str(), static_cast<long long>(minutes),
+              result.fault_events);
+  std::printf("transactions:         %lld submitted, %lld committed, "
+              "%lld unavailable\n",
+              static_cast<long long>(result.submitted),
+              static_cast<long long>(result.committed),
+              static_cast<long long>(result.unavailable));
+  std::printf("reconfigurations:     %lld completed, %lld failed\n",
+              static_cast<long long>(result.reconfigs_completed),
+              static_cast<long long>(result.reconfigs_failed));
+  std::printf("chunk retries:        %lld (%lld from injected aborts)\n",
+              static_cast<long long>(result.chunk_retries),
+              static_cast<long long>(result.chunks_aborted));
+  const FaultInjector::Stats& stats = result.fault_stats;
+  std::printf("faults applied:       %lld crashes, %lld stragglers, "
+              "%lld degradations, %lld/%lld chunk aborts consumed\n",
+              static_cast<long long>(stats.crashes),
+              static_cast<long long>(stats.stragglers),
+              static_cast<long long>(stats.degradations),
+              static_cast<long long>(stats.chunk_aborts_consumed),
+              static_cast<long long>(stats.chunk_aborts_armed));
+  if (result.predictive) {
+    std::printf("controller:           %lld moves started, %lld failed, "
+                "%lld immediate re-plans\n",
+                static_cast<long long>(result.moves_started),
+                static_cast<long long>(result.move_failures),
+                static_cast<long long>(result.replans));
+  } else {
+    std::printf("controller:           %lld scale-outs, %lld scale-ins, "
+                "%lld failed moves\n",
+                static_cast<long long>(result.scale_outs),
+                static_cast<long long>(result.scale_ins),
+                static_cast<long long>(result.move_failures));
+  }
+  std::printf("average machines:     %.2f\n\n", result.avg_machines);
+  PrintAttribution(result.sla);
+}
+
+std::vector<std::string> SplitCommaList(const std::string& value) {
+  std::vector<std::string> parts;
+  std::string::size_type begin = 0;
+  while (begin <= value.size()) {
+    const std::string::size_type comma = value.find(',', begin);
+    const std::string::size_type end =
+        comma == std::string::npos ? value.size() : comma;
+    if (end > begin) parts.push_back(value.substr(begin, end - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return parts;
 }
 
 }  // namespace
@@ -100,87 +340,40 @@ int main(int argc, char** argv) {
   const StatusOr<double> mean_straggler =
       flags.GetDouble("mean-straggler", 45.0);
   const StatusOr<double> mean_degrade = flags.GetDouble("mean-degrade", 90.0);
+  const StatusOr<int64_t> threads = flags.GetInt("threads", 0);
   for (const Status& status :
        {minutes.status(), nodes.status(), base_rate.status(),
         peak_rate.status(), step_minute.status(), crash_node.status(),
         crash_at.status(), recover_at.status(), seed.status(),
         crash_rate.status(), straggler_rate.status(), degrade_rate.status(),
         abort_rate.status(), mean_outage.status(), mean_straggler.status(),
-        mean_degrade.status()}) {
+        mean_degrade.status(), threads.status()}) {
     if (!status.ok()) return Fail(status.ToString());
   }
   if (*minutes < 1) return Fail("--minutes must be >= 1");
+  if (*nodes < 1 || *nodes > 10) return Fail("--nodes outside [1, 10]");
   const double total_seconds = static_cast<double>(*minutes) * 60.0;
 
-  // Structured run trace (no-op unless --trace-out is given: components
-  // are wired to the tracer, but without a sink every event is skipped).
-  const std::string trace_out = flags.GetString("trace-out", "");
-  obs::Tracer tracer;
-  if (!trace_out.empty()) {
-    const Status opened = tracer.OpenJsonl(trace_out);
-    if (!opened.ok()) return Fail(opened.ToString());
-  }
-
-  // Load trace: base rate stepping to the peak at --step-minute, on 6 s
-  // slots (the controller's monitoring granularity).
+  // Load trace description: base rate stepping to the peak at
+  // --step-minute, on 6 s slots (the controller's monitoring
+  // granularity). Each drill materializes its own copy.
   const double slot_seconds = 6.0;
-  const size_t slots =
+  WorkloadSpec workload;
+  workload.kind = WorkloadSpec::Kind::kStep;
+  workload.step_slot_seconds = slot_seconds;
+  workload.step_slots =
       static_cast<size_t>(total_seconds / slot_seconds + 0.5);
-  const size_t step_slot =
+  workload.step_at_slot =
       static_cast<size_t>(*step_minute * 60.0 / slot_seconds + 0.5);
-  TimeSeries trace(slot_seconds);
-  for (size_t i = 0; i < slots; ++i) {
-    trace.Append(i < step_slot ? *base_rate : *peak_rate);
-  }
-
-  // Engine: a 10-node-max cluster running B2W, same shape as the
-  // controller tests so drills are comparable with known-good behaviour.
-  ClusterOptions cluster_options;
-  cluster_options.partitions_per_node = 6;
-  cluster_options.max_nodes = 10;
-  cluster_options.initial_nodes = static_cast<int>(*nodes);
-  cluster_options.num_buckets = 1200;
-  if (*nodes < 1 || *nodes > cluster_options.max_nodes) {
-    return Fail("--nodes outside [1, 10]");
-  }
-  Cluster cluster(cluster_options);
-  MetricsCollector metrics(1.0);
-  TxnExecutor executor(&cluster, &metrics, ExecutorOptions{});
-  PSTORE_CHECK_OK(b2w::RegisterProcedures(&executor));
-  b2w::WorkloadOptions workload_options;
-  workload_options.cart_pool = 20000;
-  workload_options.checkout_pool = 8000;
-  b2w::Workload workload(workload_options);
-  PSTORE_CHECK_OK(workload.LoadInitialData(&cluster));
-
-  MigrationOptions migration_options;
-  migration_options.net_rate_bytes_per_sec = 200e3;
-  migration_options.chunk_spacing_seconds = 0.5;
-  migration_options.chunk_bytes = 256 * 1024;
-  migration_options.extract_rate_bytes_per_sec = 20e6;
-  EventLoop loop;
-  MigrationManager migration(&loop, &cluster, &metrics, migration_options);
-  executor.set_tracer(&tracer);
-  migration.set_tracer(&tracer);
-
-  DriverOptions driver_options;
-  driver_options.slot_sim_seconds = slot_seconds;
-  driver_options.rate_factor = 1.0;
-  driver_options.seed = 21;
-  WorkloadDriver driver(
-      &loop, &executor, trace,
-      [&workload](Rng& rng) { return workload.NextTransaction(rng); },
-      driver_options);
-  driver.set_tracer(&tracer);
-  metrics.RecordMachines(0, cluster.active_nodes());
+  workload.base_rate = *base_rate;
+  workload.peak_rate = *peak_rate;
 
   // Fault schedule: scripted crash window plus optional seeded-random
-  // streams, merged into one time-ordered schedule.
+  // streams, merged into one time-ordered schedule (shared by every
+  // drill, so controllers face the identical storm).
   std::vector<FaultEvent> events;
   if (*crash_node >= 0) {
-    if (*crash_node >= cluster_options.max_nodes) {
-      return Fail("--crash-node outside the cluster");
-    }
+    if (*crash_node >= 10) return Fail("--crash-node outside the cluster");
     FaultEvent crash;
     crash.at = FromSeconds(*crash_at);
     crash.kind = FaultKind::kNodeCrash;
@@ -197,7 +390,7 @@ int main(int argc, char** argv) {
     FaultScheduleOptions fault_options;
     fault_options.seed = static_cast<uint64_t>(*seed);
     fault_options.horizon_seconds = total_seconds;
-    fault_options.max_node = cluster_options.max_nodes - 1;
+    fault_options.max_node = 9;
     fault_options.crash_rate_per_hour = *crash_rate;
     fault_options.mean_outage_seconds = *mean_outage;
     fault_options.chunk_abort_rate_per_hour = *abort_rate;
@@ -209,121 +402,57 @@ int main(int argc, char** argv) {
     events.insert(events.end(), random.events().begin(),
                   random.events().end());
   }
-  FaultInjector injector(&loop, &cluster, &metrics,
-                         FaultSchedule::Scripted(std::move(events)));
-  injector.set_tracer(&tracer);
-  migration.set_fault_hook(&injector);
-  injector.Arm();
 
-  // Controller under test.
-  const std::string controller_name = flags.GetString("controller", "pstore");
-  std::unique_ptr<OnlinePredictor> oracle;
-  std::unique_ptr<PredictiveController> pstore_controller;
-  std::unique_ptr<ReactiveController> reactive_controller;
-  if (controller_name == "pstore") {
-    OnlinePredictorOptions predictor_options;
-    predictor_options.inflation = 1.1;
-    predictor_options.refit_interval = 1u << 30;
-    predictor_options.training_window = 10;
-    oracle = std::make_unique<OnlinePredictor>(
-        std::make_unique<OraclePredictor>(trace), predictor_options);
-    oracle->set_tracer(&tracer, [&loop] { return loop.now(); });
-    PSTORE_CHECK_OK(oracle->Warmup(trace.Slice(0, 1)));
-    PredictiveControllerOptions options;
-    options.slot_sim_seconds = slot_seconds;
-    options.plan_slot_factor = 5;
-    options.horizon_plan_slots = 20;
-    options.planner_params.target_rate_per_node = 285.0;
-    options.planner_params.max_rate_per_node = 350.0;
-    options.planner_params.partitions_per_node = 6;
-    options.planner_params.d_slots = SingleThreadFullMigrationSeconds(
-        cluster.TotalDataBytes(), migration_options) / 30.0;
-    pstore_controller = std::make_unique<PredictiveController>(
-        &loop, &cluster, &executor, &migration, oracle.get(), options);
-    pstore_controller->set_tracer(&tracer);
-    pstore_controller->Start();
-  } else if (controller_name == "reactive") {
-    ReactiveControllerOptions options;
-    options.slot_sim_seconds = slot_seconds;
-    options.planner_params.target_rate_per_node = 285.0;
-    options.planner_params.max_rate_per_node = 350.0;
-    options.planner_params.partitions_per_node = 6;
-    reactive_controller = std::make_unique<ReactiveController>(
-        &loop, &cluster, &executor, &migration, options);
-    reactive_controller->Start();
-  } else {
-    return Fail("unknown --controller (pstore|reactive): " + controller_name);
+  // One drill per requested controller.
+  const std::string controller_flag = flags.GetString("controller", "pstore");
+  const std::vector<std::string> controller_names =
+      SplitCommaList(controller_flag);
+  if (controller_names.empty()) return Fail("--controller lists nothing");
+  std::vector<DrillConfig> drills;
+  for (const std::string& name : controller_names) {
+    StatusOr<Strategy> strategy = ParseStrategy(name);
+    if (!strategy.ok() || (*strategy != Strategy::kPredictive &&
+                           *strategy != Strategy::kReactive)) {
+      return Fail("unknown --controller (pstore|reactive): " + name);
+    }
+    DrillConfig drill;
+    drill.spec.label = StrategyName(*strategy);
+    drill.spec.strategy = *strategy;
+    drill.spec.workload = workload;
+    drill.nodes = static_cast<int>(*nodes);
+    drill.total_seconds = total_seconds;
+    drill.faults = events;
+    drills.push_back(std::move(drill));
   }
 
-  const SimTime end = FromSeconds(total_seconds);
-  driver.Start(end);
-  loop.RunUntil(end);
-
-  std::printf("Chaos drill: %s controller, %lld min, %zu fault events\n\n",
-              controller_name.c_str(), static_cast<long long>(*minutes),
-              injector.schedule().events().size());
-  std::printf("transactions:         %lld submitted, %lld committed, "
-              "%lld unavailable\n",
-              static_cast<long long>(executor.submitted_count()),
-              static_cast<long long>(executor.committed_count()),
-              static_cast<long long>(executor.unavailable_count()));
-  std::printf("reconfigurations:     %lld completed, %lld failed\n",
-              static_cast<long long>(migration.reconfigurations_completed()),
-              static_cast<long long>(migration.reconfigurations_failed()));
-  std::printf("chunk retries:        %lld (%lld from injected aborts)\n",
-              static_cast<long long>(migration.chunk_retries().value()),
-              static_cast<long long>(migration.chunks_aborted().value()));
-  const FaultInjector::Stats& stats = injector.stats();
-  std::printf("faults applied:       %lld crashes, %lld stragglers, "
-              "%lld degradations, %lld/%lld chunk aborts consumed\n",
-              static_cast<long long>(stats.crashes),
-              static_cast<long long>(stats.stragglers),
-              static_cast<long long>(stats.degradations),
-              static_cast<long long>(stats.chunk_aborts_consumed),
-              static_cast<long long>(stats.chunk_aborts_armed));
-  if (pstore_controller != nullptr) {
-    std::printf("controller:           %lld moves started, %lld failed, "
-                "%lld immediate re-plans\n",
-                static_cast<long long>(
-                    pstore_controller->reconfigurations_started()),
-                static_cast<long long>(pstore_controller->move_failures()),
-                static_cast<long long>(
-                    pstore_controller->replans_after_failure()));
-  } else {
-    std::printf("controller:           %lld scale-outs, %lld scale-ins, "
-                "%lld failed moves\n",
-                static_cast<long long>(reactive_controller->scale_outs()),
-                static_cast<long long>(reactive_controller->scale_ins()),
-                static_cast<long long>(reactive_controller->move_failures()));
+  // Structured run trace (single controller only: a Tracer is one
+  // single-threaded sink).
+  const std::string trace_out = flags.GetString("trace-out", "");
+  obs::Tracer tracer;
+  if (!trace_out.empty()) {
+    if (drills.size() > 1) {
+      return Fail("--trace-out needs a single --controller");
+    }
+    const Status opened = tracer.OpenJsonl(trace_out);
+    if (!opened.ok()) return Fail(opened.ToString());
+    drills[0].spec.tracer = &tracer;
   }
-  std::printf("average machines:     %.2f\n\n", metrics.AverageMachines(end));
 
-  const std::vector<WindowStats> windows = metrics.Finalize(end);
-  const SlaAttribution sla = MetricsCollector::AttributeViolations(windows);
-  PrintAttribution(sla);
+  // Run the drills concurrently; results come back by drill index, so
+  // the printed reports are in --controller order regardless of the
+  // thread count.
+  std::vector<DrillResult> results(drills.size());
+  {
+    ThreadPool pool(ResolveThreadCount(*threads));
+    pool.ParallelFor(drills.size(),
+                     [&](size_t i) { results[i] = RunDrill(drills[i]); });
+  }
+  for (size_t i = 0; i < drills.size(); ++i) {
+    if (i > 0) std::printf("\n");
+    PrintDrill(drills[i], results[i], *minutes);
+  }
 
   if (!trace_out.empty()) {
-    // One sla.window event per window violating the 500 ms p99 SLA, then
-    // the run's headline numbers so the trace is self-describing.
-    for (const WindowStats& window : windows) {
-      if (window.p99_ms <= 500.0) continue;
-      PSTORE_TRACE(&tracer, ::pstore::obs::TraceCategory::kReport,
-                   FromSeconds(window.start_seconds), "sla.window",
-                   .With("p50_ms", window.p50_ms)
-                       .With("p95_ms", window.p95_ms)
-                       .With("p99_ms", window.p99_ms)
-                       .With("fault", window.fault)
-                       .With("migrating", window.migrating));
-    }
-    PSTORE_TRACE(&tracer, ::pstore::obs::TraceCategory::kReport, end,
-                 "run.summary",
-                 .With("controller", controller_name.c_str())
-                     .With("submitted", executor.submitted_count())
-                     .With("committed", executor.committed_count())
-                     .With("unavailable", executor.unavailable_count())
-                     .With("chunk_retries", migration.chunk_retries().value())
-                     .With("avg_machines", metrics.AverageMachines(end))
-                     .With("sla_p99_violations", sla.total.p99));
     const Status closed = tracer.Close();
     if (!closed.ok()) return Fail(closed.ToString());
     std::printf("\nTrace: %lld events -> %s (render with pstore_report "
@@ -335,26 +464,37 @@ int main(int argc, char** argv) {
   const std::string bench_json = flags.GetString("bench-json", "");
   if (!bench_json.empty()) {
     obs::MetricsRegistry registry;
-    registry.GetCounter("engine.txn_submitted")
-        ->Increment(executor.submitted_count());
-    registry.GetCounter("engine.txn_committed")
-        ->Increment(executor.committed_count());
-    registry.GetCounter("engine.txn_unavailable")
-        ->Increment(executor.unavailable_count());
-    registry.GetCounter("migration.completed")
-        ->Increment(migration.reconfigurations_completed());
-    registry.GetCounter("migration.failed")
-        ->Increment(migration.reconfigurations_failed());
-    registry.GetCounter("migration.chunk_retries")
-        ->Increment(migration.chunk_retries().value());
-    registry.GetCounter("fault.crashes")->Increment(stats.crashes);
-    registry.GetCounter("fault.stragglers")->Increment(stats.stragglers);
-    registry.GetGauge("engine.avg_machines")->Set(metrics.AverageMachines(end));
-    registry.GetCounter("sla.p99_violations")->Increment(sla.total.p99);
-    registry.GetCounter("sla.p99_during_fault")
-        ->Increment(sla.during_fault.p99);
-    registry.GetCounter("sla.p99_during_migration")
-        ->Increment(sla.during_migration.p99);
+    for (size_t i = 0; i < drills.size(); ++i) {
+      const DrillResult& result = results[i];
+      // Single-controller drills keep the historical metric names;
+      // multi-controller runs qualify them per controller.
+      const std::string prefix =
+          drills.size() == 1 ? "" : drills[i].spec.label + ".";
+      registry.GetCounter(prefix + "engine.txn_submitted")
+          ->Increment(result.submitted);
+      registry.GetCounter(prefix + "engine.txn_committed")
+          ->Increment(result.committed);
+      registry.GetCounter(prefix + "engine.txn_unavailable")
+          ->Increment(result.unavailable);
+      registry.GetCounter(prefix + "migration.completed")
+          ->Increment(result.reconfigs_completed);
+      registry.GetCounter(prefix + "migration.failed")
+          ->Increment(result.reconfigs_failed);
+      registry.GetCounter(prefix + "migration.chunk_retries")
+          ->Increment(result.chunk_retries);
+      registry.GetCounter(prefix + "fault.crashes")
+          ->Increment(result.fault_stats.crashes);
+      registry.GetCounter(prefix + "fault.stragglers")
+          ->Increment(result.fault_stats.stragglers);
+      registry.GetGauge(prefix + "engine.avg_machines")
+          ->Set(result.avg_machines);
+      registry.GetCounter(prefix + "sla.p99_violations")
+          ->Increment(result.sla.total.p99);
+      registry.GetCounter(prefix + "sla.p99_during_fault")
+          ->Increment(result.sla.during_fault.p99);
+      registry.GetCounter(prefix + "sla.p99_during_migration")
+          ->Increment(result.sla.during_migration.p99);
+    }
     const Status written = registry.WriteJson(bench_json);
     if (!written.ok()) return Fail(written.ToString());
     std::printf("Metrics: %s\n", bench_json.c_str());

@@ -1,6 +1,6 @@
 // pstore_simulate: run the long-horizon capacity simulator over a trace
-// CSV with a chosen allocation strategy — the Fig. 12 machinery as a
-// CLI for operators exploring their own traces.
+// CSV with one or more allocation strategies — the Fig. 12 machinery as
+// a CLI for operators exploring their own traces.
 //
 // Usage:
 //   pstore_simulate --trace=trace.csv --strategy=pstore
@@ -11,6 +11,11 @@
 //   pstore_simulate --trace=trace.csv --strategy=simple --day-nodes=10
 //       --night-nodes=3
 //
+// --strategy accepts a comma list ("pstore,reactive,static"); the runs
+// are independent RunSpecs evaluated concurrently on --threads N worker
+// threads (default: hardware concurrency) with results reported in
+// strategy order — identical for any thread count.
+//
 // Optional seeded-random fault injection (identical --seed reproduces
 // the identical fault stream): node crashes and stragglers degrade the
 // effective capacity while active, and violations occurring under a
@@ -20,11 +25,16 @@
 //       [--fault-nodes=10]
 //
 // Machine-readable outputs:
-//   --trace-out=run.jsonl   structured event trace (see pstore_report)
+//   --trace-out=run.jsonl   structured event trace with sweep telemetry
+//                           (see pstore_report); per-cycle simulator
+//                           events are included for single-strategy runs
+//   --csv-out=sweep.csv     deterministic per-strategy result rows
 //   --bench-json=out.json   headline metrics as a JSON metrics registry
 
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/flags.h"
 #include "common/status.h"
@@ -34,6 +44,7 @@
 #include "obs/tracer.h"
 #include "prediction/spar_model.h"
 #include "sim/capacity_simulator.h"
+#include "sim/run_spec.h"
 #include "trace/trace_io.h"
 
 using namespace pstore;
@@ -61,6 +72,20 @@ void Report(const SimResult& result, double slot_seconds) {
   }
 }
 
+std::vector<std::string> SplitCommaList(const std::string& value) {
+  std::vector<std::string> parts;
+  std::string::size_type begin = 0;
+  while (begin <= value.size()) {
+    const std::string::size_type comma = value.find(',', begin);
+    const std::string::size_type end =
+        comma == std::string::npos ? value.size() : comma;
+    if (end > begin) parts.push_back(value.substr(begin, end - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return parts;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -79,9 +104,10 @@ int main(int argc, char** argv) {
   const StatusOr<int64_t> partitions = flags.GetInt("partitions", 6);
   const StatusOr<int64_t> train_days = flags.GetInt("train-days", 28);
   const StatusOr<double> inflation = flags.GetDouble("inflation", 1.15);
+  const StatusOr<int64_t> threads = flags.GetInt("threads", 0);
   for (const Status& status :
        {q.status(), qhat.status(), d_minutes.status(), partitions.status(),
-        train_days.status(), inflation.status()}) {
+        train_days.status(), inflation.status(), threads.status()}) {
     if (!status.ok()) return Fail(status.ToString());
   }
 
@@ -135,74 +161,106 @@ int main(int argc, char** argv) {
                 options.faults.size());
   }
   options.fine_slot_sim_seconds = slot_seconds;
-  CapacitySimulator sim(options);
 
-  // Structured run trace: every decision and violation as JSONL that
-  // pstore_report can render into a timeline.
+  // One RunSpec per requested strategy, all borrowing the loaded trace.
+  const std::vector<std::string> strategy_names =
+      SplitCommaList(flags.GetString("strategy", "pstore"));
+  if (strategy_names.empty()) return Fail("--strategy lists no strategy");
+
+  std::unique_ptr<SparPredictor> spar;  // fitted on demand, shared
+  std::vector<RunSpec> specs;
+  for (const std::string& name : strategy_names) {
+    StatusOr<Strategy> strategy = ParseStrategy(name);
+    if (!strategy.ok()) return Fail(strategy.status().ToString());
+
+    RunSpec spec;
+    spec.label = StrategyName(*strategy);
+    spec.workload.kind = WorkloadSpec::Kind::kProvided;
+    spec.workload.provided = &*trace;
+    spec.sim = options;
+    spec.strategy = *strategy;
+    switch (*strategy) {
+      case Strategy::kPredictive: {
+        if (spar == nullptr) {
+          const TimeSeries coarse =
+              trace->DownsampleMean(options.plan_slot_factor);
+          SparOptions spar_options;
+          spar_options.period = slots_per_day / options.plan_slot_factor;
+          spar_options.num_periods = 7;
+          spar_options.num_recent = 6;
+          spar_options.max_tau = options.horizon_plan_slots;
+          spar = std::make_unique<SparPredictor>(spar_options);
+          const Status fit = spar->Fit(coarse.Slice(
+              0, options.eval_begin / options.plan_slot_factor));
+          if (!fit.ok()) return Fail("SPAR fit: " + fit.ToString());
+        }
+        spec.predictor = spar.get();
+        break;
+      }
+      case Strategy::kReactive: {
+        const StatusOr<double> watermark =
+            flags.GetDouble("watermark", spec.reactive.high_watermark);
+        if (!watermark.ok()) return Fail(watermark.status().ToString());
+        spec.reactive.high_watermark = *watermark;
+        break;
+      }
+      case Strategy::kStatic: {
+        const StatusOr<int64_t> nodes = flags.GetInt("nodes", 10);
+        if (!nodes.ok()) return Fail(nodes.status().ToString());
+        spec.static_nodes = static_cast<int>(*nodes);
+        break;
+      }
+      case Strategy::kSimple: {
+        spec.simple.slots_per_day = static_cast<int>(slots_per_day);
+        const StatusOr<int64_t> day_nodes = flags.GetInt("day-nodes", 10);
+        const StatusOr<int64_t> night_nodes = flags.GetInt("night-nodes", 3);
+        if (!day_nodes.ok()) return Fail(day_nodes.status().ToString());
+        if (!night_nodes.ok()) return Fail(night_nodes.status().ToString());
+        spec.simple.day_nodes = static_cast<int>(*day_nodes);
+        spec.simple.night_nodes = static_cast<int>(*night_nodes);
+        break;
+      }
+    }
+    specs.push_back(spec);
+  }
+
+  // Structured run trace: sweep telemetry always; per-cycle simulator
+  // events only for a single-strategy run (a Tracer is single-threaded,
+  // so concurrent specs cannot share it).
   const std::string trace_out = flags.GetString("trace-out", "");
   obs::Tracer tracer;
   if (!trace_out.empty()) {
     const Status opened = tracer.OpenJsonl(trace_out);
     if (!opened.ok()) return Fail(opened.ToString());
-    sim.set_tracer(&tracer);
+    if (specs.size() == 1) specs[0].tracer = &tracer;
   }
 
-  const std::string strategy = flags.GetString("strategy", "pstore");
-  std::printf("Strategy %s over %zu evaluation slots (Q=%.0f Qhat=%.0f "
-              "D=%.0fmin)\n\n",
-              strategy.c_str(), trace->size() - options.eval_begin, *q,
-              *qhat, *d_minutes);
+  SweepOptions sweep_options;
+  sweep_options.threads = static_cast<int>(*threads);
+  if (!trace_out.empty()) sweep_options.tracer = &tracer;
 
-  SimResult sim_result;
-  if (strategy == "pstore") {
-    const TimeSeries coarse = trace->DownsampleMean(options.plan_slot_factor);
-    SparOptions spar_options;
-    spar_options.period = slots_per_day / options.plan_slot_factor;
-    spar_options.num_periods = 7;
-    spar_options.num_recent = 6;
-    spar_options.max_tau = options.horizon_plan_slots;
-    SparPredictor spar(spar_options);
-    const Status fit = spar.Fit(
-        coarse.Slice(0, options.eval_begin / options.plan_slot_factor));
-    if (!fit.ok()) return Fail("SPAR fit: " + fit.ToString());
-    StatusOr<SimResult> result = sim.RunPredictive(*trace, spar);
-    if (!result.ok()) return Fail(result.status().ToString());
-    Report(*result, slot_seconds);
-    sim_result = *result;
-  } else if (strategy == "reactive") {
-    ReactiveSimParams params;
-    const StatusOr<double> watermark =
-        flags.GetDouble("watermark", params.high_watermark);
-    if (!watermark.ok()) return Fail(watermark.status().ToString());
-    params.high_watermark = *watermark;
-    StatusOr<SimResult> result = sim.RunReactive(*trace, params);
-    if (!result.ok()) return Fail(result.status().ToString());
-    Report(*result, slot_seconds);
-    sim_result = *result;
-  } else if (strategy == "static") {
-    const StatusOr<int64_t> nodes = flags.GetInt("nodes", 10);
-    if (!nodes.ok()) return Fail(nodes.status().ToString());
-    StatusOr<SimResult> result =
-        sim.RunStatic(*trace, static_cast<int>(*nodes));
-    if (!result.ok()) return Fail(result.status().ToString());
-    Report(*result, slot_seconds);
-    sim_result = *result;
-  } else if (strategy == "simple") {
-    SimpleSimParams params;
-    params.slots_per_day = static_cast<int>(slots_per_day);
-    const StatusOr<int64_t> day_nodes = flags.GetInt("day-nodes", 10);
-    const StatusOr<int64_t> night_nodes = flags.GetInt("night-nodes", 3);
-    if (!day_nodes.ok()) return Fail(day_nodes.status().ToString());
-    if (!night_nodes.ok()) return Fail(night_nodes.status().ToString());
-    params.day_nodes = static_cast<int>(*day_nodes);
-    params.night_nodes = static_cast<int>(*night_nodes);
-    StatusOr<SimResult> result = sim.RunSimple(*trace, params);
-    if (!result.ok()) return Fail(result.status().ToString());
-    Report(*result, slot_seconds);
-    sim_result = *result;
-  } else {
-    return Fail("unknown --strategy (pstore|reactive|static|simple): " +
-                strategy);
+  std::printf("Strategies [%s] over %zu evaluation slots (Q=%.0f "
+              "Qhat=%.0f D=%.0fmin)\n",
+              flags.GetString("strategy", "pstore").c_str(),
+              trace->size() - options.eval_begin, *q, *qhat, *d_minutes);
+  const StatusOr<SweepResult> sweep = RunSweep(specs, sweep_options);
+  if (!sweep.ok()) return Fail(sweep.status().ToString());
+  std::printf("(%zu run(s) on %d thread(s))\n", specs.size(),
+              sweep->threads);
+
+  for (size_t i = 0; i < specs.size(); ++i) {
+    std::printf("\n[%s]\n", specs[i].label.c_str());
+    Report(sweep->results[i], slot_seconds);
+  }
+
+  const std::string csv_out = flags.GetString("csv-out", "");
+  if (!csv_out.empty()) {
+    const std::string rows = SweepCsvRows(specs, *sweep);
+    std::FILE* file = std::fopen(csv_out.c_str(), "w");
+    if (file == nullptr) return Fail("cannot open " + csv_out);
+    std::fwrite(rows.data(), 1, rows.size(), file);
+    if (std::fclose(file) != 0) return Fail("write failed: " + csv_out);
+    std::printf("\nSweep CSV: %s\n", csv_out.c_str());
   }
 
   if (!trace_out.empty()) {
@@ -217,20 +275,29 @@ int main(int argc, char** argv) {
   const std::string bench_json = flags.GetString("bench-json", "");
   if (!bench_json.empty()) {
     obs::MetricsRegistry registry;
-    registry.GetGauge("sim.machine_hours")
-        ->Set(sim_result.machine_slots * slot_seconds / 3600.0);
-    registry.GetGauge("sim.insufficient_fraction")
-        ->Set(sim_result.insufficient_fraction);
-    registry.GetCounter("sim.insufficient_slots")
-        ->Increment(sim_result.insufficient_slots);
-    registry.GetCounter("sim.insufficient_during_move_slots")
-        ->Increment(sim_result.insufficient_during_move_slots);
-    registry.GetCounter("sim.insufficient_during_fault_slots")
-        ->Increment(sim_result.insufficient_during_fault_slots);
-    registry.GetCounter("sim.move_slots")->Increment(sim_result.move_slots);
-    registry.GetCounter("sim.fault_slots")->Increment(sim_result.fault_slots);
-    registry.GetCounter("sim.reconfigurations")
-        ->Increment(sim_result.reconfigurations);
+    for (size_t i = 0; i < specs.size(); ++i) {
+      const SimResult& sim_result = sweep->results[i];
+      // Single-strategy runs keep the historical "sim." metric names;
+      // sweeps qualify them per strategy.
+      const std::string prefix =
+          specs.size() == 1 ? "sim." : "sim." + specs[i].label + ".";
+      registry.GetGauge(prefix + "machine_hours")
+          ->Set(sim_result.machine_slots * slot_seconds / 3600.0);
+      registry.GetGauge(prefix + "insufficient_fraction")
+          ->Set(sim_result.insufficient_fraction);
+      registry.GetCounter(prefix + "insufficient_slots")
+          ->Increment(sim_result.insufficient_slots);
+      registry.GetCounter(prefix + "insufficient_during_move_slots")
+          ->Increment(sim_result.insufficient_during_move_slots);
+      registry.GetCounter(prefix + "insufficient_during_fault_slots")
+          ->Increment(sim_result.insufficient_during_fault_slots);
+      registry.GetCounter(prefix + "move_slots")
+          ->Increment(sim_result.move_slots);
+      registry.GetCounter(prefix + "fault_slots")
+          ->Increment(sim_result.fault_slots);
+      registry.GetCounter(prefix + "reconfigurations")
+          ->Increment(sim_result.reconfigurations);
+    }
     const Status written = registry.WriteJson(bench_json);
     if (!written.ok()) return Fail(written.ToString());
     std::printf("Metrics: %s\n", bench_json.c_str());
