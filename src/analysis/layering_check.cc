@@ -54,6 +54,9 @@ LayeringCheck::AllowedDependencies() {
       {"controller",
        {"common", "obs", "engine", "prediction", "trace", "b2w", "ycsb",
         "planner", "migration", "sim", "fault"}},
+      {"fleet",
+       {"common", "obs", "engine", "prediction", "trace", "b2w", "ycsb",
+        "planner", "migration", "sim", "fault", "controller"}},
   };
   return kAllowed;
 }

@@ -30,12 +30,6 @@ struct B2wWorkloadOptions {
   uint64_t seed = 17;
 };
 
-// Deprecated alias, kept for one PR: the unqualified name collided with
-// ycsb::WorkloadOptions, which RunSpec-style code holding both had to
-// dodge with qualification gymnastics.
-using WorkloadOptions [[deprecated("use B2wWorkloadOptions")]] =
-    B2wWorkloadOptions;
-
 // Per-procedure weights of the transaction mix (cart and checkout
 // operations only — the stock database lives on a separate cluster in
 // production, §7). Values are relative weights.

@@ -81,6 +81,15 @@ using TimeStep = StrongId<struct TimeStepTag, int>;
 // A number of migration chunks (retry/abort accounting).
 using ChunkCount = StrongId<struct ChunkCountTag, std::int64_t>;
 
+// Index of a tenant in a fleet, in [0, tenant count). Fleet-layer APIs
+// key per-tenant state (workload, forecaster, placement) by this id.
+using TenantId = StrongId<struct TenantIdTag, int>;
+
+// Index of a machine in the shared fleet pool, in [0, pool size).
+// Distinct from NodeId: a fleet machine hosts partitions of *many*
+// tenants, while NodeId indexes one tenant's private cluster.
+using MachineId = StrongId<struct MachineIdTag, int>;
+
 // True when `id` indexes into a cluster of `n` machines.
 constexpr bool InCluster(NodeId id, NodeCount n) {
   return id.value() >= 0 && id.value() < n.value();

@@ -1,0 +1,355 @@
+#include "fleet/placement.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/strong_id.h"
+#include "planner/move_model.h"
+#include "planner/move_model_table.h"
+
+namespace pstore {
+namespace fleet {
+namespace {
+
+// Mutable pool state during one Pack: per-machine load, partition count
+// and per-tenant partition counts (distinct-tenant interference needs
+// to know whether an arriving item's tenant is already resident).
+class Pool {
+ public:
+  explicit Pool(const PlacementOptions& options) : options_(&options) {}
+
+  size_t size() const { return load_.size(); }
+  double load(size_t m) const { return load_[m]; }
+  int64_t partitions(size_t m) const { return partitions_[m]; }
+  int distinct_tenants(size_t m) const {
+    return static_cast<int>(tenants_[m].size());
+  }
+
+  void EnsureMachine(size_t m) {
+    if (m >= load_.size()) {
+      load_.resize(m + 1, 0.0);
+      partitions_.resize(m + 1, 0);
+      tenants_.resize(m + 1);
+    }
+  }
+
+  // Capacity of machine m after hypothetically adding one item of
+  // `tenant`.
+  double CapacityWith(size_t m, int tenant) const {
+    int distinct = distinct_tenants(m);
+    if (tenants_[m].find(tenant) == tenants_[m].end()) ++distinct;
+    return EffectiveMachineCapacity(*options_, distinct);
+  }
+
+  bool Fits(size_t m, double demand, int tenant) const {
+    return load_[m] + demand <= CapacityWith(m, tenant);
+  }
+
+  void Add(size_t m, double demand, int tenant) {
+    EnsureMachine(m);
+    load_[m] += demand;
+    ++partitions_[m];
+    ++tenants_[m][tenant];
+  }
+
+  void Remove(size_t m, double demand, int tenant) {
+    load_[m] -= demand;
+    --partitions_[m];
+    auto it = tenants_[m].find(tenant);
+    if (it != tenants_[m].end() && --it->second == 0) tenants_[m].erase(it);
+    if (partitions_[m] == 0) load_[m] = 0.0;  // cancel rounding residue
+  }
+
+  // Over-capacity check for the machine as currently populated.
+  bool Overloaded(size_t m) const {
+    return load_[m] >
+           EffectiveMachineCapacity(*options_, distinct_tenants(m));
+  }
+
+  int MachinesUsed() const {
+    int used = 0;
+    for (size_t m = 0; m < partitions_.size(); ++m) {
+      if (partitions_[m] > 0) ++used;
+    }
+    return used;
+  }
+
+ private:
+  const PlacementOptions* options_;
+  std::vector<double> load_;
+  std::vector<int64_t> partitions_;
+  std::vector<std::unordered_map<int, int>> tenants_;
+};
+
+// Items ordered for placement: demand descending, flat index ascending.
+std::vector<size_t> PlacementOrder(const std::vector<double>& item_demand) {
+  std::vector<size_t> order(item_demand.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (item_demand[a] != item_demand[b]) {
+      return item_demand[a] > item_demand[b];
+    }
+    return a < b;
+  });
+  return order;
+}
+
+// Best-fit machine for the item among [0, pool.size()), or npos. The
+// fitting machine with the least capacity left after placement wins;
+// ties break to the lowest machine id.
+size_t BestFit(const Pool& pool, double demand, int tenant) {
+  size_t best = static_cast<size_t>(-1);
+  double best_remaining = 0.0;
+  for (size_t m = 0; m < pool.size(); ++m) {
+    if (!pool.Fits(m, demand, tenant)) continue;
+    const double remaining =
+        pool.CapacityWith(m, tenant) - (pool.load(m) + demand);
+    if (best == static_cast<size_t>(-1) || remaining < best_remaining) {
+      best = m;
+      best_remaining = remaining;
+    }
+  }
+  return best;
+}
+
+// Lowest-id empty machine, or pool.size() to open a new one.
+size_t LowestFreeMachine(const Pool& pool) {
+  for (size_t m = 0; m < pool.size(); ++m) {
+    if (pool.partitions(m) == 0) return m;
+  }
+  return pool.size();
+}
+
+Placement Finalize(const Pool& pool, std::vector<size_t> offsets,
+                   std::vector<MachineId> machine,
+                   const Placement* previous) {
+  Placement placement;
+  placement.partition_offset = std::move(offsets);
+  placement.machine = std::move(machine);
+  placement.machine_load.resize(pool.size());
+  placement.machine_partitions.resize(pool.size());
+  placement.machine_tenant_counts.resize(pool.size());
+  for (size_t m = 0; m < pool.size(); ++m) {
+    placement.machine_load[m] = pool.load(m);
+    placement.machine_partitions[m] = pool.partitions(m);
+    placement.machine_tenant_counts[m] = pool.distinct_tenants(m);
+  }
+  placement.machines_used = pool.MachinesUsed();
+  if (previous != nullptr &&
+      previous->machine.size() == placement.machine.size()) {
+    for (size_t i = 0; i < placement.machine.size(); ++i) {
+      if (placement.machine[i] != previous->machine[i]) {
+        ++placement.moved_partitions;
+      }
+    }
+  }
+  return placement;
+}
+
+}  // namespace
+
+double EffectiveMachineCapacity(const PlacementOptions& options,
+                                int distinct_tenants) {
+  return EffectiveServeCapacity(options, options.machine_capacity,
+                                distinct_tenants);
+}
+
+double EffectiveServeCapacity(const PlacementOptions& options,
+                              double serve_capacity, int distinct_tenants) {
+  const int extra = distinct_tenants > 1 ? distinct_tenants - 1 : 0;
+  double fraction =
+      1.0 - options.interference_per_tenant * static_cast<double>(extra);
+  if (fraction < options.min_capacity_fraction) {
+    fraction = options.min_capacity_fraction;
+  }
+  return serve_capacity * fraction;
+}
+
+PlacementPlanner::PlacementPlanner(const PlacementOptions& options,
+                                   const MoveModelTable* move_table)
+    : options_(options), move_table_(move_table) {}
+
+StatusOr<Placement> PlacementPlanner::PackFresh(
+    const std::vector<double>& item_demand,
+    const std::vector<int>& item_tenant,
+    const std::vector<size_t>& offsets) const {
+  Pool pool(options_);
+  std::vector<MachineId> machine(item_demand.size(), MachineId(0));
+  for (size_t item : PlacementOrder(item_demand)) {
+    const double demand = item_demand[item];
+    const int tenant = item_tenant[item];
+    size_t target = BestFit(pool, demand, tenant);
+    if (target == static_cast<size_t>(-1)) {
+      // Nothing fits: open a machine. An item larger than one machine
+      // is placed alone and simply overloads it (the fleet layer does
+      // not split partitions further).
+      target = pool.size();
+      if (target >= static_cast<size_t>(options_.max_machines)) {
+        return Status::OutOfRange(
+            "placement needs more than max_machines = " +
+            std::to_string(options_.max_machines));
+      }
+    }
+    pool.Add(target, demand, tenant);
+    machine[item] = MachineId(static_cast<int>(target));
+  }
+  Placement placement = Finalize(pool, offsets, std::move(machine), nullptr);
+  placement.repacked = true;
+  return placement;
+}
+
+StatusOr<Placement> PlacementPlanner::PackIncremental(
+    const std::vector<double>& item_demand,
+    const std::vector<int>& item_tenant, const std::vector<size_t>& offsets,
+    const Placement& previous) const {
+  Pool pool(options_);
+  std::vector<MachineId> machine = previous.machine;
+  for (size_t i = 0; i < machine.size(); ++i) {
+    pool.Add(static_cast<size_t>(machine[i].value()), item_demand[i],
+             item_tenant[i]);
+  }
+
+  // Evict from overloaded machines, largest item first (fewest moves);
+  // removing a tenant's last partition lifts the interference penalty,
+  // so capacity is re-evaluated after every eviction.
+  std::vector<size_t> evicted;
+  for (size_t m = 0; m < pool.size(); ++m) {
+    while (pool.partitions(m) > 1 && pool.Overloaded(m)) {
+      size_t victim = static_cast<size_t>(-1);
+      for (size_t i = 0; i < machine.size(); ++i) {
+        if (static_cast<size_t>(machine[i].value()) != m) continue;
+        if (victim == static_cast<size_t>(-1) ||
+            item_demand[i] > item_demand[victim]) {
+          victim = i;
+        }
+      }
+      if (victim == static_cast<size_t>(-1)) break;
+      pool.Remove(m, item_demand[victim], item_tenant[victim]);
+      evicted.push_back(victim);
+    }
+  }
+
+  // Re-place evicted items (demand desc, index asc); beyond best fit,
+  // reuse the lowest-id empty machine before growing the pool.
+  std::sort(evicted.begin(), evicted.end(), [&](size_t a, size_t b) {
+    if (item_demand[a] != item_demand[b]) {
+      return item_demand[a] > item_demand[b];
+    }
+    return a < b;
+  });
+  for (size_t item : evicted) {
+    const double demand = item_demand[item];
+    const int tenant = item_tenant[item];
+    size_t target = BestFit(pool, demand, tenant);
+    if (target == static_cast<size_t>(-1)) {
+      target = LowestFreeMachine(pool);
+      if (target >= static_cast<size_t>(options_.max_machines)) {
+        return Status::OutOfRange(
+            "placement needs more than max_machines = " +
+            std::to_string(options_.max_machines));
+      }
+    }
+    pool.Add(target, demand, tenant);
+    machine[item] = MachineId(static_cast<int>(target));
+  }
+
+  Placement sticky = Finalize(pool, offsets, std::move(machine), &previous);
+
+  // Consolidation: when total demand suggests the pool could shrink,
+  // price a from-scratch repack against the move-model resize cost.
+  double total = 0.0;
+  for (double d : item_demand) total += d;
+  const double best_case_capacity = EffectiveMachineCapacity(options_, 1);
+  const int lower_bound = static_cast<int>(
+      std::ceil(total / (best_case_capacity > 0.0 ? best_case_capacity
+                                                  : 1.0)));
+  if (sticky.machines_used > lower_bound) {
+    StatusOr<Placement> fresh = PackFresh(item_demand, item_tenant, offsets);
+    if (!fresh.ok()) return sticky;  // fresh pack can only need more; keep
+    const int saved = sticky.machines_used - fresh->machines_used;
+    if (saved > 0) {
+      double resize_cost = 0.0;
+      if (move_table_ != nullptr &&
+          move_table_->Covers(NodeCount(sticky.machines_used),
+                              NodeCount(fresh->machines_used))) {
+        resize_cost = move_table_->MoveCost(
+            NodeCount(sticky.machines_used),
+            NodeCount(fresh->machines_used));
+      }
+      // Moves against the *previous* placement, not sticky: the churn a
+      // repack is charged for is what it moves beyond the evictions the
+      // sticky pack had to do anyway.
+      fresh->moved_partitions = 0;
+      for (size_t i = 0; i < fresh->machine.size(); ++i) {
+        if (fresh->machine[i] != previous.machine[i]) {
+          ++fresh->moved_partitions;
+        }
+      }
+      const int64_t extra_moves =
+          fresh->moved_partitions > sticky.moved_partitions
+              ? fresh->moved_partitions - sticky.moved_partitions
+              : 0;
+      const double amortized_savings =
+          static_cast<double>(saved) *
+          static_cast<double>(options_.repack_amortize_slots);
+      if (amortized_savings >
+          resize_cost + options_.partition_move_cost *
+                            static_cast<double>(extra_moves)) {
+        return fresh;
+      }
+    }
+  }
+  return sticky;
+}
+
+StatusOr<Placement> PlacementPlanner::Pack(
+    const std::vector<double>& tenant_demand,
+    const std::vector<int>& tenant_partitions,
+    const Placement* previous) const {
+  if (tenant_demand.size() != tenant_partitions.size()) {
+    return Status::InvalidArgument(
+        "tenant_demand and tenant_partitions sizes differ");
+  }
+  // Flatten: demand splits evenly across a tenant's partitions.
+  std::vector<size_t> offsets(tenant_demand.size() + 1, 0);
+  for (size_t t = 0; t < tenant_demand.size(); ++t) {
+    if (tenant_partitions[t] < 1) {
+      return Status::InvalidArgument("tenant " + std::to_string(t) +
+                                     " has no partitions");
+    }
+    if (!(tenant_demand[t] >= 0.0) || std::isinf(tenant_demand[t])) {
+      return Status::InvalidArgument("tenant " + std::to_string(t) +
+                                     " has invalid demand");
+    }
+    offsets[t + 1] = offsets[t] + static_cast<size_t>(tenant_partitions[t]);
+  }
+  std::vector<double> item_demand(offsets.back());
+  std::vector<int> item_tenant(offsets.back());
+  for (size_t t = 0; t < tenant_demand.size(); ++t) {
+    const double share =
+        tenant_demand[t] / static_cast<double>(tenant_partitions[t]);
+    for (size_t i = offsets[t]; i < offsets[t + 1]; ++i) {
+      item_demand[i] = share;
+      item_tenant[i] = static_cast<int>(t);
+    }
+  }
+
+  if (previous != nullptr) {
+    if (previous->partition_offset != offsets) {
+      return Status::InvalidArgument(
+          "previous placement has a different tenant/partition shape");
+    }
+    return PackIncremental(item_demand, item_tenant, offsets, *previous);
+  }
+  return PackFresh(item_demand, item_tenant, offsets);
+}
+
+}  // namespace fleet
+}  // namespace pstore

@@ -1,0 +1,66 @@
+#ifndef PSTORE_FLEET_TENANT_H_
+#define PSTORE_FLEET_TENANT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/strong_id.h"
+#include "sim/run_spec.h"
+
+namespace pstore {
+namespace fleet {
+
+// One tenant of the shared machine pool: a workload description (any
+// WorkloadSpec kind) plus the SLA target its violation fraction is
+// reported against. Tenant demand is split evenly across `partitions`
+// placement units, so a tenant larger than one machine can be spread
+// over several machines by the packer.
+struct TenantSpec {
+  TenantId id{0};
+  std::string name;
+  WorkloadSpec workload;
+  int partitions = 2;
+  // Maximum fraction of evaluated fine slots with insufficient capacity
+  // the tenant tolerates. Reporting only; the packer does not read it.
+  double sla_target = 0.01;
+};
+
+// Mix description for synthesizing a fleet: how many tenants of each
+// workload family, over how many days, with what demand spread. The
+// per-tenant peaks are spread log-uniformly in
+// [scale_min, scale_max] * mean_peak_rate, B2W tenants get rotated
+// diurnal peak times and every generator is seeded from (seed, tenant
+// index) — so equal options always produce the identical fleet.
+struct TenantMixOptions {
+  int b2w_tenants = 0;
+  int wikipedia_tenants = 0;
+  int ycsb_tenants = 0;
+  int step_tenants = 0;
+  int days = 4;
+  uint64_t seed = 17;
+  // Mean per-tenant peak demand, in load units (txn/s).
+  double mean_peak_rate = 60.0;
+  double scale_min = 0.5;
+  double scale_max = 2.0;
+  int partitions_per_tenant = 2;
+  double sla_target = 0.01;
+  // Step tenants jump from step_base_fraction*peak to peak at a seeded
+  // slot in the second half of the horizon — the spike-re-plan drill.
+  double step_base_fraction = 0.4;
+};
+
+int TotalTenants(const TenantMixOptions& options);
+
+// Builds the tenant list: b2w tenants first, then wikipedia, ycsb and
+// step, ids assigned in order. Pure function of the options.
+std::vector<TenantSpec> MakeTenantMix(const TenantMixOptions& options);
+
+// Short lowercase family name for a tenant's workload kind ("b2w",
+// "wikipedia", "ycsb", "step", "provided").
+const char* WorkloadKindName(WorkloadSpec::Kind kind);
+
+}  // namespace fleet
+}  // namespace pstore
+
+#endif  // PSTORE_FLEET_TENANT_H_

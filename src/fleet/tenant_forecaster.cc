@@ -1,0 +1,38 @@
+#include "fleet/tenant_forecaster.h"
+
+#include <cstddef>
+
+namespace pstore {
+namespace fleet {
+
+TenantForecaster::TenantForecaster(size_t period_slots, size_t recent_window)
+    : period_(period_slots > 0 ? period_slots : 1),
+      recent_(recent_window > 0 ? recent_window : 1) {}
+
+void TenantForecaster::Observe(double load) { history_.push_back(load); }
+
+double TenantForecaster::Forecast() const {
+  const size_t n = history_.size();
+  if (n == 0) return 0.0;
+  if (n < period_) return history_.back();
+
+  // Seasonal baseline for slot n: the observation one period earlier.
+  const double seasonal = history_[n - period_];
+
+  // Recent offset: mean residual of the seasonal baseline over the last
+  // `recent_` slots that have a one-period-older counterpart.
+  double offset = 0.0;
+  size_t samples = 0;
+  for (size_t back = 0; back < recent_ && back + period_ < n; ++back) {
+    const size_t i = n - 1 - back;
+    offset += history_[i] - history_[i - period_];
+    ++samples;
+  }
+  if (samples > 0) offset /= static_cast<double>(samples);
+
+  const double forecast = seasonal + offset;
+  return forecast > 0.0 ? forecast : 0.0;
+}
+
+}  // namespace fleet
+}  // namespace pstore

@@ -1,0 +1,40 @@
+#ifndef PSTORE_FLEET_TENANT_FORECASTER_H_
+#define PSTORE_FLEET_TENANT_FORECASTER_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pstore {
+namespace fleet {
+
+// SPAR-style one-step capacity forecast for a single tenant: a seasonal
+// baseline (the value one period ago) corrected by the mean of the most
+// recent seasonal residuals — the same seasonal-plus-recent-offset
+// structure as the paper's SPAR, stripped to what stays cheap when a
+// fleet re-fits thousands of tenants every provisioning cycle (Sibyl's
+// argument: at fleet scale the forecast must be cheap to update).
+// Observe() is O(1); Forecast() is O(recent_window). Deterministic.
+class TenantForecaster {
+ public:
+  TenantForecaster(size_t period_slots, size_t recent_window);
+
+  // Appends one observed coarse-slot demand.
+  void Observe(double load);
+
+  // Predicts the next slot. Before one full period of history the
+  // seasonal baseline does not exist yet, so the forecast falls back to
+  // the last observation (zero when nothing has been observed).
+  double Forecast() const;
+
+  size_t observations() const { return history_.size(); }
+
+ private:
+  size_t period_;
+  size_t recent_;
+  std::vector<double> history_;
+};
+
+}  // namespace fleet
+}  // namespace pstore
+
+#endif  // PSTORE_FLEET_TENANT_FORECASTER_H_

@@ -177,15 +177,48 @@ StatusOr<RunReport> BuildRunReport(
       report.sweep.threads = event.Int("threads", 0);
       report.sweep.wall_us = event.Number("wall_us", 0.0);
       report.sweep.serial_wall_us = event.Number("serial_wall_us", 0.0);
-      if (report.sweep.wall_us > 0.0) {
-        report.sweep.speedup =
-            report.sweep.serial_wall_us / report.sweep.wall_us;
+      // With no tasks the speedup/efficiency ratios are meaningless
+      // (0/0 or wall-time noise); leave them zero and let the renderer
+      // say so instead of printing a bogus efficiency row.
+      if (report.sweep.tasks > 0) {
+        if (report.sweep.wall_us > 0.0) {
+          report.sweep.speedup =
+              report.sweep.serial_wall_us / report.sweep.wall_us;
+        }
+        if (report.sweep.threads > 0) {
+          report.sweep.efficiency =
+              report.sweep.speedup /
+              static_cast<double>(report.sweep.threads);
+        }
       }
-      if (report.sweep.threads > 0) {
-        report.sweep.efficiency =
-            report.sweep.speedup /
-            static_cast<double>(report.sweep.threads);
+      continue;
+    }
+    if (event.name == "fleet.cycle") {
+      report.has_fleet = true;
+      ++report.fleet.cycles;
+      const int64_t machines = event.Int("machines", 0);
+      if (machines > report.fleet.peak_machines) {
+        report.fleet.peak_machines = machines;
       }
+      report.fleet.violation_slot_tenants +=
+          event.Int("violation_slot_tenants", 0);
+      continue;
+    }
+    if (event.name == "fleet.pack") {
+      report.has_fleet = true;
+      ++report.fleet.packs;
+      if (event.Bool("repacked", false)) ++report.fleet.repacks;
+      if (event.Bool("spike_replan", false)) ++report.fleet.spike_replans;
+      report.fleet.moved_partitions += event.Int("moved_partitions", 0);
+      const int64_t machines = event.Int("machines_after", 0);
+      if (machines > report.fleet.peak_machines) {
+        report.fleet.peak_machines = machines;
+      }
+      continue;
+    }
+    if (event.name == "fleet.tenant_move") {
+      report.has_fleet = true;
+      ++report.fleet.tenant_moves;
       continue;
     }
     if (event.name == "run.summary") {
@@ -264,7 +297,12 @@ std::string RenderRunReport(const RunReport& report, int64_t max_rows) {
                static_cast<long long>(rollup.total_us),
                static_cast<long long>(rollup.max_us));
   }
-  if (report.has_sweep) {
+  if (report.has_sweep && report.sweep.tasks == 0) {
+    AppendLine(&out,
+               "sweep: 0 tasks on %lld threads (no sweep.task events; "
+               "parallel efficiency not meaningful)",
+               static_cast<long long>(report.sweep.threads));
+  } else if (report.has_sweep) {
     AppendLine(&out,
                "sweep: %lld tasks on %lld threads — wall %.1f ms, "
                "serial-equivalent %.1f ms, speedup %.2fx, parallel "
@@ -279,6 +317,21 @@ std::string RenderRunReport(const RunReport& report, int64_t max_rows) {
                  task_row.label.c_str(), task_row.strategy.c_str(),
                  task_row.wall_us / 1000.0);
     }
+  }
+  if (report.has_fleet) {
+    AppendLine(&out,
+               "fleet: %lld cycles, peak %lld machines, %lld packs "
+               "(%lld repacks, %lld spike re-plans), %lld partition "
+               "moves across %lld tenant-move events, %lld violation "
+               "slot-tenants",
+               static_cast<long long>(report.fleet.cycles),
+               static_cast<long long>(report.fleet.peak_machines),
+               static_cast<long long>(report.fleet.packs),
+               static_cast<long long>(report.fleet.repacks),
+               static_cast<long long>(report.fleet.spike_replans),
+               static_cast<long long>(report.fleet.moved_partitions),
+               static_cast<long long>(report.fleet.tenant_moves),
+               static_cast<long long>(report.fleet.violation_slot_tenants));
   }
   for (const auto& [key, value] : report.summary) {
     AppendLine(&out, "summary %s = %s", key.c_str(), value.c_str());

@@ -60,6 +60,19 @@ struct SweepStats {
   std::vector<SweepTaskRow> task_rows;
 };
 
+// Fleet-provisioning rollup from fleet.cycle / fleet.pack /
+// fleet.tenant_move events (FleetController and FleetSimulator).
+struct FleetStats {
+  int64_t cycles = 0;        // fleet.cycle events
+  int64_t packs = 0;         // fleet.pack events
+  int64_t repacks = 0;       // packs that adopted a from-scratch repack
+  int64_t spike_replans = 0; // packs re-planned on an observed spike
+  int64_t peak_machines = 0;
+  int64_t moved_partitions = 0;  // summed over fleet.pack
+  int64_t tenant_moves = 0;      // fleet.tenant_move events
+  int64_t violation_slot_tenants = 0;  // summed over fleet.cycle
+};
+
 // Aggregated view of one traced run.
 struct RunReport {
   int64_t events = 0;
@@ -97,6 +110,10 @@ struct RunReport {
   // Present when the trace contains a RunSweep's sweep.done event.
   bool has_sweep = false;
   SweepStats sweep;
+
+  // Present when the trace contains fleet.* events.
+  bool has_fleet = false;
+  FleetStats fleet;
 
   // Fields of the trailing run.summary event, verbatim, in file order.
   std::vector<std::pair<std::string, std::string>> summary;

@@ -40,6 +40,8 @@ const char* TraceCategoryName(TraceCategory category) {
       return "report";
     case TraceCategory::kVerbose:
       return "verbose";
+    case TraceCategory::kFleet:
+      return "fleet";
   }
   return "unknown";
 }

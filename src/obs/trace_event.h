@@ -25,6 +25,7 @@ enum class TraceCategory : uint32_t {
   kSim = 1u << 6,
   kReport = 1u << 7,
   kVerbose = 1u << 8,
+  kFleet = 1u << 9,
 };
 
 // Everything except the per-transaction firehose.
@@ -36,7 +37,8 @@ constexpr uint32_t kDefaultTraceMask =
     static_cast<uint32_t>(TraceCategory::kEngine) |
     static_cast<uint32_t>(TraceCategory::kFault) |
     static_cast<uint32_t>(TraceCategory::kSim) |
-    static_cast<uint32_t>(TraceCategory::kReport);
+    static_cast<uint32_t>(TraceCategory::kReport) |
+    static_cast<uint32_t>(TraceCategory::kFleet);
 
 constexpr uint32_t kAllTraceMask =
     kDefaultTraceMask | static_cast<uint32_t>(TraceCategory::kVerbose);

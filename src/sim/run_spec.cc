@@ -1,6 +1,7 @@
 #include "sim/run_spec.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
@@ -8,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "common/time_series.h"
@@ -16,6 +18,7 @@
 #include "sim/capacity_simulator.h"
 #include "trace/b2w_trace_generator.h"
 #include "trace/spike_injector.h"
+#include "trace/wikipedia_trace_generator.h"
 
 namespace pstore {
 namespace {
@@ -66,6 +69,39 @@ StatusOr<TimeSeries> BuildWorkloadTrace(const WorkloadSpec& workload) {
       trace = GenerateB2wTrace(workload.b2w);
       break;
     }
+    case WorkloadSpec::Kind::kWikipedia: {
+      trace = GenerateWikipediaTrace(workload.wikipedia);
+      break;
+    }
+    case WorkloadSpec::Kind::kYcsbSteady: {
+      if (workload.ycsb_slots == 0) {
+        return Status::InvalidArgument(
+            "kYcsbSteady workload with ycsb_slots == 0");
+      }
+      if (workload.ycsb_rate <= 0.0) {
+        return Status::InvalidArgument(
+            "kYcsbSteady workload with ycsb_rate <= 0");
+      }
+      trace = TimeSeries(workload.ycsb_slot_seconds);
+      Rng rng(workload.ycsb_seed);
+      // Mean-reverting drift (discretized OU process) multiplied by
+      // per-slot noise around the constant offered rate.
+      const double relax =
+          workload.ycsb_drift_relaxation_slots > 1.0
+              ? 1.0 / workload.ycsb_drift_relaxation_slots
+              : 1.0;
+      double drift = 0.0;
+      for (size_t i = 0; i < workload.ycsb_slots; ++i) {
+        drift += relax * (0.0 - drift) +
+                 workload.ycsb_drift_sigma * std::sqrt(2.0 * relax) *
+                     rng.NextGaussian();
+        const double noise =
+            1.0 + workload.ycsb_noise_sigma * rng.NextGaussian();
+        const double rate = workload.ycsb_rate * (1.0 + drift) * noise;
+        trace.Append(rate > 0.0 ? rate : 0.0);
+      }
+      break;
+    }
     case WorkloadSpec::Kind::kStep: {
       if (workload.step_slots == 0) {
         return Status::InvalidArgument("kStep workload with step_slots == 0");
@@ -85,7 +121,12 @@ StatusOr<TimeSeries> BuildWorkloadTrace(const WorkloadSpec& workload) {
 
 StatusOr<SimResult> RunOne(const RunSpec& spec) {
   WorkloadSpec workload = spec.workload;
-  if (spec.seed != 0) workload.b2w.seed = spec.seed;
+  if (spec.seed != 0) {
+    // Override the seed of whichever generator the spec uses.
+    workload.b2w.seed = spec.seed;
+    workload.wikipedia.seed = spec.seed;
+    workload.ycsb_seed = spec.seed;
+  }
   StatusOr<TimeSeries> trace = BuildWorkloadTrace(workload);
   if (!trace.ok()) return trace.status();
 

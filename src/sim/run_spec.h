@@ -14,6 +14,7 @@
 #include "sim/capacity_simulator.h"
 #include "trace/b2w_trace_generator.h"
 #include "trace/spike_injector.h"
+#include "trace/wikipedia_trace_generator.h"
 
 namespace pstore {
 
@@ -43,6 +44,8 @@ struct WorkloadSpec {
   enum class Kind {
     kProvided,      // borrow an existing series (e.g. loaded from CSV)
     kB2wSynthetic,  // GenerateB2wTrace(b2w)
+    kWikipedia,     // GenerateWikipediaTrace(wikipedia)
+    kYcsbSteady,    // steady YCSB-style rate with seeded noise and drift
     kStep,          // base_rate, jumping to peak_rate at step_at_slot
   };
   Kind kind = Kind::kB2wSynthetic;
@@ -52,6 +55,21 @@ struct WorkloadSpec {
 
   // kB2wSynthetic:
   B2wTraceOptions b2w;
+
+  // kWikipedia:
+  WikipediaTraceOptions wikipedia;
+
+  // kYcsbSteady: YCSB drives a constant offered rate; the per-slot
+  // multiplicative noise plus a slow mean-reverting drift model the
+  // client-side jitter a real benchmark run shows. Deterministic in
+  // ycsb_seed.
+  double ycsb_slot_seconds = 60.0;
+  size_t ycsb_slots = 0;
+  double ycsb_rate = 0.0;
+  double ycsb_noise_sigma = 0.05;
+  double ycsb_drift_sigma = 0.08;
+  double ycsb_drift_relaxation_slots = 240.0;
+  uint64_t ycsb_seed = 13;
 
   // kStep:
   double step_slot_seconds = 60.0;

@@ -54,11 +54,6 @@ struct YcsbWorkloadOptions {
   uint64_t seed = 31;
 };
 
-// Deprecated alias, kept for one PR: the unqualified name collided with
-// b2w::WorkloadOptions (see B2wWorkloadOptions there).
-using WorkloadOptions [[deprecated("use YcsbWorkloadOptions")]] =
-    YcsbWorkloadOptions;
-
 // Generates YCSB transactions and pre-loads the user table.
 class Workload {
  public:

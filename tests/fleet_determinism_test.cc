@@ -1,0 +1,76 @@
+// Fleet determinism golden test: one simulated fleet must render
+// byte-identical CSV no matter how many worker threads the forecast
+// fan-out and per-tenant runs are spread over (the contract pstore_fleet
+// advertises for --threads).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "fleet/fleet_simulator.h"
+#include "fleet/tenant.h"
+
+namespace pstore {
+namespace fleet {
+namespace {
+
+std::vector<TenantSpec> GoldenMix() {
+  TenantMixOptions mix;
+  mix.b2w_tenants = 10;
+  mix.wikipedia_tenants = 5;
+  mix.ycsb_tenants = 5;
+  mix.step_tenants = 5;
+  mix.days = 2;
+  mix.seed = 17;
+  return MakeTenantMix(mix);
+}
+
+FleetOptions GoldenOptions() {
+  FleetOptions options;
+  options.eval_begin = 1440;  // evaluate the second day
+  return options;
+}
+
+std::string RunCsv(FleetMode mode, int threads) {
+  FleetSimulator simulator(GoldenOptions(), GoldenMix());
+  ThreadPool pool(threads);
+  const StatusOr<FleetResult> result = simulator.Simulate(mode, &pool);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  if (!result.ok()) return std::string();
+  return FleetCsvRows(*result);
+}
+
+TEST(FleetDeterminismTest, FleetModeCsvIdenticalAcrossThreadCounts) {
+  const std::string serial = RunCsv(FleetMode::kFleet, 1);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(RunCsv(FleetMode::kFleet, 8), serial);
+  EXPECT_EQ(RunCsv(FleetMode::kFleet, 3), serial);
+}
+
+TEST(FleetDeterminismTest, DedicatedModeCsvIdenticalAcrossThreadCounts) {
+  const std::string serial = RunCsv(FleetMode::kDedicated, 1);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(RunCsv(FleetMode::kDedicated, 8), serial);
+}
+
+TEST(FleetDeterminismTest, NullPoolMatchesThreadPool) {
+  FleetSimulator simulator(GoldenOptions(), GoldenMix());
+  const StatusOr<FleetResult> serial =
+      simulator.Simulate(FleetMode::kFleet, nullptr);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  EXPECT_EQ(FleetCsvRows(*serial), RunCsv(FleetMode::kFleet, 8));
+}
+
+TEST(FleetDeterminismTest, CsvCarriesBothBlocks) {
+  const std::string csv = RunCsv(FleetMode::kFleet, 2);
+  EXPECT_NE(csv.find("mode,tenants"), std::string::npos);
+  EXPECT_NE(csv.find("tenant,name,family"), std::string::npos);
+  EXPECT_NE(csv.find("\n\n"), std::string::npos);  // blank separator line
+}
+
+}  // namespace
+}  // namespace fleet
+}  // namespace pstore

@@ -1,0 +1,429 @@
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "common/strong_id.h"
+#include "common/thread_pool.h"
+#include "common/time_series.h"
+#include "fleet/fleet_controller.h"
+#include "fleet/fleet_simulator.h"
+#include "fleet/placement.h"
+#include "fleet/tenant.h"
+#include "fleet/tenant_forecaster.h"
+#include "planner/move_model.h"
+#include "planner/move_model_table.h"
+#include "sim/run_spec.h"
+
+namespace pstore {
+namespace fleet {
+namespace {
+
+// ---- interference model ----------------------------------------------------
+
+TEST(EffectiveCapacityTest, SingleTenantPaysNoInterference) {
+  PlacementOptions options;
+  options.machine_capacity = 300.0;
+  options.interference_per_tenant = 0.05;
+  EXPECT_DOUBLE_EQ(EffectiveMachineCapacity(options, 0), 300.0);
+  EXPECT_DOUBLE_EQ(EffectiveMachineCapacity(options, 1), 300.0);
+}
+
+TEST(EffectiveCapacityTest, MonotonicallyNonIncreasingInTenantCount) {
+  PlacementOptions options;
+  options.machine_capacity = 300.0;
+  options.interference_per_tenant = 0.05;
+  options.min_capacity_fraction = 0.5;
+  double previous = EffectiveMachineCapacity(options, 1);
+  for (int tenants = 2; tenants <= 30; ++tenants) {
+    const double capacity = EffectiveMachineCapacity(options, tenants);
+    EXPECT_LE(capacity, previous) << "tenants=" << tenants;
+    previous = capacity;
+  }
+  // 1 - 0.05 * (3 - 1) = 0.9.
+  EXPECT_DOUBLE_EQ(EffectiveMachineCapacity(options, 3), 270.0);
+}
+
+TEST(EffectiveCapacityTest, FloorsAtMinCapacityFraction) {
+  PlacementOptions options;
+  options.machine_capacity = 300.0;
+  options.interference_per_tenant = 0.05;
+  options.min_capacity_fraction = 0.5;
+  // 100 tenants would nominally degrade far past the floor.
+  EXPECT_DOUBLE_EQ(EffectiveMachineCapacity(options, 100), 150.0);
+}
+
+TEST(EffectiveCapacityTest, ServeCapacityUsesCallerLimit) {
+  PlacementOptions options;
+  options.machine_capacity = 285.0;
+  options.interference_per_tenant = 0.02;
+  EXPECT_DOUBLE_EQ(EffectiveServeCapacity(options, 350.0, 2),
+                   350.0 * 0.98);
+}
+
+// ---- packer ----------------------------------------------------------------
+
+PlacementOptions SmallPoolOptions() {
+  PlacementOptions options;
+  options.machine_capacity = 100.0;
+  options.interference_per_tenant = 0.0;
+  return options;
+}
+
+TEST(PlacementPlannerTest, RespectsMachineCapacity) {
+  PlacementPlanner planner(SmallPoolOptions(), nullptr);
+  // Four tenants of 60 each, one partition apiece: no two items can
+  // share a machine (60 + 60 > 100), so the pack needs four machines.
+  const StatusOr<Placement> packed =
+      planner.Pack({60.0, 60.0, 60.0, 60.0}, {1, 1, 1, 1}, nullptr);
+  ASSERT_TRUE(packed.ok()) << packed.status().ToString();
+  EXPECT_EQ(packed->machines_used, 4);
+  for (size_t m = 0; m < packed->machine_load.size(); ++m) {
+    EXPECT_LE(packed->machine_load[m], 100.0);
+  }
+}
+
+TEST(PlacementPlannerTest, BinPacksSubMachineTenants) {
+  PlacementPlanner planner(SmallPoolOptions(), nullptr);
+  // Eight tenants of 25 each fit exactly onto two machines.
+  const StatusOr<Placement> packed = planner.Pack(
+      std::vector<double>(8, 25.0), std::vector<int>(8, 1), nullptr);
+  ASSERT_TRUE(packed.ok()) << packed.status().ToString();
+  EXPECT_EQ(packed->machines_used, 2);
+}
+
+TEST(PlacementPlannerTest, InterferenceReducesCoLocation) {
+  PlacementOptions options = SmallPoolOptions();
+  const StatusOr<Placement> no_interference =
+      PlacementPlanner(options, nullptr)
+          .Pack(std::vector<double>(8, 24.0), std::vector<int>(8, 1),
+                nullptr);
+  ASSERT_TRUE(no_interference.ok());
+
+  options.interference_per_tenant = 0.1;  // 4 co-tenants cost 30%
+  const StatusOr<Placement> with_interference =
+      PlacementPlanner(options, nullptr)
+          .Pack(std::vector<double>(8, 24.0), std::vector<int>(8, 1),
+                nullptr);
+  ASSERT_TRUE(with_interference.ok());
+  EXPECT_GT(with_interference->machines_used,
+            no_interference->machines_used);
+}
+
+TEST(PlacementPlannerTest, SameTenantPartitionsDoNotInterfere) {
+  PlacementOptions options = SmallPoolOptions();
+  options.interference_per_tenant = 0.5;
+  // One tenant, four partitions of 24: all fit on one machine because
+  // co-locating the same tenant is interference-free.
+  const StatusOr<Placement> packed =
+      PlacementPlanner(options, nullptr).Pack({96.0}, {4}, nullptr);
+  ASSERT_TRUE(packed.ok());
+  EXPECT_EQ(packed->machines_used, 1);
+}
+
+TEST(PlacementPlannerTest, DeterministicAcrossRepeatedPacks) {
+  PlacementPlanner planner(SmallPoolOptions(), nullptr);
+  const std::vector<double> demand = {40.0, 40.0, 30.0, 30.0, 20.0, 20.0};
+  const std::vector<int> partitions = {2, 1, 1, 2, 1, 1};
+  const StatusOr<Placement> first = planner.Pack(demand, partitions, nullptr);
+  const StatusOr<Placement> second =
+      planner.Pack(demand, partitions, nullptr);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(first->machine.size(), second->machine.size());
+  for (size_t i = 0; i < first->machine.size(); ++i) {
+    EXPECT_EQ(first->machine[i], second->machine[i]) << "partition " << i;
+  }
+}
+
+TEST(PlacementPlannerTest, EqualDemandTieBreaksByLowestIndex) {
+  PlacementPlanner planner(SmallPoolOptions(), nullptr);
+  // Two identical items: the lower flat index must land on the lower
+  // machine id (demand ties break by index, machines by id).
+  const StatusOr<Placement> packed =
+      planner.Pack({60.0, 60.0}, {1, 1}, nullptr);
+  ASSERT_TRUE(packed.ok());
+  EXPECT_EQ(packed->machine[0], MachineId(0));
+  EXPECT_EQ(packed->machine[1], MachineId(1));
+}
+
+TEST(PlacementPlannerTest, IncrementalKeepsFittingPartitionsPut) {
+  PlacementPlanner planner(SmallPoolOptions(), nullptr);
+  const std::vector<int> partitions = {1, 1, 1};
+  const StatusOr<Placement> initial =
+      planner.Pack({48.0, 30.0, 20.0}, partitions, nullptr);
+  ASSERT_TRUE(initial.ok());
+  // Mild demand drift that still fits everywhere: nothing moves.
+  const StatusOr<Placement> next =
+      planner.Pack({49.0, 29.0, 21.0}, partitions, &*initial);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->moved_partitions, 0);
+  EXPECT_FALSE(next->repacked);
+  for (size_t i = 0; i < next->machine.size(); ++i) {
+    EXPECT_EQ(next->machine[i], initial->machine[i]);
+  }
+}
+
+TEST(PlacementPlannerTest, IncrementalEvictsFromOverloadedMachine) {
+  PlacementPlanner planner(SmallPoolOptions(), nullptr);
+  const std::vector<int> partitions = {1, 1};
+  const StatusOr<Placement> initial =
+      planner.Pack({50.0, 40.0}, partitions, nullptr);
+  ASSERT_TRUE(initial.ok());
+  EXPECT_EQ(initial->machines_used, 1);
+  // Tenant 0 grows past what the shared machine can hold: someone moves.
+  const StatusOr<Placement> next =
+      planner.Pack({80.0, 40.0}, partitions, &*initial);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->machines_used, 2);
+  EXPECT_EQ(next->moved_partitions, 1);
+}
+
+TEST(PlacementPlannerTest, RepackEconomicsGateConsolidation) {
+  // After a demand collapse the sticky pack strands machines; whether
+  // the consolidating repack is adopted depends on the priced churn.
+  PlannerParams params;
+  const MoveModelTable table(params, NodeCount(64));
+  const std::vector<int> partitions(8, 1);
+  const std::vector<double> high(8, 60.0);
+  const std::vector<double> low(8, 10.0);
+
+  PlacementOptions cheap_moves = SmallPoolOptions();
+  cheap_moves.partition_move_cost = 0.0;
+  {
+    PlacementPlanner planner(cheap_moves, &table);
+    const StatusOr<Placement> initial =
+        planner.Pack(high, partitions, nullptr);
+    ASSERT_TRUE(initial.ok());
+    EXPECT_EQ(initial->machines_used, 8);
+    const StatusOr<Placement> next =
+        planner.Pack(low, partitions, &*initial);
+    ASSERT_TRUE(next.ok());
+    EXPECT_TRUE(next->repacked);
+    EXPECT_EQ(next->machines_used, 1);
+  }
+
+  PlacementOptions dear_moves = SmallPoolOptions();
+  dear_moves.partition_move_cost = 1e9;  // any churn outweighs savings
+  {
+    PlacementPlanner planner(dear_moves, &table);
+    const StatusOr<Placement> initial =
+        planner.Pack(high, partitions, nullptr);
+    ASSERT_TRUE(initial.ok());
+    const StatusOr<Placement> next =
+        planner.Pack(low, partitions, &*initial);
+    ASSERT_TRUE(next.ok());
+    EXPECT_FALSE(next->repacked);
+    EXPECT_EQ(next->machines_used, 8);  // stranded, but no churn paid
+  }
+}
+
+TEST(PlacementPlannerTest, RejectsMalformedInput) {
+  PlacementPlanner planner(SmallPoolOptions(), nullptr);
+  EXPECT_FALSE(planner.Pack({1.0}, {1, 1}, nullptr).ok());
+  EXPECT_FALSE(planner.Pack({1.0}, {0}, nullptr).ok());
+  EXPECT_FALSE(planner.Pack({-1.0}, {1}, nullptr).ok());
+  const StatusOr<Placement> initial = planner.Pack({1.0}, {1}, nullptr);
+  ASSERT_TRUE(initial.ok());
+  EXPECT_FALSE(planner.Pack({1.0, 2.0}, {1, 1}, &*initial).ok());
+}
+
+// ---- forecaster ------------------------------------------------------------
+
+TEST(TenantForecasterTest, FallsBackToLastValueBeforeOnePeriod) {
+  TenantForecaster forecaster(/*period_slots=*/4, /*recent_window=*/2);
+  EXPECT_DOUBLE_EQ(forecaster.Forecast(), 0.0);
+  forecaster.Observe(10.0);
+  forecaster.Observe(20.0);
+  EXPECT_DOUBLE_EQ(forecaster.Forecast(), 20.0);
+}
+
+TEST(TenantForecasterTest, TracksSeasonalPattern) {
+  TenantForecaster forecaster(/*period_slots=*/4, /*recent_window=*/2);
+  // Two full periods of a clean 4-slot pattern.
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    for (const double value : {10.0, 50.0, 90.0, 30.0}) {
+      forecaster.Observe(value);
+    }
+  }
+  // Next slot is the start of the pattern; residuals are all zero.
+  EXPECT_DOUBLE_EQ(forecaster.Forecast(), 10.0);
+}
+
+TEST(TenantForecasterTest, RecentOffsetShiftsSeasonalBaseline) {
+  TenantForecaster forecaster(/*period_slots=*/4, /*recent_window=*/2);
+  for (const double value : {10.0, 50.0, 90.0, 30.0}) {
+    forecaster.Observe(value);
+  }
+  // The second period starts running 5 higher. The next forecast is the
+  // seasonal baseline one period back (90) lifted by the mean recent
+  // residual (+5).
+  forecaster.Observe(15.0);
+  forecaster.Observe(55.0);
+  EXPECT_DOUBLE_EQ(forecaster.Forecast(), 95.0);
+}
+
+// ---- tenant mix ------------------------------------------------------------
+
+TEST(TenantMixTest, BuildsRequestedFamilies) {
+  TenantMixOptions mix;
+  mix.b2w_tenants = 2;
+  mix.wikipedia_tenants = 2;
+  mix.ycsb_tenants = 1;
+  mix.step_tenants = 1;
+  mix.days = 2;
+  const std::vector<TenantSpec> tenants = MakeTenantMix(mix);
+  ASSERT_EQ(tenants.size(), 6u);
+  EXPECT_EQ(TotalTenants(mix), 6);
+  EXPECT_EQ(tenants[0].workload.kind, WorkloadSpec::Kind::kB2wSynthetic);
+  EXPECT_EQ(tenants[2].workload.kind, WorkloadSpec::Kind::kWikipedia);
+  EXPECT_EQ(tenants[4].workload.kind, WorkloadSpec::Kind::kYcsbSteady);
+  EXPECT_EQ(tenants[5].workload.kind, WorkloadSpec::Kind::kStep);
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    EXPECT_EQ(tenants[t].id, TenantId(static_cast<int>(t)));
+    EXPECT_FALSE(tenants[t].name.empty());
+  }
+}
+
+TEST(TenantMixTest, TracesBuildAndSpreadDiffers) {
+  TenantMixOptions mix;
+  mix.b2w_tenants = 3;
+  mix.days = 2;
+  const std::vector<TenantSpec> tenants = MakeTenantMix(mix);
+  double first_peak = 0.0;
+  bool peaks_differ = false;
+  for (const TenantSpec& tenant : tenants) {
+    const StatusOr<TimeSeries> trace =
+        BuildWorkloadTrace(tenant.workload);
+    ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+    EXPECT_GT(trace->Max(), 0.0);
+    if (first_peak == 0.0) {
+      first_peak = trace->Max();
+    } else if (trace->Max() != first_peak) {
+      peaks_differ = true;
+    }
+  }
+  EXPECT_TRUE(peaks_differ);  // log-uniform demand spread applied
+}
+
+// ---- resampling ------------------------------------------------------------
+
+TEST(ResampleToGridTest, HoldsCoarseValuesAcrossFineSlots) {
+  const TimeSeries hourly(3600.0, {10.0, 20.0});
+  const StatusOr<std::vector<double>> grid =
+      ResampleToGrid(hourly, 60.0, 120);
+  ASSERT_TRUE(grid.ok());
+  ASSERT_EQ(grid->size(), 120u);
+  EXPECT_DOUBLE_EQ((*grid)[0], 10.0);
+  EXPECT_DOUBLE_EQ((*grid)[59], 10.0);
+  EXPECT_DOUBLE_EQ((*grid)[60], 20.0);
+  EXPECT_DOUBLE_EQ((*grid)[119], 20.0);
+}
+
+TEST(ResampleToGridTest, RejectsTooShortSource) {
+  const TimeSeries hourly(3600.0, {10.0});
+  EXPECT_FALSE(ResampleToGrid(hourly, 60.0, 61).ok());
+  EXPECT_FALSE(ResampleToGrid(TimeSeries(), 60.0, 1).ok());
+}
+
+// ---- controller ------------------------------------------------------------
+
+FleetControllerOptions SmallControllerOptions() {
+  FleetControllerOptions options;
+  options.placement.machine_capacity = 100.0;
+  options.placement.interference_per_tenant = 0.0;
+  options.inflation = 1.0;
+  options.forecast_period_slots = 4;
+  options.forecast_recent_window = 2;
+  return options;
+}
+
+TEST(FleetControllerTest, PacksFromForecasts) {
+  FleetController controller(SmallControllerOptions(), {1, 1}, nullptr,
+                             nullptr);
+  ASSERT_TRUE(controller.WarmUp({{40.0, 40.0, 40.0, 40.0},
+                                 {30.0, 30.0, 30.0, 30.0}})
+                  .ok());
+  const StatusOr<FleetCycleDecision> decision =
+      controller.Tick(0, {}, nullptr);
+  ASSERT_TRUE(decision.ok()) << decision.status().ToString();
+  EXPECT_EQ(decision->machines, 1);  // 40 + 30 fit one machine
+  EXPECT_FALSE(decision->spike_replan);
+}
+
+TEST(FleetControllerTest, SpikeTriggersReplanWithObservedDemand) {
+  FleetControllerOptions options = SmallControllerOptions();
+  options.spike_replan_factor = 1.5;
+  FleetController controller(options, {1, 1}, nullptr, nullptr);
+  ASSERT_TRUE(controller.WarmUp({{40.0, 40.0, 40.0, 40.0},
+                                 {30.0, 30.0, 30.0, 30.0}})
+                  .ok());
+  StatusOr<FleetCycleDecision> decision = controller.Tick(0, {}, nullptr);
+  ASSERT_TRUE(decision.ok());
+  const int calm_machines = decision->machines;
+
+  // Tenant 0's observed demand triples its forecast: the controller
+  // must re-plan with the observation, not the stale forecast.
+  decision = controller.Tick(1, {160.0, 30.0}, nullptr);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_TRUE(decision->spike_replan);
+  EXPECT_GT(decision->machines, calm_machines);
+  EXPECT_EQ(controller.spike_replans(), 1);
+}
+
+TEST(FleetControllerTest, ParallelForecastMatchesSerial) {
+  const std::vector<std::vector<double>> history = {
+      {40.0, 42.0, 38.0, 41.0}, {30.0, 29.0, 31.0, 30.0},
+      {20.0, 22.0, 18.0, 21.0}, {10.0, 12.0, 8.0, 11.0}};
+  FleetController serial(SmallControllerOptions(), {1, 1, 1, 1}, nullptr,
+                         nullptr);
+  FleetController parallel(SmallControllerOptions(), {1, 1, 1, 1}, nullptr,
+                           nullptr);
+  ASSERT_TRUE(serial.WarmUp(history).ok());
+  ASSERT_TRUE(parallel.WarmUp(history).ok());
+  ThreadPool pool(4);
+  const StatusOr<FleetCycleDecision> a = serial.Tick(0, {}, nullptr);
+  const StatusOr<FleetCycleDecision> b = parallel.Tick(0, {}, &pool);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(serial.last_forecast().size(), parallel.last_forecast().size());
+  for (size_t t = 0; t < serial.last_forecast().size(); ++t) {
+    EXPECT_DOUBLE_EQ(serial.last_forecast()[t], parallel.last_forecast()[t]);
+  }
+  EXPECT_EQ(a->machines, b->machines);
+}
+
+// ---- simulator -------------------------------------------------------------
+
+TEST(FleetSimulatorTest, FleetPackingBeatsDedicatedAtEqualSla) {
+  TenantMixOptions mix;
+  mix.b2w_tenants = 8;
+  mix.wikipedia_tenants = 4;
+  mix.ycsb_tenants = 4;
+  mix.step_tenants = 4;
+  mix.days = 2;
+  FleetOptions options;
+  options.eval_begin = 1440;
+  FleetSimulator simulator(options, MakeTenantMix(mix));
+
+  const StatusOr<FleetResult> fleet =
+      simulator.Simulate(FleetMode::kFleet, nullptr);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  const StatusOr<FleetResult> dedicated =
+      simulator.Simulate(FleetMode::kDedicated, nullptr);
+  ASSERT_TRUE(dedicated.ok()) << dedicated.status().ToString();
+
+  EXPECT_LT(fleet->machine_slots + fleet->move_machine_slots,
+            dedicated->machine_slots + dedicated->move_machine_slots);
+  EXPECT_LE(fleet->tenants_violating_sla,
+            dedicated->tenants_violating_sla);
+  EXPECT_EQ(fleet->per_tenant.size(), 20u);
+  EXPECT_EQ(fleet->eval_fine_slots, dedicated->eval_fine_slots);
+  EXPECT_GT(fleet->peak_machines, 0);
+  EXPECT_LT(fleet->peak_machines, dedicated->peak_machines);
+}
+
+}  // namespace
+}  // namespace fleet
+}  // namespace pstore

@@ -439,6 +439,83 @@ TEST(RunReportTest, ForecastErrorSkipsNearZeroActuals) {
   EXPECT_NEAR(report->forecast_mre, 0.2, 1e-9);
 }
 
+TEST(RunReportTest, ZeroTaskSweepSkipsEfficiency) {
+  // A sweep.done with no tasks (e.g. an empty spec list) must not claim
+  // a speedup or efficiency, and the rendering must say so instead of
+  // printing a 0.0x figure.
+  ParsedTraceEvent done = MakeEvent(kSecond, "sweep.done");
+  AddNumber(&done, "tasks", 0);
+  AddNumber(&done, "threads", 4);
+  AddNumber(&done, "wall_us", 1500.0);
+  AddNumber(&done, "serial_wall_us", 0.0);
+  StatusOr<RunReport> report = BuildRunReport({done});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->has_sweep);
+  EXPECT_EQ(report->sweep.tasks, 0);
+  EXPECT_EQ(report->sweep.speedup, 0.0);
+  EXPECT_EQ(report->sweep.efficiency, 0.0);
+  const std::string rendered = RenderRunReport(*report, 0);
+  EXPECT_NE(rendered.find("parallel efficiency not meaningful"),
+            std::string::npos);
+  EXPECT_EQ(rendered.find("speedup"), std::string::npos);
+}
+
+TEST(RunReportTest, AggregatesFleetEvents) {
+  std::vector<ParsedTraceEvent> events;
+
+  ParsedTraceEvent pack0 = MakeEvent(0, "fleet.pack");
+  AddNumber(&pack0, "machines_after", 6);
+  AddNumber(&pack0, "moved_partitions", 3);
+  AddBool(&pack0, "repacked", false);
+  AddBool(&pack0, "spike_replan", false);
+  events.push_back(pack0);
+  ParsedTraceEvent move0 = MakeEvent(0, "fleet.tenant_move");
+  AddNumber(&move0, "tenant", 2);
+  AddNumber(&move0, "moved_partitions", 3);
+  events.push_back(move0);
+  ParsedTraceEvent cycle0 = MakeEvent(0, "fleet.cycle");
+  AddNumber(&cycle0, "machines", 6);
+  AddNumber(&cycle0, "violation_slot_tenants", 1);
+  events.push_back(cycle0);
+
+  // Second cycle: a spike re-plan adopts a repack and grows the pool.
+  ParsedTraceEvent pack1 = MakeEvent(kSecond, "fleet.pack");
+  AddNumber(&pack1, "machines_after", 9);
+  AddNumber(&pack1, "moved_partitions", 4);
+  AddBool(&pack1, "repacked", true);
+  AddBool(&pack1, "spike_replan", true);
+  events.push_back(pack1);
+  ParsedTraceEvent cycle1 = MakeEvent(kSecond, "fleet.cycle");
+  AddNumber(&cycle1, "machines", 9);
+  AddNumber(&cycle1, "violation_slot_tenants", 0);
+  events.push_back(cycle1);
+
+  StatusOr<RunReport> report = BuildRunReport(events);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->has_fleet);
+  EXPECT_EQ(report->fleet.cycles, 2);
+  EXPECT_EQ(report->fleet.packs, 2);
+  EXPECT_EQ(report->fleet.repacks, 1);
+  EXPECT_EQ(report->fleet.spike_replans, 1);
+  EXPECT_EQ(report->fleet.peak_machines, 9);
+  EXPECT_EQ(report->fleet.moved_partitions, 7);
+  EXPECT_EQ(report->fleet.tenant_moves, 1);
+  EXPECT_EQ(report->fleet.violation_slot_tenants, 1);
+
+  const std::string rendered = RenderRunReport(*report, 0);
+  EXPECT_NE(rendered.find("fleet: 2 cycles, peak 9 machines"),
+            std::string::npos);
+}
+
+TEST(RunReportTest, NoFleetLineWithoutFleetEvents) {
+  ParsedTraceEvent cycle = MakeEvent(0, "controller.cycle");
+  AddNumber(&cycle, "load", 10.0);
+  StatusOr<RunReport> report = BuildRunReport({cycle});
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->has_fleet);
+  EXPECT_EQ(RenderRunReport(*report, 0).find("fleet:"), std::string::npos);
+}
+
 TEST(RunReportTest, EmptyTraceMakesEmptyReport) {
   StatusOr<RunReport> report = BuildRunReport({});
   ASSERT_TRUE(report.ok());

@@ -105,6 +105,13 @@ class ChecksTest(unittest.TestCase):
         self.assertEqual(len(findings), 1)
         self.assertIn("num_nodes", findings[0][2])
 
+    def test_bare_int_param_in_fleet_header(self):
+        findings = []
+        lint.check_bare_int_params("src/fleet/placement.h",
+                                   "void Pack(int machines);", findings)
+        self.assertEqual(len(findings), 1)
+        self.assertIn("machines", findings[0][2])
+
     def test_bare_int_param_elsewhere_ignored(self):
         findings = []
         lint.check_bare_int_params("src/common/api.h",
