@@ -218,12 +218,17 @@ StatusOr<Placement> PlacementPlanner::PackIncremental(
 
   // Evict from overloaded machines, largest item first (fewest moves);
   // removing a tenant's last partition lifts the interference penalty,
-  // so capacity is re-evaluated after every eviction.
+  // so capacity is re-evaluated after every eviction. An evicted item
+  // keeps its stale machine[] entry until re-placement, so the victim
+  // scan must skip items already evicted or a machine needing several
+  // evictions would pick the same victim repeatedly.
   std::vector<size_t> evicted;
+  std::vector<bool> is_evicted(machine.size(), false);
   for (size_t m = 0; m < pool.size(); ++m) {
     while (pool.partitions(m) > 1 && pool.Overloaded(m)) {
       size_t victim = static_cast<size_t>(-1);
       for (size_t i = 0; i < machine.size(); ++i) {
+        if (is_evicted[i]) continue;
         if (static_cast<size_t>(machine[i].value()) != m) continue;
         if (victim == static_cast<size_t>(-1) ||
             item_demand[i] > item_demand[victim]) {
@@ -232,6 +237,7 @@ StatusOr<Placement> PlacementPlanner::PackIncremental(
       }
       if (victim == static_cast<size_t>(-1)) break;
       pool.Remove(m, item_demand[victim], item_tenant[victim]);
+      is_evicted[victim] = true;
       evicted.push_back(victim);
     }
   }

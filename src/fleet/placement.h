@@ -26,7 +26,7 @@ struct PlacementOptions {
   double interference_per_tenant = 0.02;
   // Interference never degrades a machine below this fraction.
   double min_capacity_fraction = 0.5;
-  // Hard pool ceiling; Pack fails with kResourceExhausted beyond it.
+  // Hard pool ceiling; Pack fails with kOutOfRange beyond it.
   int max_machines = 4096;
   // Repack economics: a from-scratch repack is adopted only when the
   // machines it frees, held for this many planning slots, outweigh the
@@ -77,20 +77,21 @@ struct Placement {
 };
 
 // Deterministic bin-packing placement planner. Packing is best-fit
-// decreasing over per-partition demands with three tie-break rules,
-// all deterministic:
+// decreasing over per-partition demands with two tie-break rules,
+// both deterministic:
 //   1. items are ordered by (demand desc, flat partition index asc);
-//   2. an item prefers its previous machine whenever it still fits
-//      (a kept partition costs no move);
-//   3. otherwise the fitting machine with the least remaining capacity
-//      wins, lowest machine id on ties.
+//   2. the fitting machine with the least remaining capacity wins,
+//      lowest machine id on ties.
 // Capacity is interference-aware: a machine fits an item only if its
 // load plus the item stays within EffectiveMachineCapacity for the
 // tenant count after the move.
 //
-// Incremental packs start from the previous assignment, evict the
-// cheapest partitions from machines that no longer fit, and re-place
-// only those. A from-scratch repack (which consolidates the pool) is
+// Incremental packs are sticky: every partition on a machine that
+// still fits stays put (a kept partition costs no move). Only machines
+// that no longer fit evict, largest-demand partition first, and just
+// the evicted items go back through best-fit (an evicted item gets no
+// preference for its old machine — it was evicted because that machine
+// is full). A from-scratch repack (which consolidates the pool) is
 // adopted only when the machines saved, amortized over
 // repack_amortize_slots, exceed the MoveModelTable resize cost — the
 // same T/C economics the per-tenant planner uses, applied to the pool.

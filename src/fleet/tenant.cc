@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstddef>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "common/strong_id.h"
 #include "sim/run_spec.h"
@@ -41,6 +42,11 @@ int TotalTenants(const TenantMixOptions& options) {
 }
 
 std::vector<TenantSpec> MakeTenantMix(const TenantMixOptions& options) {
+  // DemandSpread takes logs of the scale bounds; a non-positive or
+  // inverted range would surface as NaN demand deep inside Pack.
+  PSTORE_CHECK_MSG(
+      options.scale_min > 0.0 && options.scale_max >= options.scale_min,
+      "TenantMixOptions requires 0 < scale_min <= scale_max");
   std::vector<TenantSpec> tenants;
   tenants.reserve(static_cast<size_t>(TotalTenants(options)));
   // One RNG drives the per-tenant demand spread so the mix is a pure

@@ -180,6 +180,32 @@ TEST(PlacementPlannerTest, IncrementalEvictsFromOverloadedMachine) {
   EXPECT_EQ(next->moved_partitions, 1);
 }
 
+TEST(PlacementPlannerTest, IncrementalEvictsSeveralFromOneMachine) {
+  PlacementPlanner planner(SmallPoolOptions(), nullptr);
+  const std::vector<int> partitions = {1, 1, 1};
+  const StatusOr<Placement> initial =
+      planner.Pack({34.0, 33.0, 33.0}, partitions, nullptr);
+  ASSERT_TRUE(initial.ok());
+  EXPECT_EQ(initial->machines_used, 1);
+  // Every tenant nearly doubles: the shared machine is over by more
+  // than its largest item, so lifting the overload takes two distinct
+  // evictions (a single victim must not be evicted twice).
+  const StatusOr<Placement> next =
+      planner.Pack({60.0, 60.0, 60.0}, partitions, &*initial);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->machines_used, 3);
+  EXPECT_EQ(next->moved_partitions, 2);
+  EXPECT_NE(next->machine[0], next->machine[1]);
+  EXPECT_NE(next->machine[0], next->machine[2]);
+  EXPECT_NE(next->machine[1], next->machine[2]);
+  double total_load = 0.0;
+  for (size_t m = 0; m < next->machine_load.size(); ++m) {
+    EXPECT_LE(next->machine_load[m], 100.0);
+    total_load += next->machine_load[m];
+  }
+  EXPECT_DOUBLE_EQ(total_load, 180.0);
+}
+
 TEST(PlacementPlannerTest, RepackEconomicsGateConsolidation) {
   // After a demand collapse the sticky pack strands machines; whether
   // the consolidating repack is adopted depends on the priced churn.
