@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "analysis/project.h"
+#include "analysis/token_cache.h"
 
 namespace pstore {
 namespace analysis {
@@ -17,14 +18,22 @@ struct Finding {
   std::string message;
 };
 
+inline bool operator==(const Finding& a, const Finding& b) {
+  return a.file == b.file && a.line == b.line && a.rule == b.rule &&
+         a.message == b.message;
+}
+
 // A semantic rule family run over the whole project. Checks report
 // findings without filtering: the Analyzer applies the
-// `// pstore-analyze: allow(<rule>)` suppressions afterwards.
+// `// pstore-analyze: allow(<rule>)` suppressions afterwards. `tokens`
+// caches one token stream per project file; checks must not tokenize
+// on their own. Run must be safe to execute concurrently with the
+// other checks' Run (shared state is the immutable project + cache).
 class Check {
  public:
   virtual ~Check() = default;
   virtual std::string name() const = 0;
-  virtual void Run(const Project& project,
+  virtual void Run(const Project& project, const TokenCache& tokens,
                    std::vector<Finding>* findings) const = 0;
 };
 

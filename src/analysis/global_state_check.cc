@@ -1,0 +1,239 @@
+#include "analysis/global_state_check.h"
+
+#include <set>
+
+#include "analysis/check.h"
+#include "analysis/project.h"
+#include "analysis/source_file.h"
+#include "analysis/token_cache.h"
+#include "analysis/token_util.h"
+#include "analysis/tokenizer.h"
+
+namespace pstore {
+namespace analysis {
+namespace {
+
+// What kind of braces the scanner is currently inside.
+enum class ScopeKind { kNamespace, kClass, kEnum, kBlock };
+
+bool IsClassKey(const std::string& text) {
+  return text == "class" || text == "struct" || text == "union";
+}
+
+// True when the declaration run is immutable (const/constexpr) or is
+// an operator overload (`inline bool operator=='s `==` reads as an
+// `=` stop token, so it must be excluded explicitly).
+bool RunIsExempt(const std::vector<Token>& tokens, size_t begin, size_t end) {
+  for (size_t i = begin; i < end; ++i) {
+    if (tokens[i].kind != TokenKind::kIdentifier) continue;
+    if (tokens[i].text == "const" || tokens[i].text == "constexpr" ||
+        tokens[i].text == "constinit" || tokens[i].text == "operator") {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Statement-leading keywords at namespace scope that cannot begin a
+// variable definition this rule cares about.
+bool IsNonVariableLead(const std::string& text) {
+  return text == "using" || text == "typedef" || text == "static_assert" ||
+         text == "template" || text == "extern" || text == "friend" ||
+         text == "namespace" || text == "enum" || text == "public" ||
+         text == "private" || text == "protected" || IsClassKey(text);
+}
+
+}  // namespace
+
+void GlobalStateCheck::Run(const Project& project, const TokenCache& cache,
+                           std::vector<Finding>* findings) const {
+  for (const SourceFile& file : project.files()) {
+    if (file.dir().empty()) continue;  // only src/ is in scope
+    const std::vector<Token>& tokens = cache.tokens(file);
+    const size_t n = tokens.size();
+
+    std::vector<ScopeKind> scopes;  // empty == file (namespace) scope
+    bool pending_namespace = false;
+    bool pending_class = false;
+    bool pending_enum = false;
+    bool at_statement_start = true;
+
+    auto current = [&]() {
+      return scopes.empty() ? ScopeKind::kNamespace : scopes.back();
+    };
+
+    size_t i = 0;
+    while (i < n) {
+      const Token& tok = tokens[i];
+      if (tok.kind == TokenKind::kIdentifier) {
+        if (tok.text == "template" && IsPunctAt(tokens, i + 1, "<")) {
+          // Skip the parameter list so its `class`/`typename` keywords
+          // do not leak into brace classification.
+          int angle = 0;
+          size_t j = i + 1;
+          for (; j < n; ++j) {
+            if (tokens[j].kind != TokenKind::kPunct) continue;
+            if (tokens[j].text == "<") ++angle;
+            if (tokens[j].text == ">" && --angle == 0) break;
+            if (tokens[j].text == ";" || tokens[j].text == "{") break;
+          }
+          i = j + 1;
+          continue;
+        }
+        if (tok.text == "namespace") pending_namespace = true;
+        if (IsClassKey(tok.text) && !pending_enum) pending_class = true;
+        if (tok.text == "enum") pending_enum = true;
+      }
+
+      if (tok.kind == TokenKind::kPunct && tok.text == "{") {
+        if (pending_namespace) {
+          scopes.push_back(ScopeKind::kNamespace);
+        } else if (pending_enum) {
+          scopes.push_back(ScopeKind::kEnum);
+        } else if (pending_class) {
+          scopes.push_back(ScopeKind::kClass);
+        } else {
+          // Function bodies, initializer lists, lambdas: any state
+          // declared inside is block scoped (or aggregate data).
+          scopes.push_back(ScopeKind::kBlock);
+        }
+        pending_namespace = pending_class = pending_enum = false;
+        at_statement_start = true;
+        ++i;
+        continue;
+      }
+      if (tok.kind == TokenKind::kPunct && tok.text == "}") {
+        if (!scopes.empty()) scopes.pop_back();
+        at_statement_start = true;
+        ++i;
+        continue;
+      }
+      if (tok.kind == TokenKind::kPunct && tok.text == ";") {
+        pending_namespace = pending_class = pending_enum = false;
+        at_statement_start = true;
+        ++i;
+        continue;
+      }
+
+      // `static` data: parse the declaration run to its first stop
+      // token; a `(` stop means a function and is ignored.
+      if (tok.kind == TokenKind::kIdentifier && tok.text == "static" &&
+          current() != ScopeKind::kEnum) {
+        int angle = 0;
+        size_t stop = i + 1;
+        bool is_function = false;
+        bool terminated = false;
+        for (; stop < n; ++stop) {
+          if (tokens[stop].kind != TokenKind::kPunct) continue;
+          const std::string& t = tokens[stop].text;
+          if (t == "<") ++angle;
+          if (t == ">" && angle > 0) --angle;
+          if (angle > 0) continue;
+          if (t == "[") {  // attribute or array extent: skip the run
+            stop = SkipBalancedRun(tokens, stop) - 1;
+            continue;
+          }
+          if (t == "(") {
+            is_function = true;
+            terminated = true;
+            break;
+          }
+          if (t == ";" || t == "=" || t == "{" || t == "}") {
+            terminated = true;
+            break;
+          }
+        }
+        if (terminated && !is_function && stop < n &&
+            tokens[stop].text != "}" &&
+            !RunIsExempt(tokens, i + 1, stop)) {
+          // Name: last identifier of the declarator run.
+          size_t name_at = 0;
+          for (size_t j = i + 1; j < stop; ++j) {
+            if (tokens[j].kind == TokenKind::kIdentifier) name_at = j;
+          }
+          if (name_at != 0) {
+            const ScopeKind scope = current();
+            const char* what =
+                scope == ScopeKind::kClass
+                    ? "mutable static data member"
+                    : (scope == ScopeKind::kBlock
+                           ? "mutable function-local static"
+                           : "mutable namespace-scope static");
+            findings->push_back(
+                {file.path(), tokens[name_at].line, "global-mutable-state",
+                 std::string(what) + " '" + tokens[name_at].text +
+                     "' couples independent simulations; make it const, "
+                     "pass it explicitly, or allow() with a rationale"});
+          }
+        }
+        i = stop == n ? n : stop;
+        at_statement_start = false;
+        ++i;
+        continue;
+      }
+
+      // Non-static namespace-scope declarations.
+      if (at_statement_start && current() == ScopeKind::kNamespace &&
+          tok.kind == TokenKind::kIdentifier && !IsNonVariableLead(tok.text)) {
+        int angle = 0;
+        size_t stop = i;
+        bool is_function = false;
+        bool terminated = false;
+        for (; stop < n; ++stop) {
+          if (tokens[stop].kind != TokenKind::kPunct) continue;
+          const std::string& t = tokens[stop].text;
+          if (t == "<") ++angle;
+          if (t == ">" && angle > 0) --angle;
+          if (angle > 0) continue;
+          if (t == "[") {
+            stop = SkipBalancedRun(tokens, stop) - 1;
+            continue;
+          }
+          if (t == "(") {
+            is_function = true;
+            terminated = true;
+            break;
+          }
+          if (t == ";" || t == "=" || t == "{" || t == "}") {
+            terminated = true;
+            break;
+          }
+        }
+        if (terminated && !is_function && stop < n &&
+            tokens[stop].text != "}" &&
+            !RunIsExempt(tokens, i, stop)) {
+          size_t name_at = 0;
+          size_t ident_count = 0;
+          for (size_t j = i; j < stop; ++j) {
+            if (tokens[j].kind == TokenKind::kIdentifier) {
+              name_at = j;
+              ++ident_count;
+            }
+          }
+          // Require type + name, and skip qualified definitions of
+          // class statics (`int Foo::counter = 0;`) — those are
+          // flagged at their in-class declaration.
+          const bool qualified =
+              name_at > 0 && IsPunctAt(tokens, name_at - 1, "::");
+          if (ident_count >= 2 && !qualified) {
+            findings->push_back(
+                {file.path(), tokens[name_at].line, "global-mutable-state",
+                 "mutable namespace-scope variable '" + tokens[name_at].text +
+                     "' couples independent simulations; make it const, "
+                     "pass it explicitly, or allow() with a rationale"});
+          }
+        }
+        i = stop == n ? n : stop;
+        at_statement_start = false;
+        ++i;
+        continue;
+      }
+
+      at_statement_start = false;
+      ++i;
+    }
+  }
+}
+
+}  // namespace analysis
+}  // namespace pstore

@@ -1,0 +1,33 @@
+#ifndef PSTORE_ANALYSIS_GLOBAL_STATE_CHECK_H_
+#define PSTORE_ANALYSIS_GLOBAL_STATE_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/check.h"
+#include "analysis/project.h"
+#include "analysis/token_cache.h"
+
+namespace pstore {
+namespace analysis {
+
+// Determinism rule "global-mutable-state": flags mutable state with
+// static storage duration anywhere under src/ —
+//   * namespace-scope variables that are not const/constexpr,
+//   * function-local `static` variables that are not const/constexpr,
+//   * class-scope `static` data members that are not const/constexpr.
+// Such state couples otherwise-independent simulations run in the same
+// process (the parallel sweep runtime) and makes replay order-
+// dependent. Registries and caches that are deliberately process-wide
+// carry a `// pstore-analyze: allow(global-mutable-state)` comment.
+class GlobalStateCheck : public Check {
+ public:
+  std::string name() const override { return "global-mutable-state"; }
+  void Run(const Project& project, const TokenCache& tokens,
+           std::vector<Finding>* findings) const override;
+};
+
+}  // namespace analysis
+}  // namespace pstore
+
+#endif  // PSTORE_ANALYSIS_GLOBAL_STATE_CHECK_H_

@@ -1,0 +1,341 @@
+#include "analysis/guarded_by_check.h"
+
+#include <map>
+#include <set>
+
+#include "analysis/check.h"
+#include "analysis/project.h"
+#include "analysis/source_file.h"
+#include "analysis/token_cache.h"
+#include "analysis/token_util.h"
+#include "analysis/tokenizer.h"
+
+namespace pstore {
+namespace analysis {
+namespace {
+
+constexpr const char kMacro[] = "PSTORE_GUARDED_BY";
+
+bool IsMutexTypeName(const std::string& text) {
+  return text == "mutex" || text == "recursive_mutex" ||
+         text == "shared_mutex" || text == "timed_mutex";
+}
+
+bool IsClassKeyword(const std::string& text) {
+  return text == "class" || text == "struct";
+}
+
+struct MutexMember {
+  std::string name;
+  std::string file;
+  int line = 0;
+};
+
+struct ClassInfo {
+  std::vector<MutexMember> mutexes;
+  std::map<std::string, std::string> guarded;  // member -> guarding mutex
+};
+
+struct Method {
+  std::string class_name;
+  std::string name;
+  const SourceFile* file = nullptr;
+  int line = 0;
+  size_t body_begin = 0;  // token indices, inclusive/exclusive
+  size_t body_end = 0;
+};
+
+// Scans a class-member statement run [begin, end): records a mutex
+// member and/or a PSTORE_GUARDED_BY annotation. Parens and angle
+// brackets inside the run (std::function<void(size_t)>, default
+// arguments) are skipped when locating the member name.
+void ParseMemberStatement(const std::vector<Token>& tokens, size_t begin,
+                          size_t end, const SourceFile& file,
+                          ClassInfo* info) {
+  size_t macro_at = 0;
+  for (size_t i = begin; i < end; ++i) {
+    if (IsIdentAt(tokens, i, kMacro) && IsPunctAt(tokens, i + 1, "(")) {
+      macro_at = i;
+      break;
+    }
+  }
+
+  // The declared name: the identifier right before the annotation
+  // macro, or the last identifier at bracket depth 0 otherwise.
+  size_t name_at = 0;
+  if (macro_at != 0) {
+    for (size_t i = begin; i < macro_at; ++i) {
+      if (tokens[i].kind == TokenKind::kIdentifier) name_at = i;
+    }
+  } else {
+    int angle = 0;
+    for (size_t i = begin; i < end; ++i) {
+      if (tokens[i].kind == TokenKind::kPunct) {
+        const std::string& t = tokens[i].text;
+        if (t == "<") ++angle;
+        if (t == ">" && angle > 0) --angle;
+        if (t == "(" || t == "[") {
+          i = SkipBalancedRun(tokens, i) - 1;
+          continue;
+        }
+        if (t == "=") break;  // default initializer: name seen already
+        continue;
+      }
+      if (angle == 0 && tokens[i].kind == TokenKind::kIdentifier) name_at = i;
+    }
+  }
+  if (name_at == 0) return;
+
+  bool is_mutex = false;
+  const size_t type_end = macro_at == 0 ? end : macro_at;
+  for (size_t i = begin; i + 2 < type_end; ++i) {
+    if (IsIdentAt(tokens, i, "std") && IsPunctAt(tokens, i + 1, "::") &&
+        IsIdentAt(tokens, i + 2) && IsMutexTypeName(tokens[i + 2].text)) {
+      is_mutex = true;
+      break;
+    }
+  }
+  if (is_mutex) {
+    info->mutexes.push_back(
+        {tokens[name_at].text, file.path(), tokens[name_at].line});
+  }
+
+  if (macro_at != 0) {
+    const size_t close = SkipBalancedRun(tokens, macro_at + 1);
+    std::string mutex_name;
+    for (size_t i = macro_at + 2; i + 1 < close; ++i) {
+      if (tokens[i].kind == TokenKind::kIdentifier) mutex_name = tokens[i].text;
+    }
+    if (!mutex_name.empty()) {
+      info->guarded[tokens[name_at].text] = mutex_name;
+    }
+  }
+}
+
+// Walks one class body [open + 1, close), collecting member statements
+// and inline method bodies. Nested class bodies are skipped here; the
+// outer file scan discovers them as classes in their own right.
+void ParseClassBody(const std::vector<Token>& tokens, size_t open,
+                    size_t close, const std::string& class_name,
+                    const SourceFile& file, ClassInfo* info,
+                    std::vector<Method>* methods) {
+  size_t i = open + 1;
+  while (i < close) {
+    const size_t stmt_begin = i;
+    size_t method_name_at = 0;  // ident immediately before an attached (...)
+    int angle = 0;
+    bool has_class_key = false;
+    size_t stop = close;
+    for (size_t j = stmt_begin; j < close; ++j) {
+      if (tokens[j].kind == TokenKind::kIdentifier) {
+        if (IsClassKeyword(tokens[j].text)) has_class_key = true;
+        continue;
+      }
+      if (tokens[j].kind != TokenKind::kPunct) continue;
+      const std::string& t = tokens[j].text;
+      if (t == "<") ++angle;
+      if (t == ">" && angle > 0) --angle;
+      if (t == "(") {
+        if (angle == 0 && method_name_at == 0 && j > stmt_begin &&
+            IsIdentAt(tokens, j - 1) && tokens[j - 1].text != kMacro) {
+          method_name_at = j - 1;
+        }
+        j = SkipBalancedRun(tokens, j) - 1;
+        continue;
+      }
+      if (t == "[") {
+        j = SkipBalancedRun(tokens, j) - 1;
+        continue;
+      }
+      if (t == ";" || t == "{") {
+        stop = j;
+        break;
+      }
+    }
+    if (stop >= close) break;
+
+    if (IsPunctAt(tokens, stop, ";")) {
+      if (method_name_at == 0 && !has_class_key) {
+        ParseMemberStatement(tokens, stmt_begin, stop, file, info);
+      }
+      i = stop + 1;
+      continue;
+    }
+
+    // `{` terminated: a nested class, an inline method body, or a
+    // brace-initialized member.
+    const size_t body_end = SkipBalancedRun(tokens, stop);
+    if (has_class_key) {
+      // Nested class: body handled by the outer scan; skip past it.
+      i = body_end;
+      continue;
+    }
+    if (method_name_at != 0) {
+      const std::string& mname = tokens[method_name_at].text;
+      const bool is_dtor = method_name_at > stmt_begin &&
+                           IsPunctAt(tokens, method_name_at - 1, "~");
+      if (mname != class_name && !is_dtor) {
+        methods->push_back({class_name, mname, &file,
+                            tokens[method_name_at].line, stop, body_end});
+      }
+      i = body_end;
+      continue;
+    }
+    // Brace-initialized member: `Type name{...};`.
+    ParseMemberStatement(tokens, stmt_begin, stop, file, info);
+    i = body_end;
+    if (IsPunctAt(tokens, i, ";")) ++i;
+  }
+}
+
+}  // namespace
+
+void GuardedByCheck::Run(const Project& project, const TokenCache& cache,
+                         std::vector<Finding>* findings) const {
+  std::map<std::string, ClassInfo> classes;
+  std::vector<Method> methods;
+
+  // Pass 1: class definitions — members, annotations, inline methods.
+  for (const SourceFile& file : project.files()) {
+    if (file.dir().empty()) continue;  // only src/ is in scope
+    const std::vector<Token>& tokens = cache.tokens(file);
+    const size_t n = tokens.size();
+    for (size_t i = 0; i < n; ++i) {
+      if (IsIdentAt(tokens, i, "template") && IsPunctAt(tokens, i + 1, "<")) {
+        // Skip the parameter list so `class T` parameters are not
+        // mistaken for class definitions.
+        int angle = 0;
+        size_t j = i + 1;
+        for (; j < n; ++j) {
+          if (tokens[j].kind != TokenKind::kPunct) continue;
+          if (tokens[j].text == "<") ++angle;
+          if (tokens[j].text == ">" && --angle == 0) break;
+          if (tokens[j].text == ";" || tokens[j].text == "{") break;
+        }
+        i = j;
+        continue;
+      }
+      if (!IsIdentAt(tokens, i) || !IsClassKeyword(tokens[i].text)) continue;
+      if (i > 0 && IsIdentAt(tokens, i - 1, "enum")) continue;
+      if (!IsIdentAt(tokens, i + 1)) continue;
+      const std::string& class_name = tokens[i + 1].text;
+      // Find the body brace; a forward declaration, parameter, or
+      // template argument never reaches one.
+      size_t open = 0;
+      for (size_t j = i + 2; j < n; ++j) {
+        if (tokens[j].kind != TokenKind::kPunct) continue;
+        const std::string& t = tokens[j].text;
+        if (t == "{") {
+          open = j;
+          break;
+        }
+        if (t == ";" || t == ")" || t == "(" || t == "," || t == ">" ||
+            t == "=" || t == "}") {
+          break;
+        }
+      }
+      if (open == 0) continue;
+      const size_t close = SkipBalancedRun(tokens, open) - 1;
+      ParseClassBody(tokens, open, close, class_name, file,
+                     &classes[class_name], &methods);
+    }
+  }
+
+  // Pass 2: out-of-line `Class::Method(...) ... {` definitions.
+  for (const SourceFile& file : project.files()) {
+    if (file.dir().empty()) continue;
+    const std::vector<Token>& tokens = cache.tokens(file);
+    const size_t n = tokens.size();
+    for (size_t i = 0; i + 3 < n; ++i) {
+      if (!IsIdentAt(tokens, i) || !IsPunctAt(tokens, i + 1, "::") ||
+          !IsIdentAt(tokens, i + 2) || !IsPunctAt(tokens, i + 3, "(")) {
+        continue;
+      }
+      const std::string& class_name = tokens[i].text;
+      const std::string& method_name = tokens[i + 2].text;
+      if (classes.count(class_name) == 0) continue;
+      // Ctors are exempt (no concurrent access during construction);
+      // `Foo::~Foo` never matches because `~` is not an identifier.
+      if (method_name == class_name) continue;
+      const size_t after_params = SkipBalancedRun(tokens, i + 3);
+      // Accept only definition syntax: specifiers / trailing return
+      // tokens, then `{`. Anything else is a call or a declaration.
+      size_t j = after_params;
+      bool is_definition = false;
+      while (j < n) {
+        if (IsPunctAt(tokens, j, "{")) {
+          is_definition = true;
+          break;
+        }
+        if (tokens[j].kind == TokenKind::kIdentifier) {
+          if (tokens[j].text == "noexcept" && IsPunctAt(tokens, j + 1, "(")) {
+            j = SkipBalancedRun(tokens, j + 1);
+            continue;
+          }
+          ++j;
+          continue;
+        }
+        if (IsPunctAt(tokens, j, "->") || IsPunctAt(tokens, j, "::") ||
+            IsPunctAt(tokens, j, "<") || IsPunctAt(tokens, j, ">") ||
+            IsPunctAt(tokens, j, "&") || IsPunctAt(tokens, j, "*")) {
+          ++j;
+          continue;
+        }
+        break;  // `;` declaration, `:` ctor-init, operators: not a body
+      }
+      if (!is_definition) continue;
+      methods.push_back({class_name, method_name, &file, tokens[i + 2].line, j,
+                         SkipBalancedRun(tokens, j)});
+    }
+  }
+
+  // Finding 1: a mutex no annotation references is either dead weight
+  // or guarding invisible state.
+  for (const auto& [class_name, info] : classes) {
+    std::set<std::string> referenced;
+    for (const auto& [member, mutex] : info.guarded) referenced.insert(mutex);
+    for (const MutexMember& mutex : info.mutexes) {
+      if (referenced.count(mutex.name) != 0) continue;
+      findings->push_back(
+          {mutex.file, mutex.line, "guarded-by",
+           "class '" + class_name + "' owns mutex '" + mutex.name +
+               "' but no member is annotated PSTORE_GUARDED_BY(" + mutex.name +
+               "); annotate the state it protects "
+               "(common/thread_annotations.h)"});
+    }
+  }
+
+  // Finding 2: a method that touches guarded state but never names the
+  // lock. Only mutexes that are members of the same class are
+  // enforced; annotations naming external mutexes are informational.
+  for (const Method& method : methods) {
+    const auto class_it = classes.find(method.class_name);
+    if (class_it == classes.end()) continue;
+    const ClassInfo& info = class_it->second;
+    std::set<std::string> own_mutexes;
+    for (const MutexMember& mutex : info.mutexes) {
+      own_mutexes.insert(mutex.name);
+    }
+    const std::vector<Token>& tokens = cache.tokens(*method.file);
+    std::set<std::string> body_idents;
+    for (size_t i = method.body_begin; i < method.body_end; ++i) {
+      if (tokens[i].kind == TokenKind::kIdentifier) {
+        body_idents.insert(tokens[i].text);
+      }
+    }
+    for (const auto& [member, mutex] : info.guarded) {
+      if (own_mutexes.count(mutex) == 0) continue;
+      if (body_idents.count(member) == 0) continue;
+      if (body_idents.count(mutex) != 0) continue;
+      findings->push_back(
+          {method.file->path(), method.line, "guarded-by",
+           "method '" + method.class_name + "::" + method.name +
+               "' accesses '" + member + "' (guarded by '" + mutex +
+               "') without naming the lock; hold " + mutex +
+               " or allow() with a rationale"});
+    }
+  }
+}
+
+}  // namespace analysis
+}  // namespace pstore

@@ -1,0 +1,39 @@
+#ifndef PSTORE_ANALYSIS_GUARDED_BY_CHECK_H_
+#define PSTORE_ANALYSIS_GUARDED_BY_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/check.h"
+#include "analysis/project.h"
+#include "analysis/token_cache.h"
+
+namespace pstore {
+namespace analysis {
+
+// Concurrency rule "guarded-by": a GUARDED_BY-lite discipline for
+// classes under src/ that own a std::mutex (or recursive_mutex /
+// shared_mutex / timed_mutex):
+//   * at least one data member must be annotated
+//     PSTORE_GUARDED_BY(<that mutex>) — an unannotated mutex is either
+//     dead or silently guarding state the analyzer cannot see; and
+//   * every method (ctors/dtors exempt) whose body mentions an
+//     annotated member must also mention the guarding mutex — taking
+//     the lock or asserting it is held. A method that touches guarded
+//     state without ever naming the lock is flagged.
+// The check is token-level: it pairs in-class method bodies and
+// out-of-line `Class::Method` definitions with the class's annotation
+// table. Annotations naming a mutex that is not a member of the same
+// class (e.g. a nested struct guarded by its owner's lock) are
+// accepted but not enforced.
+class GuardedByCheck : public Check {
+ public:
+  std::string name() const override { return "guarded-by"; }
+  void Run(const Project& project, const TokenCache& tokens,
+           std::vector<Finding>* findings) const override;
+};
+
+}  // namespace analysis
+}  // namespace pstore
+
+#endif  // PSTORE_ANALYSIS_GUARDED_BY_CHECK_H_

@@ -6,6 +6,7 @@
 #include "analysis/check.h"
 #include "analysis/project.h"
 #include "analysis/source_file.h"
+#include "analysis/token_cache.h"
 #include "analysis/tokenizer.h"
 
 namespace pstore {
@@ -61,9 +62,9 @@ bool IsOwnHeader(const SourceFile& file, const SourceFile& header) {
 }
 
 // All identifiers referenced by the file, with the line of first use.
-std::map<std::string, int> ReferencedNames(const SourceFile& file) {
+std::map<std::string, int> ReferencedNames(const std::vector<Token>& tokens) {
   std::map<std::string, int> used;
-  for (const Token& token : Tokenize(file.clean())) {
+  for (const Token& token : tokens) {
     if (token.kind == TokenKind::kIdentifier) {
       used.emplace(token.text, token.line);
     }
@@ -75,11 +76,15 @@ std::map<std::string, int> ReferencedNames(const SourceFile& file) {
 
 DeclaredNames IncludeHygieneCheck::ExtractDeclaredNames(
     const SourceFile& file) {
+  return ExtractDeclaredNames(file, Tokenize(file.clean()));
+}
+
+DeclaredNames IncludeHygieneCheck::ExtractDeclaredNames(
+    const SourceFile& file, const std::vector<Token>& tokens) {
   DeclaredNames out;
   for (const MacroDefinition& macro : file.macros()) {
     out.strong.insert(macro.name);
   }
-  const std::vector<Token> tokens = Tokenize(file.clean());
   const size_t n = tokens.size();
   std::vector<ScopeKind> scopes;
   std::string pending_scope;  // class-key seen since the last boundary
@@ -215,34 +220,47 @@ DeclaredNames IncludeHygieneCheck::ExtractDeclaredNames(
   return out;
 }
 
-void IncludeHygieneCheck::Run(const Project& project,
+void IncludeHygieneCheck::Run(const Project& project, const TokenCache& cache,
                               std::vector<Finding>* findings) const {
-  // Declared names per file, by path.
-  std::map<std::string, DeclaredNames> declared;
-  for (const SourceFile& file : project.files()) {
-    declared[file.path()] = ExtractDeclaredNames(file);
+  // Files are handled by their index in project.files() throughout:
+  // index-keyed sets iterate in deterministic load order, where sets of
+  // SourceFile pointers would iterate in run-dependent address order
+  // (the very hazard the pointer-order rule exists to flag).
+  const std::vector<SourceFile>& files = project.files();
+  const size_t file_count = files.size();
+  const size_t npos = file_count;  // "no such file" sentinel
+  auto find_header = [&](const std::string& target) {
+    const SourceFile* header = project.FindHeader(target);
+    return header == nullptr ? npos
+                             : static_cast<size_t>(header - files.data());
+  };
+
+  // Declared names per file index.
+  std::vector<DeclaredNames> declared(file_count);
+  for (size_t i = 0; i < file_count; ++i) {
+    declared[i] = ExtractDeclaredNames(files[i], cache.tokens(files[i]));
   }
 
   // Export closure: a header that marks an include with `IWYU pragma:
   // export` also vouches for (and re-exports the names of) that header.
-  std::map<const SourceFile*, std::set<const SourceFile*>> exports;
-  for (const SourceFile& file : project.files()) {
-    if (!file.is_header()) continue;
-    for (const IncludeDirective& inc : file.includes()) {
+  std::map<size_t, std::set<size_t>> exports;
+  for (size_t i = 0; i < file_count; ++i) {
+    if (!files[i].is_header()) continue;
+    for (const IncludeDirective& inc : files[i].includes()) {
       if (inc.angled || !inc.iwyu_export) continue;
-      const SourceFile* target = project.FindHeader(inc.target);
-      if (target != nullptr) exports[&file].insert(target);
+      const size_t target = find_header(inc.target);
+      if (target != npos) exports[i].insert(target);
     }
   }
-  auto export_closure = [&](const SourceFile* header) {
-    std::set<const SourceFile*> closed = {header};
-    std::deque<const SourceFile*> queue = {header};
+  auto export_closure = [&](size_t header) {
+    std::set<size_t> closed = {header};
+    std::deque<size_t> queue = {header};
     while (!queue.empty()) {
-      const SourceFile* at = queue.front();
+      const size_t at = queue.front();
       queue.pop_front();
       auto it = exports.find(at);
       if (it == exports.end()) continue;
-      for (const SourceFile* next : it->second) {
+      for (size_t next : it->second) {
         if (closed.insert(next).second) queue.push_back(next);
       }
     }
@@ -250,37 +268,39 @@ void IncludeHygieneCheck::Run(const Project& project,
   };
 
   // Strong names declared by exactly one project header.
-  std::map<std::string, const SourceFile*> unique_strong;
+  std::map<std::string, size_t> unique_strong;
   std::set<std::string> ambiguous;
-  for (const SourceFile& file : project.files()) {
-    if (!file.is_header() || file.include_key().empty()) continue;
-    for (const std::string& name : declared[file.path()].strong) {
-      auto [it, inserted] = unique_strong.emplace(name, &file);
-      if (!inserted && it->second != &file) ambiguous.insert(name);
+  for (size_t i = 0; i < file_count; ++i) {
+    if (!files[i].is_header() || files[i].include_key().empty()) continue;
+    for (const std::string& name : declared[i].strong) {
+      auto [it, inserted] = unique_strong.emplace(name, i);
+      if (!inserted && it->second != i) ambiguous.insert(name);
     }
   }
   for (const std::string& name : ambiguous) unique_strong.erase(name);
 
-  for (const SourceFile& file : project.files()) {
-    const std::map<std::string, int> used = ReferencedNames(file);
+  for (size_t self_index = 0; self_index < file_count; ++self_index) {
+    const SourceFile& file = files[self_index];
+    const std::map<std::string, int> used =
+        ReferencedNames(cache.tokens(file));
     // Direct includes, expanded through export closures.
-    std::set<const SourceFile*> direct;
+    std::set<size_t> direct;
     for (const IncludeDirective& inc : file.includes()) {
       if (inc.angled) continue;
-      const SourceFile* header = project.FindHeader(inc.target);
-      if (header == nullptr || header == &file) continue;
-      for (const SourceFile* h : export_closure(header)) direct.insert(h);
+      const size_t header = find_header(inc.target);
+      if (header == npos || header == self_index) continue;
+      for (size_t h : export_closure(header)) direct.insert(h);
     }
 
     // Unused direct includes.
     for (const IncludeDirective& inc : file.includes()) {
       if (inc.angled || inc.iwyu_export) continue;
-      const SourceFile* header = project.FindHeader(inc.target);
-      if (header == nullptr || header == &file) continue;
-      if (IsOwnHeader(file, *header)) continue;
+      const size_t header = find_header(inc.target);
+      if (header == npos || header == self_index) continue;
+      if (IsOwnHeader(file, files[header])) continue;
       bool referenced = false;
-      for (const SourceFile* h : export_closure(header)) {
-        const DeclaredNames& names = declared[h->path()];
+      for (size_t h : export_closure(header)) {
+        const DeclaredNames& names = declared[h];
         for (const auto& [name, line] : used) {
           if (names.strong.count(name) != 0 || names.weak.count(name) != 0) {
             referenced = true;
@@ -298,36 +318,36 @@ void IncludeHygieneCheck::Run(const Project& project,
     }
 
     // Transitive closure of the project includes.
-    std::set<const SourceFile*> reachable = direct;
-    std::deque<const SourceFile*> queue(direct.begin(), direct.end());
+    std::set<size_t> reachable = direct;
+    std::deque<size_t> queue(direct.begin(), direct.end());
     while (!queue.empty()) {
-      const SourceFile* at = queue.front();
+      const size_t at = queue.front();
       queue.pop_front();
-      for (const IncludeDirective& inc : at->includes()) {
+      for (const IncludeDirective& inc : files[at].includes()) {
         if (inc.angled) continue;
-        const SourceFile* next = project.FindHeader(inc.target);
-        if (next == nullptr) continue;
-        for (const SourceFile* h : export_closure(next)) {
+        const size_t next = find_header(inc.target);
+        if (next == npos) continue;
+        for (size_t h : export_closure(next)) {
           if (reachable.insert(h).second) queue.push_back(h);
         }
       }
     }
 
     // Missing direct includes, one finding per offending header.
-    const DeclaredNames& self = declared[file.path()];
-    std::set<const SourceFile*> already_reported;
+    const DeclaredNames& self = declared[self_index];
+    std::set<size_t> already_reported;
     for (const auto& [name, line] : used) {
       auto owner_it = unique_strong.find(name);
       if (owner_it == unique_strong.end()) continue;
-      const SourceFile* owner = owner_it->second;
-      if (owner == &file || direct.count(owner) != 0) continue;
-      if (IsOwnHeader(file, *owner)) continue;
+      const size_t owner = owner_it->second;
+      if (owner == self_index || direct.count(owner) != 0) continue;
+      if (IsOwnHeader(file, files[owner])) continue;
       if (self.strong.count(name) != 0 || self.weak.count(name) != 0) continue;
       if (reachable.count(owner) == 0) continue;
       if (!already_reported.insert(owner).second) continue;
       findings->push_back(
           {file.path(), line, "include",
-           "uses '" + name + "' declared in '" + owner->include_key() +
+           "uses '" + name + "' declared in '" + files[owner].include_key() +
                "' without including it directly"});
     }
   }

@@ -8,6 +8,8 @@
 #include "analysis/check.h"
 #include "analysis/project.h"
 #include "analysis/source_file.h"
+#include "analysis/token_cache.h"
+#include "analysis/tokenizer.h"
 
 namespace pstore {
 namespace analysis {
@@ -31,11 +33,15 @@ struct DeclaredNames {
 //    one project header that it only receives transitively.
 class IncludeHygieneCheck : public Check {
  public:
-  // Heuristic declaration scan of one file (exposed for tests).
+  // Heuristic declaration scan of one file (exposed for tests). The
+  // single-argument form tokenizes the file itself; Run uses the
+  // project-wide token cache instead.
   static DeclaredNames ExtractDeclaredNames(const SourceFile& file);
+  static DeclaredNames ExtractDeclaredNames(const SourceFile& file,
+                                            const std::vector<Token>& tokens);
 
   std::string name() const override { return "include"; }
-  void Run(const Project& project,
+  void Run(const Project& project, const TokenCache& tokens,
            std::vector<Finding>* findings) const override;
 };
 

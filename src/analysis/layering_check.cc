@@ -7,6 +7,7 @@
 #include "analysis/check.h"
 #include "analysis/project.h"
 #include "analysis/source_file.h"
+#include "analysis/token_cache.h"
 
 namespace pstore {
 namespace analysis {
@@ -61,8 +62,9 @@ LayeringCheck::AllowedDependencies() {
   return kAllowed;
 }
 
-void LayeringCheck::Run(const Project& project,
+void LayeringCheck::Run(const Project& project, const TokenCache& tokens,
                         std::vector<Finding>* findings) const {
+  (void)tokens;  // layering works on the recorded include directives
   const auto& allowed = AllowedDependencies();
   // Observed directory-level edges with their first site.
   std::map<std::pair<std::string, std::string>, EdgeSite> edges;

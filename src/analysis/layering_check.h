@@ -8,6 +8,7 @@
 
 #include "analysis/check.h"
 #include "analysis/project.h"
+#include "analysis/token_cache.h"
 
 namespace pstore {
 namespace analysis {
@@ -33,7 +34,7 @@ class LayeringCheck : public Check {
   AllowedDependencies();
 
   std::string name() const override { return "layering"; }
-  void Run(const Project& project,
+  void Run(const Project& project, const TokenCache& tokens,
            std::vector<Finding>* findings) const override;
 };
 

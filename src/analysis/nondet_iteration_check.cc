@@ -1,0 +1,202 @@
+#include "analysis/nondet_iteration_check.h"
+
+#include <set>
+
+#include "analysis/check.h"
+#include "analysis/project.h"
+#include "analysis/source_file.h"
+#include "analysis/token_cache.h"
+#include "analysis/token_util.h"
+#include "analysis/tokenizer.h"
+
+namespace pstore {
+namespace analysis {
+namespace {
+
+bool IsUnorderedContainerName(const std::string& text) {
+  return text == "unordered_map" || text == "unordered_set" ||
+         text == "unordered_multimap" || text == "unordered_multiset";
+}
+
+// A declared name with an unordered-container type, plus the site of
+// the declaration when it is a variable/member (not a parameter).
+struct UnorderedDecl {
+  std::string name;
+  bool is_parameter = false;
+  std::string file;
+  int line = 0;
+};
+
+// Walks forward from an `unordered_*` (or unordered-alias) type token
+// and records the names it declares. The grammar is approximate but
+// works for the shapes that appear in this codebase:
+//   std::unordered_map<K, V> name;      (member / local: finding site)
+//   std::unordered_map<K, V> name = ..; (ditto)
+//   std::unordered_map<K, V> name{..};  (ditto)
+//   const std::unordered_map<K, V>& name,  (parameter: name only)
+// Template angle brackets are tracked so commas inside `<...>` do not
+// terminate the declarator. Stops at `;`, `}` or when the candidate
+// identifier is followed by `(` (a function returning the container).
+void CollectDeclaredNames(const std::vector<Token>& tokens, size_t type_at,
+                          const SourceFile& file,
+                          std::vector<UnorderedDecl>* decls) {
+  int angle = 0;
+  for (size_t i = type_at + 1; i < tokens.size(); ++i) {
+    if (tokens[i].kind == TokenKind::kPunct) {
+      const std::string& t = tokens[i].text;
+      if (t == "<") ++angle;
+      if (t == ">") --angle;
+      if (angle <= 0 && (t == ";" || t == "}" || t == "{")) return;
+      continue;
+    }
+    if (angle > 0 || tokens[i].kind != TokenKind::kIdentifier) continue;
+    // Identifier at template depth 0: a declarator candidate if what
+    // follows ends or continues a declaration rather than a type.
+    if (IsPunctAt(tokens, i + 1, ";") || IsPunctAt(tokens, i + 1, "=") ||
+        IsPunctAt(tokens, i + 1, "{")) {
+      decls->push_back(
+          {tokens[i].text, false, file.path(), tokens[i].line});
+      return;
+    }
+    if (IsPunctAt(tokens, i + 1, ",") || IsPunctAt(tokens, i + 1, ")")) {
+      decls->push_back({tokens[i].text, true, "", 0});
+      return;
+    }
+    if (IsPunctAt(tokens, i + 1, "(")) return;  // function return type
+  }
+}
+
+}  // namespace
+
+bool NondetIterationCheck::IsSimAffectingDir(const std::string& dir) {
+  static const std::set<std::string> kSimDirs = {
+      "engine", "sim",        "fleet",      "planner",
+      "prediction", "migration", "controller", "fault"};
+  return kSimDirs.count(dir) != 0;
+}
+
+void NondetIterationCheck::Run(const Project& project, const TokenCache& cache,
+                               std::vector<Finding>* findings) const {
+  // Pass A: collect every name declared with an unordered-container
+  // type, project-wide, following `using Alias = std::unordered_*<..>`
+  // aliases one level deep. Declarations inside sim-affecting modules
+  // are themselves findings.
+  std::set<std::string> aliases;
+  for (const SourceFile& file : project.files()) {
+    const std::vector<Token>& tokens = cache.tokens(file);
+    for (size_t i = 0; i + 3 < tokens.size(); ++i) {
+      if (!IsIdentAt(tokens, i, "using") || !IsIdentAt(tokens, i + 1) ||
+          !IsPunctAt(tokens, i + 2, "=")) {
+        continue;
+      }
+      for (size_t j = i + 3; j < tokens.size(); ++j) {
+        if (IsPunctAt(tokens, j, ";")) break;
+        if (IsIdentAt(tokens, j) && IsUnorderedContainerName(tokens[j].text)) {
+          aliases.insert(tokens[i + 1].text);
+          break;
+        }
+      }
+    }
+  }
+
+  std::set<std::string> unordered_names;
+  for (const SourceFile& file : project.files()) {
+    const std::vector<Token>& tokens = cache.tokens(file);
+    const bool sim_dir = IsSimAffectingDir(file.dir());
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      if (!IsIdentAt(tokens, i)) continue;
+      const bool container = IsUnorderedContainerName(tokens[i].text);
+      const bool alias = !container && aliases.count(tokens[i].text) != 0 &&
+                         !IsPunctAt(tokens, i + 1, "=");
+      if (!container && !alias) continue;
+      if (container && IsIdentAt(tokens, i + 1)) continue;  // the alias decl
+      std::vector<UnorderedDecl> decls;
+      CollectDeclaredNames(tokens, i, file, &decls);
+      for (const UnorderedDecl& decl : decls) {
+        unordered_names.insert(decl.name);
+        if (!decl.is_parameter && sim_dir) {
+          findings->push_back(
+              {decl.file, decl.line, "nondet-iteration",
+               "unordered container '" + decl.name +
+                   "' declared in a sim-affecting module; iteration order "
+                   "is nondeterministic — use an ordered container or "
+                   "iterate over sorted keys (allow() if every use is "
+                   "order-independent)"});
+        }
+      }
+    }
+  }
+
+  // Pass B: in sim-affecting modules, flag range-for loops and
+  // begin()-family calls whose subject is an unordered-typed name.
+  for (const SourceFile& file : project.files()) {
+    if (!IsSimAffectingDir(file.dir())) continue;
+    const std::vector<Token>& tokens = cache.tokens(file);
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      if (IsIdentAt(tokens, i, "for") && IsPunctAt(tokens, i + 1, "(")) {
+        // Find the `:` of a range-for at paren depth 1; a `;` at depth 1
+        // first means a classic for loop.
+        int depth = 0;
+        size_t colon = 0;
+        for (size_t j = i + 1; j < tokens.size(); ++j) {
+          if (tokens[j].kind != TokenKind::kPunct) continue;
+          const std::string& t = tokens[j].text;
+          if (t == "(" || t == "[" || t == "{") ++depth;
+          if (t == ")" || t == "]" || t == "}") {
+            --depth;
+            if (depth == 0) break;
+          }
+          if (depth == 1 && t == ";") break;
+          if (depth == 1 && t == ":" && !IsPunctAt(tokens, j - 1, ":") &&
+              !IsPunctAt(tokens, j + 1, ":")) {
+            colon = j;
+            break;
+          }
+        }
+        if (colon == 0) continue;
+        // Range expression: tokens from the colon to the closing paren.
+        depth = 1;
+        for (size_t j = colon + 1; j < tokens.size(); ++j) {
+          if (tokens[j].kind == TokenKind::kPunct) {
+            const std::string& t = tokens[j].text;
+            if (t == "(" || t == "[" || t == "{") ++depth;
+            if (t == ")" || t == "]" || t == "}") {
+              --depth;
+              if (depth == 0) break;
+            }
+            continue;
+          }
+          if (IsIdentAt(tokens, j) &&
+              unordered_names.count(tokens[j].text) != 0) {
+            findings->push_back(
+                {file.path(), tokens[i].line, "nondet-iteration",
+                 "range-for over unordered container '" + tokens[j].text +
+                     "' in a sim-affecting module; iterate over sorted "
+                     "keys for deterministic order"});
+            break;
+          }
+        }
+        continue;
+      }
+      // name[.idx].begin() / cbegin() / rbegin()
+      if (!IsIdentAt(tokens, i) || unordered_names.count(tokens[i].text) == 0) {
+        continue;
+      }
+      size_t j = i + 1;
+      while (IsPunctAt(tokens, j, "[")) j = SkipBalancedRun(tokens, j);
+      if (!IsPunctAt(tokens, j, ".") && !IsPunctAt(tokens, j, "->")) continue;
+      if (IsIdentAt(tokens, j + 1, "begin") ||
+          IsIdentAt(tokens, j + 1, "cbegin") ||
+          IsIdentAt(tokens, j + 1, "rbegin")) {
+        findings->push_back(
+            {file.path(), tokens[i].line, "nondet-iteration",
+             "iterator over unordered container '" + tokens[i].text +
+                 "' in a sim-affecting module; iteration order is "
+                 "nondeterministic"});
+      }
+    }
+  }
+}
+
+}  // namespace analysis
+}  // namespace pstore

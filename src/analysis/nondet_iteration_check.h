@@ -1,0 +1,43 @@
+#ifndef PSTORE_ANALYSIS_NONDET_ITERATION_CHECK_H_
+#define PSTORE_ANALYSIS_NONDET_ITERATION_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/check.h"
+#include "analysis/project.h"
+#include "analysis/token_cache.h"
+
+namespace pstore {
+namespace analysis {
+
+// Determinism rule "nondet-iteration": in sim-affecting modules
+// (engine, sim, fleet, planner, prediction, migration, controller,
+// fault), flags constructs whose behaviour depends on the iteration
+// order of std::unordered_map / std::unordered_set — range-for loops
+// and begin()/cbegin()/rbegin() iterator loops over unordered-typed
+// variables, plus the declarations of unordered containers themselves
+// (a declaration site is where the "iterate deterministically at every
+// use" obligation is taken on, so it either moves to an ordered
+// container or carries an explicit allow()).
+//
+// Variable names with unordered-container types are collected
+// project-wide, including through `using X = std::unordered_map<...>`
+// aliases, so a member declared in a header is recognized when its
+// .cc iterates it. The match is by name: a same-named ordered variable
+// elsewhere can false-positive; suppress with a comment in that case.
+class NondetIterationCheck : public Check {
+ public:
+  // True for the src/ directories whose output feeds simulation
+  // results (exposed for tests).
+  static bool IsSimAffectingDir(const std::string& dir);
+
+  std::string name() const override { return "nondet-iteration"; }
+  void Run(const Project& project, const TokenCache& tokens,
+           std::vector<Finding>* findings) const override;
+};
+
+}  // namespace analysis
+}  // namespace pstore
+
+#endif  // PSTORE_ANALYSIS_NONDET_ITERATION_CHECK_H_

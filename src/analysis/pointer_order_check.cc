@@ -1,0 +1,169 @@
+#include "analysis/pointer_order_check.h"
+
+#include <string>
+
+#include "analysis/check.h"
+#include "analysis/project.h"
+#include "analysis/source_file.h"
+#include "analysis/token_cache.h"
+#include "analysis/token_util.h"
+#include "analysis/tokenizer.h"
+
+namespace pstore {
+namespace analysis {
+namespace {
+
+bool IsOrderedTemplateName(const std::string& text) {
+  return text == "map" || text == "set" || text == "multimap" ||
+         text == "multiset" || text == "less" || text == "greater";
+}
+
+// A `[` begins a lambda introducer (rather than a subscript) when the
+// preceding token cannot end an expression.
+bool StartsLambda(const std::vector<Token>& tokens, size_t open) {
+  if (open == 0) return true;
+  const Token& prev = tokens[open - 1];
+  if (prev.kind == TokenKind::kIdentifier) return prev.text == "return";
+  if (prev.kind == TokenKind::kNumber) return false;
+  return prev.text == "(" || prev.text == "," || prev.text == "=" ||
+         prev.text == "{" || prev.text == ";";
+}
+
+// Renders tokens [begin, end) with single spaces, for messages.
+std::string Render(const std::vector<Token>& tokens, size_t begin,
+                   size_t end) {
+  std::string out;
+  for (size_t i = begin; i < end; ++i) {
+    if (!out.empty() && tokens[i].text != "*" && tokens[i].text != "::" &&
+        !(i > begin && tokens[i - 1].text == "::")) {
+      out += ' ';
+    }
+    out += tokens[i].text;
+  }
+  return out;
+}
+
+}  // namespace
+
+void PointerOrderCheck::Run(const Project& project, const TokenCache& cache,
+                            std::vector<Finding>* findings) const {
+  for (const SourceFile& file : project.files()) {
+    if (file.dir().empty()) continue;  // only src/ is in scope
+    const std::vector<Token>& tokens = cache.tokens(file);
+    const size_t n = tokens.size();
+    for (size_t i = 0; i < n; ++i) {
+      // std::map<T*, ..> / std::set<T*> / std::less<T*> / ...
+      if (IsIdentAt(tokens, i, "std") && IsPunctAt(tokens, i + 1, "::") &&
+          IsIdentAt(tokens, i + 2) &&
+          IsOrderedTemplateName(tokens[i + 2].text) &&
+          IsPunctAt(tokens, i + 3, "<")) {
+        // Scan the first template argument: up to a top-level `,` or
+        // the matching `>`.
+        int angle = 0;
+        size_t star = 0;
+        size_t arg_end = 0;
+        for (size_t j = i + 3; j < n; ++j) {
+          if (tokens[j].kind != TokenKind::kPunct) continue;
+          const std::string& t = tokens[j].text;
+          if (t == "<") ++angle;
+          if (t == ">" && --angle == 0) {
+            arg_end = j;
+            break;
+          }
+          if (t == "," && angle == 1) {
+            arg_end = j;
+            break;
+          }
+          if (t == "*" && star == 0) star = j;
+          if (t == ";" || t == "{" || t == "}") break;  // not a template
+        }
+        if (star != 0 && arg_end != 0) {
+          findings->push_back(
+              {file.path(), tokens[i + 2].line, "pointer-order",
+               "std::" + tokens[i + 2].text + " ordered by raw pointer key '" +
+                   Render(tokens, i + 4, arg_end) +
+                   "'; pointer order varies run to run — key on a stable "
+                   "id instead"});
+        }
+        continue;
+      }
+      // Comparator lambda: [..](T* a, U* b) { ... a < b ... }
+      if (!IsPunctAt(tokens, i, "[") || !StartsLambda(tokens, i)) continue;
+      size_t params_open = 0;
+      {
+        int depth = 0;
+        for (size_t j = i; j < n; ++j) {
+          if (tokens[j].kind != TokenKind::kPunct) continue;
+          if (tokens[j].text == "[") ++depth;
+          if (tokens[j].text == "]" && --depth == 0) {
+            if (IsPunctAt(tokens, j + 1, "(")) params_open = j + 1;
+            break;
+          }
+        }
+      }
+      if (params_open == 0) continue;
+      const size_t params_close = SkipBalancedRun(tokens, params_open) - 1;
+      if (params_close >= n || !IsPunctAt(tokens, params_close, ")")) continue;
+      // Parse parameters: exactly two, both raw pointers.
+      std::vector<std::string> pointer_params;
+      bool all_pointers = true;
+      size_t count = 0;
+      size_t part_begin = params_open + 1;
+      for (size_t j = params_open + 1; j <= params_close; ++j) {
+        const bool at_end = j == params_close;
+        if (!at_end && !IsPunctAt(tokens, j, ",")) continue;
+        if (j == part_begin) break;  // empty parameter list
+        ++count;
+        bool saw_star = false;
+        size_t name_at = 0;
+        for (size_t k = part_begin; k < j; ++k) {
+          if (IsPunctAt(tokens, k, "*")) saw_star = true;
+          if (tokens[k].kind == TokenKind::kIdentifier) name_at = k;
+        }
+        if (saw_star && name_at != 0) {
+          pointer_params.push_back(tokens[name_at].text);
+        } else {
+          all_pointers = false;
+        }
+        part_begin = j + 1;
+      }
+      if (count != 2 || !all_pointers || pointer_params.size() != 2) continue;
+      // Body: the `{ ... }` after the parameter list (skip mutable /
+      // noexcept / trailing-return tokens in between).
+      size_t body_open = params_close + 1;
+      while (body_open < n && !IsPunctAt(tokens, body_open, "{") &&
+             !IsPunctAt(tokens, body_open, ";") &&
+             !IsPunctAt(tokens, body_open, ")")) {
+        ++body_open;
+      }
+      if (body_open >= n || !IsPunctAt(tokens, body_open, "{")) continue;
+      const size_t body_end = SkipBalancedRun(tokens, body_open);
+      const std::string& a = pointer_params[0];
+      const std::string& b = pointer_params[1];
+      for (size_t j = body_open; j + 2 < body_end; ++j) {
+        if (!IsIdentAt(tokens, j)) continue;
+        const bool lhs_a = tokens[j].text == a;
+        const bool lhs_b = tokens[j].text == b;
+        if (!lhs_a && !lhs_b) continue;
+        if (!IsPunctAt(tokens, j + 1, "<") && !IsPunctAt(tokens, j + 1, ">")) {
+          continue;
+        }
+        // `<= / >=` tokenizes as `<`/`>` then `=`; both forms compare.
+        size_t rhs = j + 2;
+        if (IsPunctAt(tokens, rhs, "=")) ++rhs;
+        const std::string& other = lhs_a ? b : a;
+        if (IsIdentAt(tokens, rhs, other.c_str())) {
+          findings->push_back(
+              {file.path(), tokens[j].line, "pointer-order",
+               "comparator lambda orders raw pointers '" + a + "' and '" + b +
+                   "' by address; pointer order varies run to run — compare "
+                   "a stable field instead"});
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace analysis
+}  // namespace pstore

@@ -1,0 +1,33 @@
+#ifndef PSTORE_ANALYSIS_POINTER_ORDER_CHECK_H_
+#define PSTORE_ANALYSIS_POINTER_ORDER_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/check.h"
+#include "analysis/project.h"
+#include "analysis/token_cache.h"
+
+namespace pstore {
+namespace analysis {
+
+// Determinism rule "pointer-order": flags orderings that depend on raw
+// pointer values anywhere under src/ —
+//   * ordered containers / comparators keyed by a raw pointer type
+//     (std::map<T*, ..>, std::set<T*>, std::less<T*>, ...), and
+//   * two-pointer comparator lambdas whose body compares the pointer
+//     parameters themselves with < or >.
+// Pointer values vary run to run with ASLR and allocation order, so
+// any traversal or sort keyed on them is nondeterministic. Key on a
+// stable id instead, or allow() when the order provably never escapes.
+class PointerOrderCheck : public Check {
+ public:
+  std::string name() const override { return "pointer-order"; }
+  void Run(const Project& project, const TokenCache& tokens,
+           std::vector<Finding>* findings) const override;
+};
+
+}  // namespace analysis
+}  // namespace pstore
+
+#endif  // PSTORE_ANALYSIS_POINTER_ORDER_CHECK_H_

@@ -3,6 +3,7 @@
 #include "analysis/check.h"
 #include "analysis/project.h"
 #include "analysis/source_file.h"
+#include "analysis/token_cache.h"
 #include "analysis/tokenizer.h"
 
 namespace pstore {
@@ -72,11 +73,11 @@ bool IsPlainKeywordStart(const std::string& text) {
 }  // namespace
 
 std::set<std::string> StatusCheck::CollectStatusFunctions(
-    const Project& project) {
+    const Project& project, const TokenCache& cache) {
   std::set<std::string> names;
   for (const SourceFile& file : project.files()) {
     if (!file.is_header()) continue;
-    const std::vector<Token> tokens = Tokenize(file.clean());
+    const std::vector<Token>& tokens = cache.tokens(file);
     for (size_t i = 0; i < tokens.size(); ++i) {
       if (tokens[i].kind != TokenKind::kIdentifier) continue;
       size_t after_type = 0;
@@ -100,13 +101,14 @@ std::set<std::string> StatusCheck::CollectStatusFunctions(
   return names;
 }
 
-void StatusCheck::Run(const Project& project,
+void StatusCheck::Run(const Project& project, const TokenCache& cache,
                       std::vector<Finding>* findings) const {
-  const std::set<std::string> status_fns = CollectStatusFunctions(project);
+  const std::set<std::string> status_fns =
+      CollectStatusFunctions(project, cache);
   if (status_fns.empty()) return;
 
   for (const SourceFile& file : project.files()) {
-    const std::vector<Token> tokens = Tokenize(file.clean());
+    const std::vector<Token>& tokens = cache.tokens(file);
     const size_t n = tokens.size();
     bool at_start = true;
     size_t i = 0;

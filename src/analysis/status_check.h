@@ -7,6 +7,7 @@
 
 #include "analysis/check.h"
 #include "analysis/project.h"
+#include "analysis/token_cache.h"
 
 namespace pstore {
 namespace analysis {
@@ -19,10 +20,11 @@ class StatusCheck : public Check {
  public:
   // The Status-returning function names found in the project's headers
   // (exposed for tests).
-  static std::set<std::string> CollectStatusFunctions(const Project& project);
+  static std::set<std::string> CollectStatusFunctions(const Project& project,
+                                                      const TokenCache& tokens);
 
   std::string name() const override { return "status"; }
-  void Run(const Project& project,
+  void Run(const Project& project, const TokenCache& tokens,
            std::vector<Finding>* findings) const override;
 };
 

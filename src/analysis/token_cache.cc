@@ -1,0 +1,38 @@
+#include "analysis/token_cache.h"
+
+#include <cstddef>
+
+#include "analysis/project.h"
+#include "analysis/source_file.h"
+#include "analysis/tokenizer.h"
+#include "common/check.h"
+#include "common/thread_pool.h"
+
+namespace pstore {
+namespace analysis {
+
+TokenCache::TokenCache(const Project& project, ThreadPool* pool)
+    : project_(&project) {
+  const std::vector<SourceFile>& files = project.files();
+  by_index_.resize(files.size());
+  auto tokenize_one = [&](size_t i) {
+    by_index_[i] = Tokenize(files[i].clean());
+  };
+  if (pool != nullptr && pool->thread_count() > 1) {
+    pool->ParallelFor(files.size(), tokenize_one);
+  } else {
+    for (size_t i = 0; i < files.size(); ++i) tokenize_one(i);
+  }
+}
+
+const std::vector<Token>& TokenCache::tokens(const SourceFile& file) const {
+  const std::vector<SourceFile>& files = project_->files();
+  PSTORE_CHECK(!files.empty());
+  const std::ptrdiff_t index = &file - files.data();
+  PSTORE_CHECK_MSG(index >= 0 && static_cast<size_t>(index) < files.size(),
+                   "file is not part of the cached project: " << file.path());
+  return by_index_[static_cast<size_t>(index)];
+}
+
+}  // namespace analysis
+}  // namespace pstore

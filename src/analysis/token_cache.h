@@ -1,0 +1,40 @@
+#ifndef PSTORE_ANALYSIS_TOKEN_CACHE_H_
+#define PSTORE_ANALYSIS_TOKEN_CACHE_H_
+
+#include <vector>
+
+#include "analysis/project.h"
+#include "analysis/source_file.h"
+#include "analysis/tokenizer.h"
+
+namespace pstore {
+
+class ThreadPool;
+
+namespace analysis {
+
+// Tokenizes every file of a Project exactly once, up front, so the
+// rule families share one token stream per file instead of each
+// re-running the tokenizer. Construction optionally fans the per-file
+// tokenization out over a ThreadPool: each file's slot is written by
+// exactly one index of a ParallelFor, so the cache contents are
+// identical for any thread count. Immutable afterwards.
+class TokenCache {
+ public:
+  // `pool` may be null (or single-threaded) for the serial path. The
+  // project must outlive the cache.
+  explicit TokenCache(const Project& project, ThreadPool* pool = nullptr);
+
+  // The token stream of a file obtained from project.files(). The file
+  // must belong to the project this cache was built from.
+  const std::vector<Token>& tokens(const SourceFile& file) const;
+
+ private:
+  const Project* project_;
+  std::vector<std::vector<Token>> by_index_;
+};
+
+}  // namespace analysis
+}  // namespace pstore
+
+#endif  // PSTORE_ANALYSIS_TOKEN_CACHE_H_

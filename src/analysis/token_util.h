@@ -1,0 +1,51 @@
+#ifndef PSTORE_ANALYSIS_TOKEN_UTIL_H_
+#define PSTORE_ANALYSIS_TOKEN_UTIL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/tokenizer.h"
+
+namespace pstore {
+namespace analysis {
+
+// Small shared helpers for token-level checks. Kept header-only so each
+// rule family stays a self-contained .cc with no extra link deps.
+
+inline bool IsIdentAt(const std::vector<Token>& tokens, size_t i) {
+  return i < tokens.size() && tokens[i].kind == TokenKind::kIdentifier;
+}
+
+inline bool IsIdentAt(const std::vector<Token>& tokens, size_t i,
+                      const char* text) {
+  return IsIdentAt(tokens, i) && tokens[i].text == text;
+}
+
+inline bool IsPunctAt(const std::vector<Token>& tokens, size_t i,
+                      const char* text) {
+  return i < tokens.size() && tokens[i].kind == TokenKind::kPunct &&
+         tokens[i].text == text;
+}
+
+// Returns the index just past the bracket run starting at `open`
+// (tokens[open] must be "(", "[", or "{"), or tokens.size() if the run
+// never closes. All bracket kinds nest together.
+inline size_t SkipBalancedRun(const std::vector<Token>& tokens, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::kPunct) continue;
+    const std::string& t = tokens[i].text;
+    if (t == "(" || t == "[" || t == "{") ++depth;
+    if (t == ")" || t == "]" || t == "}") {
+      --depth;
+      if (depth == 0) return i + 1;
+    }
+  }
+  return tokens.size();
+}
+
+}  // namespace analysis
+}  // namespace pstore
+
+#endif  // PSTORE_ANALYSIS_TOKEN_UTIL_H_

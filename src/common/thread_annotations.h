@@ -1,0 +1,32 @@
+#ifndef PSTORE_COMMON_THREAD_ANNOTATIONS_H_
+#define PSTORE_COMMON_THREAD_ANNOTATIONS_H_
+
+// Thread-safety annotation macros, in the spirit of clang's
+// -Wthread-safety attribute set but with a project-local spelling so
+// that pstore_analyze's token-level "guarded-by" rule can enforce the
+// discipline on every compiler, not just clang.
+//
+//   class Counter {
+//    private:
+//     std::mutex mu_;
+//     int64_t value_ PSTORE_GUARDED_BY(mu_) = 0;
+//   };
+//
+// Contract enforced by the analyzer (and, under clang with
+// PSTORE_THREAD_SAFETY_ANALYSIS defined, by the compiler too):
+//   * every class owning a std::mutex annotates at least one member
+//     with PSTORE_GUARDED_BY(that mutex), and
+//   * every method that touches an annotated member also names its
+//     mutex (taking the lock, or asserting it is held).
+
+#if defined(PSTORE_THREAD_SAFETY_ANALYSIS) && defined(__clang__)
+#define PSTORE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PSTORE_THREAD_ANNOTATION(x)
+#endif
+
+// Marks a data member as protected by the given mutex: the member may
+// only be read or written while that mutex is held.
+#define PSTORE_GUARDED_BY(x) PSTORE_THREAD_ANNOTATION(guarded_by(x))
+
+#endif  // PSTORE_COMMON_THREAD_ANNOTATIONS_H_

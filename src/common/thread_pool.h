@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace pstore {
 
@@ -67,9 +68,9 @@ class ThreadPool {
     size_t count = 0;
     std::atomic<size_t> next{0};
     std::atomic<size_t> completed{0};
-    int attached = 0;               // guarded by ThreadPool::mu_
-    size_t error_index = 0;         // guarded by error_mu
-    std::exception_ptr error;       // guarded by error_mu
+    int attached PSTORE_GUARDED_BY(mu_) = 0;  // ThreadPool::mu_
+    size_t error_index PSTORE_GUARDED_BY(error_mu) = 0;
+    std::exception_ptr error PSTORE_GUARDED_BY(error_mu);
     std::mutex error_mu;
   };
 
@@ -84,9 +85,9 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable work_cv_;  // workers: a new batch is available
   std::condition_variable done_cv_;  // caller: batch fully completed
-  Batch* batch_ = nullptr;           // current batch, null when idle
-  uint64_t generation_ = 0;          // bumped per batch, wakes workers
-  bool shutdown_ = false;
+  Batch* batch_ PSTORE_GUARDED_BY(mu_) = nullptr;  // null when idle
+  uint64_t generation_ PSTORE_GUARDED_BY(mu_) = 0;  // bumped per batch
+  bool shutdown_ PSTORE_GUARDED_BY(mu_) = false;
 };
 
 // Resolves a --threads style request: values < 1 mean "use the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <utility>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/sim_time.h"
@@ -102,12 +103,25 @@ int64_t Partition::BucketBytes(BucketId bucket) const {
   return data == nullptr ? 0 : data->bytes;
 }
 
+std::vector<BucketId> Partition::SortedBucketIds() const {
+  std::vector<BucketId> ids;
+  ids.reserve(buckets_.size());
+  // Key extraction only; the sort below erases the hash order.
+  // pstore-analyze: allow(nondet-iteration)
+  for (const auto& [bucket, data] : buckets_) ids.push_back(bucket);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
 BucketId Partition::HottestBucket(int64_t* accesses) const {
   BucketId hottest = -1;
   int64_t best = 0;
-  for (const auto& [bucket, data] : buckets_) {
-    if (data.accesses > best) {
-      best = data.accesses;
+  // Ascending-id scan with a strict `>` makes ties deterministic: the
+  // lowest bucket id wins no matter how the hash table is laid out.
+  for (const BucketId bucket : SortedBucketIds()) {
+    const int64_t count = buckets_.at(bucket).accesses;
+    if (count > best) {
+      best = count;
       hottest = bucket;
     }
   }
@@ -119,9 +133,11 @@ BucketId Partition::HottestBucketBelow(int64_t cap,
                                        int64_t* accesses) const {
   BucketId best_bucket = -1;
   int64_t best = 0;
-  for (const auto& [bucket, data] : buckets_) {
-    if (data.accesses > best && data.accesses <= cap) {
-      best = data.accesses;
+  // Same deterministic tie-break as HottestBucket: lowest id wins.
+  for (const BucketId bucket : SortedBucketIds()) {
+    const int64_t count = buckets_.at(bucket).accesses;
+    if (count > best && count <= cap) {
+      best = count;
       best_bucket = bucket;
     }
   }
@@ -131,11 +147,15 @@ BucketId Partition::HottestBucketBelow(int64_t cap,
 
 int64_t Partition::TotalAccesses() const {
   int64_t total = 0;
+  // Commutative sum: the traversal order cannot affect the result.
+  // pstore-analyze: allow(nondet-iteration)
   for (const auto& [bucket, data] : buckets_) total += data.accesses;
   return total;
 }
 
 void Partition::ResetAccessCounts() {
+  // Order-independent reset of every counter.
+  // pstore-analyze: allow(nondet-iteration)
   for (auto& [bucket, data] : buckets_) data.accesses = 0;
 }
 

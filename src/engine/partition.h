@@ -4,6 +4,7 @@
 #include <array>
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "common/sim_time.h"
 #include "engine/table.h"
@@ -19,6 +20,10 @@ using BucketId = int32_t;
 // so migration can size chunks without scanning rows, and an access
 // counter for hot-spot detection (E-Store-style detailed monitoring).
 struct BucketData {
+  // Hash maps keep the per-key hot path O(1); rows are only ever probed
+  // by key, never iterated, so the unordered order cannot leak into
+  // simulation results.
+  // pstore-analyze: allow(nondet-iteration)
   std::array<std::unordered_map<uint64_t, Row>, kMaxTables> tables;
   int64_t rows = 0;
   int64_t bytes = 0;
@@ -111,10 +116,19 @@ class Partition {
   BucketData* FindBucket(BucketId bucket);
   const BucketData* FindBucket(BucketId bucket) const;
 
+  // Bucket ids in ascending order, for traversals whose result could
+  // otherwise depend on hash iteration order (hot-spot scans tie-break
+  // toward the lowest id).
+  std::vector<BucketId> SortedBucketIds() const;
+
   SimTime busy_until_ = 0;
   SimTime total_busy_time_ = 0;
   int64_t jobs_executed_ = 0;
 
+  // O(1) bucket routing on the Put/Get/Submit hot path. Every
+  // order-sensitive traversal goes through SortedBucketIds() so results
+  // never depend on hash iteration order.
+  // pstore-analyze: allow(nondet-iteration)
   std::unordered_map<BucketId, BucketData> buckets_;
   int64_t row_count_ = 0;
   int64_t data_bytes_ = 0;

@@ -4,8 +4,8 @@
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -85,7 +85,10 @@ class Pool {
   const PlacementOptions* options_;
   std::vector<double> load_;
   std::vector<int64_t> partitions_;
-  std::vector<std::unordered_map<int, int>> tenants_;
+  // Ordered map (vs. hash map) so any future traversal of a machine's
+  // tenant set is deterministic by construction; the per-machine tenant
+  // count is small, so the O(log n) lookups are immaterial.
+  std::vector<std::map<int, int>> tenants_;
 };
 
 // Items ordered for placement: demand descending, flat index ascending.

@@ -15,11 +15,14 @@
 #include "analysis/check.h"
 #include "analysis/include_hygiene_check.h"
 #include "analysis/layering_check.h"
+#include "analysis/nondet_iteration_check.h"
 #include "analysis/project.h"
 #include "analysis/source_file.h"
 #include "analysis/status_check.h"
+#include "analysis/token_cache.h"
 #include "analysis/tokenizer.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 
 namespace pstore {
 namespace analysis {
@@ -208,7 +211,8 @@ TEST(StatusCheckTest, CollectsStatusReturningFunctions) {
                        "  const Status& last() const;\n"
                        "  void Run();\n"
                        "};\n"));
-  std::set<std::string> fns = StatusCheck::CollectStatusFunctions(project);
+  TokenCache cache(project);
+  std::set<std::string> fns = StatusCheck::CollectStatusFunctions(project, cache);
   EXPECT_TRUE(fns.count("DoThing"));
   EXPECT_TRUE(fns.count("Compute"));
   EXPECT_TRUE(fns.count("Apply"));
@@ -360,13 +364,336 @@ TEST(IncludeHygieneTest, SuppressionKeepsAnInclude) {
   EXPECT_TRUE(RunRule(project, "include").empty());
 }
 
+// ----------------------------------------------------------- nondet-iteration
+
+TEST(NondetIterationTest, SimAffectingDirs) {
+  for (const char* dir : {"engine", "sim", "fleet", "planner", "prediction",
+                          "migration", "controller", "fault"}) {
+    EXPECT_TRUE(NondetIterationCheck::IsSimAffectingDir(dir)) << dir;
+  }
+  EXPECT_FALSE(NondetIterationCheck::IsSimAffectingDir("common"));
+  EXPECT_FALSE(NondetIterationCheck::IsSimAffectingDir("b2w"));
+  EXPECT_FALSE(NondetIterationCheck::IsSimAffectingDir(""));
+}
+
+TEST(NondetIterationTest, FlagsDeclarationRangeForAndBegin) {
+  Project project;
+  project.AddFile(Make("src/engine/hot.h",
+                       "struct Hot {\n"
+                       "  std::unordered_map<int, int> counts_;\n"
+                       "};\n"));
+  project.AddFile(Make("src/engine/hot.cc",
+                       "void Hot_Scan(Hot* h) {\n"
+                       "  for (const auto& kv : h->counts_) { (void)kv; }\n"
+                       "  auto it = h->counts_.begin();\n"
+                       "  (void)it;\n"
+                       "}\n"));
+  std::vector<Finding> findings = RunRule(project, "nondet-iteration");
+  EXPECT_TRUE(HasFinding(findings, "nondet-iteration", "src/engine/hot.h",
+                         "unordered container 'counts_' declared"));
+  EXPECT_TRUE(HasFinding(findings, "nondet-iteration", "src/engine/hot.cc",
+                         "range-for over unordered container 'counts_'"));
+  EXPECT_TRUE(HasFinding(findings, "nondet-iteration", "src/engine/hot.cc",
+                         "iterator over unordered container 'counts_'"));
+  EXPECT_EQ(findings.size(), 3u);
+}
+
+TEST(NondetIterationTest, SeesThroughUsingAliases) {
+  Project project;
+  project.AddFile(Make("src/common/types.h",
+                       "using CountMap = std::unordered_map<int, long>;\n"));
+  project.AddFile(Make("src/sim/state.h",
+                       "#include \"common/types.h\"\n"
+                       "struct State { CountMap by_id_; };\n"));
+  std::vector<Finding> findings = RunRule(project, "nondet-iteration");
+  EXPECT_TRUE(HasFinding(findings, "nondet-iteration", "src/sim/state.h",
+                         "unordered container 'by_id_' declared"));
+}
+
+TEST(NondetIterationTest, NonSimDirAndOrderedContainersAreClean) {
+  Project project;
+  // The same declaration outside a sim-affecting module is fine, as is
+  // any ordered container inside one.
+  project.AddFile(Make("src/common/cache.h",
+                       "struct Cache { std::unordered_map<int, int> m_; };\n"));
+  project.AddFile(Make("src/engine/sortedscan.cc",
+                       "void Scan(const std::map<int, int>& m) {\n"
+                       "  for (const auto& kv : m) { (void)kv; }\n"
+                       "}\n"));
+  EXPECT_TRUE(RunRule(project, "nondet-iteration").empty());
+}
+
+TEST(NondetIterationTest, SuppressionComment) {
+  Project project;
+  project.AddFile(Make("src/engine/hot.h",
+                       "struct Hot {\n"
+                       "  // pstore-analyze: allow(nondet-iteration)\n"
+                       "  std::unordered_map<int, int> counts_;\n"
+                       "};\n"));
+  project.AddFile(Make(
+      "src/engine/hot.cc",
+      "long Hot_Sum(const Hot& h) {\n"
+      "  long total = 0;\n"
+      "  // Commutative sum; order-independent.\n"
+      "  // pstore-analyze: allow(nondet-iteration)\n"
+      "  for (const auto& kv : h.counts_) total += kv.second;\n"
+      "  return total;\n"
+      "}\n"));
+  EXPECT_TRUE(RunRule(project, "nondet-iteration").empty());
+}
+
+// ------------------------------------------------------- global-mutable-state
+
+TEST(GlobalStateTest, FlagsNamespaceScopeVariable) {
+  Project project;
+  project.AddFile(Make("src/common/globals.cc",
+                       "namespace pstore {\n"
+                       "int g_counter = 0;\n"
+                       "}  // namespace pstore\n"));
+  std::vector<Finding> findings = RunRule(project, "global-mutable-state");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(HasFinding(findings, "global-mutable-state",
+                         "src/common/globals.cc",
+                         "namespace-scope variable 'g_counter'"));
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(GlobalStateTest, FlagsFunctionLocalStatic) {
+  Project project;
+  project.AddFile(Make("src/common/ids.h",
+                       "inline int NextId() {\n"
+                       "  static int counter = 0;\n"
+                       "  return ++counter;\n"
+                       "}\n"));
+  std::vector<Finding> findings = RunRule(project, "global-mutable-state");
+  EXPECT_TRUE(HasFinding(findings, "global-mutable-state", "src/common/ids.h",
+                         "function-local static 'counter'"));
+}
+
+TEST(GlobalStateTest, FlagsStaticDataMember) {
+  Project project;
+  project.AddFile(Make("src/common/widget.h",
+                       "class Widget {\n"
+                       "  static int live_count_;\n"
+                       "};\n"));
+  std::vector<Finding> findings = RunRule(project, "global-mutable-state");
+  EXPECT_TRUE(HasFinding(findings, "global-mutable-state",
+                         "src/common/widget.h",
+                         "static data member 'live_count_'"));
+}
+
+TEST(GlobalStateTest, ConstFunctionsAndMethodsAreClean) {
+  Project project;
+  project.AddFile(Make(
+      "src/common/clean.h",
+      "constexpr int kLimit = 8;\n"
+      "const char* const kName = nullptr;\n"
+      "inline int Add(int a, int b) { return a + b; }\n"
+      "inline bool operator==(int a, long b) { return b == a; }\n"
+      "class Widget {\n"
+      " public:\n"
+      "  static constexpr int kMax = 4;\n"
+      "  static int Count();\n"
+      "  void Tick() { int local = 0; local += 1; (void)local; }\n"
+      " private:\n"
+      "  int member_ = 0;\n"
+      "};\n"
+      "inline const std::map<int, int>& Table() {\n"
+      "  static const std::map<int, int> kTable = {{1, 2}};\n"
+      "  return kTable;\n"
+      "}\n"));
+  project.AddFile(Make("src/common/clean.cc",
+                       "#include \"common/clean.h\"\n"
+                       "int Widget::Count() { return 0; }\n"));
+  EXPECT_TRUE(RunRule(project, "global-mutable-state").empty());
+}
+
+TEST(GlobalStateTest, SuppressionComment) {
+  Project project;
+  project.AddFile(Make(
+      "src/common/registry.cc",
+      "// Deliberately process-wide: written once at startup.\n"
+      "// pstore-analyze: allow(global-mutable-state)\n"
+      "int g_registry_epoch = 0;\n"));
+  EXPECT_TRUE(RunRule(project, "global-mutable-state").empty());
+}
+
+// -------------------------------------------------------------- pointer-order
+
+TEST(PointerOrderTest, FlagsPointerKeyedContainersAndComparators) {
+  Project project;
+  project.AddFile(Make("src/planner/index.h",
+                       "struct Node;\n"
+                       "struct Index {\n"
+                       "  std::map<const Node*, int> weight_;\n"
+                       "  std::set<Node*> visited_;\n"
+                       "  std::less<Node*> cmp_;\n"
+                       "};\n"));
+  std::vector<Finding> findings = RunRule(project, "pointer-order");
+  EXPECT_TRUE(HasFinding(findings, "pointer-order", "src/planner/index.h",
+                         "std::map ordered by raw pointer key"));
+  EXPECT_TRUE(HasFinding(findings, "pointer-order", "src/planner/index.h",
+                         "std::set ordered by raw pointer key"));
+  EXPECT_TRUE(HasFinding(findings, "pointer-order", "src/planner/index.h",
+                         "std::less ordered by raw pointer key"));
+  EXPECT_EQ(findings.size(), 3u);
+}
+
+TEST(PointerOrderTest, FlagsPointerComparingLambda) {
+  Project project;
+  project.AddFile(Make(
+      "src/planner/sortit.cc",
+      "struct Node;\n"
+      "void SortNodes(std::vector<Node*>* nodes) {\n"
+      "  std::sort(nodes->begin(), nodes->end(),\n"
+      "            [](const Node* a, const Node* b) { return a < b; });\n"
+      "}\n"));
+  std::vector<Finding> findings = RunRule(project, "pointer-order");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(HasFinding(findings, "pointer-order", "src/planner/sortit.cc",
+                         "comparator lambda orders raw pointers 'a' and 'b'"));
+}
+
+TEST(PointerOrderTest, ValueKeysAndFieldComparatorsAreClean) {
+  Project project;
+  project.AddFile(Make(
+      "src/planner/clean.cc",
+      "struct Node { int id; };\n"
+      "std::map<int, Node*> by_id;  "
+      "// pstore-analyze: allow(global-mutable-state)\n"
+      "void SortNodes(std::vector<Node*>* nodes) {\n"
+      "  std::sort(nodes->begin(), nodes->end(),\n"
+      "            [](const Node* a, const Node* b) "
+      "{ return a->id < b->id; });\n"
+      "}\n"));
+  // Pointer *values* (not keys) and field-based comparisons are fine.
+  EXPECT_TRUE(RunRule(project, "pointer-order").empty());
+}
+
+TEST(PointerOrderTest, SuppressionComment) {
+  Project project;
+  project.AddFile(Make(
+      "src/planner/arena.h",
+      "struct Slab;\n"
+      "struct Arena {\n"
+      "  // Iterated only for leak accounting, never for results.\n"
+      "  // pstore-analyze: allow(pointer-order)\n"
+      "  std::set<Slab*> live_;\n"
+      "};\n"));
+  EXPECT_TRUE(RunRule(project, "pointer-order").empty());
+}
+
+// ----------------------------------------------------------------- guarded-by
+
+TEST(GuardedByTest, FlagsUnannotatedMutex) {
+  Project project;
+  project.AddFile(Make("src/common/bad_counter.h",
+                       "class BadCounter {\n"
+                       " private:\n"
+                       "  std::mutex mu_;\n"
+                       "  int value_ = 0;\n"
+                       "};\n"));
+  std::vector<Finding> findings = RunRule(project, "guarded-by");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(HasFinding(findings, "guarded-by", "src/common/bad_counter.h",
+                         "owns mutex 'mu_' but no member is annotated"));
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(GuardedByTest, FlagsMethodThatSkipsTheLock) {
+  Project project;
+  project.AddFile(Make("src/common/racy.h",
+                       "class Racy {\n"
+                       " public:\n"
+                       "  int Peek() const { return value_; }\n"
+                       "  void Inc() {\n"
+                       "    std::lock_guard<std::mutex> lock(mu_);\n"
+                       "    ++value_;\n"
+                       "  }\n"
+                       " private:\n"
+                       "  mutable std::mutex mu_;\n"
+                       "  int value_ PSTORE_GUARDED_BY(mu_) = 0;\n"
+                       "};\n"));
+  project.AddFile(Make("src/common/racy.cc",
+                       "#include \"common/racy.h\"\n"
+                       "void Racy_Use(Racy* r) { (void)r; }\n"));
+  std::vector<Finding> findings = RunRule(project, "guarded-by");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(HasFinding(findings, "guarded-by", "src/common/racy.h",
+                         "'Racy::Peek' accesses 'value_' (guarded by 'mu_') "
+                         "without naming the lock"));
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(GuardedByTest, ChecksOutOfLineDefinitions) {
+  Project project;
+  project.AddFile(Make("src/common/queue.h",
+                       "class Queue {\n"
+                       " public:\n"
+                       "  Queue();\n"
+                       "  int Size() const;\n"
+                       "  void Push(int v);\n"
+                       " private:\n"
+                       "  mutable std::mutex mu_;\n"
+                       "  std::vector<int> items_ PSTORE_GUARDED_BY(mu_);\n"
+                       "};\n"));
+  project.AddFile(Make(
+      "src/common/queue.cc",
+      "#include \"common/queue.h\"\n"
+      // Ctor is exempt; Push locks; Size forgets the lock.
+      "Queue::Queue() { items_.reserve(16); }\n"
+      "void Queue::Push(int v) {\n"
+      "  std::lock_guard<std::mutex> lock(mu_);\n"
+      "  items_.push_back(v);\n"
+      "}\n"
+      "int Queue::Size() const { return (int)items_.size(); }\n"));
+  std::vector<Finding> findings = RunRule(project, "guarded-by");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(HasFinding(findings, "guarded-by", "src/common/queue.cc",
+                         "'Queue::Size' accesses 'items_'"));
+}
+
+TEST(GuardedByTest, ExternalMutexAnnotationIsTolerated) {
+  Project project;
+  // A nested struct's member guarded by the *owner's* lock: the
+  // annotation names a mutex that is not a member of Inner, which is
+  // recorded but not enforced (mirrors ThreadPool::Batch).
+  project.AddFile(Make("src/common/owner.h",
+                       "class Owner {\n"
+                       " private:\n"
+                       "  struct Inner {\n"
+                       "    int cached PSTORE_GUARDED_BY(big_mu_) = 0;\n"
+                       "  };\n"
+                       "  std::mutex big_mu_;\n"
+                       "  int state_ PSTORE_GUARDED_BY(big_mu_) = 0;\n"
+                       "};\n"));
+  EXPECT_TRUE(RunRule(project, "guarded-by").empty());
+}
+
+TEST(GuardedByTest, SuppressionComment) {
+  Project project;
+  project.AddFile(Make(
+      "src/common/racy.h",
+      "class Racy {\n"
+      " public:\n"
+      "  // Benign torn read, monitoring only.\n"
+      "  // pstore-analyze: allow(guarded-by)\n"
+      "  int Peek() const { return value_; }\n"
+      " private:\n"
+      "  std::mutex mu_;\n"
+      "  int value_ PSTORE_GUARDED_BY(mu_) = 0;\n"
+      "};\n"));
+  EXPECT_TRUE(RunRule(project, "guarded-by").empty());
+}
+
 // ------------------------------------------------------------------- analyzer
 
 TEST(AnalyzerTest, RuleCatalogAndSelection) {
   Analyzer analyzer;
   const std::vector<std::string> names = analyzer.RuleNames();
-  EXPECT_EQ(names,
-            (std::vector<std::string>{"layering", "status", "include"}));
+  EXPECT_EQ(names, (std::vector<std::string>{
+                       "layering", "status", "include", "nondet-iteration",
+                       "global-mutable-state", "pointer-order", "guarded-by"}));
   EXPECT_FALSE(analyzer.SelectRules({"nonsense"}).ok());
   EXPECT_TRUE(analyzer.SelectRules({"layering", "status"}).ok());
 }
@@ -408,6 +735,92 @@ TEST(AnalyzerTest, LoadsProjectFromDisk) {
   EXPECT_TRUE(HasFinding(findings, "layering", findings[0].file,
                          "'planner' may not depend on 'migration'"));
   fs::remove_all(root);
+}
+
+TEST(AnalyzerTest, ParallelRunMatchesSerial) {
+  Project project;
+  // One violation per rule family, so every check contributes findings
+  // in both modes.
+  project.AddFile(Make("src/migration/squall.h", "struct Mig {};\n"));
+  project.AddFile(Make("src/planner/bad.h",
+                       "#include \"migration/squall.h\"\n"
+                       "Mig use_it();\n"
+                       "Status DoThing(int x);\n"
+                       "std::map<Mig*, int> g_weights;\n"));
+  project.AddFile(Make("src/planner/bad.cc",
+                       "#include \"planner/bad.h\"\n"
+                       "void Caller() { DoThing(1); }\n"));
+  project.AddFile(Make("src/engine/hot.h",
+                       "struct Hot { std::unordered_map<int, int> m_; };\n"));
+  project.AddFile(Make("src/common/lock.h",
+                       "class Lock { std::mutex mu_; int v_ = 0; };\n"));
+  Analyzer analyzer;
+  const std::vector<Finding> serial = analyzer.Run(project);
+  EXPECT_FALSE(serial.empty());
+  ThreadPool pool(4);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    EXPECT_EQ(analyzer.Run(project, &pool), serial);
+  }
+  // A single-threaded pool also takes the serial path.
+  ThreadPool one(1);
+  EXPECT_EQ(analyzer.Run(project, &one), serial);
+}
+
+// ----------------------------------------------------------------------- json
+
+TEST(AnalyzerJsonTest, CanonicalByteStableOutput) {
+  const std::vector<Finding> findings = {
+      {"src/a.cc", 3, "status", "result of \"F\" discarded"},
+      {"src/b.cc", 7, "layering", "back\\slash and\nnewline"}};
+  const std::string json = FindingsToJson(findings);
+  EXPECT_EQ(json,
+            "[\n"
+            "  {\"file\": \"src/a.cc\", \"line\": 3, \"rule\": \"status\", "
+            "\"message\": \"result of \\\"F\\\" discarded\"},\n"
+            "  {\"file\": \"src/b.cc\", \"line\": 7, \"rule\": \"layering\", "
+            "\"message\": \"back\\\\slash and\\nnewline\"}\n"
+            "]\n");
+  // Byte-stable: encoding the same list twice is identical.
+  EXPECT_EQ(json, FindingsToJson(findings));
+  EXPECT_EQ(FindingsToJson({}), "[]\n");
+}
+
+TEST(AnalyzerJsonTest, RoundTrip) {
+  const std::vector<Finding> findings = {
+      {"src/a.cc", 3, "status", "quote \" slash \\ tab \t done"},
+      {"src/engine/hot.h", 12, "nondet-iteration", "plain message"},
+      {"src/z.cc", 1, "guarded-by", "control \x01 char"}};
+  StatusOr<std::vector<Finding>> parsed =
+      ParseFindingsJson(FindingsToJson(findings));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value(), findings);
+  StatusOr<std::vector<Finding>> empty = ParseFindingsJson("[]\n");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().empty());
+}
+
+TEST(AnalyzerJsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseFindingsJson("").ok());
+  EXPECT_FALSE(ParseFindingsJson("{\"file\": \"x\"}").ok());
+  EXPECT_FALSE(ParseFindingsJson("[{\"line\": 1}]").ok());
+  EXPECT_FALSE(ParseFindingsJson("[{\"file\": \"x\"").ok());
+}
+
+TEST(AnalyzerJsonTest, ToolOutputRoundTripsThroughJson) {
+  // End-to-end: run the real analyzer on a fixture project, render to
+  // JSON, parse it back, and compare with the in-memory findings.
+  Project project;
+  project.AddFile(Make("src/migration/squall.h", "struct Mig {};\n"));
+  project.AddFile(Make("src/planner/bad.h",
+                       "#include \"migration/squall.h\"\n"
+                       "Mig use_it();\n"));
+  Analyzer analyzer;
+  const std::vector<Finding> findings = analyzer.Run(project);
+  ASSERT_FALSE(findings.empty());
+  StatusOr<std::vector<Finding>> parsed =
+      ParseFindingsJson(FindingsToJson(findings));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value(), findings);
 }
 
 TEST(AnalyzerTest, LoadFailsOnMissingRoot) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/sim_time.h"
 #include "engine/table.h"
 
@@ -158,6 +160,50 @@ TEST(PartitionBucketTest, EraseUpdatesBucketAccounting) {
   BucketData data = p.ExtractBucket(1);
   EXPECT_EQ(data.rows, 1);
   EXPECT_EQ(data.bytes, 100);
+}
+
+// ---- Hot-spot monitoring determinism -------------------------------------
+
+TEST(PartitionMonitorTest, HottestBucketTiesBreakTowardLowestId) {
+  // Three buckets tied at the max: the winner must be the lowest id,
+  // not whichever the hash table happens to enumerate first.
+  Partition p;
+  for (const BucketId id : {42, 7, 19}) {
+    p.RecordAccess(id);
+    p.RecordAccess(id);
+  }
+  p.RecordAccess(3);  // below the tie
+  int64_t accesses = 0;
+  EXPECT_EQ(p.HottestBucket(&accesses), 7);
+  EXPECT_EQ(accesses, 2);
+  EXPECT_EQ(p.HottestBucketBelow(1, &accesses), 3);
+  EXPECT_EQ(accesses, 1);
+}
+
+TEST(PartitionMonitorTest, HottestBucketIsInsertionOrderIndependent) {
+  // Regression for the nondet-iteration fix: identical access counts
+  // recorded in different insertion orders (different hash layouts)
+  // must produce identical monitoring results.
+  const std::vector<BucketId> forward = {1, 5, 9, 13, 17, 21};
+  std::vector<BucketId> reversed(forward.rbegin(), forward.rend());
+  Partition a;
+  Partition b;
+  for (const BucketId id : forward) {
+    for (BucketId k = 0; k < 4; ++k) a.RecordAccess(id);
+  }
+  for (const BucketId id : reversed) {
+    for (BucketId k = 0; k < 4; ++k) b.RecordAccess(id);
+  }
+  int64_t accesses_a = 0;
+  int64_t accesses_b = 0;
+  EXPECT_EQ(a.HottestBucket(&accesses_a), b.HottestBucket(&accesses_b));
+  EXPECT_EQ(a.HottestBucket(nullptr), 1);  // all tied: lowest id wins
+  EXPECT_EQ(accesses_a, accesses_b);
+  EXPECT_EQ(a.HottestBucketBelow(4, nullptr), b.HottestBucketBelow(4, nullptr));
+  EXPECT_EQ(a.TotalAccesses(), b.TotalAccesses());
+  a.ResetAccessCounts();
+  EXPECT_EQ(a.HottestBucket(nullptr), -1);
+  EXPECT_EQ(a.TotalAccesses(), 0);
 }
 
 }  // namespace

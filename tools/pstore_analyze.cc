@@ -1,11 +1,18 @@
 // pstore_analyze: semantic static analysis for the P-Store tree.
 //
-// Usage: pstore_analyze [--rule=<name>]... [--list-rules] [PATH ...]
+// Usage: pstore_analyze [--rule=<name>]... [--list-rules]
+//                       [--threads=N] [--format=text|json] [PATH ...]
 //
-// Runs the layering, Status-discipline, and include-hygiene rule
-// families (src/analysis/) over the given files or directories
-// (default: src tools bench tests examples, resolved from the current
-// directory). Exits 0 when clean, 1 with findings, 2 on usage errors.
+// Runs the layering, Status-discipline, include-hygiene,
+// nondet-iteration, global-mutable-state, pointer-order, and
+// guarded-by rule families (src/analysis/) over the given files or
+// directories (default: src tools bench tests examples, resolved from
+// the current directory). Exits 0 when clean, 1 with findings, 2 on
+// usage errors.
+//
+// --threads=N tokenizes and runs the rule families on a thread pool
+// (0 = hardware concurrency); output is byte-identical to a serial
+// run. --format=json emits a canonical JSON array for CI diffing.
 
 #include <cstdio>
 #include <string>
@@ -16,13 +23,14 @@
 #include "analysis/project.h"
 #include "common/flags.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 
 namespace {
 
 int Usage() {
   std::fprintf(stderr,
                "usage: pstore_analyze [--rule=<name>]... [--list-rules] "
-               "[PATH ...]\n");
+               "[--threads=N] [--format=text|json] [PATH ...]\n");
   return 2;
 }
 
@@ -36,11 +44,26 @@ int main(int argc, char** argv) {
     return Usage();
   }
   for (const auto& flag : flags.flags()) {
-    if (flag.first != "rule" && flag.first != "list-rules") return Usage();
+    if (flag.first != "rule" && flag.first != "list-rules" &&
+        flag.first != "threads" && flag.first != "format") {
+      return Usage();
+    }
   }
   std::vector<std::string> roots = flags.positional();
   const std::vector<std::string> rules = flags.GetStrings("rule");
   const bool list_rules = flags.GetBool("list-rules", false);
+  const pstore::StatusOr<int64_t> threads = flags.GetInt("threads", 1);
+  if (!threads.ok()) {
+    std::fprintf(stderr, "pstore_analyze: %s\n",
+                 threads.status().ToString().c_str());
+    return 2;
+  }
+  const std::string format = flags.GetString("format", "text");
+  if (format != "text" && format != "json") {
+    std::fprintf(stderr, "pstore_analyze: unknown --format '%s'\n",
+                 format.c_str());
+    return 2;
+  }
 
   pstore::analysis::Analyzer analyzer;
   if (list_rules) {
@@ -66,10 +89,18 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // --threads=1 (the default) stays strictly serial; anything else
+  // resolves through the shared pool helper (0 = hardware).
+  pstore::ThreadPool pool(pstore::ResolveThreadCount(*threads));
   const std::vector<pstore::analysis::Finding> findings =
-      analyzer.Run(project.value());
-  for (const pstore::analysis::Finding& finding : findings) {
-    std::printf("%s\n", pstore::analysis::FormatFinding(finding).c_str());
+      analyzer.Run(project.value(), &pool);
+  if (format == "json") {
+    const std::string json = pstore::analysis::FindingsToJson(findings);
+    std::fwrite(json.data(), 1, json.size(), stdout);
+  } else {
+    for (const pstore::analysis::Finding& finding : findings) {
+      std::printf("%s\n", pstore::analysis::FormatFinding(finding).c_str());
+    }
   }
   if (!findings.empty()) {
     std::fprintf(stderr, "pstore_analyze: %zu finding(s) in %zu files\n",
