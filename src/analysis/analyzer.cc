@@ -5,15 +5,19 @@
 #include <map>
 
 #include "analysis/check.h"
+#include "analysis/dead_symbol_check.h"
 #include "analysis/global_state_check.h"
 #include "analysis/guarded_by_check.h"
+#include "analysis/hot_path_perf_check.h"
 #include "analysis/include_hygiene_check.h"
 #include "analysis/layering_check.h"
+#include "analysis/lock_order_check.h"
 #include "analysis/nondet_iteration_check.h"
 #include "analysis/pointer_order_check.h"
 #include "analysis/project.h"
 #include "analysis/source_file.h"
 #include "analysis/status_check.h"
+#include "analysis/symbol_graph.h"
 #include "analysis/token_cache.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -29,6 +33,9 @@ Analyzer::Analyzer() {
   checks_.push_back(std::make_unique<GlobalStateCheck>());
   checks_.push_back(std::make_unique<PointerOrderCheck>());
   checks_.push_back(std::make_unique<GuardedByCheck>());
+  checks_.push_back(std::make_unique<LockOrderCheck>());
+  checks_.push_back(std::make_unique<DeadSymbolCheck>());
+  checks_.push_back(std::make_unique<HotPathPerfCheck>());
 }
 
 std::vector<std::string> Analyzer::RuleNames() const {
@@ -61,6 +68,7 @@ std::vector<Finding> Analyzer::Run(const Project& project,
   const TokenCache cache(project, pool);
 
   std::vector<const Check*> to_run;
+  bool need_symbols = false;
   for (const auto& check : checks_) {
     if (!selected_.empty() &&
         std::find(selected_.begin(), selected_.end(), check->name()) ==
@@ -68,14 +76,24 @@ std::vector<Finding> Analyzer::Run(const Project& project,
       continue;
     }
     to_run.push_back(check.get());
+    need_symbols = need_symbols || check->needs_symbols();
   }
+
+  // The cross-TU symbol graph is built once, and only when a selected
+  // whole-program rule will consume it, so token-local subsets stay
+  // cheap. Its construction itself fans out over the pool.
+  std::unique_ptr<SymbolGraph> symbols;
+  if (need_symbols) {
+    symbols = std::make_unique<SymbolGraph>(project, cache, pool);
+  }
+  const AnalysisContext context{project, cache, symbols.get()};
 
   // One findings vector per check, written by index, so the parallel
   // path needs no locking. The final sort below fully determines the
   // output order, making serial and parallel runs byte-identical.
   std::vector<std::vector<Finding>> per_check(to_run.size());
   const auto run_one = [&](size_t i) {
-    to_run[i]->Run(project, cache, &per_check[i]);
+    to_run[i]->Run(context, &per_check[i]);
   };
   if (pool != nullptr && pool->thread_count() > 1) {
     pool->ParallelFor(to_run.size(), run_one);

@@ -18,7 +18,9 @@ namespace analysis {
 // Runs the registered rule families over a Project and applies the
 // `// pstore-analyze: allow(<rule>)` suppressions. Constructed with the
 // default rule set: layering, status, include, nondet-iteration,
-// global-mutable-state, pointer-order, guarded-by.
+// global-mutable-state, pointer-order, guarded-by, lock-order,
+// dead-symbol, hot-path-perf. The last three consume the cross-TU
+// SymbolGraph, which Run builds once iff such a rule is selected.
 class Analyzer {
  public:
   Analyzer();

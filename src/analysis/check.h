@@ -10,6 +10,8 @@
 namespace pstore {
 namespace analysis {
 
+class SymbolGraph;
+
 // One diagnostic produced by a check.
 struct Finding {
   std::string file;
@@ -23,17 +25,32 @@ inline bool operator==(const Finding& a, const Finding& b) {
          a.message == b.message;
 }
 
+// Everything a rule family may consult: the file set, the shared token
+// streams, and — for the whole-program rules — the cross-TU symbol and
+// call graph. `symbols` is non-null only when at least one selected
+// check declares needs_symbols(); token-local rules must not touch it.
+struct AnalysisContext {
+  const Project& project;
+  const TokenCache& tokens;
+  const SymbolGraph* symbols = nullptr;
+};
+
 // A semantic rule family run over the whole project. Checks report
 // findings without filtering: the Analyzer applies the
-// `// pstore-analyze: allow(<rule>)` suppressions afterwards. `tokens`
-// caches one token stream per project file; checks must not tokenize
-// on their own. Run must be safe to execute concurrently with the
-// other checks' Run (shared state is the immutable project + cache).
+// `// pstore-analyze: allow(<rule>)` suppressions afterwards.
+// `context.tokens` caches one token stream per project file; checks
+// must not tokenize on their own. Run must be safe to execute
+// concurrently with the other checks' Run (shared state is the
+// immutable project + cache + graph).
 class Check {
  public:
   virtual ~Check() = default;
   virtual std::string name() const = 0;
-  virtual void Run(const Project& project, const TokenCache& tokens,
+  // True for whole-program rules that consume the SymbolGraph; the
+  // Analyzer builds the graph only when a selected check asks for it,
+  // so token-local subsets stay cheap.
+  virtual bool needs_symbols() const { return false; }
+  virtual void Run(const AnalysisContext& context,
                    std::vector<Finding>* findings) const = 0;
 };
 

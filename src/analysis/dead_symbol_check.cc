@@ -1,0 +1,58 @@
+#include "analysis/dead_symbol_check.h"
+
+#include <algorithm>
+
+#include "analysis/check.h"
+#include "analysis/symbol_graph.h"
+
+namespace pstore {
+namespace analysis {
+
+void DeadSymbolCheck::Run(const AnalysisContext& context,
+                          std::vector<Finding>* findings) const {
+  const SymbolGraph& graph = *context.symbols;
+  for (size_t fn = 0; fn < graph.functions().size(); ++fn) {
+    const FunctionSymbol& function = graph.functions()[fn];
+    if (function.definitions.empty()) continue;
+    if (function.is_special) continue;  // ctors/dtors/operators: implicit
+    if (function.name == "main") continue;
+    // Only symbols living entirely under src/ are candidates; a
+    // definition in tools/bench/tests (dir "") is an entry point or a
+    // test body by construction.
+    bool all_in_src = true;
+    for (const SymbolSite& site : function.definitions) {
+      all_in_src = all_in_src && !site.dir.empty();
+    }
+    if (!all_in_src) continue;
+    // Any bare-name reference — call, address-of, registration table,
+    // macro body — keeps the whole overload set alive.
+    if (function.mentions > 0) continue;
+    bool has_external_caller = false;
+    for (const size_t caller : graph.callers_of(fn)) {
+      has_external_caller = has_external_caller || caller != fn;
+    }
+    if (has_external_caller) continue;
+
+    // Report at the first definition site (sites are in file order).
+    const SymbolSite* site = &function.definitions.front();
+    for (const SymbolSite& candidate : function.definitions) {
+      if (candidate.file < site->file ||
+          (candidate.file == site->file && candidate.line < site->line)) {
+        site = &candidate;
+      }
+    }
+    Finding finding;
+    finding.file = site->file;
+    finding.line = site->line;
+    finding.rule = name();
+    finding.message =
+        "function '" + function.qualified_name +
+        "' is defined but has no call sites or references across "
+        "src/tools/bench/tests; delete it or annotate the definition "
+        "with // pstore-analyze: allow(dead-symbol)";
+    findings->push_back(std::move(finding));
+  }
+}
+
+}  // namespace analysis
+}  // namespace pstore

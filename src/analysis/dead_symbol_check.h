@@ -1,0 +1,32 @@
+#ifndef PSTORE_ANALYSIS_DEAD_SYMBOL_CHECK_H_
+#define PSTORE_ANALYSIS_DEAD_SYMBOL_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/check.h"
+
+namespace pstore {
+namespace analysis {
+
+// Reports functions defined under src/ with zero call sites and zero
+// bare-name references anywhere in the project (src, tools, bench,
+// tests, examples). Constructors, destructors, operators, and `main`
+// are exempt, as is any symbol with a definition outside src/ (test
+// fixtures, tools). A symbol's own declarations — including the one in
+// its own header — never count as uses; address-taking, registration
+// tables, and macro bodies do (via the SymbolGraph mention count).
+// Intentionally kept entry points carry
+// `// pstore-analyze: allow(dead-symbol)` on the definition line.
+class DeadSymbolCheck : public Check {
+ public:
+  std::string name() const override { return "dead-symbol"; }
+  bool needs_symbols() const override { return true; }
+  void Run(const AnalysisContext& context,
+           std::vector<Finding>* findings) const override;
+};
+
+}  // namespace analysis
+}  // namespace pstore
+
+#endif  // PSTORE_ANALYSIS_DEAD_SYMBOL_CHECK_H_

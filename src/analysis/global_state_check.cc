@@ -45,8 +45,10 @@ bool IsNonVariableLead(const std::string& text) {
 
 }  // namespace
 
-void GlobalStateCheck::Run(const Project& project, const TokenCache& cache,
+void GlobalStateCheck::Run(const AnalysisContext& context,
                            std::vector<Finding>* findings) const {
+  const Project& project = context.project;
+  const TokenCache& cache = context.tokens;
   for (const SourceFile& file : project.files()) {
     if (file.dir().empty()) continue;  // only src/ is in scope
     const std::vector<Token>& tokens = cache.tokens(file);

@@ -23,7 +23,7 @@ namespace analysis {
 class GlobalStateCheck : public Check {
  public:
   std::string name() const override { return "global-mutable-state"; }
-  void Run(const Project& project, const TokenCache& tokens,
+  void Run(const AnalysisContext& context,
            std::vector<Finding>* findings) const override;
 };
 

@@ -190,8 +190,10 @@ void ParseClassBody(const std::vector<Token>& tokens, size_t open,
 
 }  // namespace
 
-void GuardedByCheck::Run(const Project& project, const TokenCache& cache,
+void GuardedByCheck::Run(const AnalysisContext& context,
                          std::vector<Finding>* findings) const {
+  const Project& project = context.project;
+  const TokenCache& cache = context.tokens;
   std::map<std::string, ClassInfo> classes;
   std::vector<Method> methods;
 

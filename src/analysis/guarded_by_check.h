@@ -29,7 +29,7 @@ namespace analysis {
 class GuardedByCheck : public Check {
  public:
   std::string name() const override { return "guarded-by"; }
-  void Run(const Project& project, const TokenCache& tokens,
+  void Run(const AnalysisContext& context,
            std::vector<Finding>* findings) const override;
 };
 

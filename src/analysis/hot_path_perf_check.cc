@@ -1,0 +1,268 @@
+#include "analysis/hot_path_perf_check.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/check.h"
+#include "analysis/source_file.h"
+#include "analysis/symbol_graph.h"
+#include "analysis/token_cache.h"
+#include "analysis/token_util.h"
+#include "analysis/tokenizer.h"
+
+namespace pstore {
+namespace analysis {
+namespace {
+
+// Container/string/function-object type names whose by-value copy (or
+// per-iteration construction) is worth flagging on a hot path.
+bool IsHeavyTypeName(const std::string& name) {
+  static const std::set<std::string> kHeavy = {
+      "string",       "vector",   "map",      "set",
+      "unordered_map", "unordered_set", "multimap", "multiset",
+      "deque",        "list",     "function"};
+  return kHeavy.count(name) != 0;
+}
+
+// Loop body token ranges within one function body, innermost included.
+std::vector<std::pair<size_t, size_t>> LoopRanges(
+    const std::vector<Token>& tokens, size_t begin, size_t end) {
+  std::vector<std::pair<size_t, size_t>> loops;
+  for (size_t i = begin; i < end && i < tokens.size(); ++i) {
+    if (!IsIdentAt(tokens, i)) continue;
+    const std::string& word = tokens[i].text;
+    if ((word == "for" || word == "while") && IsPunctAt(tokens, i + 1, "(")) {
+      const size_t after = SkipBalancedRun(tokens, i + 1);
+      size_t body_end = after;
+      if (IsPunctAt(tokens, after, "{")) {
+        body_end = SkipBalancedRun(tokens, after);
+      } else {
+        while (body_end < end && !IsPunctAt(tokens, body_end, ";")) {
+          ++body_end;
+        }
+      }
+      loops.emplace_back(after, body_end);
+    } else if (word == "do" && IsPunctAt(tokens, i + 1, "{")) {
+      loops.emplace_back(i + 1, SkipBalancedRun(tokens, i + 1));
+    }
+  }
+  return loops;
+}
+
+bool InAnyLoop(const std::vector<std::pair<size_t, size_t>>& loops, size_t i) {
+  for (const auto& [begin, end] : loops) {
+    if (i >= begin && i < end) return true;
+  }
+  return false;
+}
+
+// The receiver expression of a member call, walking back from the '.'
+// or '->' at tokens[dot] over an ident / :: / member-access / index
+// chain: `state.rows[i].push_back` -> "state.rows[i]".
+std::string ReceiverBefore(const std::vector<Token>& tokens, size_t dot,
+                           size_t stop) {
+  size_t i = dot;
+  while (i > stop) {
+    const Token& prev = tokens[i - 1];
+    if (prev.kind == TokenKind::kIdentifier) {
+      --i;
+      continue;
+    }
+    if (prev.kind != TokenKind::kPunct) break;
+    if (prev.text == "." || prev.text == "->" || prev.text == "::") {
+      --i;
+      continue;
+    }
+    if (prev.text == "]") {
+      int depth = 0;
+      size_t k = i - 1;
+      while (k > stop) {
+        if (IsPunctAt(tokens, k, "]")) ++depth;
+        if (IsPunctAt(tokens, k, "[") && --depth == 0) break;
+        --k;
+      }
+      if (depth != 0) break;
+      i = k;
+      continue;
+    }
+    break;
+  }
+  std::string receiver;
+  for (size_t k = i; k < dot; ++k) {
+    // `->` and `.` access the same object for matching purposes, so
+    // `state->out` finds a reserve spelled `state.out` and vice versa.
+    receiver += IsPunctAt(tokens, k, "->") ? "." : tokens[k].text;
+  }
+  return receiver;
+}
+
+// True if `move ( name` appears anywhere in the body: the by-value
+// parameter is a deliberate sink, not an accidental copy.
+bool IsMovedFrom(const std::vector<Token>& tokens, size_t begin, size_t end,
+                 const std::string& name) {
+  for (size_t i = begin; i + 2 < end && i + 2 < tokens.size(); ++i) {
+    if (IsIdentAt(tokens, i, "move") && IsPunctAt(tokens, i + 1, "(") &&
+        IsIdentAt(tokens, i + 2) && tokens[i + 2].text == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool HotPathPerfCheck::IsHotRoot(const FunctionSymbol& function) {
+  static const std::set<std::string> kHotDirs = {"engine", "sim", "fleet"};
+  bool in_hot_dir = false;
+  for (const SymbolSite& site : function.definitions) {
+    in_hot_dir = in_hot_dir || kHotDirs.count(site.dir) != 0;
+  }
+  if (!in_hot_dir) return false;
+  const std::string& name = function.name;
+  return name == "Tick" || name == "Submit" || name == "Simulate" ||
+         name == "Step" || name.rfind("Run", 0) == 0;
+}
+
+void HotPathPerfCheck::Run(const AnalysisContext& context,
+                           std::vector<Finding>* findings) const {
+  const SymbolGraph& graph = *context.symbols;
+
+  std::vector<size_t> roots;
+  for (size_t fn = 0; fn < graph.functions().size(); ++fn) {
+    if (IsHotRoot(graph.functions()[fn])) roots.push_back(fn);
+  }
+  const std::vector<char> hot = graph.ReachableFrom(roots);
+
+  for (size_t fn = 0; fn < graph.functions().size(); ++fn) {
+    if (hot[fn] == 0) continue;
+    const FunctionSymbol& function = graph.functions()[fn];
+    for (const SymbolSite& site : function.definitions) {
+      if (site.dir.empty()) continue;  // only src/ definitions are linted
+      const SourceFile& file = context.project.files()[site.file_index];
+      const std::vector<Token>& tokens = context.tokens.tokens(file);
+      const size_t begin = site.body_begin;
+      const size_t end = site.body_end;
+
+      const auto loops = LoopRanges(tokens, begin, end);
+
+      // reserve() calls by receiver, for the growth lint.
+      std::map<std::string, size_t> first_reserve;
+      for (size_t i = begin; i < end && i < tokens.size(); ++i) {
+        if (!IsIdentAt(tokens, i, "reserve") ||
+            !IsPunctAt(tokens, i + 1, "(") || i == begin ||
+            !(IsPunctAt(tokens, i - 1, ".") || IsPunctAt(tokens, i - 1, "->"))) {
+          continue;
+        }
+        const std::string receiver = ReceiverBefore(tokens, i - 1, begin);
+        if (!receiver.empty() && first_reserve.count(receiver) == 0) {
+          first_reserve[receiver] = i;
+        }
+      }
+
+      for (size_t i = begin; i < end && i < tokens.size(); ++i) {
+        if (!IsIdentAt(tokens, i)) continue;
+        const std::string& word = tokens[i].text;
+
+        if ((word == "push_back" || word == "emplace_back") &&
+            IsPunctAt(tokens, i + 1, "(") && i > begin &&
+            (IsPunctAt(tokens, i - 1, ".") || IsPunctAt(tokens, i - 1, "->")) &&
+            InAnyLoop(loops, i)) {
+          const std::string receiver = ReceiverBefore(tokens, i - 1, begin);
+          const auto it = first_reserve.find(receiver);
+          if (receiver.empty() || it == first_reserve.end() ||
+              it->second > i) {
+            Finding finding;
+            finding.file = site.file;
+            finding.line = tokens[i].line;
+            finding.rule = name();
+            finding.message = "container '" + receiver + "' grown with " +
+                              word + " inside a loop of hot-path function '" +
+                              function.qualified_name +
+                              "' without a prior reserve()";
+            findings->push_back(std::move(finding));
+          }
+          continue;
+        }
+
+        if (word == "function" && i >= 2 && IsPunctAt(tokens, i - 1, "::") &&
+            IsIdentAt(tokens, i - 2, "std") && IsPunctAt(tokens, i + 1, "<") &&
+            InAnyLoop(loops, i)) {
+          Finding finding;
+          finding.file = site.file;
+          finding.line = tokens[i].line;
+          finding.rule = name();
+          finding.message =
+              "std::function constructed inside a loop of hot-path function "
+              "'" +
+              function.qualified_name +
+              "'; hoist it out of the loop or use a template parameter";
+          findings->push_back(std::move(finding));
+        }
+      }
+
+      // Non-trivial by-value parameters (skipping moved-from sinks).
+      const auto lint_param = [&](size_t param_begin, size_t param_end) {
+        // Trim a default argument.
+        for (size_t k = param_begin; k < param_end; ++k) {
+          if (IsPunctAt(tokens, k, "=")) {
+            param_end = k;
+            break;
+          }
+        }
+        if (param_end <= param_begin) return;
+        bool by_reference = false;
+        bool heavy = false;
+        std::string param_name;
+        for (size_t k = param_begin; k < param_end; ++k) {
+          if (IsPunctAt(tokens, k, "&") || IsPunctAt(tokens, k, "*") ||
+              IsPunctAt(tokens, k, "...")) {
+            by_reference = true;
+          }
+          if (IsIdentAt(tokens, k)) {
+            if (IsHeavyTypeName(tokens[k].text)) heavy = true;
+            param_name = tokens[k].text;
+          }
+        }
+        if (by_reference || !heavy || param_name.empty()) return;
+        if (IsHeavyTypeName(param_name)) return;  // unnamed parameter
+        // The scan starts right after the parameter list so that a
+        // constructor moving the parameter in its init list counts.
+        if (IsMovedFrom(tokens, site.params_end, end, param_name)) return;
+        Finding finding;
+        finding.file = site.file;
+        finding.line = site.line;
+        finding.rule = name();
+        finding.message = "parameter '" + param_name +
+                          "' of hot-path function '" +
+                          function.qualified_name +
+                          "' copies a non-trivial type by value; pass by "
+                          "const reference or std::move into it";
+        findings->push_back(std::move(finding));
+      };
+      if (site.params_end > site.params_begin + 1) {
+        const size_t params_close = site.params_end - 1;
+        size_t param_begin = site.params_begin + 1;
+        int depth = 0;
+        for (size_t i = param_begin; i < params_close; ++i) {
+          if (IsPunctAt(tokens, i, "(") || IsPunctAt(tokens, i, "[") ||
+              IsPunctAt(tokens, i, "{") || IsPunctAt(tokens, i, "<")) {
+            ++depth;
+          } else if (IsPunctAt(tokens, i, ")") || IsPunctAt(tokens, i, "]") ||
+                     IsPunctAt(tokens, i, "}") || IsPunctAt(tokens, i, ">")) {
+            --depth;
+          } else if (depth == 0 && IsPunctAt(tokens, i, ",")) {
+            lint_param(param_begin, i);
+            param_begin = i + 1;
+          }
+        }
+        lint_param(param_begin, params_close);
+      }
+    }
+  }
+}
+
+}  // namespace analysis
+}  // namespace pstore

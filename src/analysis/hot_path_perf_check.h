@@ -1,0 +1,41 @@
+#ifndef PSTORE_ANALYSIS_HOT_PATH_PERF_CHECK_H_
+#define PSTORE_ANALYSIS_HOT_PATH_PERF_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/check.h"
+#include "analysis/symbol_graph.h"
+
+namespace pstore {
+namespace analysis {
+
+// Perf lints restricted to hot paths. The hot set is computed from the
+// call graph, not a directory list: every function reachable from the
+// engine/sim/fleet inner loops (tick-, submit-, and run-style entry
+// points; see IsHotRoot) is in scope. Three patterns are flagged in
+// hot-path definitions under src/:
+//
+//   * a container grown via push_back/emplace_back inside a loop with
+//     no prior reserve() on the same receiver in the function;
+//   * a parameter of a non-trivial type (std::string, containers,
+//     std::function, ...) taken by value and never moved from;
+//   * a std::function constructed inside a loop (type erasure and a
+//     possible allocation per iteration).
+class HotPathPerfCheck : public Check {
+ public:
+  // True for the inner-loop entry points the reachability scan starts
+  // from: definitions under src/{engine,sim,fleet} named Tick, Submit,
+  // Simulate, Step, or Run*. Exposed for tests.
+  static bool IsHotRoot(const FunctionSymbol& function);
+
+  std::string name() const override { return "hot-path-perf"; }
+  bool needs_symbols() const override { return true; }
+  void Run(const AnalysisContext& context,
+           std::vector<Finding>* findings) const override;
+};
+
+}  // namespace analysis
+}  // namespace pstore
+
+#endif  // PSTORE_ANALYSIS_HOT_PATH_PERF_CHECK_H_

@@ -220,8 +220,10 @@ DeclaredNames IncludeHygieneCheck::ExtractDeclaredNames(
   return out;
 }
 
-void IncludeHygieneCheck::Run(const Project& project, const TokenCache& cache,
+void IncludeHygieneCheck::Run(const AnalysisContext& context,
                               std::vector<Finding>* findings) const {
+  const Project& project = context.project;
+  const TokenCache& cache = context.tokens;
   // Files are handled by their index in project.files() throughout:
   // index-keyed sets iterate in deterministic load order, where sets of
   // SourceFile pointers would iterate in run-dependent address order

@@ -41,7 +41,7 @@ class IncludeHygieneCheck : public Check {
                                             const std::vector<Token>& tokens);
 
   std::string name() const override { return "include"; }
-  void Run(const Project& project, const TokenCache& tokens,
+  void Run(const AnalysisContext& context,
            std::vector<Finding>* findings) const override;
 };
 

@@ -62,8 +62,10 @@ LayeringCheck::AllowedDependencies() {
   return kAllowed;
 }
 
-void LayeringCheck::Run(const Project& project, const TokenCache& tokens,
+void LayeringCheck::Run(const AnalysisContext& context,
                         std::vector<Finding>* findings) const {
+  const Project& project = context.project;
+  const TokenCache& tokens = context.tokens;
   (void)tokens;  // layering works on the recorded include directives
   const auto& allowed = AllowedDependencies();
   // Observed directory-level edges with their first site.

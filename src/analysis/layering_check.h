@@ -34,7 +34,7 @@ class LayeringCheck : public Check {
   AllowedDependencies();
 
   std::string name() const override { return "layering"; }
-  void Run(const Project& project, const TokenCache& tokens,
+  void Run(const AnalysisContext& context,
            std::vector<Finding>* findings) const override;
 };
 

@@ -1,0 +1,541 @@
+#include "analysis/lock_order_check.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "analysis/check.h"
+#include "analysis/source_file.h"
+#include "analysis/symbol_graph.h"
+#include "analysis/token_cache.h"
+#include "analysis/token_util.h"
+#include "analysis/tokenizer.h"
+
+namespace pstore {
+namespace analysis {
+namespace {
+
+bool IsRaiiGuard(const std::string& text) {
+  return text == "lock_guard" || text == "scoped_lock" ||
+         text == "unique_lock" || text == "shared_lock";
+}
+
+// Skips a template-argument run starting at tokens[i] == "<"; returns
+// the index just past the closing ">". Parens nested inside the run are
+// skipped as balanced groups.
+size_t SkipAngleRun(const std::vector<Token>& tokens, size_t i) {
+  int depth = 0;
+  while (i < tokens.size()) {
+    if (IsPunctAt(tokens, i, "<")) ++depth;
+    if (IsPunctAt(tokens, i, ">") && --depth == 0) return i + 1;
+    if (IsPunctAt(tokens, i, "(") || IsPunctAt(tokens, i, "[")) {
+      i = SkipBalancedRun(tokens, i);
+      continue;
+    }
+    if (IsPunctAt(tokens, i, ";") || IsPunctAt(tokens, i, "{")) break;
+    ++i;
+  }
+  return i;
+}
+
+// Canonical identity of a mutex: the argument expression with `this->`,
+// leading `&` / `*`, and `std::` noise stripped; a bare identifier
+// inside a method is qualified with the class name, so `mu_` names the
+// same lock-order node in every method of the class (and a different
+// node than another class's `mu_`).
+std::string LockKey(const std::vector<Token>& tokens, size_t begin, size_t end,
+                    const std::string& class_name) {
+  size_t i = begin;
+  while (i < end && (IsPunctAt(tokens, i, "&") || IsPunctAt(tokens, i, "*"))) {
+    ++i;
+  }
+  if (IsIdentAt(tokens, i, "this") && IsPunctAt(tokens, i + 1, "->")) i += 2;
+  std::string key;
+  size_t idents = 0;
+  for (size_t k = i; k < end; ++k) {
+    if (tokens[k].kind == TokenKind::kIdentifier) ++idents;
+    key += tokens[k].text;
+  }
+  if (idents == 1 && key.find_first_of(".-[(") == std::string::npos &&
+      !class_name.empty()) {
+    const size_t qual = key.rfind("::");
+    if (qual == std::string::npos) key = class_name + "::" + key;
+  }
+  return key;
+}
+
+// Splits the balanced run starting at tokens[open] (a "(" or "{") into
+// top-level comma-separated argument token ranges.
+std::vector<std::pair<size_t, size_t>> SplitArgs(
+    const std::vector<Token>& tokens, size_t open) {
+  std::vector<std::pair<size_t, size_t>> args;
+  const size_t close = SkipBalancedRun(tokens, open) - 1;
+  size_t begin = open + 1;
+  for (size_t i = open + 1; i < close; ++i) {
+    if (IsPunctAt(tokens, i, "(") || IsPunctAt(tokens, i, "[") ||
+        IsPunctAt(tokens, i, "{")) {
+      i = SkipBalancedRun(tokens, i) - 1;
+      continue;
+    }
+    if (IsPunctAt(tokens, i, ",")) {
+      if (i > begin) args.emplace_back(begin, i);
+      begin = i + 1;
+    }
+  }
+  if (close > begin) args.emplace_back(begin, close);
+  return args;
+}
+
+bool RangeMentions(const std::vector<Token>& tokens, size_t begin, size_t end,
+                   const char* word) {
+  for (size_t i = begin; i < end; ++i) {
+    if (IsIdentAt(tokens, i, word)) return true;
+  }
+  return false;
+}
+
+// A held lock plus where it was (locally) acquired.
+struct Held {
+  std::string key;
+  std::string file;
+  int line = 0;
+};
+
+// One lock acquisition inside a function body.
+struct Acquire {
+  std::string key;
+  std::string file;
+  int line = 0;
+  std::vector<Held> held_before;  // locally held at this point
+};
+
+// One call site with the locally held locks at that point.
+struct BodyCall {
+  std::vector<size_t> callees;
+  std::string file;
+  int line = 0;
+  std::vector<Held> held;
+};
+
+// Lock behaviour of one function definition site.
+struct BodyFacts {
+  size_t function = 0;  // symbol index
+  std::vector<Acquire> acquires;
+  std::vector<BodyCall> calls;
+};
+
+// Guard mutexes of annotated members: "Class::member" -> lock key.
+using GuardedMembers = std::map<std::string, std::string>;
+
+// Collects PSTORE_GUARDED_BY annotations project-wide. Class context is
+// tracked with a lightweight brace stack: an identifier right after
+// `class` / `struct` opens a class scope at its body brace.
+GuardedMembers CollectGuardedMembers(const AnalysisContext& context) {
+  GuardedMembers guarded;
+  for (const SourceFile& file : context.project.files()) {
+    const std::vector<Token>& tokens = context.tokens.tokens(file);
+    // class_stack maps an open-brace depth to the class name it opened.
+    std::vector<std::pair<int, std::string>> class_stack;
+    int depth = 0;
+    std::string pending_class;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      const Token& tok = tokens[i];
+      if (tok.kind == TokenKind::kIdentifier) {
+        if ((tok.text == "class" || tok.text == "struct") &&
+            IsIdentAt(tokens, i + 1)) {
+          pending_class = tokens[i + 1].text;
+          ++i;
+          continue;
+        }
+        if (tok.text == "PSTORE_GUARDED_BY" && IsPunctAt(tokens, i + 1, "(") &&
+            i > 0 && IsIdentAt(tokens, i - 1) && !class_stack.empty()) {
+          const std::string& class_name = class_stack.back().second;
+          const size_t end = SkipBalancedRun(tokens, i + 1) - 1;
+          const std::string key =
+              LockKey(tokens, i + 2, end, class_name);
+          if (!key.empty()) {
+            guarded[class_name + "::" + tokens[i - 1].text] = key;
+          }
+          i = end;
+        }
+        continue;
+      }
+      if (tok.kind != TokenKind::kPunct) continue;
+      if (tok.text == ";") pending_class.clear();
+      if (tok.text == "{") {
+        if (!pending_class.empty()) {
+          class_stack.emplace_back(depth, pending_class);
+          pending_class.clear();
+        }
+        ++depth;
+      } else if (tok.text == "}") {
+        --depth;
+        while (!class_stack.empty() && class_stack.back().first >= depth) {
+          class_stack.pop_back();
+        }
+      }
+    }
+  }
+  return guarded;
+}
+
+void EraseHeld(std::vector<Held>* held, const std::string& key) {
+  for (size_t i = held->size(); i-- > 0;) {
+    if ((*held)[i].key == key) {
+      held->erase(held->begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+// Simulates one definition body: RAII guards scoped to their enclosing
+// block, explicit lock()/unlock(), guarded-member touches, call sites.
+BodyFacts SimulateBody(const AnalysisContext& context, size_t function,
+                       const SymbolSite& site, const GuardedMembers& guarded) {
+  const SymbolGraph& graph = *context.symbols;
+  const FunctionSymbol& self = graph.functions()[function];
+  const SourceFile& file = context.project.files()[site.file_index];
+  const std::vector<Token>& tokens = context.tokens.tokens(file);
+
+  BodyFacts facts;
+  facts.function = function;
+  std::vector<Held> held;
+  // RAII guards released when their block closes: (depth, key).
+  std::vector<std::pair<int, std::string>> raii;
+  int depth = 0;
+
+  const auto record_acquire = [&](const std::string& key, int line,
+                                  bool transient) {
+    if (key.empty()) return;
+    for (const Held& h : held) {
+      if (h.key == key) return;  // recursive/duplicate acquisition
+    }
+    facts.acquires.push_back({key, file.path(), line, held});
+    if (!transient) held.push_back({key, file.path(), line});
+  };
+
+  size_t i = site.body_begin;
+  while (i < site.body_end && i < tokens.size()) {
+    const Token& tok = tokens[i];
+    if (tok.kind == TokenKind::kPunct) {
+      if (tok.text == "{") {
+        ++depth;
+        ++i;
+        continue;
+      }
+      if (tok.text == "}") {
+        --depth;
+        while (!raii.empty() && raii.back().first > depth) {
+          EraseHeld(&held, raii.back().second);
+          raii.pop_back();
+        }
+        ++i;
+        continue;
+      }
+      ++i;
+      continue;
+    }
+    if (tok.kind != TokenKind::kIdentifier) {
+      ++i;
+      continue;
+    }
+    const std::string& word = tok.text;
+
+    // RAII guard declaration: [std ::] lock_guard [<...>] name (args) —
+    // brace-init `name{args}` included.
+    if (IsRaiiGuard(word)) {
+      size_t j = i + 1;
+      if (IsPunctAt(tokens, j, "<")) j = SkipAngleRun(tokens, j);
+      if (IsIdentAt(tokens, j) && (IsPunctAt(tokens, j + 1, "(") ||
+                                   IsPunctAt(tokens, j + 1, "{"))) {
+        const size_t open = j + 1;
+        const auto args = SplitArgs(tokens, open);
+        const bool deferred =
+            RangeMentions(tokens, open, SkipBalancedRun(tokens, open),
+                          "defer_lock") ||
+            RangeMentions(tokens, open, SkipBalancedRun(tokens, open),
+                          "adopt_lock");
+        if (!deferred) {
+          const size_t count =
+              word == "scoped_lock" ? args.size() : std::min<size_t>(
+                                                        args.size(), 1);
+          // A multi-mutex scoped_lock acquires its arguments
+          // simultaneously (with deadlock avoidance), so edges run from
+          // the previously held locks to each argument but never
+          // between the arguments themselves: every acquire below is
+          // recorded against the pre-statement held set.
+          const std::vector<Held> held_before = held;
+          for (size_t a = 0; a < count; ++a) {
+            const std::string key = LockKey(tokens, args[a].first,
+                                            args[a].second, self.class_name);
+            if (key.empty()) continue;
+            bool duplicate = false;
+            for (const Held& h : held) duplicate = duplicate || h.key == key;
+            if (duplicate) continue;
+            facts.acquires.push_back({key, file.path(), tok.line,
+                                      held_before});
+            held.push_back({key, file.path(), tok.line});
+            raii.emplace_back(depth, key);
+          }
+        }
+        i = SkipBalancedRun(tokens, open);
+        continue;
+      }
+      ++i;
+      continue;
+    }
+
+    // Explicit expr.lock() / expr->lock() and unlock().
+    if ((word == "lock" || word == "unlock") && i >= 2 &&
+        IsPunctAt(tokens, i + 1, "(") &&
+        (IsPunctAt(tokens, i - 1, ".") || IsPunctAt(tokens, i - 1, "->"))) {
+      // The receiver: walk back over an ident/./->/:: chain.
+      size_t begin = i - 1;
+      while (begin > 0) {
+        const Token& prev = tokens[begin - 1];
+        if (prev.kind == TokenKind::kIdentifier ||
+            (prev.kind == TokenKind::kPunct &&
+             (prev.text == "." || prev.text == "->" || prev.text == "::"))) {
+          --begin;
+          continue;
+        }
+        break;
+      }
+      const std::string key =
+          LockKey(tokens, begin, i - 1, self.class_name);
+      if (!key.empty()) {
+        if (word == "lock") {
+          record_acquire(key, tok.line, /*transient=*/false);
+        } else {
+          EraseHeld(&held, key);
+          for (size_t r = raii.size(); r-- > 0;) {
+            if (raii[r].second == key) {
+              raii.erase(raii.begin() + static_cast<std::ptrdiff_t>(r));
+              break;
+            }
+          }
+        }
+      }
+      i = SkipBalancedRun(tokens, i + 1);
+      continue;
+    }
+
+    // Call site: ident followed by "(", excluding the guard forms
+    // handled above. Resolved exactly as the SymbolGraph did.
+    if (IsPunctAt(tokens, i + 1, "(")) {
+      std::vector<std::string> path = {word};
+      const bool member_call =
+          i > 0 && (IsPunctAt(tokens, i - 1, ".") ||
+                    IsPunctAt(tokens, i - 1, "->"));
+      if (!member_call) {
+        size_t at = i;
+        while (at >= 2 && IsPunctAt(tokens, at - 1, "::") &&
+               IsIdentAt(tokens, at - 2)) {
+          path.insert(path.begin(), tokens[at - 2].text);
+          at -= 2;
+        }
+      }
+      const std::vector<size_t> callees = graph.Resolve(path);
+      if (!callees.empty() && !held.empty()) {
+        facts.calls.push_back({callees, file.path(), tok.line, held});
+      }
+      ++i;
+      continue;
+    }
+
+    // Touch of a PSTORE_GUARDED_BY member of this class: the guard
+    // mutex is required here, so record a transient ordering edge from
+    // everything currently held.
+    if (!self.class_name.empty() &&
+        !(i > 0 && (IsPunctAt(tokens, i - 1, ".") ||
+                    IsPunctAt(tokens, i - 1, "->") ||
+                    IsPunctAt(tokens, i - 1, "::"))) &&
+        !held.empty()) {
+      const auto it = guarded.find(self.class_name + "::" + word);
+      if (it != guarded.end()) {
+        bool already_held = false;
+        for (const Held& h : held) {
+          if (h.key == it->second) already_held = true;
+        }
+        if (!already_held) {
+          record_acquire(it->second, tok.line, /*transient=*/true);
+        }
+      }
+    }
+    ++i;
+  }
+  return facts;
+}
+
+// How a held lock reached a function's entry: the caller it came from.
+struct EntryOrigin {
+  size_t caller = 0;
+  std::string file;
+  int line = 0;
+};
+
+// One directed edge in the mutex-order graph, with its witness.
+struct OrderEdge {
+  std::string from;
+  std::string to;
+  std::string file;  // acquisition site of `to`
+  int line = 0;
+  std::string witness;
+};
+
+}  // namespace
+
+void LockOrderCheck::Run(const AnalysisContext& context,
+                         std::vector<Finding>* findings) const {
+  const SymbolGraph& graph = *context.symbols;
+  const GuardedMembers guarded = CollectGuardedMembers(context);
+
+  // Phase 1: per-definition simulation, in symbol order.
+  std::vector<BodyFacts> bodies;
+  for (size_t fn = 0; fn < graph.functions().size(); ++fn) {
+    for (const SymbolSite& site : graph.functions()[fn].definitions) {
+      BodyFacts facts = SimulateBody(context, fn, site, guarded);
+      if (!facts.acquires.empty() || !facts.calls.empty()) {
+        bodies.push_back(std::move(facts));
+      }
+    }
+  }
+
+  // Phase 2: propagate held sets along call edges to a fixpoint.
+  // entry[fn] is the set of locks some caller holds around a call to
+  // fn; origins remember the first (deterministic) carrying call site.
+  std::map<size_t, std::set<std::string>> entry;
+  std::map<std::pair<size_t, std::string>, EntryOrigin> origins;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const BodyFacts& body : bodies) {
+      const std::set<std::string>& inherited = entry[body.function];
+      for (const BodyCall& call : body.calls) {
+        std::set<std::string> carried = inherited;
+        for (const Held& h : call.held) carried.insert(h.key);
+        for (const size_t callee : call.callees) {
+          if (callee == body.function) continue;
+          for (const std::string& key : carried) {
+            if (entry[callee].insert(key).second) {
+              origins[{callee, key}] = {body.function, call.file, call.line};
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Renders the chain of calls that carried `key` into `fn`.
+  const auto carry_path = [&](size_t fn, const std::string& key) {
+    std::string path;
+    std::set<size_t> seen;
+    size_t at = fn;
+    while (seen.insert(at).second) {
+      const auto it = origins.find({at, key});
+      if (it == origins.end()) break;
+      path = graph.functions()[it->second.caller].qualified_name +
+             " -> " + path;
+      at = it->second.caller;
+    }
+    return path;
+  };
+
+  // Phase 3: emit order edges. First writer (symbol order) wins per
+  // (from, to) pair, which keeps the witness deterministic.
+  std::map<std::pair<std::string, std::string>, OrderEdge> edges;
+  for (const BodyFacts& body : bodies) {
+    const std::string& where = graph.functions()[body.function].qualified_name;
+    const std::set<std::string>& inherited = entry[body.function];
+    for (const Acquire& acquire : body.acquires) {
+      std::map<std::string, std::string> holders;  // key -> how held
+      for (const std::string& key : inherited) {
+        holders[key] = "held across " + carry_path(body.function, key) +
+                       where;
+      }
+      for (const Held& h : acquire.held_before) {
+        holders[h.key] = "acquired in " + where + " at " + h.file + ":" +
+                         std::to_string(h.line);
+      }
+      for (const auto& [from, how] : holders) {
+        if (from == acquire.key) continue;
+        const std::pair<std::string, std::string> id{from, acquire.key};
+        if (edges.count(id) != 0) continue;
+        OrderEdge edge;
+        edge.from = from;
+        edge.to = acquire.key;
+        edge.file = acquire.file;
+        edge.line = acquire.line;
+        edge.witness = "'" + acquire.key + "' acquired in " + where + " at " +
+                       acquire.file + ":" + std::to_string(acquire.line) +
+                       " while '" + from + "' is " + how;
+        edges[id] = std::move(edge);
+      }
+    }
+  }
+
+  // Phase 4: report one finding per cycle in the mutex-order graph.
+  // Cycles are found by walking, from each node in sorted order, the
+  // lexicographically smallest unexplored path back to the start; each
+  // cycle is reported only for its smallest member, so a two-lock ABBA
+  // cycle yields exactly one finding.
+  std::map<std::string, std::vector<const OrderEdge*>> adjacent;
+  for (const auto& [id, edge] : edges) adjacent[id.first].push_back(&edge);
+
+  std::set<std::string> reported_cycles;
+  for (const auto& [start, unused] : adjacent) {
+    (void)unused;
+    // Depth-first search for a path start -> ... -> start over nodes
+    // not smaller than start (canonical representative).
+    std::vector<const OrderEdge*> stack;
+    std::set<std::string> on_path;
+    const std::function<bool(const std::string&)> visit =
+        [&](const std::string& node) -> bool {
+      const auto it = adjacent.find(node);
+      if (it == adjacent.end()) return false;
+      for (const OrderEdge* edge : it->second) {
+        if (edge->to == start) {
+          stack.push_back(edge);
+          return true;
+        }
+        if (edge->to < start || on_path.count(edge->to) != 0) continue;
+        on_path.insert(edge->to);
+        stack.push_back(edge);
+        if (visit(edge->to)) return true;
+        stack.pop_back();
+        on_path.erase(edge->to);
+      }
+      return false;
+    };
+    if (!visit(start)) continue;
+
+    std::string shape = start;
+    std::string witness;
+    for (const OrderEdge* edge : stack) {
+      shape += " -> " + edge->to;
+      if (!witness.empty()) witness += "; ";
+      witness += edge->witness;
+    }
+    // A cycle of length n would otherwise be found from each of its n
+    // members that can reach the others; key it by its edge set.
+    std::set<std::string> members{start};
+    for (const OrderEdge* edge : stack) members.insert(edge->to);
+    std::string cycle_key;
+    for (const std::string& m : members) cycle_key += m + "|";
+    if (!reported_cycles.insert(cycle_key).second) continue;
+
+    Finding finding;
+    finding.file = stack.front()->file;
+    finding.line = stack.front()->line;
+    finding.rule = name();
+    finding.message = "potential deadlock: lock-order cycle " + shape + " (" +
+                      witness + ")";
+    findings->push_back(std::move(finding));
+  }
+}
+
+}  // namespace analysis
+}  // namespace pstore

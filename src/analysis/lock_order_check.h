@@ -1,0 +1,41 @@
+#ifndef PSTORE_ANALYSIS_LOCK_ORDER_CHECK_H_
+#define PSTORE_ANALYSIS_LOCK_ORDER_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/check.h"
+
+namespace pstore {
+namespace analysis {
+
+// Whole-program lock-order (deadlock) analysis over the SymbolGraph.
+//
+// Lock acquisitions are extracted from every function definition:
+// `std::lock_guard` / `std::scoped_lock` / `std::unique_lock` /
+// `std::shared_lock` RAII guards (released at the end of their
+// enclosing block), explicit `.lock()` / `.unlock()` calls, and —
+// implied — the guard mutex of any `PSTORE_GUARDED_BY(mu)` member the
+// body touches. Mutex identities are class-qualified ("Queue::mu_"), so
+// the same member across instances is one lock-order node while
+// distinct classes stay distinct.
+//
+// Held-lock sets are then propagated along call-graph edges to a
+// fixpoint: if f acquires A and calls g, g runs with A held, so an
+// acquisition of B inside g records the order edge A -> B even though
+// the two acquisitions sit in different TUs. Every cycle in the
+// resulting mutex-order graph is reported once as a potential deadlock,
+// with a witness naming each edge's acquisition site and, for
+// propagated edges, the call path that carries the held lock there.
+class LockOrderCheck : public Check {
+ public:
+  std::string name() const override { return "lock-order"; }
+  bool needs_symbols() const override { return true; }
+  void Run(const AnalysisContext& context,
+           std::vector<Finding>* findings) const override;
+};
+
+}  // namespace analysis
+}  // namespace pstore
+
+#endif  // PSTORE_ANALYSIS_LOCK_ORDER_CHECK_H_

@@ -75,8 +75,10 @@ bool NondetIterationCheck::IsSimAffectingDir(const std::string& dir) {
   return kSimDirs.count(dir) != 0;
 }
 
-void NondetIterationCheck::Run(const Project& project, const TokenCache& cache,
+void NondetIterationCheck::Run(const AnalysisContext& context,
                                std::vector<Finding>* findings) const {
+  const Project& project = context.project;
+  const TokenCache& cache = context.tokens;
   // Pass A: collect every name declared with an unordered-container
   // type, project-wide, following `using Alias = std::unordered_*<..>`
   // aliases one level deep. Declarations inside sim-affecting modules

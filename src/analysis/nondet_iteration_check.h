@@ -33,7 +33,7 @@ class NondetIterationCheck : public Check {
   static bool IsSimAffectingDir(const std::string& dir);
 
   std::string name() const override { return "nondet-iteration"; }
-  void Run(const Project& project, const TokenCache& tokens,
+  void Run(const AnalysisContext& context,
            std::vector<Finding>* findings) const override;
 };
 

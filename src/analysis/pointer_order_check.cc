@@ -45,8 +45,10 @@ std::string Render(const std::vector<Token>& tokens, size_t begin,
 
 }  // namespace
 
-void PointerOrderCheck::Run(const Project& project, const TokenCache& cache,
+void PointerOrderCheck::Run(const AnalysisContext& context,
                             std::vector<Finding>* findings) const {
+  const Project& project = context.project;
+  const TokenCache& cache = context.tokens;
   for (const SourceFile& file : project.files()) {
     if (file.dir().empty()) continue;  // only src/ is in scope
     const std::vector<Token>& tokens = cache.tokens(file);

@@ -23,7 +23,7 @@ namespace analysis {
 class PointerOrderCheck : public Check {
  public:
   std::string name() const override { return "pointer-order"; }
-  void Run(const Project& project, const TokenCache& tokens,
+  void Run(const AnalysisContext& context,
            std::vector<Finding>* findings) const override;
 };
 

@@ -291,7 +291,18 @@ SourceFile SourceFile::FromContents(std::string path, const std::string& raw) {
       const std::string name = ReadIdent(clean, name_at);
       if (!name.empty()) file.macros_.push_back({name, directive_line});
     }
-    // Blank the whole logical directive.
+    // Record the directive's identifiers (macro bodies reference
+    // functions the tokenizer will never see), then blank it.
+    for (size_t k = first; k < logical_end;) {
+      if (IsIdentChar(clean[k]) &&
+          std::isdigit(static_cast<unsigned char>(clean[k])) == 0) {
+        const std::string ident = ReadIdent(clean, k);
+        file.preprocessor_idents_.insert(ident);
+        k += ident.size();
+      } else {
+        ++k;
+      }
+    }
     for (size_t k = i; k < logical_end; ++k) {
       if (clean[k] != '\n') clean[k] = ' ';
     }

@@ -59,6 +59,15 @@ class SourceFile {
   const std::vector<IncludeDirective>& includes() const { return includes_; }
   const std::vector<MacroDefinition>& macros() const { return macros_; }
 
+  // Identifiers appearing anywhere inside preprocessor directive lines
+  // (macro bodies, #if conditions). Directive lines are blanked before
+  // tokenization, so whole-program reference tracking (dead-symbol)
+  // consults this set to keep functions alive that are called only from
+  // macro expansions.
+  const std::set<std::string>& preprocessor_idents() const {
+    return preprocessor_idents_;
+  }
+
   // True if a `// pstore-analyze: allow(rule)` comment covers `line`.
   // A trailing comment covers its own line; a comment alone on a line
   // covers the following line.
@@ -73,6 +82,7 @@ class SourceFile {
   std::string clean_;
   std::vector<IncludeDirective> includes_;
   std::vector<MacroDefinition> macros_;
+  std::set<std::string> preprocessor_idents_;
   std::map<int, std::set<std::string>> suppressions_;  // line -> rules
 };
 

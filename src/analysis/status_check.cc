@@ -101,8 +101,10 @@ std::set<std::string> StatusCheck::CollectStatusFunctions(
   return names;
 }
 
-void StatusCheck::Run(const Project& project, const TokenCache& cache,
+void StatusCheck::Run(const AnalysisContext& context,
                       std::vector<Finding>* findings) const {
+  const Project& project = context.project;
+  const TokenCache& cache = context.tokens;
   const std::set<std::string> status_fns =
       CollectStatusFunctions(project, cache);
   if (status_fns.empty()) return;

@@ -24,7 +24,7 @@ class StatusCheck : public Check {
                                                       const TokenCache& tokens);
 
   std::string name() const override { return "status"; }
-  void Run(const Project& project, const TokenCache& tokens,
+  void Run(const AnalysisContext& context,
            std::vector<Finding>* findings) const override;
 };
 

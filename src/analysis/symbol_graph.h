@@ -1,0 +1,120 @@
+#ifndef PSTORE_ANALYSIS_SYMBOL_GRAPH_H_
+#define PSTORE_ANALYSIS_SYMBOL_GRAPH_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/project.h"
+#include "analysis/source_file.h"
+
+namespace pstore {
+
+class ThreadPool;
+
+namespace analysis {
+
+class TokenCache;
+
+// One place a function is declared or defined.
+struct SymbolSite {
+  size_t file_index = 0;  // into project.files()
+  std::string file;       // SourceFile::path() of the site
+  std::string dir;        // SourceFile::dir() ("" outside src/)
+  int line = 0;
+  // Definitions: token indices of the body, from the opening '{'
+  // (inclusive) to just past the matching '}'. Zero for declarations.
+  size_t body_begin = 0;
+  size_t body_end = 0;
+  // Token indices of the parameter list, from the opening '(' to just
+  // past the matching ')'. Recorded for definitions and declarations.
+  size_t params_begin = 0;
+  size_t params_end = 0;
+};
+
+// One function overload set, keyed by fully qualified name: every
+// declaration, definition, and overload of e.g.
+// "pstore::analysis::Analyzer::Run" lands in the same FunctionSymbol.
+// Granularity is deliberately the overload set — parameter lists are
+// not compared — and virtual calls resolve to every class providing the
+// method name (see SymbolGraph::Resolve).
+struct FunctionSymbol {
+  std::string qualified_name;  // "pstore::analysis::Analyzer::Run"
+  std::string name;            // last component, "Run"
+  std::string class_name;      // enclosing class ("" for free functions)
+  bool is_special = false;     // constructor, destructor, or operator
+  std::vector<SymbolSite> definitions;
+  std::vector<SymbolSite> declarations;
+  // Bare-name references outside this symbol's own declaration and
+  // definition sites: address-of, registration tables, macro bodies.
+  // Shared per name across the overload set, so any textual use keeps
+  // the whole set alive (the conservative direction for dead-symbol).
+  int mentions = 0;
+};
+
+// One resolved call edge. A textual call site can resolve to several
+// overload sets (an unqualified `Tick()` matches every class providing
+// a Tick); one CallSite is recorded per resolved callee.
+struct CallSite {
+  size_t caller = 0;  // index into functions()
+  size_t callee = 0;  // index into functions()
+  size_t file_index = 0;
+  int line = 0;
+};
+
+// Cross-TU symbol index and call graph, built in one pass over the
+// shared TokenCache. Function and method definitions, declarations, and
+// call sites are extracted per file — in parallel on the ThreadPool
+// when one is given, each file's facts written by exactly one
+// ParallelFor index — then merged in file order and sorted by qualified
+// name, so the graph is byte-identical for any thread count. The
+// extraction is the same token-level heuristic grammar the rule
+// families use: namespace/class scopes are tracked, out-of-line
+// `Class::Method(...) {` definitions are qualified through their
+// written path, and bodies of `#define`d macros contribute name
+// references via SourceFile::preprocessor_idents().
+class SymbolGraph {
+ public:
+  static constexpr size_t kNoSymbol = static_cast<size_t>(-1);
+
+  // `pool` may be null (or single-threaded) for the serial path. The
+  // project and cache must outlive the graph.
+  SymbolGraph(const Project& project, const TokenCache& tokens,
+              ThreadPool* pool = nullptr);
+
+  // All overload sets, sorted by qualified name.
+  const std::vector<FunctionSymbol>& functions() const { return functions_; }
+
+  // All resolved call edges, sorted by (caller, callee, file, line).
+  const std::vector<CallSite>& calls() const { return calls_; }
+
+  // Exact qualified-name lookup; kNoSymbol if absent.
+  size_t FindFunction(const std::string& qualified_name) const;
+
+  // All overload sets whose qualified name ends with the given
+  // ::-separated component path — {"Run"} matches every function or
+  // method named Run; {"Analyzer", "Run"} only Analyzer's. Sorted.
+  std::vector<size_t> Resolve(const std::vector<std::string>& path) const;
+
+  // Unique, sorted callee / caller sets per function.
+  const std::vector<size_t>& callees_of(size_t function) const;
+  const std::vector<size_t>& callers_of(size_t function) const;
+
+  // BFS over call edges: result[i] is nonzero iff functions()[i] is
+  // reachable from any of the given roots (roots included).
+  std::vector<char> ReachableFrom(const std::vector<size_t>& roots) const;
+
+ private:
+  std::vector<FunctionSymbol> functions_;
+  std::vector<CallSite> calls_;
+  std::map<std::string, size_t> by_qualified_name_;
+  std::map<std::string, std::vector<size_t>> by_name_;
+  std::vector<std::vector<size_t>> callees_;
+  std::vector<std::vector<size_t>> callers_;
+};
+
+}  // namespace analysis
+}  // namespace pstore
+
+#endif  // PSTORE_ANALYSIS_SYMBOL_GRAPH_H_

@@ -30,12 +30,6 @@ Workload::Workload(const B2wWorkloadOptions& options) : options_(options) {
   total_weight_ = TotalWeight(mix_);
 }
 
-void Workload::set_mix(const MixWeights& mix) {
-  mix_ = mix;
-  total_weight_ = TotalWeight(mix_);
-  PSTORE_CHECK(total_weight_ > 0.0);
-}
-
 Status Workload::LoadInitialData(Cluster* cluster) {
   if (cluster == nullptr) {
     return Status::InvalidArgument("null cluster");

@@ -67,7 +67,6 @@ class Workload {
 
   const B2wWorkloadOptions& options() const { return options_; }
   const MixWeights& mix() const { return mix_; }
-  void set_mix(const MixWeights& mix);
 
  private:
   // Picks a live id (uniform over the pool — B2W cart keys are randomly

@@ -37,10 +37,6 @@ Status FlagParser::Parse(int argc, const char* const* argv) {
   return Status::OK();
 }
 
-bool FlagParser::Has(const std::string& name) const {
-  return flags_.count(name) > 0;
-}
-
 std::string FlagParser::GetString(const std::string& name,
                                   const std::string& default_value) const {
   const auto it = flags_.find(name);

@@ -21,8 +21,6 @@ class FlagParser {
   // nothing is fine: it becomes boolean true).
   Status Parse(int argc, const char* const* argv);
 
-  bool Has(const std::string& name) const;
-
   std::string GetString(const std::string& name,
                         const std::string& default_value) const;
   // Every value given for a repeatable flag ("--rule=a --rule=b"), in

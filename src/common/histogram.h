@@ -38,11 +38,6 @@ class Histogram {
   // bucket, so it over-estimates by at most one bucket width.
   int64_t ValueAtQuantile(double quantile) const;
 
-  // Convenience percentile accessors used throughout the benchmarks.
-  int64_t P50() const { return ValueAtQuantile(0.50); }
-  int64_t P95() const { return ValueAtQuantile(0.95); }
-  int64_t P99() const { return ValueAtQuantile(0.99); }
-
  private:
   // Maps a value to its bucket index.
   static int BucketFor(int64_t value);

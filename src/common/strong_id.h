@@ -90,11 +90,6 @@ using TenantId = StrongId<struct TenantIdTag, int>;
 // tenants, while NodeId indexes one tenant's private cluster.
 using MachineId = StrongId<struct MachineIdTag, int>;
 
-// True when `id` indexes into a cluster of `n` machines.
-constexpr bool InCluster(NodeId id, NodeCount n) {
-  return id.value() >= 0 && id.value() < n.value();
-}
-
 }  // namespace pstore
 
 template <typename Tag, typename Rep>

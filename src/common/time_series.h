@@ -28,7 +28,6 @@ class TimeSeries {
   const std::vector<double>& values() const { return values_; }
 
   void Append(double value) { values_.push_back(value); }
-  void Clear() { values_.clear(); }
 
   // Returns the sub-series [begin, end). Requires begin <= end <= size().
   TimeSeries Slice(size_t begin, size_t end) const;

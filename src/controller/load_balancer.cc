@@ -61,7 +61,6 @@ void HotSpotBalancer::Rebalance() {
   last_imbalance_ = static_cast<double>(*hottest_it) / mean;
   if (last_imbalance_ < options_.imbalance_threshold) return;
 
-  ++rebalance_rounds_;
   for (int move = 0; move < options_.max_moves_per_round; ++move) {
     // Re-evaluate after each relocation (counts move with the bucket).
     int hot = 0;

@@ -46,7 +46,6 @@ class HotSpotBalancer : public ElasticityController {
   std::string name() const override { return "HotSpotBalancer"; }
 
   int64_t buckets_moved() const { return buckets_moved_; }
-  int64_t rebalance_rounds() const { return rebalance_rounds_; }
 
   // Hottest-partition access share relative to the mean in the last
   // completed window (1.0 = perfectly balanced).
@@ -62,7 +61,6 @@ class HotSpotBalancer : public ElasticityController {
   LoadBalancerOptions options_;
   int slots_since_sample_ = 0;
   int64_t buckets_moved_ = 0;
-  int64_t rebalance_rounds_ = 0;
   double last_imbalance_ = 1.0;
 };
 

@@ -99,7 +99,6 @@ void PredictiveController::Plan() {
   if (!forecast.ok()) return;  // not enough history yet
 
   const std::vector<double> load = BuildPlanningLoad(last_rate_, *forecast);
-  ++plans_computed_;
   StatusOr<PlanResult> plan =
       planner_.BestMoves(load, NodeCount(cluster_->active_nodes()));
 

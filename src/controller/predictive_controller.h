@@ -59,7 +59,6 @@ class PredictiveController : public ElasticityController {
   std::string name() const override { return "P-Store"; }
 
   // Counters for reports and tests.
-  int64_t plans_computed() const { return plans_computed_; }
   int64_t infeasible_plans() const { return infeasible_plans_; }
   int64_t reconfigurations_started() const {
     return reconfigurations_started_;
@@ -99,7 +98,6 @@ class PredictiveController : public ElasticityController {
   double last_rate_ = 0.0;
   int64_t ticks_ = 0;
   int scale_in_votes_ = 0;
-  int64_t plans_computed_ = 0;
   int64_t infeasible_plans_ = 0;
   int64_t reconfigurations_started_ = 0;
   int64_t move_failures_ = 0;

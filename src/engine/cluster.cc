@@ -68,14 +68,6 @@ void Cluster::MarkNodeUp(int node) {
   node_up_[node] = 1;
 }
 
-int Cluster::HealthyActiveNodes() const {
-  int up = 0;
-  for (int node = 0; node < active_nodes_; ++node) {
-    if (node_up_[node]) ++up;
-  }
-  return up;
-}
-
 void Cluster::MoveBucket(BucketId bucket, int partition_id) {
   PSTORE_CHECK(bucket >= 0 && bucket < options_.num_buckets);
   PSTORE_CHECK(partition_id >= 0 &&
@@ -89,11 +81,6 @@ void Cluster::MoveBucket(BucketId bucket, int partition_id) {
   bucket_map_[bucket] = partition_id;
 }
 
-void Cluster::SetBucketRoute(BucketId bucket, int partition_id) {
-  PSTORE_CHECK(bucket >= 0 && bucket < options_.num_buckets);
-  bucket_map_[bucket] = partition_id;
-}
-
 void Cluster::AssignBucketsEvenly() {
   for (int b = 0; b < options_.num_buckets; ++b) {
     MoveBucket(b, b % total_active_partitions());
@@ -102,6 +89,8 @@ void Cluster::AssignBucketsEvenly() {
 
 std::vector<BucketId> Cluster::BucketsOnPartition(int partition_id) const {
   std::vector<BucketId> out;
+  out.reserve(static_cast<size_t>(options_.num_buckets) /
+              partitions_.size());
   for (int b = 0; b < options_.num_buckets; ++b) {
     if (bucket_map_[b] == partition_id) out.push_back(b);
   }

@@ -88,23 +88,16 @@ class Cluster {
   void MarkNodeUp(int node);
   bool IsNodeUp(int node) const { return node_up_[node] != 0; }
 
-  // Active nodes currently up.
-  int HealthyActiveNodes() const;
-
   // --- Bucket placement ---------------------------------------------------
 
   // Reassigns a bucket's routing to `partition_id` and physically moves
   // its rows there. No-op if already there.
   void MoveBucket(BucketId bucket, int partition_id);
 
-  // Routing-only variant used by migration after it has moved the rows.
-  void SetBucketRoute(BucketId bucket, int partition_id);
-
   // Spreads all buckets evenly across the active partitions
   // (round-robin), physically moving rows. Used for initial placement.
   void AssignBucketsEvenly();
 
-  const std::vector<int>& bucket_map() const { return bucket_map_; }
   std::vector<BucketId> BucketsOnPartition(int partition_id) const;
   std::vector<BucketId> BucketsOnNode(int node) const;
 

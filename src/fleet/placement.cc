@@ -226,6 +226,7 @@ StatusOr<Placement> PlacementPlanner::PackIncremental(
   // scan must skip items already evicted or a machine needing several
   // evictions would pick the same victim repeatedly.
   std::vector<size_t> evicted;
+  evicted.reserve(machine.size());
   std::vector<bool> is_evicted(machine.size(), false);
   for (size_t m = 0; m < pool.size(); ++m) {
     while (pool.partitions(m) > 1 && pool.Overloaded(m)) {

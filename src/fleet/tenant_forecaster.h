@@ -26,8 +26,6 @@ class TenantForecaster {
   // the last observation (zero when nothing has been observed).
   double Forecast() const;
 
-  size_t observations() const { return history_.size(); }
-
  private:
   size_t period_;
   size_t recent_;

@@ -195,6 +195,7 @@ void MigrationManager::StartRound(size_t round_index) {
   // Build one stream per (pair, partition index): partition i of the
   // sender feeds partition i of the receiver.
   streams_.clear();
+  streams_.reserve(round.transfers.size() * static_cast<size_t>(p));
   for (const TransferPair& pair : round.transfers) {
     for (int i = 0; i < p; ++i) {
       Stream stream;
@@ -236,6 +237,7 @@ void MigrationManager::StartRound(size_t round_index) {
     const std::vector<BucketId> available =
         cluster_->BucketsOnPartition(stream.from_partition.value());
     int64_t taken = 0;
+    stream.buckets.reserve(available.size());
     for (BucketId bucket : available) {
       const int64_t bytes = std::max<int64_t>(1, source.BucketBytes(bucket));
       if (!take_all) {
@@ -313,6 +315,7 @@ void MigrationManager::TransferChunk(size_t stream_index) {
   // at the source.
   int64_t chunk = 0;
   std::vector<BucketId> handoff;
+  handoff.reserve(stream.buckets.size() - stream.next_bucket);
   size_t next_bucket = stream.next_bucket;
   int64_t bytes_left = stream.bytes_left_in_bucket;
   while (chunk < options_.chunk_bytes && next_bucket < stream.buckets.size()) {

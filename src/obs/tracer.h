@@ -86,8 +86,6 @@ class Tracer {
   void Disable(TraceCategory category) {
     mask_ &= ~static_cast<uint32_t>(category);
   }
-  void set_mask(uint32_t mask) { mask_ = mask; }
-  uint32_t mask() const { return mask_; }
 
   void Emit(const TraceEvent& event);
   int64_t events_emitted() const { return events_emitted_; }

@@ -71,7 +71,9 @@ void Search(SearchState* state, int t, int nodes, double cost_so_far) {
     move.end_slot = TimeStep(end);
     move.nodes_before = NodeCount(nodes);
     move.nodes_after = NodeCount(next);
-    state->current.push_back(move);
+    // DFS stack: capacity is reserved once per candidate in BestMoves
+    // and reused across the whole recursion.
+    state->current.push_back(move);  // pstore-analyze: allow(hot-path-perf)
     Search(state, end, next, cost_so_far + move_cost);
     state->current.pop_back();
   }
@@ -125,6 +127,9 @@ StatusOr<PlanResult> BruteForcePlanner::BestMoves(
     move.end_slot = TimeStep(end);
     move.nodes_before = NodeCount(n0);
     move.nodes_after = NodeCount(next);
+    // Every move advances time by at least one slot, so the DFS stack
+    // never exceeds the horizon.
+    state.current.reserve(static_cast<size_t>(horizon));
     state.current.push_back(move);
     Search(&state, end, next, base_cost + move_cost);
   };

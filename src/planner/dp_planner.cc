@@ -195,6 +195,7 @@ StatusOr<PlanResult> DpPlanner::RunSearch(
     result.final_nodes = NodeCount(final_nodes);
     int t = horizon;
     int nodes = final_nodes;
+    result.moves.reserve(static_cast<size_t>(horizon));
     while (t > 0) {
       const MemoEntry& entry = state.At(t, nodes);
       PSTORE_CHECK(entry.computed && entry.cost < kInfinity);

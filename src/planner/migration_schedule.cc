@@ -52,6 +52,7 @@ class EdgeColorer {
   // Edges of one color as (sender, receiver) pairs.
   std::vector<TransferPair> RoundPairs(int color) const {
     std::vector<TransferPair> out;
+    out.reserve(sender_color_.size());
     for (int sender = 0; sender < static_cast<int>(sender_color_.size());
          ++sender) {
       const int receiver = sender_color_[sender][color];
@@ -85,6 +86,8 @@ class EdgeColorer {
       int color;
     };
     std::vector<PathEdge> path;
+    // An alternating path visits each node at most once per side.
+    path.reserve(sender_color_.size() + receiver_color_.size());
     bool at_receiver = true;
     int node = receiver;
     int color = alpha;
@@ -123,6 +126,9 @@ std::vector<ScheduleRound> BuildScaleOutRounds(int s, int l) {
   const int delta = l - s;
   const int r = delta % s;
   std::vector<ScheduleRound> rounds;
+  // Every case below emits at most s rounds per receiver block plus one
+  // final (possibly partial) block.
+  rounds.reserve(static_cast<size_t>((delta / s + 2) * s));
 
   // Case 1: all new machines allocated at once; senders rotate.
   if (delta <= s) {
@@ -130,6 +136,7 @@ std::vector<ScheduleRound> BuildScaleOutRounds(int s, int l) {
       ScheduleRound round;
       round.machines_allocated = NodeCount(l);
       round.phase = 1;
+      round.transfers.reserve(static_cast<size_t>(delta));
       for (int j = 0; j < delta; ++j) {
         round.transfers.push_back({NodeId((j + k) % s), NodeId(s + j)});
       }
@@ -146,6 +153,7 @@ std::vector<ScheduleRound> BuildScaleOutRounds(int s, int l) {
       ScheduleRound round;
       round.machines_allocated = NodeCount(allocated);
       round.phase = phase;
+      round.transfers.reserve(static_cast<size_t>(s));
       for (int i = 0; i < s; ++i) {
         round.transfers.push_back({NodeId(i), NodeId(block_start + (i + k) % s)});
       }

@@ -31,6 +31,7 @@ Status FirstViolationOrOk(const std::vector<std::string>& violations) {
 std::vector<std::string> ScheduleValidator::Violations(
     const MigrationSchedule& schedule) const {
   std::vector<std::string> violations;
+  violations.reserve(schedule.rounds.size());
   const int before = schedule.nodes_before.value();
   const int after = schedule.nodes_after.value();
   if (before < 1 || after < 1 || before == after) {
@@ -158,6 +159,7 @@ std::vector<std::string> PlanValidator::Violations(
     const PlanResult& plan, const std::vector<double>& predicted_load,
     NodeCount initial_nodes) const {
   std::vector<std::string> violations;
+  violations.reserve(plan.moves.size());
   if (predicted_load.size() < 2) {
     violations.push_back("prediction horizon must cover >= 2 slots");
     return violations;

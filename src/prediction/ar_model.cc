@@ -65,8 +65,10 @@ StatusOr<std::vector<double>> ArPredictor::PredictHorizon(
       next += coefficients_[i] * window[p - i];
     }
     out.push_back(next);
+    // Fixed-size sliding window: the erase keeps capacity, so the
+    // push_back never reallocates.
     window.erase(window.begin());
-    window.push_back(next);
+    window.push_back(next);  // pstore-analyze: allow(hot-path-perf)
   }
   return out;
 }

@@ -129,11 +129,13 @@ StatusOr<std::vector<double>> ArmaPredictor::PredictHorizon(
       next += coefficients_[p + j] * eps_window[q - j];
     }
     out.push_back(next);
+    // Fixed-size sliding windows: the erases keep capacity, so the
+    // push_backs never reallocate.
     y_window.erase(y_window.begin());
-    y_window.push_back(next);
+    y_window.push_back(next);  // pstore-analyze: allow(hot-path-perf)
     // Future innovations are unknown: expected value zero.
     eps_window.erase(eps_window.begin());
-    eps_window.push_back(0.0);
+    eps_window.push_back(0.0);  // pstore-analyze: allow(hot-path-perf)
   }
   return out;
 }

@@ -122,7 +122,6 @@ class CapacitySimulator::Run {
 
   bool move_active() const { return move_active_; }
   int nodes() const { return nodes_; }
-  size_t fine_slot() const { return fine_slot_; }
   obs::Tracer* tracer() const { return tracer_; }
 
   // Simulated timestamp of a fine slot, for trace events.

@@ -13,12 +13,14 @@
 
 #include "analysis/analyzer.h"
 #include "analysis/check.h"
+#include "analysis/hot_path_perf_check.h"
 #include "analysis/include_hygiene_check.h"
 #include "analysis/layering_check.h"
 #include "analysis/nondet_iteration_check.h"
 #include "analysis/project.h"
 #include "analysis/source_file.h"
 #include "analysis/status_check.h"
+#include "analysis/symbol_graph.h"
 #include "analysis/token_cache.h"
 #include "analysis/tokenizer.h"
 #include "common/status.h"
@@ -686,6 +688,297 @@ TEST(GuardedByTest, SuppressionComment) {
   EXPECT_TRUE(RunRule(project, "guarded-by").empty());
 }
 
+// ----------------------------------------------------------------- lock-order
+
+// The seeded ABBA deadlock: First() takes mu_a_ then calls Second()
+// (mu_b_ under mu_a_); Reversed() takes mu_b_ then mu_a_ directly.
+Project AbbaProject() {
+  Project project;
+  project.AddFile(Make("src/engine/pair.h",
+                       "namespace demo {\n"
+                       "class Pair {\n"
+                       " public:\n"
+                       "  void First();\n"
+                       "  void Second();\n"
+                       "  void Reversed();\n"
+                       " private:\n"
+                       "  std::mutex mu_a_;\n"
+                       "  std::mutex mu_b_;\n"
+                       "  int value_ PSTORE_GUARDED_BY(mu_a_) = 0;\n"
+                       "};\n"
+                       "}  // namespace demo\n"));
+  project.AddFile(Make("src/engine/pair.cc",
+                       "#include \"engine/pair.h\"\n"
+                       "namespace demo {\n"
+                       "void Pair::First() {\n"
+                       "  std::lock_guard<std::mutex> lock(mu_a_);\n"
+                       "  Second();\n"
+                       "}\n"
+                       "void Pair::Second() {\n"
+                       "  std::lock_guard<std::mutex> lock(mu_b_);\n"
+                       "}\n"
+                       "void Pair::Reversed() {\n"
+                       "  std::lock_guard<std::mutex> lock_b(mu_b_);\n"
+                       "  std::lock_guard<std::mutex> lock_a(mu_a_);\n"
+                       "}\n"
+                       "}  // namespace demo\n"));
+  return project;
+}
+
+TEST(LockOrderTest, ReportsAbbaCycleWithWitnessCallPath) {
+  std::vector<Finding> findings = RunRule(AbbaProject(), "lock-order");
+  ASSERT_EQ(findings.size(), 1u);
+  const Finding& finding = findings[0];
+  EXPECT_EQ(finding.rule, "lock-order");
+  EXPECT_NE(finding.message.find("lock-order cycle"), std::string::npos);
+  EXPECT_NE(finding.message.find("Pair::mu_a_"), std::string::npos);
+  EXPECT_NE(finding.message.find("Pair::mu_b_"), std::string::npos);
+  // The witness names the cross-function carry path: mu_b_ is acquired
+  // in Second while mu_a_ is held across the First -> Second call edge.
+  EXPECT_NE(
+      finding.message.find("across demo::Pair::First -> demo::Pair::Second"),
+      std::string::npos);
+}
+
+TEST(LockOrderTest, ScopedLockAcquiresSimultaneously) {
+  Project project;
+  project.AddFile(Make("src/engine/both.h",
+                       "namespace demo {\n"
+                       "class Both {\n"
+                       " public:\n"
+                       "  void Forward();\n"
+                       "  void Backward();\n"
+                       " private:\n"
+                       "  std::mutex mu_a_;\n"
+                       "  std::mutex mu_b_;\n"
+                       "};\n"
+                       "}  // namespace demo\n"));
+  // std::scoped_lock acquires its arguments with built-in deadlock
+  // avoidance, so opposite argument orders must NOT produce a cycle.
+  project.AddFile(Make("src/engine/both.cc",
+                       "#include \"engine/both.h\"\n"
+                       "namespace demo {\n"
+                       "void Both::Forward() {\n"
+                       "  std::scoped_lock lock(mu_a_, mu_b_);\n"
+                       "}\n"
+                       "void Both::Backward() {\n"
+                       "  std::scoped_lock lock(mu_b_, mu_a_);\n"
+                       "}\n"
+                       "}  // namespace demo\n"));
+  EXPECT_TRUE(RunRule(project, "lock-order").empty());
+}
+
+TEST(LockOrderTest, ConsistentOrderIsCleanAndSuppressionWorks) {
+  Project consistent;
+  consistent.AddFile(Make("src/engine/same.cc",
+                          "namespace demo {\n"
+                          "class Same {\n"
+                          "  void One() {\n"
+                          "    std::lock_guard<std::mutex> a(mu_a_);\n"
+                          "    std::lock_guard<std::mutex> b(mu_b_);\n"
+                          "  }\n"
+                          "  void Two() {\n"
+                          "    std::lock_guard<std::mutex> a(mu_a_);\n"
+                          "    std::lock_guard<std::mutex> b(mu_b_);\n"
+                          "  }\n"
+                          "  std::mutex mu_a_;\n"
+                          "  std::mutex mu_b_;\n"
+                          "};\n"
+                          "}  // namespace demo\n"));
+  EXPECT_TRUE(RunRule(consistent, "lock-order").empty());
+
+  // Suppressing at the reported acquisition site silences the cycle.
+  Project annotated;
+  annotated.AddFile(AbbaProject().files()[0]);
+  annotated.AddFile(
+      Make("src/engine/pair.cc",
+           "#include \"engine/pair.h\"\n"
+           "namespace demo {\n"
+           "void Pair::First() {\n"
+           "  std::lock_guard<std::mutex> lock(mu_a_);\n"
+           "  Second();\n"
+           "}\n"
+           "void Pair::Second() {\n"
+           "  // pstore-analyze: allow(lock-order) intentional in fixture\n"
+           "  std::lock_guard<std::mutex> lock(mu_b_);\n"
+           "}\n"
+           "void Pair::Reversed() {\n"
+           "  // pstore-analyze: allow(lock-order) intentional in fixture\n"
+           "  std::lock_guard<std::mutex> lock_b(mu_b_);\n"
+           "  std::lock_guard<std::mutex> lock_a(mu_a_);\n"
+           "}\n"
+           "}  // namespace demo\n"));
+  EXPECT_TRUE(RunRule(annotated, "lock-order").empty());
+}
+
+// ---------------------------------------------------------------- dead-symbol
+
+TEST(DeadSymbolTest, FlagsUnreferencedSrcFunction) {
+  Project project;
+  project.AddFile(Make("src/common/util.h",
+                       "namespace pstore {\n"
+                       "int Used(int x);\n"
+                       "int Orphan(int x);\n"
+                       "}  // namespace pstore\n"));
+  project.AddFile(Make("src/common/util.cc",
+                       "#include \"common/util.h\"\n"
+                       "namespace pstore {\n"
+                       "int Used(int x) { return x; }\n"
+                       "int Orphan(int x) { return x * 2; }\n"
+                       "}  // namespace pstore\n"));
+  project.AddFile(Make("tests/util_test.cc",
+                       "#include \"common/util.h\"\n"
+                       "int main() { return pstore::Used(0); }\n"));
+  std::vector<Finding> findings = RunRule(project, "dead-symbol");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(HasFinding(findings, "dead-symbol", "src/common/util.cc",
+                         "'pstore::Orphan' is defined but has no call sites"));
+}
+
+TEST(DeadSymbolTest, ExternalCallersMentionsAndMainKeepSymbolsAlive) {
+  Project project;
+  project.AddFile(Make("src/common/kept.cc",
+                       "namespace pstore {\n"
+                       // Referenced by address from a tool: alive.
+                       "int ByAddress() { return 1; }\n"
+                       // Special members are exempt even if uncalled.
+                       "struct Holder { ~Holder() { } };\n"
+                       "}  // namespace pstore\n"));
+  project.AddFile(Make("tools/driver.cc",
+                       "int main() {\n"
+                       "  auto* f = &pstore::ByAddress;\n"
+                       "  return f != nullptr ? 0 : 1;\n"
+                       "}\n"));
+  EXPECT_TRUE(RunRule(project, "dead-symbol").empty());
+}
+
+TEST(DeadSymbolTest, SuppressionComment) {
+  Project project;
+  project.AddFile(Make(
+      "src/common/api.cc",
+      "namespace pstore {\n"
+      "// Public API kept for downstream users.\n"
+      "// pstore-analyze: allow(dead-symbol)\n"
+      "int ReservedEntryPoint() { return 0; }\n"
+      "}  // namespace pstore\n"));
+  EXPECT_TRUE(RunRule(project, "dead-symbol").empty());
+}
+
+// -------------------------------------------------------------- hot-path-perf
+
+// A hot-path fixture: Simulate() lives in src/sim and is a hot root by
+// name and directory; Helper() is reachable from it.
+Project HotPathProject(const std::string& helper_body) {
+  Project project;
+  project.AddFile(Make("src/sim/loop.cc",
+                       "namespace pstore {\n"
+                       "void Helper(std::vector<int>* out);\n"
+                       "void Simulate() {\n"
+                       "  std::vector<int> out;\n"
+                       "  Helper(&out);\n"
+                       "}\n"
+                       "void Helper(std::vector<int>* out) {\n" +
+                           helper_body +
+                           "}\n"
+                           "}  // namespace pstore\n"));
+  return project;
+}
+
+TEST(HotPathPerfTest, FlagsLoopGrowthWithoutReserve) {
+  Project project = HotPathProject(
+      "  for (int i = 0; i < 100; ++i) {\n"
+      "    out->push_back(i);\n"
+      "  }\n");
+  std::vector<Finding> findings = RunRule(project, "hot-path-perf");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(HasFinding(findings, "hot-path-perf", "src/sim/loop.cc",
+                         "grown with push_back inside a loop"));
+}
+
+TEST(HotPathPerfTest, PriorReserveIsClean) {
+  Project project = HotPathProject(
+      "  out->reserve(100);\n"
+      "  for (int i = 0; i < 100; ++i) {\n"
+      "    out->push_back(i);\n"
+      "  }\n");
+  EXPECT_TRUE(RunRule(project, "hot-path-perf").empty());
+}
+
+TEST(HotPathPerfTest, FlagsByValueHeavyParamAndStdFunctionInLoop) {
+  Project project;
+  project.AddFile(Make(
+      "src/engine/tick.cc",
+      "namespace pstore {\n"
+      "int Consume(std::string label);\n"
+      "void Tick() {\n"
+      "  for (int i = 0; i < 4; ++i) {\n"
+      "    std::function<int(int)> f = [](int x) { return x; };\n"
+      "    (void)f;\n"
+      "  }\n"
+      "  Consume(\"x\");\n"
+      "}\n"
+      "int Consume(std::string label) { return (int)label.size(); }\n"
+      "}  // namespace pstore\n"));
+  std::vector<Finding> findings = RunRule(project, "hot-path-perf");
+  EXPECT_TRUE(HasFinding(findings, "hot-path-perf", "src/engine/tick.cc",
+                         "parameter 'label'"));
+  EXPECT_TRUE(HasFinding(findings, "hot-path-perf", "src/engine/tick.cc",
+                         "std::function constructed inside a loop"));
+  EXPECT_EQ(findings.size(), 2u);
+}
+
+TEST(HotPathPerfTest, MovedFromByValueParamIsASink) {
+  Project project;
+  project.AddFile(Make(
+      "src/engine/tick.cc",
+      "namespace pstore {\n"
+      "void Store(std::string label);\n"
+      "void Tick() { Store(\"x\"); }\n"
+      "void Store(std::string label) {\n"
+      "  std::string kept = std::move(label);\n"
+      "  (void)kept;\n"
+      "}\n"
+      "}  // namespace pstore\n"));
+  EXPECT_TRUE(RunRule(project, "hot-path-perf").empty());
+}
+
+TEST(HotPathPerfTest, ColdFunctionsAndSuppressionsAreClean) {
+  // The same growth pattern outside a hot root's reach is not linted.
+  Project cold;
+  cold.AddFile(Make("src/common/build.cc",
+                    "namespace pstore {\n"
+                    "void Collect(std::vector<int>* out) {\n"
+                    "  for (int i = 0; i < 100; ++i) {\n"
+                    "    out->push_back(i);\n"
+                    "  }\n"
+                    "}\n"
+                    "}  // namespace pstore\n"));
+  EXPECT_TRUE(RunRule(cold, "hot-path-perf").empty());
+
+  Project suppressed = HotPathProject(
+      "  for (int i = 0; i < 100; ++i) {\n"
+      "    // Bounded by a tiny constant; reserve would be noise.\n"
+      "    // pstore-analyze: allow(hot-path-perf)\n"
+      "    out->push_back(i);\n"
+      "  }\n");
+  EXPECT_TRUE(RunRule(suppressed, "hot-path-perf").empty());
+}
+
+TEST(HotPathPerfTest, HotRootNaming) {
+  FunctionSymbol in_engine;
+  in_engine.name = "Tick";
+  in_engine.definitions.push_back({0, "src/engine/a.cc", "engine", 1});
+  EXPECT_TRUE(HotPathPerfCheck::IsHotRoot(in_engine));
+  in_engine.name = "RunSweep";
+  EXPECT_TRUE(HotPathPerfCheck::IsHotRoot(in_engine));
+  in_engine.name = "Helper";
+  EXPECT_FALSE(HotPathPerfCheck::IsHotRoot(in_engine));
+  FunctionSymbol in_common;
+  in_common.name = "Tick";
+  in_common.definitions.push_back({0, "src/common/a.cc", "common", 1});
+  EXPECT_FALSE(HotPathPerfCheck::IsHotRoot(in_common));
+}
+
 // ------------------------------------------------------------------- analyzer
 
 TEST(AnalyzerTest, RuleCatalogAndSelection) {
@@ -693,9 +986,11 @@ TEST(AnalyzerTest, RuleCatalogAndSelection) {
   const std::vector<std::string> names = analyzer.RuleNames();
   EXPECT_EQ(names, (std::vector<std::string>{
                        "layering", "status", "include", "nondet-iteration",
-                       "global-mutable-state", "pointer-order", "guarded-by"}));
+                       "global-mutable-state", "pointer-order", "guarded-by",
+                       "lock-order", "dead-symbol", "hot-path-perf"}));
   EXPECT_FALSE(analyzer.SelectRules({"nonsense"}).ok());
   EXPECT_TRUE(analyzer.SelectRules({"layering", "status"}).ok());
+  EXPECT_TRUE(analyzer.SelectRules({"lock-order", "dead-symbol"}).ok());
 }
 
 TEST(AnalyzerTest, FindingsAreSortedAndFormatted) {

@@ -1,16 +1,19 @@
 // pstore_analyze: semantic static analysis for the P-Store tree.
 //
-// Usage: pstore_analyze [--rule=<name>]... [--list-rules]
+// Usage: pstore_analyze [--check=<name>[,<name>...]]... [--list-checks]
 //                       [--threads=N] [--format=text|json] [PATH ...]
 //
 // Runs the layering, Status-discipline, include-hygiene,
-// nondet-iteration, global-mutable-state, pointer-order, and
-// guarded-by rule families (src/analysis/) over the given files or
-// directories (default: src tools bench tests examples, resolved from
-// the current directory). Exits 0 when clean, 1 with findings, 2 on
-// usage errors.
+// nondet-iteration, global-mutable-state, pointer-order, guarded-by,
+// lock-order, dead-symbol, and hot-path-perf rule families
+// (src/analysis/) over the given files or directories (default: src
+// tools bench tests examples, resolved from the current directory).
+// Exits 0 when clean, 1 with findings, 2 on usage errors.
 //
-// --threads=N tokenizes and runs the rule families on a thread pool
+// --check takes a comma-separated list and may repeat; --list-checks
+// prints the catalog. (--rule / --list-rules are accepted as the older
+// spellings of the same flags.) --threads=N tokenizes, builds the
+// cross-TU symbol graph, and runs the rule families on a thread pool
 // (0 = hardware concurrency); output is byte-identical to a serial
 // run. --format=json emits a canonical JSON array for CI diffing.
 
@@ -29,9 +32,26 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: pstore_analyze [--rule=<name>]... [--list-rules] "
-               "[--threads=N] [--format=text|json] [PATH ...]\n");
+               "usage: pstore_analyze [--check=<name>[,<name>...]]... "
+               "[--list-checks] [--threads=N] [--format=text|json] "
+               "[PATH ...]\n");
   return 2;
+}
+
+// Splits one --check value on commas; --check=lock-order,dead-symbol
+// and repeated --check flags are equivalent.
+std::vector<std::string> SplitCommaList(const std::vector<std::string>& raw) {
+  std::vector<std::string> names;
+  for (const std::string& value : raw) {
+    size_t begin = 0;
+    while (begin <= value.size()) {
+      size_t comma = value.find(',', begin);
+      if (comma == std::string::npos) comma = value.size();
+      if (comma > begin) names.push_back(value.substr(begin, comma - begin));
+      begin = comma + 1;
+    }
+  }
+  return names;
 }
 
 }  // namespace
@@ -44,14 +64,19 @@ int main(int argc, char** argv) {
     return Usage();
   }
   for (const auto& flag : flags.flags()) {
-    if (flag.first != "rule" && flag.first != "list-rules" &&
+    if (flag.first != "check" && flag.first != "list-checks" &&
+        flag.first != "rule" && flag.first != "list-rules" &&
         flag.first != "threads" && flag.first != "format") {
       return Usage();
     }
   }
   std::vector<std::string> roots = flags.positional();
-  const std::vector<std::string> rules = flags.GetStrings("rule");
-  const bool list_rules = flags.GetBool("list-rules", false);
+  std::vector<std::string> rules = SplitCommaList(flags.GetStrings("check"));
+  for (const std::string& rule : SplitCommaList(flags.GetStrings("rule"))) {
+    rules.push_back(rule);
+  }
+  const bool list_rules = flags.GetBool("list-checks", false) ||
+                          flags.GetBool("list-rules", false);
   const pstore::StatusOr<int64_t> threads = flags.GetInt("threads", 1);
   if (!threads.ok()) {
     std::fprintf(stderr, "pstore_analyze: %s\n",
