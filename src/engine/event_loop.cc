@@ -25,6 +25,7 @@ void EventLoop::RunUntil(SimTime end) {
     Event event = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     now_ = event.when;
+    if (pre_event_hook_) pre_event_hook_();
     event.callback();
   }
   now_ = end;
@@ -35,6 +36,7 @@ void EventLoop::RunToCompletion() {
     Event event = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     now_ = event.when;
+    if (pre_event_hook_) pre_event_hook_();
     event.callback();
   }
 }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "common/sim_time.h"
@@ -33,12 +34,22 @@ class EventLoop {
 
   // Runs events until the queue is empty or simulated time would exceed
   // `end`. Events exactly at `end` are executed. Afterwards now() == end
-  // (or the time of the last event if the queue drained first and was
-  // earlier; now() never exceeds end).
+  // unconditionally — even when the queue drains before `end`, the
+  // clock lands on `end` (not on the last event's time), so a
+  // subsequent ScheduleAfter(d) fires at end + d.
   void RunUntil(SimTime end);
 
   // Runs everything. Use only when the event graph is known to be finite.
   void RunToCompletion();
+
+  // Installs a hook invoked immediately before each event callback, in
+  // both RunUntil and RunToCompletion, after now() has advanced to the
+  // event's timestamp. ShardedEngine installs its window barrier here so
+  // every event on this loop observes fully-advanced shards. Pass
+  // nullptr to clear.
+  void set_pre_event_hook(Callback hook) {
+    pre_event_hook_ = std::move(hook);
+  }
 
   size_t pending_events() const { return queue_.size(); }
 
@@ -57,6 +68,7 @@ class EventLoop {
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
+  Callback pre_event_hook_;  // null unless sharding is active
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
 };
 

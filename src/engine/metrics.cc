@@ -49,14 +49,35 @@ void WindowHistogram::Record(SimTime latency, int64_t weight) {
 SimTime WindowHistogram::ValueAtQuantile(double q) const {
   if (count_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
-  const int64_t target = std::max<int64_t>(
-      1, static_cast<int64_t>(q * static_cast<double>(count_) + 0.5));
+  // Bucket counters saturate (see Record) while count_ does not, so the
+  // stored bucket mass can be smaller than count_. Rank within the
+  // stored mass, the same saturating space the scan accumulates in —
+  // ranking by count_ walks past the saturated buckets and quantiles
+  // collapse toward max_ (all of them, once the excess exceeds the mass
+  // above the saturated bucket).
+  int64_t stored = 0;
+  for (int i = 0; i < kNumBuckets; ++i) stored += buckets_[i];
+  const int64_t target = std::min(
+      stored, std::max<int64_t>(
+                  1, static_cast<int64_t>(
+                         q * static_cast<double>(stored) + 0.5)));
   int64_t seen = 0;
   for (int i = 0; i < kNumBuckets; ++i) {
     seen += buckets_[i];
     if (seen >= target) return std::min(UpperEdge(i), max_);
   }
   return max_;
+}
+
+void WindowHistogram::MergeFrom(const WindowHistogram& other) {
+  const uint64_t kSaturated = std::numeric_limits<uint32_t>::max();
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t sum = static_cast<uint64_t>(buckets_[i]) +
+                         static_cast<uint64_t>(other.buckets_[i]);
+    buckets_[i] = static_cast<uint32_t>(std::min(sum, kSaturated));
+  }
+  count_ += other.count_;
+  max_ = std::max(max_, other.max_);
 }
 
 MetricsCollector::MetricsCollector(double window_seconds)
@@ -94,6 +115,23 @@ void MetricsCollector::RecordUnavailable(SimTime now) {
   EnsureWindow(window);
   ++submitted_[window];
   ++unavailable_[window];
+}
+
+void MetricsCollector::MergeFrom(const MetricsCollector& other) {
+  PSTORE_CHECK(window_duration_ == other.window_duration_);
+  // Step series live only in the control-plane collector; a per-shard
+  // collector that grew one indicates mis-wired sharding glue.
+  PSTORE_CHECK(other.machine_steps_.empty());
+  PSTORE_CHECK(other.migration_steps_.empty());
+  PSTORE_CHECK(other.fault_steps_.empty());
+  if (other.latency_.empty()) return;
+  EnsureWindow(other.latency_.size() - 1);
+  for (size_t i = 0; i < other.latency_.size(); ++i) {
+    latency_[i].MergeFrom(other.latency_[i]);
+    submitted_[i] += other.submitted_[i];
+    completed_[i] += other.completed_[i];
+    unavailable_[i] += other.unavailable_[i];
+  }
 }
 
 void MetricsCollector::RecordMachines(SimTime now, int machines) {
@@ -170,10 +208,15 @@ SlaViolations MetricsCollector::CountViolations(
     const std::vector<WindowStats>& windows, double threshold_ms) {
   SlaViolations v;
   for (const WindowStats& w : windows) {
-    if (w.completed == 0) continue;
-    if (w.p50_ms > threshold_ms) ++v.p50;
-    if (w.p95_ms > threshold_ms) ++v.p95;
-    if (w.p99_ms > threshold_ms) ++v.p99;
+    // A window where traffic arrived but nothing completed is a total
+    // outage — the worst SLA outcome, not a pass. It has no latency
+    // samples, so it violates every percentile by definition. Windows
+    // with no traffic at all are genuinely idle and skipped.
+    const bool outage = w.submitted > 0 && w.completed == 0;
+    if (w.completed == 0 && !outage) continue;
+    if (outage || w.p50_ms > threshold_ms) ++v.p50;
+    if (outage || w.p95_ms > threshold_ms) ++v.p95;
+    if (outage || w.p99_ms > threshold_ms) ++v.p99;
   }
   return v;
 }
@@ -182,19 +225,23 @@ SlaAttribution MetricsCollector::AttributeViolations(
     const std::vector<WindowStats>& windows, double threshold_ms) {
   SlaAttribution out;
   for (const WindowStats& w : windows) {
-    if (w.completed == 0) continue;
+    // Total-outage windows (submitted > 0, completed == 0) violate every
+    // percentile; they land in the fault bucket when w.fault is set,
+    // which is the common cause (the node hosting every bucket is down).
+    const bool outage = w.submitted > 0 && w.completed == 0;
+    if (w.completed == 0 && !outage) continue;
     SlaViolations* bucket = w.fault ? &out.during_fault
                            : w.migrating ? &out.during_migration
                                          : &out.baseline;
-    if (w.p50_ms > threshold_ms) {
+    if (outage || w.p50_ms > threshold_ms) {
       ++out.total.p50;
       ++bucket->p50;
     }
-    if (w.p95_ms > threshold_ms) {
+    if (outage || w.p95_ms > threshold_ms) {
       ++out.total.p95;
       ++bucket->p95;
     }
-    if (w.p99_ms > threshold_ms) {
+    if (outage || w.p99_ms > threshold_ms) {
       ++out.total.p99;
       ++bucket->p99;
     }

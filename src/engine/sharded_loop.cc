@@ -1,0 +1,123 @@
+#include "engine/sharded_loop.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/sim_time.h"
+#include "engine/event_loop.h"
+
+namespace pstore {
+
+ShardedEngine::ShardedEngine(EventLoop* control, int num_shards, int threads)
+    : control_(control),
+      num_shards_(num_shards),
+      pool_(threads),
+      queues_(static_cast<size_t>(num_shards)) {
+  PSTORE_CHECK(control != nullptr);
+  PSTORE_CHECK(num_shards > 0);
+  const size_t pairs =
+      static_cast<size_t>(num_shards) * static_cast<size_t>(num_shards + 1);
+  mailboxes_.reserve(pairs);
+  for (size_t i = 0; i < pairs; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+void ShardedEngine::Post(int shard, SimTime when, Task task) {
+  PSTORE_DCHECK(shard >= 0 && shard < num_shards_);
+  // Post is control-plane API; shard tasks communicate via Send.
+  PSTORE_DCHECK(!in_parallel_phase_.load());
+  PSTORE_CHECK(task != nullptr);
+  queues_[static_cast<size_t>(shard)].push_back(Job{when, std::move(task)});
+  ++pending_tasks_;
+}
+
+void ShardedEngine::Send(int source, int target, SimTime when, Task task) {
+  PSTORE_DCHECK(source >= 0 && source < num_shards_);
+  PSTORE_DCHECK(target >= kControlPlane && target < num_shards_);
+  PSTORE_CHECK(task != nullptr);
+  Mailbox& box = mailbox(source, target);
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.entries.push_back(
+        Envelope{when, source, target, box.next_seq++, std::move(task)});
+  }
+  pending_messages_.fetch_add(1);
+}
+
+bool ShardedEngine::RunShardPhase() {
+  if (pending_tasks_ == 0) return false;
+  // Post is forbidden during the phase and Send targets mailboxes, so
+  // no queue grows while workers iterate it; the count taken here is
+  // exact.
+  tasks_run_ += pending_tasks_;
+  pending_tasks_ = 0;
+  in_parallel_phase_.store(true);
+  pool_.ParallelFor(static_cast<size_t>(num_shards_), [this](size_t shard) {
+    std::vector<Job>& queue = queues_[shard];
+    for (Job& job : queue) job.fn();
+    queue.clear();
+  });
+  in_parallel_phase_.store(false);
+  return true;
+}
+
+bool ShardedEngine::DrainMailboxes() {
+  const int64_t pending = pending_messages_.exchange(0);
+  if (pending == 0) return false;
+  // Collect every envelope, then impose the global delivery order
+  // (time, source shard, seq, target). The key is unique — seq is
+  // strictly increasing per (source, target) pair — so the order does
+  // not depend on which mailbox was scanned first, and the pair-local
+  // seq assignment is itself deterministic because each shard executes
+  // its queue sequentially.
+  std::vector<Envelope> batch;
+  batch.reserve(static_cast<size_t>(pending));
+  for (std::unique_ptr<Mailbox>& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box->mu);
+    for (Envelope& e : box->entries) batch.push_back(std::move(e));
+    box->entries.clear();
+  }
+  std::sort(batch.begin(), batch.end(),
+            [](const Envelope& a, const Envelope& b) {
+              if (a.when != b.when) return a.when < b.when;
+              if (a.source != b.source) return a.source < b.source;
+              if (a.seq != b.seq) return a.seq < b.seq;
+              return a.target < b.target;
+            });
+  for (Envelope& e : batch) {
+    if (e.target == kControlPlane) {
+      e.fn();
+    } else {
+      Post(e.target, e.when, std::move(e.fn));
+    }
+  }
+  messages_delivered_ += static_cast<int64_t>(batch.size());
+  return true;
+}
+
+void ShardedEngine::Flush() {
+  if (idle()) return;
+  ++barriers_;
+  // Fixpoint: a delivered message may enqueue further shard work (a
+  // forwarded participant, a chained completion), which may in turn
+  // send more messages. Iterate until a round does nothing.
+  bool progressed = true;
+  while (progressed) {
+    const bool ran = RunShardPhase();
+    const bool delivered = DrainMailboxes();
+    progressed = ran || delivered;
+  }
+}
+
+void ShardedEngine::InstallBarrierHook() {
+  control_->set_pre_event_hook([this] { Flush(); });
+}
+
+}  // namespace pstore

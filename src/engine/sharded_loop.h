@@ -1,0 +1,156 @@
+#ifndef PSTORE_ENGINE_SHARDED_LOOP_H_
+#define PSTORE_ENGINE_SHARDED_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/thread_annotations.h"
+#include "common/thread_pool.h"
+#include "engine/event_loop.h"
+
+namespace pstore {
+
+// Node-partitioned data plane for the discrete-event engine.
+//
+// The engine's event population splits cleanly in two. *Control-plane*
+// events — driver generation ticks, controller monitoring and planning,
+// migration chunk transfers, fault toggles — are few (several per
+// simulated second) and observe global cluster state. *Data-plane* work
+// — executing a transaction against the partitions of one node — is the
+// bulk of every run and touches only that node's state. ShardedEngine
+// keeps the control plane on the existing serial EventLoop and gives
+// each node a shard queue whose tasks run in parallel on a deterministic
+// ThreadPool.
+//
+// Synchronization is conservative time windows: a window spans the gap
+// between consecutive control events, and every shard advances through
+// the whole window before the next control event runs (the barrier is
+// installed as the EventLoop's pre-event hook). This is safe because
+// every cross-node interaction in this engine — 2PC coordination
+// (coordination_delay_seconds), migration chunk arrivals
+// (chunk_spacing_seconds), fault transitions — is itself initiated by a
+// control event, so the window length never exceeds the minimum
+// cross-node latency (the classic lookahead argument).
+//
+// Determinism contract, relied on by the single-run golden tests:
+//  * Tasks are posted from the control thread in monolithic submission
+//    order and each shard executes its queue FIFO, so per-partition
+//    state (FIFO service math, storage mutations) evolves exactly as in
+//    the serial engine.
+//  * Cross-shard effects travel through per-(source, target) mailboxes
+//    and are delivered at the barrier in (time, source shard, seq)
+//    order — independent of thread count and OS scheduling.
+//  * With threads == 1 the ThreadPool runs bodies inline in shard order
+//    with no synchronization: the serial path stays plain serial code.
+class ShardedEngine {
+ public:
+  using Task = std::function<void()>;
+
+  // Mailbox target addressing the control plane (delivery runs on the
+  // control thread at the barrier instead of on a shard).
+  static constexpr int kControlPlane = -1;
+
+  // `control` is the serial loop carrying the control plane; `threads`
+  // sizes the worker pool (1 = fully inline).
+  ShardedEngine(EventLoop* control, int num_shards, int threads);
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  int num_shards() const { return num_shards_; }
+  int threads() const { return pool_.thread_count(); }
+  // True when the pool is inline-only; integration glue uses this to
+  // keep the threads == 1 path byte-identical to the classic engine.
+  bool serial() const { return pool_.thread_count() == 1; }
+
+  // Enqueues `task` on `shard`'s queue, stamped with simulated time
+  // `when`. Control-plane thread only; must not be called while a
+  // barrier's parallel phase is running.
+  void Post(int shard, SimTime when, Task task);
+
+  // Sends a task from shard `source` (call this only from inside a task
+  // running on that shard) to `target` — another shard or kControlPlane.
+  // Delivery happens at the next barrier: control-plane messages run on
+  // the control thread in (when, source, seq) order; shard messages are
+  // re-enqueued on the target's queue in that same order.
+  void Send(int source, int target, SimTime when, Task task);
+
+  // Window barrier: drains every shard queue (parallel phase), then
+  // delivers mailbox messages, repeating until no work remains (a
+  // delivered message may enqueue further shard work). No-op when idle,
+  // so installing it before every control event is cheap.
+  void Flush();
+
+  // Installs Flush() as `control`'s pre-event hook, so every
+  // control-plane event observes fully-advanced shards.
+  void InstallBarrierHook();
+
+  bool idle() const {
+    return pending_tasks_ == 0 && pending_messages_.load() == 0;
+  }
+
+  // Telemetry for benches and tests.
+  int64_t tasks_run() const { return tasks_run_; }
+  int64_t messages_delivered() const { return messages_delivered_; }
+  int64_t barriers() const { return barriers_; }
+
+ private:
+  struct Job {
+    SimTime when = 0;
+    Task fn;
+  };
+
+  // One cross-shard message, carried by its pair's mailbox until the
+  // barrier. `seq` is assigned per pair under the pair's mutex; since a
+  // pair's messages originate from one shard's FIFO task execution, the
+  // numbering is deterministic for any thread count.
+  struct Envelope {
+    SimTime when = 0;
+    int source = 0;
+    int target = 0;
+    uint64_t seq = 0;
+    Task fn;
+  };
+
+  struct Mailbox {
+    std::mutex mu;
+    uint64_t next_seq PSTORE_GUARDED_BY(mu) = 0;
+    std::vector<Envelope> entries PSTORE_GUARDED_BY(mu);
+  };
+
+  Mailbox& mailbox(int source, int target) {
+    return *mailboxes_[static_cast<size_t>(source) *
+                           static_cast<size_t>(num_shards_ + 1) +
+                       static_cast<size_t>(target + 1)];
+  }
+
+  // Runs every shard queue to exhaustion; returns whether any task ran.
+  bool RunShardPhase();
+  // Collects and delivers all mailbox entries in (when, source, seq)
+  // order; returns whether any message was delivered.
+  bool DrainMailboxes();
+
+  EventLoop* control_;
+  const int num_shards_;
+  ThreadPool pool_;
+  // Per-shard FIFO queues. Owned by the control thread; during a
+  // parallel phase each worker reads exactly one shard's queue.
+  std::vector<std::vector<Job>> queues_;
+  // Per-(source, target) mailboxes; target kControlPlane is slot 0.
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  int64_t pending_tasks_ = 0;
+  std::atomic<int64_t> pending_messages_{0};
+  std::atomic<bool> in_parallel_phase_{false};
+  int64_t tasks_run_ = 0;
+  int64_t messages_delivered_ = 0;
+  int64_t barriers_ = 0;
+};
+
+}  // namespace pstore
+
+#endif  // PSTORE_ENGINE_SHARDED_LOOP_H_

@@ -1,5 +1,7 @@
 #include "engine/workload_driver.h"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/logging.h"
@@ -36,6 +38,19 @@ double WorkloadDriver::OfferedRate(SimTime t) const {
   return trace_[slot] * options_.rate_factor;
 }
 
+SimTime WorkloadDriver::NextSlotBoundary(SimTime t) const {
+  const double seconds = ToSeconds(t);
+  double m = std::floor(seconds / options_.slot_sim_seconds) + 1.0;
+  SimTime boundary = FromSeconds(m * options_.slot_sim_seconds);
+  // Float rounding can land the boundary at or before `t`; step forward
+  // until it is strictly after so Tick's segment loop always progresses.
+  while (boundary <= t) {
+    m += 1.0;
+    boundary = FromSeconds(m * options_.slot_sim_seconds);
+  }
+  return boundary;
+}
+
 void WorkloadDriver::Start(SimTime end_time) {
   end_time_ = end_time;
   loop_->ScheduleAt(loop_->now(), [this] { Tick(); });
@@ -46,24 +61,41 @@ void WorkloadDriver::Tick() {
   if (tick_start >= end_time_) return;
   const SimTime tick_end = tick_start + kSecond;
 
-  const double rate = OfferedRate(tick_start);
+  const bool sharded = executor_->sharding_enabled();
+  // Piecewise-constant Poisson process: the offered rate changes at
+  // trace-slot boundaries, which fall inside a tick whenever
+  // slot_sim_seconds is fractional — sampling once at tick_start would
+  // mis-rate the remainder of such ticks. Each constant-rate segment
+  // draws its own exponential gaps (restarting at the boundary is valid
+  // by memorylessness). For whole-second slot sizes a tick is a single
+  // segment and the draw sequence is exactly the historical one.
   int64_t arrivals = 0;
-  if (rate > 0.0) {
-    // Exact Poisson process within the tick: exponential gaps, arrivals
-    // generated in time order.
-    const double mean_gap_seconds = 1.0 / rate;
-    SimTime t = tick_start + FromSeconds(rng_.NextExponential(mean_gap_seconds));
-    while (t < tick_end && t < end_time_) {
-      const TxnRequest request = factory_(rng_);
-      executor_->Submit(request, t);
-      ++arrivals_generated_;
-      ++arrivals;
-      t += FromSeconds(rng_.NextExponential(mean_gap_seconds));
+  SimTime seg_start = tick_start;
+  while (seg_start < tick_end) {
+    const SimTime seg_end = std::min(tick_end, NextSlotBoundary(seg_start));
+    const double rate = OfferedRate(seg_start);
+    if (rate > 0.0) {
+      const double mean_gap_seconds = 1.0 / rate;
+      SimTime t =
+          seg_start + FromSeconds(rng_.NextExponential(mean_gap_seconds));
+      while (t < seg_end && t < end_time_) {
+        const TxnRequest request = factory_(rng_);
+        if (sharded) {
+          executor_->SubmitSharded(request, t);
+        } else {
+          executor_->Submit(request, t);
+        }
+        ++arrivals_generated_;
+        ++arrivals;
+        t += FromSeconds(rng_.NextExponential(mean_gap_seconds));
+      }
     }
+    seg_start = seg_end;
   }
   PSTORE_TRACE(tracer_, ::pstore::obs::TraceCategory::kEngine, tick_start,
                "engine.slot",
-               .With("rate", rate).With("arrivals", arrivals));
+               .With("rate", OfferedRate(tick_start))
+                   .With("arrivals", arrivals));
   loop_->ScheduleAt(tick_end, [this] { Tick(); });
 }
 

@@ -59,6 +59,9 @@ class WorkloadDriver {
 
  private:
   void Tick();
+  // First trace-slot boundary strictly after `t`. Slot boundaries land
+  // inside generation ticks whenever slot_sim_seconds is fractional.
+  SimTime NextSlotBoundary(SimTime t) const;
 
   EventLoop* loop_;
   TxnExecutor* executor_;

@@ -203,6 +203,61 @@ TEST(WorkloadDriverTest, StartSlotOffset) {
   EXPECT_NEAR(driver.OfferedRate(0), 180.0, 1e-9);
 }
 
+TEST(WorkloadDriverTest, FractionalSlotsRateTicksPiecewise) {
+  // Regression: Tick() sampled OfferedRate once at tick start for the
+  // whole 1 s batch. With a fractional slot_sim_seconds a trace-slot
+  // boundary lands mid-tick and the whole tick was generated at the old
+  // slot's rate. Here slot 0 (rate 0) covers [0, 1.5) and slot 1 (rate
+  // 400) covers [1.5, 3.0): the tick spanning [1, 2) starts in the
+  // silent slot, so the pre-fix driver produced zero arrivals by t = 2 s
+  // even though [1.5, 2.0) should see Poisson(200) of them.
+  Cluster cluster(OneNodeCluster());
+  TxnExecutor executor(&cluster, nullptr, ExecutorOptions{});
+  ASSERT_TRUE(b2w::RegisterProcedures(&executor).ok());
+  EventLoop loop;
+  TimeSeries trace(60.0, {0.0, 400.0});
+  DriverOptions options;
+  options.slot_sim_seconds = 1.5;
+  options.rate_factor = 1.0;
+  options.seed = 9;
+  b2w::Workload workload(b2w::B2wWorkloadOptions{});
+  WorkloadDriver driver(
+      &loop, &executor, trace,
+      [&workload](Rng& rng) { return workload.NextTransaction(rng); },
+      options);
+  driver.Start(2 * kSecond);
+  loop.RunUntil(2 * kSecond);
+  // Poisson(200) over the half-second at 400 txn/s: within 5 sigma.
+  EXPECT_NEAR(static_cast<double>(driver.arrivals_generated()), 200.0,
+              5.0 * std::sqrt(200.0));
+}
+
+TEST(WorkloadDriverTest, FractionalSlotsStopAtMidTickBoundary) {
+  // The mirror case: the rate drops to zero at a mid-tick boundary
+  // (t = 1.5 s), so arrivals over [0, 3) must track 1.5 s of load, not
+  // the full 2 ticks the start-of-tick sample would produce.
+  Cluster cluster(OneNodeCluster());
+  TxnExecutor executor(&cluster, nullptr, ExecutorOptions{});
+  ASSERT_TRUE(b2w::RegisterProcedures(&executor).ok());
+  EventLoop loop;
+  TimeSeries trace(60.0, {400.0, 0.0});
+  DriverOptions options;
+  options.slot_sim_seconds = 1.5;
+  options.rate_factor = 1.0;
+  options.seed = 9;
+  b2w::Workload workload(b2w::B2wWorkloadOptions{});
+  WorkloadDriver driver(
+      &loop, &executor, trace,
+      [&workload](Rng& rng) { return workload.NextTransaction(rng); },
+      options);
+  driver.Start(3 * kSecond);
+  loop.RunUntil(3 * kSecond);
+  // Poisson(600) over [0, 1.5): within 5 sigma — and clearly below the
+  // ~800 a whole-tick sample of slot 0's rate would generate.
+  EXPECT_NEAR(static_cast<double>(driver.arrivals_generated()), 600.0,
+              5.0 * std::sqrt(600.0));
+}
+
 TEST(WorkloadDriverTest, DeterministicReplay) {
   auto run = [] {
     Cluster cluster(OneNodeCluster());

@@ -1,0 +1,104 @@
+# Single-run determinism gate for the node-sharded engine: runs an
+# engine-backed CLI tool once per --engine-threads value in {1, 2, 8}
+# and fails unless every run's output is byte-identical to the serial
+# golden run.
+#
+# Two fields are normalized before comparing, neither of which carries
+# simulation state:
+#  * "wall_us" trace attributes measure *host* wall-clock time inside
+#    predictor/planner calls and differ between any two runs, including
+#    two serial ones;
+#  * output file names, which necessarily differ per thread count.
+# Every simulated-time quantity — event timestamps, rates, counters,
+# window percentiles, CSV rows — must match exactly.
+#
+# Usage:
+#   cmake -DTOOL=<binary> -DMODE=<simulate|chaos> -DOUTDIR=<dir>
+#         [-DTRACE=<csv>] -P engine_threads_determinism.cmake
+
+if(NOT TOOL OR NOT MODE OR NOT OUTDIR)
+  message(FATAL_ERROR "TOOL, MODE and OUTDIR are required")
+endif()
+file(MAKE_DIRECTORY "${OUTDIR}")
+
+set(THREAD_COUNTS 1 2 8)
+
+# Normalizes per-run noise: host wall-clock attributes and the
+# per-thread-count output paths embedded in stdout.
+function(normalize text out_var)
+  string(REGEX REPLACE "\"wall_us\":[0-9]+" "\"wall_us\":0" text "${text}")
+  string(REGEX REPLACE "_t[0-9]+\\.(jsonl|csv)" ".\\1" text "${text}")
+  set(${out_var} "${text}" PARENT_SCOPE)
+endfunction()
+
+function(check_identical label serial candidate threads)
+  if(NOT "${serial}" STREQUAL "${candidate}")
+    message(FATAL_ERROR
+      "${label}: --engine-threads=${threads} diverged from the serial run")
+  endif()
+  message(STATUS "${label}: threads=${threads} matches serial")
+endfunction()
+
+# Runs ${ARGN} plus --engine-threads=${threads}, normalizes stdout and
+# the produced artifact, and exports run_stdout / run_artifact.
+function(run_tool threads artifact)
+  execute_process(
+    COMMAND ${TOOL} ${ARGN} --engine-threads=${threads}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${TOOL} --engine-threads=${threads} failed "
+                        "(rc=${rc}):\n${out}\n${err}")
+  endif()
+  normalize("${out}" out)
+  set(run_stdout "${out}" PARENT_SCOPE)
+  if(artifact)
+    file(READ "${artifact}" content)
+    normalize("${content}" content)
+    set(run_artifact "${content}" PARENT_SCOPE)
+  else()
+    set(run_artifact "" PARENT_SCOPE)
+  endif()
+endfunction()
+
+if(MODE STREQUAL "simulate")
+  # The fig05/fig12 path: a P-Store sweep over the B2W trace with the
+  # deterministic per-strategy CSV.
+  if(NOT TRACE)
+    message(FATAL_ERROR "MODE=simulate requires -DTRACE=<csv>")
+  endif()
+  foreach(t IN LISTS THREAD_COUNTS)
+    run_tool(${t} "${OUTDIR}/sweep_t${t}.csv"
+      --trace=${TRACE} --strategy=pstore --q=3400 --qhat=4200
+      --train-days=28 --csv-out=${OUTDIR}/sweep_t${t}.csv)
+    if(t EQUAL 1)
+      set(serial_stdout "${run_stdout}")
+      set(serial_csv "${run_artifact}")
+    else()
+      check_identical("simulate stdout" "${serial_stdout}" "${run_stdout}" ${t})
+      check_identical("simulate csv" "${serial_csv}" "${run_artifact}" ${t})
+    endif()
+  endforeach()
+elseif(MODE STREQUAL "chaos")
+  # Two full drills per thread count: a scripted crash/recover and a
+  # seeded random fault storm, both with the JSONL trace on.
+  set(scripted --minutes=16 --crash-node=2 --crash-at=640 --recover-at=700)
+  set(seeded --minutes=16 --seed=5 --crash-rate=20 --straggler-rate=20
+      --chunk-abort-rate=40)
+  foreach(drill scripted seeded)
+    foreach(t IN LISTS THREAD_COUNTS)
+      run_tool(${t} "${OUTDIR}/${drill}_t${t}.jsonl"
+        ${${drill}} --trace-out=${OUTDIR}/${drill}_t${t}.jsonl)
+      if(t EQUAL 1)
+        set(serial_stdout "${run_stdout}")
+        set(serial_trace "${run_artifact}")
+      else()
+        check_identical("chaos ${drill} stdout"
+          "${serial_stdout}" "${run_stdout}" ${t})
+        check_identical("chaos ${drill} trace"
+          "${serial_trace}" "${run_artifact}" ${t})
+      endif()
+    endforeach()
+  endforeach()
+else()
+  message(FATAL_ERROR "unknown MODE '${MODE}'")
+endif()

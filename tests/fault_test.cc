@@ -241,6 +241,56 @@ TEST(FaultInjectorTest, ChunkAbortIsConsumedOnce) {
   EXPECT_EQ(injector.stats().chunk_aborts_consumed, 1);
 }
 
+// Regression for the SLA counters' outage blind spot, driven through the
+// chaos-drill path (FaultInjector toggling node health, executor
+// fast-failing kUnavailable): a full outage — every node down, every
+// arrival rejected, nothing completing — must score as violated windows
+// in the fault bucket. The counters used to skip completed == 0 windows
+// entirely, scoring a dead cluster as a perfect SLA.
+TEST(FaultInjectorTest, FullOutageWindowsCountAsFaultViolations) {
+  Cluster cluster(TestCluster(2, 4));
+  MetricsCollector metrics(1.0);
+  TxnExecutor executor(&cluster, &metrics, ExecutorOptions{});
+  PSTORE_CHECK_OK(b2w::RegisterProcedures(&executor));
+  b2w::Workload workload(b2w::B2wWorkloadOptions{});
+  PSTORE_CHECK_OK(workload.LoadInitialData(&cluster));
+  EventLoop loop;
+  FaultInjector injector(&loop, &cluster, &metrics,
+                         FaultSchedule::Scripted({
+                             MakeEvent(1.0, FaultKind::kNodeCrash, 0),
+                             MakeEvent(1.0, FaultKind::kNodeCrash, 1),
+                             MakeEvent(3.0, FaultKind::kNodeRecover, 0),
+                             MakeEvent(3.0, FaultKind::kNodeRecover, 1),
+                         }));
+  injector.Arm();
+  Rng rng(42);
+  for (int tick = 0; tick < 50; ++tick) {
+    loop.ScheduleAt(tick * 100 * kMillisecond, [&executor, &workload, &rng,
+                                                &loop] {
+      for (int i = 0; i < 5; ++i) {
+        executor.Submit(workload.NextTransaction(rng), loop.now());
+      }
+    });
+  }
+  loop.RunUntil(5 * kSecond);
+
+  EXPECT_GT(executor.unavailable_count(), 0);
+  const auto windows = metrics.Finalize(5 * kSecond);
+  ASSERT_EQ(windows.size(), 5u);
+  // Windows 1 and 2 are total outages: arrivals, zero completions.
+  for (const size_t w : {1u, 2u}) {
+    EXPECT_GT(windows[w].submitted, 0) << "window " << w;
+    EXPECT_EQ(windows[w].completed, 0) << "window " << w;
+    EXPECT_TRUE(windows[w].fault) << "window " << w;
+  }
+  const SlaViolations violations =
+      MetricsCollector::CountViolations(windows, 500.0);
+  EXPECT_GE(violations.p50, 2);
+  const SlaAttribution attribution =
+      MetricsCollector::AttributeViolations(windows, 500.0);
+  EXPECT_GE(attribution.during_fault.p99, 2);
+}
+
 // ---- Migration-level recovery ----------------------------------------------
 
 // Acceptance scenario (a): a node crashes mid-migration and recovers.

@@ -87,6 +87,76 @@ TEST(WindowHistogramTest, BucketCountersSaturateInsteadOfWrapping) {
   EXPECT_EQ(h.ValueAtQuantile(1.0), 800 * kMillisecond);
 }
 
+TEST(WindowHistogramTest, QuantilesSurviveBucketSaturation) {
+  // Regression: ValueAtQuantile derived its rank target from the exact
+  // 64-bit count_ but accumulated `seen` over the saturating uint32
+  // buckets. Once a bucket saturated, count_ > sum(buckets) and
+  // mid-range quantile targets exceeded the total stored mass, so every
+  // quantile silently collapsed to the observed maximum. The target must
+  // clamp to the stored mass.
+  WindowHistogram h;
+  const int64_t kMax = 4294967295LL;  // UINT32_MAX
+  h.Record(1 * kMillisecond, kMax);
+  h.Record(1 * kMillisecond, kMax);  // bucket saturates; count_ = 2*kMax
+  h.Record(800 * kMillisecond, 10);
+  // p50's rank (~kMax + 5) exceeds the stored mass (kMax + 10); pre-fix
+  // this returned 800 ms. The overwhelming majority of samples are 1 ms.
+  EXPECT_LE(h.ValueAtQuantile(0.5), 2 * kMillisecond);
+  EXPECT_LE(h.ValueAtQuantile(0.95), 2 * kMillisecond);
+  // The true maximum is still reachable at the top.
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 800 * kMillisecond);
+}
+
+TEST(WindowHistogramTest, MergeMatchesSingleHistogram) {
+  WindowHistogram merged;
+  WindowHistogram a;
+  WindowHistogram b;
+  for (int i = 0; i < 300; ++i) {
+    merged.Record(10 * kMillisecond);
+    a.Record(10 * kMillisecond);
+  }
+  for (int i = 0; i < 100; ++i) {
+    merged.Record(700 * kMillisecond);
+    b.Record(700 * kMillisecond);
+  }
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), merged.count());
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(a.ValueAtQuantile(q), merged.ValueAtQuantile(q)) << "q " << q;
+  }
+}
+
+TEST(MetricsCollectorTest, MergeFromMatchesSingleCollector) {
+  // The sharded engine's per-shard collectors fold into the main one;
+  // the fold must be indistinguishable from having recorded everything
+  // in one collector, including unavailable counts and window extension.
+  MetricsCollector whole(1.0);
+  MetricsCollector main_part(1.0);
+  MetricsCollector shard_part(1.0);
+  for (int i = 0; i < 40; ++i) {
+    const SimTime at = i * 100 * kMillisecond;
+    whole.RecordTxn(at, at + 20 * kMillisecond);
+    if (i % 2 == 0) {
+      main_part.RecordTxn(at, at + 20 * kMillisecond);
+    } else {
+      shard_part.RecordTxn(at, at + 20 * kMillisecond);
+    }
+  }
+  whole.RecordUnavailable(4500 * kMillisecond);
+  shard_part.RecordUnavailable(4500 * kMillisecond);
+  main_part.MergeFrom(shard_part);
+  const auto expected = whole.Finalize(5 * kSecond);
+  const auto merged = main_part.Finalize(5 * kSecond);
+  ASSERT_EQ(merged.size(), expected.size());
+  for (size_t w = 0; w < expected.size(); ++w) {
+    EXPECT_EQ(merged[w].submitted, expected[w].submitted) << "window " << w;
+    EXPECT_EQ(merged[w].completed, expected[w].completed) << "window " << w;
+    EXPECT_EQ(merged[w].unavailable, expected[w].unavailable) << "window " << w;
+    EXPECT_EQ(merged[w].p50_ms, expected[w].p50_ms) << "window " << w;
+    EXPECT_EQ(merged[w].p99_ms, expected[w].p99_ms) << "window " << w;
+  }
+}
+
 TEST(WindowHistogramTest, NonPositiveWeightIsIgnored) {
   WindowHistogram h;
   h.Record(10 * kMillisecond, 0);
@@ -254,14 +324,18 @@ TEST(MetricsCollectorTest, IntraWindowTogglesFeedAttribution) {
   EXPECT_EQ(attribution.baseline.p99, 0);
 }
 
-TEST(MetricsCollectorTest, UnavailableOnlyWindowsCannotViolate) {
+TEST(MetricsCollectorTest, FullOutageWindowsViolateEveryPercentile) {
+  // Regression: windows with completed == 0 used to be skipped by both
+  // SLA counters even when they had submissions — a total outage (every
+  // arrival rejected kUnavailable, e.g. the node owning all buckets is
+  // down) was scored as zero violations, the best possible SLA. Such
+  // windows have no latency samples because nothing completed, which is
+  // worse than any latency, not better.
   MetricsCollector metrics(1.0);
-  // Fast-failed txns have no latency samples, so a window holding only
-  // unavailable txns has completed == 0 and is skipped by both SLA
-  // counters rather than read as a zero-latency (or violating) window.
   for (int i = 0; i < 50; ++i) {
     metrics.RecordUnavailable(100 * kMillisecond);
   }
+  metrics.RecordFaultActive(0, true);
   const auto windows = metrics.Finalize(kSecond);
   ASSERT_EQ(windows.size(), 1u);
   EXPECT_EQ(windows[0].submitted, 50);
@@ -269,10 +343,29 @@ TEST(MetricsCollectorTest, UnavailableOnlyWindowsCannotViolate) {
   EXPECT_EQ(windows[0].completed, 0);
   const SlaViolations violations =
       MetricsCollector::CountViolations(windows);
-  EXPECT_EQ(violations.p50 + violations.p95 + violations.p99, 0);
+  EXPECT_EQ(violations.p50, 1);
+  EXPECT_EQ(violations.p95, 1);
+  EXPECT_EQ(violations.p99, 1);
+  // The outage happened under an active fault, so attribution lands in
+  // the fault bucket (not baseline).
   const SlaAttribution attribution =
       MetricsCollector::AttributeViolations(windows);
-  EXPECT_EQ(attribution.total.p99, 0);
+  EXPECT_EQ(attribution.total.p99, 1);
+  EXPECT_EQ(attribution.during_fault.p99, 1);
+  EXPECT_EQ(attribution.baseline.p99, 0);
+}
+
+TEST(MetricsCollectorTest, IdleWindowsAreStillSkipped) {
+  // The outage rule only fires on submitted > 0: a window with no
+  // arrivals at all (overnight lull) keeps not violating.
+  MetricsCollector metrics(1.0);
+  metrics.RecordTxn(2 * kSecond, 2 * kSecond + 10 * kMillisecond);
+  const auto windows = metrics.Finalize(3 * kSecond);
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0].submitted, 0);
+  const SlaViolations violations =
+      MetricsCollector::CountViolations(windows);
+  EXPECT_EQ(violations.p50 + violations.p95 + violations.p99, 0);
 }
 
 TEST(MetricsCollectorTest, AverageMachinesFirstStepAfterZero) {
