@@ -5,11 +5,13 @@
 
 #include <cstdio>
 
+#include <memory>
+
 #include "bench_util.h"
 #include "common/status.h"
 #include "common/time_series.h"
 #include "prediction/predictor.h"
-#include "prediction/spar_model.h"
+#include "prediction/predictor_spec.h"
 #include "trace/b2w_trace_generator.h"
 
 int main() {
@@ -25,12 +27,18 @@ int main() {
   const TimeSeries trace = GenerateB2wTrace(trace_options);
   const size_t train_end = 28 * 1440;
 
-  SparOptions options;
-  options.period = 1440;
-  options.num_periods = 7;
-  options.num_recent = 30;
-  options.max_tau = 60;
-  SparPredictor spar(options);
+  // Registry-built with the paper's exact options; identical numbers to
+  // constructing SparPredictor directly.
+  PredictorContext context;
+  context.period = 1440;
+  context.max_tau = 60;
+  StatusOr<std::unique_ptr<LoadPredictor>> made =
+      MakePredictor("spar(n=7,m=30)", context);
+  if (!made.ok()) {
+    std::printf("make failed: %s\n", made.status().ToString().c_str());
+    return 1;
+  }
+  LoadPredictor& spar = **made;
   const Status fit = spar.Fit(trace.Slice(0, train_end));
   if (!fit.ok()) {
     std::printf("fit failed: %s\n", fit.ToString().c_str());

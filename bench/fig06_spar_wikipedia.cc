@@ -4,12 +4,13 @@
 // and ~13% at 6 hours.
 
 #include <cstdio>
+#include <memory>
 
 #include "bench_util.h"
 #include "common/status.h"
 #include "common/time_series.h"
 #include "prediction/predictor.h"
-#include "prediction/spar_model.h"
+#include "prediction/predictor_spec.h"
 #include "trace/wikipedia_trace_generator.h"
 
 namespace {
@@ -25,12 +26,19 @@ void RunEdition(WikipediaEdition edition, const char* name,
   const TimeSeries trace = GenerateWikipediaTrace(trace_options);
   const size_t train_end = 28 * 24;
 
-  SparOptions options;
-  options.period = 24;  // daily cycle on hourly slots
-  options.num_periods = 7;
-  options.num_recent = 6;
-  options.max_tau = 6;
-  SparPredictor spar(options);
+  // Registry-built SPAR, daily cycle on hourly slots; identical numbers
+  // to constructing SparPredictor directly.
+  PredictorContext context;
+  context.period = 24;
+  context.max_tau = 6;
+  StatusOr<std::unique_ptr<LoadPredictor>> made =
+      MakePredictor("spar(n=7,m=6)", context);
+  if (!made.ok()) {
+    std::printf("%s: make failed: %s\n", name,
+                made.status().ToString().c_str());
+    return;
+  }
+  LoadPredictor& spar = **made;
   const Status fit = spar.Fit(trace.Slice(0, train_end));
   if (!fit.ok()) {
     std::printf("%s: fit failed: %s\n", name, fit.ToString().c_str());

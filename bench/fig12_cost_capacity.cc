@@ -10,6 +10,7 @@
 // collected by spec index, so the CSV is identical for any thread count.
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,7 +20,8 @@
 #include "common/status.h"
 #include "common/time_series.h"
 #include "prediction/naive_models.h"
-#include "prediction/spar_model.h"
+#include "prediction/predictor.h"
+#include "prediction/predictor_spec.h"
 #include "sim/capacity_simulator.h"
 #include "sim/run_spec.h"
 #include "trace/b2w_trace_generator.h"
@@ -78,12 +80,13 @@ int main(int argc, char** argv) {
 
   // Predictors, fitted once on the training window and shared read-only
   // by every predictive spec in the sweep.
-  SparOptions spar_options;
-  spar_options.period = 1440 / 5;
-  spar_options.num_periods = 7;
-  spar_options.num_recent = 6;
-  spar_options.max_tau = 36;
-  SparPredictor spar(spar_options);
+  PredictorContext context;
+  context.period = 1440 / 5;
+  context.max_tau = 36;
+  StatusOr<std::unique_ptr<LoadPredictor>> made =
+      MakePredictor("spar(n=7,m=6)", context);
+  PSTORE_CHECK_OK(made.status());
+  LoadPredictor& spar = **made;
   PSTORE_CHECK_OK(spar.Fit(coarse.Slice(0, kTrainDays * 288)));
   OraclePredictor oracle(coarse);
 

@@ -1,85 +1,120 @@
-// §5 in-text comparison: at tau = 60 minutes on the B2W load, the MRE is
-// 10.4% for SPAR, 12.2% for ARMA, and 12.5% for AR — AR-based models all
-// work, but SPAR is the most accurate.
+// §5 in-text comparison, v2: the full predictor suite scored by the
+// walk-forward backtest harness on both evaluation loads. The paper's
+// in-text numbers (at tau = 60 minutes on B2W: MRE 10.4% for SPAR,
+// 12.2% for ARMA, 12.5% for AR — AR-family models all work, SPAR is the
+// most accurate) anchor the ordering; the suite adds Holt-Winters, the
+// shift-aware wrapper, the matrix-factorization model, and the
+// auto-selecting ensemble, each scored on rolling one-step and
+// horizon-tau MAE/MRE with daily re-fits — the same online regime the
+// controller runs.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
+#include "common/check.h"
 #include "common/status.h"
 #include "common/time_series.h"
-#include "prediction/ar_model.h"
-#include "prediction/arma_model.h"
-#include "prediction/holt_winters.h"
-#include "prediction/naive_models.h"
-#include "prediction/predictor.h"
-#include "prediction/spar_model.h"
+#include "prediction/backtest.h"
+#include "prediction/predictor_spec.h"
 #include "trace/b2w_trace_generator.h"
+#include "trace/wikipedia_trace_generator.h"
 
-int main() {
-  using namespace pstore;
-  bench::PrintHeader(
-      "In-text (§5): SPAR vs ARMA vs AR at tau = 60 min on B2W",
-      "MRE 10.4% (SPAR) < 12.2% (ARMA) < 12.5% (AR)");
+namespace {
 
-  B2wTraceOptions trace_options;
-  trace_options.days = 30;
-  trace_options.seed = 42;
-  const TimeSeries trace = GenerateB2wTrace(trace_options);
-  const size_t train_end = 28 * 1440;
-  const TimeSeries training = trace.Slice(0, train_end);
+using namespace pstore;
 
-  SparOptions spar_options;
-  spar_options.period = 1440;
-  spar_options.num_periods = 7;
-  spar_options.num_recent = 30;
-  spar_options.max_tau = 60;
-  SparPredictor spar(spar_options);
+// One comma list covers the whole suite; ParsePredictorSpecList is the
+// same grammar the tools' --predictor flag accepts.
+const char kSuite[] =
+    "spar(n=7,m=6),ar(p=8),arma(p=8,q=4),hw,shift(spar(n=7,m=6)),"
+    "mf(rank=4),ensemble(spar,ar,hw)";
 
-  ArmaOptions arma_options;
-  arma_options.ar_order = 30;
-  arma_options.ma_order = 10;
-  arma_options.long_ar_order = 60;
-  ArmaPredictor arma(arma_options);
+void RunSuite(const char* label, const TimeSeries& series,
+              size_t period_slots, size_t eval_begin, size_t horizon,
+              size_t refit_epoch, CsvWriter* csv) {
+  const StatusOr<std::vector<PredictorSpec>> specs =
+      ParsePredictorSpecList(kSuite);
+  PSTORE_CHECK_OK(specs.status());
 
-  ArOptions ar_options;
-  ar_options.order = 30;
-  ArPredictor ar(ar_options);
+  PredictorContext context;
+  context.period = period_slots;
+  context.max_tau = horizon;
 
-  HoltWintersOptions hw_options;
-  hw_options.period = 1440;
-  HoltWintersPredictor holt_winters(hw_options);
+  BacktestOptions options;
+  options.eval_begin = eval_begin;
+  options.horizon = horizon;
+  options.refit_epoch = refit_epoch;
+  options.threads = 4;  // bit-identical for any thread count
 
-  SeasonalNaivePredictor naive(1440);
+  const StatusOr<BacktestResult> result =
+      RunBacktest(*specs, series, context, options);
+  PSTORE_CHECK_OK(result.status());
 
-  auto csv = bench::OpenCsv("text_model_comparison.csv");
-  if (csv) csv->WriteRow({"model", "mre_percent", "mae", "rmse"});
-
-  std::printf("%-16s %10s %12s %12s\n", "model", "MRE %%", "MAE", "RMSE");
-  LoadPredictor* models[] = {&spar, &arma, &ar, &holt_winters, &naive};
-  for (LoadPredictor* model : models) {
-    const Status fit = model->Fit(training);
-    if (!fit.ok()) {
-      std::printf("%-16s fit failed: %s\n", model->name().c_str(),
-                  fit.ToString().c_str());
+  std::printf("\n%s (%zu scored slots, horizon tau = %zu slots):\n", label,
+              series.size() - eval_begin, horizon);
+  std::printf("%-24s %5s %11s %12s %11s %12s %8s\n", "model", "rank",
+              "1-step MRE%", "1-step MAE", "tau MRE%", "tau MAE",
+              "updates");
+  for (const BacktestModelResult& model : result->models) {
+    if (!model.ok) {
+      std::printf("%-24s FAILED: %s\n", model.model_name.c_str(),
+                  model.error.c_str());
       continue;
     }
-    const StatusOr<EvaluationResult> eval =
-        EvaluatePredictor(*model, trace, train_end, 60);
-    if (!eval.ok()) {
-      std::printf("%-16s eval failed: %s\n", model->name().c_str(),
-                  eval.status().ToString().c_str());
-      continue;
-    }
-    std::printf("%-16s %10.2f %12.0f %12.0f\n", model->name().c_str(),
-                100.0 * eval->mre, eval->mae, eval->rmse);
-    if (csv) {
-      csv->WriteRow({model->name(), std::to_string(100.0 * eval->mre),
-                     std::to_string(eval->mae), std::to_string(eval->rmse)});
+    std::printf("%-24s %5zu %11.2f %12.0f %11.2f %12.0f %8zu\n",
+                model.model_name.c_str(), model.rank,
+                100.0 * model.one_step_mre, model.one_step_mae,
+                100.0 * model.horizon_mre, model.horizon_mae,
+                model.updates_changed);
+    if (csv != nullptr) {
+      csv->WriteRow({label, model.spec, model.model_name,
+                     std::to_string(model.rank),
+                     std::to_string(100.0 * model.one_step_mre),
+                     std::to_string(model.one_step_mae),
+                     std::to_string(100.0 * model.horizon_mre),
+                     std::to_string(model.horizon_mae),
+                     std::to_string(model.updates_changed)});
     }
   }
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "In-text (§5): predictor suite at tau = 60 min on B2W + Wikipedia",
+      "MRE 10.4% (SPAR) < 12.2% (ARMA) < 12.5% (AR); suite adds HW, "
+      "shift-aware, MF, ensemble");
+
+  auto csv = bench::OpenCsv("text_model_comparison.csv");
+  if (csv) {
+    csv->WriteRow({"trace", "spec", "model", "rank", "one_step_mre_pct",
+                   "one_step_mae", "horizon_mre_pct", "horizon_mae",
+                   "updates_changed"});
+  }
+
+  // B2W at the planner's 5-minute granularity: 28 training days, 2
+  // evaluation days, tau = 60 min = 12 coarse slots, daily re-fits.
+  B2wTraceOptions b2w_options;
+  b2w_options.days = 30;
+  b2w_options.seed = 42;
+  const TimeSeries b2w = GenerateB2wTrace(b2w_options).DownsampleMean(5);
+  RunSuite("b2w", b2w, 288, 28 * 288, 12, 288, csv.get());
+
+  // Wikipedia (English) on hourly slots: 28 training days, 7 evaluation
+  // days, tau = 6 hours, daily re-fits.
+  WikipediaTraceOptions wiki_options;
+  wiki_options.edition = WikipediaEdition::kEnglish;
+  wiki_options.days = 35;
+  wiki_options.seed = 7;
+  const TimeSeries wiki = GenerateWikipediaTrace(wiki_options);
+  RunSuite("wikipedia_en", wiki, 24, 28 * 24, 6, 24, csv.get());
+
   std::printf(
-      "\nShape check: SPAR < ARMA/AR in MRE, with all AR-family models "
-      "workable — the paper's ordering.\n");
+      "\nShape check: SPAR leads the AR family at the planning horizon "
+      "(the paper's ordering); the ensemble tracks the best member.\n");
   bench::CloseCsv(csv.get());
   return 0;
 }

@@ -1,6 +1,8 @@
 #include "controller/predictive_controller.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 
 #include "common/check.h"
 #include "common/sim_time.h"
@@ -47,6 +49,20 @@ void PredictiveController::Tick() {
   ++ticks_;
   last_rate_ = monitor_.SampleSlotRate();
   predictor_->Observe(last_rate_);
+  // Auto-switch wiring: when the predictor's serving model changes
+  // (ensemble re-selection, shift-triggered re-fit of a different
+  // member), record and trace the handover so reports can attribute
+  // forecast regime changes.
+  std::string serving = predictor_->active_model_name();
+  if (serving != active_model_) {
+    if (!active_model_.empty()) {
+      ++model_switches_;
+      PSTORE_TRACE(tracer_, ::pstore::obs::TraceCategory::kController,
+                   loop_->now(), "controller.model_switch",
+                   .With("from", active_model_).With("to", serving));
+    }
+    active_model_ = std::move(serving);
+  }
   PSTORE_TRACE(tracer_, ::pstore::obs::TraceCategory::kController,
                loop_->now(), "controller.cycle",
                .With("load", last_rate_)

@@ -68,6 +68,9 @@ class PredictiveController : public ElasticityController {
   // triggered. Nonzero only under fault injection.
   int64_t move_failures() const { return move_failures_; }
   int64_t replans_after_failure() const { return replans_after_failure_; }
+  // Times the predictor's serving model changed underneath the
+  // controller (ensemble auto-switches, shift-triggered re-selection).
+  int64_t model_switches() const { return model_switches_; }
 
   // Observability: controller.cycle per monitoring tick and
   // controller.action per planning decision; also forwards the tracer
@@ -102,6 +105,8 @@ class PredictiveController : public ElasticityController {
   int64_t reconfigurations_started_ = 0;
   int64_t move_failures_ = 0;
   int64_t replans_after_failure_ = 0;
+  int64_t model_switches_ = 0;
+  std::string active_model_;
   obs::Tracer* tracer_ = nullptr;
 };
 

@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <cstddef>
+#include <memory>
 #include <utility>
 
+#include "common/check.h"
 #include "common/sim_time.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -11,6 +13,8 @@
 #include "obs/trace_event.h"
 #include "obs/tracer.h"
 #include "planner/move_model_table.h"
+#include "prediction/predictor.h"
+#include "prediction/predictor_spec.h"
 
 namespace pstore {
 namespace fleet {
@@ -24,9 +28,22 @@ FleetController::FleetController(const FleetControllerOptions& options,
       planner_(options.placement, move_table),
       tracer_(tracer) {
   forecasters_.reserve(tenant_partitions_.size());
+  PredictorContext context;
+  context.period = options_.forecast_period_slots;
+  context.max_tau = 4;
   for (size_t t = 0; t < tenant_partitions_.size(); ++t) {
-    forecasters_.emplace_back(options_.forecast_period_slots,
-                              options_.forecast_recent_window);
+    if (options_.forecast_spec.empty()) {
+      forecasters_.emplace_back(options_.forecast_period_slots,
+                                options_.forecast_recent_window);
+    } else {
+      StatusOr<std::unique_ptr<LoadPredictor>> model =
+          MakePredictor(options_.forecast_spec, context);
+      PSTORE_CHECK_OK(model.status());
+      forecasters_.emplace_back(options_.forecast_period_slots,
+                                options_.forecast_recent_window,
+                                std::move(*model),
+                                options_.forecast_refit_interval);
+    }
   }
   forecast_.assign(tenant_partitions_.size(), 0.0);
 }

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/sim_time.h"
@@ -33,6 +34,15 @@ struct FleetControllerOptions {
   // forecasters, in provisioning-cycle slots.
   size_t forecast_period_slots = 288;
   size_t forecast_recent_window = 6;
+  // Optional predictor spec (prediction/predictor_spec.h, e.g.
+  // "ar(p=8)" or "shift(spar)"): when non-empty, every tenant carries a
+  // spec-built model re-fitted each `forecast_refit_interval` cycles,
+  // with the built-in seasonal forecast as the fallback. Must parse —
+  // validate with ParsePredictorSpec first; the controller CHECKs.
+  // Empty (default) keeps the cheap built-in forecaster, bit-identical
+  // to before this knob existed.
+  std::string forecast_spec;
+  size_t forecast_refit_interval = 288;
 };
 
 // What one provisioning cycle decided.

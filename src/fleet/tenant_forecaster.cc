@@ -1,6 +1,13 @@
 #include "fleet/tenant_forecaster.h"
 
 #include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+#include "common/time_series.h"
+#include "prediction/predictor.h"
 
 namespace pstore {
 namespace fleet {
@@ -9,9 +16,38 @@ TenantForecaster::TenantForecaster(size_t period_slots, size_t recent_window)
     : period_(period_slots > 0 ? period_slots : 1),
       recent_(recent_window > 0 ? recent_window : 1) {}
 
-void TenantForecaster::Observe(double load) { history_.push_back(load); }
+TenantForecaster::TenantForecaster(size_t period_slots, size_t recent_window,
+                                   std::unique_ptr<LoadPredictor> model,
+                                   size_t refit_interval)
+    : TenantForecaster(period_slots, recent_window) {
+  PSTORE_CHECK(model != nullptr);
+  model_ = std::move(model);
+  refit_interval_ = refit_interval > 0 ? refit_interval : 1;
+}
+
+void TenantForecaster::Observe(double load) {
+  history_.push_back(load);
+  if (model_ == nullptr) return;
+  series_.Append(load);
+  (void)model_->Update(series_);
+  ++since_fit_;
+  if (since_fit_ >= refit_interval_ && series_.size() >= 2) {
+    since_fit_ = 0;
+    // A failed fit (not enough history yet) keeps the previous fit, or
+    // the seasonal fallback when there has never been one.
+    if (model_->Fit(series_).ok()) fitted_ = true;
+  }
+}
 
 double TenantForecaster::Forecast() const {
+  if (model_ != nullptr && fitted_) {
+    const StatusOr<double> predicted = model_->PredictAhead(series_, 1);
+    if (predicted.ok()) return *predicted > 0.0 ? *predicted : 0.0;
+  }
+  return SeasonalForecast();
+}
+
+double TenantForecaster::SeasonalForecast() const {
   const size_t n = history_.size();
   if (n == 0) return 0.0;
   if (n < period_) return history_.back();

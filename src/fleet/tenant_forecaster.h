@@ -2,7 +2,11 @@
 #define PSTORE_FLEET_TENANT_FORECASTER_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
+
+#include "common/time_series.h"
+#include "prediction/predictor.h"
 
 namespace pstore {
 namespace fleet {
@@ -14,9 +18,22 @@ namespace fleet {
 // fleet re-fits thousands of tenants every provisioning cycle (Sibyl's
 // argument: at fleet scale the forecast must be cheap to update).
 // Observe() is O(1); Forecast() is O(recent_window). Deterministic.
+//
+// A tenant may instead carry a full LoadPredictor (spec-built via
+// --forecast, see prediction/predictor_spec.h): the model is re-fitted
+// on the tenant's history every `refit_interval` cycles and queried for
+// the one-step forecast, with the built-in seasonal forecast as the
+// fallback until the first successful fit (and whenever the model
+// declines to predict).
 class TenantForecaster {
  public:
   TenantForecaster(size_t period_slots, size_t recent_window);
+
+  // Spec-built variant: wraps `model` (owned; must not be null). The
+  // built-in seasonal parameters stay as the fallback forecast.
+  TenantForecaster(size_t period_slots, size_t recent_window,
+                   std::unique_ptr<LoadPredictor> model,
+                   size_t refit_interval);
 
   // Appends one observed coarse-slot demand.
   void Observe(double load);
@@ -27,9 +44,18 @@ class TenantForecaster {
   double Forecast() const;
 
  private:
+  double SeasonalForecast() const;
+
   size_t period_;
   size_t recent_;
   std::vector<double> history_;
+
+  // Optional spec-built model (null = built-in seasonal forecast only).
+  std::unique_ptr<LoadPredictor> model_;
+  size_t refit_interval_ = 0;
+  size_t since_fit_ = 0;
+  bool fitted_ = false;
+  TimeSeries series_;
 };
 
 }  // namespace fleet

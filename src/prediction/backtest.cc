@@ -1,0 +1,221 @@
+#include "prediction/backtest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "common/time_series.h"
+#include "prediction/predictor.h"
+#include "prediction/predictor_spec.h"
+
+namespace pstore {
+namespace {
+
+// Accumulates MAE/MRE pairs with the kMreMinActual guard.
+struct MetricAccumulator {
+  double abs_sum = 0.0;
+  size_t samples = 0;
+  double rel_sum = 0.0;
+  size_t rel_samples = 0;
+
+  void Add(double actual, double predicted) {
+    abs_sum += std::abs(predicted - actual);
+    ++samples;
+    const double denom = std::abs(actual);
+    if (denom < kMreMinActual) return;
+    rel_sum += std::abs(predicted - actual) / denom;
+    ++rel_samples;
+  }
+
+  double mae() const {
+    return samples > 0 ? abs_sum / static_cast<double>(samples) : 0.0;
+  }
+  double mre() const {
+    return rel_samples > 0 ? rel_sum / static_cast<double>(rel_samples)
+                           : 0.0;
+  }
+};
+
+// Walks one model through the series; fills everything except rank.
+BacktestModelResult BacktestOne(const PredictorSpec& spec,
+                                const TimeSeries& series,
+                                const PredictorContext& context,
+                                const BacktestOptions& options,
+                                size_t eval_begin) {
+  BacktestModelResult result;
+  result.spec = FormatPredictorSpec(spec);
+  StatusOr<std::unique_ptr<LoadPredictor>> made =
+      MakePredictor(spec, context);
+  if (!made.ok()) {
+    result.error = made.status().message();
+    return result;
+  }
+  LoadPredictor& model = **made;
+  result.model_name = model.name();
+  {
+    const Status fit = model.Fit(series.Slice(0, eval_begin));
+    if (!fit.ok()) {
+      result.error = fit.message();
+      return result;
+    }
+  }
+  MetricAccumulator one_step;
+  MetricAccumulator horizon;
+  MetricAccumulator focus;
+  // Grown incrementally so the walk is O(n), not O(n^2) in slices.
+  TimeSeries history = series.Slice(0, eval_begin);
+  for (size_t t = eval_begin; t < series.size(); ++t) {
+    if (options.refit_epoch > 0 && t > eval_begin &&
+        (t - eval_begin) % options.refit_epoch == 0) {
+      // Online cadence: re-fit on the observed prefix. Failures keep
+      // the previous fit, exactly like OnlinePredictor.
+      (void)model.Fit(history);
+    }
+    StatusOr<bool> updated = model.Update(history);
+    if (updated.ok() && *updated) ++result.updates_changed;
+    StatusOr<double> predicted = model.PredictAhead(history, 1);
+    if (!predicted.ok()) {
+      result.error = predicted.status().message();
+      return result;
+    }
+    one_step.Add(series[t], *predicted);
+    if (t >= options.focus_begin && t < options.focus_end) {
+      focus.Add(series[t], *predicted);
+    }
+    if (options.horizon >= 1 && t + options.horizon - 1 < series.size()) {
+      StatusOr<double> far = model.PredictAhead(history, options.horizon);
+      if (!far.ok()) {
+        result.error = far.status().message();
+        return result;
+      }
+      horizon.Add(series[t + options.horizon - 1], *far);
+    }
+    history.Append(series[t]);
+  }
+  result.ok = true;
+  result.one_step_samples = one_step.samples;
+  result.one_step_mae = one_step.mae();
+  result.one_step_mre = one_step.mre();
+  result.one_step_mre_samples = one_step.rel_samples;
+  result.horizon_samples = horizon.samples;
+  result.horizon_mae = horizon.mae();
+  result.horizon_mre = horizon.mre();
+  result.horizon_mre_samples = horizon.rel_samples;
+  result.focus_samples = focus.samples;
+  result.focus_mae = focus.mae();
+  result.focus_mre = focus.mre();
+  result.focus_mre_samples = focus.rel_samples;
+  return result;
+}
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+StatusOr<BacktestResult> RunBacktest(const std::vector<PredictorSpec>& specs,
+                                     const TimeSeries& series,
+                                     const PredictorContext& context,
+                                     const BacktestOptions& options) {
+  if (specs.empty()) {
+    return Status::InvalidArgument("backtest needs at least one spec");
+  }
+  const size_t eval_begin =
+      options.eval_begin > 0 ? options.eval_begin : series.size() / 2;
+  if (eval_begin == 0 || eval_begin >= series.size()) {
+    return Status::InvalidArgument(
+        "backtest eval window is empty (series too short?)");
+  }
+  if (options.focus_begin < options.focus_end &&
+      (options.focus_begin < eval_begin ||
+       options.focus_end > series.size())) {
+    return Status::InvalidArgument(
+        "backtest focus window must lie inside the eval window");
+  }
+  BacktestResult result;
+  result.models.resize(specs.size());
+  // One independent walk per model, written back by index: bit-identical
+  // for any thread count (the determinism gate's contract).
+  ThreadPool pool(ResolveThreadCount(options.threads));
+  pool.ParallelFor(specs.size(), [&](size_t i) {
+    result.models[i] =
+        BacktestOne(specs[i], series, context, options, eval_begin);
+  });
+  // Rank ok models by one-step error. All models scored the same slots,
+  // so either every ok model has MRE samples or none does — the metric
+  // choice is consistent across the field.
+  std::vector<std::pair<double, size_t>> order;
+  order.reserve(result.models.size());
+  for (size_t i = 0; i < result.models.size(); ++i) {
+    const BacktestModelResult& model = result.models[i];
+    if (!model.ok) continue;
+    order.emplace_back(model.one_step_mre_samples > 0 ? model.one_step_mre
+                                                      : model.one_step_mae,
+                       i);
+  }
+  std::sort(order.begin(), order.end());
+  for (size_t r = 0; r < order.size(); ++r) {
+    result.models[order[r].second].rank = r + 1;
+  }
+  return result;
+}
+
+std::string BacktestCsvHeader() {
+  return "spec,model,ok,rank,one_step_mae,one_step_mre,one_step_samples,"
+         "horizon_mae,horizon_mre,horizon_samples,focus_mae,focus_mre,"
+         "focus_samples,updates_changed";
+}
+
+std::string BacktestCsvRow(const BacktestModelResult& model) {
+  std::string row;
+  row += model.spec;
+  row += ',';
+  row += model.model_name;
+  row += ',';
+  row += model.ok ? '1' : '0';
+  row += ',';
+  row += std::to_string(model.rank);
+  row += ',';
+  row += FormatDouble(model.one_step_mae);
+  row += ',';
+  row += FormatDouble(model.one_step_mre);
+  row += ',';
+  row += std::to_string(model.one_step_samples);
+  row += ',';
+  row += FormatDouble(model.horizon_mae);
+  row += ',';
+  row += FormatDouble(model.horizon_mre);
+  row += ',';
+  row += std::to_string(model.horizon_samples);
+  row += ',';
+  row += FormatDouble(model.focus_mae);
+  row += ',';
+  row += FormatDouble(model.focus_mre);
+  row += ',';
+  row += std::to_string(model.focus_samples);
+  row += ',';
+  row += std::to_string(model.updates_changed);
+  return row;
+}
+
+std::string BacktestCsv(const BacktestResult& result) {
+  std::string csv = BacktestCsvHeader();
+  csv += '\n';
+  for (const BacktestModelResult& model : result.models) {
+    csv += BacktestCsvRow(model);
+    csv += '\n';
+  }
+  return csv;
+}
+
+}  // namespace pstore

@@ -1,0 +1,99 @@
+#ifndef PSTORE_PREDICTION_BACKTEST_H_
+#define PSTORE_PREDICTION_BACKTEST_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time_series.h"
+#include "prediction/predictor_spec.h"
+
+namespace pstore {
+
+// Options for the walk-forward backtest harness.
+struct BacktestOptions {
+  // First scored slot; the model trains on [0, eval_begin). 0 means
+  // "half the series".
+  size_t eval_begin = 0;
+  // Horizon tau scored alongside one-step (the planner's look-ahead).
+  size_t horizon = 60;
+  // Re-fit every model on the observed prefix every this many scored
+  // slots (the online refit cadence); 0 disables harness-level refits
+  // (adaptive models still re-fit themselves through Update()).
+  size_t refit_epoch = 0;
+  // Optional focus window [focus_begin, focus_end) scored separately —
+  // e.g. the post-Black-Friday slots, to compare post-shift accuracy.
+  size_t focus_begin = 0;
+  size_t focus_end = 0;
+  // Worker threads across models; results are bit-identical for any
+  // value (deterministic by model index).
+  int threads = 1;
+};
+
+// Per-model backtest scores. MRE fields use the kMreMinActual guard; all
+// models score the same slots, so their *_mre_samples counts match and
+// MREs are directly comparable.
+struct BacktestModelResult {
+  std::string spec;        // canonical spec string
+  std::string model_name;  // model.name() after construction
+  bool ok = false;         // fit + walk succeeded
+  std::string error;       // first error when !ok
+
+  size_t one_step_samples = 0;
+  double one_step_mae = 0.0;
+  double one_step_mre = 0.0;
+  size_t one_step_mre_samples = 0;
+
+  size_t horizon_samples = 0;
+  double horizon_mae = 0.0;
+  double horizon_mre = 0.0;
+  size_t horizon_mre_samples = 0;
+
+  // One-step metrics restricted to the focus window.
+  size_t focus_samples = 0;
+  double focus_mae = 0.0;
+  double focus_mre = 0.0;
+  size_t focus_mre_samples = 0;
+
+  // Update() calls that reported a parameter change (re-fits and
+  // ensemble re-selections).
+  size_t updates_changed = 0;
+
+  // 1-based rank by one-step error among ok models (MRE when the eval
+  // window has non-idle slots, MAE otherwise; ties broken by input
+  // order). 0 for failed models.
+  size_t rank = 0;
+};
+
+struct BacktestResult {
+  // Same order as the input specs.
+  std::vector<BacktestModelResult> models;
+};
+
+// Scores every spec'd predictor on a rolling walk-forward pass (the
+// EvaluatePredictor recipe, plus Update() hooks and periodic re-fits so
+// adaptive models behave as they would online). Each model walks
+// independently — models parallelize across `threads` with bit-identical
+// results for any thread count.
+//
+// Per scored slot t (history = series[0, t)):
+//   1. harness re-fit on the prefix when the refit epoch elapses
+//   2. model.Update(history)
+//   3. one-step: predict series[t] with tau = 1
+//   4. horizon:  predict series[t + horizon - 1] with tau = horizon
+//      (skipped near the end of the series)
+StatusOr<BacktestResult> RunBacktest(const std::vector<PredictorSpec>& specs,
+                                     const TimeSeries& series,
+                                     const PredictorContext& context,
+                                     const BacktestOptions& options);
+
+// One CSV row per model (input order), %.17g doubles — byte-identical
+// across thread counts; the determinism gate compares these bytes.
+std::string BacktestCsvHeader();
+std::string BacktestCsvRow(const BacktestModelResult& model);
+std::string BacktestCsv(const BacktestResult& result);
+
+}  // namespace pstore
+
+#endif  // PSTORE_PREDICTION_BACKTEST_H_

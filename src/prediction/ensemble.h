@@ -1,0 +1,105 @@
+#ifndef PSTORE_PREDICTION_ENSEMBLE_H_
+#define PSTORE_PREDICTION_ENSEMBLE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time_series.h"
+#include "prediction/predictor.h"
+#include "prediction/residual_tracker.h"
+
+namespace pstore {
+
+enum class EnsembleMode {
+  // Serve every prediction from the single member with the lowest
+  // rolling one-step error; re-selected each epoch.
+  kSwitch,
+  // Serve the inverse-error-weighted combination of all members.
+  kWeight,
+};
+
+struct EnsembleOptions {
+  EnsembleMode mode = EnsembleMode::kSwitch;
+  // Re-selection (or re-weighting) cadence in observed slots.
+  size_t epoch_slots = 288;
+  // Rolling window of one-step relative residuals kept per member.
+  size_t score_window = 288;
+  // kWeight mode: members never drop below this share of the total
+  // weight (so a temporarily bad model can recover).
+  double weight_floor = 0.02;
+};
+
+// Model-selection ensemble (ROADMAP item 3): owns a pool of member
+// predictors, scores each member's one-step forecasts on a rolling
+// window as Update() walks the history forward, and once per epoch
+// either switches to the best member (kSwitch) or re-derives
+// inverse-error weights (kWeight). Members that fail to fit are carried
+// unfitted and excluded until a later Update/Fit succeeds. Initial
+// scores come from a walk-forward backtest over the tail of the
+// training window, so the first epoch already starts from the best
+// model rather than member order.
+class EnsemblePredictor : public LoadPredictor {
+ public:
+  explicit EnsemblePredictor(const EnsembleOptions& options);
+
+  // Adds a member; call before Fit. The ensemble owns the model.
+  void AddMember(std::unique_ptr<LoadPredictor> model);
+  size_t member_count() const { return members_.size(); }
+
+  Status Fit(const TimeSeries& training) override;
+  StatusOr<double> PredictAhead(const TimeSeries& history,
+                                size_t tau) const override;
+  StatusOr<std::vector<double>> PredictHorizon(
+      const TimeSeries& history, size_t horizon) const override;
+  StatusOr<bool> Update(const TimeSeries& history) override;
+  std::string name() const override { return "Ensemble"; }
+  // The member currently serving predictions (switch mode); the
+  // ensemble itself in weight mode.
+  std::string active_name() const override;
+
+  // Introspection for tests, traces, and benches.
+  size_t active_index() const { return active_; }
+  size_t switches() const { return switches_; }
+  // Current inverse-error member weights (normalized over fitted
+  // members). Maintained in both modes; only kWeight serves from them —
+  // kSwitch serves the active member but still tracks weights for
+  // introspection.
+  std::vector<double> weights() const;
+  const LoadPredictor& member(size_t index) const {
+    return *members_[index].model;
+  }
+
+ private:
+  struct Member {
+    std::unique_ptr<LoadPredictor> model;
+    bool fitted = false;
+    RollingResidualTracker window;
+    // One-step prediction staged for the next observed slot.
+    double pending = 0.0;
+    bool has_pending = false;
+    // Normalized weight (kWeight mode).
+    double weight = 0.0;
+    // Last known score (mean relative one-step error; lower is better).
+    double score = 0.0;
+    bool has_score = false;
+  };
+
+  // Recomputes active_/weights from the rolling windows (falls back to
+  // the previous score where a window has no samples yet).
+  bool Rescore();
+
+  EnsembleOptions options_;
+  std::vector<Member> members_;
+  bool fitted_ = false;
+  size_t active_ = 0;
+  size_t switches_ = 0;
+  size_t last_history_size_ = 0;
+  size_t slots_since_rescore_ = 0;
+};
+
+}  // namespace pstore
+
+#endif  // PSTORE_PREDICTION_ENSEMBLE_H_

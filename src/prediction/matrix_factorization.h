@@ -1,0 +1,80 @@
+#ifndef PSTORE_PREDICTION_MATRIX_FACTORIZATION_H_
+#define PSTORE_PREDICTION_MATRIX_FACTORIZATION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time_series.h"
+#include "prediction/predictor.h"
+
+namespace pstore {
+
+// Options for the tspDB-style matrix-factorization predictor.
+struct MatrixFactorizationOptions {
+  // Columns of the stacked matrix: slots per period (day).
+  size_t period = 1440;
+  // Rank k of the factorization (number of latent daily shapes).
+  size_t rank = 4;
+  // Alternating-least-squares sweeps.
+  size_t iterations = 8;
+  // Tikhonov damping for the ALS solves and the partial-day projection.
+  double ridge = 1e-3;
+  // Days averaged into the template coefficients used for
+  // beyond-current-day forecasts.
+  size_t u_lookback = 7;
+};
+
+// tspDB-style predictor: stacks the training series into a (day x slot)
+// matrix Y, factorizes Y ~ U V^T by deterministic ALS (V initialized
+// from a harmonic basis, so fits are reproducible without any RNG), and
+// forecasts by projecting the observed prefix of the current day onto
+// the slot factors:
+//
+//   u_now = argmin ||V_obs u - y_obs||^2 + ridge ||u - u_mean||^2
+//   yhat(slot s) = <u_now, V[s]>         (current day)
+//   yhat(slot s) = <u_mean, V[s]>        (beyond the current day)
+//
+// The ridge pulls u_now toward the mean of the last `u_lookback` day
+// coefficients, so early in a day (few observations) the forecast is the
+// learned seasonal template and it smoothly becomes data-driven as the
+// day fills in. Denoising through the low-rank bottleneck is the tspDB
+// claim: the k daily shapes filter slot-level noise that lag-based
+// models chase.
+class MatrixFactorizationPredictor : public LoadPredictor {
+ public:
+  explicit MatrixFactorizationPredictor(
+      const MatrixFactorizationOptions& options);
+
+  Status Fit(const TimeSeries& training) override;
+  StatusOr<double> PredictAhead(const TimeSeries& history,
+                                size_t tau) const override;
+  // One projection for the whole horizon instead of one per tau.
+  StatusOr<std::vector<double>> PredictHorizon(
+      const TimeSeries& history, size_t horizon) const override;
+  std::string name() const override { return "MatrixFactorization"; }
+
+  // Fitted slot-factor row for `slot` (length rank); tests only.
+  std::vector<double> SlotFactors(size_t slot) const;
+
+ private:
+  // Coefficients for the day containing the next unobserved slot:
+  // projects the day's observed prefix when it has enough samples,
+  // otherwise returns the template mean.
+  StatusOr<std::vector<double>> CurrentDayCoefficients(
+      const TimeSeries& history) const;
+  double Forecast(const std::vector<double>& u_now, size_t next_index,
+                  size_t tau) const;
+
+  MatrixFactorizationOptions options_;
+  bool fitted_ = false;
+  // Slot factors, row-major: v_[s * rank + j], s in [0, period).
+  std::vector<double> v_;
+  // Mean of the last u_lookback day-coefficient rows.
+  std::vector<double> u_mean_;
+};
+
+}  // namespace pstore
+
+#endif  // PSTORE_PREDICTION_MATRIX_FACTORIZATION_H_

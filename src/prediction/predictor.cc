@@ -1,5 +1,7 @@
 #include "prediction/predictor.h"
 
+#include <cmath>
+
 #include "common/status.h"
 #include "common/time_series.h"
 
@@ -25,6 +27,8 @@ StatusOr<EvaluationResult> EvaluatePredictor(const LoadPredictor& model,
     return Status::InvalidArgument("evaluation window is empty");
   }
   EvaluationResult result;
+  result.predicted.reserve(series.size() - eval_begin - tau);
+  result.actual.reserve(series.size() - eval_begin - tau);
   for (size_t t = eval_begin; t + tau < series.size(); ++t) {
     const TimeSeries history = series.Slice(0, t + 1);
     StatusOr<double> prediction = model.PredictAhead(history, tau);
@@ -32,14 +36,24 @@ StatusOr<EvaluationResult> EvaluatePredictor(const LoadPredictor& model,
     result.predicted.push_back(*prediction);
     result.actual.push_back(series[t + tau]);
   }
-  StatusOr<double> mre = MeanRelativeError(result.actual, result.predicted);
-  if (!mre.ok()) return mre.status();
+  // MRE with the pstore_report guard: slots whose actual load is below
+  // kMreMinActual are skipped, and an all-idle window yields mre == 0
+  // (with mre_samples == 0) instead of failing the whole evaluation.
+  double rel_sum = 0.0;
+  size_t rel_used = 0;
+  for (size_t i = 0; i < result.actual.size(); ++i) {
+    const double denom = std::abs(result.actual[i]);
+    if (denom < kMreMinActual) continue;
+    rel_sum += std::abs(result.predicted[i] - result.actual[i]) / denom;
+    ++rel_used;
+  }
+  result.mre = rel_used > 0 ? rel_sum / static_cast<double>(rel_used) : 0.0;
+  result.mre_samples = rel_used;
   StatusOr<double> mae = MeanAbsoluteError(result.actual, result.predicted);
   if (!mae.ok()) return mae.status();
   StatusOr<double> rmse =
       RootMeanSquaredError(result.actual, result.predicted);
   if (!rmse.ok()) return rmse.status();
-  result.mre = *mre;
   result.mae = *mae;
   result.rmse = *rmse;
   return result;

@@ -15,6 +15,15 @@ namespace pstore {
 // call PredictAhead()/PredictHorizon() with the history available at
 // decision time. The history passed at prediction time may extend past the
 // training window; models only read the lags they need from its tail.
+//
+// v2 online contract: harnesses that walk a model forward through time
+// (OnlinePredictor, BacktestHarness) call Update() whenever new
+// observations extend the history, *before* asking for predictions from
+// the longer history. Static models ignore it; adaptive models
+// (ShiftAwarePredictor, EnsemblePredictor) use it to track rolling
+// residuals and re-fit or re-select internally. Prediction itself stays
+// const, so a *static* fitted model may still be shared read-only across
+// sweep threads; adaptive models must be owned by a single walker.
 class LoadPredictor {
  public:
   virtual ~LoadPredictor() = default;
@@ -32,21 +41,45 @@ class LoadPredictor {
   virtual StatusOr<std::vector<double>> PredictHorizon(
       const TimeSeries& history, size_t horizon) const;
 
+  // Online-adaptation hook: `history` is the full series observed so far
+  // (a superset of every earlier Update call's argument). Returns true
+  // when the call changed model parameters — a re-fit or a model
+  // re-selection happened. Default: no-op.
+  virtual StatusOr<bool> Update(const TimeSeries& history) {
+    (void)history;
+    return false;
+  }
+
   // Short human-readable model name ("SPAR", "AR", ...).
   virtual std::string name() const = 0;
+
+  // Name of the model currently serving predictions: equals name() for
+  // plain models; an ensemble reports its active member.
+  virtual std::string active_name() const { return name(); }
 };
 
 // Walk-forward evaluation: for every slot t in [eval_begin, series.size()
 // - tau), predicts series[t + tau] from series[0..t] and collects
 // (actual, predicted) pairs. `eval_begin` must leave enough history for
 // the model's lags.
+//
+// MRE skips slots whose actual load is below `kMreMinActual` (the same
+// guard pstore_report applies), so near-zero denominators cannot blow the
+// metric up; a window that is entirely idle reports mre == 0 with
+// mre_samples == 0 rather than failing the evaluation.
 struct EvaluationResult {
   std::vector<double> actual;
   std::vector<double> predicted;
   double mre = 0.0;   // mean relative error
   double mae = 0.0;   // mean absolute error
   double rmse = 0.0;  // root mean squared error
+  // Slots that actually contributed to `mre` (actual >= kMreMinActual).
+  size_t mre_samples = 0;
 };
+
+// Slots with |actual| below this are excluded from MRE denominators
+// (mirrors the pstore_report forecast-error guard).
+inline constexpr double kMreMinActual = 1e-9;
 
 StatusOr<EvaluationResult> EvaluatePredictor(const LoadPredictor& model,
                                              const TimeSeries& series,

@@ -1,0 +1,130 @@
+#include "prediction/refit_policy.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "prediction/predictor.h"
+#include "prediction/predictor_spec.h"
+#include "prediction/residual_tracker.h"
+
+namespace pstore {
+
+IntervalRefitPolicy::IntervalRefitPolicy(size_t interval)
+    : interval_(interval) {
+  PSTORE_CHECK(interval_ >= 1);
+}
+
+bool IntervalRefitPolicy::ShouldRefit(const RefitSignal& signal) {
+  return signal.slots_since_fit >= interval_;
+}
+
+void IntervalRefitPolicy::OnRefit(bool ok) { (void)ok; }
+
+ShiftRefitPolicy::ShiftRefitPolicy(const ShiftRefitPolicyOptions& options)
+    : options_(options), recent_(std::max<size_t>(1, options.window)) {
+  PSTORE_CHECK(options_.threshold > 1.0);
+  PSTORE_CHECK(options_.min_mre >= 0.0);
+  PSTORE_CHECK(options_.max_interval >= 1);
+  if (options_.baseline_halflife == 0) {
+    options_.baseline_halflife = 8 * std::max<size_t>(1, options_.window);
+  }
+  slots_since_trigger_ = options_.cooldown;  // no initial cooldown
+}
+
+bool ShiftRefitPolicy::ShouldRefit(const RefitSignal& signal) {
+  ++slots_since_trigger_;
+  if (signal.has_residual) {
+    recent_.Add(signal.actual, signal.predicted);
+    // Slow EWMA baseline of the same relative residual. Before the EWMA
+    // has enough samples the plain mean is used, so early residuals do
+    // not anchor the baseline at zero.
+    const double denom = std::max(std::abs(signal.actual), kMreMinActual);
+    const double residual = std::abs(signal.predicted - signal.actual) / denom;
+    if (std::abs(signal.actual) >= kMreMinActual) {
+      ++baseline_samples_;
+      const double alpha =
+          1.0 / static_cast<double>(std::min(baseline_samples_,
+                                             options_.baseline_halflife));
+      baseline_ += alpha * (residual - baseline_);
+    }
+  }
+  // Backstop cadence, and initial fits before the model ever converged.
+  if (!signal.fitted) return signal.slots_since_fit >= options_.cooldown;
+  if (signal.slots_since_fit >= options_.max_interval) return true;
+  // Shift trigger: fast window elevated well above the slow baseline.
+  if (slots_since_trigger_ < options_.cooldown) return false;
+  if (recent_.count() < std::max<size_t>(1, recent_.capacity() / 2)) {
+    return false;
+  }
+  const double recent = recent_.mean();
+  if (recent < options_.min_mre) return false;
+  if (recent <= options_.threshold * baseline_) return false;
+  ++triggered_refits_;
+  slots_since_trigger_ = 0;
+  return true;
+}
+
+void ShiftRefitPolicy::OnRefit(bool ok) {
+  if (!ok) return;
+  // The model changed: the old residual window no longer describes it.
+  recent_.Reset();
+}
+
+StatusOr<std::unique_ptr<RefitPolicy>> ParseRefitPolicy(
+    const std::string& text) {
+  StatusOr<PredictorSpec> spec = ParsePredictorSpec(text);
+  if (!spec.ok()) return spec.status();
+  if (!spec->children.empty()) {
+    return Status::InvalidArgument("refit policy '" + spec->kind +
+                                   "' takes no child specs");
+  }
+  if (spec->kind == "interval") {
+    size_t slots = 7 * 1440;
+    StatusOr<bool> used = ConsumeSpecParam(&*spec, "slots", &slots);
+    if (!used.ok()) return used.status();
+    if (slots == 0) {
+      return Status::InvalidArgument("interval refit policy needs slots >= 1");
+    }
+    Status leftover = CheckSpecParamsConsumed(*spec);
+    if (!leftover.ok()) return leftover;
+    return std::unique_ptr<RefitPolicy>(new IntervalRefitPolicy(slots));
+  }
+  if (spec->kind == "shift") {
+    ShiftRefitPolicyOptions options;
+    Status status =
+        ConsumeSpecParam(&*spec, "window", &options.window).status();
+    if (status.ok()) {
+      status = ConsumeSpecParam(&*spec, "threshold", &options.threshold)
+                   .status();
+    }
+    if (status.ok()) {
+      status =
+          ConsumeSpecParam(&*spec, "min_mre", &options.min_mre).status();
+    }
+    if (status.ok()) {
+      status =
+          ConsumeSpecParam(&*spec, "cooldown", &options.cooldown).status();
+    }
+    if (status.ok()) {
+      status = ConsumeSpecParam(&*spec, "max_interval",
+                                &options.max_interval)
+                   .status();
+    }
+    if (!status.ok()) return status;
+    if (options.window == 0 || options.threshold <= 1.0) {
+      return Status::InvalidArgument(
+          "shift refit policy needs window >= 1 and threshold > 1");
+    }
+    Status leftover = CheckSpecParamsConsumed(*spec);
+    if (!leftover.ok()) return leftover;
+    return std::unique_ptr<RefitPolicy>(new ShiftRefitPolicy(options));
+  }
+  return Status::InvalidArgument("unknown refit policy '" + spec->kind +
+                                 "' (expected interval or shift)");
+}
+
+}  // namespace pstore

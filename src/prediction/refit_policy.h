@@ -1,0 +1,119 @@
+#ifndef PSTORE_PREDICTION_REFIT_POLICY_H_
+#define PSTORE_PREDICTION_REFIT_POLICY_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "prediction/residual_tracker.h"
+
+namespace pstore {
+
+// What the online harness knows at each observed slot; the policy decides
+// whether the wrapped model should be refitted now.
+struct RefitSignal {
+  // Slots observed since the last (attempted) fit.
+  size_t slots_since_fit = 0;
+  // True once the wrapped model has at least one successful fit.
+  bool fitted = false;
+  // One-step residual for the slot that just arrived: the harness only
+  // fills these in when the policy wants_residuals() (computing the
+  // pending prediction costs a model call per slot).
+  bool has_residual = false;
+  double actual = 0.0;
+  double predicted = 0.0;
+};
+
+// Decides *when* OnlinePredictor refits its wrapped model. The interval
+// policy reproduces the historical refit_interval counter; the shift
+// policy (Sibyl-style) watches rolling one-step residuals and refits as
+// soon as they degrade past a multiple of their long-run baseline.
+class RefitPolicy {
+ public:
+  virtual ~RefitPolicy() = default;
+
+  // Called once per observed slot, after the observation is appended.
+  virtual bool ShouldRefit(const RefitSignal& signal) = 0;
+
+  // Notifies the policy that a refit was attempted (ok = fit succeeded).
+  virtual void OnRefit(bool ok) = 0;
+
+  // When true, the harness computes a one-step prediction before each
+  // observation and reports it via RefitSignal.
+  virtual bool wants_residuals() const { return false; }
+
+  virtual std::string name() const = 0;
+};
+
+// Refits every `interval` observed slots — byte-identical to the
+// pre-policy OnlinePredictorOptions::refit_interval behavior.
+class IntervalRefitPolicy : public RefitPolicy {
+ public:
+  explicit IntervalRefitPolicy(size_t interval);
+
+  bool ShouldRefit(const RefitSignal& signal) override;
+  void OnRefit(bool ok) override;
+  std::string name() const override { return "interval"; }
+
+ private:
+  size_t interval_;
+};
+
+struct ShiftRefitPolicyOptions {
+  // Rolling window (slots) of one-step relative residuals.
+  size_t window = 256;
+  // Trigger when the window mean exceeds `threshold` times the long-run
+  // baseline residual.
+  double threshold = 2.0;
+  // Never trigger while the window mean is below this floor — tiny
+  // residuals fluctuating by 2x are not a shift.
+  double min_mre = 0.10;
+  // Minimum slots between shift-triggered refits.
+  size_t cooldown = 1440;
+  // Backstop: refit at least every `max_interval` slots even without a
+  // detected shift (the paper's weekly cadence).
+  size_t max_interval = 7 * 1440;
+  // EWMA decay toward the long-run baseline, as an effective sample
+  // count (larger = slower-moving baseline). 0 derives it from `window`.
+  size_t baseline_halflife = 0;
+};
+
+// Shift-triggered refit (Sibyl-style): keeps a slow EWMA baseline of the
+// one-step relative residual and a fast rolling window; when the window
+// mean rises `threshold`x above the baseline (and above `min_mre`), the
+// workload has shifted and the model is refitted on the recent window.
+class ShiftRefitPolicy : public RefitPolicy {
+ public:
+  explicit ShiftRefitPolicy(const ShiftRefitPolicyOptions& options);
+
+  bool ShouldRefit(const RefitSignal& signal) override;
+  void OnRefit(bool ok) override;
+  bool wants_residuals() const override { return true; }
+  std::string name() const override { return "shift"; }
+
+  // Introspection for tests and traces.
+  double baseline() const { return baseline_; }
+  double recent_mean() const { return recent_.mean(); }
+  size_t triggered_refits() const { return triggered_refits_; }
+
+ private:
+  ShiftRefitPolicyOptions options_;
+  RollingResidualTracker recent_;
+  double baseline_ = 0.0;
+  size_t baseline_samples_ = 0;
+  size_t slots_since_trigger_ = 0;
+  size_t triggered_refits_ = 0;
+};
+
+// Parses a refit-policy spec string:
+//   "interval"                          (default 7*1440 slots)
+//   "interval(slots=10080)"
+//   "shift"                             (defaults above)
+//   "shift(window=256,threshold=2.0,min_mre=0.1,cooldown=1440)"
+StatusOr<std::unique_ptr<RefitPolicy>> ParseRefitPolicy(
+    const std::string& text);
+
+}  // namespace pstore
+
+#endif  // PSTORE_PREDICTION_REFIT_POLICY_H_

@@ -1,0 +1,42 @@
+#include "prediction/residual_tracker.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "prediction/predictor.h"
+
+namespace pstore {
+
+RollingResidualTracker::RollingResidualTracker(size_t capacity)
+    : ring_(capacity, 0.0) {
+  PSTORE_CHECK(capacity >= 1);
+}
+
+void RollingResidualTracker::Add(double actual, double predicted) {
+  const double denom = std::abs(actual);
+  if (denom < kMreMinActual) return;
+  const double residual = std::abs(predicted - actual) / denom;
+  if (count_ == ring_.size()) {
+    sum_ -= ring_[next_];
+  } else {
+    ++count_;
+  }
+  ring_[next_] = residual;
+  sum_ += residual;
+  next_ = (next_ + 1) % ring_.size();
+}
+
+double RollingResidualTracker::mean() const {
+  if (count_ == 0) return 0.0;
+  // Re-summing is O(window) but Add() keeps the running sum; the running
+  // sum can drift after ~1e15 additions, far beyond any simulation here.
+  return sum_ / static_cast<double>(count_);
+}
+
+void RollingResidualTracker::Reset() {
+  next_ = 0;
+  count_ = 0;
+  sum_ = 0.0;
+}
+
+}  // namespace pstore

@@ -1,0 +1,89 @@
+#ifndef PSTORE_PREDICTION_SHIFT_AWARE_H_
+#define PSTORE_PREDICTION_SHIFT_AWARE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time_series.h"
+#include "prediction/predictor.h"
+#include "prediction/residual_tracker.h"
+
+namespace pstore {
+
+// Options for the Sibyl-style shift-aware wrapper.
+struct ShiftAwareOptions {
+  // Rolling window (slots) of one-step relative residuals watched for
+  // degradation.
+  size_t residual_window = 256;
+  // Trigger a re-fit when the rolling residual mean exceeds `threshold`
+  // times the baseline residual measured at fit time.
+  double threshold = 2.0;
+  // Never trigger while the rolling mean is below this floor.
+  double min_mre = 0.10;
+  // Minimum slots between triggered re-fits (also applied after a failed
+  // re-fit attempt so a too-short window is not retried every slot).
+  size_t cooldown = 1440;
+  // Slots of recent history the re-fit trains on; 0 means "the same
+  // length as the original training window".
+  size_t refit_window = 0;
+  // Walk-forward samples used to measure the baseline residual at fit
+  // time (strided across the second half of the training window).
+  size_t baseline_samples = 256;
+};
+
+// Wraps any LoadPredictor with distribution-shift detection (Sibyl's key
+// result: cheap incremental re-fit beats static models on evolving
+// workloads). Each Update() scores the previous one-step prediction
+// against the newly observed slot; when the rolling relative residual
+// rises `threshold`x above the fit-time baseline, the wrapped model is
+// re-fitted on the most recent window so post-shift data dominates the
+// new parameters. Prediction delegates to the wrapped model unchanged.
+class ShiftAwarePredictor : public LoadPredictor {
+ public:
+  ShiftAwarePredictor(std::unique_ptr<LoadPredictor> base,
+                      const ShiftAwareOptions& options);
+
+  Status Fit(const TimeSeries& training) override;
+  StatusOr<double> PredictAhead(const TimeSeries& history,
+                                size_t tau) const override;
+  StatusOr<std::vector<double>> PredictHorizon(
+      const TimeSeries& history, size_t horizon) const override;
+  StatusOr<bool> Update(const TimeSeries& history) override;
+  std::string name() const override;
+  std::string active_name() const override { return base_->active_name(); }
+
+  // Introspection for tests, traces, and benches.
+  size_t refits() const { return refits_; }
+  double baseline_mre() const { return baseline_mre_; }
+  double recent_mre() const { return recent_.mean(); }
+  const LoadPredictor& base() const { return *base_; }
+
+ private:
+  // Measures the wrapped model's one-step relative residual by walking
+  // forward over the tail of `training` (same recipe as the online
+  // inflation calibration).
+  void ComputeBaseline(const TimeSeries& training);
+  // Re-fits on the trailing refit window of `history`.
+  Status RefitOn(const TimeSeries& history);
+
+  std::unique_ptr<LoadPredictor> base_;
+  ShiftAwareOptions options_;
+  bool fitted_ = false;
+  size_t training_size_ = 0;
+  double baseline_mre_ = 0.0;
+  RollingResidualTracker recent_;
+  // One-step prediction made at the previous Update, to be scored
+  // against the next observed slot.
+  double pending_prediction_ = 0.0;
+  bool has_pending_ = false;
+  size_t last_history_size_ = 0;
+  size_t slots_since_refit_ = 0;
+  size_t refits_ = 0;
+};
+
+}  // namespace pstore
+
+#endif  // PSTORE_PREDICTION_SHIFT_AWARE_H_

@@ -9,12 +9,16 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "common/time_series.h"
 #include "obs/tracer.h"
 #include "obs/wall_timer.h"
+#include "prediction/predictor.h"
+#include "prediction/predictor_spec.h"
 #include "sim/capacity_simulator.h"
 #include "trace/b2w_trace_generator.h"
 #include "trace/spike_injector.h"
@@ -133,12 +137,41 @@ StatusOr<SimResult> RunOne(const RunSpec& spec) {
   CapacitySimulator sim(spec.sim);
   sim.set_tracer(spec.tracer);
   switch (spec.strategy) {
-    case Strategy::kPredictive:
-      if (spec.predictor == nullptr) {
+    case Strategy::kPredictive: {
+      if (spec.predictor != nullptr) {
+        return sim.RunPredictive(*trace, *spec.predictor);
+      }
+      if (spec.predictor_spec.empty()) {
         return Status::InvalidArgument("spec '" + spec.label +
                                        "': kPredictive needs a predictor");
       }
-      return sim.RunPredictive(*trace, *spec.predictor);
+      // Materialize the spec'd model per task: built against the run's
+      // coarse planning granularity and fitted on the pre-eval prefix,
+      // mirroring what the tools did by hand before the spec grammar.
+      const int factor = spec.sim.plan_slot_factor;
+      const TimeSeries coarse =
+          trace->DownsampleMean(static_cast<size_t>(factor));
+      const size_t slots_per_day = static_cast<size_t>(
+          86400.0 / trace->slot_seconds() + 0.5);
+      PredictorContext context;
+      context.period =
+          std::max<size_t>(1, slots_per_day / static_cast<size_t>(factor));
+      context.max_tau = static_cast<size_t>(spec.sim.horizon_plan_slots);
+      StatusOr<std::unique_ptr<LoadPredictor>> made =
+          MakePredictor(spec.predictor_spec, context);
+      if (!made.ok()) {
+        return Status::InvalidArgument("spec '" + spec.label + "': " +
+                                       made.status().message());
+      }
+      const Status fit = (*made)->Fit(coarse.Slice(
+          0, spec.sim.eval_begin / static_cast<size_t>(factor)));
+      if (!fit.ok()) {
+        return Status::InvalidArgument("spec '" + spec.label + "': " +
+                                       (*made)->name() +
+                                       " fit: " + fit.message());
+      }
+      return sim.RunPredictive(*trace, **made);
+    }
     case Strategy::kReactive:
       return sim.RunReactive(*trace, spec.reactive);
     case Strategy::kSimple:
@@ -155,7 +188,7 @@ StatusOr<SweepResult> RunSweep(const std::vector<RunSpec>& specs,
   // task runs): a missing predictor or two tasks aliasing one Tracer.
   for (size_t i = 0; i < specs.size(); ++i) {
     if (specs[i].strategy == Strategy::kPredictive &&
-        specs[i].predictor == nullptr) {
+        specs[i].predictor == nullptr && specs[i].predictor_spec.empty()) {
       return Status::InvalidArgument("spec '" + specs[i].label +
                                      "': kPredictive needs a predictor");
     }

@@ -114,6 +114,15 @@ struct RunSpec {
   // shared by many specs in a sweep.
   const LoadPredictor* predictor = nullptr;
 
+  // Alternative to `predictor`: a predictor spec string (see
+  // prediction/predictor_spec.h, e.g. "spar(n=7,m=6)" or
+  // "ensemble(spar,ar,hw)"). When `predictor` is null and this is
+  // non-empty, RunOne materializes the model per task — built with the
+  // run's coarse period/horizon as contextual defaults and fitted on the
+  // pre-eval prefix of the coarse trace — so sweep tasks stay
+  // independent even with stateful (adaptive) models.
+  std::string predictor_spec;
+
   // Convenience: when nonzero, overrides workload.b2w.seed so sweeps
   // over seeds need not reach into the workload description.
   uint64_t seed = 0;

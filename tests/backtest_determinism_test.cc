@@ -1,0 +1,76 @@
+// Determinism gate: the backtest harness must produce byte-identical
+// CSV output (and therefore identical rankings) for every worker-thread
+// count — models are scored independently and merged by input index, so
+// threading must never leak into the numbers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/time_series.h"
+#include "prediction/backtest.h"
+#include "prediction/predictor_spec.h"
+
+namespace pstore {
+namespace {
+
+constexpr size_t kPeriod = 48;
+
+TimeSeries NoisyPeriodicSeries(int periods, uint64_t seed) {
+  Rng rng(seed);
+  TimeSeries out(60.0);
+  for (int p = 0; p < periods; ++p) {
+    for (size_t s = 0; s < kPeriod; ++s) {
+      const double phase = 2.0 * M_PI * static_cast<double>(s) / kPeriod;
+      double value = 100.0 + 50.0 * std::sin(phase);
+      value *= 1.0 + 0.03 * rng.NextGaussian();
+      out.Append(value);
+    }
+  }
+  return out;
+}
+
+TEST(BacktestDeterminismTest, CsvIsByteIdenticalAcrossThreadCounts) {
+  const StatusOr<std::vector<PredictorSpec>> specs = ParsePredictorSpecList(
+      "spar(n=3,m=6),ar(p=8),hw,mf(rank=3),last_value,"
+      "shift(spar(n=3,m=6),window=24,threshold=1.5,min_mre=0.05,"
+      "cooldown=96),ensemble(spar(n=3,m=6),ar(p=8),epoch=24,window=24)");
+  ASSERT_TRUE(specs.ok()) << specs.status().ToString();
+
+  const TimeSeries series = NoisyPeriodicSeries(12, 17);
+  PredictorContext context;
+  context.period = kPeriod;
+  context.max_tau = 8;
+
+  std::string baseline;
+  for (const int threads : {1, 2, 5, 16}) {
+    BacktestOptions options;
+    options.eval_begin = 8 * kPeriod;
+    options.horizon = 4;
+    options.refit_epoch = kPeriod;
+    options.focus_begin = 10 * kPeriod;
+    options.focus_end = 12 * kPeriod;
+    options.threads = threads;
+    const StatusOr<BacktestResult> result =
+        RunBacktest(*specs, series, context, options);
+    ASSERT_TRUE(result.ok()) << "threads=" << threads;
+    ASSERT_EQ(result->models.size(), specs->size());
+    const std::string csv = BacktestCsv(*result);
+    if (baseline.empty()) {
+      baseline = csv;
+      // The serial pass is the golden path: every model must have run.
+      for (const BacktestModelResult& model : result->models) {
+        EXPECT_TRUE(model.ok) << model.model_name << ": " << model.error;
+      }
+    } else {
+      EXPECT_EQ(csv, baseline) << "threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pstore

@@ -12,6 +12,16 @@
 //       [--engine-threads=1]  (node-sharded engine: N>1 runs each node's
 //                              transactions in parallel, 0 = hardware;
 //                              output is bit-identical for any value)
+//       [--predictor=oracle]  (pstore controller's forecast model:
+//                              "oracle" = perfect hindsight (default), or
+//                              any predictor spec — "ar(p=8)",
+//                              "last_value", "ensemble(ar,last_value)";
+//                              see prediction/predictor_spec.h)
+//       [--refit-policy=SPEC] (when to re-fit the online model:
+//                              "interval(slots=N)" or
+//                              "shift(window=...,threshold=...)"; default
+//                              for spec'd predictors is
+//                              interval(slots=150), oracle never re-fits)
 //   Scripted drill (crash node mid-scale-out):
 //       pstore_chaos --crash-node=2 --crash-at=640 --recover-at=700
 //   Seeded-random drill (reproducible: same --seed, same stream):
@@ -62,6 +72,9 @@
 #include "obs/tracer.h"
 #include "prediction/naive_models.h"
 #include "prediction/online_predictor.h"
+#include "prediction/predictor.h"
+#include "prediction/predictor_spec.h"
+#include "prediction/refit_policy.h"
 #include "sim/run_spec.h"
 
 using namespace pstore;
@@ -80,6 +93,11 @@ struct DrillConfig {
   int nodes = 2;
   double total_seconds = 0.0;
   std::vector<FaultEvent> faults;
+  // Forecast model for the pstore controller: "oracle" (perfect
+  // hindsight) or a predictor spec string, plus an optional refit-policy
+  // spec. Both are validated in main(), so RunDrill may CHECK them.
+  std::string predictor_spec = "oracle";
+  std::string refit_policy;
 };
 
 // Everything the report prints, snapshotted so drills can run
@@ -98,6 +116,7 @@ struct DrillResult {
   int64_t moves_started = 0;
   int64_t move_failures = 0;
   int64_t replans = 0;
+  int64_t model_switches = 0;
   int64_t scale_outs = 0;
   int64_t scale_ins = 0;
   double avg_machines = 0.0;
@@ -168,18 +187,51 @@ DrillResult RunDrill(const DrillConfig& config) {
   injector.Arm();
 
   // Controller under test.
-  std::unique_ptr<OnlinePredictor> oracle;
+  std::unique_ptr<OnlinePredictor> online;
   std::unique_ptr<PredictiveController> pstore_controller;
   std::unique_ptr<ReactiveController> reactive_controller;
   if (config.spec.strategy == Strategy::kPredictive) {
+    const bool use_oracle = config.predictor_spec == "oracle";
     OnlinePredictorOptions predictor_options;
     predictor_options.inflation = 1.1;
     predictor_options.refit_interval = 1u << 30;
     predictor_options.training_window = 10;
-    oracle = std::make_unique<OnlinePredictor>(
-        std::make_unique<OraclePredictor>(trace), predictor_options);
-    oracle->set_tracer(tracer, [&loop] { return loop.now(); });
-    PSTORE_CHECK_OK(oracle->Warmup(trace.Slice(0, 1)));
+    std::unique_ptr<LoadPredictor> model;
+    if (use_oracle) {
+      model = std::make_unique<OraclePredictor>(trace);
+    } else {
+      // Real models train on the growing history: period = one day of
+      // monitoring slots, max_tau = the fine horizon the controller
+      // requests (horizon_plan_slots * plan_slot_factor below).
+      PredictorContext context;
+      context.period = static_cast<size_t>(86400.0 / slot_seconds + 0.5);
+      context.max_tau = 100;
+      StatusOr<std::unique_ptr<LoadPredictor>> made =
+          MakePredictor(config.predictor_spec, context);
+      PSTORE_CHECK_OK(made.status());
+      model = std::move(*made);
+      predictor_options.training_window = trace.size();
+    }
+    std::unique_ptr<RefitPolicy> policy;
+    if (!config.refit_policy.empty()) {
+      StatusOr<std::unique_ptr<RefitPolicy>> parsed_policy =
+          ParseRefitPolicy(config.refit_policy);
+      PSTORE_CHECK_OK(parsed_policy.status());
+      policy = std::move(*parsed_policy);
+    } else if (!use_oracle) {
+      policy = std::make_unique<IntervalRefitPolicy>(150);
+    }
+    online = std::make_unique<OnlinePredictor>(
+        std::move(model), predictor_options, std::move(policy));
+    online->set_tracer(tracer, [&loop] { return loop.now(); });
+    if (use_oracle) {
+      PSTORE_CHECK_OK(online->Warmup(trace.Slice(0, 1)));
+    } else {
+      // A spec'd model rarely has enough history at t=0; the online
+      // wrapper serves the flat fallback until the refit policy lands a
+      // successful fit.
+      (void)online->Warmup(trace.Slice(0, 1));
+    }
     PredictiveControllerOptions options;
     options.slot_sim_seconds = slot_seconds;
     options.plan_slot_factor = 5;
@@ -190,7 +242,7 @@ DrillResult RunDrill(const DrillConfig& config) {
     options.planner_params.d_slots = SingleThreadFullMigrationSeconds(
         cluster.TotalDataBytes(), migration_options) / 30.0;
     pstore_controller = std::make_unique<PredictiveController>(
-        &loop, &cluster, &executor, &migration, oracle.get(), options);
+        &loop, &cluster, &executor, &migration, online.get(), options);
     pstore_controller->set_tracer(tracer);
     pstore_controller->Start();
   } else {
@@ -230,6 +282,7 @@ DrillResult RunDrill(const DrillConfig& config) {
     result.moves_started = pstore_controller->reconfigurations_started();
     result.move_failures = pstore_controller->move_failures();
     result.replans = pstore_controller->replans_after_failure();
+    result.model_switches = pstore_controller->model_switches();
   } else {
     result.scale_outs = reactive_controller->scale_outs();
     result.scale_ins = reactive_controller->scale_ins();
@@ -305,10 +358,11 @@ void PrintDrill(const DrillConfig& config, const DrillResult& result,
               static_cast<long long>(stats.chunk_aborts_armed));
   if (result.predictive) {
     std::printf("controller:           %lld moves started, %lld failed, "
-                "%lld immediate re-plans\n",
+                "%lld immediate re-plans, %lld model switches\n",
                 static_cast<long long>(result.moves_started),
                 static_cast<long long>(result.move_failures),
-                static_cast<long long>(result.replans));
+                static_cast<long long>(result.replans),
+                static_cast<long long>(result.model_switches));
   } else {
     std::printf("controller:           %lld scale-outs, %lld scale-ins, "
                 "%lld failed moves\n",
@@ -423,6 +477,25 @@ int main(int argc, char** argv) {
                   random.events().end());
   }
 
+  // Forecast model + refit policy for pstore drills, validated up front
+  // (RunDrill CHECKs, so a typo must fail here with a real message).
+  const std::string predictor_spec = flags.GetString("predictor", "oracle");
+  if (predictor_spec != "oracle") {
+    const StatusOr<PredictorSpec> spec_check =
+        ParsePredictorSpec(predictor_spec);
+    if (!spec_check.ok()) {
+      return Fail("--predictor: " + spec_check.status().ToString());
+    }
+  }
+  const std::string refit_policy = flags.GetString("refit-policy", "");
+  if (!refit_policy.empty()) {
+    const StatusOr<std::unique_ptr<RefitPolicy>> policy_check =
+        ParseRefitPolicy(refit_policy);
+    if (!policy_check.ok()) {
+      return Fail("--refit-policy: " + policy_check.status().ToString());
+    }
+  }
+
   // One drill per requested controller.
   const std::string controller_flag = flags.GetString("controller", "pstore");
   const std::vector<std::string> controller_names =
@@ -443,6 +516,8 @@ int main(int argc, char** argv) {
     drill.nodes = static_cast<int>(*nodes);
     drill.total_seconds = total_seconds;
     drill.faults = events;
+    drill.predictor_spec = predictor_spec;
+    drill.refit_policy = refit_policy;
     drills.push_back(std::move(drill));
   }
 

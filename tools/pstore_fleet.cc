@@ -18,6 +18,12 @@
 //   --partitions=2             placement units per tenant
 //   --inflation=1.15           forecast inflation before packing
 //   --mean-peak=60             mean per-tenant peak demand (txn/s)
+//   --forecast=SPEC            per-tenant predictor spec ("ar(p=8)",
+//                              "shift(spar)", ... — see
+//                              prediction/predictor_spec.h); default is
+//                              the built-in cheap seasonal forecaster
+//   --forecast-refit=288       cycles between per-tenant model re-fits
+//                              (only with --forecast)
 //
 // Machine-readable outputs:
 //   --csv-out=fleet.csv        deterministic summary + per-tenant rows
@@ -36,6 +42,7 @@
 #include "fleet/tenant.h"
 #include "obs/metrics_registry.h"
 #include "obs/tracer.h"
+#include "prediction/predictor_spec.h"
 
 using namespace pstore;
 using namespace pstore::fleet;
@@ -156,6 +163,23 @@ int main(int argc, char** argv) {
   options.controller.placement.machine_capacity = *q;
   options.controller.placement.interference_per_tenant = *interference;
   options.controller.inflation = *inflation;
+  // Optional spec-built per-tenant forecasters; validated here because
+  // the FleetController CHECKs the spec it is given.
+  const std::string forecast_spec = flags.GetString("forecast", "");
+  if (!forecast_spec.empty()) {
+    const StatusOr<PredictorSpec> spec_check =
+        ParsePredictorSpec(forecast_spec);
+    if (!spec_check.ok()) {
+      return Fail("--forecast: " + spec_check.status().ToString());
+    }
+    const StatusOr<int64_t> forecast_refit =
+        flags.GetInt("forecast-refit", 288);
+    if (!forecast_refit.ok()) return Fail(forecast_refit.status().ToString());
+    if (*forecast_refit < 1) return Fail("--forecast-refit must be >= 1");
+    options.controller.forecast_spec = forecast_spec;
+    options.controller.forecast_refit_interval =
+        static_cast<size_t>(*forecast_refit);
+  }
   options.machine_serve_capacity = *qhat;
   options.planner.target_rate_per_node = *q;
   options.planner.max_rate_per_node = *qhat;

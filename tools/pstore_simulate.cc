@@ -6,6 +6,15 @@
 //   pstore_simulate --trace=trace.csv --strategy=pstore
 //       [--q=285 --qhat=350 --d-minutes=77 --partitions=6]
 //       [--train-days=28] [--inflation=1.15]
+//       [--predictor='spar(n=7,m=6)']
+//
+// --predictor takes a predictor spec (prediction/predictor_spec.h
+// grammar): spar, ar(p=8), hw, mf(rank=4), shift(spar),
+// ensemble(spar,ar,hw,mode=switch), ... The model is built at the
+// planning granularity (period = one day of planning slots, max_tau =
+// the planning horizon) and fitted on the pre-eval prefix of the
+// 5-minute downsampled trace — the default spec reproduces the paper's
+// SPAR(7,6) setup exactly.
 //   pstore_simulate --trace=trace.csv --strategy=reactive [--watermark=1.1]
 //   pstore_simulate --trace=trace.csv --strategy=static --nodes=10
 //   pstore_simulate --trace=trace.csv --strategy=simple --day-nodes=10
@@ -38,7 +47,6 @@
 //   --bench-json=out.json   headline metrics as a JSON metrics registry
 
 #include <cstdio>
-#include <memory>
 #include <string>
 #include <vector>
 
@@ -48,7 +56,7 @@
 #include "fault/fault_schedule.h"
 #include "obs/metrics_registry.h"
 #include "obs/tracer.h"
-#include "prediction/spar_model.h"
+#include "prediction/predictor_spec.h"
 #include "sim/capacity_simulator.h"
 #include "sim/run_spec.h"
 #include "trace/trace_io.h"
@@ -181,7 +189,19 @@ int main(int argc, char** argv) {
       SplitCommaList(flags.GetString("strategy", "pstore"));
   if (strategy_names.empty()) return Fail("--strategy lists no strategy");
 
-  std::unique_ptr<SparPredictor> spar;  // fitted on demand, shared
+  // Predictor spec for kPredictive runs; validated up front so a typo
+  // fails before any strategy runs. RunOne materializes and fits one
+  // instance per predictive task (see RunSpec::predictor_spec).
+  const std::string predictor_spec =
+      flags.GetString("predictor", "spar(n=7,m=6)");
+  {
+    const StatusOr<PredictorSpec> spec_check =
+        ParsePredictorSpec(predictor_spec);
+    if (!spec_check.ok()) {
+      return Fail("--predictor: " + spec_check.status().ToString());
+    }
+  }
+
   std::vector<RunSpec> specs;
   for (const std::string& name : strategy_names) {
     StatusOr<Strategy> strategy = ParseStrategy(name);
@@ -195,20 +215,7 @@ int main(int argc, char** argv) {
     spec.strategy = *strategy;
     switch (*strategy) {
       case Strategy::kPredictive: {
-        if (spar == nullptr) {
-          const TimeSeries coarse =
-              trace->DownsampleMean(options.plan_slot_factor);
-          SparOptions spar_options;
-          spar_options.period = slots_per_day / options.plan_slot_factor;
-          spar_options.num_periods = 7;
-          spar_options.num_recent = 6;
-          spar_options.max_tau = options.horizon_plan_slots;
-          spar = std::make_unique<SparPredictor>(spar_options);
-          const Status fit = spar->Fit(coarse.Slice(
-              0, options.eval_begin / options.plan_slot_factor));
-          if (!fit.ok()) return Fail("SPAR fit: " + fit.ToString());
-        }
-        spec.predictor = spar.get();
+        spec.predictor_spec = predictor_spec;
         break;
       }
       case Strategy::kReactive: {
